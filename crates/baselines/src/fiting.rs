@@ -1,0 +1,231 @@
+//! FITing-tree \[20\]: greedy shrinking-cone linear segmentation.
+//!
+//! The closest prior work to PolyFit: the cumulative function is covered by
+//! line segments, each guaranteeing `|CF(k_i) − L(k_i)| ≤ δ` at every key
+//! it spans, built in one pass with the shrinking-cone test. PolyFit's
+//! claim (Fig. 5, Fig. 15) is that degree-≥2 polynomials need fewer
+//! segments for the same δ; this implementation lets the harness verify
+//! exactly that.
+//!
+//! Extended to range aggregates per the paper's Appendix A: the same
+//! query machinery as PolyFit (`A = L_Iu(uq) − L_Il(lq)`, Lemmas 2–3).
+
+/// One linear segment: `L(k) = base + slope·(k − lo_key)` on
+/// `[lo_key, hi_key]`.
+#[derive(Clone, Copy, Debug)]
+struct LineSegment {
+    lo_key: f64,
+    hi_key: f64,
+    base: f64,
+    slope: f64,
+}
+
+impl LineSegment {
+    #[inline]
+    fn eval_clamped(&self, k: f64) -> f64 {
+        let k = k.clamp(self.lo_key, self.hi_key);
+        self.base + self.slope * (k - self.lo_key)
+    }
+}
+
+/// A FITing-tree over the cumulative function.
+#[derive(Clone, Debug)]
+pub struct FitingTree {
+    directory: Vec<f64>,
+    segments: Vec<LineSegment>,
+    delta: f64,
+    total: f64,
+    domain: (f64, f64),
+}
+
+impl FitingTree {
+    /// Build from the materialised cumulative function: strictly increasing
+    /// `keys` with their inclusive cumulative `values`.
+    ///
+    /// # Panics
+    /// Panics if inputs are empty, mismatched, or keys not strictly
+    /// increasing; or δ not positive.
+    pub fn new(keys: &[f64], values: &[f64], delta: f64) -> Self {
+        assert_eq!(keys.len(), values.len(), "keys/values length mismatch");
+        assert!(!keys.is_empty(), "empty input");
+        assert!(delta > 0.0 && delta.is_finite(), "delta must be positive");
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must increase");
+        let n = keys.len();
+        let mut segments = Vec::new();
+        let mut start = 0usize;
+        while start < n {
+            let (k0, y0) = (keys[start], values[start]);
+            let mut slope_lo = f64::NEG_INFINITY;
+            let mut slope_hi = f64::INFINITY;
+            let mut end = start;
+            for i in start + 1..n {
+                let dx = keys[i] - k0;
+                let lo = (values[i] - delta - y0) / dx;
+                let hi = (values[i] + delta - y0) / dx;
+                let new_lo = slope_lo.max(lo);
+                let new_hi = slope_hi.min(hi);
+                if new_lo > new_hi {
+                    break;
+                }
+                slope_lo = new_lo;
+                slope_hi = new_hi;
+                end = i;
+            }
+            // A single-point segment has no cone; otherwise the first
+            // admitted point made both bounds finite.
+            let slope = if end == start { 0.0 } else { 0.5 * (slope_lo + slope_hi) };
+            segments.push(LineSegment { lo_key: k0, hi_key: keys[end], base: y0, slope });
+            start = end + 1;
+        }
+        FitingTree {
+            directory: segments.iter().map(|s| s.lo_key).collect(),
+            segments,
+            delta,
+            total: values[n - 1],
+            domain: (keys[0], keys[n - 1]),
+        }
+    }
+
+    /// Build a COUNT-flavoured tree over sorted keys.
+    pub fn counting(keys_sorted: &[f64], delta: f64) -> Self {
+        let values: Vec<f64> = (1..=keys_sorted.len()).map(|i| i as f64).collect();
+        FitingTree::new(keys_sorted, &values, delta)
+    }
+
+    /// Approximate `CF(k)`, within δ at dataset keys.
+    #[inline]
+    pub fn cf(&self, k: f64) -> f64 {
+        if k < self.domain.0 {
+            return 0.0;
+        }
+        if k >= self.domain.1 {
+            return self.total;
+        }
+        let i = self.directory.partition_point(|&lo| lo <= k) - 1;
+        self.segments[i].eval_clamped(k)
+    }
+
+    /// Approximate range SUM over `(lq, uq]` — within `2δ` at key
+    /// endpoints.
+    #[inline]
+    pub fn query(&self, lq: f64, uq: f64) -> f64 {
+        if lq >= uq {
+            return 0.0;
+        }
+        self.cf(uq) - self.cf(lq)
+    }
+
+    /// Relative-guarantee certificate (Lemma 3): the approximate answer is
+    /// certified iff `A ≥ 2δ(1 + 1/ε_rel)`.
+    pub fn rel_certified(&self, answer: f64, eps_rel: f64) -> bool {
+        answer >= 2.0 * self.delta * (1.0 + 1.0 / eps_rel)
+    }
+
+    /// The per-endpoint error bound δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Number of line segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Logical serialized size: per segment (lo, hi, base, slope).
+    pub fn size_bytes(&self) -> usize {
+        self.segments.len() * 4 * std::mem::size_of::<f64>()
+            + 3 * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn staircase(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let keys: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+        let mut values = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 + ((i * 13) % 7) as f64;
+            values.push(acc);
+        }
+        (keys, values)
+    }
+
+    #[test]
+    fn cf_within_delta_at_keys() {
+        let (keys, values) = staircase(5000);
+        let t = FitingTree::new(&keys, &values, 20.0);
+        for (k, v) in keys.iter().zip(&values) {
+            let err = (t.cf(*k) - v).abs();
+            assert!(err <= 20.0 + 1e-9, "key {k}: err {err}");
+        }
+    }
+
+    #[test]
+    fn query_within_two_delta() {
+        let (keys, values) = staircase(3000);
+        let t = FitingTree::new(&keys, &values, 15.0);
+        for (a, b) in [(0usize, 2999usize), (10, 1500), (2000, 2001)] {
+            let exact = values[b] - values[a];
+            let err = (t.query(keys[a], keys[b]) - exact).abs();
+            assert!(err <= 30.0 + 1e-9, "err {err}");
+        }
+    }
+
+    #[test]
+    fn linear_data_single_segment() {
+        let keys: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let values: Vec<f64> = keys.iter().map(|&k| 3.0 * k + 7.0).collect();
+        let t = FitingTree::new(&keys, &values, 0.5);
+        assert_eq!(t.num_segments(), 1);
+    }
+
+    #[test]
+    fn tighter_delta_more_segments() {
+        let (keys, values) = staircase(5000);
+        let loose = FitingTree::new(&keys, &values, 100.0);
+        let tight = FitingTree::new(&keys, &values, 2.0);
+        assert!(tight.num_segments() > loose.num_segments());
+    }
+
+    #[test]
+    fn domain_edges_exact() {
+        let (keys, values) = staircase(100);
+        let t = FitingTree::new(&keys, &values, 5.0);
+        assert_eq!(t.cf(keys[0] - 1.0), 0.0);
+        assert_eq!(t.cf(*keys.last().unwrap() + 1.0), *values.last().unwrap());
+    }
+
+    #[test]
+    fn counting_flavour() {
+        let keys: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let t = FitingTree::counting(&keys, 5.0);
+        let approx = t.query(99.0, 899.0);
+        assert!((approx - 800.0).abs() <= 10.0, "approx {approx}");
+    }
+
+    #[test]
+    fn rel_certificate_threshold() {
+        let (keys, values) = staircase(100);
+        let t = FitingTree::new(&keys, &values, 10.0);
+        assert!(t.rel_certified(3000.0, 0.01)); // ≥ 20·101 = 2020
+        assert!(!t.rel_certified(1000.0, 0.01));
+    }
+
+    #[test]
+    fn single_point() {
+        let t = FitingTree::new(&[5.0], &[42.0], 1.0);
+        assert_eq!(t.num_segments(), 1);
+        assert_eq!(t.cf(5.0), 42.0);
+        assert_eq!(t.cf(4.0), 0.0);
+    }
+
+    #[test]
+    fn size_scales_with_segments() {
+        let (keys, values) = staircase(2000);
+        let t = FitingTree::new(&keys, &values, 5.0);
+        assert_eq!(t.size_bytes(), t.num_segments() * 32 + 24);
+    }
+}

@@ -1,0 +1,172 @@
+//! Two-key histogram heuristic (the Table IV "Hist supports 2 keys" row).
+//!
+//! A `B × B` equi-width grid over the data bounding box with per-cell
+//! counts and a 2-D prefix-sum, answering rectangle COUNT by
+//! inclusion–exclusion over snapped cells plus uniform-interpolation of
+//! the partial boundary strips. Like its 1-D sibling this is a heuristic:
+//! fast and small but without error guarantees.
+
+/// Equi-width 2-D histogram over points.
+#[derive(Clone, Debug)]
+pub struct GridHistogram2d {
+    bins: usize,
+    u0: f64,
+    v0: f64,
+    step_u: f64,
+    step_v: f64,
+    /// `(bins+1)²` prefix sums; `prefix[i][j]` = count in cells `< (i, j)`.
+    prefix: Vec<f64>,
+}
+
+impl GridHistogram2d {
+    /// Build with `bins × bins` cells from `(u, v)` points.
+    ///
+    /// # Panics
+    /// Panics on empty input or zero bins.
+    pub fn new(points: &[(f64, f64)], bins: usize) -> Self {
+        assert!(!points.is_empty(), "empty input");
+        assert!(bins >= 1, "need at least one bin");
+        let mut u0 = f64::INFINITY;
+        let mut u1 = f64::NEG_INFINITY;
+        let mut v0 = f64::INFINITY;
+        let mut v1 = f64::NEG_INFINITY;
+        for &(u, v) in points {
+            u0 = u0.min(u);
+            u1 = u1.max(u);
+            v0 = v0.min(v);
+            v1 = v1.max(v);
+        }
+        let step_u = ((u1 - u0) / bins as f64).max(f64::MIN_POSITIVE);
+        let step_v = ((v1 - v0) / bins as f64).max(f64::MIN_POSITIVE);
+        let w = bins + 1;
+        let mut prefix = vec![0.0f64; w * w];
+        for &(u, v) in points {
+            let iu = (((u - u0) / step_u) as usize).min(bins - 1);
+            let iv = (((v - v0) / step_v) as usize).min(bins - 1);
+            prefix[(iu + 1) * w + (iv + 1)] += 1.0;
+        }
+        for i in 0..w {
+            for j in 1..w {
+                prefix[i * w + j] += prefix[i * w + j - 1];
+            }
+        }
+        for i in 1..w {
+            for j in 0..w {
+                prefix[i * w + j] += prefix[(i - 1) * w + j];
+            }
+        }
+        GridHistogram2d { bins, u0, v0, step_u, step_v, prefix }
+    }
+
+    /// Cumulative estimate: count of points with `u' ≤ u`, `v' ≤ v`,
+    /// interpolating uniformly within partial cells.
+    pub fn cf(&self, u: f64, v: f64) -> f64 {
+        // Fractional cell coordinates, clamped into the grid.
+        let fu = ((u - self.u0) / self.step_u).clamp(0.0, self.bins as f64);
+        let fv = ((v - self.v0) / self.step_v).clamp(0.0, self.bins as f64);
+        let iu = fu.floor() as usize;
+        let iv = fv.floor() as usize;
+        let (du, dv) = (fu - iu as f64, fv - iv as f64);
+        let w = self.bins + 1;
+        let at = |i: usize, j: usize| self.prefix[i.min(self.bins) * w + j.min(self.bins)];
+        // Bilinear interpolation of the prefix surface.
+        let p00 = at(iu, iv);
+        let p10 = at(iu + 1, iv);
+        let p01 = at(iu, iv + 1);
+        let p11 = at(iu + 1, iv + 1);
+        p00 * (1.0 - du) * (1.0 - dv)
+            + p10 * du * (1.0 - dv)
+            + p01 * (1.0 - du) * dv
+            + p11 * du * dv
+    }
+
+    /// Estimated COUNT over the rectangle `(u_lo, u_hi] × (v_lo, v_hi]`.
+    pub fn query(&self, u_lo: f64, u_hi: f64, v_lo: f64, v_hi: f64) -> f64 {
+        if u_lo >= u_hi || v_lo >= v_hi {
+            return 0.0;
+        }
+        (self.cf(u_hi, v_hi) - self.cf(u_lo, v_hi) - self.cf(u_hi, v_lo) + self.cf(u_lo, v_lo))
+            .max(0.0)
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.bins * self.bins
+    }
+
+    /// Heap size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.prefix.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(n: usize) -> Vec<(f64, f64)> {
+        let mut pts = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                pts.push((i as f64, j as f64));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn uniform_grid_is_near_exact() {
+        let pts = grid_points(50); // 2500 points on integer lattice
+        let h = GridHistogram2d::new(&pts, 25);
+        let est = h.query(-0.5, 24.5, -0.5, 24.5); // exact: 25×25 = 625
+        assert!((est - 625.0).abs() < 60.0, "est {est}");
+        let full = h.query(-1.0, 50.0, -1.0, 50.0);
+        assert!((full - 2500.0).abs() < 1e-6, "full {full}");
+    }
+
+    #[test]
+    fn finer_grid_reduces_error() {
+        let pts: Vec<(f64, f64)> = (0..20_000u64)
+            .map(|i| {
+                let h = i.wrapping_mul(0x9E3779B97F4A7C15);
+                (
+                    (h >> 32) as f64 / u32::MAX as f64 * 100.0,
+                    (h & 0xFFFF_FFFF) as f64 / u32::MAX as f64 * 100.0,
+                )
+            })
+            .collect();
+        let brute = pts
+            .iter()
+            .filter(|(u, v)| *u > 13.0 && *u <= 57.0 && *v > 22.0 && *v <= 91.0)
+            .count() as f64;
+        let coarse = GridHistogram2d::new(&pts, 8);
+        let fine = GridHistogram2d::new(&pts, 128);
+        let e_coarse = (coarse.query(13.0, 57.0, 22.0, 91.0) - brute).abs();
+        let e_fine = (fine.query(13.0, 57.0, 22.0, 91.0) - brute).abs();
+        assert!(e_fine <= e_coarse + 1.0, "fine {e_fine} vs coarse {e_coarse}");
+    }
+
+    #[test]
+    fn degenerate_queries() {
+        let pts = grid_points(10);
+        let h = GridHistogram2d::new(&pts, 4);
+        assert_eq!(h.query(5.0, 5.0, 0.0, 9.0), 0.0);
+        assert_eq!(h.query(6.0, 5.0, 0.0, 9.0), 0.0);
+    }
+
+    #[test]
+    fn single_bin() {
+        let pts = grid_points(10);
+        let h = GridHistogram2d::new(&pts, 1);
+        assert_eq!(h.num_cells(), 1);
+        let full = h.query(-1.0, 10.0, -1.0, 10.0);
+        assert!((full - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn size_accounting() {
+        let pts = grid_points(10);
+        let h = GridHistogram2d::new(&pts, 16);
+        assert_eq!(h.size_bytes(), 17 * 17 * 8);
+    }
+}

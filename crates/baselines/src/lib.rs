@@ -1,0 +1,35 @@
+//! # polyfit-baselines — comparator methods from the PolyFit evaluation
+//!
+//! Every non-PolyFit method of the paper's Table IV, implemented from
+//! scratch so the experiment harness can regenerate Tables V–VI and
+//! Figures 15–20:
+//!
+//! | Module | Paper method | Guarantees |
+//! |--------|--------------|------------|
+//! | [`rmi`] | RMI \[33\] extended to range aggregates (Appendix A/B) | abs + rel via last-mile fallback |
+//! | [`fiting`] | FITing-tree \[20\] (shrinking-cone linear segments) | abs + rel |
+//! | [`hist`] | Entropy-based histogram \[52\] | none (heuristic) |
+//! | [`stree`] | S-tree: B+-tree over a uniform sample | none (heuristic) |
+//! | [`s2`] | S2 sequential sampling \[26\] | probabilistic |
+//! | [`mlp`] | The neural models of Appendix B-1 (Table VI) | none |
+//!
+//! All SUM/COUNT methods share the half-open `(lq, uq]` query convention
+//! documented in `polyfit-exact`, and the learned methods are extended to
+//! range aggregates exactly as the paper's Appendix A prescribes: fit the
+//! cumulative function, then apply the Lemma 2/3 error machinery.
+
+pub mod fiting;
+pub mod hist;
+pub mod hist2d;
+pub mod mlp;
+pub mod rmi;
+pub mod s2;
+pub mod stree;
+
+pub use fiting::FitingTree;
+pub use hist::EquiDepthHistogram;
+pub use hist2d::GridHistogram2d;
+pub use mlp::Mlp;
+pub use rmi::Rmi;
+pub use s2::{S2Sampler, S2Sampler2d};
+pub use stree::STree;

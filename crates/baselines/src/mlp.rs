@@ -1,0 +1,274 @@
+//! A small fully-connected neural network (Appendix B-1 of the paper).
+//!
+//! The paper's Table VI compares linear regression against MLPs with one or
+//! two hidden layers (architectures `1:X:1` and `1:X:Y:1`) as the RMI model
+//! family, concluding that NN prediction cost (hundreds of ns) disqualifies
+//! them despite better fit quality. This module reproduces that study:
+//! a from-scratch ReLU MLP trained with mini-batch SGD on the normalized
+//! `key → CF(key)` mapping, with a prediction path deliberately kept
+//! allocation-free so the measured latency reflects arithmetic cost only.
+
+// Index-based loops below walk several arrays in lockstep (tableau rows,
+// activation/delta buffers); iterator zips would obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One dense layer: `out = W·in + b` (row-major weights).
+#[derive(Clone, Debug)]
+struct Layer {
+    w: Vec<f64>,
+    b: Vec<f64>,
+    inputs: usize,
+    outputs: usize,
+}
+
+impl Layer {
+    fn new(inputs: usize, outputs: usize, rng: &mut StdRng) -> Self {
+        // He initialisation for ReLU nets.
+        let scale = (2.0 / inputs as f64).sqrt();
+        let w = (0..inputs * outputs)
+            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
+            .collect();
+        Layer { w, b: vec![0.0; outputs], inputs, outputs }
+    }
+}
+
+/// Training hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MlpConfig {
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// RNG seed (initialisation + shuffling).
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig { learning_rate: 0.05, epochs: 60, batch_size: 64, seed: 42 }
+    }
+}
+
+/// A ReLU MLP mapping a scalar key to a scalar prediction, with input and
+/// output normalisation folded in.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+    /// Input normalisation `t = (k − k_mid) / k_half`.
+    k_mid: f64,
+    k_half: f64,
+    /// Output denormalisation `y = ŷ·y_half + y_mid`.
+    y_mid: f64,
+    y_half: f64,
+    /// Scratch buffers so prediction never allocates.
+    scratch_a: Vec<f64>,
+    scratch_b: Vec<f64>,
+}
+
+impl Mlp {
+    /// Train an MLP with the given hidden-layer widths (e.g. `&[8]` for
+    /// `1:8:1`, `&[16, 16]` for `1:16:16:1`; empty = plain linear model)
+    /// on `(keys[i], targets[i])`.
+    ///
+    /// # Panics
+    /// Panics on empty or mismatched input.
+    pub fn train(keys: &[f64], targets: &[f64], hidden: &[usize], cfg: MlpConfig) -> Self {
+        assert_eq!(keys.len(), targets.len(), "keys/targets length mismatch");
+        assert!(!keys.is_empty(), "empty training set");
+        let n = keys.len();
+        let (kmin, kmax) = keys
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &k| (a.min(k), b.max(k)));
+        let (ymin, ymax) = targets
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &y| (a.min(y), b.max(y)));
+        let k_mid = 0.5 * (kmin + kmax);
+        let k_half = (0.5 * (kmax - kmin)).max(f64::MIN_POSITIVE);
+        let y_mid = 0.5 * (ymin + ymax);
+        let y_half = (0.5 * (ymax - ymin)).max(f64::MIN_POSITIVE);
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut dims = Vec::with_capacity(hidden.len() + 2);
+        dims.push(1);
+        dims.extend_from_slice(hidden);
+        dims.push(1);
+        let mut layers: Vec<Layer> = dims
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng))
+            .collect();
+
+        let width = dims.iter().copied().max().unwrap_or(1);
+        // Pre-normalised training data.
+        let xs: Vec<f64> = keys.iter().map(|&k| (k - k_mid) / k_half).collect();
+        let ys: Vec<f64> = targets.iter().map(|&y| (y - y_mid) / y_half).collect();
+        let mut order: Vec<usize> = (0..n).collect();
+
+        // Per-sample activations for backprop.
+        let nlayers = layers.len();
+        let mut acts: Vec<Vec<f64>> = dims.iter().map(|&d| vec![0.0; d]).collect();
+        let mut deltas: Vec<Vec<f64>> = dims.iter().map(|&d| vec![0.0; d]).collect();
+
+        for _epoch in 0..cfg.epochs {
+            // Shuffle.
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for batch in order.chunks(cfg.batch_size) {
+                let lr = cfg.learning_rate / batch.len() as f64;
+                for &idx in batch {
+                    // Forward.
+                    acts[0][0] = xs[idx];
+                    for (l, layer) in layers.iter().enumerate() {
+                        let is_last = l == nlayers - 1;
+                        for o in 0..layer.outputs {
+                            let mut z = layer.b[o];
+                            for i in 0..layer.inputs {
+                                z += layer.w[o * layer.inputs + i] * acts[l][i];
+                            }
+                            acts[l + 1][o] = if is_last { z } else { z.max(0.0) };
+                        }
+                    }
+                    // Backward (squared loss).
+                    let err = acts[nlayers][0] - ys[idx];
+                    deltas[nlayers][0] = err;
+                    for l in (0..nlayers).rev() {
+                        let is_last = l == nlayers - 1;
+                        // δ for this layer's outputs (apply ReLU mask).
+                        for o in 0..layers[l].outputs {
+                            if !is_last && acts[l + 1][o] <= 0.0 {
+                                deltas[l + 1][o] = 0.0;
+                            }
+                        }
+                        // Propagate to inputs before touching weights.
+                        if l > 0 {
+                            for i in 0..layers[l].inputs {
+                                let mut d = 0.0;
+                                for o in 0..layers[l].outputs {
+                                    d += layers[l].w[o * layers[l].inputs + i] * deltas[l + 1][o];
+                                }
+                                deltas[l][i] = d;
+                            }
+                        }
+                        // SGD step.
+                        let layer = &mut layers[l];
+                        for o in 0..layer.outputs {
+                            let d = deltas[l + 1][o];
+                            if d == 0.0 {
+                                continue;
+                            }
+                            layer.b[o] -= lr * d;
+                            for i in 0..layer.inputs {
+                                layer.w[o * layer.inputs + i] -= lr * d * acts[l][i];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Mlp {
+            layers,
+            k_mid,
+            k_half,
+            y_mid,
+            y_half,
+            scratch_a: vec![0.0; width],
+            scratch_b: vec![0.0; width],
+        }
+    }
+
+    /// Predict the target for `key` (immutable, allocation-free via
+    /// interior scratch copies — callers needing concurrency should clone).
+    pub fn predict(&mut self, key: f64) -> f64 {
+        let nlayers = self.layers.len();
+        self.scratch_a[0] = (key - self.k_mid) / self.k_half;
+        for (l, layer) in self.layers.iter().enumerate() {
+            let is_last = l == nlayers - 1;
+            for o in 0..layer.outputs {
+                let mut z = layer.b[o];
+                for i in 0..layer.inputs {
+                    z += layer.w[o * layer.inputs + i] * self.scratch_a[i];
+                }
+                self.scratch_b[o] = if is_last { z } else { z.max(0.0) };
+            }
+            std::mem::swap(&mut self.scratch_a, &mut self.scratch_b);
+        }
+        self.scratch_a[0] * self.y_half + self.y_mid
+    }
+
+    /// Number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let keys: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let targets: Vec<f64> = keys.iter().map(|&k| 3.0 * k + 100.0).collect();
+        (keys, targets)
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        let (keys, targets) = linear_data(500);
+        let mut mlp = Mlp::train(&keys, &targets, &[], MlpConfig::default());
+        for &k in &[0.0, 100.0, 250.0, 499.0] {
+            let pred = mlp.predict(k);
+            let truth = 3.0 * k + 100.0;
+            assert!(
+                (pred - truth).abs() < 0.05 * (truth.abs() + 1.0),
+                "k={k}: pred {pred} truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn hidden_layer_learns_nonlinearity() {
+        let keys: Vec<f64> = (0..800).map(|i| i as f64 / 100.0).collect();
+        let targets: Vec<f64> = keys.iter().map(|&k| (k - 4.0).abs() * 50.0).collect();
+        let cfg = MlpConfig { epochs: 200, learning_rate: 0.02, ..Default::default() };
+        let mut mlp = Mlp::train(&keys, &targets, &[8], cfg);
+        // |k−4| is non-linear: a ReLU net should fit it far better than the
+        // best line (whose max error is ≥ 100 on this range).
+        let max_err = keys
+            .iter()
+            .zip(&targets)
+            .map(|(&k, &t)| (mlp.predict(k) - t).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err < 60.0, "max_err {max_err}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (keys, targets) = linear_data(200);
+        let mut a = Mlp::train(&keys, &targets, &[4], MlpConfig::default());
+        let mut b = Mlp::train(&keys, &targets, &[4], MlpConfig::default());
+        assert_eq!(a.predict(50.0), b.predict(50.0));
+    }
+
+    #[test]
+    fn param_counts() {
+        let (keys, targets) = linear_data(50);
+        let lin = Mlp::train(&keys, &targets, &[], MlpConfig { epochs: 1, ..Default::default() });
+        assert_eq!(lin.num_params(), 2); // w + b
+        let nn = Mlp::train(&keys, &targets, &[8], MlpConfig { epochs: 1, ..Default::default() });
+        assert_eq!(nn.num_params(), (8 + 8) + (8 + 1)); // 1→8 + 8→1
+        let deep = Mlp::train(&keys, &targets, &[4, 4], MlpConfig { epochs: 1, ..Default::default() });
+        assert_eq!(deep.num_params(), (4 + 4) + (16 + 4) + (4 + 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_input_panics() {
+        Mlp::train(&[], &[], &[4], MlpConfig::default());
+    }
+}

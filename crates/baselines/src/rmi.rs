@@ -1,0 +1,348 @@
+//! Recursive Model Index (RMI) \[33\], extended to range aggregates.
+//!
+//! A multi-stage hierarchy of linear models: stage `s` models route a key
+//! to one of the `n_{s+1}` models of the next stage, and the final stage
+//! predicts the cumulative function value. Following the paper's tuning
+//! (Appendix B), all models are linear regressions and the structure
+//! defaults to `1 → 10 → 100 → 1000`.
+//!
+//! ## Error guarantee (Appendix A)
+//!
+//! RMI alone offers no bound, so each leaf records its maximum training
+//! error and the index range of keys it served. At query time a leaf whose
+//! recorded error exceeds the target δ answers by *last-mile* binary
+//! search over the retained key/cumulative arrays — exact, at `O(log ℓ)`
+//! cost — so `|CF̃(k) − CF(k)| ≤ δ` holds at every dataset key and the
+//! Lemma 2/3 machinery applies unchanged. Index size counts models only
+//! (the data arrays are the dataset itself, which every method retains).
+
+/// A linear model `y = a + b·k`.
+#[derive(Clone, Copy, Debug, Default)]
+struct Linear {
+    a: f64,
+    b: f64,
+}
+
+impl Linear {
+    #[inline]
+    fn predict(&self, k: f64) -> f64 {
+        self.a + self.b * k
+    }
+
+    /// Ordinary least squares over `(keys[i], ys[i])`.
+    fn fit(keys: &[f64], ys: &[f64]) -> Linear {
+        let n = keys.len() as f64;
+        if keys.is_empty() {
+            return Linear::default();
+        }
+        if keys.len() == 1 {
+            return Linear { a: ys[0], b: 0.0 };
+        }
+        let mean_k = keys.iter().sum::<f64>() / n;
+        let mean_y = ys.iter().sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut var = 0.0;
+        for (&k, &y) in keys.iter().zip(ys) {
+            cov += (k - mean_k) * (y - mean_y);
+            var += (k - mean_k) * (k - mean_k);
+        }
+        let b = if var > 0.0 { cov / var } else { 0.0 };
+        Linear { a: mean_y - b * mean_k, b }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct LeafMeta {
+    model: Linear,
+    /// Max |CF − prediction| over keys routed to this leaf at build time.
+    max_err: f64,
+    /// Key index range `[lo, hi)` routed here (for last-mile search).
+    lo: u32,
+    hi: u32,
+}
+
+/// A multi-stage RMI over the cumulative function.
+#[derive(Clone, Debug)]
+pub struct Rmi {
+    /// Router stages (all but the last stage). `stages[s][m]` predicts a
+    /// fractional position scaled to the next stage's model count.
+    routers: Vec<Vec<Linear>>,
+    leaves: Vec<LeafMeta>,
+    /// Retained data for last-mile correction.
+    keys: Vec<f64>,
+    cum: Vec<f64>,
+    /// δ used to decide between model answer and last-mile search.
+    delta: f64,
+    total: f64,
+    domain: (f64, f64),
+}
+
+impl Rmi {
+    /// Build from the materialised cumulative function with the given stage
+    /// widths (e.g. `&[1, 10, 100, 1000]`; the first entry must be 1) and
+    /// the per-endpoint error budget δ.
+    ///
+    /// # Panics
+    /// Panics on empty input, non-increasing keys, or an invalid `stages`
+    /// shape.
+    pub fn new(keys: Vec<f64>, values: Vec<f64>, stages: &[usize], delta: f64) -> Self {
+        assert_eq!(keys.len(), values.len(), "keys/values length mismatch");
+        assert!(!keys.is_empty(), "empty input");
+        assert!(stages.len() >= 2 && stages[0] == 1, "stages must start with 1 root model");
+        assert!(stages.iter().all(|&s| s >= 1), "stage widths must be ≥ 1");
+        assert!(delta > 0.0, "delta must be positive");
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must increase");
+        let n = keys.len();
+        // Assignment of points to models, stage by stage.
+        let mut assignment: Vec<usize> = vec![0; n];
+        let mut routers: Vec<Vec<Linear>> = Vec::with_capacity(stages.len() - 1);
+        for s in 0..stages.len() - 1 {
+            let width = stages[s];
+            let next_width = stages[s + 1];
+            // Train each model of this stage to map key → target index in
+            // the next stage (proportional position within the dataset).
+            let mut models = vec![Linear::default(); width];
+            let mut bucket_keys: Vec<Vec<f64>> = vec![Vec::new(); width];
+            let mut bucket_targets: Vec<Vec<f64>> = vec![Vec::new(); width];
+            for i in 0..n {
+                let target = (i as f64 / n as f64) * next_width as f64;
+                bucket_keys[assignment[i]].push(keys[i]);
+                bucket_targets[assignment[i]].push(target);
+            }
+            for m in 0..width {
+                models[m] = Linear::fit(&bucket_keys[m], &bucket_targets[m]);
+            }
+            // Route points to the next stage.
+            for i in 0..n {
+                let pred = models[assignment[i]].predict(keys[i]);
+                assignment[i] = (pred.max(0.0) as usize).min(next_width - 1);
+            }
+            routers.push(models);
+        }
+        // Leaf stage: predict CF values.
+        let leaf_count = *stages.last().expect("non-empty stages");
+        let mut leaf_keys: Vec<Vec<f64>> = vec![Vec::new(); leaf_count];
+        let mut leaf_vals: Vec<Vec<f64>> = vec![Vec::new(); leaf_count];
+        let mut leaf_lo = vec![u32::MAX; leaf_count];
+        let mut leaf_hi = vec![0u32; leaf_count];
+        for i in 0..n {
+            let m = assignment[i];
+            leaf_keys[m].push(keys[i]);
+            leaf_vals[m].push(values[i]);
+            leaf_lo[m] = leaf_lo[m].min(i as u32);
+            leaf_hi[m] = leaf_hi[m].max(i as u32 + 1);
+        }
+        let leaves: Vec<LeafMeta> = (0..leaf_count)
+            .map(|m| {
+                let model = Linear::fit(&leaf_keys[m], &leaf_vals[m]);
+                let max_err = leaf_keys[m]
+                    .iter()
+                    .zip(&leaf_vals[m])
+                    .map(|(&k, &v)| (v - model.predict(k)).abs())
+                    .fold(0.0f64, f64::max);
+                let (lo, hi) = if leaf_lo[m] == u32::MAX {
+                    (0, 0)
+                } else {
+                    (leaf_lo[m], leaf_hi[m])
+                };
+                LeafMeta { model, max_err, lo, hi }
+            })
+            .collect();
+        let total = values[n - 1];
+        let domain = (keys[0], keys[n - 1]);
+        Rmi { routers, leaves, keys, cum: values, delta, total, domain }
+    }
+
+    /// Build a COUNT-flavoured RMI over sorted keys with the paper's
+    /// default `1 → 10 → 100 → 1000` structure.
+    pub fn counting_default(keys_sorted: Vec<f64>, delta: f64) -> Self {
+        let values: Vec<f64> = (1..=keys_sorted.len()).map(|i| i as f64).collect();
+        Rmi::new(keys_sorted, values, &[1, 10, 100, 1000], delta)
+    }
+
+    #[inline]
+    fn route(&self, k: f64) -> usize {
+        let mut m = 0usize;
+        for (s, stage) in self.routers.iter().enumerate() {
+            let next_width = if s + 1 < self.routers.len() {
+                self.routers[s + 1].len()
+            } else {
+                self.leaves.len()
+            };
+            let pred = stage[m].predict(k);
+            m = (pred.max(0.0) as usize).min(next_width - 1);
+        }
+        m
+    }
+
+    /// Approximate `CF(k)`, within δ at dataset keys (model answer when the
+    /// leaf is certified, exact last-mile search otherwise).
+    pub fn cf(&self, k: f64) -> f64 {
+        if k < self.domain.0 {
+            return 0.0;
+        }
+        if k >= self.domain.1 {
+            return self.total;
+        }
+        let leaf = &self.leaves[self.route(k)];
+        if leaf.max_err <= self.delta && leaf.hi > leaf.lo {
+            let lo_key = self.keys[leaf.lo as usize];
+            let hi_key = self.keys[(leaf.hi as usize - 1).max(leaf.lo as usize)];
+            return leaf.model.predict(k.clamp(lo_key, hi_key)).clamp(0.0, self.total);
+        }
+        // Last-mile: exact rank within the leaf range (expand to the whole
+        // array when routing sent us to an empty/uncertain leaf).
+        let (lo, hi) = if leaf.hi > leaf.lo {
+            (leaf.lo as usize, leaf.hi as usize)
+        } else {
+            (0, self.keys.len())
+        };
+        // Routing mispredictions can land keys just outside the leaf range;
+        // widen until the range brackets k.
+        let mut lo = lo;
+        let mut hi = hi;
+        while lo > 0 && self.keys[lo] > k {
+            lo = lo.saturating_sub(64);
+        }
+        while hi < self.keys.len() && self.keys[hi - 1] <= k {
+            hi = (hi + 64).min(self.keys.len());
+        }
+        let idx = lo + self.keys[lo..hi].partition_point(|&key| key <= k);
+        if idx == 0 {
+            0.0
+        } else {
+            self.cum[idx - 1]
+        }
+    }
+
+    /// Approximate range SUM over `(lq, uq]` — within `2δ` at key
+    /// endpoints.
+    #[inline]
+    pub fn query(&self, lq: f64, uq: f64) -> f64 {
+        if lq >= uq {
+            return 0.0;
+        }
+        self.cf(uq) - self.cf(lq)
+    }
+
+    /// Relative-guarantee certificate (Lemma 3 analogue).
+    pub fn rel_certified(&self, answer: f64, eps_rel: f64) -> bool {
+        answer >= 2.0 * self.delta * (1.0 + 1.0 / eps_rel)
+    }
+
+    /// The per-endpoint error budget δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Fraction of leaves that satisfy the δ budget with their model alone.
+    pub fn certified_leaf_fraction(&self) -> f64 {
+        let certified = self.leaves.iter().filter(|l| l.max_err <= self.delta).count();
+        certified as f64 / self.leaves.len() as f64
+    }
+
+    /// Logical model size in bytes: 2 floats per model + leaf metadata.
+    pub fn size_bytes(&self) -> usize {
+        let router_models: usize = self.routers.iter().map(Vec::len).sum();
+        router_models * 16 + self.leaves.len() * (16 + 8 + 8)
+    }
+
+    /// Total number of models across all stages.
+    pub fn num_models(&self) -> usize {
+        self.routers.iter().map(Vec::len).sum::<usize>() + self.leaves.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cumulative(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let keys: Vec<f64> = (0..n).map(|i| (i as f64).powf(1.1)).collect();
+        let mut values = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 + ((i * 17) % 5) as f64;
+            values.push(acc);
+        }
+        (keys, values)
+    }
+
+    #[test]
+    fn cf_within_delta_at_every_key() {
+        let (keys, values) = cumulative(20_000);
+        let rmi = Rmi::new(keys.clone(), values.clone(), &[1, 10, 100], 50.0);
+        for (i, (&k, &v)) in keys.iter().zip(&values).enumerate() {
+            let err = (rmi.cf(k) - v).abs();
+            assert!(err <= 50.0 + 1e-9, "key[{i}]={k}: err {err}");
+        }
+    }
+
+    #[test]
+    fn query_within_two_delta() {
+        let (keys, values) = cumulative(10_000);
+        let rmi = Rmi::new(keys.clone(), values.clone(), &[1, 10, 100, 1000], 25.0);
+        for (a, b) in [(0usize, 9999usize), (100, 5000), (7000, 7001)] {
+            let exact = values[b] - values[a];
+            let err = (rmi.query(keys[a], keys[b]) - exact).abs();
+            assert!(err <= 50.0 + 1e-9, "err {err}");
+        }
+    }
+
+    #[test]
+    fn tiny_delta_forces_last_mile_but_stays_exact() {
+        let (keys, values) = cumulative(5000);
+        let rmi = Rmi::new(keys.clone(), values.clone(), &[1, 10], 1e-9);
+        // δ≈0: every leaf falls back to exact search.
+        for i in (0..5000).step_by(97) {
+            assert_eq!(rmi.cf(keys[i]), values[i], "i={i}");
+        }
+    }
+
+    #[test]
+    fn domain_edges() {
+        let (keys, values) = cumulative(100);
+        let rmi = Rmi::new(keys.clone(), values.clone(), &[1, 4], 10.0);
+        assert_eq!(rmi.cf(keys[0] - 1.0), 0.0);
+        assert_eq!(rmi.cf(keys[99] + 5.0), values[99]);
+    }
+
+    #[test]
+    fn counting_default_structure() {
+        let keys: Vec<f64> = (0..5000).map(|i| i as f64 * 0.3).collect();
+        let rmi = Rmi::counting_default(keys, 20.0);
+        assert_eq!(rmi.num_models(), 1 + 10 + 100 + 1000);
+        let approx = rmi.query(30.0, 1200.0);
+        assert!((approx - (1200.0 - 30.0) / 0.3).abs() <= 40.0 + 1.0);
+    }
+
+    #[test]
+    fn certified_fraction_increases_with_delta() {
+        let (keys, values) = cumulative(10_000);
+        let strict = Rmi::new(keys.clone(), values.clone(), &[1, 10, 100], 1.0);
+        let loose = Rmi::new(keys, values, &[1, 10, 100], 500.0);
+        assert!(loose.certified_leaf_fraction() >= strict.certified_leaf_fraction());
+    }
+
+    #[test]
+    fn rel_certificate() {
+        let (keys, values) = cumulative(1000);
+        let rmi = Rmi::new(keys, values, &[1, 10], 10.0);
+        assert!(rmi.rel_certified(5000.0, 0.01));
+        assert!(!rmi.rel_certified(100.0, 0.01));
+    }
+
+    #[test]
+    #[should_panic(expected = "stages must start with 1")]
+    fn invalid_stages_panics() {
+        Rmi::new(vec![1.0, 2.0], vec![1.0, 2.0], &[2, 10], 1.0);
+    }
+
+    #[test]
+    fn single_point() {
+        let rmi = Rmi::new(vec![5.0], vec![3.0], &[1, 2], 1.0);
+        assert_eq!(rmi.cf(5.0), 3.0);
+        assert_eq!(rmi.cf(4.0), 0.0);
+        assert_eq!(rmi.cf(6.0), 3.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! S2 sequential sampling (Haas & Swami \[26\]).
+//!
+//! The probabilistic-guarantee comparator of Table V: at query time, sample
+//! records uniformly with replacement, maintain the hit fraction `p̂` of
+//! the query range, and stop as soon as the CLT confidence interval is
+//! tight enough for the requested guarantee at the requested confidence
+//! (default 0.9, as in the paper). The answer `p̂·n` then satisfies the
+//! absolute or relative bound *with probability ≈ confidence* — unlike
+//! PolyFit's deterministic bounds. Response time is orders of magnitude
+//! above the index methods (the paper measures 10⁷–10⁹ ns), because every
+//! query runs thousands to millions of random probes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a sequential-sampling estimate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct S2Estimate {
+    /// Estimated aggregate (count) over the range.
+    pub value: f64,
+    /// Number of samples drawn before the stopping rule fired.
+    pub samples: usize,
+}
+
+/// Sequential sampler over an (unsorted) key array.
+#[derive(Clone, Debug)]
+pub struct S2Sampler {
+    keys: Vec<f64>,
+    /// Normal quantile for the configured confidence (1.645 at 0.9).
+    z: f64,
+    /// Minimum samples before the CLT stopping rule may fire.
+    min_samples: usize,
+    /// Hard cap on samples per query (a full pass is never exceeded
+    /// by more than this factor).
+    max_samples: usize,
+}
+
+impl S2Sampler {
+    /// Build over raw keys with the paper's default confidence 0.9.
+    pub fn new(keys: Vec<f64>) -> Self {
+        Self::with_confidence(keys, 0.9)
+    }
+
+    /// Build with an explicit confidence ∈ {0.8, 0.9, 0.95, 0.99}.
+    pub fn with_confidence(keys: Vec<f64>, confidence: f64) -> Self {
+        assert!(!keys.is_empty(), "empty input");
+        let z = match confidence {
+            c if (c - 0.8).abs() < 1e-9 => 1.282,
+            c if (c - 0.9).abs() < 1e-9 => 1.645,
+            c if (c - 0.95).abs() < 1e-9 => 1.960,
+            c if (c - 0.99).abs() < 1e-9 => 2.576,
+            other => panic!("unsupported confidence {other}; use 0.8/0.9/0.95/0.99"),
+        };
+        let n = keys.len();
+        S2Sampler {
+            keys,
+            z,
+            min_samples: 100,
+            max_samples: (4 * n).max(10_000),
+        }
+    }
+
+    /// Estimate the COUNT over `(lq, uq]` with an absolute-error target:
+    /// stop when `z·n·σ̂_p ≤ ε_abs`.
+    pub fn query_abs(&self, lq: f64, uq: f64, eps_abs: f64, seed: u64) -> S2Estimate {
+        assert!(eps_abs > 0.0, "eps_abs must be positive");
+        let n = self.keys.len() as f64;
+        self.run(lq, uq, seed, |p_hat, k, z| {
+            let half = z * (p_hat * (1.0 - p_hat) / k).sqrt() * n;
+            half <= eps_abs
+        })
+    }
+
+    /// Estimate the COUNT over `(lq, uq]` with a relative-error target:
+    /// stop when `z·σ̂_p ≤ ε_rel·p̂` (requires some hits first).
+    pub fn query_rel(&self, lq: f64, uq: f64, eps_rel: f64, seed: u64) -> S2Estimate {
+        assert!(eps_rel > 0.0, "eps_rel must be positive");
+        self.run(lq, uq, seed, |p_hat, k, z| {
+            if p_hat <= 0.0 {
+                return false;
+            }
+            let half = z * (p_hat * (1.0 - p_hat) / k).sqrt();
+            half <= eps_rel * p_hat
+        })
+    }
+
+    fn run(
+        &self,
+        lq: f64,
+        uq: f64,
+        seed: u64,
+        stop: impl Fn(f64, f64, f64) -> bool,
+    ) -> S2Estimate {
+        let n = self.keys.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut hits = 0usize;
+        let mut k = 0usize;
+        loop {
+            let key = self.keys[rng.gen_range(0..n)];
+            k += 1;
+            if key > lq && key <= uq {
+                hits += 1;
+            }
+            if k >= self.min_samples {
+                let p_hat = hits as f64 / k as f64;
+                if stop(p_hat, k as f64, self.z) || k >= self.max_samples {
+                    return S2Estimate {
+                        value: p_hat * n as f64,
+                        samples: k,
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Two-key sequential sampler (paper Table V, COUNT with two keys).
+#[derive(Clone, Debug)]
+pub struct S2Sampler2d {
+    points: Vec<(f64, f64)>,
+    z: f64,
+    min_samples: usize,
+    max_samples: usize,
+}
+
+impl S2Sampler2d {
+    /// Build over raw `(u, v)` points with confidence 0.9.
+    pub fn new(points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "empty input");
+        let n = points.len();
+        S2Sampler2d { points, z: 1.645, min_samples: 100, max_samples: (4 * n).max(10_000) }
+    }
+
+    /// Rectangle COUNT with an absolute-error stopping rule.
+    pub fn query_abs(&self, rect: (f64, f64, f64, f64), eps_abs: f64, seed: u64) -> S2Estimate {
+        assert!(eps_abs > 0.0, "eps_abs must be positive");
+        let n = self.points.len() as f64;
+        self.run(rect, seed, |p_hat, k, z| {
+            z * (p_hat * (1.0 - p_hat) / k).sqrt() * n <= eps_abs
+        })
+    }
+
+    /// Rectangle COUNT with a relative-error stopping rule.
+    pub fn query_rel(&self, rect: (f64, f64, f64, f64), eps_rel: f64, seed: u64) -> S2Estimate {
+        assert!(eps_rel > 0.0, "eps_rel must be positive");
+        self.run(rect, seed, |p_hat, k, z| {
+            p_hat > 0.0 && z * (p_hat * (1.0 - p_hat) / k).sqrt() <= eps_rel * p_hat
+        })
+    }
+
+    fn run(
+        &self,
+        rect: (f64, f64, f64, f64),
+        seed: u64,
+        stop: impl Fn(f64, f64, f64) -> bool,
+    ) -> S2Estimate {
+        let n = self.points.len();
+        let (ul, uh, vl, vh) = rect;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut hits = 0usize;
+        let mut k = 0usize;
+        loop {
+            let (u, v) = self.points[rng.gen_range(0..n)];
+            k += 1;
+            if u > ul && u <= uh && v > vl && v <= vh {
+                hits += 1;
+            }
+            if k >= self.min_samples {
+                let p_hat = hits as f64 / k as f64;
+                if stop(p_hat, k as f64, self.z) || k >= self.max_samples {
+                    return S2Estimate { value: p_hat * n as f64, samples: k };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn abs_estimate_close() {
+        let s = S2Sampler::new(keys(100_000));
+        let est = s.query_abs(10_000.0, 60_000.0, 1000.0, 7);
+        // Probabilistic: allow 3× the target.
+        assert!((est.value - 50_000.0).abs() < 3000.0, "est {}", est.value);
+        assert!(est.samples >= 100);
+    }
+
+    #[test]
+    fn rel_estimate_close() {
+        let s = S2Sampler::new(keys(100_000));
+        let est = s.query_rel(20_000.0, 80_000.0, 0.05, 3);
+        let exact = 60_000.0;
+        assert!((est.value - exact).abs() / exact < 0.15, "est {}", est.value);
+    }
+
+    #[test]
+    fn tighter_eps_more_samples() {
+        let s = S2Sampler::new(keys(100_000));
+        let loose = s.query_rel(10_000.0, 90_000.0, 0.2, 5);
+        let tight = s.query_rel(10_000.0, 90_000.0, 0.01, 5);
+        assert!(tight.samples > loose.samples);
+    }
+
+    #[test]
+    fn empty_range_hits_cap() {
+        let s = S2Sampler::new(keys(1000));
+        let est = s.query_rel(5000.0, 6000.0, 0.1, 1);
+        assert_eq!(est.value, 0.0);
+        assert!(est.samples >= 10_000, "must exhaust the cap on zero hits");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = S2Sampler::new(keys(10_000));
+        assert_eq!(
+            s.query_abs(100.0, 5000.0, 200.0, 9),
+            s.query_abs(100.0, 5000.0, 200.0, 9)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported confidence")]
+    fn bad_confidence_panics() {
+        S2Sampler::with_confidence(keys(10), 0.5);
+    }
+
+    #[test]
+    fn two_key_abs_estimate() {
+        let pts: Vec<(f64, f64)> = (0..200u32)
+            .flat_map(|i| (0..200u32).map(move |j| (i as f64, j as f64)))
+            .collect();
+        let s = S2Sampler2d::new(pts);
+        // Quarter of the domain -> 10000 points.
+        let est = s.query_abs((-1.0, 99.0, -1.0, 99.0), 500.0, 3);
+        assert!((est.value - 10_000.0).abs() < 1500.0, "est {}", est.value);
+    }
+
+    #[test]
+    fn two_key_rel_deterministic() {
+        let pts: Vec<(f64, f64)> = (0..10_000u32).map(|i| (i as f64, i as f64)).collect();
+        let s = S2Sampler2d::new(pts);
+        let a = s.query_rel((0.0, 5000.0, 0.0, 5000.0), 0.1, 4);
+        let b = s.query_rel((0.0, 5000.0, 0.0, 5000.0), 0.1, 4);
+        assert_eq!(a, b);
+    }
+}

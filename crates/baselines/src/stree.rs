@@ -1,0 +1,118 @@
+//! S-tree: a B+-tree over a uniform sample (paper Table IV).
+//!
+//! The heuristic comparator of Fig. 20: draw a uniform sample of the keys,
+//! bulk-load the STX-style B+-tree substrate over it, and answer range
+//! COUNT by scaling the sample count by the inverse sampling rate. Faster
+//! and smaller than an exact tree, but without any error guarantee.
+
+use polyfit_exact::dataset::Record;
+use polyfit_exact::BPlusTree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A sampled B+-tree COUNT estimator.
+#[derive(Clone, Debug)]
+pub struct STree {
+    tree: BPlusTree,
+    /// Inverse sampling rate (scale factor applied to sample counts).
+    scale: f64,
+    sample_size: usize,
+}
+
+impl STree {
+    /// Build over sorted keys with sampling rate `rate ∈ (0, 1]`.
+    ///
+    /// # Panics
+    /// Panics on empty keys or a rate outside `(0, 1]`.
+    pub fn new(keys_sorted: &[f64], rate: f64, seed: u64) -> Self {
+        assert!(!keys_sorted.is_empty(), "empty input");
+        assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0, 1]");
+        let n = keys_sorted.len();
+        let m = ((n as f64 * rate).round() as usize).clamp(1, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Uniform sample without replacement via partial Fisher–Yates over
+        // indices, then re-sorted (B+-tree bulk load needs sorted input).
+        let mut indices: Vec<usize> = (0..n).collect();
+        for i in 0..m {
+            let j = rng.gen_range(i..n);
+            indices.swap(i, j);
+        }
+        let mut sample: Vec<f64> = indices[..m].iter().map(|&i| keys_sorted[i]).collect();
+        sample.sort_by(|a, b| a.partial_cmp(b).expect("finite keys"));
+        let scale = n as f64 / m as f64;
+        let records: Vec<Record> = sample.into_iter().map(|k| Record::new(k, 1.0)).collect();
+        STree { tree: BPlusTree::new(&records), scale, sample_size: m }
+    }
+
+    /// Estimated COUNT over `(lq, uq]`: sample count × inverse rate.
+    #[inline]
+    pub fn query(&self, lq: f64, uq: f64) -> f64 {
+        self.tree.range_sum(lq, uq) * self.scale
+    }
+
+    /// Number of sampled keys.
+    pub fn sample_size(&self) -> usize {
+        self.sample_size
+    }
+
+    /// Size of the sampled tree in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.tree.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn full_rate_is_exact() {
+        let ks = keys(1000);
+        let t = STree::new(&ks, 1.0, 7);
+        assert_eq!(t.sample_size(), 1000);
+        assert_eq!(t.query(99.0, 499.0), 400.0);
+    }
+
+    #[test]
+    fn estimates_are_unbiasedish() {
+        let ks = keys(100_000);
+        let t = STree::new(&ks, 0.01, 3);
+        let est = t.query(10_000.0, 60_000.0);
+        let exact = 50_000.0;
+        // 1000 samples, p = 0.5 → σ ≈ 0.016·n ≈ 1600; allow 4σ.
+        assert!((est - exact).abs() < 6500.0, "est {est}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ks = keys(10_000);
+        let a = STree::new(&ks, 0.05, 11);
+        let b = STree::new(&ks, 0.05, 11);
+        assert_eq!(a.query(100.0, 5000.0), b.query(100.0, 5000.0));
+    }
+
+    #[test]
+    fn smaller_rate_smaller_tree() {
+        let ks = keys(50_000);
+        let small = STree::new(&ks, 0.001, 1);
+        let large = STree::new(&ks, 0.1, 1);
+        assert!(small.size_bytes() < large.size_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in")]
+    fn invalid_rate_panics() {
+        STree::new(&keys(10), 0.0, 0);
+    }
+
+    #[test]
+    fn tiny_dataset() {
+        let t = STree::new(&[5.0], 0.5, 0);
+        assert_eq!(t.sample_size(), 1);
+        assert_eq!(t.query(0.0, 10.0), 1.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the comparator methods: each guarantee-bearing
+//! baseline must respect its δ bound on arbitrary cumulative functions,
+//! and the heuristics must stay sane.
+
+use proptest::prelude::*;
+
+use polyfit_baselines::{EquiDepthHistogram, FitingTree, GridHistogram2d, Rmi, STree};
+
+fn cumulative(max_len: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    proptest::collection::vec((0.01f64..5.0, 0.0f64..10.0), 2..max_len).prop_map(|pairs| {
+        let mut key = 0.0;
+        let mut acc = 0.0;
+        let mut keys = Vec::with_capacity(pairs.len());
+        let mut values = Vec::with_capacity(pairs.len());
+        for (gap, m) in pairs {
+            key += gap;
+            acc += m;
+            keys.push(key);
+            values.push(acc);
+        }
+        (keys, values)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// FITing-tree: every key is approximated within δ.
+    #[test]
+    fn fiting_respects_delta((keys, values) in cumulative(120), delta in 0.5f64..30.0) {
+        let t = FitingTree::new(&keys, &values, delta);
+        for (k, v) in keys.iter().zip(&values) {
+            let err = (t.cf(*k) - v).abs();
+            prop_assert!(err <= delta + 1e-7, "key {k}: err {err} > {delta}");
+        }
+    }
+
+    /// RMI with last-mile correction: every key within δ.
+    #[test]
+    fn rmi_respects_delta((keys, values) in cumulative(120), delta in 0.5f64..30.0) {
+        let rmi = Rmi::new(keys.clone(), values.clone(), &[1, 4, 16], delta);
+        for (k, v) in keys.iter().zip(&values) {
+            let err = (rmi.cf(*k) - v).abs();
+            prop_assert!(err <= delta + 1e-7, "key {k}: err {err} > {delta}");
+        }
+    }
+
+    /// Equi-depth histogram: interpolation error is bounded by one bucket's
+    /// mass.
+    #[test]
+    fn hist_error_bounded_by_bucket_mass((keys, values) in cumulative(150), buckets in 2usize..40) {
+        let h = EquiDepthHistogram::new(&keys, &values, buckets);
+        let total = *values.last().unwrap();
+        let bucket_mass = total / buckets as f64;
+        for (k, v) in keys.iter().zip(&values) {
+            let err = (h.cf(*k) - v).abs();
+            // One bucket of slack plus the largest single measure (a bucket
+            // boundary can overshoot the equal-mass target by one record).
+            let max_measure = values.windows(2).map(|w| w[1] - w[0]).fold(values[0], f64::max);
+            prop_assert!(err <= bucket_mass + max_measure + 1e-7,
+                "key {k}: err {err} > bucket {bucket_mass} + {max_measure}");
+        }
+    }
+
+    /// S-tree at full rate is exact.
+    #[test]
+    fn stree_full_rate_exact((keys, _values) in cumulative(100), qa in 0usize..100, qb in 0usize..100) {
+        let st = STree::new(&keys, 1.0, 9);
+        let (a, b) = (qa % keys.len(), qb % keys.len());
+        let (l, u) = (keys[a.min(b)], keys[a.max(b)]);
+        let brute = keys.iter().filter(|&&k| k > l && k <= u).count() as f64;
+        prop_assert_eq!(st.query(l, u), brute);
+    }
+
+    /// 2-D grid histogram: the full-domain query equals the point count and
+    /// estimates are non-negative and monotone in the rectangle.
+    #[test]
+    fn hist2d_sanity(pts in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 2..100), bins in 1usize..20) {
+        let h = GridHistogram2d::new(&pts, bins);
+        let full = h.query(-60.0, 60.0, -60.0, 60.0);
+        prop_assert!((full - pts.len() as f64).abs() <= 1e-6);
+        let inner = h.query(-10.0, 10.0, -10.0, 10.0);
+        let outer = h.query(-20.0, 20.0, -20.0, 20.0);
+        prop_assert!(inner >= -1e-9);
+        prop_assert!(outer >= inner - 1e-6, "outer {outer} < inner {inner}");
+    }
+}

@@ -1,0 +1,62 @@
+//! Criterion benchmarks for the heuristic/sampling baselines (Fig. 20 and
+//! Table V shapes).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use polyfit_baselines::{EquiDepthHistogram, S2Sampler, STree};
+use polyfit_data::{generate_tweet, query_intervals_from_keys};
+use polyfit_exact::dataset::{dedup_sum, sort_records, Record};
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut records: Vec<Record> = generate_tweet(200_000, 4)
+        .iter()
+        .map(|r| Record::new(r.key, r.measure))
+        .collect();
+    sort_records(&mut records);
+    let records = dedup_sum(records);
+    let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+    let mut acc = 0.0;
+    let values: Vec<f64> = records.iter().map(|r| { acc += r.measure; acc }).collect();
+    let queries = query_intervals_from_keys(&keys, 256, 9);
+
+    let hist = EquiDepthHistogram::new(&keys, &values, 1024);
+    let stree = STree::new(&keys, 0.01, 5);
+    let s2 = S2Sampler::new(keys.clone());
+
+    let mut qi = 0usize;
+    let mut next = || {
+        qi = (qi + 1) % queries.len();
+        queries[qi]
+    };
+
+    let mut g = c.benchmark_group("heuristic_count");
+    g.bench_function("hist_1024", |b| {
+        b.iter(|| {
+            let q = next();
+            black_box(hist.query(q.lo, q.hi))
+        })
+    });
+    g.bench_function("stree_1pct", |b| {
+        b.iter(|| {
+            let q = next();
+            black_box(stree.query(q.lo, q.hi))
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("s2_sampling");
+    g.sample_size(10);
+    g.bench_function("s2_rel_5pct", |b| {
+        b.iter(|| {
+            let q = next();
+            black_box(s2.query_rel(q.lo, q.hi, 0.05, 1))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_heuristics
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks for index construction (Fig. 14c shape).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polyfit::prelude::*;
+use polyfit::{PolyFitMax, PolyFitSum};
+use polyfit_baselines::FitingTree;
+use polyfit_data::{generate_hki, generate_tweet};
+use polyfit_exact::dataset::{dedup_max, dedup_sum, sort_records, Record};
+
+fn tweet_records(n: usize) -> Vec<Record> {
+    let mut records: Vec<Record> = generate_tweet(n, 1)
+        .iter()
+        .map(|r| Record::new(r.key, r.measure))
+        .collect();
+    sort_records(&mut records);
+    dedup_sum(records)
+}
+
+fn bench_sum_construction(c: &mut Criterion) {
+    let records = tweet_records(100_000);
+    let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+    let mut acc = 0.0;
+    let values: Vec<f64> = records.iter().map(|r| { acc += r.measure; acc }).collect();
+
+    let mut g = c.benchmark_group("construction_count_100k");
+    for deg in [1usize, 2, 3] {
+        g.bench_with_input(BenchmarkId::new("PolyFit", deg), &deg, |b, &deg| {
+            b.iter(|| {
+                PolyFitSum::build(records.clone(), 50.0, PolyFitConfig::with_degree(deg)).unwrap()
+            })
+        });
+    }
+    g.bench_function("FITing-tree", |b| {
+        b.iter(|| FitingTree::new(&keys, &values, 50.0))
+    });
+    g.finish();
+}
+
+fn bench_max_construction(c: &mut Criterion) {
+    let mut records: Vec<Record> = generate_hki(50_000, 2)
+        .iter()
+        .map(|r| Record::new(r.key, r.measure))
+        .collect();
+    sort_records(&mut records);
+    let records = dedup_max(records);
+
+    let mut g = c.benchmark_group("construction_max_50k");
+    g.sample_size(10);
+    for deg in [1usize, 2] {
+        g.bench_with_input(BenchmarkId::new("PolyFitMax", deg), &deg, |b, &deg| {
+            b.iter(|| {
+                PolyFitMax::build(records.clone(), 100.0, PolyFitConfig::with_degree(deg)).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_sum_construction, bench_max_construction
+}
+criterion_main!(benches);

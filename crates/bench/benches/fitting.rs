@@ -1,0 +1,42 @@
+//! Criterion benchmarks for the minimax fitting backends (ablation A1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polyfit_data::generate_tweet;
+use polyfit_lp::{fit_minimax, FitBackend};
+
+fn bench_backends(c: &mut Criterion) {
+    // A monotone cumulative curve slice, the realistic fitting target.
+    let raw = generate_tweet(20_000, 3);
+    let mut keys: Vec<f64> = raw.iter().map(|r| r.key).collect();
+    keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    keys.dedup();
+    let values: Vec<f64> = (1..=keys.len()).map(|i| i as f64).collect();
+
+    let mut g = c.benchmark_group("minimax_fit_deg2");
+    for &len in &[64usize, 256, 1024] {
+        g.bench_with_input(BenchmarkId::new("exchange", len), &len, |b, &len| {
+            b.iter(|| fit_minimax(&keys[..len], &values[..len], 2, FitBackend::Exchange))
+        });
+        if len <= 256 {
+            g.bench_with_input(BenchmarkId::new("simplex", len), &len, |b, &len| {
+                b.iter(|| fit_minimax(&keys[..len], &values[..len], 2, FitBackend::Simplex))
+            });
+        }
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("minimax_fit_exchange_by_degree");
+    for deg in [1usize, 2, 4, 6] {
+        g.bench_with_input(BenchmarkId::new("deg", deg), &deg, |b, &deg| {
+            b.iter(|| fit_minimax(&keys[..512], &values[..512], deg, FitBackend::Exchange))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_backends
+}
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Criterion microbenchmarks for query latency (Table V / Fig. 15–17
+//! shapes at reduced scale, statistically rigorous timing).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use polyfit::prelude::*;
+use polyfit::{PolyFitMax, PolyFitSum};
+use polyfit_baselines::{FitingTree, Rmi};
+use polyfit_data::{generate_hki, generate_tweet, query_intervals_from_keys};
+use polyfit_exact::dataset::{dedup_max, dedup_sum, sort_records, Record};
+use polyfit_exact::{AggTree, KeyCumulativeArray};
+
+const N: usize = 200_000;
+
+fn prep_count() -> (Vec<Record>, Vec<f64>, Vec<f64>) {
+    let mut records: Vec<Record> = generate_tweet(N, 1)
+        .iter()
+        .map(|r| Record::new(r.key, r.measure))
+        .collect();
+    sort_records(&mut records);
+    let records = dedup_sum(records);
+    let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+    let mut acc = 0.0;
+    let values: Vec<f64> = records.iter().map(|r| { acc += r.measure; acc }).collect();
+    (records, keys, values)
+}
+
+fn bench_count_query(c: &mut Criterion) {
+    let (records, keys, values) = prep_count();
+    let queries = query_intervals_from_keys(&keys, 256, 5);
+    let delta = 50.0;
+    let pf = PolyFitSum::build(records.clone(), delta, PolyFitConfig::default()).unwrap();
+    let fit = FitingTree::new(&keys, &values, delta);
+    let rmi = Rmi::new(keys.clone(), values.clone(), &[1, 10, 100, 1000], delta);
+    let kca = KeyCumulativeArray::new(&records);
+
+    let mut g = c.benchmark_group("count_query");
+    let mut qi = 0usize;
+    let mut next = |qs: &[polyfit_data::QueryInterval]| {
+        qi = (qi + 1) % qs.len();
+        qs[qi]
+    };
+    g.bench_function(BenchmarkId::new("PolyFit-2", N), |b| {
+        b.iter(|| {
+            let q = next(&queries);
+            black_box(pf.query(q.lo, q.hi))
+        })
+    });
+    g.bench_function(BenchmarkId::new("FITing-tree", N), |b| {
+        b.iter(|| {
+            let q = next(&queries);
+            black_box(fit.query(q.lo, q.hi))
+        })
+    });
+    g.bench_function(BenchmarkId::new("RMI", N), |b| {
+        b.iter(|| {
+            let q = next(&queries);
+            black_box(rmi.query(q.lo, q.hi))
+        })
+    });
+    g.bench_function(BenchmarkId::new("exact-KCA", N), |b| {
+        b.iter(|| {
+            let q = next(&queries);
+            black_box(kca.range_sum(q.lo, q.hi))
+        })
+    });
+    g.finish();
+}
+
+fn bench_max_query(c: &mut Criterion) {
+    let mut records: Vec<Record> = generate_hki(N, 2)
+        .iter()
+        .map(|r| Record::new(r.key, r.measure))
+        .collect();
+    sort_records(&mut records);
+    let records = dedup_max(records);
+    let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+    let queries = query_intervals_from_keys(&keys, 256, 7);
+    let pf = PolyFitMax::build(records.clone(), 100.0, PolyFitConfig::default()).unwrap();
+    let tree = AggTree::new(&records);
+
+    let mut g = c.benchmark_group("max_query");
+    let mut qi = 0usize;
+    let mut next = |qs: &[polyfit_data::QueryInterval]| {
+        qi = (qi + 1) % qs.len();
+        qs[qi]
+    };
+    g.bench_function(BenchmarkId::new("PolyFit-2", N), |b| {
+        b.iter(|| {
+            let q = next(&queries);
+            black_box(pf.query_max(q.lo, q.hi))
+        })
+    });
+    g.bench_function(BenchmarkId::new("agg-tree", N), |b| {
+        b.iter(|| {
+            let q = next(&queries);
+            black_box(tree.range_max(q.lo, q.hi))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_count_query, bench_max_query
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks for the two-key extension (Fig. 15b/16b shapes).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use polyfit::twod::{Quad2dConfig, QuadPolyFit};
+use polyfit_data::{generate_osm, query_rectangles};
+use polyfit_exact::artree::Rect;
+use polyfit_exact::dataset::Point2d;
+use polyfit_exact::ARTree;
+
+fn bench_twod(c: &mut Criterion) {
+    let points: Vec<Point2d> = generate_osm(500_000, 11)
+        .iter()
+        .map(|p| Point2d::new(p.u, p.v, p.w))
+        .collect();
+    let cfg = Quad2dConfig { grid_resolution: 512, ..Default::default() };
+    let quad = QuadPolyFit::build(&points, 250.0, cfg).expect("build");
+    let artree = ARTree::new(points);
+    let rects = query_rectangles((-180.0, 180.0, -60.0, 75.0), 256, 0.25, 3);
+
+    let mut qi = 0usize;
+    let mut next = || {
+        qi = (qi + 1) % rects.len();
+        rects[qi]
+    };
+    let mut g = c.benchmark_group("count_2key_500k");
+    g.bench_function("PolyFit-2 quadtree", |b| {
+        b.iter(|| {
+            let r = next();
+            black_box(quad.query(r.u_lo, r.u_hi, r.v_lo, r.v_hi))
+        })
+    });
+    g.bench_function("aR-tree", |b| {
+        b.iter(|| {
+            let r = next();
+            black_box(artree.range_count(&Rect::new(r.u_lo, r.u_hi, r.v_lo, r.v_hi)))
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("build_2key_500k");
+    g.sample_size(10);
+    let points: Vec<Point2d> = generate_osm(500_000, 11)
+        .iter()
+        .map(|p| Point2d::new(p.u, p.v, p.w))
+        .collect();
+    g.bench_function("quadtree_build", |b| {
+        b.iter(|| QuadPolyFit::build(&points, 250.0, cfg).expect("build"))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_twod
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Ablation A1: exchange vs simplex fitting backends.
+//!
+//! Both solve the identical minimax problem (paper Eq. 9); this ablation
+//! shows (a) the optima agree to rounding and (b) the exchange backend is
+//! what makes construction tractable at scale.
+//!
+//! Usage: `cargo run --release -p polyfit-bench --bin ablation_fitting`
+
+use polyfit::config::PolyFitConfig;
+use polyfit::function::cumulative_function;
+use polyfit::segmentation::{fit_range, greedy_segmentation, ErrorMetric};
+use polyfit_bench::{time_it, to_records, ResultsTable};
+use polyfit_data::generate_tweet;
+use polyfit_lp::FitBackend;
+
+fn main() {
+    // ---- optimum agreement on single fits ----
+    let mut agree = ResultsTable::new(
+        "Ablation A1a — minimax optimum: exchange vs simplex (same segment)",
+        &["points", "degree", "E exchange", "E simplex", "rel diff"],
+    );
+    let records = to_records(&generate_tweet(4000, 0x7EE7));
+    let f = cumulative_function(records).expect("non-empty");
+    for &(l, deg) in &[(50usize, 1usize), (50, 2), (200, 2), (200, 3), (800, 2)] {
+        let (_, e_ex) = fit_range(&f, 100, 100 + l - 1, deg, FitBackend::Exchange, ErrorMetric::DataPoint);
+        let (_, e_sx) = fit_range(&f, 100, 100 + l - 1, deg, FitBackend::Simplex, ErrorMetric::DataPoint);
+        let rel = (e_ex - e_sx).abs() / e_sx.max(1e-12);
+        agree.row(&[
+            format!("{l}"),
+            format!("{deg}"),
+            format!("{e_ex:.6}"),
+            format!("{e_sx:.6}"),
+            format!("{rel:.2e}"),
+        ]);
+    }
+    agree.emit("ablation_fitting_agreement");
+
+    // ---- construction cost ----
+    let mut cost = ResultsTable::new(
+        "Ablation A1b — GS construction time by backend (delta = 25, deg = 2)",
+        &["n", "exchange (ms)", "exchange segs", "simplex (ms)", "simplex segs"],
+    );
+    for &n in &[1_000usize, 2_000, 4_000] {
+        let records = to_records(&generate_tweet(n, 0x7EE7));
+        let f = cumulative_function(records).expect("non-empty");
+        let cfg_ex = PolyFitConfig { backend: FitBackend::Exchange, ..Default::default() };
+        let cfg_sx = PolyFitConfig { backend: FitBackend::Simplex, ..Default::default() };
+        let (ex, ex_s) = time_it(|| greedy_segmentation(&f, &cfg_ex, 25.0, ErrorMetric::DataPoint));
+        let (sx, sx_s) = time_it(|| greedy_segmentation(&f, &cfg_sx, 25.0, ErrorMetric::DataPoint));
+        cost.row(&[
+            format!("{n}"),
+            format!("{:.1}", ex_s * 1e3),
+            format!("{}", ex.len()),
+            format!("{:.1}", sx_s * 1e3),
+            format!("{}", sx.len()),
+        ]);
+    }
+    cost.emit("ablation_fitting_cost");
+
+    // ---- galloping vs literal Algorithm 1 ----
+    use polyfit::segmentation::greedy_segmentation_naive;
+    let mut gallop = ResultsTable::new(
+        "Ablation A1c — GS search strategy: galloping vs one-key-at-a-time (delta = 25, deg = 2)",
+        &["n", "gallop (ms)", "naive (ms)", "same boundaries?"],
+    );
+    for &n in &[5_000usize, 20_000, 80_000] {
+        let records = to_records(&generate_tweet(n, 0x7EE7));
+        let f = cumulative_function(records).expect("non-empty");
+        let cfg = PolyFitConfig::default();
+        let (fast, fast_s) = time_it(|| greedy_segmentation(&f, &cfg, 25.0, ErrorMetric::DataPoint));
+        let (naive, naive_s) =
+            time_it(|| greedy_segmentation_naive(&f, &cfg, 25.0, ErrorMetric::DataPoint));
+        let same = fast.len() == naive.len()
+            && fast
+                .iter()
+                .zip(&naive)
+                .all(|(a, b)| (a.start, a.end) == (b.start, b.end));
+        gallop.row(&[
+            format!("{n}"),
+            format!("{:.1}", fast_s * 1e3),
+            format!("{:.1}", naive_s * 1e3),
+            format!("{same}"),
+        ]);
+    }
+    gallop.emit("ablation_gs_search");
+}

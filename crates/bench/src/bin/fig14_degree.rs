@@ -1,0 +1,82 @@
+//! Figure 14: how the polynomial degree affects PolyFit.
+//!
+//! * (a) COUNT query response time vs ε_abs on TWEET, deg ∈ {1, 2, 3};
+//! * (b) MAX query response time vs ε_abs on HKI, deg ∈ {1, 2};
+//! * (c) Construction time vs ε_abs on TWEET, deg ∈ {1, 2, 3}.
+//!
+//! Usage: `cargo run --release --bin fig14_degree [--tweet 1000000] [--hki 900000]`
+
+use polyfit::prelude::*;
+use polyfit::PolyFitSum;
+use polyfit_bench::{arg_usize, measure_ns, time_it, to_records, ResultsTable};
+use polyfit_data::{generate_hki, generate_tweet, query_intervals_from_keys};
+
+fn main() {
+    let tweet_n = arg_usize("tweet", 1_000_000);
+    let hki_n = arg_usize("hki", 900_000);
+    let n_queries = arg_usize("queries", 1000);
+    let eps_values = [50.0, 100.0, 200.0, 500.0, 1000.0];
+
+    println!("generating TWEET ({tweet_n}) and HKI ({hki_n}) stand-ins...");
+    let tweet = to_records(&generate_tweet(tweet_n, 0x7EE7u64));
+    let hki = to_records(&generate_hki(hki_n, 0xA5));
+
+    // ---- (a) + (c): COUNT on TWEET ------------------------------------
+    let mut sorted = tweet.clone();
+    polyfit_exact::dataset::sort_records(&mut sorted);
+    let sorted = polyfit_exact::dataset::dedup_sum(sorted);
+    let keys: Vec<f64> = sorted.iter().map(|r| r.key).collect();
+    let queries = query_intervals_from_keys(&keys, n_queries, 17);
+
+    let mut qt = ResultsTable::new(
+        "Fig 14a — COUNT response time (ns) on TWEET vs eps_abs",
+        &["eps_abs", "PolyFit-1", "PolyFit-2", "PolyFit-3"],
+    );
+    let mut ct = ResultsTable::new(
+        "Fig 14c — construction time (s) on TWEET vs eps_abs",
+        &["eps_abs", "PolyFit-1", "PolyFit-2", "PolyFit-3", "segs-1", "segs-2", "segs-3"],
+    );
+    for &eps in &eps_values {
+        let mut q_row = vec![format!("{eps}")];
+        let mut c_row = vec![format!("{eps}")];
+        let mut seg_cells = Vec::new();
+        for deg in 1..=3usize {
+            let cfg = PolyFitConfig::with_degree(deg);
+            let (idx, secs) = time_it(|| {
+                PolyFitSum::build(sorted.clone(), eps / 2.0, cfg).expect("build")
+            });
+            let ns = measure_ns(&queries, 20, |q| idx.query(q.lo, q.hi));
+            q_row.push(format!("{ns:.0}"));
+            c_row.push(format!("{secs:.2}"));
+            seg_cells.push(format!("{}", idx.num_segments()));
+        }
+        c_row.extend(seg_cells);
+        qt.row(&q_row);
+        ct.row(&c_row);
+    }
+    qt.emit("fig14a_count_query_time");
+    ct.emit("fig14c_construction_time");
+
+    // ---- (b): MAX on HKI -----------------------------------------------
+    let hki_keys: Vec<f64> = {
+        let mut s = hki.clone();
+        polyfit_exact::dataset::sort_records(&mut s);
+        s.iter().map(|r| r.key).collect()
+    };
+    let max_queries = query_intervals_from_keys(&hki_keys, n_queries, 23);
+    let mut mt = ResultsTable::new(
+        "Fig 14b — MAX response time (ns) on HKI vs eps_abs",
+        &["eps_abs", "PolyFit-1", "PolyFit-2"],
+    );
+    for &eps in &eps_values {
+        let mut row = vec![format!("{eps}")];
+        for deg in 1..=2usize {
+            let cfg = PolyFitConfig::with_degree(deg);
+            let idx = polyfit::PolyFitMax::build(hki.clone(), eps, cfg).expect("build");
+            let ns = measure_ns(&max_queries, 20, |q| idx.query_max(q.lo, q.hi));
+            row.push(format!("{ns:.0}"));
+        }
+        mt.row(&row);
+    }
+    mt.emit("fig14b_max_query_time");
+}

@@ -1,0 +1,133 @@
+//! Figures 15 & 16: COUNT response time vs ε_abs / ε_rel.
+//!
+//! * 15a/16a — single key (TWEET): RMI vs FITing-tree vs PolyFit-2;
+//! * 15b/16b — two keys (OSM): aR-tree vs PolyFit-2.
+//!
+//! Usage: `cargo run --release -p polyfit-bench --bin fig15_16_count_sweeps
+//!         [--tweet 1000000] [--osm 10000000] [--queries 1000]`
+
+use polyfit::prelude::*;
+use polyfit::twod::Quad2dConfig;
+use polyfit::{Guaranteed2dCount, GuaranteedSum, PolyFitSum};
+use polyfit_baselines::{FitingTree, Rmi};
+use polyfit_bench::{arg_usize, measure_ns, to_points, to_records, ResultsTable};
+use polyfit_data::{generate_osm, generate_tweet, query_intervals_from_keys, query_rectangles};
+use polyfit_exact::artree::Rect;
+use polyfit_exact::ARTree;
+
+fn main() {
+    let tweet_n = arg_usize("tweet", 1_000_000);
+    let osm_n = arg_usize("osm", 10_000_000);
+    let n_queries = arg_usize("queries", 1000);
+
+    // ================= single key: TWEET =================
+    println!("generating TWEET ({tweet_n})...");
+    let mut records = to_records(&generate_tweet(tweet_n, 0x7EE7));
+    polyfit_exact::dataset::sort_records(&mut records);
+    let records = polyfit_exact::dataset::dedup_sum(records);
+    let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+    let values: Vec<f64> = {
+        let mut acc = 0.0;
+        records.iter().map(|r| { acc += r.measure; acc }).collect()
+    };
+    let queries = query_intervals_from_keys(&keys, n_queries, 99);
+
+    // ---- Fig 15a: vs eps_abs ----
+    let mut t15a = ResultsTable::new(
+        "Fig 15a — COUNT (single key, TWEET) response time (ns) vs eps_abs",
+        &["eps_abs", "RMI", "FITing-tree", "PolyFit-2"],
+    );
+    for &eps in &[50.0, 100.0, 200.0, 500.0, 1000.0] {
+        let delta = eps / 2.0;
+        let rmi = Rmi::new(keys.clone(), values.clone(), &[1, 10, 100, 1000], delta);
+        let fit = FitingTree::new(&keys, &values, delta);
+        let pf = PolyFitSum::from_function(
+            &polyfit::TargetFunction { keys: keys.clone(), values: values.clone() },
+            delta,
+            PolyFitConfig::default(),
+        );
+        t15a.row(&[
+            format!("{eps}"),
+            format!("{:.0}", measure_ns(&queries, 10, |q| rmi.query(q.lo, q.hi))),
+            format!("{:.0}", measure_ns(&queries, 10, |q| fit.query(q.lo, q.hi))),
+            format!("{:.0}", measure_ns(&queries, 10, |q| pf.query(q.lo, q.hi))),
+        ]);
+    }
+    t15a.emit("fig15a_count_1key_abs");
+
+    // ---- Fig 16a: vs eps_rel (delta = 50 as in the paper) ----
+    let mut t16a = ResultsTable::new(
+        "Fig 16a — COUNT (single key, TWEET) response time (ns) vs eps_rel",
+        &["eps_rel", "RMI", "FITing-tree", "PolyFit-2"],
+    );
+    {
+        let delta = 50.0;
+        let rmi = Rmi::new(keys.clone(), values.clone(), &[1, 10, 100, 1000], delta);
+        let fit = FitingTree::new(&keys, &values, delta);
+        let pf = GuaranteedSum::with_rel_guarantee(records.clone(), delta, PolyFitConfig::default());
+        let exact = polyfit_exact::KeyCumulativeArray::new(&records);
+        for &eps in &[0.005, 0.01, 0.05, 0.1, 0.2] {
+            // RMI / FITing rel queries share the same certificate + exact
+            // fallback machinery (paper Appendix A).
+            let rmi_ns = measure_ns(&queries, 10, |q| {
+                let a = rmi.query(q.lo, q.hi);
+                if rmi.rel_certified(a, eps) { a } else { exact.range_sum(q.lo, q.hi) }
+            });
+            let fit_ns = measure_ns(&queries, 10, |q| {
+                let a = fit.query(q.lo, q.hi);
+                if fit.rel_certified(a, eps) { a } else { exact.range_sum(q.lo, q.hi) }
+            });
+            let pf_ns = measure_ns(&queries, 10, |q| pf.query_rel(q.lo, q.hi, eps).value);
+            t16a.row(&[
+                format!("{eps}"),
+                format!("{rmi_ns:.0}"),
+                format!("{fit_ns:.0}"),
+                format!("{pf_ns:.0}"),
+            ]);
+        }
+    }
+    t16a.emit("fig16a_count_1key_rel");
+
+    // ================= two keys: OSM =================
+    println!("generating OSM ({osm_n})...");
+    let points = to_points(&generate_osm(osm_n, 0x05E4));
+    let bbox = (-180.0, 180.0, -60.0, 75.0);
+    let rects = query_rectangles(bbox, n_queries, 0.25, 7);
+    println!("building aR-tree...");
+    let artree = ARTree::new(points.clone());
+
+    // ---- Fig 15b: vs eps_abs ----
+    let mut t15b = ResultsTable::new(
+        "Fig 15b — COUNT (two keys, OSM) response time (ns) vs eps_abs",
+        &["eps_abs", "aR-tree", "PolyFit-2"],
+    );
+    for &eps in &[500.0, 1000.0, 2000.0] {
+        let quad = Guaranteed2dCount::with_abs_guarantee(&points, eps, Quad2dConfig::default())
+            .expect("build 2d index");
+        let ar_ns = measure_ns(&rects, 3, |r| {
+            artree.range_count(&Rect::new(r.u_lo, r.u_hi, r.v_lo, r.v_hi))
+        });
+        let pf_ns = measure_ns(&rects, 3, |r| quad.query_abs(r.u_lo, r.u_hi, r.v_lo, r.v_hi));
+        t15b.row(&[format!("{eps}"), format!("{ar_ns:.0}"), format!("{pf_ns:.0}")]);
+    }
+    t15b.emit("fig15b_count_2key_abs");
+
+    // ---- Fig 16b: vs eps_rel (delta = 250 as in the paper) ----
+    let mut t16b = ResultsTable::new(
+        "Fig 16b — COUNT (two keys, OSM) response time (ns) vs eps_rel",
+        &["eps_rel", "aR-tree", "PolyFit-2"],
+    );
+    {
+        let quad = Guaranteed2dCount::with_rel_guarantee(points.clone(), 250.0, Quad2dConfig::default())
+            .expect("build 2d index");
+        for &eps in &[0.005, 0.01, 0.05, 0.1, 0.2] {
+            let ar_ns = measure_ns(&rects, 3, |r| {
+                artree.range_count(&Rect::new(r.u_lo, r.u_hi, r.v_lo, r.v_hi))
+            });
+            let pf_ns =
+                measure_ns(&rects, 3, |r| quad.query_rel(r.u_lo, r.u_hi, r.v_lo, r.v_hi, eps).value);
+            t16b.row(&[format!("{eps}"), format!("{ar_ns:.0}"), format!("{pf_ns:.0}")]);
+        }
+    }
+    t16b.emit("fig16b_count_2key_rel");
+}

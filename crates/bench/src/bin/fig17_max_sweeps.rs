@@ -1,0 +1,68 @@
+//! Figure 17: MAX query response time on HKI, aR-tree vs PolyFit-2.
+//!
+//! * (a) varying ε_abs ∈ {50..1000} (Problem 1);
+//! * (b) varying ε_rel ∈ {0.005..0.2} (Problem 2, δ = 50).
+//!
+//! The 1-D "aR-tree" comparator is the aggregate max-tree of paper
+//! Section III-B2 (exact, `O(log n)` with two branches per level).
+//!
+//! Usage: `cargo run --release -p polyfit-bench --bin fig17_max_sweeps [--hki 900000]`
+
+use polyfit::prelude::*;
+use polyfit::PolyFitMax;
+use polyfit_bench::{arg_usize, measure_ns, to_records, ResultsTable};
+use polyfit_data::{generate_hki, query_intervals_from_keys};
+use polyfit_exact::AggTree;
+
+fn main() {
+    let hki_n = arg_usize("hki", 900_000);
+    let n_queries = arg_usize("queries", 1000);
+
+    println!("generating HKI ({hki_n})...");
+    let mut records = to_records(&generate_hki(hki_n, 0xA5));
+    polyfit_exact::dataset::sort_records(&mut records);
+    let records = polyfit_exact::dataset::dedup_max(records);
+    let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+    let queries = query_intervals_from_keys(&keys, n_queries, 41);
+    let tree = AggTree::new(&records);
+
+    // ---- (a) vs eps_abs ----
+    let mut ta = ResultsTable::new(
+        "Fig 17a — MAX (HKI) response time (ns) vs eps_abs",
+        &["eps_abs", "agg-tree (aR-tree)", "PolyFit-2", "segments"],
+    );
+    for &eps in &[50.0, 100.0, 200.0, 500.0, 1000.0] {
+        let idx = PolyFitMax::build(records.clone(), eps, PolyFitConfig::default()).expect("build");
+        let tree_ns = measure_ns(&queries, 10, |q| tree.range_max(q.lo, q.hi));
+        let pf_ns = measure_ns(&queries, 10, |q| idx.query_max(q.lo, q.hi));
+        ta.row(&[
+            format!("{eps}"),
+            format!("{tree_ns:.0}"),
+            format!("{pf_ns:.0}"),
+            format!("{}", idx.num_segments()),
+        ]);
+    }
+    ta.emit("fig17a_max_abs");
+
+    // ---- (b) vs eps_rel (delta = 50) ----
+    let mut tb = ResultsTable::new(
+        "Fig 17b — MAX (HKI) response time (ns) vs eps_rel",
+        &["eps_rel", "agg-tree (aR-tree)", "PolyFit-2", "fallback %"],
+    );
+    let driver = GuaranteedMax::with_rel_guarantee(records.clone(), 50.0, PolyFitConfig::default());
+    for &eps in &[0.005, 0.01, 0.05, 0.1, 0.2] {
+        let tree_ns = measure_ns(&queries, 10, |q| tree.range_max(q.lo, q.hi));
+        let pf_ns = measure_ns(&queries, 10, |q| driver.query_rel(q.lo, q.hi, eps));
+        let fallbacks = queries
+            .iter()
+            .filter(|q| driver.query_rel(q.lo, q.hi, eps).is_some_and(|a| a.used_fallback))
+            .count();
+        tb.row(&[
+            format!("{eps}"),
+            format!("{tree_ns:.0}"),
+            format!("{pf_ns:.0}"),
+            format!("{:.1}", 100.0 * fallbacks as f64 / queries.len() as f64),
+        ]);
+    }
+    tb.emit("fig17b_max_rel");
+}

@@ -1,0 +1,67 @@
+//! Figure 18: scalability of COUNT (single key) with dataset size.
+//!
+//! OSM latitude as the key, Problem 2 with ε_rel = 0.01, dataset sizes
+//! 1M/3M/10M/30M by default (pass `--full` to add the paper's 100M —
+//! needs ~8 GB RAM for the retained arrays).
+//!
+//! Usage: `cargo run --release -p polyfit-bench --bin fig18_scalability [--full]`
+
+use polyfit::prelude::*;
+use polyfit::GuaranteedSum;
+use polyfit_baselines::{FitingTree, Rmi};
+use polyfit_bench::{arg_flag, arg_usize, measure_ns, ResultsTable};
+use polyfit_data::{generate_osm, query_intervals_from_keys};
+use polyfit_exact::dataset::Record;
+use polyfit_exact::KeyCumulativeArray;
+
+fn main() {
+    let n_queries = arg_usize("queries", 1000);
+    let mut sizes = vec![1_000_000usize, 3_000_000, 10_000_000, 30_000_000];
+    if arg_flag("full") {
+        sizes.push(100_000_000);
+    }
+    let delta = 50.0;
+    let eps_rel = 0.01;
+
+    let mut t = ResultsTable::new(
+        "Fig 18 — COUNT (single key, OSM latitude) response time (ns) vs dataset size, eps_rel=0.01",
+        &["records", "RMI", "FITing-tree", "PolyFit-2"],
+    );
+    for &n in &sizes {
+        println!("generating OSM ({n})...");
+        let pts = generate_osm(n, 0x05E4);
+        let mut records: Vec<Record> = pts.iter().map(|p| Record::new(p.v, 1.0)).collect();
+        drop(pts);
+        polyfit_exact::dataset::sort_records(&mut records);
+        let records = polyfit_exact::dataset::dedup_sum(records);
+        let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+        let values: Vec<f64> = {
+            let mut acc = 0.0;
+            records.iter().map(|r| { acc += r.measure; acc }).collect()
+        };
+        let queries = query_intervals_from_keys(&keys, n_queries, 3);
+        let exact = KeyCumulativeArray::new(&records);
+
+        println!("building indexes (n = {n})...");
+        let rmi = Rmi::new(keys.clone(), values.clone(), &[1, 10, 100, 1000], delta);
+        let fit = FitingTree::new(&keys, &values, delta);
+        let pf = GuaranteedSum::with_rel_guarantee(records, delta, PolyFitConfig::default());
+
+        let rmi_ns = measure_ns(&queries, 5, |q| {
+            let a = rmi.query(q.lo, q.hi);
+            if rmi.rel_certified(a, eps_rel) { a } else { exact.range_sum(q.lo, q.hi) }
+        });
+        let fit_ns = measure_ns(&queries, 5, |q| {
+            let a = fit.query(q.lo, q.hi);
+            if fit.rel_certified(a, eps_rel) { a } else { exact.range_sum(q.lo, q.hi) }
+        });
+        let pf_ns = measure_ns(&queries, 5, |q| pf.query_rel(q.lo, q.hi, eps_rel).value);
+        t.row(&[
+            format!("{}M", n / 1_000_000),
+            format!("{rmi_ns:.0}"),
+            format!("{fit_ns:.0}"),
+            format!("{pf_ns:.0}"),
+        ]);
+    }
+    t.emit("fig18_scalability");
+}

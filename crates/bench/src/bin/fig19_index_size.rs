@@ -1,0 +1,47 @@
+//! Figure 19: memory footprint of the index structures vs ε_abs
+//! (COUNT, single key, TWEET).
+//!
+//! Usage: `cargo run --release -p polyfit-bench --bin fig19_index_size [--tweet 1000000]`
+
+use polyfit::prelude::*;
+use polyfit::{PolyFitSum, TargetFunction};
+use polyfit_baselines::{FitingTree, Rmi};
+use polyfit_bench::{arg_usize, to_records, ResultsTable};
+use polyfit_data::generate_tweet;
+
+fn main() {
+    let tweet_n = arg_usize("tweet", 1_000_000);
+    println!("generating TWEET ({tweet_n})...");
+    let mut records = to_records(&generate_tweet(tweet_n, 0x7EE7));
+    polyfit_exact::dataset::sort_records(&mut records);
+    let records = polyfit_exact::dataset::dedup_sum(records);
+    let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+    let values: Vec<f64> = {
+        let mut acc = 0.0;
+        records.iter().map(|r| { acc += r.measure; acc }).collect()
+    };
+
+    let mut t = ResultsTable::new(
+        "Fig 19 — index structure size (KB) vs eps_abs (COUNT, TWEET)",
+        &["eps_abs", "RMI", "FITing-tree", "PolyFit-2", "FIT segs", "PF segs"],
+    );
+    for &eps in &[50.0, 100.0, 200.0, 500.0, 1000.0] {
+        let delta = eps / 2.0;
+        let rmi = Rmi::new(keys.clone(), values.clone(), &[1, 10, 100, 1000], delta);
+        let fit = FitingTree::new(&keys, &values, delta);
+        let pf = PolyFitSum::from_function(
+            &TargetFunction { keys: keys.clone(), values: values.clone() },
+            delta,
+            PolyFitConfig::default(),
+        );
+        t.row(&[
+            format!("{eps}"),
+            format!("{:.1}", rmi.size_bytes() as f64 / 1024.0),
+            format!("{:.1}", fit.size_bytes() as f64 / 1024.0),
+            format!("{:.1}", pf.size_bytes() as f64 / 1024.0),
+            format!("{}", fit.num_segments()),
+            format!("{}", pf.num_segments()),
+        ]);
+    }
+    t.emit("fig19_index_size");
+}

@@ -1,0 +1,94 @@
+//! Figure 20: response time vs *measured* relative error for the
+//! no-guarantee heuristics (COUNT, single key, TWEET).
+//!
+//! Hist sweeps bucket counts, S-tree sweeps sampling rates, PolyFit-2
+//! sweeps δ; each configuration reports its mean response time against the
+//! mean measured relative error over the workload.
+//!
+//! Usage: `cargo run --release -p polyfit-bench --bin fig20_heuristics [--tweet 1000000]`
+
+use polyfit::prelude::*;
+use polyfit::{PolyFitSum, TargetFunction};
+use polyfit_baselines::{EquiDepthHistogram, STree};
+use polyfit_bench::{arg_usize, measure_ns, to_records, ResultsTable};
+use polyfit_data::{generate_tweet, query_intervals_from_keys, QueryInterval};
+use polyfit_exact::KeyCumulativeArray;
+
+fn measured_rel_error(
+    queries: &[QueryInterval],
+    exact: &KeyCumulativeArray,
+    mut f: impl FnMut(&QueryInterval) -> f64,
+) -> f64 {
+    let mut sum = 0.0;
+    let mut cnt = 0usize;
+    for q in queries {
+        let truth = exact.range_sum(q.lo, q.hi);
+        if truth > 0.0 {
+            sum += (f(q) - truth).abs() / truth;
+            cnt += 1;
+        }
+    }
+    sum / cnt.max(1) as f64
+}
+
+fn main() {
+    let tweet_n = arg_usize("tweet", 1_000_000);
+    let n_queries = arg_usize("queries", 1000);
+    println!("generating TWEET ({tweet_n})...");
+    let mut records = to_records(&generate_tweet(tweet_n, 0x7EE7));
+    polyfit_exact::dataset::sort_records(&mut records);
+    let records = polyfit_exact::dataset::dedup_sum(records);
+    let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+    let values: Vec<f64> = {
+        let mut acc = 0.0;
+        records.iter().map(|r| { acc += r.measure; acc }).collect()
+    };
+    let queries = query_intervals_from_keys(&keys, n_queries, 55);
+    let exact = KeyCumulativeArray::new(&records);
+
+    let mut t = ResultsTable::new(
+        "Fig 20 — response time (ns) vs measured relative error (%) (COUNT, TWEET)",
+        &["method", "config", "measured rel err %", "time (ns)"],
+    );
+
+    for &buckets in &[64usize, 256, 1024, 4096, 16384] {
+        let h = EquiDepthHistogram::new(&keys, &values, buckets);
+        let err = measured_rel_error(&queries, &exact, |q| h.query(q.lo, q.hi));
+        let ns = measure_ns(&queries, 10, |q| h.query(q.lo, q.hi));
+        t.row(&[
+            "Hist".into(),
+            format!("{buckets} bins"),
+            format!("{:.3}", err * 100.0),
+            format!("{ns:.0}"),
+        ]);
+    }
+
+    for &rate in &[0.0005, 0.002, 0.01, 0.05] {
+        let s = STree::new(&keys, rate, 7);
+        let err = measured_rel_error(&queries, &exact, |q| s.query(q.lo, q.hi));
+        let ns = measure_ns(&queries, 10, |q| s.query(q.lo, q.hi));
+        t.row(&[
+            "S-tree".into(),
+            format!("rate {rate}"),
+            format!("{:.3}", err * 100.0),
+            format!("{ns:.0}"),
+        ]);
+    }
+
+    for &delta in &[25.0, 50.0, 250.0, 1000.0] {
+        let pf = PolyFitSum::from_function(
+            &TargetFunction { keys: keys.clone(), values: values.clone() },
+            delta,
+            PolyFitConfig::default(),
+        );
+        let err = measured_rel_error(&queries, &exact, |q| pf.query(q.lo, q.hi));
+        let ns = measure_ns(&queries, 10, |q| pf.query(q.lo, q.hi));
+        t.row(&[
+            "PolyFit-2".into(),
+            format!("delta {delta}"),
+            format!("{:.3}", err * 100.0),
+            format!("{ns:.0}"),
+        ]);
+    }
+    t.emit("fig20_heuristics");
+}

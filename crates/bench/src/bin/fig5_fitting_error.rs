@@ -1,0 +1,54 @@
+//! Figure 5: why polynomial fitting? — fitting error of linear regression,
+//! a δ-constrained linear segment, and a degree-4 minimax polynomial on a
+//! slice of the HKI series.
+//!
+//! Usage: `cargo run --release -p polyfit-bench --bin fig5_fitting_error [--points 90]`
+
+use polyfit_bench::{arg_usize, to_records, ResultsTable};
+use polyfit_data::generate_hki;
+use polyfit_lp::{fit_minimax, FitBackend};
+
+fn main() {
+    let n = arg_usize("points", 90);
+    // A slice resembling the paper's "Hong Kong 40-Index in 2018" plot:
+    // daily closes over ~90 trading days.
+    let raw = to_records(&generate_hki(n * 390, 0xA5));
+    let keys: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let values: Vec<f64> = (0..n).map(|i| raw[i * 390].measure).collect();
+
+    let mut t = ResultsTable::new(
+        "Fig 5 — max fitting error on an HKI slice (lower is better)",
+        &["model", "max |F(k) - model(k)|"],
+    );
+
+    // Linear regression (RMI's model family): least squares line.
+    let (mean_k, mean_v) = (
+        keys.iter().sum::<f64>() / n as f64,
+        values.iter().sum::<f64>() / n as f64,
+    );
+    let (mut cov, mut var) = (0.0, 0.0);
+    for (k, v) in keys.iter().zip(&values) {
+        cov += (k - mean_k) * (v - mean_v);
+        var += (k - mean_k) * (k - mean_k);
+    }
+    let slope = cov / var;
+    let icept = mean_v - slope * mean_k;
+    let lr_err = keys
+        .iter()
+        .zip(&values)
+        .map(|(k, v)| (v - (icept + slope * k)).abs())
+        .fold(0.0f64, f64::max);
+    t.row(&["LR (linear regression)".into(), format!("{lr_err:.1}")]);
+
+    // FITing-tree-style segment: the *minimax-optimal line* (best any
+    // single linear segment can do).
+    let fit1 = fit_minimax(&keys, &values, 1, FitBackend::Exchange);
+    t.row(&["FIT (optimal line segment)".into(), format!("{:.1}", fit1.error)]);
+
+    // Degree-2 and degree-4 minimax polynomials.
+    for deg in [2usize, 4] {
+        let fit = fit_minimax(&keys, &values, deg, FitBackend::Exchange);
+        t.row(&[format!("P (degree-{deg} minimax)"), format!("{:.1}", fit.error)]);
+    }
+    t.emit("fig5_fitting_error");
+}

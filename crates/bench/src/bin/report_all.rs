@@ -1,0 +1,51 @@
+//! Run the entire evaluation at CI scale (~1 minute): every table and
+//! figure with reduced dataset sizes, so a fresh checkout can sanity-check
+//! the full pipeline before committing to the paper-scale runs.
+//!
+//! Usage: `cargo run --release -p polyfit-bench --bin report_all`
+
+use std::process::Command;
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let runs: &[(&str, &[&str])] = &[
+        ("fig5_fitting_error", &[]),
+        ("table2_segmentation", &[]),
+        ("fig14_degree", &["--tweet", "100000", "--hki", "100000", "--queries", "500"]),
+        (
+            "fig15_16_count_sweeps",
+            &["--tweet", "100000", "--osm", "500000", "--queries", "500"],
+        ),
+        ("fig17_max_sweeps", &["--hki", "100000", "--queries", "500"]),
+        ("fig19_index_size", &["--tweet", "100000"]),
+        ("fig20_heuristics", &["--tweet", "100000", "--queries", "500"]),
+        (
+            "table5_all_methods",
+            &["--tweet", "100000", "--hki", "100000", "--osm", "500000", "--queries", "300", "--s2-queries", "10"],
+        ),
+        ("table6_model_selection", &["--tweet", "50000", "--train", "10000", "--queries", "200"]),
+        ("ablation_fitting", &[]),
+    ];
+    let mut failures = Vec::new();
+    for (bin, args) in runs {
+        println!("\n######## {bin} {} ########", args.join(" "));
+        let status = Command::new(exe_dir.join(bin))
+            .env("POLYFIT_RESULTS_DIR", "results/ci")
+            .args(*args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failures.push(*bin);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiment runners completed (CI scale); CSVs under results/");
+    } else {
+        eprintln!("\nFAILED runners: {failures:?}");
+        std::process::exit(1);
+    }
+}

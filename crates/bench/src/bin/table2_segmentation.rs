@@ -1,0 +1,51 @@
+//! Table II / Theorem 1: greedy segmentation vs dynamic programming.
+//!
+//! Confirms empirically that (a) GS produces exactly as many segments as
+//! the optimal DP (Theorem 1) and (b) GS scales near-linearly while DP is
+//! quadratic (Table II complexity).
+//!
+//! Usage: `cargo run --release -p polyfit-bench --bin table2_segmentation`
+
+use polyfit::config::PolyFitConfig;
+use polyfit::function::cumulative_function;
+use polyfit::segmentation::{dp_segmentation, greedy_segmentation, ErrorMetric};
+use polyfit_bench::{arg_usize, time_it, to_records, ResultsTable};
+use polyfit_data::generate_tweet;
+
+fn main() {
+    let delta = arg_usize("delta", 10) as f64;
+    let cfg = PolyFitConfig::default();
+
+    let mut t = ResultsTable::new(
+        "Table II / Theorem 1 — GS vs DP: segment counts and wall clock",
+        &["n", "GS segments", "DP segments", "optimal?", "GS (ms)", "DP (ms)"],
+    );
+    for &n in &[250usize, 500, 1000, 2000, 4000] {
+        let records = to_records(&generate_tweet(n, 0x7EE7));
+        let f = cumulative_function(records).expect("non-empty");
+        let (gs, gs_s) = time_it(|| greedy_segmentation(&f, &cfg, delta, ErrorMetric::DataPoint));
+        let (dp, dp_s) = time_it(|| dp_segmentation(&f, &cfg, delta, ErrorMetric::DataPoint));
+        t.row(&[
+            format!("{n}"),
+            format!("{}", gs.len()),
+            format!("{}", dp.len()),
+            format!("{}", gs.len() == dp.len()),
+            format!("{:.1}", gs_s * 1e3),
+            format!("{:.1}", dp_s * 1e3),
+        ]);
+    }
+    t.emit("table2_segmentation");
+
+    // GS alone at larger scales (DP would take hours).
+    let mut t2 = ResultsTable::new(
+        "GS scalability (DataPoint metric, delta = 10)",
+        &["n", "segments", "GS (ms)"],
+    );
+    for &n in &[10_000usize, 50_000, 200_000, 1_000_000] {
+        let records = to_records(&generate_tweet(n, 0x7EE7));
+        let f = cumulative_function(records).expect("non-empty");
+        let (gs, gs_s) = time_it(|| greedy_segmentation(&f, &cfg, delta, ErrorMetric::DataPoint));
+        t2.row(&[format!("{n}"), format!("{}", gs.len()), format!("{:.1}", gs_s * 1e3)]);
+    }
+    t2.emit("table2_gs_scalability");
+}

@@ -1,0 +1,171 @@
+//! Table V: response time (ns) of every method with error guarantees.
+//!
+//! Three query families × two guarantee problems, with the paper's default
+//! parameters: ε_abs = 100 (single key) / 1000 (two keys); ε_rel = 0.01;
+//! PolyFit's Problem-2 δ = 50 (single key) / 250 (two keys).
+//!
+//! Usage: `cargo run --release -p polyfit-bench --bin table5_all_methods
+//!         [--tweet 1000000] [--hki 900000] [--osm 10000000]`
+
+use polyfit::prelude::*;
+use polyfit::twod::Quad2dConfig;
+use polyfit::{Guaranteed2dCount, GuaranteedMax, GuaranteedSum};
+use polyfit_baselines::{FitingTree, Rmi, S2Sampler, S2Sampler2d};
+use polyfit_bench::{arg_usize, fmt_ns, measure_ns, to_points, to_records, ResultsTable};
+use polyfit_data::{
+    generate_hki, generate_osm, generate_tweet, query_intervals_from_keys, query_rectangles,
+};
+use polyfit_exact::artree::Rect;
+use polyfit_exact::{AggTree, ARTree, KeyCumulativeArray};
+
+fn main() {
+    let tweet_n = arg_usize("tweet", 1_000_000);
+    let hki_n = arg_usize("hki", 900_000);
+    let osm_n = arg_usize("osm", 10_000_000);
+    let n_queries = arg_usize("queries", 1000);
+    let s2_queries = arg_usize("s2-queries", 50); // S2 is ~10^6 × slower
+
+    let mut table = ResultsTable::new(
+        "Table V — response time (ns) for all methods with error guarantees",
+        &["problem", "query type", "S2", "aR-tree", "RMI", "FITing-tree", "PolyFit"],
+    );
+
+    // ============ COUNT, single key (TWEET) ============
+    println!("== COUNT single key (TWEET {tweet_n}) ==");
+    let mut records = to_records(&generate_tweet(tweet_n, 0x7EE7));
+    polyfit_exact::dataset::sort_records(&mut records);
+    let records = polyfit_exact::dataset::dedup_sum(records);
+    let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+    let values: Vec<f64> = {
+        let mut acc = 0.0;
+        records.iter().map(|r| { acc += r.measure; acc }).collect()
+    };
+    let queries = query_intervals_from_keys(&keys, n_queries, 99);
+    let exact = KeyCumulativeArray::new(&records);
+    let s2 = S2Sampler::new(keys.clone());
+
+    // Problem 1 (eps_abs = 100 → delta = 50).
+    {
+        let delta = 50.0;
+        let rmi = Rmi::new(keys.clone(), values.clone(), &[1, 10, 100, 1000], delta);
+        let fit = FitingTree::new(&keys, &values, delta);
+        let pf = GuaranteedSum::with_abs_guarantee(records.clone(), 100.0, PolyFitConfig::default());
+        let s2_ns = measure_ns(&queries[..s2_queries.min(queries.len())], 1, |q| {
+            s2.query_abs(q.lo, q.hi, 100.0, 1)
+        });
+        table.row(&[
+            "1".into(),
+            "COUNT (single key)".into(),
+            fmt_ns(s2_ns),
+            "n/a".into(),
+            fmt_ns(measure_ns(&queries, 10, |q| rmi.query(q.lo, q.hi))),
+            fmt_ns(measure_ns(&queries, 10, |q| fit.query(q.lo, q.hi))),
+            fmt_ns(measure_ns(&queries, 10, |q| pf.query_abs(q.lo, q.hi))),
+        ]);
+    }
+    // Problem 2 (eps_rel = 0.01, delta = 50).
+    {
+        let delta = 50.0;
+        let eps = 0.01;
+        let rmi = Rmi::new(keys.clone(), values.clone(), &[1, 10, 100, 1000], delta);
+        let fit = FitingTree::new(&keys, &values, delta);
+        let pf = GuaranteedSum::with_rel_guarantee(records.clone(), delta, PolyFitConfig::default());
+        let s2_ns = measure_ns(&queries[..s2_queries.min(queries.len())], 1, |q| {
+            s2.query_rel(q.lo, q.hi, eps, 1)
+        });
+        table.row(&[
+            "2".into(),
+            "COUNT (single key)".into(),
+            fmt_ns(s2_ns),
+            "n/a".into(),
+            fmt_ns(measure_ns(&queries, 10, |q| {
+                let a = rmi.query(q.lo, q.hi);
+                if rmi.rel_certified(a, eps) { a } else { exact.range_sum(q.lo, q.hi) }
+            })),
+            fmt_ns(measure_ns(&queries, 10, |q| {
+                let a = fit.query(q.lo, q.hi);
+                if fit.rel_certified(a, eps) { a } else { exact.range_sum(q.lo, q.hi) }
+            })),
+            fmt_ns(measure_ns(&queries, 10, |q| pf.query_rel(q.lo, q.hi, eps).value)),
+        ]);
+    }
+    drop(exact);
+
+    // ============ MAX, single key (HKI) ============
+    println!("== MAX single key (HKI {hki_n}) ==");
+    let mut hki = to_records(&generate_hki(hki_n, 0xA5));
+    polyfit_exact::dataset::sort_records(&mut hki);
+    let hki = polyfit_exact::dataset::dedup_max(hki);
+    let hkeys: Vec<f64> = hki.iter().map(|r| r.key).collect();
+    let hqueries = query_intervals_from_keys(&hkeys, n_queries, 41);
+    let tree = AggTree::new(&hki);
+    {
+        let pf = GuaranteedMax::with_abs_guarantee(hki.clone(), 100.0, PolyFitConfig::default());
+        table.row(&[
+            "1".into(),
+            "MAX (single key)".into(),
+            "n/a".into(),
+            fmt_ns(measure_ns(&hqueries, 10, |q| tree.range_max(q.lo, q.hi))),
+            "n/a".into(),
+            "n/a".into(),
+            fmt_ns(measure_ns(&hqueries, 10, |q| pf.query_abs(q.lo, q.hi))),
+        ]);
+        let pf2 = GuaranteedMax::with_rel_guarantee(hki.clone(), 50.0, PolyFitConfig::default());
+        table.row(&[
+            "2".into(),
+            "MAX (single key)".into(),
+            "n/a".into(),
+            fmt_ns(measure_ns(&hqueries, 10, |q| tree.range_max(q.lo, q.hi))),
+            "n/a".into(),
+            "n/a".into(),
+            fmt_ns(measure_ns(&hqueries, 10, |q| pf2.query_rel(q.lo, q.hi, 0.01))),
+        ]);
+    }
+
+    // ============ COUNT, two keys (OSM) ============
+    println!("== COUNT two keys (OSM {osm_n}) ==");
+    let points = to_points(&generate_osm(osm_n, 0x05E4));
+    let rects = query_rectangles((-180.0, 180.0, -60.0, 75.0), n_queries, 0.25, 7);
+    println!("building aR-tree...");
+    let artree = ARTree::new(points.clone());
+    let s2d = S2Sampler2d::new(points.iter().map(|p| (p.u, p.v)).collect());
+    {
+        println!("building 2-D PolyFit (abs)...");
+        let quad = Guaranteed2dCount::with_abs_guarantee(&points, 1000.0, Quad2dConfig::default())
+            .expect("2d build");
+        let s2_ns = measure_ns(&rects[..s2_queries.min(rects.len())], 1, |r| {
+            s2d.query_abs((r.u_lo, r.u_hi, r.v_lo, r.v_hi), 1000.0, 1)
+        });
+        table.row(&[
+            "1".into(),
+            "COUNT (two keys)".into(),
+            fmt_ns(s2_ns),
+            fmt_ns(measure_ns(&rects, 3, |r| {
+                artree.range_count(&Rect::new(r.u_lo, r.u_hi, r.v_lo, r.v_hi))
+            })),
+            "n/a".into(),
+            "n/a".into(),
+            fmt_ns(measure_ns(&rects, 3, |r| quad.query_abs(r.u_lo, r.u_hi, r.v_lo, r.v_hi))),
+        ]);
+        println!("building 2-D PolyFit (rel)...");
+        let quad2 = Guaranteed2dCount::with_rel_guarantee(points.clone(), 250.0, Quad2dConfig::default())
+            .expect("2d build");
+        let s2_ns = measure_ns(&rects[..s2_queries.min(rects.len())], 1, |r| {
+            s2d.query_rel((r.u_lo, r.u_hi, r.v_lo, r.v_hi), 0.01, 1)
+        });
+        table.row(&[
+            "2".into(),
+            "COUNT (two keys)".into(),
+            fmt_ns(s2_ns),
+            fmt_ns(measure_ns(&rects, 3, |r| {
+                artree.range_count(&Rect::new(r.u_lo, r.u_hi, r.v_lo, r.v_hi))
+            })),
+            "n/a".into(),
+            "n/a".into(),
+            fmt_ns(measure_ns(&rects, 3, |r| {
+                quad2.query_rel(r.u_lo, r.u_hi, r.v_lo, r.v_hi, 0.01).value
+            })),
+        ]);
+    }
+    table.emit("table5_all_methods");
+}

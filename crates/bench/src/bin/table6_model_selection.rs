@@ -1,0 +1,75 @@
+//! Table VI (Appendix B-1): RMI model-family selection — linear regression
+//! vs MLP architectures fitting `CF_sum` on TWEET.
+//!
+//! For each model the harness reports single-prediction latency (ns) and
+//! the measured relative error of `CF` differences over the query workload,
+//! mirroring the paper's conclusion that NN prediction cost disqualifies
+//! them as RMI stage models.
+//!
+//! Usage: `cargo run --release -p polyfit-bench --bin table6_model_selection
+//!         [--tweet 200000] [--train 50000]`
+
+use polyfit_baselines::mlp::{Mlp, MlpConfig};
+use polyfit_bench::{arg_usize, measure_ns, to_records, ResultsTable};
+use polyfit_data::{generate_tweet, query_intervals_from_keys};
+use polyfit_exact::KeyCumulativeArray;
+
+fn main() {
+    let tweet_n = arg_usize("tweet", 200_000);
+    let train_n = arg_usize("train", 50_000);
+    let n_queries = arg_usize("queries", 500);
+
+    println!("generating TWEET ({tweet_n}); training on {train_n} subsamples...");
+    let mut records = to_records(&generate_tweet(tweet_n, 0x7EE7));
+    polyfit_exact::dataset::sort_records(&mut records);
+    let records = polyfit_exact::dataset::dedup_sum(records);
+    let exact = KeyCumulativeArray::new(&records);
+    let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+    let values = exact.cumulative().to_vec();
+    // Uniform training subsample (full 1M × 60 epochs would dominate).
+    let stride = (keys.len() / train_n).max(1);
+    let tkeys: Vec<f64> = keys.iter().step_by(stride).copied().collect();
+    let tvals: Vec<f64> = values.iter().step_by(stride).copied().collect();
+    let queries = query_intervals_from_keys(&keys, n_queries, 13);
+
+    let architectures: &[(&str, &[usize], usize)] = &[
+        ("LR", &[], 40),
+        ("NN 1:4:1", &[4], 120),
+        ("NN 1:8:1", &[8], 120),
+        ("NN 1:16:1", &[16], 120),
+        ("NN 1:4:4:1", &[4, 4], 160),
+        ("NN 1:8:8:1", &[8, 8], 160),
+        ("NN 1:16:16:1", &[16, 16], 160),
+    ];
+
+    let mut t = ResultsTable::new(
+        "Table VI — model selection for RMI (single model fitting CF_sum on TWEET)",
+        &["model", "params", "prediction time (ns)", "measured rel err (%)"],
+    );
+    for &(name, hidden, epochs) in architectures {
+        println!("training {name}...");
+        let cfg = MlpConfig { epochs, ..Default::default() };
+        let mut model = Mlp::train(&tkeys, &tvals, hidden, cfg);
+        let pred_ns = measure_ns(&queries, 20, |q| {
+            // A range query costs two predictions; report per-prediction.
+            model.predict(q.lo)
+        });
+        let mut err_sum = 0.0;
+        let mut err_cnt = 0usize;
+        for q in &queries {
+            let truth = exact.range_sum(q.lo, q.hi);
+            if truth > 0.0 {
+                let approx = model.predict(q.hi) - model.predict(q.lo);
+                err_sum += (approx - truth).abs() / truth;
+                err_cnt += 1;
+            }
+        }
+        t.row(&[
+            name.into(),
+            format!("{}", model.num_params()),
+            format!("{pred_ns:.0}"),
+            format!("{:.1}", 100.0 * err_sum / err_cnt.max(1) as f64),
+        ]);
+    }
+    t.emit("table6_model_selection");
+}

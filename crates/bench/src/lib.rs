@@ -1,0 +1,197 @@
+//! # polyfit-bench — experiment harness
+//!
+//! Shared utilities for the runner binaries that regenerate every table
+//! and figure of the paper (see DESIGN.md §4 for the experiment index and
+//! `src/bin/` for the runners). Each binary prints the paper's rows/series
+//! as an aligned table and writes a CSV under `results/`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use polyfit_exact::dataset::{Point2d, Record};
+
+/// Convert generated records into the indexing vocabulary.
+pub fn to_records(raw: &[polyfit_data::Record]) -> Vec<Record> {
+    raw.iter().map(|r| Record::new(r.key, r.measure)).collect()
+}
+
+/// Convert generated 2-D points into the indexing vocabulary.
+pub fn to_points(raw: &[polyfit_data::Point2d]) -> Vec<Point2d> {
+    raw.iter().map(|p| Point2d::new(p.u, p.v, p.w)).collect()
+}
+
+/// Measure mean per-iteration latency in nanoseconds: run `f` over all
+/// items `repeats` times and divide. A black-box consumes results so the
+/// optimizer cannot elide query work.
+pub fn measure_ns<T, R>(items: &[T], repeats: usize, mut f: impl FnMut(&T) -> R) -> f64 {
+    assert!(!items.is_empty() && repeats > 0);
+    let start = Instant::now();
+    for _ in 0..repeats {
+        for it in items {
+            std::hint::black_box(f(it));
+        }
+    }
+    let elapsed = start.elapsed().as_nanos() as f64;
+    elapsed / (items.len() * repeats) as f64
+}
+
+/// Time a closure, returning (result, seconds).
+pub fn time_it<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}
+
+/// A simple results table that prints aligned text and saves CSV.
+pub struct ResultsTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ResultsTable {
+    /// Start a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        ResultsTable {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (already formatted).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Print to stdout and persist as `results/<name>.csv`.
+    pub fn emit(&self, name: &str) {
+        println!("{}", self.render());
+        let dir = results_dir();
+        let _ = fs::create_dir_all(&dir);
+        let mut csv = String::new();
+        let _ = writeln!(csv, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(csv, "{}", row.join(","));
+        }
+        let path = dir.join(format!("{name}.csv"));
+        if let Err(e) = fs::write(&path, csv) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("[saved {}]", path.display());
+        }
+    }
+}
+
+/// Directory where runners drop CSVs: `$POLYFIT_RESULTS_DIR` when set
+/// (used by `report_all` to keep CI-scale outputs away from the
+/// paper-scale ones), otherwise the workspace `results/`.
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("POLYFIT_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    // Walk up from the executable's cwd to a directory containing
+    // Cargo.toml with [workspace]; fall back to cwd.
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.toml").exists() {
+            return dir.join("results");
+        }
+        if !dir.pop() {
+            return PathBuf::from("results");
+        }
+    }
+}
+
+/// Parse `--flag value` style overrides from argv, e.g.
+/// `arg_usize("records", 1_000_000)`.
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == format!("--{name}") {
+            if let Ok(v) = w[1].parse() {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+/// True when `--flag` is present.
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == format!("--{name}"))
+}
+
+/// Format nanoseconds for display.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2e}", ns)
+    } else {
+        format!("{ns:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = ResultsTable::new("demo", &["method", "time"]);
+        t.row(&["PolyFit".into(), "93".into()]);
+        t.row(&["RMI".into(), "578".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("PolyFit"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = ResultsTable::new("demo", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn measure_ns_positive() {
+        let items = vec![1u64, 2, 3];
+        let ns = measure_ns(&items, 10, |&x| x * 2);
+        assert!(ns >= 0.0);
+    }
+
+    #[test]
+    fn fmt_ns_switches_to_scientific() {
+        assert_eq!(fmt_ns(93.4), "93");
+        assert!(fmt_ns(3.07e8).contains('e'));
+    }
+}

@@ -1,0 +1,189 @@
+//! Hand-rolled argument parsing (no external dependencies).
+
+use std::fmt;
+
+/// Usage text shown on parse errors.
+pub const USAGE: &str = "\
+usage:
+  polyfit-cli build --input <data.csv> --output <index.pf> --aggregate <sum|count|max|min>
+                --eps-abs <float> [--degree <1..8>] [--backend <exchange|chebyshev|simplex>]
+  polyfit-cli query --index <index.pf> --lo <float> --hi <float>
+  polyfit-cli info  --index <index.pf>";
+
+/// Aggregate kind selected at build time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Aggregate {
+    Sum,
+    Count,
+    Max,
+    Min,
+}
+
+/// A parsed command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    Build {
+        input: String,
+        output: String,
+        aggregate: Aggregate,
+        eps_abs: f64,
+        degree: usize,
+        backend: String,
+    },
+    Query {
+        index: String,
+        lo: f64,
+        hi: f64,
+    },
+    Info {
+        index: String,
+    },
+}
+
+/// Parse errors with human-readable context.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+fn flag_value<'a>(argv: &'a [String], flag: &str) -> Option<&'a str> {
+    argv.windows(2)
+        .find(|w| w[0] == flag)
+        .map(|w| w[1].as_str())
+}
+
+fn required<'a>(argv: &'a [String], flag: &str) -> Result<&'a str, ParseError> {
+    flag_value(argv, flag).ok_or_else(|| ParseError(format!("missing required flag {flag}")))
+}
+
+fn parse_f64(s: &str, flag: &str) -> Result<f64, ParseError> {
+    s.parse()
+        .map_err(|_| ParseError(format!("{flag} expects a number, got '{s}'")))
+}
+
+/// Parse an argv (without the program name) into a [`Command`].
+pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
+    let sub = argv.first().ok_or_else(|| ParseError("missing subcommand".into()))?;
+    match sub.as_str() {
+        "build" => {
+            let aggregate = match required(argv, "--aggregate")? {
+                "sum" => Aggregate::Sum,
+                "count" => Aggregate::Count,
+                "max" => Aggregate::Max,
+                "min" => Aggregate::Min,
+                other => {
+                    return Err(ParseError(format!(
+                        "unknown aggregate '{other}' (expected sum|count|max|min)"
+                    )))
+                }
+            };
+            let eps_abs = parse_f64(required(argv, "--eps-abs")?, "--eps-abs")?;
+            if eps_abs <= 0.0 {
+                return Err(ParseError("--eps-abs must be positive".into()));
+            }
+            let degree = match flag_value(argv, "--degree") {
+                Some(s) => s
+                    .parse()
+                    .map_err(|_| ParseError(format!("--degree expects an integer, got '{s}'")))?,
+                None => 2,
+            };
+            let backend = flag_value(argv, "--backend").unwrap_or("exchange");
+            if !["exchange", "chebyshev", "simplex"].contains(&backend) {
+                return Err(ParseError(format!(
+                    "unknown backend '{backend}' (expected exchange|chebyshev|simplex)"
+                )));
+            }
+            Ok(Command::Build {
+                input: required(argv, "--input")?.to_string(),
+                output: required(argv, "--output")?.to_string(),
+                aggregate,
+                eps_abs,
+                degree,
+                backend: backend.to_string(),
+            })
+        }
+        "query" => Ok(Command::Query {
+            index: required(argv, "--index")?.to_string(),
+            lo: parse_f64(required(argv, "--lo")?, "--lo")?,
+            hi: parse_f64(required(argv, "--hi")?, "--hi")?,
+        }),
+        "info" => Ok(Command::Info {
+            index: required(argv, "--index")?.to_string(),
+        }),
+        other => Err(ParseError(format!("unknown subcommand '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_build() {
+        let cmd = parse(&argv(
+            "build --input d.csv --output i.pf --aggregate sum --eps-abs 100 --degree 3",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Build {
+                input: "d.csv".into(),
+                output: "i.pf".into(),
+                aggregate: Aggregate::Sum,
+                eps_abs: 100.0,
+                degree: 3,
+                backend: "exchange".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn build_defaults() {
+        let cmd = parse(&argv(
+            "build --input d.csv --output i.pf --aggregate count --eps-abs 10",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Build { degree, backend, aggregate, .. } => {
+                assert_eq!(degree, 2);
+                assert_eq!(backend, "exchange");
+                assert_eq!(aggregate, Aggregate::Count);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_query_and_info() {
+        assert_eq!(
+            parse(&argv("query --index i.pf --lo 1.5 --hi 9")).unwrap(),
+            Command::Query { index: "i.pf".into(), lo: 1.5, hi: 9.0 }
+        );
+        assert_eq!(
+            parse(&argv("info --index i.pf")).unwrap(),
+            Command::Info { index: "i.pf".into() }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&argv("")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("build --input d.csv --output i.pf --aggregate avg --eps-abs 1")).is_err());
+        assert!(parse(&argv("build --input d.csv --output i.pf --aggregate sum --eps-abs -1")).is_err());
+        assert!(parse(&argv("build --input d.csv --output i.pf --aggregate sum --eps-abs x")).is_err());
+        assert!(parse(&argv("query --index i.pf --lo 1")).is_err());
+        assert!(parse(&argv(
+            "build --input d.csv --output i.pf --aggregate sum --eps-abs 1 --backend magic"
+        ))
+        .is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Command implementations.
+
+use std::fs;
+
+use polyfit::prelude::*;
+use polyfit::{PolyFitMax, PolyFitSum};
+
+use crate::args::{Aggregate, Command};
+use crate::csv;
+
+/// File-kind sniffing: the serializer's magic bytes.
+fn kind_of(bytes: &[u8]) -> Option<&'static str> {
+    match bytes.get(..4) {
+        Some(b"PFS1") => Some("sum"),
+        Some(b"PFM1") => Some("max"),
+        _ => None,
+    }
+}
+
+fn backend_of(name: &str) -> FitBackend {
+    match name {
+        "chebyshev" => FitBackend::ExchangeChebyshev,
+        "simplex" => FitBackend::Simplex,
+        _ => FitBackend::Exchange,
+    }
+}
+
+/// Execute a parsed command.
+pub fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Build { input, output, aggregate, eps_abs, degree, backend } => {
+            let text = fs::read_to_string(&input)
+                .map_err(|e| format!("cannot read {input}: {e}"))?;
+            let mut records = csv::parse_records(&text)?;
+            if aggregate == Aggregate::Count {
+                for r in &mut records {
+                    r.measure = 1.0;
+                }
+            }
+            let config = PolyFitConfig {
+                degree,
+                backend: backend_of(&backend),
+                ..Default::default()
+            };
+            config.validate().map_err(|e| e.to_string())?;
+            let (bytes, segments, kind) = match aggregate {
+                Aggregate::Sum | Aggregate::Count => {
+                    // Lemma 2: δ = ε_abs / 2 for SUM-family queries.
+                    let idx = PolyFitSum::build(records, eps_abs / 2.0, config)
+                        .map_err(|e| e.to_string())?;
+                    (idx.to_bytes(), idx.num_segments(), "sum")
+                }
+                Aggregate::Max => {
+                    // Lemma 4: δ = ε_abs.
+                    let idx = PolyFitMax::build(records, eps_abs, config)
+                        .map_err(|e| e.to_string())?;
+                    (idx.to_bytes(), idx.num_segments(), "max")
+                }
+                Aggregate::Min => {
+                    let idx = PolyFitMax::build_min(records, eps_abs, config)
+                        .map_err(|e| e.to_string())?;
+                    (idx.to_bytes(), idx.num_segments(), "min (max-file)")
+                }
+            };
+            fs::write(&output, &bytes).map_err(|e| format!("cannot write {output}: {e}"))?;
+            println!(
+                "built {kind} index: {segments} segments, {} bytes -> {output}",
+                bytes.len()
+            );
+            Ok(())
+        }
+        Command::Query { index, lo, hi } => {
+            let bytes = fs::read(&index).map_err(|e| format!("cannot read {index}: {e}"))?;
+            match kind_of(&bytes) {
+                Some("sum") => {
+                    let idx = PolyFitSum::from_bytes(&bytes).map_err(|e| e.to_string())?;
+                    println!("{}", idx.query(lo, hi));
+                    Ok(())
+                }
+                Some("max") => {
+                    let idx = PolyFitMax::from_bytes(&bytes).map_err(|e| e.to_string())?;
+                    match idx.query_max(lo, hi) {
+                        Some(v) => println!("{v}"),
+                        None => println!("NaN  # range outside the key domain"),
+                    }
+                    Ok(())
+                }
+                _ => Err(format!("{index} is not a PolyFit index file")),
+            }
+        }
+        Command::Info { index } => {
+            let bytes = fs::read(&index).map_err(|e| format!("cannot read {index}: {e}"))?;
+            match kind_of(&bytes) {
+                Some("sum") => {
+                    let idx = PolyFitSum::from_bytes(&bytes).map_err(|e| e.to_string())?;
+                    println!("kind:      SUM/COUNT (CF difference queries)");
+                    println!("segments:  {}", idx.num_segments());
+                    println!("delta:     {} (answers within 2δ at key endpoints)", idx.delta());
+                    println!("domain:    [{}, {}]", idx.domain().0, idx.domain().1);
+                    println!("total:     {}", idx.total());
+                    println!("file size: {} bytes", bytes.len());
+                    Ok(())
+                }
+                Some("max") => {
+                    let idx = PolyFitMax::from_bytes(&bytes).map_err(|e| e.to_string())?;
+                    println!("kind:      MAX/MIN (staircase extremum queries)");
+                    println!("segments:  {}", idx.num_segments());
+                    println!("delta:     {} (answers within δ, any endpoints)", idx.delta());
+                    println!("domain:    [{}, {}]", idx.domain().0, idx.domain().1);
+                    println!("file size: {} bytes", bytes.len());
+                    Ok(())
+                }
+                _ => Err(format!("{index} is not a PolyFit index file")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("polyfit-cli-tests");
+        let _ = fs::create_dir_all(&dir);
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn end_to_end_sum_roundtrip() {
+        let data = tmp("sum.csv");
+        let idx = tmp("sum.pf");
+        let rows: String = (0..2000).map(|i| format!("{i},2\n")).collect();
+        fs::write(&data, rows).unwrap();
+        run(parse(&argv(&format!(
+            "build --input {data} --output {idx} --aggregate sum --eps-abs 50"
+        )))
+        .unwrap())
+        .unwrap();
+        // Reload and check a query against the exact answer.
+        let bytes = fs::read(&idx).unwrap();
+        let loaded = PolyFitSum::from_bytes(&bytes).unwrap();
+        let approx = loaded.query(99.0, 1099.0);
+        assert!((approx - 2000.0).abs() <= 50.0, "approx {approx}");
+        run(parse(&argv(&format!("info --index {idx}"))).unwrap()).unwrap();
+        run(parse(&argv(&format!("query --index {idx} --lo 99 --hi 1099"))).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn end_to_end_max_roundtrip() {
+        let data = tmp("max.csv");
+        let idx = tmp("max.pf");
+        let rows: String = (0..1000)
+            .map(|i| format!("{i},{}\n", 100.0 + (i as f64 * 0.1).sin() * 30.0))
+            .collect();
+        fs::write(&data, rows).unwrap();
+        run(parse(&argv(&format!(
+            "build --input {data} --output {idx} --aggregate max --eps-abs 5"
+        )))
+        .unwrap())
+        .unwrap();
+        let bytes = fs::read(&idx).unwrap();
+        assert_eq!(kind_of(&bytes), Some("max"));
+        let loaded = PolyFitMax::from_bytes(&bytes).unwrap();
+        assert!(loaded.query_max(100.0, 900.0).is_some());
+    }
+
+    #[test]
+    fn count_aggregate_forces_unit_measures() {
+        let data = tmp("count.csv");
+        let idx = tmp("count.pf");
+        fs::write(&data, "1,99\n2,99\n3,99\n4,99\n").unwrap();
+        run(parse(&argv(&format!(
+            "build --input {data} --output {idx} --aggregate count --eps-abs 2"
+        )))
+        .unwrap())
+        .unwrap();
+        let loaded = PolyFitSum::from_bytes(&fs::read(&idx).unwrap()).unwrap();
+        assert!((loaded.total() - 4.0).abs() < 1e-9, "total {}", loaded.total());
+    }
+
+    #[test]
+    fn query_rejects_non_index_files() {
+        let bogus = tmp("bogus.pf");
+        fs::write(&bogus, b"hello world").unwrap();
+        let err = run(Command::Query { index: bogus, lo: 0.0, hi: 1.0 }).unwrap_err();
+        assert!(err.contains("not a PolyFit index"));
+    }
+
+    #[test]
+    fn build_rejects_missing_input() {
+        let err = run(Command::Build {
+            input: tmp("does-not-exist.csv"),
+            output: tmp("x.pf"),
+            aggregate: Aggregate::Sum,
+            eps_abs: 1.0,
+            degree: 2,
+            backend: "exchange".into(),
+        })
+        .unwrap_err();
+        assert!(err.contains("cannot read"));
+    }
+}

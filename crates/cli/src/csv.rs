@@ -1,0 +1,70 @@
+//! Minimal CSV reader for `(key[, measure])` record files.
+
+use polyfit_exact::dataset::Record;
+
+/// Read records from CSV text: `key,measure` per line; bare `key` lines
+/// get measure 1 (COUNT data). `#`-prefixed lines and one non-numeric
+/// header line are skipped.
+pub fn parse_records(text: &str) -> Result<Vec<Record>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(2, ',');
+        let key_s = parts.next().expect("splitn yields at least one").trim();
+        let measure_s = parts.next().map(str::trim);
+        let key: f64 = match key_s.parse() {
+            Ok(k) => k,
+            Err(_) if lineno == 0 => continue, // header row
+            Err(_) => return Err(format!("line {}: invalid key '{key_s}'", lineno + 1)),
+        };
+        let measure: f64 = match measure_s {
+            None | Some("") => 1.0,
+            Some(m) => m
+                .parse()
+                .map_err(|_| format!("line {}: invalid measure '{m}'", lineno + 1))?,
+        };
+        if !key.is_finite() || !measure.is_finite() {
+            return Err(format!("line {}: non-finite value", lineno + 1));
+        }
+        out.push(Record::new(key, measure));
+    }
+    if out.is_empty() {
+        return Err("no records found in input".into());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_key_measure_pairs() {
+        let rs = parse_records("1.5,10\n2.5,20\n").unwrap();
+        assert_eq!(rs, vec![Record::new(1.5, 10.0), Record::new(2.5, 20.0)]);
+    }
+
+    #[test]
+    fn bare_keys_default_measure() {
+        let rs = parse_records("3\n4\n").unwrap();
+        assert_eq!(rs[0].measure, 1.0);
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn skips_header_and_comments() {
+        let rs = parse_records("key,measure\n# comment\n1,2\n\n3,4\n").unwrap();
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_records("1,2\nfoo,3\n").is_err());
+        assert!(parse_records("1,bar\n").is_err());
+        assert!(parse_records("").is_err());
+        assert!(parse_records("nan,1\n1,1\n").is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! `polyfit-cli` — build, inspect, and query PolyFit index files.
+//!
+//! ```text
+//! polyfit-cli build --input data.csv --output idx.pf --aggregate sum --eps-abs 100 [--degree 2]
+//! polyfit-cli query --index idx.pf --lo 10 --hi 500
+//! polyfit-cli info  --index idx.pf
+//! ```
+//!
+//! Input CSV: one record per line, `key,measure` (or bare `key` for COUNT
+//! data, measure defaults to 1). Lines starting with `#` and a single
+//! header line of non-numeric text are skipped.
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+mod csv;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => match commands::run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

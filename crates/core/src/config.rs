@@ -1,0 +1,68 @@
+//! Index construction configuration.
+
+use polyfit_lp::FitBackend;
+
+/// Tuning knobs for PolyFit construction.
+///
+/// The defaults follow the paper's recommendations: degree 2 ("we set the
+/// degree of polynomial function as two for both COUNT and MAX queries by
+/// default", Section VII-B) and the exchange fitting backend (same optimum
+/// as the Eq. 9 LP at a fraction of the cost; see `polyfit-lp`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PolyFitConfig {
+    /// Polynomial degree `deg` (1..=8). Higher degrees shrink the index but
+    /// raise per-query Horner cost — the Fig. 14 trade-off.
+    pub degree: usize,
+    /// Minimax fitting backend.
+    pub backend: FitBackend,
+    /// Optional cap on segment length in points. `None` (default) lets
+    /// segments grow as far as the δ-constraint allows; a cap bounds the
+    /// worst-case fitting cost `ℓ_max` during construction.
+    pub max_segment_len: Option<usize>,
+}
+
+impl Default for PolyFitConfig {
+    fn default() -> Self {
+        PolyFitConfig {
+            degree: 2,
+            backend: FitBackend::Exchange,
+            max_segment_len: None,
+        }
+    }
+}
+
+impl PolyFitConfig {
+    /// A config with the given degree and defaults elsewhere.
+    pub fn with_degree(degree: usize) -> Self {
+        PolyFitConfig { degree, ..Default::default() }
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), crate::error::PolyFitError> {
+        if !(1..=8).contains(&self.degree) {
+            return Err(crate::error::PolyFitError::InvalidDegree { degree: self.degree });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = PolyFitConfig::default();
+        assert_eq!(c.degree, 2);
+        assert_eq!(c.backend, FitBackend::Exchange);
+        assert!(c.max_segment_len.is_none());
+    }
+
+    #[test]
+    fn degree_validation() {
+        assert!(PolyFitConfig::with_degree(1).validate().is_ok());
+        assert!(PolyFitConfig::with_degree(8).validate().is_ok());
+        assert!(PolyFitConfig::with_degree(0).validate().is_err());
+        assert!(PolyFitConfig::with_degree(9).validate().is_err());
+    }
+}

@@ -1,0 +1,247 @@
+//! Dynamic updates — the paper's stated future work ("we will further
+//! develop some efficient techniques … for handling the dynamic case").
+//!
+//! This module implements the standard delta-buffer design: the static
+//! PolyFit index serves the bulk of the data while a small ordered buffer
+//! absorbs inserts/deletes. Queries combine the index's certified
+//! approximation with the buffer's *exact* contribution, so the absolute
+//! guarantee `|A − R| ≤ ε_abs` is preserved verbatim — the buffer adds
+//! zero error. When the buffer exceeds its limit, the index is rebuilt by
+//! merging (an LSM-style compaction); rebuild cost is amortised over the
+//! buffered updates.
+
+use std::collections::BTreeMap;
+
+use polyfit_exact::dataset::{dedup_sum, sort_records, Record};
+
+use crate::config::PolyFitConfig;
+use crate::error::PolyFitError;
+use crate::index_sum::PolyFitSum;
+
+/// Monotone total-order mapping for finite `f64` keys, so a `BTreeMap`
+/// can hold float keys: flips the sign bit for positives and all bits for
+/// negatives (the classic IEEE-754 order trick).
+#[inline]
+fn ord_bits(k: f64) -> u64 {
+    let b = k.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// A PolyFit SUM/COUNT index supporting inserts and deletes.
+#[derive(Clone, Debug)]
+pub struct DynamicPolyFitSum {
+    base: PolyFitSum,
+    /// All records currently folded into `base` (kept for rebuilds).
+    base_records: Vec<Record>,
+    /// Pending measure deltas per key (positive = insert, negative =
+    /// delete), ordered by key bits.
+    buffer: BTreeMap<u64, (f64, f64)>,
+    /// Rebuild threshold.
+    buffer_limit: usize,
+    delta: f64,
+    config: PolyFitConfig,
+    rebuilds: usize,
+}
+
+impl DynamicPolyFitSum {
+    /// Build from initial records with the bounded δ-error constraint and
+    /// a buffer limit (number of distinct buffered keys before compaction).
+    pub fn new(
+        mut records: Vec<Record>,
+        delta: f64,
+        config: PolyFitConfig,
+        buffer_limit: usize,
+    ) -> Result<Self, PolyFitError> {
+        sort_records(&mut records);
+        let records = dedup_sum(records);
+        let base = PolyFitSum::build(records.clone(), delta, config)?;
+        Ok(DynamicPolyFitSum {
+            base,
+            base_records: records,
+            buffer: BTreeMap::new(),
+            buffer_limit: buffer_limit.max(1),
+            delta,
+            config,
+            rebuilds: 0,
+        })
+    }
+
+    /// Insert a record. `O(log buffer)`; triggers a rebuild when the
+    /// buffer limit is reached.
+    pub fn insert(&mut self, key: f64, measure: f64) {
+        assert!(key.is_finite() && measure.is_finite(), "finite values required");
+        let entry = self.buffer.entry(ord_bits(key)).or_insert((key, 0.0));
+        entry.1 += measure;
+        self.maybe_rebuild();
+    }
+
+    /// Delete measure mass at a key (the inverse of a previous insert).
+    /// Deleting more than exists leaves a negative contribution — exactly
+    /// cancelling against the base at query time.
+    pub fn delete(&mut self, key: f64, measure: f64) {
+        self.insert(key, -measure);
+    }
+
+    fn maybe_rebuild(&mut self) {
+        if self.buffer.len() < self.buffer_limit {
+            return;
+        }
+        let mut merged = std::mem::take(&mut self.base_records);
+        for &(key, dm) in self.buffer.values() {
+            if dm != 0.0 {
+                merged.push(Record::new(key, dm));
+            }
+        }
+        self.buffer.clear();
+        sort_records(&mut merged);
+        let mut merged = dedup_sum(merged);
+        // Fully-deleted keys fold to measure 0; drop them so the step
+        // function stays minimal.
+        merged.retain(|r| r.measure != 0.0);
+        self.base = PolyFitSum::build(merged.clone(), self.delta, self.config)
+            .expect("rebuild over non-empty data");
+        self.base_records = merged;
+        self.rebuilds += 1;
+    }
+
+    /// Approximate range SUM over `(lq, uq]`: index approximation + exact
+    /// buffer contribution. Same `2δ` bound as the static index.
+    pub fn query(&self, lq: f64, uq: f64) -> f64 {
+        if lq >= uq {
+            return 0.0;
+        }
+        let base = self.base.query(lq, uq);
+        let buffered: f64 = self
+            .buffer
+            .range((
+                std::ops::Bound::Excluded(ord_bits(lq)),
+                std::ops::Bound::Included(ord_bits(uq)),
+            ))
+            .map(|(_, &(_, dm))| dm)
+            .sum();
+        base + buffered
+    }
+
+    /// Number of records folded into the static index.
+    pub fn base_len(&self) -> usize {
+        self.base_records.len()
+    }
+
+    /// Number of pending buffered keys.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// How many compactions have run.
+    pub fn rebuilds(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// The underlying static index.
+    pub fn base(&self) -> &PolyFitSum {
+        &self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_sum(records: &[(f64, f64)], l: f64, u: f64) -> f64 {
+        records
+            .iter()
+            .filter(|(k, _)| *k > l && *k <= u)
+            .map(|(_, m)| m)
+            .sum()
+    }
+
+    fn base_records(n: usize) -> Vec<Record> {
+        (0..n).map(|i| Record::new(i as f64, 1.0)).collect()
+    }
+
+    #[test]
+    fn inserts_are_exact_on_top_of_base() {
+        let mut idx =
+            DynamicPolyFitSum::new(base_records(10_000), 20.0, PolyFitConfig::default(), 1_000_000)
+                .unwrap();
+        let mut shadow: Vec<(f64, f64)> = (0..10_000).map(|i| (i as f64, 1.0)).collect();
+        for i in 0..500 {
+            let k = 2_000.5 + i as f64 * 3.0;
+            idx.insert(k, 5.0);
+            shadow.push((k, 5.0));
+        }
+        for (l, u) in [(0.0, 9999.0), (1999.0, 4000.0), (2000.0, 2001.0)] {
+            let err = (idx.query(l, u) - exact_sum(&shadow, l, u)).abs();
+            assert!(err <= 40.0 + 1e-9, "({l}, {u}]: err {err}");
+        }
+    }
+
+    #[test]
+    fn deletes_cancel() {
+        let mut idx =
+            DynamicPolyFitSum::new(base_records(5_000), 10.0, PolyFitConfig::default(), 1_000_000)
+                .unwrap();
+        // Delete keys 100..200 entirely.
+        for i in 100..200 {
+            idx.delete(i as f64, 1.0);
+        }
+        let approx = idx.query(99.0, 199.0);
+        assert!(approx.abs() <= 20.0 + 1e-9, "deleted range still reports {approx}");
+    }
+
+    #[test]
+    fn rebuild_triggers_and_preserves_answers() {
+        let mut idx =
+            DynamicPolyFitSum::new(base_records(2_000), 10.0, PolyFitConfig::default(), 64)
+                .unwrap();
+        let mut shadow: Vec<(f64, f64)> = (0..2_000).map(|i| (i as f64, 1.0)).collect();
+        for i in 0..300 {
+            let k = 500.25 + i as f64;
+            idx.insert(k, 2.0);
+            shadow.push((k, 2.0));
+        }
+        assert!(idx.rebuilds() >= 1, "buffer limit 64 must have compacted");
+        assert!(idx.buffered() < 64);
+        for (l, u) in [(0.0, 1999.0), (499.0, 900.0)] {
+            let err = (idx.query(l, u) - exact_sum(&shadow, l, u)).abs();
+            assert!(err <= 20.0 + 1e-9, "({l}, {u}]: err {err}");
+        }
+    }
+
+    #[test]
+    fn negative_keys_ordered_correctly() {
+        let records: Vec<Record> = (-500..500).map(|i| Record::new(i as f64, 1.0)).collect();
+        let mut idx =
+            DynamicPolyFitSum::new(records, 5.0, PolyFitConfig::default(), 1_000_000).unwrap();
+        idx.insert(-250.5, 10.0);
+        idx.insert(250.5, 20.0);
+        // (−300, −200] must see the −250.5 insert but not the 250.5 one.
+        let a = idx.query(-300.0, -200.0);
+        assert!((a - (100.0 + 10.0)).abs() <= 10.0 + 1e-9, "got {a}");
+    }
+
+    #[test]
+    fn repeated_update_same_key_folds() {
+        let mut idx =
+            DynamicPolyFitSum::new(base_records(100), 2.0, PolyFitConfig::default(), 1_000_000)
+                .unwrap();
+        for _ in 0..50 {
+            idx.insert(42.5, 1.0);
+        }
+        assert_eq!(idx.buffered(), 1);
+        let a = idx.query(42.0, 43.0);
+        assert!((a - 51.0).abs() <= 4.0 + 1e-9, "got {a}"); // key 43 + 50 inserts
+    }
+
+    #[test]
+    fn ord_bits_is_monotone() {
+        let vals = [-1e9, -2.5, -0.0, 0.0, 1e-300, 3.7, 1e18];
+        for w in vals.windows(2) {
+            assert!(ord_bits(w[0]) <= ord_bits(w[1]), "{} vs {}", w[0], w[1]);
+        }
+    }
+}

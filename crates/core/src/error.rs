@@ -1,0 +1,57 @@
+//! Error types for index construction and querying.
+
+use std::fmt;
+
+/// Errors surfaced by PolyFit construction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PolyFitError {
+    /// The dataset is empty (nothing to index).
+    EmptyDataset,
+    /// A key or measure is NaN/∞.
+    NonFiniteData {
+        /// Index of the offending record in the input.
+        index: usize,
+    },
+    /// The requested error budget is not positive.
+    InvalidErrorBound {
+        /// The rejected bound.
+        bound: f64,
+    },
+    /// The polynomial degree is outside the supported range.
+    InvalidDegree {
+        /// The rejected degree.
+        degree: usize,
+    },
+}
+
+impl fmt::Display for PolyFitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolyFitError::EmptyDataset => write!(f, "cannot build an index over an empty dataset"),
+            PolyFitError::NonFiniteData { index } => {
+                write!(f, "record {index} has a non-finite key or measure")
+            }
+            PolyFitError::InvalidErrorBound { bound } => {
+                write!(f, "error bound must be positive, got {bound}")
+            }
+            PolyFitError::InvalidDegree { degree } => {
+                write!(f, "polynomial degree {degree} unsupported (expected 1..=8)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolyFitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(PolyFitError::EmptyDataset.to_string().contains("empty"));
+        assert!(PolyFitError::NonFiniteData { index: 3 }.to_string().contains('3'));
+        assert!(PolyFitError::InvalidErrorBound { bound: -1.0 }.to_string().contains("-1"));
+        assert!(PolyFitError::InvalidDegree { degree: 99 }.to_string().contains("99"));
+    }
+}

@@ -1,0 +1,412 @@
+//! PolyFit index for range MAX / MIN queries (paper Section V-B).
+//!
+//! Segments approximate the key–measure staircase `DF(k)` under the
+//! *continuous* δ-certification (see [`crate::segmentation`]). On top of
+//! the segments sits an implicit aggregate tree storing each segment's
+//! exact extremum, mirroring the aggregate max-tree of Section III-B2 but
+//! over `h ≪ n` entries:
+//!
+//! * segments fully covered by the query contribute their stored exact
+//!   extremum (`O(log h)` via the tree);
+//! * the ≤ 2 boundary segments are maximised in closed form: the extremum
+//!   of the fitted polynomial over the clipped interval, found from its
+//!   stationary points (Eq. 17) — within δ of the true staircase extremum
+//!   thanks to the continuous certification.
+
+use polyfit_exact::dataset::Record;
+use polyfit_poly::extrema::{max_on_interval_shifted, min_on_interval_shifted};
+
+use crate::config::PolyFitConfig;
+use crate::error::PolyFitError;
+use crate::function::{step_function, step_function_min, TargetFunction};
+use crate::segment::Segment;
+use crate::segmentation::{greedy_segmentation, ErrorMetric};
+use crate::stats::IndexStats;
+
+/// Implicit binary tree over per-segment (max, min) aggregates.
+#[derive(Clone, Debug)]
+struct ExtremaTree {
+    /// `(max, min)` pairs; 1-indexed, leaves at `size..size+h`.
+    nodes: Vec<(f64, f64)>,
+    size: usize,
+}
+
+const EMPTY_NODE: (f64, f64) = (f64::NEG_INFINITY, f64::INFINITY);
+
+impl ExtremaTree {
+    fn new(leaves: &[(f64, f64)]) -> Self {
+        let size = leaves.len().next_power_of_two().max(1);
+        let mut nodes = vec![EMPTY_NODE; 2 * size];
+        nodes[size..size + leaves.len()].copy_from_slice(leaves);
+        for i in (1..size).rev() {
+            let (l, r) = (nodes[2 * i], nodes[2 * i + 1]);
+            nodes[i] = (l.0.max(r.0), l.1.min(r.1));
+        }
+        ExtremaTree { nodes, size }
+    }
+
+    /// Aggregate over leaf range `[lo, hi)`.
+    fn query(&self, lo: usize, hi: usize) -> (f64, f64) {
+        if lo >= hi {
+            return EMPTY_NODE;
+        }
+        let (mut l, mut r) = (lo + self.size, hi + self.size);
+        let mut acc = EMPTY_NODE;
+        while l < r {
+            if l & 1 == 1 {
+                acc = (acc.0.max(self.nodes[l].0), acc.1.min(self.nodes[l].1));
+                l += 1;
+            }
+            if r & 1 == 1 {
+                r -= 1;
+                acc = (acc.0.max(self.nodes[r].0), acc.1.min(self.nodes[r].1));
+            }
+            l >>= 1;
+            r >>= 1;
+        }
+        acc
+    }
+
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// A PolyFit index over the key–measure staircase.
+#[derive(Clone, Debug)]
+pub struct PolyFitMax {
+    directory: Vec<f64>,
+    segments: Vec<Segment>,
+    tree: ExtremaTree,
+    delta: f64,
+    domain: (f64, f64),
+    build_stats: IndexStats,
+}
+
+impl PolyFitMax {
+    /// Build a MAX-oriented index (duplicate keys folded by maximum).
+    pub fn build(
+        records: Vec<Record>,
+        delta: f64,
+        config: PolyFitConfig,
+    ) -> Result<Self, PolyFitError> {
+        config.validate()?;
+        if delta <= 0.0 || !delta.is_finite() {
+            return Err(PolyFitError::InvalidErrorBound { bound: delta });
+        }
+        let f = step_function(records)?;
+        Ok(Self::from_function(&f, delta, config))
+    }
+
+    /// Build a MIN-oriented index (duplicate keys folded by minimum).
+    /// Query it with [`Self::query_min`].
+    pub fn build_min(
+        records: Vec<Record>,
+        delta: f64,
+        config: PolyFitConfig,
+    ) -> Result<Self, PolyFitError> {
+        config.validate()?;
+        if delta <= 0.0 || !delta.is_finite() {
+            return Err(PolyFitError::InvalidErrorBound { bound: delta });
+        }
+        let f = step_function_min(records)?;
+        Ok(Self::from_function(&f, delta, config))
+    }
+
+    /// Build from a prepared staircase.
+    pub fn from_function(f: &TargetFunction, delta: f64, config: PolyFitConfig) -> Self {
+        let t0 = std::time::Instant::now();
+        let specs = greedy_segmentation(f, &config, delta, ErrorMetric::Continuous);
+        let mut directory = Vec::with_capacity(specs.len());
+        let mut segments = Vec::with_capacity(specs.len());
+        let mut leaves = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let lo_key = f.keys[spec.start];
+            let hi_key = f.keys[spec.end];
+            let vmax = f.values[spec.start..=spec.end]
+                .iter()
+                .fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+            let vmin = f.values[spec.start..=spec.end]
+                .iter()
+                .fold(f64::INFINITY, |m, &v| m.min(v));
+            directory.push(lo_key);
+            leaves.push((vmax, vmin));
+            segments.push(Segment {
+                lo_key,
+                hi_key,
+                poly: spec.fit.poly,
+                error: spec.certified_error,
+                value_max: vmax,
+                value_min: vmin,
+            });
+        }
+        let tree = ExtremaTree::new(&leaves);
+        let domain = f.domain();
+        let logical = segments
+            .iter()
+            .map(|s| s.logical_size_bytes() + 2 * std::mem::size_of::<f64>())
+            .sum::<usize>()
+            + tree.node_count() * 2 * std::mem::size_of::<f64>();
+        let stats = IndexStats {
+            segments: segments.len(),
+            logical_size_bytes: logical,
+            build_time: t0.elapsed(),
+        };
+        PolyFitMax { directory, segments, tree, delta, domain, build_stats: stats }
+    }
+
+    /// Reassemble an index from decoded parts (see [`crate::serialize`]);
+    /// the extrema tree is rebuilt from per-segment aggregates.
+    pub(crate) fn from_parts(segments: Vec<Segment>, delta: f64, domain: (f64, f64)) -> Self {
+        let directory = segments.iter().map(|s| s.lo_key).collect();
+        let leaves: Vec<(f64, f64)> =
+            segments.iter().map(|s| (s.value_max, s.value_min)).collect();
+        let tree = ExtremaTree::new(&leaves);
+        let logical = segments
+            .iter()
+            .map(|s| s.logical_size_bytes() + 2 * std::mem::size_of::<f64>())
+            .sum::<usize>()
+            + tree.node_count() * 2 * std::mem::size_of::<f64>();
+        let stats = IndexStats {
+            segments: segments.len(),
+            logical_size_bytes: logical,
+            build_time: std::time::Duration::ZERO,
+        };
+        PolyFitMax { directory, segments, tree, delta, domain, build_stats: stats }
+    }
+
+    /// Locate the segment whose staircase covers `k` (the segment of
+    /// `pred(k)`); `None` left of the domain.
+    #[inline]
+    fn locate(&self, k: f64) -> Option<usize> {
+        if k < self.domain.0 {
+            return None;
+        }
+        Some(self.directory.partition_point(|&lo| lo <= k) - 1)
+    }
+
+    /// Approximate the maximum of `DF` over `[lq, uq]`, within δ.
+    /// Returns `None` when the range lies entirely left of the key domain
+    /// (where the staircase is undefined).
+    pub fn query_max(&self, lq: f64, uq: f64) -> Option<f64> {
+        self.query_impl(lq, uq, true)
+    }
+
+    /// Approximate the minimum of `DF` over `[lq, uq]`, within δ. Only
+    /// meaningful on indexes built with [`Self::build_min`].
+    pub fn query_min(&self, lq: f64, uq: f64) -> Option<f64> {
+        self.query_impl(lq, uq, false)
+    }
+
+    fn query_impl(&self, lq: f64, uq: f64, want_max: bool) -> Option<f64> {
+        if lq > uq || uq < self.domain.0 {
+            return None;
+        }
+        let lq = lq.max(self.domain.0);
+        let il = self.locate(lq).expect("lq clamped into domain");
+        let iu = self.locate(uq).expect("uq ≥ domain start");
+        let combine = |a: f64, b: f64| if want_max { a.max(b) } else { a.min(b) };
+        let boundary = |i: usize, from: f64, to: f64| -> f64 {
+            let seg = &self.segments[i];
+            let a = from.clamp(seg.lo_key, seg.hi_key);
+            let b = to.clamp(seg.lo_key, seg.hi_key);
+            if want_max {
+                max_on_interval_shifted(&seg.poly, a, b).value
+            } else {
+                min_on_interval_shifted(&seg.poly, a, b).value
+            }
+        };
+        if il == iu {
+            return Some(boundary(il, lq, uq));
+        }
+        let mut best = boundary(il, lq, f64::INFINITY);
+        best = combine(best, boundary(iu, f64::NEG_INFINITY, uq));
+        if iu > il + 1 {
+            let (mx, mn) = self.tree.query(il + 1, iu);
+            best = combine(best, if want_max { mx } else { mn });
+        }
+        Some(best)
+    }
+
+    /// The certified per-query error bound δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Number of polynomial segments `h`.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Largest certified per-segment error (≤ δ by construction).
+    pub fn max_certified_error(&self) -> f64 {
+        self.segments.iter().fold(0.0, |m, s| m.max(s.error))
+    }
+
+    /// Logical serialized index size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.build_stats.logical_size_bytes
+    }
+
+    /// Construction statistics.
+    pub fn stats(&self) -> &IndexStats {
+        &self.build_stats
+    }
+
+    /// Key domain covered by the index.
+    pub fn domain(&self) -> (f64, f64) {
+        self.domain
+    }
+
+    /// Segment access for diagnostics.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyfit_exact::AggTree;
+
+    fn records(n: usize) -> Vec<Record> {
+        (0..n)
+            .map(|i| {
+                let k = i as f64;
+                let m = 50.0 + (k * 0.05).sin() * 30.0 + ((i * 31) % 17) as f64;
+                Record::new(k, m)
+            })
+            .collect()
+    }
+
+    fn exact_of(records: &[Record]) -> AggTree {
+        let mut rs = records.to_vec();
+        polyfit_exact::dataset::sort_records(&mut rs);
+        AggTree::new(&polyfit_exact::dataset::dedup_max(rs))
+    }
+
+    #[test]
+    fn max_within_delta_on_key_ranges() {
+        let rs = records(2000);
+        let exact = exact_of(&rs);
+        let idx = PolyFitMax::build(rs.clone(), 8.0, PolyFitConfig::default()).unwrap();
+        for (a, b) in [(0usize, 1999usize), (5, 8), (100, 1500), (777, 778), (1990, 1999)] {
+            let (l, u) = (rs[a].key, rs[b].key);
+            let approx = idx.query_max(l, u).unwrap();
+            let truth = exact.range_max(l, u).unwrap();
+            assert!(
+                (approx - truth).abs() <= 8.0 + 1e-6,
+                "[{l}, {u}]: approx {approx} truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_within_delta_on_arbitrary_endpoints() {
+        // Continuous certification ⇒ guarantee holds between keys too.
+        let rs = records(1000);
+        let exact = exact_of(&rs);
+        let idx = PolyFitMax::build(rs, 10.0, PolyFitConfig::default()).unwrap();
+        for (l, u) in [(0.5, 999.5), (10.25, 10.75), (333.33, 666.66), (998.9, 1020.0)] {
+            let approx = idx.query_max(l, u).unwrap();
+            let truth = exact.range_max(l, u).unwrap();
+            assert!(
+                (approx - truth).abs() <= 10.0 + 1e-6,
+                "[{l}, {u}]: approx {approx} truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_index_mirrors() {
+        let rs = records(800);
+        let mut sorted = rs.clone();
+        polyfit_exact::dataset::sort_records(&mut sorted);
+        let exact = AggTree::new(&sorted);
+        let idx = PolyFitMax::build_min(rs, 6.0, PolyFitConfig::default()).unwrap();
+        for (l, u) in [(0.0, 799.0), (100.0, 200.0), (50.5, 60.5)] {
+            let approx = idx.query_min(l, u).unwrap();
+            let truth = exact.range_min(l, u).unwrap();
+            assert!(
+                (approx - truth).abs() <= 6.0 + 1e-6,
+                "[{l}, {u}]: approx {approx} truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn left_of_domain_is_none() {
+        let idx = PolyFitMax::build(records(100), 5.0, PolyFitConfig::default()).unwrap();
+        assert_eq!(idx.query_max(-10.0, -5.0), None);
+        assert!(idx.query_max(-10.0, 50.0).is_some());
+    }
+
+    #[test]
+    fn right_of_domain_uses_last_step() {
+        // DF(k) = m_n for k ≥ k_n (Eq. 6): queries beyond the domain see
+        // the final step.
+        let rs = vec![
+            Record::new(0.0, 5.0),
+            Record::new(1.0, 9.0),
+            Record::new(2.0, 3.0),
+        ];
+        let idx = PolyFitMax::build(rs, 0.5, PolyFitConfig::with_degree(1)).unwrap();
+        let v = idx.query_max(10.0, 20.0).unwrap();
+        assert!((v - 3.0).abs() <= 0.5 + 1e-9, "got {v}");
+    }
+
+    #[test]
+    fn inverted_range_none() {
+        let idx = PolyFitMax::build(records(100), 5.0, PolyFitConfig::default()).unwrap();
+        assert_eq!(idx.query_max(50.0, 10.0), None);
+    }
+
+    #[test]
+    fn single_segment_queries() {
+        // Tiny dataset with loose delta → one segment; exercise il == iu.
+        let rs = records(50);
+        let exact = exact_of(&rs);
+        let idx = PolyFitMax::build(rs, 100.0, PolyFitConfig::default()).unwrap();
+        assert_eq!(idx.num_segments(), 1);
+        let approx = idx.query_max(10.0, 40.0).unwrap();
+        let truth = exact.range_max(10.0, 40.0).unwrap();
+        assert!((approx - truth).abs() <= 100.0 + 1e-9);
+    }
+
+    #[test]
+    fn fully_covered_segments_are_exact() {
+        // A query spanning whole segments (minus boundaries at domain
+        // edges) must return at least the true inner maximum.
+        let rs = records(2000);
+        let exact = exact_of(&rs);
+        let idx = PolyFitMax::build(rs, 4.0, PolyFitConfig::default()).unwrap();
+        let (l, u) = (idx.domain().0, idx.domain().1);
+        let approx = idx.query_max(l, u).unwrap();
+        let truth = exact.range_max(l, u).unwrap();
+        assert!((approx - truth).abs() <= 4.0 + 1e-6);
+    }
+
+    #[test]
+    fn certified_error_below_delta() {
+        let idx = PolyFitMax::build(records(1500), 7.5, PolyFitConfig::default()).unwrap();
+        assert!(idx.max_certified_error() <= 7.5 + 1e-9);
+        assert!(idx.num_segments() > 1);
+    }
+
+    #[test]
+    fn extrema_tree_matches_brute() {
+        let leaves: Vec<(f64, f64)> = (0..13).map(|i| (i as f64, -(i as f64))).collect();
+        let tree = ExtremaTree::new(&leaves);
+        for lo in 0..13 {
+            for hi in lo..=13 {
+                let (mx, mn) = tree.query(lo, hi);
+                if lo == hi {
+                    assert_eq!((mx, mn), EMPTY_NODE);
+                } else {
+                    assert_eq!(mx, (hi - 1) as f64);
+                    assert_eq!(mn, -((hi - 1) as f64));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! PolyFit index for range SUM / COUNT queries (paper Section V-A).
+//!
+//! Segments approximate the cumulative function `CF(k)`; a range aggregate
+//! over `(lq, uq]` is `P_Iu(uq) − P_Il(lq)`. Each endpoint evaluation is an
+//! `O(log h)` binary search over the segment directory plus an `O(deg)`
+//! Horner evaluation — independent of `n`.
+
+use polyfit_exact::dataset::Record;
+
+use crate::config::PolyFitConfig;
+use crate::error::PolyFitError;
+use crate::function::{cumulative_function, TargetFunction};
+use crate::segment::Segment;
+use crate::segmentation::{greedy_segmentation, ErrorMetric};
+use crate::stats::IndexStats;
+
+/// A PolyFit index over the cumulative function.
+#[derive(Clone, Debug)]
+pub struct PolyFitSum {
+    /// `lo_key` of each segment, ascending — the search directory.
+    directory: Vec<f64>,
+    segments: Vec<Segment>,
+    /// The δ each segment is certified against.
+    delta: f64,
+    /// Exact total of all measures (pinning the right domain edge exactly
+    /// costs 8 bytes and removes the fit error there).
+    total: f64,
+    /// Key domain `[first, last]`.
+    domain: (f64, f64),
+    build_stats: IndexStats,
+}
+
+impl PolyFitSum {
+    /// Build from raw records with the bounded δ-error constraint.
+    pub fn build(
+        records: Vec<Record>,
+        delta: f64,
+        config: PolyFitConfig,
+    ) -> Result<Self, PolyFitError> {
+        config.validate()?;
+        if delta <= 0.0 || !delta.is_finite() {
+            return Err(PolyFitError::InvalidErrorBound { bound: delta });
+        }
+        let f = cumulative_function(records)?;
+        Ok(Self::from_function(&f, delta, config))
+    }
+
+    /// Build a COUNT index (all measures 1).
+    pub fn build_count(
+        keys: impl IntoIterator<Item = f64>,
+        delta: f64,
+        config: PolyFitConfig,
+    ) -> Result<Self, PolyFitError> {
+        let records: Vec<Record> = keys.into_iter().map(|k| Record::new(k, 1.0)).collect();
+        Self::build(records, delta, config)
+    }
+
+    /// Build directly from a prepared target function (used by drivers that
+    /// already materialised `CF`).
+    pub fn from_function(f: &TargetFunction, delta: f64, config: PolyFitConfig) -> Self {
+        let t0 = std::time::Instant::now();
+        let specs = greedy_segmentation(f, &config, delta, ErrorMetric::DataPoint);
+        let mut directory = Vec::with_capacity(specs.len());
+        let mut segments = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let lo_key = f.keys[spec.start];
+            let hi_key = f.keys[spec.end];
+            let vmax = f.values[spec.start..=spec.end]
+                .iter()
+                .fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+            let vmin = f.values[spec.start..=spec.end]
+                .iter()
+                .fold(f64::INFINITY, |m, &v| m.min(v));
+            directory.push(lo_key);
+            segments.push(Segment {
+                lo_key,
+                hi_key,
+                poly: spec.fit.poly,
+                error: spec.certified_error,
+                value_max: vmax,
+                value_min: vmin,
+            });
+        }
+        let total = *f.values.last().expect("non-empty function");
+        let domain = f.domain();
+        let logical_bytes = Self::logical_bytes(&segments);
+        PolyFitSum {
+            directory,
+            segments,
+            delta,
+            total,
+            domain,
+            build_stats: IndexStats {
+                segments: 0, // fixed below
+                logical_size_bytes: logical_bytes,
+                build_time: t0.elapsed(),
+            },
+        }
+        .finish_stats()
+    }
+
+    /// Reassemble an index from decoded parts (see [`crate::serialize`]).
+    /// Intended for deserialization; segments must be sorted and tiling.
+    pub(crate) fn from_parts(
+        segments: Vec<Segment>,
+        delta: f64,
+        total: f64,
+        domain: (f64, f64),
+    ) -> Self {
+        let directory = segments.iter().map(|s| s.lo_key).collect();
+        let logical_bytes = Self::logical_bytes(&segments);
+        PolyFitSum {
+            directory,
+            segments,
+            delta,
+            total,
+            domain,
+            build_stats: IndexStats {
+                segments: 0,
+                logical_size_bytes: logical_bytes,
+                build_time: std::time::Duration::ZERO,
+            },
+        }
+        .finish_stats()
+    }
+
+    fn finish_stats(mut self) -> Self {
+        self.build_stats.segments = self.segments.len();
+        self
+    }
+
+    fn logical_bytes(segments: &[Segment]) -> usize {
+        segments.iter().map(Segment::logical_size_bytes).sum::<usize>()
+            + 3 * std::mem::size_of::<f64>() // delta, total, domain edge
+    }
+
+    /// Approximate the cumulative function at `k`, within δ at every
+    /// dataset key (and exactly 0 / `total` outside the key domain).
+    #[inline]
+    pub fn cf(&self, k: f64) -> f64 {
+        if k < self.domain.0 {
+            return 0.0;
+        }
+        if k >= self.domain.1 {
+            return self.total;
+        }
+        let i = self.directory.partition_point(|&lo| lo <= k) - 1;
+        self.segments[i].eval_clamped(k)
+    }
+
+    /// Approximate range SUM over `(lq, uq]`: `|answer − exact| ≤ 2δ` at
+    /// dataset-key endpoints (paper Lemma 2 machinery).
+    #[inline]
+    pub fn query(&self, lq: f64, uq: f64) -> f64 {
+        if lq >= uq {
+            return 0.0;
+        }
+        self.cf(uq) - self.cf(lq)
+    }
+
+    /// The δ this index certifies per endpoint.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Number of polynomial segments `h`.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Largest certified per-segment error (≤ δ by construction).
+    pub fn max_certified_error(&self) -> f64 {
+        self.segments.iter().fold(0.0, |m, s| m.max(s.error))
+    }
+
+    /// Logical serialized index size in bytes (paper Fig. 19 metric).
+    pub fn size_bytes(&self) -> usize {
+        self.build_stats.logical_size_bytes
+    }
+
+    /// Construction statistics.
+    pub fn stats(&self) -> &IndexStats {
+        &self.build_stats
+    }
+
+    /// Key domain covered by the index.
+    pub fn domain(&self) -> (f64, f64) {
+        self.domain
+    }
+
+    /// Exact total of all measures (CF at the right domain edge).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Iterate over segments (diagnostics, plots, serialization).
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyfit_exact::KeyCumulativeArray;
+
+    fn records(n: usize) -> Vec<Record> {
+        (0..n)
+            .map(|i| Record::new(i as f64 * 1.5, 1.0 + ((i * 7) % 13) as f64))
+            .collect()
+    }
+
+    fn exact_of(records: &[Record]) -> KeyCumulativeArray {
+        let mut rs = records.to_vec();
+        polyfit_exact::dataset::sort_records(&mut rs);
+        KeyCumulativeArray::new(&polyfit_exact::dataset::dedup_sum(rs))
+    }
+
+    #[test]
+    fn cf_within_delta_at_every_key() {
+        let rs = records(2000);
+        let exact = exact_of(&rs);
+        let idx = PolyFitSum::build(rs, 25.0, PolyFitConfig::default()).unwrap();
+        for &k in exact.keys() {
+            let err = (idx.cf(k) - exact.cf(k)).abs();
+            assert!(err <= 25.0 + 1e-9, "key {k}: err {err}");
+        }
+    }
+
+    #[test]
+    fn query_within_two_delta() {
+        let rs = records(3000);
+        let exact = exact_of(&rs);
+        let idx = PolyFitSum::build(rs, 40.0, PolyFitConfig::default()).unwrap();
+        let keys = exact.keys();
+        for (a, b) in [(0usize, 2999usize), (10, 20), (500, 2500), (1234, 1235)] {
+            let (l, u) = (keys[a], keys[b]);
+            let err = (idx.query(l, u) - exact.range_sum(l, u)).abs();
+            assert!(err <= 80.0 + 1e-9, "({l}, {u}]: err {err}");
+        }
+    }
+
+    #[test]
+    fn domain_edges_exact() {
+        let rs = records(500);
+        let exact = exact_of(&rs);
+        let idx = PolyFitSum::build(rs, 10.0, PolyFitConfig::default()).unwrap();
+        assert_eq!(idx.cf(idx.domain().0 - 1.0), 0.0);
+        assert_eq!(idx.cf(idx.domain().1), exact.total());
+        assert_eq!(idx.cf(idx.domain().1 + 100.0), exact.total());
+    }
+
+    #[test]
+    fn tighter_delta_more_segments() {
+        let rs = records(2000);
+        let loose = PolyFitSum::build(rs.clone(), 100.0, PolyFitConfig::default()).unwrap();
+        let tight = PolyFitSum::build(rs, 5.0, PolyFitConfig::default()).unwrap();
+        assert!(tight.num_segments() >= loose.num_segments());
+        assert!(tight.size_bytes() >= loose.size_bytes());
+    }
+
+    #[test]
+    fn certified_error_below_delta() {
+        let idx = PolyFitSum::build(records(1000), 15.0, PolyFitConfig::default()).unwrap();
+        assert!(idx.max_certified_error() <= 15.0 + 1e-9);
+    }
+
+    #[test]
+    fn count_flavour() {
+        let keys: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let idx = PolyFitSum::build_count(keys.clone(), 10.0, PolyFitConfig::default()).unwrap();
+        // COUNT over (100, 900] = 800.
+        let approx = idx.query(100.0, 900.0);
+        assert!((approx - 800.0).abs() <= 20.0, "approx {approx}");
+    }
+
+    #[test]
+    fn inverted_query_is_zero() {
+        let idx = PolyFitSum::build(records(100), 10.0, PolyFitConfig::default()).unwrap();
+        assert_eq!(idx.query(50.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(matches!(
+            PolyFitSum::build(vec![], 1.0, PolyFitConfig::default()),
+            Err(PolyFitError::EmptyDataset)
+        ));
+        assert!(matches!(
+            PolyFitSum::build(records(10), -1.0, PolyFitConfig::default()),
+            Err(PolyFitError::InvalidErrorBound { .. })
+        ));
+        assert!(matches!(
+            PolyFitSum::build(records(10), 1.0, PolyFitConfig::with_degree(0)),
+            Err(PolyFitError::InvalidDegree { .. })
+        ));
+    }
+
+    #[test]
+    fn index_is_much_smaller_than_data() {
+        let rs = records(20_000);
+        let raw_bytes = rs.len() * std::mem::size_of::<Record>();
+        let idx = PolyFitSum::build(rs, 200.0, PolyFitConfig::default()).unwrap();
+        assert!(
+            idx.size_bytes() * 10 < raw_bytes,
+            "index {} vs raw {}",
+            idx.size_bytes(),
+            raw_bytes
+        );
+    }
+
+    #[test]
+    fn stats_populated() {
+        let idx = PolyFitSum::build(records(500), 20.0, PolyFitConfig::default()).unwrap();
+        assert_eq!(idx.stats().segments, idx.num_segments());
+        assert!(idx.stats().logical_size_bytes > 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! A fitted index segment: key interval + polynomial + certified error.
+
+use polyfit_poly::ShiftedPolynomial;
+
+/// One leaf entry of the PolyFit index (paper Fig. 6): the polynomial
+/// approximating the target function over a key interval, together with the
+/// certification metadata queries rely on.
+#[derive(Clone, Debug)]
+pub struct Segment {
+    /// First key covered by this segment.
+    pub lo_key: f64,
+    /// Last key covered by this segment.
+    pub hi_key: f64,
+    /// The fitted polynomial in conditioned (shifted) form.
+    pub poly: ShiftedPolynomial,
+    /// Certified fitting error over this segment (data-point minimax for
+    /// SUM indexes; continuous step-function deviation for MAX indexes).
+    pub error: f64,
+    /// Exact maximum of the target values inside this segment (used as the
+    /// per-node aggregate of the MAX tree; `NEG_INFINITY` for SUM indexes).
+    pub value_max: f64,
+    /// Exact minimum of the target values inside this segment.
+    pub value_min: f64,
+}
+
+impl Segment {
+    /// Evaluate the segment polynomial at `k`, clamped into the segment's
+    /// key interval (evaluating a minimax fit outside its fitted range
+    /// forfeits every guarantee, so clamping is the safe default for the
+    /// step-valued target functions PolyFit approximates).
+    #[inline]
+    pub fn eval_clamped(&self, k: f64) -> f64 {
+        self.poly.eval(k.clamp(self.lo_key, self.hi_key))
+    }
+
+    /// Logical serialized size in bytes: interval bounds plus coefficients.
+    /// (The normalizer center/scale are derived from the bounds, so a
+    /// serialized segment need not store them.)
+    pub fn logical_size_bytes(&self) -> usize {
+        (2 + self.poly.coeff_count()) * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyfit_poly::Polynomial;
+
+    fn segment() -> Segment {
+        // P(t) = t on [10, 20] → eval(k) = (k − 15) / 5
+        let poly = ShiftedPolynomial::new(Polynomial::new(vec![0.0, 1.0]), 15.0, 5.0);
+        Segment {
+            lo_key: 10.0,
+            hi_key: 20.0,
+            poly,
+            error: 0.5,
+            value_max: 1.0,
+            value_min: -1.0,
+        }
+    }
+
+    #[test]
+    fn eval_clamps_to_interval() {
+        let s = segment();
+        assert_eq!(s.eval_clamped(15.0), 0.0);
+        assert_eq!(s.eval_clamped(25.0), 1.0); // clamped to hi
+        assert_eq!(s.eval_clamped(0.0), -1.0); // clamped to lo
+    }
+
+    #[test]
+    fn logical_size_counts_bounds_and_coeffs() {
+        let s = segment();
+        // 2 bounds + 2 coefficients → 4 × 8 bytes.
+        assert_eq!(s.logical_size_bytes(), 32);
+    }
+}

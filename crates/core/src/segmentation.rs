@@ -1,0 +1,410 @@
+//! Segmentation of the target function under the bounded δ-error
+//! constraint (paper Section IV-D).
+//!
+//! * [`greedy_segmentation`] — the GS method (Algorithm 1), accelerated
+//!   with exponential (galloping) search as the paper suggests: instead of
+//!   admitting keys one at a time, the segment end is doubled until the
+//!   δ-constraint breaks, then binary-searched. Lemma 1 (error
+//!   monotonicity in the point set) makes this equivalent to the
+//!   one-at-a-time loop, and Theorem 1 gives minimality of the segment
+//!   count.
+//! * [`dp_segmentation`] — the `O(n²)` dynamic-programming optimum the
+//!   paper cites \[35\], kept as a test oracle for GS optimality.
+//!
+//! ## Error metrics
+//!
+//! SUM/COUNT indexes certify the **data-point minimax** error
+//! `max_i |F(k_i) − P(k_i)|` — exactly Definition 2 — because their queries
+//! only ever evaluate the polynomial at (clamped) key positions.
+//!
+//! MAX/MIN indexes additionally maximise the polynomial *between* keys
+//! (Eq. 17), where the staircase `DF` is constant but the polynomial is
+//! not. To keep Lemma 4/5 sound for every query position, their segments
+//! are certified with the **continuous deviation**
+//! `max_i max_{k∈[k_i,k_{i+1}]} |P(k) − m_i|`, computed exactly from the
+//! polynomial's interval extrema. The continuous metric upper-bounds the
+//! data-point metric, so segments may be slightly shorter; the δ-guarantee
+//! in return holds for arbitrary real query endpoints, not just dataset
+//! keys.
+
+use polyfit_lp::{fit_minimax, FitBackend, MinimaxFit};
+
+use crate::config::PolyFitConfig;
+use crate::function::TargetFunction;
+
+/// How a candidate segment's error is certified against δ.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorMetric {
+    /// `max_i |F(k_i) − P(k_i)|` over the segment's keys (Definition 2).
+    DataPoint,
+    /// Exact maximum deviation between the polynomial and the staircase
+    /// over the whole key interval.
+    Continuous,
+}
+
+/// A fitted segment in index-point space: covers `keys[start..=end]`.
+#[derive(Clone, Debug)]
+pub struct SegmentSpec {
+    /// First covered point index.
+    pub start: usize,
+    /// Last covered point index (inclusive).
+    pub end: usize,
+    /// The minimax fit over those points.
+    pub fit: MinimaxFit,
+    /// Certified error under the chosen metric (≥ `fit.error`).
+    pub certified_error: f64,
+}
+
+/// Fit `keys[start..=end]` and certify under `metric`.
+///
+/// Exposed so the benchmark harness can measure fitting in isolation.
+pub fn fit_range(
+    f: &TargetFunction,
+    start: usize,
+    end: usize,
+    degree: usize,
+    backend: FitBackend,
+    metric: ErrorMetric,
+) -> (MinimaxFit, f64) {
+    let keys = &f.keys[start..=end];
+    let values = &f.values[start..=end];
+    let fit = fit_minimax(keys, values, degree, backend);
+    let certified = match metric {
+        ErrorMetric::DataPoint => fit.error,
+        ErrorMetric::Continuous => continuous_deviation(&fit, keys, values),
+    };
+    (fit, certified)
+}
+
+/// Exact deviation between the fitted polynomial and the staircase
+/// `F(k) = values[i]` for `k ∈ [keys[i], keys[i+1])` over the segment
+/// interval.
+///
+/// The polynomial's extremum over any gap is attained at a gap endpoint or
+/// at a stationary point, so the derivative's roots are isolated *once*
+/// over the whole segment and merged into the per-gap scan — `O(ℓ + deg)`
+/// per call instead of `O(ℓ·deg)` root isolations.
+fn continuous_deviation(fit: &MinimaxFit, keys: &[f64], values: &[f64]) -> f64 {
+    let n = keys.len();
+    let sp = &fit.poly;
+    let mut dev: f64 = (values[n - 1] - sp.eval(keys[n - 1])).abs();
+    if n == 1 {
+        return dev;
+    }
+    // Stationary points in the normalized variable, mapped to raw keys.
+    let deriv = sp.inner().derivative();
+    let t_lo = sp.to_normalized(keys[0]);
+    let t_hi = sp.to_normalized(keys[n - 1]);
+    let stationary: Vec<f64> = polyfit_poly::roots_in_interval(&deriv, t_lo, t_hi)
+        .into_iter()
+        .map(|t| sp.to_raw(t))
+        .collect();
+    let mut s_idx = 0usize;
+    // Polynomial values at gap boundaries are shared between neighbours.
+    let mut p_left = sp.eval(keys[0]);
+    for i in 0..n - 1 {
+        let b = keys[i + 1];
+        let p_right = sp.eval(b);
+        let mut hi = p_left.max(p_right);
+        let mut lo = p_left.min(p_right);
+        while s_idx < stationary.len() && stationary[s_idx] <= b {
+            let v = sp.eval(stationary[s_idx]);
+            hi = hi.max(v);
+            lo = lo.min(v);
+            s_idx += 1;
+        }
+        dev = dev.max((hi - values[i]).max(values[i] - lo));
+        p_left = p_right;
+    }
+    dev
+}
+
+/// Greedy segmentation (paper Algorithm 1) with galloping search.
+///
+/// Returns segments covering all points, each certified to error ≤ `delta`
+/// under `metric` — except unavoidable single-point segments, which always
+/// have error 0 anyway.
+///
+/// # Panics
+/// Panics if the target function is empty or `delta` is not positive.
+pub fn greedy_segmentation(
+    f: &TargetFunction,
+    cfg: &PolyFitConfig,
+    delta: f64,
+    metric: ErrorMetric,
+) -> Vec<SegmentSpec> {
+    assert!(!f.is_empty(), "cannot segment an empty function");
+    assert!(delta > 0.0 && delta.is_finite(), "delta must be positive");
+    let n = f.len();
+    let cap = cfg.max_segment_len.unwrap_or(usize::MAX).max(1);
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while start < n {
+        // Feasibility probe: can the segment extend to `end`?
+        let max_end = n.min(start.saturating_add(cap)) - 1;
+        let probe = |end: usize| -> Option<(MinimaxFit, f64)> {
+            let (fit, cert) = fit_range(f, start, end, cfg.degree, cfg.backend, metric);
+            (cert <= delta).then_some((fit, cert))
+        };
+        // A single point always fits exactly (error 0): guaranteed progress.
+        let mut good_end = start;
+        let mut good_fit = probe(start).expect("single-point fit has zero error");
+        if max_end > start {
+            // Gallop: double the extension until infeasible or out of range.
+            let mut lo = start; // last known-good end
+            let mut hi_bound: Option<usize> = None; // first known-bad end
+            let mut step = 1usize;
+            loop {
+                let cand = (start + step).min(max_end);
+                match probe(cand) {
+                    Some(fitc) => {
+                        lo = cand;
+                        good_fit = fitc;
+                        if cand == max_end {
+                            break;
+                        }
+                        step = step.saturating_mul(2);
+                    }
+                    None => {
+                        hi_bound = Some(cand);
+                        break;
+                    }
+                }
+            }
+            // Binary search the maximal feasible end in (lo, hi_bound).
+            if let Some(mut hi) = hi_bound {
+                while hi - lo > 1 {
+                    let mid = lo + (hi - lo) / 2;
+                    match probe(mid) {
+                        Some(fitc) => {
+                            lo = mid;
+                            good_fit = fitc;
+                        }
+                        None => hi = mid,
+                    }
+                }
+            }
+            good_end = lo;
+        }
+        let (fit, certified_error) = good_fit;
+        out.push(SegmentSpec { start, end: good_end, fit, certified_error });
+        start = good_end + 1;
+    }
+    out
+}
+
+/// Literal Algorithm 1 of the paper: extend the segment one key at a time
+/// until the δ-constraint breaks. Same output as [`greedy_segmentation`]
+/// (both are maximal-extension greedy; the galloping variant just probes
+/// fewer prefixes thanks to Lemma 1 monotonicity), kept for the ablation
+/// bench and as an executable specification.
+pub fn greedy_segmentation_naive(
+    f: &TargetFunction,
+    cfg: &PolyFitConfig,
+    delta: f64,
+    metric: ErrorMetric,
+) -> Vec<SegmentSpec> {
+    assert!(!f.is_empty(), "cannot segment an empty function");
+    assert!(delta > 0.0 && delta.is_finite(), "delta must be positive");
+    let n = f.len();
+    let cap = cfg.max_segment_len.unwrap_or(usize::MAX).max(1);
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while start < n {
+        let mut end = start;
+        let mut good = fit_range(f, start, start, cfg.degree, cfg.backend, metric);
+        while end + 1 < n && end + 1 - start < cap {
+            let cand = fit_range(f, start, end + 1, cfg.degree, cfg.backend, metric);
+            if cand.1 > delta {
+                break;
+            }
+            end += 1;
+            good = cand;
+        }
+        out.push(SegmentSpec { start, end, fit: good.0, certified_error: good.1 });
+        start = end + 1;
+    }
+    out
+}
+
+/// Dynamic-programming segmentation minimising the number of segments
+/// subject to the δ-constraint — the optimal method the paper compares GS
+/// against (Table II). `O(n²)` feasibility probes: use only on small
+/// inputs (test oracle).
+pub fn dp_segmentation(
+    f: &TargetFunction,
+    cfg: &PolyFitConfig,
+    delta: f64,
+    metric: ErrorMetric,
+) -> Vec<SegmentSpec> {
+    assert!(!f.is_empty(), "cannot segment an empty function");
+    let n = f.len();
+    let cap = cfg.max_segment_len.unwrap_or(usize::MAX).max(1);
+    // best[i] = (min segments covering points 0..i, predecessor start)
+    let mut best: Vec<Option<(usize, usize)>> = vec![None; n + 1];
+    best[0] = Some((0, 0));
+    for i in 1..=n {
+        for j in i.saturating_sub(cap)..i {
+            let Some((segs, _)) = best[j] else { continue };
+            // candidate segment covers points j..=i-1
+            let (_, cert) = fit_range(f, j, i - 1, cfg.degree, cfg.backend, metric);
+            if cert <= delta {
+                let cand = segs + 1;
+                if best[i].is_none_or(|(s, _)| cand < s) {
+                    best[i] = Some((cand, j));
+                }
+            }
+        }
+    }
+    // Reconstruct.
+    let mut bounds = Vec::new();
+    let mut i = n;
+    while i > 0 {
+        let (_, j) = best[i].expect("DP always feasible: single points fit");
+        bounds.push((j, i - 1));
+        i = j;
+    }
+    bounds.reverse();
+    bounds
+        .into_iter()
+        .map(|(s, e)| {
+            let (fit, certified_error) = fit_range(f, s, e, cfg.degree, cfg.backend, metric);
+            SegmentSpec { start: s, end: e, fit, certified_error }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::TargetFunction;
+
+    fn staircase(n: usize) -> TargetFunction {
+        TargetFunction {
+            keys: (0..n).map(|i| i as f64).collect(),
+            values: (0..n).map(|i| ((i * i) as f64).sqrt() * 3.0 + ((i as f64) * 0.9).sin() * 5.0).collect(),
+        }
+    }
+
+    fn check_cover(specs: &[SegmentSpec], n: usize) {
+        assert_eq!(specs[0].start, 0);
+        assert_eq!(specs.last().unwrap().end, n - 1);
+        for w in specs.windows(2) {
+            assert_eq!(w[0].end + 1, w[1].start, "segments must tile");
+        }
+    }
+
+    #[test]
+    fn gs_covers_and_respects_delta() {
+        let f = staircase(300);
+        let cfg = PolyFitConfig::with_degree(2);
+        let specs = greedy_segmentation(&f, &cfg, 2.0, ErrorMetric::DataPoint);
+        check_cover(&specs, 300);
+        for s in &specs {
+            assert!(s.certified_error <= 2.0, "certified {}", s.certified_error);
+        }
+    }
+
+    #[test]
+    fn gs_matches_dp_segment_count() {
+        // Theorem 1: GS is optimal.
+        let f = staircase(120);
+        let cfg = PolyFitConfig::with_degree(1);
+        for &delta in &[0.5, 1.0, 3.0, 10.0] {
+            let gs = greedy_segmentation(&f, &cfg, delta, ErrorMetric::DataPoint);
+            let dp = dp_segmentation(&f, &cfg, delta, ErrorMetric::DataPoint);
+            assert_eq!(gs.len(), dp.len(), "delta {delta}");
+        }
+    }
+
+    #[test]
+    fn looser_delta_never_more_segments() {
+        let f = staircase(400);
+        let cfg = PolyFitConfig::default();
+        let tight = greedy_segmentation(&f, &cfg, 1.0, ErrorMetric::DataPoint);
+        let loose = greedy_segmentation(&f, &cfg, 20.0, ErrorMetric::DataPoint);
+        assert!(loose.len() <= tight.len());
+    }
+
+    #[test]
+    fn higher_degree_never_more_segments() {
+        let f = staircase(400);
+        let d1 = greedy_segmentation(&f, &PolyFitConfig::with_degree(1), 1.5, ErrorMetric::DataPoint);
+        let d3 = greedy_segmentation(&f, &PolyFitConfig::with_degree(3), 1.5, ErrorMetric::DataPoint);
+        assert!(d3.len() <= d1.len(), "deg3 {} vs deg1 {}", d3.len(), d1.len());
+    }
+
+    #[test]
+    fn single_point_function() {
+        let f = TargetFunction { keys: vec![5.0], values: vec![7.0] };
+        let specs = greedy_segmentation(&f, &PolyFitConfig::default(), 1.0, ErrorMetric::DataPoint);
+        assert_eq!(specs.len(), 1);
+        assert_eq!((specs[0].start, specs[0].end), (0, 0));
+        assert_eq!(specs[0].certified_error, 0.0);
+    }
+
+    #[test]
+    fn linear_data_one_segment() {
+        let f = TargetFunction {
+            keys: (0..1000).map(|i| i as f64).collect(),
+            values: (0..1000).map(|i| 2.0 * i as f64 + 1.0).collect(),
+        };
+        let specs = greedy_segmentation(&f, &PolyFitConfig::with_degree(1), 0.01, ErrorMetric::DataPoint);
+        assert_eq!(specs.len(), 1);
+    }
+
+    #[test]
+    fn max_segment_len_cap_respected() {
+        let f = TargetFunction {
+            keys: (0..100).map(|i| i as f64).collect(),
+            values: vec![0.0; 100],
+        };
+        let cfg = PolyFitConfig { max_segment_len: Some(10), ..Default::default() };
+        let specs = greedy_segmentation(&f, &cfg, 1.0, ErrorMetric::DataPoint);
+        assert_eq!(specs.len(), 10);
+        assert!(specs.iter().all(|s| s.end - s.start < 10));
+    }
+
+    #[test]
+    fn continuous_metric_is_at_least_datapoint() {
+        let f = staircase(100);
+        let cfg = PolyFitConfig::default();
+        for &(s, e) in &[(0usize, 40usize), (10, 99), (50, 60)] {
+            let (_, dp) = fit_range(&f, s, e, cfg.degree, cfg.backend, ErrorMetric::DataPoint);
+            let (_, cont) = fit_range(&f, s, e, cfg.degree, cfg.backend, ErrorMetric::Continuous);
+            assert!(cont >= dp - 1e-9, "cont {cont} < dp {dp}");
+        }
+    }
+
+    #[test]
+    fn continuous_metric_segments_respect_delta() {
+        let f = staircase(200);
+        let cfg = PolyFitConfig::default();
+        let specs = greedy_segmentation(&f, &cfg, 3.0, ErrorMetric::Continuous);
+        check_cover(&specs, 200);
+        for s in &specs {
+            assert!(s.certified_error <= 3.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn naive_gs_matches_galloping_gs() {
+        let f = staircase(150);
+        let cfg = PolyFitConfig::default();
+        for &delta in &[1.0, 3.0, 12.0] {
+            let fast = greedy_segmentation(&f, &cfg, delta, ErrorMetric::DataPoint);
+            let naive = greedy_segmentation_naive(&f, &cfg, delta, ErrorMetric::DataPoint);
+            assert_eq!(fast.len(), naive.len(), "delta {delta}");
+            for (a, b) in fast.iter().zip(&naive) {
+                assert_eq!((a.start, a.end), (b.start, b.end), "delta {delta}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be positive")]
+    fn zero_delta_panics() {
+        let f = staircase(10);
+        greedy_segmentation(&f, &PolyFitConfig::default(), 0.0, ErrorMetric::DataPoint);
+    }
+}

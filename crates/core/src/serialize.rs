@@ -1,0 +1,265 @@
+//! Binary serialization for the 1-D indexes.
+//!
+//! A downstream system wants to build once and ship the index next to the
+//! data. The format is a deliberately simple little-endian layout (magic,
+//! header, per-segment records) — the logical content matches
+//! `Segment::logical_size_bytes` plus explicit per-segment metadata, with
+//! no dependencies and no unsafe code.
+
+use polyfit_poly::{Polynomial, ShiftedPolynomial};
+
+use crate::index_max::PolyFitMax;
+use crate::index_sum::PolyFitSum;
+use crate::segment::Segment;
+
+const MAGIC_SUM: &[u8; 4] = b"PFS1";
+const MAGIC_MAX: &[u8; 4] = b"PFM1";
+
+/// Errors from [`PolyFitSum::from_bytes`] / [`PolyFitMax::from_bytes`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Wrong magic bytes (not a PolyFit index, or the wrong index kind).
+    BadMagic,
+    /// Input ended prematurely or lengths are inconsistent.
+    Truncated,
+    /// A decoded value is not finite / structurally invalid.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "bad magic bytes"),
+            DecodeError::Truncated => write!(f, "truncated input"),
+            DecodeError::Corrupt(what) => write!(f, "corrupt field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn finite(&mut self, what: &'static str) -> Result<f64, DecodeError> {
+        let v = self.f64()?;
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(DecodeError::Corrupt(what))
+        }
+    }
+}
+
+fn write_segments(w: &mut Writer, segments: &[Segment]) {
+    w.u32(segments.len() as u32);
+    for s in segments {
+        w.f64(s.lo_key);
+        w.f64(s.hi_key);
+        w.f64(s.error);
+        w.f64(s.value_max);
+        w.f64(s.value_min);
+        let coeffs = s.poly.inner().coeffs();
+        w.u32(coeffs.len() as u32);
+        for &c in coeffs {
+            w.f64(c);
+        }
+    }
+}
+
+fn read_segments(r: &mut Reader<'_>) -> Result<Vec<Segment>, DecodeError> {
+    let count = r.u32()? as usize;
+    if count == 0 {
+        return Err(DecodeError::Corrupt("segment count"));
+    }
+    let mut segments = Vec::with_capacity(count);
+    for _ in 0..count {
+        let lo_key = r.finite("lo_key")?;
+        let hi_key = r.finite("hi_key")?;
+        if hi_key < lo_key {
+            return Err(DecodeError::Corrupt("interval order"));
+        }
+        let error = r.finite("error")?;
+        // Extrema may legitimately be ±∞ placeholders on SUM indexes.
+        let value_max = r.f64()?;
+        let value_min = r.f64()?;
+        let ncoef = r.u32()? as usize;
+        if ncoef > 64 {
+            return Err(DecodeError::Corrupt("coefficient count"));
+        }
+        let mut coeffs = Vec::with_capacity(ncoef);
+        for _ in 0..ncoef {
+            coeffs.push(r.finite("coefficient")?);
+        }
+        let (center, scale) = ShiftedPolynomial::normalizer(lo_key, hi_key);
+        segments.push(Segment {
+            lo_key,
+            hi_key,
+            poly: ShiftedPolynomial::new(Polynomial::new(coeffs), center, scale),
+            error,
+            value_max,
+            value_min,
+        });
+    }
+    Ok(segments)
+}
+
+impl PolyFitSum {
+    /// Serialize to a compact little-endian byte buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer(Vec::with_capacity(64 + self.num_segments() * 64));
+        w.0.extend_from_slice(MAGIC_SUM);
+        w.f64(self.delta());
+        w.f64(self.total());
+        let (d0, d1) = self.domain();
+        w.f64(d0);
+        w.f64(d1);
+        write_segments(&mut w, self.segments());
+        w.0
+    }
+
+    /// Decode an index serialized with [`Self::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        if r.take(4)? != MAGIC_SUM {
+            return Err(DecodeError::BadMagic);
+        }
+        let delta = r.finite("delta")?;
+        let total = r.finite("total")?;
+        let d0 = r.finite("domain lo")?;
+        let d1 = r.finite("domain hi")?;
+        let segments = read_segments(&mut r)?;
+        Ok(PolyFitSum::from_parts(segments, delta, total, (d0, d1)))
+    }
+}
+
+impl PolyFitMax {
+    /// Serialize to a compact little-endian byte buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer(Vec::with_capacity(64 + self.num_segments() * 64));
+        w.0.extend_from_slice(MAGIC_MAX);
+        w.f64(self.delta());
+        let (d0, d1) = self.domain();
+        w.f64(d0);
+        w.f64(d1);
+        write_segments(&mut w, self.segments());
+        w.0
+    }
+
+    /// Decode an index serialized with [`Self::to_bytes`]; the extrema
+    /// tree is rebuilt from the per-segment aggregates.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        if r.take(4)? != MAGIC_MAX {
+            return Err(DecodeError::BadMagic);
+        }
+        let delta = r.finite("delta")?;
+        let d0 = r.finite("domain lo")?;
+        let d1 = r.finite("domain hi")?;
+        let segments = read_segments(&mut r)?;
+        Ok(PolyFitMax::from_parts(segments, delta, (d0, d1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PolyFitConfig;
+    use polyfit_exact::dataset::Record;
+
+    fn records(n: usize) -> Vec<Record> {
+        (0..n)
+            .map(|i| Record::new(i as f64 * 0.5, 1.0 + ((i * 13) % 7) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn sum_roundtrip_preserves_queries() {
+        let idx = PolyFitSum::build(records(5_000), 20.0, PolyFitConfig::default()).unwrap();
+        let bytes = idx.to_bytes();
+        let back = PolyFitSum::from_bytes(&bytes).unwrap();
+        assert_eq!(back.num_segments(), idx.num_segments());
+        assert_eq!(back.delta(), idx.delta());
+        for i in 0..200 {
+            let (l, u) = (i as f64 * 3.0, i as f64 * 3.0 + 500.0);
+            assert_eq!(back.query(l, u), idx.query(l, u), "query ({l}, {u}]");
+        }
+    }
+
+    #[test]
+    fn max_roundtrip_preserves_queries() {
+        let idx = PolyFitMax::build(records(3_000), 2.0, PolyFitConfig::default()).unwrap();
+        let back = PolyFitMax::from_bytes(&idx.to_bytes()).unwrap();
+        assert_eq!(back.num_segments(), idx.num_segments());
+        for i in 0..200 {
+            let (l, u) = (i as f64 * 2.0, i as f64 * 2.0 + 300.0);
+            assert_eq!(back.query_max(l, u), idx.query_max(l, u), "query [{l}, {u}]");
+        }
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let idx = PolyFitSum::build(records(100), 5.0, PolyFitConfig::default()).unwrap();
+        let bytes = idx.to_bytes();
+        // A SUM buffer is not a MAX index.
+        assert!(matches!(PolyFitMax::from_bytes(&bytes), Err(DecodeError::BadMagic)));
+        assert!(matches!(PolyFitSum::from_bytes(b"nope"), Err(DecodeError::BadMagic)));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let idx = PolyFitSum::build(records(100), 5.0, PolyFitConfig::default()).unwrap();
+        let bytes = idx.to_bytes();
+        for cut in [0usize, 3, 10, bytes.len() - 1] {
+            assert!(PolyFitSum::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_rejected() {
+        let idx = PolyFitSum::build(records(100), 5.0, PolyFitConfig::default()).unwrap();
+        let mut bytes = idx.to_bytes();
+        // Corrupt delta with a NaN.
+        bytes[4..12].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(matches!(
+            PolyFitSum::from_bytes(&bytes),
+            Err(DecodeError::Corrupt("delta"))
+        ));
+    }
+
+    #[test]
+    fn size_is_compact() {
+        let idx = PolyFitSum::build(records(10_000), 50.0, PolyFitConfig::default()).unwrap();
+        let bytes = idx.to_bytes();
+        // Serialized form tracks the logical size (segments dominate).
+        assert!(bytes.len() < idx.num_segments() * 100 + 64);
+    }
+}

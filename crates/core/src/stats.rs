@@ -1,0 +1,30 @@
+//! Construction statistics shared by the index types.
+
+use std::time::Duration;
+
+/// Size and timing metadata captured at build time.
+#[derive(Clone, Debug, Default)]
+pub struct IndexStats {
+    /// Number of polynomial segments / leaf patches.
+    pub segments: usize,
+    /// Logical serialized size in bytes: what an index file would store
+    /// (interval bounds + coefficients + constants). This is the metric of
+    /// the paper's Fig. 19; in-memory `Vec` capacity overheads are
+    /// deliberately excluded so methods are compared structurally.
+    pub logical_size_bytes: usize,
+    /// Wall-clock construction time.
+    pub build_time: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = IndexStats::default();
+        assert_eq!(s.segments, 0);
+        assert_eq!(s.logical_size_bytes, 0);
+        assert_eq!(s.build_time, Duration::ZERO);
+    }
+}

@@ -1,0 +1,774 @@
+//! Two-key extension (paper Section VI): quadtree of bivariate polynomial
+//! patches over the 2-D cumulative count surface.
+//!
+//! The 2-D cumulative function `CF(u, v) = |{p : p.u ≤ u, p.v ≤ v}|`
+//! (Definition 5) turns a rectangle COUNT into four corner evaluations by
+//! inclusion–exclusion. PolyFit approximates `CF` with one bivariate
+//! polynomial per quadtree cell, splitting any cell whose achieved fitting
+//! error exceeds δ (Fig. 13). With `δ = ε_abs/4` the four corner errors
+//! compose into the absolute guarantee (Lemma 6); the relative certificate
+//! is `A ≥ 4δ(1 + 1/ε_rel)` with an aggregate-R-tree fallback (Lemma 7).
+//!
+//! ## Lattice-based construction
+//!
+//! Evaluating the exact `CF` at arbitrary coordinates for millions of
+//! fitting samples would dominate construction, so `CF` is materialised
+//! once on a regular lattice ([`GridCF`]): a single `O(n + G²)` pass gives
+//! exact counts at every lattice intersection. Quadtree cells are aligned
+//! to the lattice and fitted against the (exact) lattice samples they
+//! cover — every sample is a true value of `CF`, never an interpolation.
+//! Small cells use *all* their lattice points; large cells subsample.
+//! δ-certification therefore holds at lattice intersections; between them
+//! `CF` can additionally vary by the population of one lattice strip, so
+//! the lattice resolution should be chosen so strips are small relative to
+//! δ (the default 1024 gives ~0.1% strips on uniform-ish data). The same
+//! caveat applies to the original paper, which certifies at data points
+//! while queries are arbitrary rectangles.
+
+use polyfit_exact::dataset::Point2d;
+use polyfit_lp::{fit_minimax_2d, Fit2dBackend};
+use polyfit_poly::BivariatePoly;
+
+use crate::error::PolyFitError;
+use crate::stats::IndexStats;
+
+/// Configuration for the 2-D index.
+#[derive(Clone, Copy, Debug)]
+pub struct Quad2dConfig {
+    /// Total degree of the bivariate patches (paper default: 2).
+    pub degree: usize,
+    /// Lattice resolution `G` (cells per axis) for the cumulative grid.
+    pub grid_resolution: usize,
+    /// Maximum quadtree depth.
+    pub max_depth: usize,
+    /// Sampling density for large cells: up to `(samples_per_axis+1)²`
+    /// lattice points per fit; cells at or below this lattice extent use
+    /// every lattice point they cover.
+    pub samples_per_axis: usize,
+    /// 2-D fitting backend.
+    pub backend: Fit2dBackend,
+}
+
+impl Default for Quad2dConfig {
+    fn default() -> Self {
+        Quad2dConfig {
+            degree: 2,
+            grid_resolution: 1024,
+            max_depth: 12,
+            samples_per_axis: 8,
+            backend: Fit2dBackend::LeastSquares,
+        }
+    }
+}
+
+/// Exact cumulative measure sums on a regular lattice.
+///
+/// With unit measures this is the cumulative *count* surface of paper
+/// Definition 5; with arbitrary non-negative measures it generalises the
+/// index to 2-D range SUM ("we can also adopt our methods for other types
+/// of range aggregate queries", Section VI).
+#[derive(Clone, Debug)]
+pub struct GridCF {
+    res: usize,
+    u0: f64,
+    v0: f64,
+    step_u: f64,
+    step_v: f64,
+    /// `(res+1)²` row-major: `prefix[i·(res+1)+j]` = Σ measures of points
+    /// with `u ≤ line_u(i)` and `v ≤ line_v(j)`.
+    prefix: Vec<f64>,
+}
+
+impl GridCF {
+    /// Materialise the lattice CF from points. `O(n + G²)`.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or `res` < 2.
+    pub fn new(points: &[Point2d], res: usize) -> Self {
+        assert!(!points.is_empty(), "empty point set");
+        assert!(res >= 2, "grid resolution must be ≥ 2");
+        let mut u0 = f64::INFINITY;
+        let mut u1 = f64::NEG_INFINITY;
+        let mut v0 = f64::INFINITY;
+        let mut v1 = f64::NEG_INFINITY;
+        for p in points {
+            assert!(p.u.is_finite() && p.v.is_finite(), "non-finite coordinates");
+            u0 = u0.min(p.u);
+            u1 = u1.max(p.u);
+            v0 = v0.min(p.v);
+            v1 = v1.max(p.v);
+        }
+        let step_u = ((u1 - u0) / res as f64).max(f64::MIN_POSITIVE);
+        let step_v = ((v1 - v0) / res as f64).max(f64::MIN_POSITIVE);
+        let w = res + 1;
+        let mut counts = vec![0f64; w * w];
+        for p in points {
+            // Point contributes to prefix entries at lattice lines ≥ its
+            // coordinate: bucket it at the smallest such line index.
+            let iu = (((p.u - u0) / step_u).ceil() as usize).min(res);
+            let iv = (((p.v - v0) / step_v).ceil() as usize).min(res);
+            counts[iu * w + iv] += p.w;
+        }
+        // 2-D prefix sum in place.
+        for i in 0..w {
+            for j in 1..w {
+                counts[i * w + j] += counts[i * w + j - 1];
+            }
+        }
+        for i in 1..w {
+            for j in 0..w {
+                counts[i * w + j] += counts[(i - 1) * w + j];
+            }
+        }
+        GridCF { res, u0, v0, step_u, step_v, prefix: counts }
+    }
+
+    /// Lattice resolution.
+    pub fn resolution(&self) -> usize {
+        self.res
+    }
+
+    /// Raw coordinate of lattice line `i` on the u-axis.
+    #[inline]
+    pub fn line_u(&self, i: usize) -> f64 {
+        self.u0 + self.step_u * i as f64
+    }
+
+    /// Raw coordinate of lattice line `j` on the v-axis.
+    #[inline]
+    pub fn line_v(&self, j: usize) -> f64 {
+        self.v0 + self.step_v * j as f64
+    }
+
+    /// Exact CF at lattice intersection `(i, j)`.
+    #[inline]
+    pub fn cf_at(&self, i: usize, j: usize) -> f64 {
+        self.prefix[i * (self.res + 1) + j]
+    }
+
+    /// Total measure mass (point count for unit measures).
+    pub fn total(&self) -> f64 {
+        self.cf_at(self.res, self.res)
+    }
+}
+
+enum Node {
+    /// Split cell. `mid_u`/`mid_v` are `NAN` when that axis is not split.
+    Internal {
+        mid_u: f64,
+        mid_v: f64,
+        children: Vec<Node>,
+    },
+    Leaf {
+        poly: BivariatePoly,
+        /// Achieved max error over the cell's fitted lattice samples.
+        error: f64,
+    },
+}
+
+/// The 2-D PolyFit index: quadtree of bivariate patches over `CF`.
+pub struct QuadPolyFit {
+    root: Node,
+    delta: f64,
+    /// Data bounding box (domain of the surface).
+    bbox: (f64, f64, f64, f64),
+    total: f64,
+    leaves: usize,
+    uncertified_leaves: usize,
+    max_leaf_error: f64,
+    build_stats: IndexStats,
+}
+
+impl QuadPolyFit {
+    /// Build with the bounded δ-error constraint.
+    pub fn build(
+        points: &[Point2d],
+        delta: f64,
+        config: Quad2dConfig,
+    ) -> Result<Self, PolyFitError> {
+        if points.is_empty() {
+            return Err(PolyFitError::EmptyDataset);
+        }
+        if delta <= 0.0 || !delta.is_finite() {
+            return Err(PolyFitError::InvalidErrorBound { bound: delta });
+        }
+        if !(1..=8).contains(&config.degree) {
+            return Err(PolyFitError::InvalidDegree { degree: config.degree });
+        }
+        let t0 = std::time::Instant::now();
+        let grid = GridCF::new(points, config.grid_resolution);
+        let builder = CellBuilder { grid: &grid, delta, cfg: &config };
+        let res = grid.resolution();
+        // Top-level split is built in parallel (one thread per quadrant) —
+        // quadtree construction is embarrassingly parallel.
+        let root = if res >= 2 {
+            let im = res / 2;
+            let jm = res / 2;
+            let ranges = [
+                (0, im, 0, jm),
+                (im, res, 0, jm),
+                (0, im, jm, res),
+                (im, res, jm, res),
+            ];
+            let children: Vec<Node> = crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = ranges
+                    .iter()
+                    .map(|&(a, b, c, d)| {
+                        let b_ref = &builder;
+                        s.spawn(move |_| b_ref.build_cell(a, b, c, d, 1))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("builder thread")).collect()
+            })
+            .expect("crossbeam scope");
+            Node::Internal {
+                mid_u: grid.line_u(im),
+                mid_v: grid.line_v(jm),
+                children,
+            }
+        } else {
+            builder.build_cell(0, res, 0, res, 0)
+        };
+        let bbox = (
+            grid.line_u(0),
+            grid.line_u(res),
+            grid.line_v(0),
+            grid.line_v(res),
+        );
+        let total = grid.total();
+        let mut idx = QuadPolyFit {
+            root,
+            delta,
+            bbox,
+            total,
+            leaves: 0,
+            uncertified_leaves: 0,
+            max_leaf_error: 0.0,
+            build_stats: IndexStats::default(),
+        };
+        let mut logical = 0usize;
+        idx.scan(&mut logical);
+        idx.build_stats = IndexStats {
+            segments: idx.leaves,
+            logical_size_bytes: logical,
+            build_time: t0.elapsed(),
+        };
+        Ok(idx)
+    }
+
+    fn scan(&mut self, logical: &mut usize) {
+        fn walk(
+            n: &Node,
+            delta: f64,
+            leaves: &mut usize,
+            bad: &mut usize,
+            worst: &mut f64,
+            logical: &mut usize,
+        ) {
+            match n {
+                Node::Leaf { poly, error } => {
+                    *leaves += 1;
+                    *worst = worst.max(*error);
+                    if *error > delta * (1.0 + 1e-9) {
+                        *bad += 1;
+                    }
+                    *logical += poly.coeff_count() * 8;
+                }
+                Node::Internal { children, .. } => {
+                    *logical += 2 * 8 + children.len() * 4;
+                    for c in children {
+                        walk(c, delta, leaves, bad, worst, logical);
+                    }
+                }
+            }
+        }
+        let (mut l, mut b, mut w) = (0usize, 0usize, 0f64);
+        walk(&self.root, self.delta, &mut l, &mut b, &mut w, logical);
+        self.leaves = l;
+        self.uncertified_leaves = b;
+        self.max_leaf_error = w;
+    }
+
+    /// Approximate `CF(u, v)`; exact 0 below the domain corner and clamped
+    /// to the bounding box elsewhere.
+    pub fn cf(&self, u: f64, v: f64) -> f64 {
+        let (u0, u1, v0, v1) = self.bbox;
+        if u < u0 || v < v0 {
+            return 0.0;
+        }
+        if u >= u1 && v >= v1 {
+            return self.total;
+        }
+        let (u, v) = (u.min(u1), v.min(v1));
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { poly, .. } => return poly.eval(u, v),
+                Node::Internal { mid_u, mid_v, children } => {
+                    let iu = usize::from(!mid_u.is_nan() && u > *mid_u);
+                    let iv = usize::from(!mid_v.is_nan() && v > *mid_v);
+                    let idx = if mid_u.is_nan() {
+                        iv
+                    } else if mid_v.is_nan() {
+                        iu
+                    } else {
+                        iv * 2 + iu
+                    };
+                    node = &children[idx];
+                }
+            }
+        }
+    }
+
+    /// Approximate rectangle COUNT over `(u_lo, u_hi] × (v_lo, v_hi]`
+    /// (inclusion–exclusion, Section VI). Within `4δ` of the exact count
+    /// at lattice-certified corners.
+    pub fn query(&self, u_lo: f64, u_hi: f64, v_lo: f64, v_hi: f64) -> f64 {
+        if u_lo >= u_hi || v_lo >= v_hi {
+            return 0.0;
+        }
+        self.cf(u_hi, v_hi) - self.cf(u_lo, v_hi) - self.cf(u_hi, v_lo) + self.cf(u_lo, v_lo)
+    }
+
+    /// The per-corner error budget δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Number of leaf patches.
+    pub fn num_leaves(&self) -> usize {
+        self.leaves
+    }
+
+    /// Leaves whose achieved sample error exceeded δ because the lattice or
+    /// depth limit was reached (0 on well-resolved builds).
+    pub fn uncertified_leaves(&self) -> usize {
+        self.uncertified_leaves
+    }
+
+    /// Worst achieved leaf sample error.
+    pub fn max_leaf_error(&self) -> f64 {
+        self.max_leaf_error
+    }
+
+    /// Logical serialized index size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.build_stats.logical_size_bytes
+    }
+
+    /// Construction statistics.
+    pub fn stats(&self) -> &IndexStats {
+        &self.build_stats
+    }
+
+    /// Data bounding box.
+    pub fn bbox(&self) -> (f64, f64, f64, f64) {
+        self.bbox
+    }
+
+    /// Exhaustively verify the index against a lattice CF: returns the
+    /// worst `|CF̃ − CF|` over **every** lattice intersection. Large cells
+    /// are fitted on a subsample (see [`Quad2dConfig::samples_per_axis`]),
+    /// so this audit can exceed the per-leaf sample errors; use it in
+    /// tests/CI to choose a sampling density for your data.
+    pub fn verify_against(&self, grid: &GridCF) -> f64 {
+        let res = grid.resolution();
+        let mut worst = 0.0f64;
+        for i in 0..=res {
+            let u = grid.line_u(i);
+            for j in 0..=res {
+                let err = (self.cf(u, grid.line_v(j)) - grid.cf_at(i, j)).abs();
+                worst = worst.max(err);
+            }
+        }
+        worst
+    }
+}
+
+struct CellBuilder<'a> {
+    grid: &'a GridCF,
+    delta: f64,
+    cfg: &'a Quad2dConfig,
+}
+
+impl CellBuilder<'_> {
+    /// Build the subtree for the lattice-line range `[i0, i1] × [j0, j1]`.
+    fn build_cell(&self, i0: usize, i1: usize, j0: usize, j1: usize, depth: usize) -> Node {
+        let (fit, error) = self.fit_cell(i0, i1, j0, j1);
+        let splittable_u = i1 - i0 >= 2;
+        let splittable_v = j1 - j0 >= 2;
+        if error <= self.delta
+            || depth >= self.cfg.max_depth
+            || (!splittable_u && !splittable_v)
+        {
+            return Node::Leaf { poly: fit, error };
+        }
+        let im = (i0 + i1) / 2;
+        let jm = (j0 + j1) / 2;
+        match (splittable_u, splittable_v) {
+            (true, true) => {
+                let children = vec![
+                    self.build_cell(i0, im, j0, jm, depth + 1),
+                    self.build_cell(im, i1, j0, jm, depth + 1),
+                    self.build_cell(i0, im, jm, j1, depth + 1),
+                    self.build_cell(im, i1, jm, j1, depth + 1),
+                ];
+                Node::Internal {
+                    mid_u: self.grid.line_u(im),
+                    mid_v: self.grid.line_v(jm),
+                    children,
+                }
+            }
+            (true, false) => Node::Internal {
+                mid_u: self.grid.line_u(im),
+                mid_v: f64::NAN,
+                children: vec![
+                    self.build_cell(i0, im, j0, j1, depth + 1),
+                    self.build_cell(im, i1, j0, j1, depth + 1),
+                ],
+            },
+            (false, true) => Node::Internal {
+                mid_u: f64::NAN,
+                mid_v: self.grid.line_v(jm),
+                children: vec![
+                    self.build_cell(i0, i1, j0, jm, depth + 1),
+                    self.build_cell(i0, i1, jm, j1, depth + 1),
+                ],
+            },
+            (false, false) => unreachable!("guarded above"),
+        }
+    }
+
+    /// Fit one cell against its lattice samples; returns (poly, achieved
+    /// max error over samples).
+    fn fit_cell(&self, i0: usize, i1: usize, j0: usize, j1: usize) -> (BivariatePoly, f64) {
+        let span_u = i1 - i0;
+        let span_v = j1 - j0;
+        let su = sample_indices(i0, i1, self.cfg.samples_per_axis);
+        let sv = sample_indices(j0, j1, self.cfg.samples_per_axis);
+        // For small cells the index lists cover every lattice line, making
+        // certification exact on the lattice.
+        let mut us = Vec::with_capacity(su.len() * sv.len());
+        let mut vs = Vec::with_capacity(su.len() * sv.len());
+        let mut ws = Vec::with_capacity(su.len() * sv.len());
+        for &i in &su {
+            for &j in &sv {
+                us.push(self.grid.line_u(i));
+                vs.push(self.grid.line_v(j));
+                ws.push(self.grid.cf_at(i, j));
+            }
+        }
+        let rect = (
+            self.grid.line_u(i0),
+            self.grid.line_u(i1),
+            self.grid.line_v(j0),
+            self.grid.line_v(j1),
+        );
+        let fit = fit_minimax_2d(&us, &vs, &ws, rect, self.cfg.degree, self.cfg.backend);
+        let _ = (span_u, span_v);
+        (fit.poly, fit.error)
+    }
+}
+
+/// Evenly spaced lattice line indices in `[lo, hi]`, always including both
+/// endpoints; at most `per_axis + 1` entries unless the cell is small
+/// enough to enumerate fully.
+fn sample_indices(lo: usize, hi: usize, per_axis: usize) -> Vec<usize> {
+    let span = hi - lo;
+    if span <= per_axis {
+        return (lo..=hi).collect();
+    }
+    let mut out: Vec<usize> = (0..=per_axis)
+        .map(|k| lo + (span * k) / per_axis)
+        .collect();
+    out.dedup();
+    out
+}
+
+/// 2-D COUNT driver with absolute and relative guarantees (Lemmas 6 & 7).
+pub struct Guaranteed2dCount {
+    index: QuadPolyFit,
+    exact: Option<polyfit_exact::ARTree>,
+}
+
+impl Guaranteed2dCount {
+    /// Problem 1 driver: `δ = ε_abs / 4` (Lemma 6).
+    pub fn with_abs_guarantee(
+        points: &[Point2d],
+        eps_abs: f64,
+        config: Quad2dConfig,
+    ) -> Result<Self, PolyFitError> {
+        let index = QuadPolyFit::build(points, eps_abs / 4.0, config)?;
+        Ok(Guaranteed2dCount { index, exact: None })
+    }
+
+    /// Problem 2 driver with explicit δ and an aggregate-R-tree fallback.
+    pub fn with_rel_guarantee(
+        points: Vec<Point2d>,
+        delta: f64,
+        config: Quad2dConfig,
+    ) -> Result<Self, PolyFitError> {
+        let index = QuadPolyFit::build(&points, delta, config)?;
+        let exact = polyfit_exact::ARTree::new(points);
+        Ok(Guaranteed2dCount { index, exact: Some(exact) })
+    }
+
+    /// Absolute-guarantee rectangle COUNT.
+    pub fn query_abs(&self, u_lo: f64, u_hi: f64, v_lo: f64, v_hi: f64) -> f64 {
+        self.index.query(u_lo, u_hi, v_lo, v_hi)
+    }
+
+    /// Relative-guarantee rectangle COUNT: certificate
+    /// `A ≥ 4δ(1 + 1/ε_rel)` (Lemma 7), exact fallback otherwise.
+    pub fn query_rel(
+        &self,
+        u_lo: f64,
+        u_hi: f64,
+        v_lo: f64,
+        v_hi: f64,
+        eps_rel: f64,
+    ) -> crate::drivers::RelAnswer {
+        assert!(eps_rel > 0.0, "relative error must be positive");
+        let a = self.index.query(u_lo, u_hi, v_lo, v_hi);
+        let threshold = 4.0 * self.index.delta() * (1.0 + 1.0 / eps_rel);
+        if a >= threshold {
+            crate::drivers::RelAnswer { value: a, used_fallback: false }
+        } else {
+            let exact = self
+                .exact
+                .as_ref()
+                .expect("relative-guarantee driver requires the exact fallback");
+            let rect = polyfit_exact::artree::Rect::new(u_lo, u_hi, v_lo, v_hi);
+            // Closed-rectangle count; boundary-coincident points are
+            // measure-zero for continuous workloads.
+            crate::drivers::RelAnswer {
+                value: exact.range_count(&rect) as f64,
+                used_fallback: true,
+            }
+        }
+    }
+
+    /// The underlying quadtree index.
+    pub fn index(&self) -> &QuadPolyFit {
+        &self.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered_points(n: usize) -> Vec<Point2d> {
+        // Deterministic two-cluster layout plus background.
+        (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                let a = ((h >> 32) as f64 / u32::MAX as f64) - 0.5;
+                let b = ((h & 0xFFFF_FFFF) as f64 / u32::MAX as f64) - 0.5;
+                if i % 3 == 0 {
+                    Point2d::new(20.0 + a * 4.0, 30.0 + b * 4.0, 1.0)
+                } else if i % 3 == 1 {
+                    Point2d::new(70.0 + a * 8.0, 60.0 + b * 8.0, 1.0)
+                } else {
+                    Point2d::new(a * 200.0, b * 150.0, 1.0)
+                }
+            })
+            .collect()
+    }
+
+    fn brute_count(pts: &[Point2d], r: (f64, f64, f64, f64)) -> f64 {
+        pts.iter()
+            .filter(|p| p.u > r.0 && p.u <= r.1 && p.v > r.2 && p.v <= r.3)
+            .count() as f64
+    }
+
+    fn test_config() -> Quad2dConfig {
+        Quad2dConfig { grid_resolution: 128, ..Default::default() }
+    }
+
+    #[test]
+    fn gridcf_matches_brute_force() {
+        let pts = clustered_points(2000);
+        let g = GridCF::new(&pts, 32);
+        for &(i, j) in &[(0usize, 0usize), (32, 32), (16, 16), (5, 30), (31, 1)] {
+            let (lu, lv) = (g.line_u(i), g.line_v(j));
+            let brute = pts.iter().filter(|p| p.u <= lu && p.v <= lv).count() as f64;
+            assert_eq!(g.cf_at(i, j), brute, "lattice ({i}, {j})");
+        }
+        assert_eq!(g.total(), 2000.0);
+    }
+
+    #[test]
+    fn cf_within_delta_at_lattice_points() {
+        let pts = clustered_points(5000);
+        let cfg = test_config();
+        let idx = QuadPolyFit::build(&pts, 25.0, cfg).unwrap();
+        assert_eq!(idx.uncertified_leaves(), 0, "lattice should resolve δ=25");
+        let g = GridCF::new(&pts, cfg.grid_resolution);
+        for i in (0..=cfg.grid_resolution).step_by(7) {
+            for j in (0..=cfg.grid_resolution).step_by(7) {
+                let err = (idx.cf(g.line_u(i), g.line_v(j)) - g.cf_at(i, j)).abs();
+                assert!(err <= 25.0 + 1e-6, "lattice ({i},{j}): err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn rectangle_count_within_four_delta() {
+        let pts = clustered_points(5000);
+        let idx = QuadPolyFit::build(&pts, 25.0, test_config()).unwrap();
+        let g = GridCF::new(&pts, 128);
+        // Lattice-aligned rectangles: fully certified.
+        for &(a, b, c, d) in &[(0usize, 128usize, 0usize, 128usize), (10, 50, 20, 90), (64, 65, 64, 65)] {
+            let r = (g.line_u(a), g.line_u(b), g.line_v(c), g.line_v(d));
+            let approx = idx.query(r.0, r.1, r.2, r.3);
+            let truth = brute_count(&pts, r);
+            assert!(
+                (approx - truth).abs() <= 100.0 + 1e-6,
+                "rect {r:?}: approx {approx} truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn arbitrary_rectangles_close_to_truth() {
+        let pts = clustered_points(5000);
+        let idx = QuadPolyFit::build(&pts, 25.0, test_config()).unwrap();
+        // Off-lattice corners: allow the lattice-strip slack on top of 4δ.
+        for &(a, b, c, d) in &[
+            (-30.0, 55.5, -40.0, 44.4),
+            (15.3, 25.7, 25.1, 35.9),
+            (60.0, 80.0, 50.0, 70.0),
+        ] {
+            let approx = idx.query(a, b, c, d);
+            let truth = brute_count(&pts, (a, b, c, d));
+            assert!(
+                (approx - truth).abs() <= 100.0 + 200.0,
+                "rect ({a},{b},{c},{d}): approx {approx} truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_queries() {
+        let pts = clustered_points(500);
+        let idx = QuadPolyFit::build(&pts, 10.0, test_config()).unwrap();
+        assert_eq!(idx.query(10.0, 10.0, 0.0, 5.0), 0.0);
+        assert_eq!(idx.query(20.0, 10.0, 0.0, 5.0), 0.0);
+        assert_eq!(idx.cf(-1000.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn whole_domain_query_equals_total() {
+        let pts = clustered_points(3000);
+        let idx = QuadPolyFit::build(&pts, 20.0, test_config()).unwrap();
+        let (u0, u1, v0, v1) = idx.bbox();
+        let full = idx.query(u0 - 1.0, u1 + 1.0, v0 - 1.0, v1 + 1.0);
+        assert!((full - 3000.0).abs() <= 1e-6, "full {full}");
+    }
+
+    #[test]
+    fn tighter_delta_more_leaves() {
+        let pts = clustered_points(4000);
+        let loose = QuadPolyFit::build(&pts, 100.0, test_config()).unwrap();
+        let tight = QuadPolyFit::build(&pts, 10.0, test_config()).unwrap();
+        assert!(tight.num_leaves() >= loose.num_leaves());
+    }
+
+    #[test]
+    fn abs_driver_guarantee_on_lattice_rects() {
+        let pts = clustered_points(5000);
+        let d = Guaranteed2dCount::with_abs_guarantee(&pts, 100.0, test_config()).unwrap();
+        let g = GridCF::new(&pts, 128);
+        let r = (g.line_u(8), g.line_u(100), g.line_v(16), g.line_v(120));
+        let truth = brute_count(&pts, r);
+        assert!((d.query_abs(r.0, r.1, r.2, r.3) - truth).abs() <= 100.0 + 1e-6);
+    }
+
+    #[test]
+    fn rel_driver_falls_back_on_small_counts() {
+        let pts = clustered_points(5000);
+        let d = Guaranteed2dCount::with_rel_guarantee(pts.clone(), 25.0, test_config()).unwrap();
+        // Certificate threshold: 4·25·(1 + 1/0.5) = 300.
+        let small = d.query_rel(0.0, 0.5, 0.0, 0.5, 0.5);
+        assert!(small.used_fallback);
+        let big = d.query_rel(-200.0, 200.0, -200.0, 200.0, 0.5);
+        assert!(!big.used_fallback);
+        assert!((big.value - 5000.0).abs() <= 25.0 * 4.0);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(matches!(
+            QuadPolyFit::build(&[], 1.0, test_config()),
+            Err(PolyFitError::EmptyDataset)
+        ));
+        let pts = clustered_points(10);
+        assert!(matches!(
+            QuadPolyFit::build(&pts, 0.0, test_config()),
+            Err(PolyFitError::InvalidErrorBound { .. })
+        ));
+        let bad_cfg = Quad2dConfig { degree: 0, ..test_config() };
+        assert!(matches!(
+            QuadPolyFit::build(&pts, 1.0, bad_cfg),
+            Err(PolyFitError::InvalidDegree { .. })
+        ));
+    }
+
+    #[test]
+    fn full_lattice_audit_bounded() {
+        let pts = clustered_points(5000);
+        let cfg = test_config();
+        let idx = QuadPolyFit::build(&pts, 25.0, cfg).unwrap();
+        let grid = GridCF::new(&pts, cfg.grid_resolution);
+        let worst = idx.verify_against(&grid);
+        // Sampled certification is δ; the full-lattice audit may exceed it
+        // on subsampled cells but must stay within a small multiple.
+        assert!(worst <= 3.0 * 25.0, "full-lattice worst err {worst}");
+    }
+
+    #[test]
+    fn denser_sampling_tightens_audit() {
+        let pts = clustered_points(5000);
+        let coarse_cfg = Quad2dConfig { samples_per_axis: 4, ..test_config() };
+        let dense_cfg = Quad2dConfig { samples_per_axis: 16, ..test_config() };
+        let grid = GridCF::new(&pts, test_config().grid_resolution);
+        let coarse = QuadPolyFit::build(&pts, 25.0, coarse_cfg).unwrap().verify_against(&grid);
+        let dense = QuadPolyFit::build(&pts, 25.0, dense_cfg).unwrap().verify_against(&grid);
+        assert!(dense <= coarse + 25.0, "dense {dense} vs coarse {coarse}");
+    }
+
+    #[test]
+    fn weighted_measures_give_range_sum() {
+        // Non-unit measures: the same machinery answers 2-D range SUM.
+        let pts: Vec<Point2d> = (0..4000)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                let u = ((h >> 32) as f64 / u32::MAX as f64) * 100.0;
+                let v = ((h & 0xFFFF_FFFF) as f64 / u32::MAX as f64) * 100.0;
+                Point2d::new(u, v, 1.0 + (i % 5) as f64)
+            })
+            .collect();
+        let idx = QuadPolyFit::build(&pts, 40.0, test_config()).unwrap();
+        let brute: f64 = pts
+            .iter()
+            .filter(|p| p.u > 20.0 && p.u <= 70.0 && p.v > 10.0 && p.v <= 90.0)
+            .map(|p| p.w)
+            .sum();
+        let approx = idx.query(20.0, 70.0, 10.0, 90.0);
+        // 4δ plus lattice-strip slack on off-lattice corners.
+        assert!(
+            (approx - brute).abs() <= 4.0 * 40.0 + 200.0,
+            "approx {approx} brute {brute}"
+        );
+    }
+
+    #[test]
+    fn sample_indices_cover_endpoints() {
+        assert_eq!(sample_indices(3, 5, 8), vec![3, 4, 5]);
+        let s = sample_indices(0, 100, 8);
+        assert_eq!(*s.first().unwrap(), 0);
+        assert_eq!(*s.last().unwrap(), 100);
+        assert!(s.len() <= 9);
+    }
+}

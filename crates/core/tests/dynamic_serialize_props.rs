@@ -1,0 +1,134 @@
+//! Property-based tests for the extensions: dynamic updates against a
+//! brute-force shadow, and serialization round-trips.
+
+use proptest::prelude::*;
+
+use polyfit::dynamic::DynamicPolyFitSum;
+use polyfit::prelude::*;
+use polyfit::{PolyFitMax, PolyFitSum};
+use polyfit_exact::dataset::Record;
+
+/// An update operation for the dynamic index.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(f64, f64),
+    Delete(f64, f64),
+    /// Query endpoints are *selectors* into the set of live keys: the SUM
+    /// guarantee is certified at dataset keys (the paper's workload
+    /// model), so the oracle compares there.
+    Query(usize, usize),
+}
+
+fn ops_strategy(max_ops: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0u8..3, -200.0f64..200.0, 0.1f64..10.0, 0usize..1000, 0usize..1000),
+        1..max_ops,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(kind, a, m, sa, sb)| match kind {
+                0 => Op::Insert(a, m),
+                1 => Op::Delete(a, m),
+                _ => Op::Query(sa, sb),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dynamic index answers every query within 2δ of a brute-force shadow
+    /// across arbitrary interleavings of inserts, deletes, and compactions.
+    #[test]
+    fn dynamic_matches_shadow(ops in ops_strategy(60), buffer_limit in 1usize..20) {
+        let base: Vec<Record> = (0..200).map(|i| Record::new(i as f64 - 100.0, 1.0)).collect();
+        let delta = 5.0;
+        let mut idx = DynamicPolyFitSum::new(
+            base.clone(), delta, PolyFitConfig::default(), buffer_limit,
+        ).unwrap();
+        let mut shadow: Vec<(f64, f64)> = base.iter().map(|r| (r.key, r.measure)).collect();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, m) => {
+                    idx.insert(k, m);
+                    shadow.push((k, m));
+                }
+                Op::Delete(k, m) => {
+                    idx.delete(k, m);
+                    shadow.push((k, -m));
+                }
+                Op::Query(sa, sb) => {
+                    let a = shadow[sa % shadow.len()].0;
+                    let b = shadow[sb % shadow.len()].0;
+                    let (l, u) = (a.min(b), a.max(b));
+                    let truth: f64 = shadow.iter()
+                        .filter(|(k, _)| *k > l && *k <= u)
+                        .map(|(_, m)| m)
+                        .sum();
+                    let approx = idx.query(l, u);
+                    prop_assert!(
+                        (approx - truth).abs() <= 2.0 * delta + 1e-6,
+                        "query ({l}, {u}]: approx {approx} truth {truth}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// SUM serialization round-trips bit-exactly on queries.
+    #[test]
+    fn sum_serialization_roundtrip(
+        n in 10usize..400,
+        delta in 1.0f64..50.0,
+        degree in 1usize..4,
+        probes in proptest::collection::vec((-10.0f64..500.0, 0.0f64..500.0), 1..20),
+    ) {
+        let records: Vec<Record> = (0..n)
+            .map(|i| Record::new(i as f64, 1.0 + ((i * 31) % 11) as f64))
+            .collect();
+        let idx = PolyFitSum::build(records, delta, PolyFitConfig::with_degree(degree)).unwrap();
+        let back = PolyFitSum::from_bytes(&idx.to_bytes()).unwrap();
+        prop_assert_eq!(back.num_segments(), idx.num_segments());
+        for (l, span) in probes {
+            let u = l + span;
+            prop_assert_eq!(back.query(l, u).to_bits(), idx.query(l, u).to_bits());
+        }
+    }
+
+    /// MAX serialization round-trips bit-exactly on queries.
+    #[test]
+    fn max_serialization_roundtrip(
+        n in 10usize..300,
+        delta in 1.0f64..20.0,
+        probes in proptest::collection::vec((-10.0f64..400.0, 0.0f64..400.0), 1..20),
+    ) {
+        let records: Vec<Record> = (0..n)
+            .map(|i| Record::new(i as f64, 50.0 + ((i * 13) % 37) as f64))
+            .collect();
+        let idx = PolyFitMax::build(records, delta, PolyFitConfig::default()).unwrap();
+        let back = PolyFitMax::from_bytes(&idx.to_bytes()).unwrap();
+        for (l, span) in probes {
+            let u = l + span;
+            let a = idx.query_max(l, u);
+            let b = back.query_max(l, u);
+            prop_assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits));
+        }
+    }
+
+    /// Truncating a serialized buffer anywhere never panics — it returns a
+    /// decode error (or succeeds only for the full buffer).
+    #[test]
+    fn truncated_decode_never_panics(cut_fraction in 0.0f64..1.0) {
+        let records: Vec<Record> = (0..100).map(|i| Record::new(i as f64, 1.0)).collect();
+        let idx = PolyFitSum::build(records, 5.0, PolyFitConfig::default()).unwrap();
+        let bytes = idx.to_bytes();
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        let result = PolyFitSum::from_bytes(&bytes[..cut.min(bytes.len())]);
+        if cut >= bytes.len() {
+            prop_assert!(result.is_ok());
+        } else {
+            prop_assert!(result.is_err());
+        }
+    }
+}

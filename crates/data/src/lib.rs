@@ -1,0 +1,57 @@
+//! # polyfit-data — synthetic datasets and query workloads
+//!
+//! The paper evaluates on three datasets (Table III) that are not
+//! redistributable here: HKI (Dukascopy Hong Kong 40 index ticks, 0.9 M),
+//! TWEET (1 M tweet latitudes), and OSM (100 M OpenStreetMap lat/lon
+//! points). This crate generates synthetic stand-ins with matched *shape*
+//! (see DESIGN.md §2 "Substitutions"):
+//!
+//! * [`hki`] — a geometric random walk with regime shifts and intraday
+//!   seasonality: locally smooth but nonlinear, the exact property Fig. 5
+//!   of the paper exploits to motivate polynomial over linear fitting.
+//! * [`tweet`] — latitudes drawn from a mixture of Gaussians around
+//!   population centres, giving the heavy-tailed CDF curvature of real
+//!   geotagged tweets.
+//! * [`osm`] — 2-D clustered points over the lon/lat box, a scaled-down
+//!   stand-in for OSM (size configurable up to the paper's 100 M).
+//! * [`queries`] — workload generators following Section VII-A: 1-D query
+//!   intervals whose endpoints are sampled from dataset keys, and 2-D
+//!   rectangles sampled uniformly.
+//!
+//! All generators take an explicit seed so every experiment is
+//! reproducible.
+
+pub mod hki;
+pub mod osm;
+pub mod queries;
+pub mod synthetic;
+pub mod tweet;
+
+/// A `(key, measure)` record mirroring `polyfit_exact::Record`, kept local
+/// so this crate stays dependency-light; converters are provided by callers
+/// (the field layout is identical).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Record {
+    /// Search key.
+    pub key: f64,
+    /// Measure value.
+    pub measure: f64,
+}
+
+/// A 2-D point `(u, v)` with measure `w`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point2d {
+    /// First key.
+    pub u: f64,
+    /// Second key.
+    pub v: f64,
+    /// Measure.
+    pub w: f64,
+}
+
+pub use hki::generate_hki;
+pub use osm::generate_osm;
+pub use queries::{
+    query_intervals_from_keys, query_rectangles, QueryInterval, QueryRect,
+};
+pub use tweet::generate_tweet;

@@ -1,0 +1,142 @@
+//! Query workload generators (paper Section VII-A).
+//!
+//! * 1-D: "randomly choose two keys in the datasets as the start and end
+//!   points of each query interval" — endpoints are sampled from the
+//!   dataset's own keys, so query boundaries coincide with breakpoints of
+//!   the cumulative/step functions (this is also what makes the paper's
+//!   half-open CF-difference semantics exact; see `polyfit-exact` docs).
+//! * 2-D: rectangles sampled uniformly from the data bounding box.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A 1-D range query `[lo, hi]` with `lo ≤ hi`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueryInterval {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+}
+
+/// A 2-D range query rectangle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueryRect {
+    /// Lower `u` bound.
+    pub u_lo: f64,
+    /// Upper `u` bound.
+    pub u_hi: f64,
+    /// Lower `v` bound.
+    pub v_lo: f64,
+    /// Upper `v` bound.
+    pub v_hi: f64,
+}
+
+/// Draw `count` intervals whose endpoints are two distinct keys sampled
+/// uniformly from `keys` (paper workload for HKI/TWEET).
+///
+/// # Panics
+/// Panics if fewer than two keys are supplied.
+pub fn query_intervals_from_keys(keys: &[f64], count: usize, seed: u64) -> Vec<QueryInterval> {
+    assert!(keys.len() >= 2, "need at least two keys to form intervals");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let i = rng.gen_range(0..keys.len());
+            let mut j = rng.gen_range(0..keys.len());
+            while j == i {
+                j = rng.gen_range(0..keys.len());
+            }
+            let (lo, hi) = if keys[i] <= keys[j] { (keys[i], keys[j]) } else { (keys[j], keys[i]) };
+            QueryInterval { lo, hi }
+        })
+        .collect()
+}
+
+/// Draw `count` rectangles uniformly within the bounding box, with each
+/// side length uniform in `(0, max_extent_fraction]` of the box side
+/// (paper: "randomly sample the rectangles, based on the uniform
+/// distribution" for OSM).
+pub fn query_rectangles(
+    bbox: (f64, f64, f64, f64),
+    count: usize,
+    max_extent_fraction: f64,
+    seed: u64,
+) -> Vec<QueryRect> {
+    let (u_lo, u_hi, v_lo, v_hi) = bbox;
+    assert!(u_lo < u_hi && v_lo < v_hi, "degenerate bounding box");
+    assert!(
+        max_extent_fraction > 0.0 && max_extent_fraction <= 1.0,
+        "extent fraction must be in (0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let uw = u_hi - u_lo;
+    let vw = v_hi - v_lo;
+    (0..count)
+        .map(|_| {
+            let du = rng.gen_range(f64::MIN_POSITIVE..max_extent_fraction) * uw;
+            let dv = rng.gen_range(f64::MIN_POSITIVE..max_extent_fraction) * vw;
+            let qu = rng.gen_range(u_lo..(u_hi - du).max(u_lo + f64::MIN_POSITIVE));
+            let qv = rng.gen_range(v_lo..(v_hi - dv).max(v_lo + f64::MIN_POSITIVE));
+            QueryRect { u_lo: qu, u_hi: qu + du, v_lo: qv, v_hi: qv + dv }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_endpoints_come_from_keys() {
+        let keys = vec![1.0, 5.0, 9.0, 12.0, 20.0];
+        let qs = query_intervals_from_keys(&keys, 50, 3);
+        assert_eq!(qs.len(), 50);
+        for q in &qs {
+            assert!(keys.contains(&q.lo) && keys.contains(&q.hi));
+            assert!(q.lo < q.hi, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn intervals_deterministic() {
+        let keys = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(
+            query_intervals_from_keys(&keys, 10, 7),
+            query_intervals_from_keys(&keys, 10, 7)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two keys")]
+    fn too_few_keys_panics() {
+        query_intervals_from_keys(&[1.0], 1, 0);
+    }
+
+    #[test]
+    fn rectangles_inside_bbox() {
+        let bbox = (-180.0, 180.0, -60.0, 75.0);
+        let qs = query_rectangles(bbox, 100, 0.3, 11);
+        for q in &qs {
+            assert!(q.u_lo >= bbox.0 && q.u_hi <= bbox.1 + 1e-9, "{q:?}");
+            assert!(q.v_lo >= bbox.2 && q.v_hi <= bbox.3 + 1e-9, "{q:?}");
+            assert!(q.u_lo < q.u_hi && q.v_lo < q.v_hi, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn rectangle_extent_bounded() {
+        let bbox = (0.0, 100.0, 0.0, 100.0);
+        let qs = query_rectangles(bbox, 200, 0.1, 5);
+        for q in &qs {
+            assert!(q.u_hi - q.u_lo <= 10.0 + 1e-9);
+            assert!(q.v_hi - q.v_lo <= 10.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn bad_bbox_panics() {
+        query_rectangles((0.0, 0.0, 0.0, 1.0), 1, 0.5, 0);
+    }
+}

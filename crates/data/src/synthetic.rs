@@ -1,0 +1,101 @@
+//! Generic key distributions for robustness testing.
+//!
+//! The paper evaluates on three real datasets; robustness of the
+//! guarantees should not depend on their particular shapes, so this module
+//! provides standard synthetic families (uniform, Zipf-clustered,
+//! lognormal) used by the cross-shape test suites.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Record;
+
+/// `n` keys uniform over `[lo, hi)`, unit measures.
+pub fn uniform_keys(n: usize, lo: f64, hi: f64, seed: u64) -> Vec<Record> {
+    assert!(lo < hi, "invalid range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Record { key: rng.gen_range(lo..hi), measure: 1.0 })
+        .collect()
+}
+
+/// Zipf-clustered keys: `n` draws from `universe` distinct hot spots with
+/// Zipf(θ) popularity, jittered so keys stay distinct-ish. Models
+/// heavy-hitter key spaces (the power-law workloads of \[57\]).
+pub fn zipf_keys(n: usize, universe: usize, theta: f64, seed: u64) -> Vec<Record> {
+    assert!(universe >= 1, "need at least one hot spot");
+    assert!(theta > 0.0, "theta must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Precompute the Zipf CDF over ranks.
+    let mut cdf = Vec::with_capacity(universe);
+    let mut acc = 0.0;
+    for r in 1..=universe {
+        acc += 1.0 / (r as f64).powf(theta);
+        cdf.push(acc);
+    }
+    let total = acc;
+    (0..n)
+        .map(|_| {
+            let pick = rng.gen_range(0.0..total);
+            let rank = cdf.partition_point(|&c| c < pick);
+            let base = rank as f64 * 100.0;
+            Record { key: base + rng.gen_range(0.0..1.0), measure: 1.0 }
+        })
+        .collect()
+}
+
+/// Lognormal measures on evenly spaced keys — a skewed-measure SUM
+/// workload (heavy right tail).
+pub fn lognormal_measures(n: usize, mu: f64, sigma: f64, seed: u64) -> Vec<Record> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let z = gaussian(&mut rng);
+            Record { key: i as f64, measure: (mu + sigma * z).exp() }
+        })
+        .collect()
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_in_range() {
+        let rs = uniform_keys(5000, -10.0, 10.0, 1);
+        assert_eq!(rs.len(), 5000);
+        assert!(rs.iter().all(|r| r.key >= -10.0 && r.key < 10.0 && r.measure == 1.0));
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let rs = zipf_keys(20_000, 100, 1.2, 2);
+        // Rank-0 hot spot (keys in [0, 1)) must hold far more than 1% of
+        // the mass.
+        let hot = rs.iter().filter(|r| r.key < 1.0).count();
+        assert!(hot as f64 > 0.05 * rs.len() as f64, "hot {hot}");
+    }
+
+    #[test]
+    fn lognormal_right_tail() {
+        let rs = lognormal_measures(20_000, 0.0, 1.0, 3);
+        let mean = rs.iter().map(|r| r.measure).sum::<f64>() / rs.len() as f64;
+        let mut sorted: Vec<f64> = rs.iter().map(|r| r.measure).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(mean > median, "mean {mean} vs median {median}: no right skew");
+        assert!(rs.iter().all(|r| r.measure > 0.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(uniform_keys(100, 0.0, 1.0, 7), uniform_keys(100, 0.0, 1.0, 7));
+        assert_eq!(zipf_keys(100, 10, 1.0, 7), zipf_keys(100, 10, 1.0, 7));
+    }
+}

@@ -1,0 +1,110 @@
+//! Synthetic tweet latitudes (TWEET stand-in).
+//!
+//! The real dataset is 1 M geotagged tweets, keyed by latitude with COUNT
+//! as the aggregate. Geotagged activity clusters around population centres,
+//! so the latitude CDF has steep knees at major metro bands and long flat
+//! tails — precisely the curvature that separates polynomial from linear
+//! fitting. We sample from a mixture of Gaussians centred on real-world
+//! metro latitudes plus a broad background component.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Record;
+
+/// (latitude centre, std-dev, weight) of mixture components — approximate
+/// latitudes of high-tweet-volume metro bands.
+const CLUSTERS: &[(f64, f64, f64)] = &[
+    (40.7, 1.2, 0.18),  // NYC band
+    (34.0, 1.5, 0.14),  // LA band
+    (51.5, 1.0, 0.12),  // London band
+    (35.7, 1.3, 0.12),  // Tokyo band
+    (-23.5, 2.0, 0.10), // São Paulo band
+    (19.4, 2.5, 0.08),  // Mexico City band
+    (28.6, 2.0, 0.08),  // Delhi band
+    (1.3, 2.5, 0.06),   // Singapore/equatorial band
+    (-33.9, 2.0, 0.05), // Sydney band
+];
+/// Residual weight goes to a uniform background over [-60, 75].
+const BACKGROUND_LO: f64 = -60.0;
+const BACKGROUND_HI: f64 = 75.0;
+
+/// Generate `n` records `(latitude, 1.0)` for COUNT aggregation.
+///
+/// Latitudes are clamped to the background band. Keys are *not*
+/// deduplicated or sorted — callers run the standard preparation pipeline
+/// (collisions are astronomically rare with continuous draws but handled
+/// anyway by `dedup_sum`).
+pub fn generate_tweet(n: usize, seed: u64) -> Vec<Record> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total_weight: f64 = CLUSTERS.iter().map(|c| c.2).sum();
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let pick: f64 = rng.gen();
+        let mut acc = 0.0;
+        let mut lat = None;
+        for &(c, s, w) in CLUSTERS {
+            acc += w;
+            if pick < acc {
+                lat = Some(c + gaussian(&mut rng) * s);
+                break;
+            }
+        }
+        let lat = lat.unwrap_or_else(|| {
+            // Background component (weight 1 − total_weight).
+            debug_assert!(total_weight < 1.0);
+            rng.gen_range(BACKGROUND_LO..BACKGROUND_HI)
+        });
+        out.push(Record { key: lat.clamp(BACKGROUND_LO, BACKGROUND_HI), measure: 1.0 });
+    }
+    out
+}
+
+/// Standard normal via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(generate_tweet(500, 42), generate_tweet(500, 42));
+    }
+
+    #[test]
+    fn all_measures_are_one() {
+        assert!(generate_tweet(1000, 1).iter().all(|r| r.measure == 1.0));
+    }
+
+    #[test]
+    fn latitudes_within_band() {
+        let d = generate_tweet(10_000, 2);
+        assert!(d.iter().all(|r| r.key >= BACKGROUND_LO && r.key <= BACKGROUND_HI));
+    }
+
+    #[test]
+    fn clustering_is_present() {
+        // The NYC band [38.5, 42.9] should hold far more than the uniform
+        // share (~3%) of points.
+        let d = generate_tweet(20_000, 3);
+        let in_band = d.iter().filter(|r| r.key > 38.5 && r.key < 42.9).count();
+        assert!(
+            in_band as f64 > 0.10 * d.len() as f64,
+            "only {in_band} of {} in NYC band",
+            d.len()
+        );
+    }
+
+    #[test]
+    fn keys_mostly_distinct() {
+        let mut keys: Vec<f64> = generate_tweet(10_000, 4).iter().map(|r| r.key).collect();
+        keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let dups = keys.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(dups < 5, "{dups} duplicate latitudes");
+    }
+}

@@ -1,0 +1,276 @@
+//! Aggregate segment tree (paper Section III-B2, Fig. 4).
+//!
+//! An implicit (array-embedded) segment tree over the sorted records, with
+//! each node storing the max, min, and sum of its subtree. Range queries
+//! map the key range to an index range by binary search, then descend the
+//! tree touching at most two branches per level — the paper's aggregate
+//! max-tree traversal, `O(log n)`.
+
+use crate::dataset::{rank_exclusive, rank_inclusive, Record};
+
+#[derive(Clone, Copy, Debug)]
+struct NodeAgg {
+    max: f64,
+    min: f64,
+    sum: f64,
+}
+
+const EMPTY_AGG: NodeAgg = NodeAgg { max: f64::NEG_INFINITY, min: f64::INFINITY, sum: 0.0 };
+
+fn merge(a: NodeAgg, b: NodeAgg) -> NodeAgg {
+    NodeAgg { max: a.max.max(b.max), min: a.min.min(b.min), sum: a.sum + b.sum }
+}
+
+/// Segment tree with per-node MAX/MIN/SUM aggregates over sorted records.
+#[derive(Clone, Debug)]
+pub struct AggTree {
+    keys: Vec<f64>,
+    /// 1-indexed implicit binary tree of size `2·size`; leaves at
+    /// `size..size+n`.
+    nodes: Vec<NodeAgg>,
+    size: usize,
+    n: usize,
+}
+
+impl AggTree {
+    /// Build from records sorted by key.
+    ///
+    /// # Panics
+    /// Panics if records are not sorted.
+    pub fn new(records: &[Record]) -> Self {
+        assert!(
+            records.windows(2).all(|w| w[0].key <= w[1].key),
+            "records must be sorted by key"
+        );
+        let n = records.len();
+        let size = n.next_power_of_two().max(1);
+        let mut nodes = vec![EMPTY_AGG; 2 * size];
+        for (i, r) in records.iter().enumerate() {
+            nodes[size + i] = NodeAgg { max: r.measure, min: r.measure, sum: r.measure };
+        }
+        for i in (1..size).rev() {
+            nodes[i] = merge(nodes[2 * i], nodes[2 * i + 1]);
+        }
+        AggTree {
+            keys: records.iter().map(|r| r.key).collect(),
+            nodes,
+            size,
+            n,
+        }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the tree holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn query_idx(&self, lo: usize, hi: usize) -> NodeAgg {
+        // Aggregate over leaf index range [lo, hi) — standard iterative
+        // bottom-up segment tree walk.
+        if lo >= hi {
+            return EMPTY_AGG;
+        }
+        let mut l = lo + self.size;
+        let mut r = hi + self.size;
+        let mut acc_l = EMPTY_AGG;
+        let mut acc_r = EMPTY_AGG;
+        while l < r {
+            if l & 1 == 1 {
+                acc_l = merge(acc_l, self.nodes[l]);
+                l += 1;
+            }
+            if r & 1 == 1 {
+                r -= 1;
+                acc_r = merge(self.nodes[r], acc_r);
+            }
+            l >>= 1;
+            r >>= 1;
+        }
+        merge(acc_l, acc_r)
+    }
+
+    /// Leaf index range covering records with key in the *closed* range
+    /// `[lq, uq]`.
+    fn idx_range_closed(&self, lq: f64, uq: f64) -> (usize, usize) {
+        (rank_exclusive(&self.keys, lq), rank_inclusive(&self.keys, uq))
+    }
+
+    /// Maximum of the step function `DF_max` over `[lq, uq]`: the maximum
+    /// measure among records with key in `[pred(lq), uq]`, where `pred(lq)`
+    /// is the largest key `≤ lq` (see crate-level semantics notes). Returns
+    /// `None` when the range covers no step of the function.
+    pub fn range_max(&self, lq: f64, uq: f64) -> Option<f64> {
+        if lq > uq || self.n == 0 {
+            return None;
+        }
+        let lo = rank_inclusive(&self.keys, lq).saturating_sub(1);
+        let hi = rank_inclusive(&self.keys, uq);
+        // When lq precedes every key, DF_max is 0/undefined left of the
+        // first key; fall back to records inside the range only.
+        let lo = if rank_inclusive(&self.keys, lq) == 0 {
+            rank_exclusive(&self.keys, lq)
+        } else {
+            lo
+        };
+        let agg = self.query_idx(lo, hi);
+        (agg.max > f64::NEG_INFINITY).then_some(agg.max)
+    }
+
+    /// Minimum of `DF_min` over `[lq, uq]` (mirror of [`Self::range_max`]).
+    pub fn range_min(&self, lq: f64, uq: f64) -> Option<f64> {
+        if lq > uq || self.n == 0 {
+            return None;
+        }
+        let lo = if rank_inclusive(&self.keys, lq) == 0 {
+            rank_exclusive(&self.keys, lq)
+        } else {
+            rank_inclusive(&self.keys, lq) - 1
+        };
+        let hi = rank_inclusive(&self.keys, uq);
+        let agg = self.query_idx(lo, hi);
+        (agg.min < f64::INFINITY).then_some(agg.min)
+    }
+
+    /// Maximum measure among records with key strictly inside the closed
+    /// range `[lq, uq]` (record semantics — no predecessor step).
+    pub fn range_max_records(&self, lq: f64, uq: f64) -> Option<f64> {
+        if lq > uq {
+            return None;
+        }
+        let (lo, hi) = self.idx_range_closed(lq, uq);
+        let agg = self.query_idx(lo, hi);
+        (agg.max > f64::NEG_INFINITY).then_some(agg.max)
+    }
+
+    /// Minimum measure among records in the closed range.
+    pub fn range_min_records(&self, lq: f64, uq: f64) -> Option<f64> {
+        if lq > uq {
+            return None;
+        }
+        let (lo, hi) = self.idx_range_closed(lq, uq);
+        let agg = self.query_idx(lo, hi);
+        (agg.min < f64::INFINITY).then_some(agg.min)
+    }
+
+    /// Sum of measures among records in the closed range.
+    pub fn range_sum_records(&self, lq: f64, uq: f64) -> f64 {
+        if lq > uq {
+            return 0.0;
+        }
+        let (lo, hi) = self.idx_range_closed(lq, uq);
+        self.query_idx(lo, hi).sum
+    }
+
+    /// Heap size in bytes (keys + node aggregates).
+    pub fn size_bytes(&self) -> usize {
+        self.keys.len() * std::mem::size_of::<f64>()
+            + self.nodes.len() * std::mem::size_of::<NodeAgg>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records() -> Vec<Record> {
+        vec![
+            Record::new(1.0, 5.0),
+            Record::new(2.0, 9.0),
+            Record::new(4.0, 2.0),
+            Record::new(7.0, 7.0),
+            Record::new(9.0, 1.0),
+        ]
+    }
+
+    #[test]
+    fn record_semantics_max() {
+        let t = AggTree::new(&records());
+        assert_eq!(t.range_max_records(1.0, 9.0), Some(9.0));
+        assert_eq!(t.range_max_records(3.0, 8.0), Some(7.0));
+        assert_eq!(t.range_max_records(4.5, 6.0), None);
+        assert_eq!(t.range_max_records(9.0, 9.0), Some(1.0));
+    }
+
+    #[test]
+    fn function_semantics_max_includes_predecessor_step() {
+        let t = AggTree::new(&records());
+        // [4.5, 6]: DF_max equals 2.0 (the step starting at key 4).
+        assert_eq!(t.range_max(4.5, 6.0), Some(2.0));
+        // [2, 3]: steps from key 2 only (2 is an existing key).
+        assert_eq!(t.range_max(2.0, 3.0), Some(9.0));
+        // [2.5, 3]: step from key 2 extends over the whole range.
+        assert_eq!(t.range_max(2.5, 3.0), Some(9.0));
+        // Left of all keys: no steps until key 1 enters at lq ≤ 1 ≤ uq.
+        assert_eq!(t.range_max(0.0, 0.5), None);
+        assert_eq!(t.range_max(0.0, 1.0), Some(5.0));
+    }
+
+    #[test]
+    fn min_variants() {
+        let t = AggTree::new(&records());
+        assert_eq!(t.range_min_records(1.0, 9.0), Some(1.0));
+        assert_eq!(t.range_min_records(2.0, 7.0), Some(2.0));
+        assert_eq!(t.range_min(4.5, 6.0), Some(2.0));
+    }
+
+    #[test]
+    fn sum_matches_brute_force() {
+        let rs = records();
+        let t = AggTree::new(&rs);
+        for &(l, u) in &[(0.0, 10.0), (2.0, 7.0), (3.0, 3.5), (9.0, 9.0)] {
+            let brute: f64 = rs
+                .iter()
+                .filter(|r| r.key >= l && r.key <= u)
+                .map(|r| r.measure)
+                .sum();
+            assert_eq!(t.range_sum_records(l, u), brute, "range [{l}, {u}]");
+        }
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = AggTree::new(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.range_max(0.0, 1.0), None);
+        assert_eq!(t.range_sum_records(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn inverted_range() {
+        let t = AggTree::new(&records());
+        assert_eq!(t.range_max(5.0, 1.0), None);
+        assert_eq!(t.range_max_records(5.0, 1.0), None);
+    }
+
+    #[test]
+    fn single_record() {
+        let t = AggTree::new(&[Record::new(3.0, 42.0)]);
+        assert_eq!(t.range_max_records(3.0, 3.0), Some(42.0));
+        assert_eq!(t.range_max(10.0, 20.0), Some(42.0)); // step extends right
+        assert_eq!(t.range_max(0.0, 1.0), None);
+    }
+
+    #[test]
+    fn large_randomish_brute_force() {
+        let rs: Vec<Record> = (0..512)
+            .map(|i| Record::new(i as f64, ((i * 2654435761_usize) % 1000) as f64))
+            .collect();
+        let t = AggTree::new(&rs);
+        for step in [1usize, 7, 63, 200] {
+            for start in (0..512 - step).step_by(37) {
+                let (l, u) = (start as f64, (start + step) as f64);
+                let brute = rs
+                    .iter()
+                    .filter(|r| r.key >= l && r.key <= u)
+                    .map(|r| r.measure)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                assert_eq!(t.range_max_records(l, u), Some(brute));
+            }
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! Aggregate R-tree over 2-D points (the aR-tree comparator \[46\]).
+//!
+//! Bulk-loaded with the Sort-Tile-Recursive (STR) packing: points are
+//! sorted by `u`, sliced into vertical strips, and each strip sorted by `v`
+//! and cut into tiles of `FANOUT` points. Internal nodes store the minimum
+//! bounding rectangle plus COUNT / SUM / MAX aggregates of their subtree,
+//! so a range query adds fully-covered subtrees in `O(1)` per node and only
+//! descends partially-overlapping ones — the traversal of paper Fig. 4
+//! generalised to two keys.
+
+use crate::dataset::Point2d;
+
+/// Node fanout (entries per internal node, points per leaf).
+const FANOUT: usize = 64;
+
+/// Axis-aligned bounding rectangle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rect {
+    /// Minimum `u` coordinate.
+    pub u_lo: f64,
+    /// Maximum `u` coordinate.
+    pub u_hi: f64,
+    /// Minimum `v` coordinate.
+    pub v_lo: f64,
+    /// Maximum `v` coordinate.
+    pub v_hi: f64,
+}
+
+impl Rect {
+    /// An empty (inverted) rectangle that unions as the identity.
+    pub fn empty() -> Self {
+        Rect {
+            u_lo: f64::INFINITY,
+            u_hi: f64::NEG_INFINITY,
+            v_lo: f64::INFINITY,
+            v_hi: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Construct from bounds.
+    pub fn new(u_lo: f64, u_hi: f64, v_lo: f64, v_hi: f64) -> Self {
+        Rect { u_lo, u_hi, v_lo, v_hi }
+    }
+
+    fn extend_point(&mut self, p: &Point2d) {
+        self.u_lo = self.u_lo.min(p.u);
+        self.u_hi = self.u_hi.max(p.u);
+        self.v_lo = self.v_lo.min(p.v);
+        self.v_hi = self.v_hi.max(p.v);
+    }
+
+    fn extend_rect(&mut self, r: &Rect) {
+        self.u_lo = self.u_lo.min(r.u_lo);
+        self.u_hi = self.u_hi.max(r.u_hi);
+        self.v_lo = self.v_lo.min(r.v_lo);
+        self.v_hi = self.v_hi.max(r.v_hi);
+    }
+
+    /// True if `self` is fully inside `query`.
+    fn inside(&self, query: &Rect) -> bool {
+        self.u_lo >= query.u_lo
+            && self.u_hi <= query.u_hi
+            && self.v_lo >= query.v_lo
+            && self.v_hi <= query.v_hi
+    }
+
+    /// True if `self` intersects `query`.
+    fn intersects(&self, query: &Rect) -> bool {
+        self.u_lo <= query.u_hi
+            && self.u_hi >= query.u_lo
+            && self.v_lo <= query.v_hi
+            && self.v_hi >= query.v_lo
+    }
+
+    /// True if the point lies inside (closed) this rectangle.
+    fn contains(&self, p: &Point2d) -> bool {
+        p.u >= self.u_lo && p.u <= self.u_hi && p.v >= self.v_lo && p.v <= self.v_hi
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        mbr: Rect,
+        count: u64,
+        sum: f64,
+        max: f64,
+        points: Vec<Point2d>,
+    },
+    Internal {
+        mbr: Rect,
+        count: u64,
+        sum: f64,
+        max: f64,
+        children: Vec<Node>,
+    },
+}
+
+impl Node {
+    fn mbr(&self) -> &Rect {
+        match self {
+            Node::Leaf { mbr, .. } | Node::Internal { mbr, .. } => mbr,
+        }
+    }
+
+    fn count(&self) -> u64 {
+        match self {
+            Node::Leaf { count, .. } | Node::Internal { count, .. } => *count,
+        }
+    }
+
+    fn sum(&self) -> f64 {
+        match self {
+            Node::Leaf { sum, .. } | Node::Internal { sum, .. } => *sum,
+        }
+    }
+
+    fn max(&self) -> f64 {
+        match self {
+            Node::Leaf { max, .. } | Node::Internal { max, .. } => *max,
+        }
+    }
+}
+
+/// Aggregate R-tree answering exact 2-D range COUNT / SUM / MAX.
+#[derive(Clone, Debug)]
+pub struct ARTree {
+    root: Option<Node>,
+    n: usize,
+    node_count: usize,
+}
+
+impl ARTree {
+    /// Bulk-load from points using STR packing. Input order is irrelevant.
+    pub fn new(mut points: Vec<Point2d>) -> Self {
+        let n = points.len();
+        if n == 0 {
+            return ARTree { root: None, n: 0, node_count: 0 };
+        }
+        let mut node_count = 0usize;
+        let leaves = str_pack(&mut points, &mut node_count);
+        let root = build_up(leaves, &mut node_count);
+        ARTree { root: Some(root), n, node_count }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Exact COUNT of points inside the closed query rectangle.
+    pub fn range_count(&self, query: &Rect) -> u64 {
+        let mut acc = Aggregates::default();
+        if let Some(root) = &self.root {
+            visit(root, query, &mut acc);
+        }
+        acc.count
+    }
+
+    /// Exact SUM of measures inside the closed query rectangle.
+    pub fn range_sum(&self, query: &Rect) -> f64 {
+        let mut acc = Aggregates::default();
+        if let Some(root) = &self.root {
+            visit(root, query, &mut acc);
+        }
+        acc.sum
+    }
+
+    /// Exact MAX measure inside the closed query rectangle (None if empty).
+    pub fn range_max(&self, query: &Rect) -> Option<f64> {
+        let mut acc = Aggregates::default();
+        if let Some(root) = &self.root {
+            visit(root, query, &mut acc);
+        }
+        (acc.count > 0).then_some(acc.max)
+    }
+
+    /// Total number of tree nodes (for size accounting).
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Approximate heap size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        // Rect + aggregates per node, plus stored points in leaves.
+        self.node_count * (std::mem::size_of::<Rect>() + 8 + 8 + 8 + 24)
+            + self.n * std::mem::size_of::<Point2d>()
+    }
+}
+
+#[derive(Default)]
+struct Aggregates {
+    count: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl Aggregates {
+    fn absorb_node(&mut self, node: &Node) {
+        self.merge(node.count(), node.sum(), node.max());
+    }
+
+    fn merge(&mut self, count: u64, sum: f64, max: f64) {
+        if count > 0 {
+            self.max = if self.count > 0 { self.max.max(max) } else { max };
+            self.count += count;
+            self.sum += sum;
+        }
+    }
+}
+
+fn visit(node: &Node, query: &Rect, acc: &mut Aggregates) {
+    if !node.mbr().intersects(query) {
+        return;
+    }
+    if node.mbr().inside(query) {
+        acc.absorb_node(node);
+        return;
+    }
+    match node {
+        Node::Leaf { points, .. } => {
+            for p in points {
+                if query.contains(p) {
+                    acc.merge(1, p.w, p.w);
+                }
+            }
+        }
+        Node::Internal { children, .. } => {
+            for c in children {
+                visit(c, query, acc);
+            }
+        }
+    }
+}
+
+fn leaf_from(points: Vec<Point2d>) -> Node {
+    let mut mbr = Rect::empty();
+    let mut sum = 0.0;
+    let mut max = f64::NEG_INFINITY;
+    for p in &points {
+        mbr.extend_point(p);
+        sum += p.w;
+        max = max.max(p.w);
+    }
+    Node::Leaf { mbr, count: points.len() as u64, sum, max, points }
+}
+
+/// STR packing: slice by `u`, then tile each slice by `v`.
+fn str_pack(points: &mut [Point2d], node_count: &mut usize) -> Vec<Node> {
+    let n = points.len();
+    let nleaves = n.div_ceil(FANOUT);
+    let nslices = (nleaves as f64).sqrt().ceil() as usize;
+    let slice_size = n.div_ceil(nslices.max(1));
+    points.sort_by(|a, b| a.u.partial_cmp(&b.u).expect("finite coords"));
+    let mut leaves = Vec::with_capacity(nleaves);
+    for slice in points.chunks_mut(slice_size.max(1)) {
+        slice.sort_by(|a, b| a.v.partial_cmp(&b.v).expect("finite coords"));
+        for tile in slice.chunks(FANOUT) {
+            leaves.push(leaf_from(tile.to_vec()));
+            *node_count += 1;
+        }
+    }
+    leaves
+}
+
+fn build_up(mut level: Vec<Node>, node_count: &mut usize) -> Node {
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(FANOUT));
+        let mut iter = level.into_iter().peekable();
+        while iter.peek().is_some() {
+            let children: Vec<Node> = iter.by_ref().take(FANOUT).collect();
+            let mut mbr = Rect::empty();
+            let mut count = 0u64;
+            let mut sum = 0.0;
+            let mut max = f64::NEG_INFINITY;
+            for c in &children {
+                mbr.extend_rect(c.mbr());
+                count += c.count();
+                sum += c.sum();
+                max = max.max(c.max());
+            }
+            *node_count += 1;
+            next.push(Node::Internal { mbr, count, sum, max, children });
+        }
+        level = next;
+    }
+    level.pop().expect("non-empty level")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(n: usize) -> Vec<Point2d> {
+        let mut pts = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                pts.push(Point2d::new(i as f64, j as f64, (i + j) as f64));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn count_on_grid() {
+        let t = ARTree::new(grid_points(20)); // 400 points
+        assert_eq!(t.range_count(&Rect::new(0.0, 19.0, 0.0, 19.0)), 400);
+        assert_eq!(t.range_count(&Rect::new(0.0, 4.0, 0.0, 4.0)), 25);
+        assert_eq!(t.range_count(&Rect::new(5.5, 5.6, 0.0, 19.0)), 0);
+        assert_eq!(t.range_count(&Rect::new(5.0, 5.0, 5.0, 5.0)), 1);
+    }
+
+    #[test]
+    fn sum_and_max_on_grid() {
+        let t = ARTree::new(grid_points(10));
+        let q = Rect::new(0.0, 1.0, 0.0, 1.0);
+        // points (0,0),(0,1),(1,0),(1,1) with w = 0,1,1,2
+        assert_eq!(t.range_sum(&q), 4.0);
+        assert_eq!(t.range_max(&q), Some(2.0));
+        assert_eq!(t.range_max(&Rect::new(100.0, 200.0, 0.0, 1.0)), None);
+    }
+
+    #[test]
+    fn brute_force_agreement_random() {
+        // Deterministic pseudo-random points via a multiplicative hash.
+        let pts: Vec<Point2d> = (0..5000u64)
+            .map(|i| {
+                let h = i.wrapping_mul(0x9E3779B97F4A7C15);
+                let u = (h >> 32) as f64 / u32::MAX as f64 * 100.0;
+                let v = (h & 0xFFFF_FFFF) as f64 / u32::MAX as f64 * 100.0;
+                Point2d::new(u, v, (i % 97) as f64)
+            })
+            .collect();
+        let t = ARTree::new(pts.clone());
+        for &(ul, uh, vl, vh) in &[
+            (0.0, 100.0, 0.0, 100.0),
+            (10.0, 30.0, 40.0, 90.0),
+            (50.0, 50.1, 0.0, 100.0),
+            (99.0, 100.0, 99.0, 100.0),
+        ] {
+            let q = Rect::new(ul, uh, vl, vh);
+            let brute: Vec<&Point2d> = pts
+                .iter()
+                .filter(|p| p.u >= ul && p.u <= uh && p.v >= vl && p.v <= vh)
+                .collect();
+            assert_eq!(t.range_count(&q), brute.len() as u64, "count {q:?}");
+            let bsum: f64 = brute.iter().map(|p| p.w).sum();
+            assert!((t.range_sum(&q) - bsum).abs() < 1e-6, "sum {q:?}");
+            let bmax = brute.iter().map(|p| p.w).fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!(t.range_max(&q), (!brute.is_empty()).then_some(bmax), "max {q:?}");
+        }
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = ARTree::new(Vec::new());
+        assert!(t.is_empty());
+        assert_eq!(t.range_count(&Rect::new(0.0, 1.0, 0.0, 1.0)), 0);
+        assert_eq!(t.range_max(&Rect::new(0.0, 1.0, 0.0, 1.0)), None);
+    }
+
+    #[test]
+    fn single_point() {
+        let t = ARTree::new(vec![Point2d::new(3.0, 4.0, 5.0)]);
+        assert_eq!(t.range_count(&Rect::new(3.0, 3.0, 4.0, 4.0)), 1);
+        assert_eq!(t.range_count(&Rect::new(3.1, 5.0, 0.0, 10.0)), 0);
+    }
+
+    #[test]
+    fn node_count_grows_with_data() {
+        let small = ARTree::new(grid_points(5));
+        let large = ARTree::new(grid_points(40));
+        assert!(large.node_count() > small.node_count());
+        assert!(large.size_bytes() > small.size_bytes());
+    }
+
+    #[test]
+    fn negative_coordinates() {
+        let pts = vec![
+            Point2d::new(-10.0, -10.0, 1.0),
+            Point2d::new(-5.0, -5.0, 2.0),
+            Point2d::new(0.0, 0.0, 3.0),
+        ];
+        let t = ARTree::new(pts);
+        assert_eq!(t.range_count(&Rect::new(-11.0, -4.0, -11.0, -4.0)), 2);
+    }
+}

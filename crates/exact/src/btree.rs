@@ -1,0 +1,239 @@
+//! In-memory bulk-loaded B+-tree with rank and cumulative-sum queries.
+//!
+//! Stands in for the STX B+-tree \[2\] the paper uses as the substrate of the
+//! S-tree heuristic: keys live in the leaves, internal nodes route by
+//! separator keys, and every leaf entry carries the running cumulative
+//! measure so a range SUM/COUNT is two descents plus a subtraction.
+//!
+//! The tree is static (bulk-loaded from sorted input), matching the paper's
+//! no-update setting, which lets nodes be stored as flat arrays — cache
+//! behaviour comparable to the original.
+
+use crate::dataset::Record;
+
+/// Keys per leaf node / router entries per internal node.
+const NODE_CAPACITY: usize = 64;
+
+#[derive(Clone, Debug)]
+struct InternalLevel {
+    /// Separator keys: `separators[i]` is the smallest key reachable via
+    /// child `i + 1`.
+    separators: Vec<f64>,
+    /// Child index ranges are implicit: child `i` of node `j` at this level
+    /// is node `j·NODE_CAPACITY + i` of the level below. We only store the
+    /// per-node separator slices' offsets.
+    node_offsets: Vec<usize>,
+}
+
+/// Static B+-tree over sorted records, with inclusive cumulative sums.
+#[derive(Clone, Debug)]
+pub struct BPlusTree {
+    keys: Vec<f64>,
+    /// `cum[i]` = Σ measures of records `0..=i`.
+    cum: Vec<f64>,
+    levels: Vec<InternalLevel>,
+    height: usize,
+}
+
+impl BPlusTree {
+    /// Bulk-load from records sorted by key.
+    ///
+    /// # Panics
+    /// Panics if records are not sorted.
+    pub fn new(records: &[Record]) -> Self {
+        assert!(
+            records.windows(2).all(|w| w[0].key <= w[1].key),
+            "records must be sorted by key"
+        );
+        let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+        let mut cum = Vec::with_capacity(records.len());
+        let mut acc = 0.0;
+        for r in records {
+            acc += r.measure;
+            cum.push(acc);
+        }
+        // Build router levels bottom-up: each level summarises blocks of
+        // NODE_CAPACITY entries of the level below with their first key.
+        let mut levels = Vec::new();
+        let mut level_first_keys: Vec<f64> = keys
+            .chunks(NODE_CAPACITY)
+            .map(|c| c[0])
+            .collect();
+        while level_first_keys.len() > 1 {
+            let separators = level_first_keys.clone();
+            let node_offsets = (0..separators.len())
+                .step_by(NODE_CAPACITY)
+                .collect();
+            levels.push(InternalLevel { separators, node_offsets });
+            level_first_keys = level_first_keys
+                .chunks(NODE_CAPACITY)
+                .map(|c| c[0])
+                .collect();
+        }
+        levels.reverse();
+        let height = levels.len() + 1;
+        BPlusTree { keys, cum, levels, height }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if the tree holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Tree height including the leaf level.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of records with key ≤ `x`, located by root-to-leaf descent —
+    /// binary search within each node, the classic B+-tree probe.
+    pub fn rank_inclusive(&self, x: f64) -> usize {
+        // Descend router levels to locate the leaf block.
+        let mut block = 0usize;
+        for level in &self.levels {
+            let lo = block * NODE_CAPACITY;
+            let hi = (lo + NODE_CAPACITY).min(level.separators.len());
+            if lo >= level.separators.len() {
+                block = lo; // degenerate: propagate position
+                continue;
+            }
+            let within = level.separators[lo..hi].partition_point(|&k| k <= x);
+            block = lo + within.saturating_sub(1).min(hi - lo - 1);
+        }
+        let lo = block * NODE_CAPACITY;
+        if lo >= self.keys.len() {
+            return self.keys.len();
+        }
+        let hi = (lo + NODE_CAPACITY).min(self.keys.len());
+        let within = self.keys[lo..hi].partition_point(|&k| k <= x);
+        if within == hi - lo && hi < self.keys.len() {
+            // x may exceed this leaf; but descent guarantees x < first key
+            // of next leaf, except at exact-boundary ties — resolve by a
+            // final check.
+            let next_first = self.keys[hi];
+            if next_first <= x {
+                return self.keys[hi..].partition_point(|&k| k <= x) + hi;
+            }
+        }
+        lo + within
+    }
+
+    /// The inclusive cumulative function `CF(x)`.
+    pub fn cf(&self, x: f64) -> f64 {
+        match self.rank_inclusive(x) {
+            0 => 0.0,
+            i => self.cum[i - 1],
+        }
+    }
+
+    /// Range SUM over the half-open range `(lq, uq]` (paper convention).
+    pub fn range_sum(&self, lq: f64, uq: f64) -> f64 {
+        if lq >= uq {
+            return 0.0;
+        }
+        self.cf(uq) - self.cf(lq)
+    }
+
+    /// Heap size in bytes (leaves + routers).
+    pub fn size_bytes(&self) -> usize {
+        let leaf = (self.keys.len() + self.cum.len()) * std::mem::size_of::<f64>();
+        let routers: usize = self
+            .levels
+            .iter()
+            .map(|l| l.separators.len() * std::mem::size_of::<f64>()
+                + l.node_offsets.len() * std::mem::size_of::<usize>())
+            .sum();
+        leaf + routers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_of(n: usize) -> (BPlusTree, Vec<Record>) {
+        let records: Vec<Record> = (0..n)
+            .map(|i| Record::new(i as f64 * 2.0, (i % 5) as f64))
+            .collect();
+        (BPlusTree::new(&records), records)
+    }
+
+    #[test]
+    fn rank_matches_partition_point() {
+        let (t, records) = tree_of(1000);
+        let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+        for &x in &[-1.0, 0.0, 1.0, 2.0, 999.0, 1000.0, 1998.0, 5000.0, 333.3] {
+            assert_eq!(
+                t.rank_inclusive(x),
+                keys.partition_point(|&k| k <= x),
+                "rank at {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_exhaustive_small() {
+        let (t, records) = tree_of(257); // crosses leaf boundaries
+        let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+        for r in &records {
+            let x = r.key;
+            assert_eq!(t.rank_inclusive(x), keys.partition_point(|&k| k <= x));
+            let x2 = x + 1.0; // between keys
+            assert_eq!(t.rank_inclusive(x2), keys.partition_point(|&k| k <= x2));
+        }
+    }
+
+    #[test]
+    fn range_sum_matches_brute() {
+        let (t, records) = tree_of(500);
+        for &(l, u) in &[(0.0, 100.0), (-10.0, 2000.0), (500.0, 500.0), (37.0, 41.0)] {
+            let brute: f64 = records
+                .iter()
+                .filter(|r| r.key > l && r.key <= u)
+                .map(|r| r.measure)
+                .sum();
+            assert_eq!(t.range_sum(l, u), brute, "range ({l}, {u}]");
+        }
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let (t1, _) = tree_of(10);
+        let (t2, _) = tree_of(10_000);
+        assert_eq!(t1.height(), 1);
+        assert!(t2.height() >= 2);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = BPlusTree::new(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.rank_inclusive(5.0), 0);
+        assert_eq!(t.range_sum(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn single_record() {
+        let t = BPlusTree::new(&[Record::new(7.0, 3.0)]);
+        assert_eq!(t.cf(6.9), 0.0);
+        assert_eq!(t.cf(7.0), 3.0);
+        assert_eq!(t.range_sum(0.0, 7.0), 3.0);
+    }
+
+    #[test]
+    fn duplicate_keys() {
+        let records = vec![
+            Record::new(1.0, 1.0),
+            Record::new(1.0, 1.0),
+            Record::new(2.0, 1.0),
+        ];
+        let t = BPlusTree::new(&records);
+        assert_eq!(t.cf(1.0), 2.0);
+        assert_eq!(t.range_sum(0.0, 2.0), 3.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Record vocabulary and dataset preparation shared by every index.
+//!
+//! The paper assumes distinct keys and non-negative measures
+//! (Section III-A). Real datasets contain duplicates, so we fold them
+//! before indexing: [`dedup_sum`] for SUM/COUNT targets (duplicate measures
+//! add) and [`dedup_max`] for MAX/MIN targets (duplicates keep the
+//! extremum — both, so MIN queries stay exact on the same structure).
+
+/// A single `(key, measure)` record.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Record {
+    /// Search key (range predicates select on this).
+    pub key: f64,
+    /// Aggregated measure.
+    pub measure: f64,
+}
+
+impl Record {
+    /// Convenience constructor.
+    pub fn new(key: f64, measure: f64) -> Self {
+        Record { key, measure }
+    }
+}
+
+/// A 2-D point with two keys and a measure (two-key extension,
+/// Definition 4; COUNT uses `measure = 1`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point2d {
+    /// First key (e.g. longitude).
+    pub u: f64,
+    /// Second key (e.g. latitude).
+    pub v: f64,
+    /// Measure.
+    pub w: f64,
+}
+
+impl Point2d {
+    /// Convenience constructor.
+    pub fn new(u: f64, v: f64, w: f64) -> Self {
+        Point2d { u, v, w }
+    }
+}
+
+/// Sort records ascending by key. Total order is safe because keys are
+/// required to be finite.
+///
+/// # Panics
+/// Panics if any key is non-finite.
+pub fn sort_records(records: &mut [Record]) {
+    assert!(
+        records.iter().all(|r| r.key.is_finite() && r.measure.is_finite()),
+        "records must have finite keys and measures"
+    );
+    records.sort_by(|a, b| a.key.partial_cmp(&b.key).expect("finite keys compare"));
+}
+
+/// Fold duplicate keys by summing their measures. Input must be sorted.
+pub fn dedup_sum(records: Vec<Record>) -> Vec<Record> {
+    fold_duplicates(records, |acc, m| acc + m)
+}
+
+/// Fold duplicate keys by keeping the maximum measure. Input must be sorted.
+pub fn dedup_max(records: Vec<Record>) -> Vec<Record> {
+    fold_duplicates(records, f64::max)
+}
+
+fn fold_duplicates(records: Vec<Record>, fold: impl Fn(f64, f64) -> f64) -> Vec<Record> {
+    debug_assert!(
+        records.windows(2).all(|w| w[0].key <= w[1].key),
+        "records must be sorted before deduplication"
+    );
+    let mut out: Vec<Record> = Vec::with_capacity(records.len());
+    for r in records {
+        match out.last_mut() {
+            Some(last) if last.key == r.key => last.measure = fold(last.measure, r.measure),
+            _ => out.push(r),
+        }
+    }
+    out
+}
+
+/// Binary search over sorted keys: number of keys `≤ x` (the inclusive
+/// rank used by cumulative functions). Shared helper so every structure
+/// agrees on boundary behaviour.
+#[inline]
+pub fn rank_inclusive(keys: &[f64], x: f64) -> usize {
+    keys.partition_point(|&k| k <= x)
+}
+
+/// Number of keys `< x` (exclusive rank).
+#[inline]
+pub fn rank_exclusive(keys: &[f64], x: f64) -> usize {
+    keys.partition_point(|&k| k < x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorting_orders_by_key() {
+        let mut rs = vec![Record::new(3.0, 1.0), Record::new(1.0, 2.0), Record::new(2.0, 3.0)];
+        sort_records(&mut rs);
+        let keys: Vec<f64> = rs.iter().map(|r| r.key).collect();
+        assert_eq!(keys, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_key_panics() {
+        let mut rs = vec![Record::new(f64::NAN, 1.0)];
+        sort_records(&mut rs);
+    }
+
+    #[test]
+    fn dedup_sum_folds() {
+        let rs = vec![
+            Record::new(1.0, 2.0),
+            Record::new(1.0, 3.0),
+            Record::new(2.0, 1.0),
+        ];
+        let out = dedup_sum(rs);
+        assert_eq!(out, vec![Record::new(1.0, 5.0), Record::new(2.0, 1.0)]);
+    }
+
+    #[test]
+    fn dedup_max_keeps_extremum() {
+        let rs = vec![
+            Record::new(1.0, 2.0),
+            Record::new(1.0, 7.0),
+            Record::new(1.0, 3.0),
+        ];
+        let out = dedup_max(rs);
+        assert_eq!(out, vec![Record::new(1.0, 7.0)]);
+    }
+
+    #[test]
+    fn dedup_empty() {
+        assert!(dedup_sum(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn ranks_at_boundaries() {
+        let keys = [1.0, 2.0, 2.0, 5.0];
+        assert_eq!(rank_inclusive(&keys, 0.5), 0);
+        assert_eq!(rank_inclusive(&keys, 2.0), 3);
+        assert_eq!(rank_exclusive(&keys, 2.0), 1);
+        assert_eq!(rank_inclusive(&keys, 5.0), 4);
+        assert_eq!(rank_inclusive(&keys, 9.0), 4);
+        assert_eq!(rank_exclusive(&keys, 1.0), 0);
+    }
+}

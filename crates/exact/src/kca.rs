@@ -1,0 +1,217 @@
+//! Key-cumulative array (paper Section III-B1, Fig. 3).
+//!
+//! A prefix-sum array over *floating-point* keys: unlike the classic
+//! integer prefix-sum \[29\], lookups binary-search the sorted key array, so
+//! arbitrary real query endpoints are supported in `O(log n)`.
+//!
+//! This structure is simultaneously:
+//! * the exact method for range SUM/COUNT queries,
+//! * the materialisation of the cumulative function `CF_sum(k)` that
+//!   PolyFit and the learned-index baselines fit, and
+//! * the fallback when a relative-error certificate fails (Section V-A).
+
+use crate::dataset::{rank_exclusive, rank_inclusive, Record};
+
+/// Sorted keys with inclusive cumulative measure sums.
+#[derive(Clone, Debug)]
+pub struct KeyCumulativeArray {
+    keys: Vec<f64>,
+    /// `cum[i]` = Σ measures of records `0..=i`.
+    cum: Vec<f64>,
+}
+
+impl KeyCumulativeArray {
+    /// Build from records sorted by key (duplicates allowed — they simply
+    /// occupy adjacent slots; fold them first if distinct keys are needed).
+    ///
+    /// # Panics
+    /// Panics if records are not sorted.
+    pub fn new(records: &[Record]) -> Self {
+        assert!(
+            records.windows(2).all(|w| w[0].key <= w[1].key),
+            "records must be sorted by key"
+        );
+        let mut keys = Vec::with_capacity(records.len());
+        let mut cum = Vec::with_capacity(records.len());
+        let mut acc = 0.0;
+        for r in records {
+            acc += r.measure;
+            keys.push(r.key);
+            cum.push(acc);
+        }
+        KeyCumulativeArray { keys, cum }
+    }
+
+    /// Build a COUNT-flavoured array (every measure treated as 1).
+    pub fn counting(keys_sorted: &[f64]) -> Self {
+        let records: Vec<Record> = keys_sorted.iter().map(|&k| Record::new(k, 1.0)).collect();
+        KeyCumulativeArray::new(&records)
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if the array holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The sorted key slice (used by index builders to enumerate the
+    /// cumulative function's breakpoints).
+    pub fn keys(&self) -> &[f64] {
+        &self.keys
+    }
+
+    /// Inclusive cumulative sums aligned with [`Self::keys`].
+    pub fn cumulative(&self) -> &[f64] {
+        &self.cum
+    }
+
+    /// The cumulative function `CF(k) = Σ measures with key ≤ k`
+    /// (paper Eq. 4). `O(log n)`.
+    pub fn cf(&self, k: f64) -> f64 {
+        match rank_inclusive(&self.keys, k) {
+            0 => 0.0,
+            i => self.cum[i - 1],
+        }
+    }
+
+    /// Cumulative sum over keys strictly below `k`.
+    pub fn cf_exclusive(&self, k: f64) -> f64 {
+        match rank_exclusive(&self.keys, k) {
+            0 => 0.0,
+            i => self.cum[i - 1],
+        }
+    }
+
+    /// Exact range SUM over the half-open range `(lq, uq]` — the paper's
+    /// `CF(uq) − CF(lq)` (Eq. 5). Returns 0 for inverted ranges.
+    pub fn range_sum(&self, lq: f64, uq: f64) -> f64 {
+        if lq >= uq {
+            return 0.0;
+        }
+        self.cf(uq) - self.cf(lq)
+    }
+
+    /// Exact range SUM over the closed range `[lq, uq]`.
+    pub fn range_sum_closed(&self, lq: f64, uq: f64) -> f64 {
+        if lq > uq {
+            return 0.0;
+        }
+        self.cf(uq) - self.cf_exclusive(lq)
+    }
+
+    /// Total sum of all measures.
+    pub fn total(&self) -> f64 {
+        self.cum.last().copied().unwrap_or(0.0)
+    }
+
+    /// Heap size of the structure in bytes (key + cumulative arrays); used
+    /// by the index-size experiment (paper Fig. 19).
+    pub fn size_bytes(&self) -> usize {
+        (self.keys.len() + self.cum.len()) * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> KeyCumulativeArray {
+        let records = vec![
+            Record::new(1.0, 10.0),
+            Record::new(2.0, 20.0),
+            Record::new(4.0, 5.0),
+            Record::new(8.0, 40.0),
+        ];
+        KeyCumulativeArray::new(&records)
+    }
+
+    #[test]
+    fn cf_at_breakpoints() {
+        let kca = sample();
+        assert_eq!(kca.cf(0.5), 0.0);
+        assert_eq!(kca.cf(1.0), 10.0);
+        assert_eq!(kca.cf(3.0), 30.0);
+        assert_eq!(kca.cf(4.0), 35.0);
+        assert_eq!(kca.cf(100.0), 75.0);
+    }
+
+    #[test]
+    fn half_open_range_sum() {
+        let kca = sample();
+        // (1, 4] picks keys 2 and 4.
+        assert_eq!(kca.range_sum(1.0, 4.0), 25.0);
+        // (0, 1] picks key 1 only.
+        assert_eq!(kca.range_sum(0.0, 1.0), 10.0);
+        assert_eq!(kca.range_sum(8.0, 9.0), 0.0);
+    }
+
+    #[test]
+    fn closed_range_sum() {
+        let kca = sample();
+        // [1, 4] includes key 1.
+        assert_eq!(kca.range_sum_closed(1.0, 4.0), 35.0);
+        assert_eq!(kca.range_sum_closed(4.0, 4.0), 5.0);
+        assert_eq!(kca.range_sum_closed(5.0, 7.0), 0.0);
+    }
+
+    #[test]
+    fn inverted_range_is_zero() {
+        let kca = sample();
+        assert_eq!(kca.range_sum(5.0, 1.0), 0.0);
+        assert_eq!(kca.range_sum_closed(5.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn counting_flavour() {
+        let kca = KeyCumulativeArray::counting(&[1.0, 2.0, 3.0, 10.0]);
+        assert_eq!(kca.range_sum(1.0, 10.0), 3.0);
+        assert_eq!(kca.total(), 4.0);
+    }
+
+    #[test]
+    fn empty_array() {
+        let kca = KeyCumulativeArray::new(&[]);
+        assert!(kca.is_empty());
+        assert_eq!(kca.cf(1.0), 0.0);
+        assert_eq!(kca.range_sum(0.0, 1.0), 0.0);
+        assert_eq!(kca.total(), 0.0);
+    }
+
+    #[test]
+    fn duplicate_keys_accumulate() {
+        let records = vec![
+            Record::new(1.0, 1.0),
+            Record::new(1.0, 2.0),
+            Record::new(2.0, 3.0),
+        ];
+        let kca = KeyCumulativeArray::new(&records);
+        assert_eq!(kca.cf(1.0), 3.0);
+        assert_eq!(kca.range_sum(0.0, 1.0), 3.0);
+    }
+
+    #[test]
+    fn brute_force_agreement() {
+        let records: Vec<Record> = (0..200)
+            .map(|i| Record::new(i as f64 * 0.7, (i % 7) as f64))
+            .collect();
+        let kca = KeyCumulativeArray::new(&records);
+        for &(l, u) in &[(0.0, 50.0), (10.0, 10.5), (-5.0, 300.0), (70.0, 70.0)] {
+            let brute: f64 = records
+                .iter()
+                .filter(|r| r.key > l && r.key <= u)
+                .map(|r| r.measure)
+                .sum();
+            assert_eq!(kca.range_sum(l, u), brute);
+        }
+    }
+
+    #[test]
+    fn size_accounting() {
+        let kca = sample();
+        assert_eq!(kca.size_bytes(), 8 * 8);
+    }
+}

@@ -1,0 +1,47 @@
+//! # polyfit-exact — exact range-aggregate substrates
+//!
+//! The exact data structures that PolyFit's paper builds on, compares
+//! against, and falls back to when a relative-error certificate fails:
+//!
+//! * [`dataset`] — the `(key, measure)` record vocabulary, presorting and
+//!   duplicate-key folding shared by every index in the workspace, and the
+//!   **query semantics** used throughout (see below).
+//! * [`kca`] — the key-cumulative array (paper Fig. 3): a floating-key
+//!   prefix-sum answering exact range SUM/COUNT in `O(log n)`.
+//! * [`aggtree`] — an implicit segment tree with per-node aggregates
+//!   (paper Fig. 4): exact range MAX/MIN in `O(log n)`.
+//! * [`artree`] — a bulk-loaded (STR) aggregate R-tree over 2-D points
+//!   (the aR-tree comparator \[46\]): exact 2-D range COUNT/MAX.
+//! * [`btree`] — a bulk-loaded in-memory B+-tree with rank queries, the
+//!   substrate for the sampled S-tree heuristic.
+//!
+//! ## Query semantics
+//!
+//! For SUM/COUNT the paper evaluates `CF(uq) − CF(lq)` with the *inclusive*
+//! cumulative function `CF(k) = R(D, (−∞, k])`. That difference equals the
+//! aggregate over the **half-open key range `(lq, uq]`**. Every method in
+//! this workspace — exact, learned, and PolyFit itself — implements this
+//! same half-open convention, so comparisons and error guarantees are
+//! apples-to-apples. The closed range `[lq, uq]` is recovered by evaluating
+//! at `prev(lq)` (the largest key strictly below `lq`), which
+//! [`kca::KeyCumulativeArray::range_sum_closed`] does for convenience.
+//!
+//! For MAX/MIN the paper approximates the step function `DF_max(k)`
+//! (Eq. 6), whose maximum over `[lq, uq]` equals the maximum measure over
+//! records with key in `[pred(lq), uq]` where `pred(lq)` is the largest key
+//! `≤ lq`. When query endpoints coincide with existing keys — how the
+//! paper generates workloads — this equals the plain record-range maximum.
+//! [`aggtree::AggTree`] exposes both (`range_max` for function semantics,
+//! `range_max_records` for record semantics).
+
+pub mod aggtree;
+pub mod artree;
+pub mod btree;
+pub mod dataset;
+pub mod kca;
+
+pub use aggtree::AggTree;
+pub use artree::ARTree;
+pub use btree::BPlusTree;
+pub use dataset::{dedup_max, dedup_sum, sort_records, Point2d, Record};
+pub use kca::KeyCumulativeArray;

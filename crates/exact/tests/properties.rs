@@ -1,0 +1,98 @@
+//! Property-based tests for the exact substrates: every structure must
+//! agree with brute force on arbitrary inputs and ranges.
+
+use proptest::prelude::*;
+
+use polyfit_exact::artree::Rect;
+use polyfit_exact::dataset::{dedup_sum, sort_records, Point2d, Record};
+use polyfit_exact::{AggTree, ARTree, BPlusTree, KeyCumulativeArray};
+
+fn records(max_len: usize) -> impl Strategy<Value = Vec<Record>> {
+    proptest::collection::vec((-500.0f64..500.0, 0.0f64..20.0), 1..max_len)
+        .prop_map(|ps| ps.into_iter().map(|(k, m)| Record::new(k, m)).collect())
+}
+
+fn points(max_len: usize) -> impl Strategy<Value = Vec<Point2d>> {
+    proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0, 0.0f64..5.0), 1..max_len)
+        .prop_map(|ps| ps.into_iter().map(|(u, v, w)| Point2d::new(u, v, w)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn kca_and_btree_agree_with_brute(mut rs in records(60), l in -600.0f64..600.0, span in 0.0f64..1200.0) {
+        sort_records(&mut rs);
+        let rs = dedup_sum(rs);
+        let kca = KeyCumulativeArray::new(&rs);
+        let bt = BPlusTree::new(&rs);
+        let u = l + span;
+        let brute: f64 = rs.iter().filter(|r| r.key > l && r.key <= u).map(|r| r.measure).sum();
+        prop_assert!((kca.range_sum(l, u) - brute).abs() <= 1e-7);
+        prop_assert!((bt.range_sum(l, u) - brute).abs() <= 1e-7);
+        // Inclusive CF agreement at an arbitrary probe.
+        prop_assert_eq!(kca.cf(l), bt.cf(l));
+    }
+
+    #[test]
+    fn kca_closed_vs_halfopen(mut rs in records(40), l in -600.0f64..600.0, span in 0.0f64..1200.0) {
+        sort_records(&mut rs);
+        let rs = dedup_sum(rs);
+        let kca = KeyCumulativeArray::new(&rs);
+        let u = l + span;
+        let closed: f64 = rs.iter().filter(|r| r.key >= l && r.key <= u).map(|r| r.measure).sum();
+        prop_assert!((kca.range_sum_closed(l, u) - closed).abs() <= 1e-7);
+        // Half-open ≤ closed always (non-negative measures).
+        prop_assert!(kca.range_sum(l, u) <= kca.range_sum_closed(l, u) + 1e-9);
+    }
+
+    #[test]
+    fn aggtree_extremes_match_brute(mut rs in records(60), l in -600.0f64..600.0, span in 0.0f64..1200.0) {
+        sort_records(&mut rs);
+        let tree = AggTree::new(&rs);
+        let u = l + span;
+        let in_range: Vec<f64> = rs.iter()
+            .filter(|r| r.key >= l && r.key <= u)
+            .map(|r| r.measure)
+            .collect();
+        let bmax = in_range.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let bmin = in_range.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(tree.range_max_records(l, u), (!in_range.is_empty()).then_some(bmax));
+        prop_assert_eq!(tree.range_min_records(l, u), (!in_range.is_empty()).then_some(bmin));
+        let bsum: f64 = in_range.iter().sum();
+        prop_assert!((tree.range_sum_records(l, u) - bsum).abs() <= 1e-7);
+    }
+
+    #[test]
+    fn aggtree_function_semantics_includes_pred(mut rs in records(40), probe in -600.0f64..600.0) {
+        sort_records(&mut rs);
+        let rs = polyfit_exact::dataset::dedup_max(rs);
+        let tree = AggTree::new(&rs);
+        // Point query [probe, probe] under function semantics = measure of
+        // the largest key ≤ probe (the step covering probe).
+        let pred = rs.iter().rev().find(|r| r.key <= probe).map(|r| r.measure);
+        prop_assert_eq!(tree.range_max(probe, probe), pred);
+    }
+
+    #[test]
+    fn artree_matches_brute(pts in points(80), ul in -120.0f64..120.0, us in 0.0f64..240.0, vl in -120.0f64..120.0, vs in 0.0f64..240.0) {
+        let tree = ARTree::new(pts.clone());
+        let rect = Rect::new(ul, ul + us, vl, vl + vs);
+        let inside: Vec<&Point2d> = pts.iter()
+            .filter(|p| p.u >= ul && p.u <= ul + us && p.v >= vl && p.v <= vl + vs)
+            .collect();
+        prop_assert_eq!(tree.range_count(&rect), inside.len() as u64);
+        let bsum: f64 = inside.iter().map(|p| p.w).sum();
+        prop_assert!((tree.range_sum(&rect) - bsum).abs() <= 1e-7);
+        let bmax = inside.iter().map(|p| p.w).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(tree.range_max(&rect), (!inside.is_empty()).then_some(bmax));
+    }
+
+    #[test]
+    fn btree_rank_equals_partition_point(mut rs in records(80), probe in -600.0f64..600.0) {
+        sort_records(&mut rs);
+        let bt = BPlusTree::new(&rs);
+        let keys: Vec<f64> = rs.iter().map(|r| r.key).collect();
+        prop_assert_eq!(bt.rank_inclusive(probe), keys.partition_point(|&k| k <= probe));
+    }
+}

@@ -1,0 +1,256 @@
+//! 1-D minimax fitting front-end (paper Definition 2 / Eq. 9).
+//!
+//! Given a run of consecutive `(key, value)` points, produce the
+//! degree-`deg` polynomial minimising the maximum absolute deviation,
+//! together with that optimal error `E(I)`. Fitting is performed in the
+//! normalized variable `t = (k − center)/scale ∈ [−1, 1]` and the result is
+//! returned as a [`ShiftedPolynomial`], so callers never touch raw-key
+//! monomials (which would be catastrophically ill-conditioned for
+//! timestamp-scale keys).
+
+use polyfit_poly::{Polynomial, ShiftedPolynomial};
+
+use crate::exchange::minimax_exchange;
+use crate::simplex::{LpOutcome, LpProblem, Relation};
+
+/// Which algorithm solves the minimax problem.
+///
+/// Both return the same optimum (the exchange algorithm *is* a solver for
+/// the LP of Eq. 9, see module docs of [`crate::exchange`]); they differ in
+/// cost. `Exchange` is the default and is what makes greedy segmentation
+/// scale; `Simplex` is the literal paper reduction, kept for verification
+/// and ablation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FitBackend {
+    /// Discrete Remez exchange (fast; default).
+    #[default]
+    Exchange,
+    /// Remez exchange with Chebyshev-basis reference systems — same
+    /// optimum, better conditioned for degrees above ~6.
+    ExchangeChebyshev,
+    /// Two-phase simplex on the Eq. 9 LP (reference implementation).
+    Simplex,
+}
+
+/// A fitted segment polynomial with its certified minimax error.
+#[derive(Clone, Debug)]
+pub struct MinimaxFit {
+    /// The fitted polynomial (normalized-variable representation).
+    pub poly: ShiftedPolynomial,
+    /// The optimal minimax error `E(I)` over the supplied points.
+    pub error: f64,
+}
+
+/// Fit the points `(keys[i], values[i])` with a degree-≤`deg` polynomial
+/// minimising the maximum absolute deviation.
+///
+/// `keys` must be strictly increasing (PolyFit presorts and deduplicates
+/// datasets before fitting).
+///
+/// # Panics
+/// Panics if the slices differ in length, are empty, or keys are not
+/// strictly increasing (debug builds).
+pub fn fit_minimax(keys: &[f64], values: &[f64], deg: usize, backend: FitBackend) -> MinimaxFit {
+    assert_eq!(keys.len(), values.len(), "keys/values length mismatch");
+    assert!(!keys.is_empty(), "cannot fit zero points");
+    let (center, scale) = ShiftedPolynomial::normalizer(keys[0], keys[keys.len() - 1]);
+    let ts: Vec<f64> = keys.iter().map(|&k| (k - center) / scale).collect();
+    debug_assert!(
+        ts.windows(2).all(|w| w[0] < w[1]),
+        "keys must be strictly increasing"
+    );
+    let (coeffs, error) = match backend {
+        FitBackend::Exchange => {
+            let fit = minimax_exchange(&ts, values, deg);
+            (fit.coeffs, fit.error)
+        }
+        FitBackend::ExchangeChebyshev => {
+            let fit = crate::exchange::minimax_exchange_in_basis(
+                &ts,
+                values,
+                deg,
+                crate::exchange::Basis::Chebyshev,
+            );
+            (fit.coeffs, fit.error)
+        }
+        FitBackend::Simplex => fit_simplex(&ts, values, deg),
+    };
+    MinimaxFit {
+        poly: ShiftedPolynomial::new(Polynomial::new(coeffs), center, scale),
+        error,
+    }
+}
+
+/// Fit a polynomial through at most `deg + 1` points exactly (zero minimax
+/// error). Used for terminal segments shorter than the coefficient count.
+pub fn fit_interpolating(keys: &[f64], values: &[f64], deg: usize) -> MinimaxFit {
+    // `minimax_exchange` already short-circuits to interpolation for few
+    // points; route through the standard entry point for consistency.
+    fit_minimax(keys, values, deg, FitBackend::Exchange)
+}
+
+/// Literal Eq. 9 reduction:
+///   minimize t
+///   s.t. −t ≤ yᵢ − Σⱼ aⱼ·tᵢʲ ≤ t  for all i.
+/// Variables: `a₀..a_deg` (free), `t ≥ 0`.
+fn fit_simplex(ts: &[f64], ys: &[f64], deg: usize) -> (Vec<f64>, f64) {
+    let ncoef = deg + 1;
+    let nv = ncoef + 1; // + t
+    let mut lp = LpProblem::new(nv);
+    let mut obj = vec![0.0; nv];
+    obj[ncoef] = 1.0;
+    lp.minimize(obj);
+    for j in 0..ncoef {
+        lp.mark_free(j);
+    }
+    for (&t, &y) in ts.iter().zip(ys) {
+        let mut pw = 1.0;
+        let mut row_hi = vec![0.0; nv];
+        for item in row_hi.iter_mut().take(ncoef) {
+            *item = pw;
+            pw *= t;
+        }
+        let mut row_lo = row_hi.clone();
+        // y − Σ aⱼ tʲ ≤ t_err  →  Σ aⱼ tʲ + t_err ≥ y
+        row_hi[ncoef] = 1.0;
+        lp.add_constraint(row_hi, Relation::Ge, y);
+        // y − Σ aⱼ tʲ ≥ −t_err →  Σ aⱼ tʲ − t_err ≤ y
+        row_lo[ncoef] = -1.0;
+        lp.add_constraint(row_lo, Relation::Le, y);
+    }
+    match lp.solve() {
+        LpOutcome::Optimal { x, objective } => {
+            let coeffs = x[..ncoef].to_vec();
+            (coeffs, objective.max(0.0))
+        }
+        other => unreachable!("Chebyshev fitting LP is always feasible and bounded: {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    fn brute_error(fit: &MinimaxFit, keys: &[f64], values: &[f64]) -> f64 {
+        keys.iter()
+            .zip(values)
+            .map(|(&k, &v)| (v - fit.poly.eval(k)).abs())
+            .fold(0.0f64, f64::max)
+    }
+
+    #[test]
+    fn backends_agree_on_optimum() {
+        let keys: Vec<f64> = (0..60).map(|i| 100.0 + i as f64 * 3.0).collect();
+        let values: Vec<f64> = keys.iter().map(|&k| (k / 30.0).sin() * 50.0 + k).collect();
+        for deg in 0..=3 {
+            let ex = fit_minimax(&keys, &values, deg, FitBackend::Exchange);
+            let sx = fit_minimax(&keys, &values, deg, FitBackend::Simplex);
+            let ch = fit_minimax(&keys, &values, deg, FitBackend::ExchangeChebyshev);
+            assert_close(ex.error, sx.error, 1e-6 * ex.error.max(1.0));
+            assert_close(ch.error, sx.error, 1e-6 * sx.error.max(1.0));
+        }
+    }
+
+    #[test]
+    fn chebyshev_backend_handles_high_degree() {
+        // Degree 8 on a rapidly varying target: both backends must return
+        // finite, brute-force-consistent optima; Chebyshev must not be
+        // worse than monomial.
+        let keys: Vec<f64> = (0..400).map(|i| i as f64).collect();
+        let values: Vec<f64> = keys.iter().map(|&k| (k * 0.11).sin() * 100.0 + k).collect();
+        let mono = fit_minimax(&keys, &values, 8, FitBackend::Exchange);
+        let cheb = fit_minimax(&keys, &values, 8, FitBackend::ExchangeChebyshev);
+        for fit in [&mono, &cheb] {
+            let brute = brute_error(fit, &keys, &values);
+            assert_close(fit.error, brute, 1e-6 * brute.max(1.0));
+        }
+        assert!(cheb.error <= mono.error * (1.0 + 1e-6) + 1e-9);
+    }
+
+    #[test]
+    fn reported_error_matches_brute_force() {
+        let keys: Vec<f64> = (0..80).map(|i| i as f64).collect();
+        let values: Vec<f64> = keys.iter().map(|&k| k * k * 0.01 + (k * 0.7).cos()).collect();
+        for backend in [FitBackend::Exchange, FitBackend::Simplex] {
+            let fit = fit_minimax(&keys, &values, 2, backend);
+            let brute = brute_error(&fit, &keys, &values);
+            assert_close(fit.error, brute, 1e-7 * brute.max(1.0));
+        }
+    }
+
+    #[test]
+    fn large_key_magnitudes_are_conditioned() {
+        // Timestamp-scale keys would break raw monomials; the shifted basis
+        // must handle them.
+        let keys: Vec<f64> = (0..50).map(|i| 1.6e9 + i as f64 * 60.0).collect();
+        let values: Vec<f64> = (0..50).map(|i| 25_000.0 + (i as f64 * 0.3).sin() * 500.0).collect();
+        let fit = fit_minimax(&keys, &values, 3, FitBackend::Exchange);
+        assert!(fit.error.is_finite());
+        assert!(fit.error < 500.0, "error {}", fit.error);
+        let brute = brute_error(&fit, &keys, &values);
+        assert_close(fit.error, brute, 1e-6 * brute.max(1.0));
+    }
+
+    #[test]
+    fn exact_fit_for_polynomial_data() {
+        let keys: Vec<f64> = (0..30).map(|i| i as f64 * 10.0).collect();
+        let values: Vec<f64> = keys.iter().map(|&k| 3.0 + 0.5 * k - 0.001 * k * k).collect();
+        let fit = fit_minimax(&keys, &values, 2, FitBackend::Exchange);
+        assert!(fit.error < 1e-6, "error {}", fit.error);
+    }
+
+    #[test]
+    fn higher_degree_never_increases_error() {
+        let keys: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let values: Vec<f64> = keys.iter().map(|&k| (k * 0.2).sin() * 10.0).collect();
+        let mut last = f64::INFINITY;
+        for deg in 0..=5 {
+            let fit = fit_minimax(&keys, &values, deg, FitBackend::Exchange);
+            assert!(
+                fit.error <= last * (1.0 + 1e-9) + 1e-12,
+                "deg {deg}: {} > {}",
+                fit.error,
+                last
+            );
+            last = fit.error;
+        }
+    }
+
+    #[test]
+    fn interpolating_fit_is_exact() {
+        let fit = fit_interpolating(&[1.0, 2.0, 3.0], &[5.0, -1.0, 4.0], 2);
+        assert_close(fit.error, 0.0, 1e-10);
+        assert_close(fit.poly.eval(1.0), 5.0, 1e-8);
+        assert_close(fit.poly.eval(2.0), -1.0, 1e-8);
+        assert_close(fit.poly.eval(3.0), 4.0, 1e-8);
+    }
+
+    #[test]
+    fn single_point_fit() {
+        let fit = fit_minimax(&[42.0], &[7.0], 2, FitBackend::Exchange);
+        assert_close(fit.error, 0.0, 1e-12);
+        assert_close(fit.poly.eval(42.0), 7.0, 1e-10);
+    }
+
+    #[test]
+    fn monotonicity_of_error_in_point_count() {
+        // Lemma 1 of the paper: adding points can only increase E(I).
+        let keys: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let values: Vec<f64> = keys.iter().map(|&k| (k * 0.37).sin() * 20.0 + k).collect();
+        let mut last = 0.0f64;
+        for l in 1..=keys.len() {
+            let fit = fit_minimax(&keys[..l], &values[..l], 2, FitBackend::Exchange);
+            assert!(
+                fit.error >= last - 1e-7 * last.max(1.0),
+                "l={l}: {} < {}",
+                fit.error,
+                last
+            );
+            last = last.max(fit.error);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! 2-D minimax fitting for the two-key extension (paper Section VI).
+//!
+//! Fits `P(u, v) = Σ_{i+j≤deg} a_ij u^i v^j` to samples of the 2-D
+//! cumulative count surface over a quadtree cell. Two backends:
+//!
+//! * [`Fit2dBackend::LeastSquares`] *(default)* — solve the normal
+//!   equations, then scan the exact maximum residual. The achieved error is
+//!   an upper bound on the optimal minimax error, which is all the bounded
+//!   δ-error constraint (Definition 3) needs for correctness: a cell is
+//!   accepted only if its *achieved* error is ≤ δ. The quadtree may split
+//!   slightly more than with exact minimax fits, trading index size for
+//!   construction speed — exactly the trade-off the authors face at
+//!   100 M-record scale.
+//! * [`Fit2dBackend::Simplex`] — the literal Eq. 9 analogue with bivariate
+//!   monomials, exact minimax; cost grows as the LP does, so it suits
+//!   moderate cell populations and is used to validate the fast path.
+
+// Index-based loops below walk several arrays in lockstep (tableau rows,
+// activation/delta buffers); iterator zips would obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+use polyfit_poly::bivariate::{monomial_count, monomials, BivariatePoly};
+
+use crate::dense::{least_squares, Matrix};
+use crate::simplex::{LpOutcome, LpProblem, Relation};
+
+/// Backend selector for 2-D fits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Fit2dBackend {
+    /// Least-squares fit + exact max-residual scan (fast; default).
+    #[default]
+    LeastSquares,
+    /// Exact minimax via the simplex LP.
+    Simplex,
+}
+
+/// A fitted bivariate polynomial with its achieved maximum absolute error.
+#[derive(Clone, Debug)]
+pub struct MinimaxFit2d {
+    /// The fitted surface (normalized-coordinate representation).
+    pub poly: BivariatePoly,
+    /// Maximum absolute deviation over the supplied samples. For the
+    /// `Simplex` backend this is the optimal minimax error; for
+    /// `LeastSquares` it is the (≥ optimal) achieved error.
+    pub error: f64,
+}
+
+/// Fit samples `(us[i], vs[i]) ↦ ws[i]` over the rectangle
+/// `[u_lo, u_hi] × [v_lo, v_hi]` with a total-degree-≤`deg` polynomial.
+///
+/// The rectangle — not the sample bounding box — defines the normalization,
+/// so evaluation anywhere in the cell stays within `[−1, 1]²`.
+///
+/// # Panics
+/// Panics if sample arrays differ in length or are empty.
+pub fn fit_minimax_2d(
+    us: &[f64],
+    vs: &[f64],
+    ws: &[f64],
+    rect: (f64, f64, f64, f64),
+    deg: usize,
+    backend: Fit2dBackend,
+) -> MinimaxFit2d {
+    assert_eq!(us.len(), vs.len(), "sample arrays must have equal length");
+    assert_eq!(us.len(), ws.len(), "sample arrays must have equal length");
+    assert!(!us.is_empty(), "cannot fit zero samples");
+    let (u_lo, u_hi, v_lo, v_hi) = rect;
+    let (cu, su) = BivariatePoly::axis_normalizer(u_lo, u_hi);
+    let (cv, sv) = BivariatePoly::axis_normalizer(v_lo, v_hi);
+    let nterms = monomial_count(deg);
+    let ss: Vec<f64> = us.iter().map(|&u| (u - cu) / su).collect();
+    let tts: Vec<f64> = vs.iter().map(|&v| (v - cv) / sv).collect();
+
+    let coeffs = match backend {
+        Fit2dBackend::LeastSquares => fit_ls(&ss, &tts, ws, deg, nterms),
+        Fit2dBackend::Simplex => fit_lp(&ss, &tts, ws, deg, nterms),
+    };
+    let poly = BivariatePoly::new(deg, coeffs, cu, su, cv, sv);
+    let error = us
+        .iter()
+        .zip(vs)
+        .zip(ws)
+        .map(|((&u, &v), &w)| (w - poly.eval(u, v)).abs())
+        .fold(0.0f64, f64::max);
+    MinimaxFit2d { poly, error }
+}
+
+fn design_row(s: f64, t: f64, deg: usize, nterms: usize) -> Vec<f64> {
+    let mut row = Vec::with_capacity(nterms);
+    for (i, j) in monomials(deg) {
+        row.push(s.powi(i as i32) * t.powi(j as i32));
+    }
+    row
+}
+
+fn fit_ls(ss: &[f64], tts: &[f64], ws: &[f64], deg: usize, nterms: usize) -> Vec<f64> {
+    let n = ss.len();
+    let mut a = Matrix::zeros(n, nterms);
+    for r in 0..n {
+        for (c, v) in design_row(ss[r], tts[r], deg, nterms).into_iter().enumerate() {
+            a.set(r, c, v);
+        }
+    }
+    // Underdetermined cells (fewer samples than terms — e.g. a quadtree
+    // leaf shrunk to a single lattice cell) solve the ridge-regularised
+    // normal equations directly: the tiny ridge picks a near-minimum-norm
+    // interpolant through the samples, which is exactly what the δ-check
+    // needs (zero achieved error at the samples).
+    let solve = if n >= nterms { least_squares(&a, ws) } else { ridge(&a, ws, nterms) };
+    solve.unwrap_or_else(|| {
+        let mean = ws.iter().sum::<f64>() / n as f64;
+        let mut coeffs = vec![0.0; nterms];
+        coeffs[0] = mean;
+        coeffs
+    })
+}
+
+/// Ridge-regularised normal equations for (possibly underdetermined)
+/// systems: `(AᵀA + λI)x = Aᵀb` with a tiny λ.
+fn ridge(a: &Matrix, b: &[f64], nterms: usize) -> Option<Vec<f64>> {
+    let n = a.rows();
+    let mut ata = Matrix::zeros(nterms, nterms);
+    let mut atb = vec![0.0; nterms];
+    for r in 0..n {
+        for i in 0..nterms {
+            let ari = a.get(r, i);
+            if ari == 0.0 {
+                continue;
+            }
+            atb[i] += ari * b[r];
+            for j in 0..nterms {
+                let v = ata.get(i, j) + ari * a.get(r, j);
+                ata.set(i, j, v);
+            }
+        }
+    }
+    let scale = (0..nterms).map(|i| ata.get(i, i)).fold(0.0f64, f64::max).max(1.0);
+    for i in 0..nterms {
+        let v = ata.get(i, i) + 1e-12 * scale;
+        ata.set(i, i, v);
+    }
+    crate::dense::solve_linear_system(&ata, &atb)
+}
+
+fn fit_lp(ss: &[f64], tts: &[f64], ws: &[f64], deg: usize, nterms: usize) -> Vec<f64> {
+    let nv = nterms + 1; // coefficients + error variable
+    let mut lp = LpProblem::new(nv);
+    let mut obj = vec![0.0; nv];
+    obj[nterms] = 1.0;
+    lp.minimize(obj);
+    for j in 0..nterms {
+        lp.mark_free(j);
+    }
+    for ((&s, &t), &w) in ss.iter().zip(tts).zip(ws) {
+        let base = design_row(s, t, deg, nterms);
+        let mut hi = base.clone();
+        hi.push(1.0);
+        lp.add_constraint(hi, Relation::Ge, w);
+        let mut lo = base;
+        lo.push(-1.0);
+        lp.add_constraint(lo, Relation::Le, w);
+    }
+    match lp.solve() {
+        LpOutcome::Optimal { x, .. } => x[..nterms].to_vec(),
+        other => unreachable!("2-D Chebyshev LP is always feasible and bounded: {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    fn grid(n: usize, rect: (f64, f64, f64, f64)) -> (Vec<f64>, Vec<f64>) {
+        let (ulo, uhi, vlo, vhi) = rect;
+        let mut us = Vec::new();
+        let mut vs = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                us.push(ulo + (uhi - ulo) * i as f64 / (n - 1) as f64);
+                vs.push(vlo + (vhi - vlo) * j as f64 / (n - 1) as f64);
+            }
+        }
+        (us, vs)
+    }
+
+    #[test]
+    fn exact_plane_recovery_both_backends() {
+        let rect = (0.0, 10.0, -5.0, 5.0);
+        let (us, vs) = grid(6, rect);
+        let ws: Vec<f64> = us.iter().zip(&vs).map(|(&u, &v)| 2.0 + 3.0 * u - v).collect();
+        for backend in [Fit2dBackend::LeastSquares, Fit2dBackend::Simplex] {
+            let fit = fit_minimax_2d(&us, &vs, &ws, rect, 1, backend);
+            assert!(fit.error < 1e-7, "{backend:?} error {}", fit.error);
+            assert_close(fit.poly.eval(4.0, 2.0), 2.0 + 12.0 - 2.0, 1e-6);
+        }
+    }
+
+    #[test]
+    fn quadratic_surface_recovery() {
+        let rect = (0.0, 1.0, 0.0, 1.0);
+        let (us, vs) = grid(8, rect);
+        let ws: Vec<f64> = us.iter().zip(&vs).map(|(&u, &v)| u * u + u * v + 0.5 * v).collect();
+        let fit = fit_minimax_2d(&us, &vs, &ws, rect, 2, Fit2dBackend::LeastSquares);
+        assert!(fit.error < 1e-7, "error {}", fit.error);
+    }
+
+    #[test]
+    fn simplex_error_not_worse_than_least_squares() {
+        let rect = (0.0, 1.0, 0.0, 1.0);
+        let (us, vs) = grid(5, rect);
+        let ws: Vec<f64> = us
+            .iter()
+            .zip(&vs)
+            .map(|(&u, &v)| (6.0 * u).sin() + (4.0 * v).cos())
+            .collect();
+        let ls = fit_minimax_2d(&us, &vs, &ws, rect, 2, Fit2dBackend::LeastSquares);
+        let lp = fit_minimax_2d(&us, &vs, &ws, rect, 2, Fit2dBackend::Simplex);
+        assert!(
+            lp.error <= ls.error * (1.0 + 1e-6) + 1e-9,
+            "lp {} vs ls {}",
+            lp.error,
+            ls.error
+        );
+    }
+
+    #[test]
+    fn underdetermined_cell_falls_back_to_mean() {
+        let fit = fit_minimax_2d(
+            &[0.5],
+            &[0.5],
+            &[10.0],
+            (0.0, 1.0, 0.0, 1.0),
+            2,
+            Fit2dBackend::LeastSquares,
+        );
+        assert_close(fit.poly.eval(0.5, 0.5), 10.0, 1e-9);
+        assert_close(fit.error, 0.0, 1e-9);
+    }
+
+    #[test]
+    fn error_matches_brute_scan() {
+        let rect = (-3.0, 3.0, -3.0, 3.0);
+        let (us, vs) = grid(7, rect);
+        let ws: Vec<f64> = us.iter().zip(&vs).map(|(&u, &v)| u * v * v).collect();
+        let fit = fit_minimax_2d(&us, &vs, &ws, rect, 2, Fit2dBackend::LeastSquares);
+        let brute = us
+            .iter()
+            .zip(&vs)
+            .zip(&ws)
+            .map(|((&u, &v), &w)| (w - fit.poly.eval(u, v)).abs())
+            .fold(0.0f64, f64::max);
+        assert_close(fit.error, brute, 1e-12);
+    }
+
+    #[test]
+    fn degenerate_rectangle() {
+        // Zero-width rectangle normalizes with unit scale; fit still works.
+        let fit = fit_minimax_2d(
+            &[5.0, 5.0, 5.0],
+            &[0.0, 1.0, 2.0],
+            &[1.0, 2.0, 3.0],
+            (5.0, 5.0, 0.0, 2.0),
+            1,
+            Fit2dBackend::LeastSquares,
+        );
+        assert!(fit.error < 1e-8, "error {}", fit.error);
+    }
+}

@@ -1,0 +1,530 @@
+//! A dense two-phase simplex solver.
+//!
+//! This is the general-purpose LP backend for Eq. 9 of the paper. It favours
+//! clarity and robustness over sparse-matrix sophistication: the fitting LPs
+//! solved during verification are small (hundreds of constraints), and the
+//! production fitting path uses the exchange algorithm instead.
+//!
+//! The solver accepts free variables (polynomial coefficients are
+//! unconstrained in sign — they are split internally into differences of
+//! non-negative variables), all three relation kinds, and uses Dantzig
+//! pricing with an automatic switch to Bland's rule when degeneracy stalls
+//! progress, which guarantees termination.
+
+// Index-based loops below walk several arrays in lockstep (tableau rows,
+// activation/delta buffers); iterator zips would obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+use crate::dense::{axpy_rows, scale_row, Matrix};
+
+/// Constraint relation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Relation {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+#[derive(Clone, Debug)]
+struct Constraint {
+    coeffs: Vec<f64>,
+    rel: Relation,
+    rhs: f64,
+}
+
+/// A linear program `min cᵀx` subject to linear constraints. Variables are
+/// non-negative unless marked free.
+#[derive(Clone, Debug)]
+pub struct LpProblem {
+    n_vars: usize,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+    free: Vec<bool>,
+}
+
+/// Result of [`LpProblem::solve`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal solution was found.
+    Optimal {
+        /// Values of the original (user-visible) variables.
+        x: Vec<f64>,
+        /// Objective value `cᵀx`.
+        objective: f64,
+    },
+    /// The constraint set is empty.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+/// Feasibility tolerance: phase-1 objectives below this count as feasible,
+/// reduced costs within it count as optimal.
+const TOL: f64 = 1e-9;
+
+impl LpProblem {
+    /// A program over `n_vars` non-negative variables with zero objective.
+    pub fn new(n_vars: usize) -> Self {
+        LpProblem {
+            n_vars,
+            objective: vec![0.0; n_vars],
+            constraints: Vec::new(),
+            free: vec![false; n_vars],
+        }
+    }
+
+    /// Set the minimisation objective `c`.
+    ///
+    /// # Panics
+    /// Panics if `c.len() != n_vars`.
+    pub fn minimize(&mut self, c: Vec<f64>) -> &mut Self {
+        assert_eq!(c.len(), self.n_vars, "objective length mismatch");
+        self.objective = c;
+        self
+    }
+
+    /// Mark variable `i` as free (unbounded in sign).
+    pub fn mark_free(&mut self, i: usize) -> &mut Self {
+        self.free[i] = true;
+        self
+    }
+
+    /// Add the constraint `coeffs · x REL rhs`.
+    ///
+    /// # Panics
+    /// Panics if `coeffs.len() != n_vars` or any value is non-finite.
+    pub fn add_constraint(&mut self, coeffs: Vec<f64>, rel: Relation, rhs: f64) -> &mut Self {
+        assert_eq!(coeffs.len(), self.n_vars, "constraint length mismatch");
+        debug_assert!(
+            coeffs.iter().chain(std::iter::once(&rhs)).all(|v| v.is_finite()),
+            "constraint values must be finite"
+        );
+        self.constraints.push(Constraint { coeffs, rel, rhs });
+        self
+    }
+
+    /// Number of user variables.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Number of constraints added so far.
+    pub fn n_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Solve with two-phase simplex.
+    pub fn solve(&self) -> LpOutcome {
+        Tableau::build(self).solve(self)
+    }
+}
+
+/// Internal simplex tableau in canonical form.
+struct Tableau {
+    /// `m × (ncols+1)` matrix; the last column is the RHS.
+    t: Matrix,
+    /// Basis variable (column index) per row.
+    basis: Vec<usize>,
+    /// Expanded column count (excluding RHS).
+    ncols: usize,
+    /// Expanded objective for phase 2 (length `ncols`).
+    cost2: Vec<f64>,
+    /// First artificial column (columns ≥ this are artificials).
+    art_start: usize,
+    /// Mapping: user variable -> (positive part column, optional negative part column).
+    var_map: Vec<(usize, Option<usize>)>,
+}
+
+impl Tableau {
+    fn build(p: &LpProblem) -> Tableau {
+        let m = p.constraints.len();
+        // Column layout: [split user vars][slack/surplus][artificials].
+        let mut var_map = Vec::with_capacity(p.n_vars);
+        let mut next = 0usize;
+        for i in 0..p.n_vars {
+            if p.free[i] {
+                var_map.push((next, Some(next + 1)));
+                next += 2;
+            } else {
+                var_map.push((next, None));
+                next += 1;
+            }
+        }
+        let n_split = next;
+        // One slack/surplus per inequality; artificials assigned after.
+        let n_slack = p
+            .constraints
+            .iter()
+            .filter(|c| c.rel != Relation::Eq)
+            .count();
+        // Count artificials: rows whose canonical form lacks an identity
+        // column (Ge with positive rhs, Eq, and Le with negative rhs which
+        // flips into Ge).
+        let mut n_art = 0usize;
+        for c in &p.constraints {
+            let flip = c.rhs < 0.0;
+            let rel = effective_rel(c.rel, flip);
+            if rel != Relation::Le {
+                n_art += 1;
+            }
+        }
+        let ncols = n_split + n_slack + n_art;
+        let art_start = n_split + n_slack;
+        let mut t = Matrix::zeros(m, ncols + 1);
+        let mut basis = vec![usize::MAX; m];
+        let mut slack_at = n_split;
+        let mut art_at = art_start;
+        for (r, c) in p.constraints.iter().enumerate() {
+            let flip = c.rhs < 0.0;
+            let sign = if flip { -1.0 } else { 1.0 };
+            for (i, &(pos, neg)) in var_map.iter().enumerate() {
+                let v = sign * c.coeffs[i];
+                if v != 0.0 {
+                    t.set(r, pos, v);
+                    if let Some(ncol) = neg {
+                        t.set(r, ncol, -v);
+                    }
+                }
+            }
+            t.set(r, ncols, sign * c.rhs);
+            let rel = effective_rel(c.rel, flip);
+            match rel {
+                Relation::Le => {
+                    t.set(r, slack_at, 1.0);
+                    basis[r] = slack_at;
+                    slack_at += 1;
+                }
+                Relation::Ge => {
+                    t.set(r, slack_at, -1.0);
+                    slack_at += 1;
+                    t.set(r, art_at, 1.0);
+                    basis[r] = art_at;
+                    art_at += 1;
+                }
+                Relation::Eq => {
+                    t.set(r, art_at, 1.0);
+                    basis[r] = art_at;
+                    art_at += 1;
+                }
+            }
+        }
+        // Phase-2 cost over expanded columns.
+        let mut cost2 = vec![0.0; ncols];
+        for (i, &(pos, neg)) in var_map.iter().enumerate() {
+            cost2[pos] = p.objective[i];
+            if let Some(ncol) = neg {
+                cost2[ncol] = -p.objective[i];
+            }
+        }
+        Tableau { t, basis, ncols, cost2, art_start, var_map }
+    }
+
+    fn solve(mut self, p: &LpProblem) -> LpOutcome {
+        let m = self.t.rows();
+        if self.art_start < self.ncols {
+            // Phase 1: minimise the sum of artificials.
+            let mut cost1 = vec![0.0; self.ncols];
+            for c in self.art_start..self.ncols {
+                cost1[c] = 1.0;
+            }
+            match self.optimize(&cost1, Some(self.art_start)) {
+                PhaseResult::Unbounded => unreachable!("phase 1 is bounded below by 0"),
+                PhaseResult::Optimal(obj) => {
+                    if obj > TOL {
+                        return LpOutcome::Infeasible;
+                    }
+                }
+            }
+            // Drive any residual artificials out of the basis (degenerate
+            // feasible solutions can leave them basic at value 0).
+            for r in 0..m {
+                if self.basis[r] >= self.art_start {
+                    let pivot_col = (0..self.art_start)
+                        .find(|&c| self.t.get(r, c).abs() > TOL);
+                    if let Some(c) = pivot_col {
+                        self.pivot(r, c);
+                    }
+                    // If no pivot column exists, the row is all-zero over
+                    // real variables: redundant, harmless to leave.
+                }
+            }
+        }
+        // Phase 2.
+        let cost2 = self.cost2.clone();
+        match self.optimize(&cost2, Some(self.art_start)) {
+            PhaseResult::Unbounded => LpOutcome::Unbounded,
+            PhaseResult::Optimal(obj) => {
+                let xs = self.extract(p);
+                LpOutcome::Optimal { x: xs, objective: obj }
+            }
+        }
+    }
+
+    /// Reduced-cost driven simplex iterations minimising `cost`. Columns at
+    /// or beyond `forbid_from` (artificials during phase 2) never enter the
+    /// basis. Returns the achieved objective.
+    fn optimize(&mut self, cost: &[f64], forbid_from: Option<usize>) -> PhaseResult {
+        let m = self.t.rows();
+        let limit = forbid_from.unwrap_or(self.ncols);
+        let mut stall = 0usize;
+        let mut last_obj = f64::INFINITY;
+        // Hard safety cap; Bland's rule guarantees termination well before.
+        let max_iters = 200 * (m + self.ncols) + 20_000;
+        for iter in 0..max_iters {
+            let obj = self.objective_value(cost);
+            if obj < last_obj - TOL {
+                stall = 0;
+                last_obj = obj;
+            } else {
+                stall += 1;
+            }
+            let use_bland = stall > m + 16;
+            // Reduced costs: r_j = c_j − c_Bᵀ B⁻¹ A_j. With the tableau kept
+            // in canonical form, r_j = c_j − Σ_rows cost[basis[r]]·t[r][j].
+            let mut entering: Option<usize> = None;
+            let mut best = -TOL;
+            for j in 0..limit {
+                if self.basis.contains(&j) {
+                    continue;
+                }
+                let mut rc = cost[j];
+                for r in 0..m {
+                    let cb = cost[self.basis[r]];
+                    if cb != 0.0 {
+                        rc -= cb * self.t.get(r, j);
+                    }
+                }
+                if rc < -TOL {
+                    if use_bland {
+                        entering = Some(j);
+                        break;
+                    }
+                    if rc < best {
+                        best = rc;
+                        entering = Some(j);
+                    }
+                }
+            }
+            let Some(col) = entering else {
+                return PhaseResult::Optimal(self.objective_value(cost));
+            };
+            // Ratio test.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..m {
+                let a = self.t.get(r, col);
+                if a > TOL {
+                    let ratio = self.t.get(r, self.ncols) / a;
+                    let better = ratio < best_ratio - TOL
+                        || (ratio < best_ratio + TOL
+                            && leave.is_some_and(|lr| self.basis[r] < self.basis[lr]));
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(r);
+                    }
+                }
+            }
+            let Some(row) = leave else {
+                return PhaseResult::Unbounded;
+            };
+            self.pivot(row, col);
+            let _ = iter;
+        }
+        panic!("simplex exceeded its iteration safety cap — this is a solver bug");
+    }
+
+    fn objective_value(&self, cost: &[f64]) -> f64 {
+        let m = self.t.rows();
+        let mut obj = 0.0;
+        for r in 0..m {
+            let cb = cost[self.basis[r]];
+            if cb != 0.0 {
+                obj += cb * self.t.get(r, self.ncols);
+            }
+        }
+        obj
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot = self.t.get(row, col);
+        debug_assert!(pivot.abs() > 0.0, "zero pivot");
+        scale_row(&mut self.t, row, 1.0 / pivot);
+        for r in 0..self.t.rows() {
+            if r != row {
+                let factor = self.t.get(r, col);
+                axpy_rows(&mut self.t, r, row, factor);
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    fn extract(&self, p: &LpProblem) -> Vec<f64> {
+        let m = self.t.rows();
+        let mut expanded = vec![0.0; self.ncols];
+        for r in 0..m {
+            expanded[self.basis[r]] = self.t.get(r, self.ncols);
+        }
+        let mut xs = Vec::with_capacity(p.n_vars);
+        for &(pos, neg) in &self.var_map {
+            let v = expanded[pos] - neg.map_or(0.0, |n| expanded[n]);
+            xs.push(v);
+        }
+        xs
+    }
+}
+
+fn effective_rel(rel: Relation, flipped: bool) -> Relation {
+    if !flipped {
+        return rel;
+    }
+    match rel {
+        Relation::Le => Relation::Ge,
+        Relation::Ge => Relation::Le,
+        Relation::Eq => Relation::Eq,
+    }
+}
+
+enum PhaseResult {
+    Optimal(f64),
+    Unbounded,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    fn optimal(outcome: LpOutcome) -> (Vec<f64>, f64) {
+        match outcome {
+            LpOutcome::Optimal { x, objective } => (x, objective),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn maximize_via_negation() {
+        // max 3x + 2y s.t. x+y ≤ 4, x ≤ 2  → x=2, y=2, obj 10.
+        let mut p = LpProblem::new(2);
+        p.minimize(vec![-3.0, -2.0]);
+        p.add_constraint(vec![1.0, 1.0], Relation::Le, 4.0);
+        p.add_constraint(vec![1.0, 0.0], Relation::Le, 2.0);
+        let (x, obj) = optimal(p.solve());
+        assert_close(x[0], 2.0, 1e-8);
+        assert_close(x[1], 2.0, 1e-8);
+        assert_close(obj, -10.0, 1e-8);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 4, x ≥ 0, y ≥ 0 → (0,2) obj 2.
+        let mut p = LpProblem::new(2);
+        p.minimize(vec![1.0, 1.0]);
+        p.add_constraint(vec![1.0, 2.0], Relation::Eq, 4.0);
+        let (x, obj) = optimal(p.solve());
+        assert_close(obj, 2.0, 1e-8);
+        assert_close(x[0], 0.0, 1e-8);
+        assert_close(x[1], 2.0, 1e-8);
+    }
+
+    #[test]
+    fn ge_constraints() {
+        // min 2x + 3y s.t. x + y ≥ 10, x ≥ 2 → x=10? c=(2,3): prefer x.
+        let mut p = LpProblem::new(2);
+        p.minimize(vec![2.0, 3.0]);
+        p.add_constraint(vec![1.0, 1.0], Relation::Ge, 10.0);
+        p.add_constraint(vec![1.0, 0.0], Relation::Ge, 2.0);
+        let (x, obj) = optimal(p.solve());
+        assert_close(x[0], 10.0, 1e-8);
+        assert_close(x[1], 0.0, 1e-8);
+        assert_close(obj, 20.0, 1e-8);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = LpProblem::new(1);
+        p.minimize(vec![1.0]);
+        p.add_constraint(vec![1.0], Relation::Le, 1.0);
+        p.add_constraint(vec![1.0], Relation::Ge, 2.0);
+        assert_eq!(p.solve(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = LpProblem::new(1);
+        p.minimize(vec![-1.0]);
+        p.add_constraint(vec![-1.0], Relation::Le, 0.0); // x ≥ 0 redundant
+        assert_eq!(p.solve(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn free_variables() {
+        // min |style| objective with a free variable that must go negative:
+        // min y s.t. y ≥ x − 3, y ≥ 3 − x, x = 0 → y = 3 with x free.
+        let mut p = LpProblem::new(2); // x free, y
+        p.mark_free(0);
+        p.minimize(vec![0.0, 1.0]);
+        p.add_constraint(vec![-1.0, 1.0], Relation::Ge, -3.0); // y - x ≥ -3
+        p.add_constraint(vec![1.0, 1.0], Relation::Ge, 3.0); // y + x ≥ 3
+        p.add_constraint(vec![1.0, 0.0], Relation::Eq, -5.0); // x = -5 (negative!)
+        let (x, obj) = optimal(p.solve());
+        assert_close(x[0], -5.0, 1e-8);
+        assert_close(obj, 8.0, 1e-8);
+    }
+
+    #[test]
+    fn negative_rhs_handled() {
+        // min x s.t. -x ≤ -4  (i.e. x ≥ 4)
+        let mut p = LpProblem::new(1);
+        p.minimize(vec![1.0]);
+        p.add_constraint(vec![-1.0], Relation::Le, -4.0);
+        let (x, obj) = optimal(p.solve());
+        assert_close(x[0], 4.0, 1e-8);
+        assert_close(obj, 4.0, 1e-8);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Klee–Minty-style degeneracy smoke test (small).
+        let mut p = LpProblem::new(3);
+        p.minimize(vec![-100.0, -10.0, -1.0]);
+        p.add_constraint(vec![1.0, 0.0, 0.0], Relation::Le, 1.0);
+        p.add_constraint(vec![20.0, 1.0, 0.0], Relation::Le, 100.0);
+        p.add_constraint(vec![200.0, 20.0, 1.0], Relation::Le, 10000.0);
+        let (_, obj) = optimal(p.solve());
+        assert_close(obj, -10000.0, 1e-6);
+    }
+
+    #[test]
+    fn tiny_chebyshev_lp() {
+        // Fit constant a₀ to points y = {0, 1}: minimax error 0.5 at a₀=0.5.
+        // Variables: [a₀ (free), t]; constraints −t ≤ y−a₀ ≤ t.
+        let mut p = LpProblem::new(2);
+        p.mark_free(0);
+        p.minimize(vec![0.0, 1.0]);
+        for &y in &[0.0, 1.0] {
+            // y − a₀ ≤ t  →  −a₀ − t ≤ −y
+            p.add_constraint(vec![-1.0, -1.0], Relation::Le, -y);
+            // y − a₀ ≥ −t →  −a₀ + t ≥ −y
+            p.add_constraint(vec![-1.0, 1.0], Relation::Ge, -y);
+        }
+        let (x, obj) = optimal(p.solve());
+        assert_close(x[0], 0.5, 1e-8);
+        assert_close(obj, 0.5, 1e-8);
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        let mut p = LpProblem::new(2);
+        p.minimize(vec![1.0, 1.0]);
+        p.add_constraint(vec![1.0, 1.0], Relation::Eq, 2.0);
+        p.add_constraint(vec![2.0, 2.0], Relation::Eq, 4.0); // redundant copy
+        let (_, obj) = optimal(p.solve());
+        assert_close(obj, 2.0, 1e-8);
+    }
+}

@@ -1,0 +1,191 @@
+//! Bivariate polynomials of bounded total degree for the two-key extension.
+//!
+//! Section VI of the paper approximates the 2-D cumulative count surface
+//! with `P(u, v) = Σ_{i+j ≤ deg} a_ij u^i v^j`. We store coefficients in a
+//! fixed *graded lexicographic* monomial order so the fitting LP, the index
+//! serialization, and evaluation all agree on term layout.
+//!
+//! Like the 1-D case, fitting happens in normalized coordinates: the segment
+//! rectangle is mapped affinely onto `[−1, 1]²` (see
+//! [`BivariatePoly::axis_normalizer`]).
+
+/// Number of monomials of total degree ≤ `deg` in two variables.
+pub fn monomial_count(deg: usize) -> usize {
+    (deg + 1) * (deg + 2) / 2
+}
+
+/// Enumerate `(i, j)` exponent pairs with `i + j ≤ deg` in graded-lex order:
+/// `(0,0), (1,0), (0,1), (2,0), (1,1), (0,2), …`
+pub fn monomials(deg: usize) -> impl Iterator<Item = (usize, usize)> {
+    (0..=deg).flat_map(move |total| (0..=total).map(move |j| (total - j, j)))
+}
+
+/// A bivariate polynomial `P(u, v) = Σ a_ij u^i v^j` with `i + j ≤ deg`,
+/// evaluated in normalized coordinates
+/// `s = (u − cu)/su`, `t = (v − cv)/sv`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BivariatePoly {
+    deg: usize,
+    /// Coefficients in graded-lex monomial order (see [`monomials`]).
+    coeffs: Vec<f64>,
+    cu: f64,
+    su: f64,
+    cv: f64,
+    sv: f64,
+}
+
+impl BivariatePoly {
+    /// Build from coefficients in graded-lex order with an affine normalizer
+    /// per axis.
+    ///
+    /// # Panics
+    /// Panics if `coeffs.len() != monomial_count(deg)` or a scale is invalid.
+    pub fn new(deg: usize, coeffs: Vec<f64>, cu: f64, su: f64, cv: f64, sv: f64) -> Self {
+        assert_eq!(
+            coeffs.len(),
+            monomial_count(deg),
+            "coefficient count must match total degree"
+        );
+        assert!(su.is_finite() && su != 0.0, "invalid u-scale {su}");
+        assert!(sv.is_finite() && sv != 0.0, "invalid v-scale {sv}");
+        BivariatePoly { deg, coeffs, cu, su, cv, sv }
+    }
+
+    /// Identity-normalizer constructor (raw coordinates).
+    pub fn unnormalized(deg: usize, coeffs: Vec<f64>) -> Self {
+        BivariatePoly::new(deg, coeffs, 0.0, 1.0, 0.0, 1.0)
+    }
+
+    /// Normalizer parameters mapping `[lo, hi] → [−1, 1]` on one axis.
+    pub fn axis_normalizer(lo: f64, hi: f64) -> (f64, f64) {
+        let center = 0.5 * (lo + hi);
+        let half = 0.5 * (hi - lo);
+        if half > 0.0 {
+            (center, half)
+        } else {
+            (center, 1.0)
+        }
+    }
+
+    /// Total degree bound.
+    pub fn degree(&self) -> usize {
+        self.deg
+    }
+
+    /// Coefficients in graded-lex order.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Number of stored coefficients.
+    pub fn coeff_count(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Map raw coordinates into the normalized square.
+    #[inline]
+    pub fn to_normalized(&self, u: f64, v: f64) -> (f64, f64) {
+        ((u - self.cu) / self.su, (v - self.cv) / self.sv)
+    }
+
+    /// Evaluate at raw coordinates `(u, v)`.
+    ///
+    /// Power tables for `s^i` and `t^j` are built once per call — degree is
+    /// tiny (≤ 8 in practice) so this stays allocation-free via fixed-size
+    /// stack buffers.
+    #[inline]
+    pub fn eval(&self, u: f64, v: f64) -> f64 {
+        let (s, t) = self.to_normalized(u, v);
+        self.eval_normalized(s, t)
+    }
+
+    /// Evaluate directly in normalized coordinates.
+    pub fn eval_normalized(&self, s: f64, t: f64) -> f64 {
+        const MAX_DEG: usize = 16;
+        assert!(self.deg <= MAX_DEG, "degree {} exceeds supported bound", self.deg);
+        let mut spow = [1.0f64; MAX_DEG + 1];
+        let mut tpow = [1.0f64; MAX_DEG + 1];
+        for d in 1..=self.deg {
+            spow[d] = spow[d - 1] * s;
+            tpow[d] = tpow[d - 1] * t;
+        }
+        let mut acc = 0.0;
+        for ((i, j), &c) in monomials(self.deg).zip(&self.coeffs) {
+            acc += c * spow[i] * tpow[j];
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn monomial_counts() {
+        assert_eq!(monomial_count(0), 1);
+        assert_eq!(monomial_count(1), 3);
+        assert_eq!(monomial_count(2), 6);
+        assert_eq!(monomial_count(3), 10);
+        for d in 0..8 {
+            assert_eq!(monomials(d).count(), monomial_count(d));
+        }
+    }
+
+    #[test]
+    fn monomial_order_is_graded_lex() {
+        let order: Vec<_> = monomials(2).collect();
+        assert_eq!(order, vec![(0, 0), (1, 0), (0, 1), (2, 0), (1, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn constant_eval() {
+        let p = BivariatePoly::unnormalized(0, vec![3.5]);
+        assert_eq!(p.eval(10.0, -2.0), 3.5);
+    }
+
+    #[test]
+    fn plane_eval() {
+        // P = 1 + 2u + 3v
+        let p = BivariatePoly::unnormalized(1, vec![1.0, 2.0, 3.0]);
+        assert_close(p.eval(1.0, 1.0), 6.0, 1e-12);
+        assert_close(p.eval(-1.0, 2.0), 5.0, 1e-12);
+    }
+
+    #[test]
+    fn quadratic_eval_matches_manual() {
+        // order: 1, u, v, u², uv, v²
+        let p = BivariatePoly::unnormalized(2, vec![1.0, 0.0, 0.0, 2.0, -1.0, 0.5]);
+        let f = |u: f64, v: f64| 1.0 + 2.0 * u * u - u * v + 0.5 * v * v;
+        for &(u, v) in &[(0.0, 0.0), (1.0, 2.0), (-0.5, 0.3), (3.0, -4.0)] {
+            assert_close(p.eval(u, v), f(u, v), 1e-10);
+        }
+    }
+
+    #[test]
+    fn normalization_roundtrip() {
+        // Q(s,t) = s + t on the rectangle [10,20]×[0,100]
+        let (cu, su) = BivariatePoly::axis_normalizer(10.0, 20.0);
+        let (cv, sv) = BivariatePoly::axis_normalizer(0.0, 100.0);
+        let p = BivariatePoly::new(1, vec![0.0, 1.0, 1.0], cu, su, cv, sv);
+        assert_close(p.eval(15.0, 50.0), 0.0, 1e-12); // center → (0,0)
+        assert_close(p.eval(20.0, 100.0), 2.0, 1e-12); // corner → (1,1)
+        assert_close(p.eval(10.0, 0.0), -2.0, 1e-12); // corner → (-1,-1)
+    }
+
+    #[test]
+    fn degenerate_axis_uses_unit_scale() {
+        let (c, s) = BivariatePoly::axis_normalizer(5.0, 5.0);
+        assert_eq!((c, s), (5.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "coefficient count")]
+    fn wrong_coeff_count_panics() {
+        BivariatePoly::unnormalized(2, vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Chebyshev-basis utilities.
+//!
+//! The monomial basis `1, t, t², …` becomes ill-conditioned as the degree
+//! grows, even on the normalized interval `[−1, 1]`: the Vandermonde
+//! systems solved by the exchange algorithm lose roughly a digit per
+//! degree. The Chebyshev polynomials `T_j` are the numerically natural
+//! basis for minimax problems — their Vandermonde-like matrices stay
+//! well-conditioned — so `polyfit-lp` offers a Chebyshev-basis fitting
+//! backend built on this module: solve in `T_j`, then convert the
+//! coefficients back to monomials (exact up to rounding) so the rest of
+//! the system keeps its single polynomial representation.
+
+use crate::polynomial::Polynomial;
+
+/// Evaluate `Σ_j c_j·T_j(t)` with Clenshaw's recurrence — the stable way
+/// to evaluate a Chebyshev expansion.
+pub fn eval_clenshaw(coeffs: &[f64], t: f64) -> f64 {
+    let mut b1 = 0.0f64;
+    let mut b2 = 0.0f64;
+    for &c in coeffs.iter().skip(1).rev() {
+        let b0 = 2.0 * t * b1 - b2 + c;
+        b2 = b1;
+        b1 = b0;
+    }
+    coeffs.first().copied().unwrap_or(0.0) + t * b1 - b2
+}
+
+/// The value of `T_j(t)` (reference implementation via the recurrence).
+pub fn chebyshev_t(j: usize, t: f64) -> f64 {
+    match j {
+        0 => 1.0,
+        1 => t,
+        _ => {
+            let mut tm2 = 1.0;
+            let mut tm1 = t;
+            for _ in 2..=j {
+                let cur = 2.0 * t * tm1 - tm2;
+                tm2 = tm1;
+                tm1 = cur;
+            }
+            tm1
+        }
+    }
+}
+
+/// Monomial coefficient rows of `T_0 … T_deg` (each row has length
+/// `deg + 1`, ascending powers).
+fn t_monomial_table(deg: usize) -> Vec<Vec<f64>> {
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(deg + 1);
+    rows.push({
+        let mut r = vec![0.0; deg + 1];
+        r[0] = 1.0;
+        r
+    });
+    if deg >= 1 {
+        let mut r = vec![0.0; deg + 1];
+        r[1] = 1.0;
+        rows.push(r);
+    }
+    for j in 2..=deg {
+        let mut r = vec![0.0; deg + 1];
+        // T_j = 2t·T_{j−1} − T_{j−2}
+        for (p, &c) in rows[j - 1].iter().enumerate() {
+            if c != 0.0 && p < deg {
+                r[p + 1] += 2.0 * c;
+            }
+        }
+        for (p, &c) in rows[j - 2].iter().enumerate() {
+            r[p] -= c;
+        }
+        rows.push(r);
+    }
+    rows
+}
+
+/// Convert Chebyshev-expansion coefficients to ascending monomial
+/// coefficients: `Σ c_j·T_j(t) = Σ a_p·t^p`.
+pub fn chebyshev_to_monomial(coeffs: &[f64]) -> Vec<f64> {
+    if coeffs.is_empty() {
+        return Vec::new();
+    }
+    let deg = coeffs.len() - 1;
+    let table = t_monomial_table(deg);
+    let mut mono = vec![0.0; deg + 1];
+    for (j, &c) in coeffs.iter().enumerate() {
+        if c == 0.0 {
+            continue;
+        }
+        for (p, &tc) in table[j].iter().enumerate() {
+            mono[p] += c * tc;
+        }
+    }
+    mono
+}
+
+/// Convert ascending monomial coefficients to Chebyshev-expansion
+/// coefficients (the inverse of [`chebyshev_to_monomial`]), via the power
+/// expansion `t^p = 2^{1−p} Σ' C(p, (p−j)/2)·T_j(t)` (primed sum halves
+/// the `j = 0` term).
+pub fn monomial_to_chebyshev(mono: &[f64]) -> Vec<f64> {
+    if mono.is_empty() {
+        return Vec::new();
+    }
+    let deg = mono.len() - 1;
+    let mut cheb = vec![0.0; deg + 1];
+    for (p, &a) in mono.iter().enumerate() {
+        if a == 0.0 {
+            continue;
+        }
+        // binomial row C(p, k)
+        let mut binom = vec![0.0f64; p + 1];
+        binom[0] = 1.0;
+        for k in 1..=p {
+            binom[k] = binom[k - 1] * (p - k + 1) as f64 / k as f64;
+        }
+        let scale = 0.5f64.powi(p as i32 - 1); // 2^{1−p}; the halved j=0 term makes p=0 exact too
+        let mut j = p;
+        loop {
+            let k = (p - j) / 2;
+            let coeff = scale * binom[k] * if j == 0 { 0.5 } else { 1.0 };
+            cheb[j] += a * coeff;
+            if j < 2 {
+                break;
+            }
+            j -= 2;
+        }
+    }
+    cheb
+}
+
+/// Wrap a Chebyshev expansion as a monomial [`Polynomial`].
+pub fn to_polynomial(coeffs: &[f64]) -> Polynomial {
+    Polynomial::new(chebyshev_to_monomial(coeffs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn chebyshev_t_known_values() {
+        // T_2 = 2t²−1, T_3 = 4t³−3t
+        for &t in &[-1.0, -0.3, 0.0, 0.5, 1.0] {
+            assert_close(chebyshev_t(2, t), 2.0 * t * t - 1.0, 1e-12);
+            assert_close(chebyshev_t(3, t), 4.0 * t * t * t - 3.0 * t, 1e-12);
+        }
+    }
+
+    #[test]
+    fn clenshaw_matches_direct_sum() {
+        let coeffs = [0.5, -1.0, 0.25, 2.0, -0.125];
+        for &t in &[-1.0, -0.7, 0.0, 0.33, 0.99] {
+            let direct: f64 = coeffs
+                .iter()
+                .enumerate()
+                .map(|(j, &c)| c * chebyshev_t(j, t))
+                .sum();
+            assert_close(eval_clenshaw(&coeffs, t), direct, 1e-12);
+        }
+    }
+
+    #[test]
+    fn to_monomial_roundtrip_eval() {
+        let coeffs = [1.0, 0.5, -0.25, 0.125, 2.0];
+        let mono = chebyshev_to_monomial(&coeffs);
+        let p = Polynomial::new(mono);
+        for &t in &[-1.0, -0.5, 0.0, 0.4, 1.0] {
+            assert_close(p.eval(t), eval_clenshaw(&coeffs, t), 1e-12);
+        }
+    }
+
+    #[test]
+    fn basis_conversion_roundtrip() {
+        let mono = [3.0, -2.0, 1.5, 0.7, -0.3, 0.01];
+        let cheb = monomial_to_chebyshev(&mono);
+        let back = chebyshev_to_monomial(&cheb);
+        for (a, b) in mono.iter().zip(&back) {
+            assert_close(*a, *b, 1e-10);
+        }
+    }
+
+    #[test]
+    fn t_table_matches_recurrence() {
+        let table = t_monomial_table(6);
+        for (j, row) in table.iter().enumerate() {
+            let p = Polynomial::new(row.clone());
+            for &t in &[-0.9, -0.2, 0.1, 0.8] {
+                assert_close(p.eval(t), chebyshev_t(j, t), 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_constant() {
+        assert!(chebyshev_to_monomial(&[]).is_empty());
+        assert_eq!(chebyshev_to_monomial(&[5.0]), vec![5.0]);
+        assert_eq!(monomial_to_chebyshev(&[5.0]), vec![5.0]);
+        assert_eq!(eval_clenshaw(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn monomial_power_identities() {
+        // t² = (T_0 + T_2)/2 ; t³ = (3T_1 + T_3)/4
+        let c2 = monomial_to_chebyshev(&[0.0, 0.0, 1.0]);
+        assert_close(c2[0], 0.5, 1e-12);
+        assert_close(c2[2], 0.5, 1e-12);
+        let c3 = monomial_to_chebyshev(&[0.0, 0.0, 0.0, 1.0]);
+        assert_close(c3[1], 0.75, 1e-12);
+        assert_close(c3[3], 0.25, 1e-12);
+    }
+}

@@ -1,0 +1,165 @@
+//! Extrema of polynomials over closed intervals.
+//!
+//! This is the "simple calculus operations" step of the paper's MAX query
+//! (Eq. 17): the maximum of `P` on `[a, b]` is attained either at an
+//! endpoint or at a stationary point (root of `P'`) inside the interval.
+//! [`roots_in_interval`] supplies the
+//! stationary points.
+
+use crate::polynomial::{Polynomial, ShiftedPolynomial};
+use crate::roots::roots_in_interval;
+
+/// Location and value of an interval extremum.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IntervalExtremum {
+    /// Argmax / argmin within the interval.
+    pub at: f64,
+    /// The extremal value `P(at)`.
+    pub value: f64,
+}
+
+/// Maximum of `p` over `[lo, hi]`.
+///
+/// # Panics
+/// Panics if the interval is empty (`lo > hi`) or not finite.
+pub fn max_on_interval(p: &Polynomial, lo: f64, hi: f64) -> IntervalExtremum {
+    extremum(p, lo, hi, true)
+}
+
+/// Minimum of `p` over `[lo, hi]`.
+///
+/// # Panics
+/// Panics if the interval is empty (`lo > hi`) or not finite.
+pub fn min_on_interval(p: &Polynomial, lo: f64, hi: f64) -> IntervalExtremum {
+    extremum(p, lo, hi, false)
+}
+
+fn extremum(p: &Polynomial, lo: f64, hi: f64, want_max: bool) -> IntervalExtremum {
+    assert!(
+        lo.is_finite() && hi.is_finite() && lo <= hi,
+        "invalid interval [{lo}, {hi}]"
+    );
+    let mut best = IntervalExtremum { at: lo, value: p.eval(lo) };
+    let mut consider = |x: f64| {
+        let v = p.eval(x);
+        if (want_max && v > best.value) || (!want_max && v < best.value) {
+            best = IntervalExtremum { at: x, value: v };
+        }
+    };
+    consider(hi);
+    if lo < hi {
+        for r in roots_in_interval(&p.derivative(), lo, hi) {
+            consider(r);
+        }
+    }
+    best
+}
+
+/// Maximum of a [`ShiftedPolynomial`] over a raw-key interval `[lo, hi]`.
+///
+/// The stationary-point search happens in the well-conditioned normalized
+/// variable; only the reported location is mapped back to raw keys.
+pub fn max_on_interval_shifted(sp: &ShiftedPolynomial, lo: f64, hi: f64) -> IntervalExtremum {
+    let e = max_on_interval(sp.inner(), sp.to_normalized(lo), sp.to_normalized(hi));
+    IntervalExtremum { at: sp.to_raw(e.at), value: e.value }
+}
+
+/// Minimum of a [`ShiftedPolynomial`] over a raw-key interval `[lo, hi]`.
+pub fn min_on_interval_shifted(sp: &ShiftedPolynomial, lo: f64, hi: f64) -> IntervalExtremum {
+    let e = min_on_interval(sp.inner(), sp.to_normalized(lo), sp.to_normalized(hi));
+    IntervalExtremum { at: sp.to_raw(e.at), value: e.value }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn parabola_interior_max() {
+        // -(x-2)² + 5 has max 5 at x=2
+        let p = Polynomial::new(vec![1.0, 4.0, -1.0]);
+        let m = max_on_interval(&p, 0.0, 4.0);
+        assert_close(m.at, 2.0, 1e-9);
+        assert_close(m.value, 5.0, 1e-9);
+    }
+
+    #[test]
+    fn parabola_boundary_max() {
+        let p = Polynomial::new(vec![1.0, 4.0, -1.0]);
+        let m = max_on_interval(&p, 3.0, 6.0);
+        assert_close(m.at, 3.0, 1e-12);
+        assert_close(m.value, 4.0, 1e-12);
+    }
+
+    #[test]
+    fn cubic_min_interior() {
+        // x³-3x has local min at x=1 (value -2), local max at x=-1 (value 2)
+        let p = Polynomial::new(vec![0.0, -3.0, 0.0, 1.0]);
+        let mn = min_on_interval(&p, -2.0, 2.0);
+        assert_close(mn.at, -2.0, 1e-9); // endpoint -2 gives value -2 too
+        assert_close(mn.value, -2.0, 1e-9);
+        let mx = max_on_interval(&p, -1.5, 1.5);
+        assert_close(mx.at, -1.0, 1e-9);
+        assert_close(mx.value, 2.0, 1e-9);
+    }
+
+    #[test]
+    fn degenerate_interval() {
+        let p = Polynomial::new(vec![1.0, 1.0]);
+        let m = max_on_interval(&p, 3.0, 3.0);
+        assert_eq!(m.at, 3.0);
+        assert_close(m.value, 4.0, 1e-12);
+    }
+
+    #[test]
+    fn constant_polynomial() {
+        let p = Polynomial::constant(7.0);
+        let m = max_on_interval(&p, -5.0, 5.0);
+        assert_eq!(m.value, 7.0);
+        let n = min_on_interval(&p, -5.0, 5.0);
+        assert_eq!(n.value, 7.0);
+    }
+
+    #[test]
+    fn linear_extrema_at_endpoints() {
+        let p = Polynomial::new(vec![0.0, 2.0]);
+        assert_eq!(max_on_interval(&p, -1.0, 3.0).at, 3.0);
+        assert_eq!(min_on_interval(&p, -1.0, 3.0).at, -1.0);
+    }
+
+    #[test]
+    fn brute_force_agreement_quartic() {
+        let p = Polynomial::new(vec![0.3, -1.2, 0.0, 2.0, -0.7]);
+        let (lo, hi) = (-1.8, 2.1);
+        let m = max_on_interval(&p, lo, hi);
+        let mut brute = f64::NEG_INFINITY;
+        let steps = 200_000;
+        for i in 0..=steps {
+            let x = lo + (hi - lo) * i as f64 / steps as f64;
+            brute = brute.max(p.eval(x));
+        }
+        assert!(m.value >= brute - 1e-7, "analytic {} < brute {}", m.value, brute);
+    }
+
+    #[test]
+    fn shifted_extrema_roundtrip() {
+        // max of -(t²) + 1 over t∈[-1,1] is 1 at t=0; shifted to x=1000±50
+        let inner = Polynomial::new(vec![1.0, 0.0, -1.0]);
+        let sp = ShiftedPolynomial::new(inner, 1000.0, 50.0);
+        let m = max_on_interval_shifted(&sp, 950.0, 1050.0);
+        assert_close(m.at, 1000.0, 1e-6);
+        assert_close(m.value, 1.0, 1e-9);
+        let n = min_on_interval_shifted(&sp, 950.0, 1050.0);
+        assert_close(n.value, 0.0, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn empty_interval_panics() {
+        max_on_interval(&Polynomial::constant(0.0), 2.0, 1.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # polyfit-poly — polynomial algebra substrate
+//!
+//! Dense univariate polynomials with robust real-root isolation and interval
+//! extrema, plus total-degree-bounded bivariate polynomials. This crate is the
+//! numeric foundation of the PolyFit reproduction:
+//!
+//! * [`Polynomial`] — coefficient-vector polynomials with Horner evaluation,
+//!   calculus, and arithmetic (needed by the Sturm machinery).
+//! * [`ShiftedPolynomial`] — a polynomial composed with an affine change of
+//!   variable, used to keep fitting well conditioned on raw keys
+//!   (timestamps in the millions would otherwise overflow `k^deg`).
+//! * [`roots`] — Sturm-sequence root counting and bisection/Newton isolation,
+//!   used to maximise a fitted polynomial over a query interval (Eq. 17 of
+//!   the paper).
+//! * [`extrema`] — closed-form maximisation/minimisation of a polynomial over
+//!   a closed interval.
+//! * [`bivariate`] — `P(u, v) = Σ_{i+j≤deg} a_ij u^i v^j` for the two-key
+//!   extension (Section VI).
+
+pub mod bivariate;
+pub mod chebyshev;
+pub mod extrema;
+pub mod polynomial;
+pub mod roots;
+
+pub use bivariate::BivariatePoly;
+pub use extrema::{
+    max_on_interval, max_on_interval_shifted, min_on_interval, min_on_interval_shifted,
+    IntervalExtremum,
+};
+pub use polynomial::{Polynomial, ShiftedPolynomial};
+pub use roots::{isolate_roots, roots_in_interval, SturmChain};

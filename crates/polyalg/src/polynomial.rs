@@ -1,0 +1,482 @@
+//! Dense univariate polynomials over `f64`.
+//!
+//! Coefficients are stored in ascending order: `coeffs[j]` multiplies `x^j`.
+//! The representation is kept *normalized* — no trailing (highest-order)
+//! zero coefficients — so `degree()` is meaningful. The zero polynomial is
+//! represented by an empty coefficient vector.
+
+use std::fmt;
+
+/// A dense univariate polynomial `P(x) = Σ_j coeffs[j]·x^j`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Build a polynomial from ascending coefficients, trimming trailing
+    /// zeros (and treating non-finite trailing values as hard errors in
+    /// debug builds).
+    pub fn new(coeffs: Vec<f64>) -> Self {
+        debug_assert!(
+            coeffs.iter().all(|c| c.is_finite()),
+            "polynomial coefficients must be finite"
+        );
+        let mut p = Polynomial { coeffs };
+        p.normalize();
+        p
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Polynomial { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: f64) -> Self {
+        Polynomial::new(vec![c])
+    }
+
+    /// `P(x) = Π_i (x − r_i)`, handy for building test fixtures with known
+    /// roots.
+    pub fn from_roots(roots: &[f64]) -> Self {
+        let mut p = Polynomial::constant(1.0);
+        for &r in roots {
+            p = p.mul(&Polynomial::new(vec![-r, 1.0]));
+        }
+        p
+    }
+
+    fn normalize(&mut self) {
+        while matches!(self.coeffs.last(), Some(&c) if c == 0.0) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// True iff this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Degree of the polynomial; `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Ascending coefficient slice (no trailing zeros).
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Leading (highest-order) coefficient; 0 for the zero polynomial.
+    pub fn leading(&self) -> f64 {
+        self.coeffs.last().copied().unwrap_or(0.0)
+    }
+
+    /// Evaluate with Horner's rule — `O(deg)` multiplications, the hot path
+    /// of every PolyFit query.
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        let mut acc = 0.0;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// First derivative.
+    pub fn derivative(&self) -> Polynomial {
+        if self.coeffs.len() <= 1 {
+            return Polynomial::zero();
+        }
+        let coeffs = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(j, &c)| c * j as f64)
+            .collect();
+        Polynomial::new(coeffs)
+    }
+
+    /// Antiderivative with integration constant 0.
+    pub fn antiderivative(&self) -> Polynomial {
+        if self.is_zero() {
+            return Polynomial::zero();
+        }
+        let mut coeffs = Vec::with_capacity(self.coeffs.len() + 1);
+        coeffs.push(0.0);
+        for (j, &c) in self.coeffs.iter().enumerate() {
+            coeffs.push(c / (j + 1) as f64);
+        }
+        Polynomial::new(coeffs)
+    }
+
+    /// Polynomial addition.
+    pub fn add(&self, other: &Polynomial) -> Polynomial {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut coeffs = vec![0.0; n];
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            coeffs[i] += c;
+        }
+        for (i, &c) in other.coeffs.iter().enumerate() {
+            coeffs[i] += c;
+        }
+        Polynomial::new(coeffs)
+    }
+
+    /// Polynomial subtraction `self − other`.
+    pub fn sub(&self, other: &Polynomial) -> Polynomial {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut coeffs = vec![0.0; n];
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            coeffs[i] += c;
+        }
+        for (i, &c) in other.coeffs.iter().enumerate() {
+            coeffs[i] -= c;
+        }
+        Polynomial::new(coeffs)
+    }
+
+    /// Polynomial multiplication (schoolbook; degrees here are tiny).
+    pub fn mul(&self, other: &Polynomial) -> Polynomial {
+        if self.is_zero() || other.is_zero() {
+            return Polynomial::zero();
+        }
+        let mut coeffs = vec![0.0; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                coeffs[i + j] += a * b;
+            }
+        }
+        Polynomial::new(coeffs)
+    }
+
+    /// Scale every coefficient by `s`.
+    pub fn scale(&self, s: f64) -> Polynomial {
+        Polynomial::new(self.coeffs.iter().map(|&c| c * s).collect())
+    }
+
+    /// Euclidean division: returns `(quotient, remainder)` with
+    /// `self = q·divisor + r` and `deg r < deg divisor`.
+    ///
+    /// # Panics
+    /// Panics if `divisor` is the zero polynomial.
+    pub fn div_rem(&self, divisor: &Polynomial) -> (Polynomial, Polynomial) {
+        assert!(!divisor.is_zero(), "division by the zero polynomial");
+        let dlen = divisor.coeffs.len();
+        if self.coeffs.len() < dlen {
+            return (Polynomial::zero(), self.clone());
+        }
+        let mut rem = self.coeffs.clone();
+        let mut quot = vec![0.0; self.coeffs.len() - dlen + 1];
+        let lead = divisor.leading();
+        for i in (dlen - 1..rem.len()).rev() {
+            let q = rem[i] / lead;
+            let qi = i + 1 - dlen;
+            quot[qi] = q;
+            if q != 0.0 {
+                for (j, &dc) in divisor.coeffs.iter().enumerate() {
+                    rem[qi + j] -= q * dc;
+                }
+            }
+            rem[i] = 0.0; // kill residual rounding noise in the cancelled term
+        }
+        rem.truncate(dlen - 1);
+        (Polynomial::new(quot), Polynomial::new(rem))
+    }
+
+    /// Infinity norm of the coefficient vector.
+    pub fn coeff_norm(&self) -> f64 {
+        self.coeffs.iter().fold(0.0, |m, c| m.max(c.abs()))
+    }
+
+    /// Compose with the affine map `x ↦ a·x + b`, returning the polynomial
+    /// `Q(x) = P(a·x + b)` in expanded form. Used by tests to cross-check
+    /// [`ShiftedPolynomial`].
+    pub fn compose_affine(&self, a: f64, b: f64) -> Polynomial {
+        let inner = Polynomial::new(vec![b, a]);
+        let mut acc = Polynomial::zero();
+        for &c in self.coeffs.iter().rev() {
+            acc = acc.mul(&inner).add(&Polynomial::constant(c));
+        }
+        acc
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (j, &c) in self.coeffs.iter().enumerate().rev() {
+            if c == 0.0 {
+                continue;
+            }
+            if !first {
+                write!(f, " {} ", if c < 0.0 { "-" } else { "+" })?;
+            } else if c < 0.0 {
+                write!(f, "-")?;
+            }
+            first = false;
+            match j {
+                0 => write!(f, "{}", c.abs())?,
+                1 => write!(f, "{}·x", c.abs())?,
+                _ => write!(f, "{}·x^{}", c.abs(), j)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A polynomial evaluated in a *normalized* variable `t = (x − center)/scale`.
+///
+/// Minimax fitting over raw keys (e.g. Unix timestamps ≈ 10⁹) is numerically
+/// hopeless in the monomial basis: `k^4` overflows the dynamic range the LP
+/// can condition. PolyFit therefore fits each segment in the variable `t ∈
+/// [−1, 1]` obtained by mapping the segment interval affinely onto `[−1, 1]`,
+/// and queries evaluate through this wrapper. The composition is exact — a
+/// degree-`d` polynomial in `t` is a degree-`d` polynomial in `x` — so none
+/// of the paper's error analysis changes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShiftedPolynomial {
+    poly: Polynomial,
+    center: f64,
+    scale: f64,
+}
+
+impl ShiftedPolynomial {
+    /// Wrap `poly` so that `eval(x) = poly((x − center)/scale)`.
+    ///
+    /// # Panics
+    /// Panics if `scale` is zero or non-finite.
+    pub fn new(poly: Polynomial, center: f64, scale: f64) -> Self {
+        assert!(scale.is_finite() && scale != 0.0, "invalid scale {scale}");
+        assert!(center.is_finite(), "invalid center {center}");
+        ShiftedPolynomial { poly, center, scale }
+    }
+
+    /// A shifted polynomial with the identity transform.
+    pub fn unshifted(poly: Polynomial) -> Self {
+        ShiftedPolynomial::new(poly, 0.0, 1.0)
+    }
+
+    /// The affine map parameters for the interval `[lo, hi] → [−1, 1]`
+    /// (degenerate intervals map onto `t = 0` with unit scale).
+    pub fn normalizer(lo: f64, hi: f64) -> (f64, f64) {
+        let center = 0.5 * (lo + hi);
+        let half = 0.5 * (hi - lo);
+        if half > 0.0 {
+            (center, half)
+        } else {
+            (center, 1.0)
+        }
+    }
+
+    /// Evaluate at a raw key.
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.poly.eval((x - self.center) / self.scale)
+    }
+
+    /// Map a raw key into the normalized variable.
+    #[inline]
+    pub fn to_normalized(&self, x: f64) -> f64 {
+        (x - self.center) / self.scale
+    }
+
+    /// Map a normalized variable back to a raw key.
+    #[inline]
+    pub fn to_raw(&self, t: f64) -> f64 {
+        t * self.scale + self.center
+    }
+
+    /// The inner polynomial in the normalized variable.
+    pub fn inner(&self) -> &Polynomial {
+        &self.poly
+    }
+
+    /// Center of the affine transform.
+    pub fn center(&self) -> f64 {
+        self.center
+    }
+
+    /// Scale of the affine transform.
+    pub fn scale_factor(&self) -> f64 {
+        self.scale
+    }
+
+    /// Number of stored coefficients (what an index must keep per segment).
+    pub fn coeff_count(&self) -> usize {
+        self.poly.coeffs().len()
+    }
+
+    /// Expand to an equivalent polynomial in the raw variable. Numerically
+    /// risky for large centers — intended for tests and diagnostics only.
+    pub fn expand(&self) -> Polynomial {
+        // P((x − c)/s) = P(x/s − c/s)
+        self.poly.compose_affine(1.0 / self.scale, -self.center / self.scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn eval_matches_naive() {
+        let p = Polynomial::new(vec![1.0, -2.0, 3.0, 0.5]);
+        for &x in &[-2.5f64, -1.0, 0.0, 0.3, 1.0, 4.2] {
+            let naive: f64 = p
+                .coeffs()
+                .iter()
+                .enumerate()
+                .map(|(j, c)| c * x.powi(j as i32))
+                .sum();
+            assert_close(p.eval(x), naive, 1e-12 * naive.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn zero_polynomial_behaviour() {
+        let z = Polynomial::zero();
+        assert!(z.is_zero());
+        assert_eq!(z.degree(), None);
+        assert_eq!(z.eval(17.0), 0.0);
+        assert!(z.derivative().is_zero());
+        let p = Polynomial::new(vec![0.0, 0.0, 0.0]);
+        assert!(p.is_zero());
+    }
+
+    #[test]
+    fn trailing_zeros_trimmed() {
+        let p = Polynomial::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), Some(1));
+        assert_eq!(p.coeffs(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn derivative_of_cubic() {
+        let p = Polynomial::new(vec![5.0, 3.0, -2.0, 1.0]); // 5+3x-2x²+x³
+        let d = p.derivative();
+        assert_eq!(d.coeffs(), &[3.0, -4.0, 3.0]);
+    }
+
+    #[test]
+    fn antiderivative_roundtrip() {
+        let p = Polynomial::new(vec![2.0, -6.0, 12.0]);
+        let ad = p.antiderivative();
+        assert_eq!(ad.derivative(), p);
+        assert_eq!(ad.eval(0.0), 0.0);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let p = Polynomial::new(vec![1.0, 2.0, 3.0]);
+        let q = Polynomial::new(vec![-1.0, 0.0, 0.0, 4.0]);
+        assert_eq!(p.add(&q).sub(&q), p);
+        let prod = p.mul(&q);
+        for &x in &[-1.5, 0.0, 0.7, 2.0] {
+            assert_close(prod.eval(x), p.eval(x) * q.eval(x), 1e-9);
+        }
+    }
+
+    #[test]
+    fn mul_by_zero_is_zero() {
+        let p = Polynomial::new(vec![1.0, 2.0]);
+        assert!(p.mul(&Polynomial::zero()).is_zero());
+    }
+
+    #[test]
+    fn div_rem_reconstructs() {
+        let p = Polynomial::new(vec![-6.0, 11.0, -6.0, 1.0]); // (x-1)(x-2)(x-3)
+        let d = Polynomial::new(vec![-2.0, 1.0]); // x-2
+        let (q, r) = p.div_rem(&d);
+        assert!(r.coeff_norm() < 1e-10, "remainder {r:?}");
+        let back = q.mul(&d).add(&r);
+        for (a, b) in back.coeffs().iter().zip(p.coeffs()) {
+            assert_close(*a, *b, 1e-10);
+        }
+    }
+
+    #[test]
+    fn div_rem_smaller_degree() {
+        let p = Polynomial::new(vec![1.0, 1.0]);
+        let d = Polynomial::new(vec![0.0, 0.0, 1.0]);
+        let (q, r) = p.div_rem(&d);
+        assert!(q.is_zero());
+        assert_eq!(r, p);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero polynomial")]
+    fn div_by_zero_panics() {
+        let p = Polynomial::new(vec![1.0]);
+        let _ = p.div_rem(&Polynomial::zero());
+    }
+
+    #[test]
+    fn from_roots_has_those_roots() {
+        let p = Polynomial::from_roots(&[1.0, -2.0, 0.5]);
+        for &r in &[1.0, -2.0, 0.5] {
+            assert_close(p.eval(r), 0.0, 1e-10);
+        }
+        assert_eq!(p.degree(), Some(3));
+    }
+
+    #[test]
+    fn compose_affine_matches_pointwise() {
+        let p = Polynomial::new(vec![1.0, -3.0, 2.0, 1.0]);
+        let q = p.compose_affine(2.0, -1.0);
+        for &x in &[-2.0, -0.5, 0.0, 1.0, 3.0] {
+            assert_close(q.eval(x), p.eval(2.0 * x - 1.0), 1e-9);
+        }
+    }
+
+    #[test]
+    fn shifted_polynomial_eval() {
+        let inner = Polynomial::new(vec![0.0, 0.0, 1.0]); // t²
+        let sp = ShiftedPolynomial::new(inner, 100.0, 10.0);
+        assert_close(sp.eval(100.0), 0.0, 1e-12);
+        assert_close(sp.eval(110.0), 1.0, 1e-12);
+        assert_close(sp.eval(90.0), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn shifted_expand_agrees() {
+        let inner = Polynomial::new(vec![1.0, 2.0, -1.0]);
+        let sp = ShiftedPolynomial::new(inner, 3.0, 2.0);
+        let raw = sp.expand();
+        for &x in &[-1.0, 0.0, 3.0, 5.5] {
+            assert_close(raw.eval(x), sp.eval(x), 1e-9);
+        }
+    }
+
+    #[test]
+    fn normalizer_maps_interval() {
+        let (c, s) = ShiftedPolynomial::normalizer(10.0, 30.0);
+        assert_eq!(c, 20.0);
+        assert_eq!(s, 10.0);
+        let (c, s) = ShiftedPolynomial::normalizer(5.0, 5.0);
+        assert_eq!(c, 5.0);
+        assert_eq!(s, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scale")]
+    fn zero_scale_panics() {
+        ShiftedPolynomial::new(Polynomial::constant(1.0), 0.0, 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = Polynomial::new(vec![-1.0, 0.0, 2.0]);
+        assert_eq!(format!("{p}"), "2·x^2 - 1");
+        assert_eq!(format!("{}", Polynomial::zero()), "0");
+    }
+}

@@ -1,0 +1,369 @@
+//! Real-root isolation via Sturm sequences with bisection + Newton polishing.
+//!
+//! PolyFit's MAX query (paper Eq. 17) maximises a fitted polynomial over the
+//! part of a segment that intersects the query range. The maximum is attained
+//! at an endpoint or a stationary point, so we must find every real root of
+//! the derivative inside an interval — reliably, for arbitrary degree, with
+//! multiple roots and clustered roots handled gracefully.
+//!
+//! The classic tool is the *Sturm chain* `p₀ = p`, `p₁ = p′`,
+//! `p_{i+1} = −rem(p_{i−1}, p_i)`: the number of distinct real roots of `p`
+//! in `(a, b]` equals `V(a) − V(b)` where `V(x)` counts sign changes in the
+//! chain evaluated at `x`. We isolate roots by recursive bisection on the
+//! root count and then refine each isolated root with safeguarded
+//! Newton/bisection.
+
+use crate::polynomial::Polynomial;
+
+/// Relative tolerance used when deciding that a chain remainder has degraded
+/// to numerical noise and should be treated as zero.
+const REMAINDER_NOISE: f64 = 1e-12;
+
+/// A precomputed Sturm chain for a polynomial.
+#[derive(Clone, Debug)]
+pub struct SturmChain {
+    chain: Vec<Polynomial>,
+}
+
+impl SturmChain {
+    /// Build the Sturm chain of `p`. The chain of the zero polynomial is
+    /// empty; constants yield a single-element chain.
+    pub fn new(p: &Polynomial) -> Self {
+        let mut chain: Vec<Polynomial> = Vec::new();
+        if p.is_zero() {
+            return SturmChain { chain };
+        }
+        chain.push(p.clone());
+        let d = p.derivative();
+        if d.is_zero() {
+            return SturmChain { chain };
+        }
+        chain.push(d);
+        loop {
+            let n = chain.len();
+            let (_, mut rem) = chain[n - 2].div_rem(&chain[n - 1]);
+            // Treat tiny remainders (relative to the operand scale) as exact
+            // zero: they signal a repeated root up to rounding.
+            let scale = chain[n - 2].coeff_norm().max(chain[n - 1].coeff_norm());
+            if rem.coeff_norm() <= REMAINDER_NOISE * scale.max(1.0) {
+                break;
+            }
+            rem = rem.scale(-1.0);
+            chain.push(rem);
+            if chain.last().map(|q| q.degree()) == Some(Some(0)) {
+                break;
+            }
+        }
+        SturmChain { chain }
+    }
+
+    /// Number of sign changes of the chain at `x` (zeros are skipped, per
+    /// Sturm's theorem).
+    pub fn sign_changes(&self, x: f64) -> usize {
+        let mut changes = 0;
+        let mut last = 0.0f64;
+        for p in &self.chain {
+            let v = p.eval(x);
+            if v == 0.0 {
+                continue;
+            }
+            if last != 0.0 && (v > 0.0) != (last > 0.0) {
+                changes += 1;
+            }
+            last = v;
+        }
+        changes
+    }
+
+    /// Number of *distinct* real roots in the half-open interval `(a, b]`.
+    pub fn count_roots(&self, a: f64, b: f64) -> usize {
+        if self.chain.is_empty() || a >= b {
+            return 0;
+        }
+        self.sign_changes(a).saturating_sub(self.sign_changes(b))
+    }
+}
+
+/// Find all distinct real roots of `p` in the closed interval `[lo, hi]`,
+/// sorted ascending. Multiple roots are reported once.
+///
+/// Roots are refined to roughly machine precision relative to the interval
+/// width. Returns an empty vector for constant and zero polynomials (the
+/// zero polynomial vanishes everywhere; callers in PolyFit treat that case
+/// separately — a constant segment has its extremum at any point).
+pub fn roots_in_interval(p: &Polynomial, lo: f64, hi: f64) -> Vec<f64> {
+    assert!(lo.is_finite() && hi.is_finite(), "interval must be finite");
+    if hi < lo || p.is_zero() || p.degree() == Some(0) {
+        return Vec::new();
+    }
+    if p.degree() == Some(1) {
+        // Closed form avoids the chain entirely for the common linear case.
+        let c = p.coeffs();
+        let r = -c[0] / c[1];
+        return if r >= lo && r <= hi { vec![r] } else { Vec::new() };
+    }
+    if p.degree() == Some(2) {
+        // Quadratic closed form (degree-3 fits differentiate to this —
+        // the hot path of continuous MAX certification).
+        let c = p.coeffs();
+        let (a, b, c0) = (c[2], c[1], c[0]);
+        let disc = b * b - 4.0 * a * c0;
+        if disc < 0.0 {
+            return Vec::new();
+        }
+        let sq = disc.sqrt();
+        // Numerically stable pair: avoid cancellation in −b ± √disc.
+        let q = -0.5 * (b + b.signum() * sq);
+        let (r1, r2) = if b == 0.0 {
+            let r = (sq / (2.0 * a)).abs();
+            (-r, r)
+        } else {
+            (q / a, if q != 0.0 { c0 / q } else { q / a })
+        };
+        let (mut r1, mut r2) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        let mut out = Vec::with_capacity(2);
+        if r1 >= lo && r1 <= hi {
+            out.push(r1);
+        }
+        if (r2 - r1).abs() > 1e-14 * r2.abs().max(1.0) && r2 >= lo && r2 <= hi {
+            out.push(r2);
+        }
+        let _ = (&mut r1, &mut r2);
+        return out;
+    }
+    let chain = SturmChain::new(p);
+    let mut out = Vec::new();
+    // Endpoints are excluded by the half-open Sturm count; test them
+    // explicitly with a width-relative tolerance.
+    let width = (hi - lo).max(f64::MIN_POSITIVE);
+    let ftol = endpoint_tolerance(p, lo, hi);
+    if p.eval(lo).abs() <= ftol {
+        out.push(lo);
+    }
+    isolate_recursive(p, &chain, lo, hi, &mut out, width * 1e-14, 0);
+    // `isolate_recursive` covers (lo, hi]; dedup near-coincident reports.
+    out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    out.dedup_by(|a, b| (*a - *b).abs() <= width * 1e-12);
+    out
+}
+
+/// Convenience alias matching the crate's public vocabulary.
+pub fn isolate_roots(p: &Polynomial, lo: f64, hi: f64) -> Vec<f64> {
+    roots_in_interval(p, lo, hi)
+}
+
+/// A forgiving "is this value a root" tolerance: scaled by the polynomial's
+/// magnitude over the interval.
+fn endpoint_tolerance(p: &Polynomial, lo: f64, hi: f64) -> f64 {
+    let m = p.eval(lo).abs().max(p.eval(hi).abs()).max(p.coeff_norm());
+    m.max(1.0) * 1e-12
+}
+
+fn isolate_recursive(
+    p: &Polynomial,
+    chain: &SturmChain,
+    lo: f64,
+    hi: f64,
+    out: &mut Vec<f64>,
+    xtol: f64,
+    depth: usize,
+) {
+    let count = chain.count_roots(lo, hi);
+    if count == 0 {
+        return;
+    }
+    let width = hi - lo;
+    if count == 1 {
+        out.push(refine_root(p, lo, hi));
+        return;
+    }
+    if width <= xtol || depth > 120 {
+        // Cluster of roots tighter than the tolerance: report the midpoint.
+        out.push(0.5 * (lo + hi));
+        return;
+    }
+    let mid = 0.5 * (lo + hi);
+    isolate_recursive(p, chain, lo, mid, out, xtol, depth + 1);
+    isolate_recursive(p, chain, mid, hi, out, xtol, depth + 1);
+}
+
+/// Refine a root known to lie in `(lo, hi]` where `p` has exactly one
+/// distinct root. Uses bisection when the signs bracket, falling back to
+/// Newton steps clamped to the bracket (handles even-multiplicity roots
+/// where no sign change exists).
+fn refine_root(p: &Polynomial, mut lo: f64, mut hi: f64) -> f64 {
+    let fhi = p.eval(hi);
+    if fhi == 0.0 {
+        return hi;
+    }
+    // The Sturm count is over the half-open interval (lo, hi]; if `lo`
+    // itself is a root (e.g. a bisection midpoint landed on one) the counted
+    // root lies strictly inside, so nudge the bracket inward.
+    let mut flo = p.eval(lo);
+    let mut guard = 0;
+    while flo == 0.0 && guard < 64 {
+        lo += (hi - lo) * 1e-9 + f64::EPSILON * lo.abs().max(1.0);
+        flo = p.eval(lo);
+        guard += 1;
+    }
+    if flo == 0.0 {
+        return lo;
+    }
+    let deriv = p.derivative();
+    if (flo > 0.0) != (fhi > 0.0) {
+        // Bracketing bisection with a Newton accelerator.
+        let mut x = 0.5 * (lo + hi);
+        for _ in 0..200 {
+            let fx = p.eval(x);
+            if fx == 0.0 {
+                return x;
+            }
+            if (fx > 0.0) == (flo > 0.0) {
+                lo = x;
+            } else {
+                hi = x;
+            }
+            // Try Newton from the current iterate; accept only if it stays
+            // inside the bracket.
+            let dx = deriv.eval(x);
+            let newton = if dx != 0.0 { x - fx / dx } else { f64::NAN };
+            x = if newton.is_finite() && newton > lo && newton < hi {
+                newton
+            } else {
+                0.5 * (lo + hi)
+            };
+            if hi - lo <= f64::EPSILON * (hi.abs().max(lo.abs()).max(1.0)) {
+                break;
+            }
+        }
+        return 0.5 * (lo + hi);
+    }
+    // Even multiplicity: minimise |p| by Newton on p/p' (which has a simple
+    // root there), safeguarded by golden-section style shrinking.
+    let mut x = 0.5 * (lo + hi);
+    for _ in 0..200 {
+        let fx = p.eval(x);
+        let dx = deriv.eval(x);
+        if fx == 0.0 || dx == 0.0 {
+            break;
+        }
+        let step = fx / dx;
+        let next = (x - step).clamp(lo, hi);
+        if (next - x).abs() <= f64::EPSILON * x.abs().max(1.0) {
+            x = next;
+            break;
+        }
+        x = next;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polynomial::Polynomial;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn sturm_counts_simple_roots() {
+        // (x-1)(x-2)(x-3): three roots in (0, 4]
+        let p = Polynomial::from_roots(&[1.0, 2.0, 3.0]);
+        let chain = SturmChain::new(&p);
+        assert_eq!(chain.count_roots(0.0, 4.0), 3);
+        assert_eq!(chain.count_roots(1.5, 2.5), 1);
+        assert_eq!(chain.count_roots(3.5, 9.0), 0);
+    }
+
+    #[test]
+    fn sturm_counts_distinct_roots_with_multiplicity() {
+        // (x-1)²(x-3): Sturm counts distinct roots → 2 in (0, 4]
+        let p = Polynomial::from_roots(&[1.0, 1.0, 3.0]);
+        let chain = SturmChain::new(&p);
+        assert_eq!(chain.count_roots(0.0, 4.0), 2);
+    }
+
+    #[test]
+    fn isolates_cubic_roots() {
+        let p = Polynomial::from_roots(&[-1.5, 0.25, 2.0]);
+        let roots = roots_in_interval(&p, -10.0, 10.0);
+        assert_eq!(roots.len(), 3);
+        assert_close(roots[0], -1.5, 1e-9);
+        assert_close(roots[1], 0.25, 1e-9);
+        assert_close(roots[2], 2.0, 1e-9);
+    }
+
+    #[test]
+    fn respects_interval_bounds() {
+        let p = Polynomial::from_roots(&[-1.0, 1.0, 5.0]);
+        let roots = roots_in_interval(&p, 0.0, 2.0);
+        assert_eq!(roots.len(), 1);
+        assert_close(roots[0], 1.0, 1e-9);
+    }
+
+    #[test]
+    fn endpoint_root_found() {
+        let p = Polynomial::from_roots(&[0.0, 2.0]);
+        let roots = roots_in_interval(&p, 0.0, 1.0);
+        assert_eq!(roots.len(), 1);
+        assert_close(roots[0], 0.0, 1e-12);
+        let roots = roots_in_interval(&p, 1.0, 2.0);
+        assert_eq!(roots.len(), 1);
+        assert_close(roots[0], 2.0, 1e-9);
+    }
+
+    #[test]
+    fn double_root_reported_once() {
+        let p = Polynomial::from_roots(&[1.0, 1.0]);
+        let roots = roots_in_interval(&p, 0.0, 2.0);
+        assert_eq!(roots.len(), 1);
+        assert_close(roots[0], 1.0, 1e-6);
+    }
+
+    #[test]
+    fn no_real_roots() {
+        let p = Polynomial::new(vec![1.0, 0.0, 1.0]); // x²+1
+        assert!(roots_in_interval(&p, -100.0, 100.0).is_empty());
+    }
+
+    #[test]
+    fn linear_closed_form() {
+        let p = Polynomial::new(vec![-3.0, 2.0]); // 2x-3
+        let roots = roots_in_interval(&p, 0.0, 2.0);
+        assert_eq!(roots, vec![1.5]);
+        assert!(roots_in_interval(&p, 2.0, 3.0).is_empty());
+    }
+
+    #[test]
+    fn constant_and_zero_have_no_isolated_roots() {
+        assert!(roots_in_interval(&Polynomial::constant(4.0), -1.0, 1.0).is_empty());
+        assert!(roots_in_interval(&Polynomial::zero(), -1.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn clustered_roots() {
+        let p = Polynomial::from_roots(&[1.0, 1.0 + 1e-5]);
+        let roots = roots_in_interval(&p, 0.0, 2.0);
+        assert_eq!(roots.len(), 2, "roots {roots:?}");
+        assert_close(roots[0], 1.0, 1e-8);
+        assert_close(roots[1], 1.0 + 1e-5, 1e-8);
+    }
+
+    #[test]
+    fn quintic_with_scaled_coeffs() {
+        let p = Polynomial::from_roots(&[-0.9, -0.3, 0.1, 0.4, 0.85]).scale(123.0);
+        let roots = roots_in_interval(&p, -1.0, 1.0);
+        assert_eq!(roots.len(), 5);
+        for (r, expect) in roots.iter().zip([-0.9, -0.3, 0.1, 0.4, 0.85]) {
+            assert_close(*r, expect, 1e-8);
+        }
+    }
+
+    #[test]
+    fn empty_interval() {
+        let p = Polynomial::from_roots(&[1.0]);
+        assert!(roots_in_interval(&p, 2.0, 1.0).is_empty());
+    }
+}

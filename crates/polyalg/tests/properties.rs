@@ -1,0 +1,120 @@
+//! Property-based tests for the polynomial algebra substrate.
+
+use proptest::prelude::*;
+
+use polyfit_poly::bivariate::{monomial_count, monomials, BivariatePoly};
+use polyfit_poly::chebyshev::{chebyshev_t, chebyshev_to_monomial, eval_clenshaw, monomial_to_chebyshev};
+use polyfit_poly::{max_on_interval, min_on_interval, roots_in_interval, Polynomial, SturmChain};
+
+fn coeffs_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-10.0f64..10.0, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn div_rem_reconstructs(a in coeffs_strategy(8), b in coeffs_strategy(5)) {
+        let pa = Polynomial::new(a);
+        let pb = Polynomial::new(b);
+        prop_assume!(!pb.is_zero());
+        prop_assume!(pb.leading().abs() > 1e-3); // avoid wild quotient blowup
+        let (q, r) = pa.div_rem(&pb);
+        let back = q.mul(&pb).add(&r);
+        // Compare by evaluation (coefficient vectors may differ in length).
+        for &x in &[-1.5, -0.5, 0.0, 0.7, 1.3] {
+            let scale = pa.eval(x).abs().max(1.0);
+            prop_assert!((back.eval(x) - pa.eval(x)).abs() <= 1e-6 * scale);
+        }
+        if let (Some(dr), Some(db)) = (r.degree(), pb.degree()) {
+            prop_assert!(dr < db, "remainder degree {dr} !< divisor degree {db}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_eval_homomorphism(a in coeffs_strategy(6), b in coeffs_strategy(6), x in -2.0f64..2.0) {
+        let pa = Polynomial::new(a);
+        let pb = Polynomial::new(b);
+        let scale = (pa.eval(x).abs() + pb.eval(x).abs()).max(1.0);
+        prop_assert!((pa.add(&pb).eval(x) - (pa.eval(x) + pb.eval(x))).abs() <= 1e-9 * scale);
+        prop_assert!((pa.sub(&pb).eval(x) - (pa.eval(x) - pb.eval(x))).abs() <= 1e-9 * scale);
+        let pscale = (pa.eval(x) * pb.eval(x)).abs().max(1.0);
+        prop_assert!((pa.mul(&pb).eval(x) - pa.eval(x) * pb.eval(x)).abs() <= 1e-8 * pscale);
+    }
+
+    #[test]
+    fn derivative_antiderivative_roundtrip(a in coeffs_strategy(7)) {
+        let p = Polynomial::new(a);
+        let back = p.antiderivative().derivative();
+        for &x in &[-1.0, 0.0, 0.5, 2.0] {
+            let scale = p.eval(x).abs().max(1.0);
+            prop_assert!((back.eval(x) - p.eval(x)).abs() <= 1e-9 * scale);
+        }
+    }
+
+    #[test]
+    fn sturm_count_matches_isolated_roots(rs in proptest::collection::vec(-4.0f64..4.0, 1..5)) {
+        let mut rs = rs;
+        rs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        rs.dedup_by(|a, b| (*a - *b).abs() < 1e-2);
+        let p = Polynomial::from_roots(&rs);
+        let chain = SturmChain::new(&p);
+        // Count over an interval strictly containing all roots.
+        prop_assert_eq!(chain.count_roots(-5.0, 5.0), rs.len());
+        let found = roots_in_interval(&p, -5.0, 5.0);
+        prop_assert_eq!(found.len(), rs.len());
+    }
+
+    #[test]
+    fn extrema_bracket_all_samples(a in coeffs_strategy(6), lo in -3.0f64..0.0, width in 0.1f64..4.0) {
+        let p = Polynomial::new(a);
+        let hi = lo + width;
+        let mx = max_on_interval(&p, lo, hi);
+        let mn = min_on_interval(&p, lo, hi);
+        prop_assert!(mx.value >= mn.value);
+        for i in 0..=100 {
+            let x = lo + width * i as f64 / 100.0;
+            let v = p.eval(x);
+            let tol = 1e-9 * v.abs().max(1.0);
+            prop_assert!(v <= mx.value + tol);
+            prop_assert!(v >= mn.value - tol);
+        }
+        prop_assert!(mx.at >= lo && mx.at <= hi);
+        prop_assert!(mn.at >= lo && mn.at <= hi);
+    }
+
+    #[test]
+    fn chebyshev_conversion_roundtrip(a in coeffs_strategy(9)) {
+        let cheb = monomial_to_chebyshev(&a);
+        let back = chebyshev_to_monomial(&cheb);
+        prop_assert_eq!(back.len(), a.len());
+        for (x, y) in a.iter().zip(&back) {
+            prop_assert!((x - y).abs() <= 1e-8 * x.abs().max(1.0), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn clenshaw_equals_t_sum(c in coeffs_strategy(9), t in -1.0f64..1.0) {
+        let direct: f64 = c.iter().enumerate().map(|(j, &cj)| cj * chebyshev_t(j, t)).sum();
+        let clenshaw = eval_clenshaw(&c, t);
+        prop_assert!((direct - clenshaw).abs() <= 1e-9 * direct.abs().max(1.0));
+    }
+
+    #[test]
+    fn bivariate_eval_matches_naive(deg in 0usize..4, u in -3.0f64..3.0, v in -3.0f64..3.0, seed in 0u64..1000) {
+        let n = monomial_count(deg);
+        // Deterministic pseudo-random coefficients from the seed.
+        let coeffs: Vec<f64> = (0..n)
+            .map(|i| {
+                let h = (seed + i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+                ((h >> 32) as f64 / u32::MAX as f64) * 4.0 - 2.0
+            })
+            .collect();
+        let p = BivariatePoly::unnormalized(deg, coeffs.clone());
+        let naive: f64 = monomials(deg)
+            .zip(&coeffs)
+            .map(|((i, j), &c)| c * u.powi(i as i32) * v.powi(j as i32))
+            .sum();
+        prop_assert!((p.eval(u, v) - naive).abs() <= 1e-9 * naive.abs().max(1.0));
+    }
+}

@@ -1,0 +1,76 @@
+//! Network intrusion monitoring — the paper's FastRAQ-style motivation
+//! [58]: µs-level range COUNT over a stream of flow records, comparing
+//! PolyFit against the learned-index baselines on the same guarantee.
+//!
+//! Run with: `cargo run --release --example network_monitor`
+
+use std::time::Instant;
+
+use polyfit_suite::baselines::{FitingTree, Rmi};
+use polyfit_suite::exact::dataset::{dedup_sum, sort_records, Record};
+use polyfit_suite::exact::KeyCumulativeArray;
+use polyfit_suite::polyfit::prelude::*;
+
+fn main() {
+    // Flow records keyed by (bucketed) source address as a float key —
+    // heavy-hitter subnets get disproportionate traffic.
+    let n = 500_000;
+    let mut records: Vec<Record> = (0..n)
+        .map(|i| {
+            let subnet = ((i * 2654435761usize) % 65_536) as f64;
+            let heavy = if subnet < 200.0 { 40.0 } else { 1.0 };
+            Record::new(subnet + (i % 97) as f64 / 100.0, heavy)
+        })
+        .collect();
+    sort_records(&mut records);
+    let records = dedup_sum(records);
+    let exact = KeyCumulativeArray::new(&records);
+    let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+    let values = exact.cumulative().to_vec();
+
+    // All three learned methods under the same ε_abs = 200 budget.
+    let eps = 200.0;
+    let pf = GuaranteedSum::with_abs_guarantee(records.clone(), eps, PolyFitConfig::default());
+    let rmi = Rmi::new(keys.clone(), values.clone(), &[1, 10, 100, 1000], eps / 2.0);
+    let fit = FitingTree::new(&keys, &values, eps / 2.0);
+    println!(
+        "index sizes: PolyFit {} KB ({} segs) | FITing {} KB ({} segs) | RMI {} KB",
+        pf.index().size_bytes() / 1024,
+        pf.index().num_segments(),
+        fit.size_bytes() / 1024,
+        fit.num_segments(),
+        rmi.size_bytes() / 1024,
+    );
+
+    // The monitor sweeps suspicious subnet ranges every tick.
+    let suspicious: Vec<(f64, f64)> = (0..10_000)
+        .map(|i| {
+            let lo = ((i * 7919) % 60_000) as f64;
+            (lo, lo + 500.0)
+        })
+        .collect();
+
+    for (name, f) in [
+        ("PolyFit-2", Box::new(|l: f64, u: f64| pf.query_abs(l, u)) as Box<dyn Fn(f64, f64) -> f64>),
+        ("FITing", Box::new(|l, u| fit.query(l, u))),
+        ("RMI", Box::new(|l, u| rmi.query(l, u))),
+    ] {
+        let t = Instant::now();
+        let mut alerts = 0usize;
+        for &(l, u) in &suspicious {
+            // Alert when a 500-subnet window carries over 10k flow-weight.
+            if f(l, u) > 10_000.0 {
+                alerts += 1;
+            }
+        }
+        let ns = t.elapsed().as_nanos() as f64 / suspicious.len() as f64;
+        println!("{name:>9}: {ns:6.0} ns/window, {alerts} alerts");
+    }
+
+    // Verify the guarantee on a sample of windows.
+    for &(l, u) in suspicious.iter().step_by(500) {
+        let err = (pf.query_abs(l, u) - exact.range_sum(l, u)).abs();
+        assert!(err <= eps + 1e-6, "window ({l}, {u}]: err {err}");
+    }
+    println!("guarantee verified on sampled windows (ε_abs = {eps}).");
+}

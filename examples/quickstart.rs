@@ -1,0 +1,53 @@
+//! Quickstart: build a PolyFit index and run approximate range aggregates.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use polyfit_suite::exact::dataset::Record;
+use polyfit_suite::exact::KeyCumulativeArray;
+use polyfit_suite::polyfit::prelude::*;
+
+fn main() {
+    // 1. A dataset of (key, measure) records — here, one reading per
+    //    minute from a fictional meter.
+    let records: Vec<Record> = (0..100_000)
+        .map(|minute| {
+            let key = minute as f64;
+            let watts = 500.0 + 250.0 * (minute as f64 / 720.0).sin() + (minute % 17) as f64;
+            Record::new(key, watts)
+        })
+        .collect();
+
+    // 2. Build an index answering range SUM within ±1000 W (Problem 1:
+    //    absolute guarantee; internally δ = ε_abs / 2 per Lemma 2).
+    let eps_abs = 1000.0;
+    let sum_index =
+        GuaranteedSum::with_abs_guarantee(records.clone(), eps_abs, PolyFitConfig::default());
+    println!(
+        "SUM index: {} polynomial segments, {} bytes (dataset: {} records)",
+        sum_index.index().num_segments(),
+        sum_index.index().size_bytes(),
+        records.len(),
+    );
+
+    // 3. Query: total consumption over minutes (10 000, 60 000].
+    let (lo, hi) = (10_000.0, 60_000.0);
+    let approx = sum_index.query_abs(lo, hi);
+    let exact = KeyCumulativeArray::new(&records).range_sum(lo, hi);
+    println!("range SUM  ({lo}, {hi}]: approx = {approx:.1}, exact = {exact:.1}, err = {:.1} (≤ {eps_abs})",
+        (approx - exact).abs());
+    assert!((approx - exact).abs() <= eps_abs);
+
+    // 4. A MAX index with the same machinery (δ = ε_abs per Lemma 4).
+    let max_index = GuaranteedMax::with_abs_guarantee(records.clone(), 50.0, PolyFitConfig::default());
+    let peak = max_index.query_abs(lo, hi).expect("range overlaps the data");
+    println!("range MAX  [{lo}, {hi}]: approx peak = {peak:.1} W (±50)");
+
+    // 5. Relative guarantee with certified exact fallback (Problem 2).
+    let rel_index = GuaranteedSum::with_rel_guarantee(records, 500.0, PolyFitConfig::default());
+    let ans = rel_index.query_rel(lo, hi, 0.01);
+    println!(
+        "range SUM  ({lo}, {hi}] @ 1% relative: {:.1} ({})",
+        ans.value,
+        if ans.used_fallback { "exact fallback" } else { "certified approximation" },
+    );
+}

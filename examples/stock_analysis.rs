@@ -1,0 +1,75 @@
+//! Stock-market analytics — the paper's motivating Fig. 1 scenario.
+//!
+//! A year of minute-level index values (synthetic HKI stand-in). The
+//! analyst asks: average level over arbitrary windows (range SUM / COUNT)
+//! and intraweek peaks/troughs (range MAX / MIN) — each answered in
+//! sub-microsecond time from a few-KB index instead of scanning 900k rows.
+//!
+//! Run with: `cargo run --release --example stock_analysis`
+
+use std::time::Instant;
+
+use polyfit_suite::data::generate_hki;
+use polyfit_suite::exact::dataset::Record;
+use polyfit_suite::polyfit::prelude::*;
+use polyfit_suite::polyfit::PolyFitMax;
+
+fn main() {
+    let n = 900_000;
+    println!("generating {n} minutes of synthetic HKI ticks...");
+    let records: Vec<Record> = generate_hki(n, 2018)
+        .iter()
+        .map(|r| Record::new(r.key, r.measure))
+        .collect();
+
+    // SUM index for averages: ε_abs = 100 index-points of cumulative mass.
+    let t0 = Instant::now();
+    let sum_idx = GuaranteedSum::with_abs_guarantee(records.clone(), 100.0, PolyFitConfig::default());
+    // COUNT index to divide by (measure 1 per tick).
+    let count_records: Vec<Record> = records.iter().map(|r| Record::new(r.key, 1.0)).collect();
+    let cnt_idx = GuaranteedSum::with_abs_guarantee(count_records, 2.0, PolyFitConfig::default());
+    // MAX and MIN indexes: ±25 index-points.
+    let max_idx = GuaranteedMax::with_abs_guarantee(records.clone(), 25.0, PolyFitConfig::default());
+    let min_idx = PolyFitMax::build_min(records.clone(), 25.0, PolyFitConfig::default()).unwrap();
+    println!(
+        "built 4 indexes in {:.2}s — SUM {} segs / MAX {} segs / sizes {} + {} bytes",
+        t0.elapsed().as_secs_f64(),
+        sum_idx.index().num_segments(),
+        max_idx.index().num_segments(),
+        sum_idx.index().size_bytes(),
+        max_idx.index().size_bytes(),
+    );
+
+    // Analyst queries: windows of one day / week / month / quarter.
+    let windows = [
+        ("one day", 390.0 * 1.0),
+        ("one week", 390.0 * 5.0),
+        ("one month", 390.0 * 21.0),
+        ("one quarter", 390.0 * 63.0),
+    ];
+    for (label, len) in windows {
+        let lo = 450_000.0;
+        let hi = lo + len;
+        let t = Instant::now();
+        let total = sum_idx.query_abs(lo, hi);
+        let count = cnt_idx.query_abs(lo, hi).max(1.0);
+        let avg = total / count;
+        let peak = max_idx.query_abs(lo, hi).unwrap();
+        let trough = min_idx.query_min(lo, hi).unwrap();
+        let micros = t.elapsed().as_nanos() as f64 / 1e3;
+        println!(
+            "{label:>12}: avg {avg:9.1}  peak {peak:9.1}  trough {trough:9.1}   ({micros:.1} µs for all three)"
+        );
+        assert!(trough <= peak + 50.0, "trough must not exceed peak beyond tolerance");
+    }
+
+    // Certified 1%-relative averages over a quarter, falling back to the
+    // exact prefix array only when the certificate fails.
+    let rel_idx = GuaranteedSum::with_rel_guarantee(records, 50.0, PolyFitConfig::default());
+    let ans = rel_idx.query_rel(100_000.0, 350_000.0, 0.01);
+    println!(
+        "certified 1% SUM over a 250k-minute window: {:.3e} ({})",
+        ans.value,
+        if ans.used_fallback { "fallback" } else { "approximation" }
+    );
+}

@@ -1,0 +1,71 @@
+//! Streaming updates — the paper's future-work scenario, handled by the
+//! delta-buffer extension: a live feed of inserts/deletes on top of a
+//! static PolyFit index, with the absolute guarantee preserved throughout
+//! and periodic LSM-style compactions.
+//!
+//! Run with: `cargo run --release --example streaming_updates`
+
+use std::time::Instant;
+
+use polyfit_suite::exact::dataset::Record;
+use polyfit_suite::polyfit::dynamic::DynamicPolyFitSum;
+use polyfit_suite::polyfit::prelude::*;
+
+fn main() {
+    // Initial bulk load: 200k sensor readings.
+    let records: Vec<Record> = (0..200_000)
+        .map(|i| Record::new(i as f64, 1.0 + (i % 7) as f64))
+        .collect();
+    let eps_abs = 100.0;
+    let mut index =
+        DynamicPolyFitSum::new(records.clone(), eps_abs / 2.0, PolyFitConfig::default(), 10_000)
+            .expect("build");
+    println!(
+        "bulk-loaded {} records into {} segments",
+        index.base_len(),
+        index.base().num_segments()
+    );
+
+    // A shadow copy to verify the guarantee live.
+    let mut shadow: Vec<(f64, f64)> = records.iter().map(|r| (r.key, r.measure)).collect();
+
+    // Stream 50k updates: mostly appends, some late corrections
+    // (deletes + re-inserts).
+    let t0 = Instant::now();
+    for i in 0..50_000u64 {
+        if i % 10 == 9 {
+            // Correction: remove a past reading and restate it.
+            let k = (i * 37 % 200_000) as f64;
+            index.delete(k, 1.0);
+            index.insert(k, 2.5);
+            shadow.push((k, -1.0));
+            shadow.push((k, 2.5));
+        } else {
+            let k = 200_000.0 + i as f64;
+            index.insert(k, 1.0 + (i % 7) as f64);
+            shadow.push((k, 1.0 + (i % 7) as f64));
+        }
+    }
+    println!(
+        "streamed 50k updates in {:.1} ms ({} compactions, {} still buffered)",
+        t0.elapsed().as_secs_f64() * 1e3,
+        index.rebuilds(),
+        index.buffered(),
+    );
+
+    // Verify the guarantee over a sweep of windows.
+    let mut worst: f64 = 0.0;
+    for w in 0..100 {
+        let lo = w as f64 * 2_500.0;
+        let hi = lo + 30_000.0;
+        let truth: f64 = shadow
+            .iter()
+            .filter(|(k, _)| *k > lo && *k <= hi)
+            .map(|(_, m)| m)
+            .sum();
+        let approx = index.query(lo, hi);
+        worst = worst.max((approx - truth).abs());
+    }
+    println!("worst observed error over 100 windows: {worst:.2} (guarantee {eps_abs})");
+    assert!(worst <= eps_abs, "guarantee violated");
+}

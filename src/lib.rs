@@ -1,0 +1,9 @@
+//! Workspace umbrella crate: re-exports the PolyFit reproduction crates so the
+//! root-level examples and integration tests can use a single import path.
+
+pub use polyfit;
+pub use polyfit_baselines as baselines;
+pub use polyfit_data as data;
+pub use polyfit_exact as exact;
+pub use polyfit_lp as lp;
+pub use polyfit_poly as poly;

@@ -1,0 +1,125 @@
+//! Cross-validation of every baseline against the exact substrates —
+//! the apples-to-apples precondition for the paper's comparisons.
+
+use polyfit_suite::baselines::{EquiDepthHistogram, FitingTree, Rmi, S2Sampler, STree};
+use polyfit_suite::data::{generate_tweet, query_intervals_from_keys};
+use polyfit_suite::exact::dataset::{dedup_sum, sort_records, Record};
+use polyfit_suite::exact::{ARTree, BPlusTree, KeyCumulativeArray};
+
+fn prepared(n: usize, seed: u64) -> (Vec<Record>, Vec<f64>, Vec<f64>) {
+    let mut records: Vec<Record> = generate_tweet(n, seed)
+        .iter()
+        .map(|r| Record::new(r.key, r.measure))
+        .collect();
+    sort_records(&mut records);
+    let records = dedup_sum(records);
+    let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+    let mut acc = 0.0;
+    let values: Vec<f64> = records.iter().map(|r| { acc += r.measure; acc }).collect();
+    (records, keys, values)
+}
+
+#[test]
+fn rmi_and_fiting_respect_shared_delta() {
+    let (records, keys, values) = prepared(30_000, 5);
+    let exact = KeyCumulativeArray::new(&records);
+    let delta = 40.0;
+    let rmi = Rmi::new(keys.clone(), values.clone(), &[1, 10, 100], delta);
+    let fit = FitingTree::new(&keys, &values, delta);
+    for q in query_intervals_from_keys(&keys, 300, 3) {
+        let truth = exact.range_sum(q.lo, q.hi);
+        assert!((rmi.query(q.lo, q.hi) - truth).abs() <= 2.0 * delta + 1e-6, "RMI");
+        assert!((fit.query(q.lo, q.hi) - truth).abs() <= 2.0 * delta + 1e-6, "FITing");
+    }
+}
+
+#[test]
+fn btree_equals_kca_everywhere() {
+    let (records, keys, _) = prepared(20_000, 7);
+    let kca = KeyCumulativeArray::new(&records);
+    let btree = BPlusTree::new(&records);
+    for q in query_intervals_from_keys(&keys, 500, 11) {
+        assert_eq!(btree.range_sum(q.lo, q.hi), kca.range_sum(q.lo, q.hi));
+    }
+    // Off-key probes too.
+    for i in 0..200 {
+        let x = -60.0 + i as f64 * 0.7;
+        assert_eq!(btree.cf(x), kca.cf(x), "cf at {x}");
+    }
+}
+
+#[test]
+fn stree_full_rate_equals_exact() {
+    let (records, keys, _) = prepared(10_000, 9);
+    let kca = KeyCumulativeArray::new(&records);
+    // measure == 1 for TWEET, so counting tree at rate 1.0 is exact.
+    let st = STree::new(&keys, 1.0, 1);
+    for q in query_intervals_from_keys(&keys, 200, 13) {
+        assert_eq!(st.query(q.lo, q.hi), kca.range_sum(q.lo, q.hi));
+    }
+}
+
+#[test]
+fn histogram_error_shrinks_with_buckets() {
+    let (records, keys, values) = prepared(50_000, 11);
+    let exact = KeyCumulativeArray::new(&records);
+    let queries = query_intervals_from_keys(&keys, 300, 17);
+    let mean_err = |buckets: usize| -> f64 {
+        let h = EquiDepthHistogram::new(&keys, &values, buckets);
+        let mut sum = 0.0;
+        for q in &queries {
+            sum += (h.query(q.lo, q.hi) - exact.range_sum(q.lo, q.hi)).abs();
+        }
+        sum / queries.len() as f64
+    };
+    let coarse = mean_err(16);
+    let fine = mean_err(4096);
+    assert!(fine < coarse, "fine {fine} vs coarse {coarse}");
+}
+
+#[test]
+fn s2_bounds_hold_in_aggregate() {
+    // Probabilistic guarantee: check the *fraction* of violations stays
+    // near the nominal 10% at confidence 0.9.
+    let (_, keys, _) = prepared(50_000, 13);
+    let exact_count = |l: f64, u: f64| keys.iter().filter(|&&k| k > l && k <= u).count() as f64;
+    let s2 = S2Sampler::new(keys.clone());
+    let queries = query_intervals_from_keys(&keys, 100, 19);
+    let mut violations = 0usize;
+    let mut evaluated = 0usize;
+    for (i, q) in queries.iter().enumerate() {
+        let truth = exact_count(q.lo, q.hi);
+        if truth < 500.0 {
+            continue; // tiny ranges: CLT rule cannot certify cheaply
+        }
+        evaluated += 1;
+        let est = s2.query_rel(q.lo, q.hi, 0.05, i as u64);
+        if (est.value - truth).abs() / truth > 0.05 {
+            violations += 1;
+        }
+    }
+    assert!(evaluated > 30, "workload too small");
+    let rate = violations as f64 / evaluated as f64;
+    assert!(rate <= 0.25, "violation rate {rate} (nominal 0.10)");
+}
+
+#[test]
+fn artree_count_agrees_with_scan_on_clusters() {
+    use polyfit_suite::exact::artree::Rect;
+    use polyfit_suite::exact::dataset::Point2d;
+    let pts: Vec<Point2d> = polyfit_suite::data::generate_osm(30_000, 21)
+        .iter()
+        .map(|p| Point2d::new(p.u, p.v, p.w))
+        .collect();
+    let tree = ARTree::new(pts.clone());
+    for rect in polyfit_suite::data::query_rectangles((-180.0, 180.0, -60.0, 75.0), 100, 0.3, 23) {
+        let q = Rect::new(rect.u_lo, rect.u_hi, rect.v_lo, rect.v_hi);
+        let brute = pts
+            .iter()
+            .filter(|p| {
+                p.u >= rect.u_lo && p.u <= rect.u_hi && p.v >= rect.v_lo && p.v <= rect.v_hi
+            })
+            .count() as u64;
+        assert_eq!(tree.range_count(&q), brute);
+    }
+}

@@ -1,0 +1,81 @@
+//! Cross-shape robustness: the guarantees must hold regardless of key and
+//! measure distribution (uniform, Zipf-clustered, lognormal-skewed), not
+//! just on the paper's three datasets.
+
+use polyfit_suite::data::synthetic::{lognormal_measures, uniform_keys, zipf_keys};
+use polyfit_suite::data::query_intervals_from_keys;
+use polyfit_suite::exact::dataset::{dedup_max, dedup_sum, sort_records, Record};
+use polyfit_suite::exact::{AggTree, KeyCumulativeArray};
+use polyfit_suite::polyfit::prelude::*;
+
+fn prepare_sum(raw: Vec<polyfit_suite::data::Record>) -> Vec<Record> {
+    let mut rs: Vec<Record> = raw.iter().map(|r| Record::new(r.key, r.measure)).collect();
+    sort_records(&mut rs);
+    dedup_sum(rs)
+}
+
+fn check_sum_guarantee(records: Vec<Record>, eps: f64, label: &str) {
+    let exact = KeyCumulativeArray::new(&records);
+    let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+    let driver = GuaranteedSum::with_abs_guarantee(records, eps, PolyFitConfig::default());
+    for q in query_intervals_from_keys(&keys, 250, 3) {
+        let err = (driver.query_abs(q.lo, q.hi) - exact.range_sum(q.lo, q.hi)).abs();
+        assert!(err <= eps + 1e-6, "{label} ({}, {}]: err {err}", q.lo, q.hi);
+    }
+}
+
+#[test]
+fn uniform_keys_guarantee() {
+    check_sum_guarantee(prepare_sum(uniform_keys(40_000, -1000.0, 1000.0, 11)), 30.0, "uniform");
+}
+
+#[test]
+fn zipf_clustered_guarantee() {
+    // Extreme hot spots: many duplicate-ish keys folding into large
+    // measures at a few positions — a hard case for smooth fitting.
+    check_sum_guarantee(prepare_sum(zipf_keys(40_000, 50, 1.4, 13)), 30.0, "zipf");
+}
+
+#[test]
+fn lognormal_measures_guarantee() {
+    // Heavy-tailed measures: single records can carry huge mass.
+    check_sum_guarantee(
+        prepare_sum(lognormal_measures(20_000, 1.0, 1.5, 17)),
+        200.0,
+        "lognormal",
+    );
+}
+
+#[test]
+fn zipf_max_guarantee() {
+    let mut rs: Vec<Record> = zipf_keys(20_000, 50, 1.2, 19)
+        .iter()
+        .map(|r| Record::new(r.key, 10.0 + (r.key * 0.01).sin().abs() * 100.0))
+        .collect();
+    sort_records(&mut rs);
+    let rs = dedup_max(rs);
+    let exact = AggTree::new(&rs);
+    let keys: Vec<f64> = rs.iter().map(|r| r.key).collect();
+    let driver = GuaranteedMax::with_abs_guarantee(rs, 8.0, PolyFitConfig::default());
+    for q in query_intervals_from_keys(&keys, 200, 5) {
+        let approx = driver.query_abs(q.lo, q.hi).expect("in-domain");
+        let truth = exact.range_max(q.lo, q.hi).expect("non-empty");
+        assert!((approx - truth).abs() <= 8.0 + 1e-5, "[{}, {}]", q.lo, q.hi);
+    }
+}
+
+#[test]
+fn segment_counts_track_difficulty() {
+    // A sanity check of the mechanism itself: smooth uniform data needs
+    // far fewer segments than hot-spotted Zipf data at equal δ.
+    let uniform = prepare_sum(uniform_keys(40_000, 0.0, 1000.0, 23));
+    let zipf = prepare_sum(zipf_keys(40_000, 50, 1.4, 23));
+    let a = GuaranteedSum::with_abs_guarantee(uniform, 50.0, PolyFitConfig::default());
+    let b = GuaranteedSum::with_abs_guarantee(zipf, 50.0, PolyFitConfig::default());
+    assert!(
+        a.index().num_segments() < b.index().num_segments(),
+        "uniform {} !< zipf {}",
+        a.index().num_segments(),
+        b.index().num_segments()
+    );
+}

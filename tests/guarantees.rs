@@ -1,0 +1,172 @@
+//! Cross-crate integration tests: end-to-end error-guarantee validation.
+//!
+//! Every guarantee the paper states (Problems 1 & 2, Lemmas 2–7) is checked
+//! here on realistic synthetic workloads, for all four aggregates, with the
+//! exact substrates as ground truth.
+
+use polyfit_suite::data::{generate_hki, generate_tweet, query_intervals_from_keys};
+use polyfit_suite::exact::dataset::{dedup_max, dedup_sum, sort_records, Record};
+use polyfit_suite::exact::{AggTree, KeyCumulativeArray};
+use polyfit_suite::polyfit::prelude::*;
+use polyfit_suite::polyfit::PolyFitMax;
+
+fn tweet_records(n: usize) -> Vec<Record> {
+    let mut rs: Vec<Record> = generate_tweet(n, 42)
+        .iter()
+        .map(|r| Record::new(r.key, r.measure))
+        .collect();
+    sort_records(&mut rs);
+    dedup_sum(rs)
+}
+
+fn hki_records(n: usize) -> Vec<Record> {
+    let mut rs: Vec<Record> = generate_hki(n, 42)
+        .iter()
+        .map(|r| Record::new(r.key, r.measure))
+        .collect();
+    sort_records(&mut rs);
+    dedup_max(rs)
+}
+
+#[test]
+fn count_absolute_guarantee_end_to_end() {
+    let records = tweet_records(50_000);
+    let exact = KeyCumulativeArray::new(&records);
+    let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+    for eps_abs in [20.0, 100.0, 500.0] {
+        let driver =
+            GuaranteedSum::with_abs_guarantee(records.clone(), eps_abs, PolyFitConfig::default());
+        for q in query_intervals_from_keys(&keys, 300, 7) {
+            let err = (driver.query_abs(q.lo, q.hi) - exact.range_sum(q.lo, q.hi)).abs();
+            assert!(err <= eps_abs + 1e-6, "eps {eps_abs}, ({}, {}]: err {err}", q.lo, q.hi);
+        }
+    }
+}
+
+#[test]
+fn count_relative_guarantee_end_to_end() {
+    let records = tweet_records(50_000);
+    let exact = KeyCumulativeArray::new(&records);
+    let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+    let driver = GuaranteedSum::with_rel_guarantee(records.clone(), 50.0, PolyFitConfig::default());
+    for eps_rel in [0.005, 0.01, 0.1] {
+        let mut fallbacks = 0usize;
+        for q in query_intervals_from_keys(&keys, 300, 11) {
+            let ans = driver.query_rel(q.lo, q.hi, eps_rel);
+            let truth = exact.range_sum(q.lo, q.hi);
+            fallbacks += ans.used_fallback as usize;
+            if truth > 0.0 {
+                let rel = (ans.value - truth).abs() / truth;
+                assert!(rel <= eps_rel + 1e-12, "eps {eps_rel}: rel {rel}");
+            }
+        }
+        // Sanity: the certificate must both pass and fail sometimes on a
+        // mixed workload (otherwise this test exercises only one path).
+        assert!(fallbacks > 0, "eps {eps_rel}: no fallbacks at all");
+        assert!(fallbacks < 300, "eps {eps_rel}: everything fell back");
+    }
+}
+
+#[test]
+fn max_absolute_guarantee_end_to_end() {
+    let records = hki_records(30_000);
+    let exact = AggTree::new(&records);
+    let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+    for eps_abs in [25.0, 100.0] {
+        let driver =
+            GuaranteedMax::with_abs_guarantee(records.clone(), eps_abs, PolyFitConfig::default());
+        for q in query_intervals_from_keys(&keys, 200, 13) {
+            let approx = driver.query_abs(q.lo, q.hi).expect("in-domain query");
+            let truth = exact.range_max(q.lo, q.hi).expect("non-empty range");
+            assert!(
+                (approx - truth).abs() <= eps_abs + 1e-5,
+                "eps {eps_abs}, [{}, {}]: approx {approx} truth {truth}",
+                q.lo,
+                q.hi
+            );
+        }
+    }
+}
+
+#[test]
+fn max_relative_guarantee_end_to_end() {
+    let records = hki_records(30_000);
+    let exact = AggTree::new(&records);
+    let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+    // HKI measures ≈ 20k–36k: δ = 100, eps = 0.01 → threshold 10100, which
+    // every answer passes; δ = 500 → threshold 50500, which always fails.
+    let pass_driver = GuaranteedMax::with_rel_guarantee(records.clone(), 100.0, PolyFitConfig::default());
+    let fail_driver = GuaranteedMax::with_rel_guarantee(records.clone(), 500.0, PolyFitConfig::default());
+    for q in query_intervals_from_keys(&keys, 150, 17) {
+        let truth = exact.range_max(q.lo, q.hi).expect("non-empty");
+        let a = pass_driver.query_rel(q.lo, q.hi, 0.01).expect("in-domain");
+        assert!((a.value - truth).abs() / truth <= 0.01 + 1e-12);
+        let b = fail_driver.query_rel(q.lo, q.hi, 0.01).expect("in-domain");
+        assert!(b.used_fallback);
+        assert_eq!(b.value, truth, "fallback must be exact");
+    }
+}
+
+#[test]
+fn min_queries_supported() {
+    let records = hki_records(10_000);
+    let mut sorted = records.clone();
+    sort_records(&mut sorted);
+    let exact = AggTree::new(&sorted);
+    let idx = PolyFitMax::build_min(records, 50.0, PolyFitConfig::default()).expect("build");
+    let keys: Vec<f64> = sorted.iter().map(|r| r.key).collect();
+    for q in query_intervals_from_keys(&keys, 150, 19) {
+        let approx = idx.query_min(q.lo, q.hi).expect("in-domain");
+        let truth = exact.range_min(q.lo, q.hi).expect("non-empty");
+        assert!((approx - truth).abs() <= 50.0 + 1e-5);
+    }
+}
+
+#[test]
+fn sum_with_weighted_measures() {
+    // SUM (not COUNT): synthetic sensor-style weights.
+    let mut records: Vec<Record> = (0..20_000)
+        .map(|i| Record::new(i as f64 * 0.25, 1.0 + ((i * 37) % 101) as f64 / 10.0))
+        .collect();
+    sort_records(&mut records);
+    let exact = KeyCumulativeArray::new(&records);
+    let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+    let driver = GuaranteedSum::with_abs_guarantee(records, 80.0, PolyFitConfig::default());
+    for q in query_intervals_from_keys(&keys, 200, 23) {
+        let err = (driver.query_abs(q.lo, q.hi) - exact.range_sum(q.lo, q.hi)).abs();
+        assert!(err <= 80.0 + 1e-6);
+    }
+}
+
+#[test]
+fn degree_sweep_all_guarantees_hold() {
+    let records = tweet_records(20_000);
+    let exact = KeyCumulativeArray::new(&records);
+    let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+    let queries = query_intervals_from_keys(&keys, 100, 29);
+    for degree in 1..=4usize {
+        let driver = GuaranteedSum::with_abs_guarantee(
+            records.clone(),
+            60.0,
+            PolyFitConfig::with_degree(degree),
+        );
+        for q in &queries {
+            let err = (driver.query_abs(q.lo, q.hi) - exact.range_sum(q.lo, q.hi)).abs();
+            assert!(err <= 60.0 + 1e-6, "degree {degree}: err {err}");
+        }
+    }
+}
+
+#[test]
+fn simplex_backend_guarantees_hold() {
+    // The literal Eq. 9 LP backend must produce equally valid indexes.
+    let records = tweet_records(3_000);
+    let exact = KeyCumulativeArray::new(&records);
+    let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+    let cfg = PolyFitConfig { backend: FitBackend::Simplex, ..Default::default() };
+    let driver = GuaranteedSum::with_abs_guarantee(records, 50.0, cfg);
+    for q in query_intervals_from_keys(&keys, 100, 31) {
+        let err = (driver.query_abs(q.lo, q.hi) - exact.range_sum(q.lo, q.hi)).abs();
+        assert!(err <= 50.0 + 1e-6);
+    }
+}

@@ -1,0 +1,222 @@
+//! Property-based tests (proptest) on the core invariants of the
+//! reproduction — the paper's lemmas as machine-checked properties.
+
+use proptest::prelude::*;
+
+use polyfit_suite::exact::dataset::{dedup_sum, sort_records, Record};
+use polyfit_suite::exact::{AggTree, KeyCumulativeArray};
+use polyfit_suite::lp::{fit_minimax, FitBackend};
+use polyfit_suite::poly::{max_on_interval, roots_in_interval, Polynomial};
+use polyfit_suite::polyfit::config::PolyFitConfig;
+use polyfit_suite::polyfit::function::TargetFunction;
+use polyfit_suite::polyfit::prelude::*;
+use polyfit_suite::polyfit::segmentation::{
+    dp_segmentation, fit_range, greedy_segmentation, ErrorMetric,
+};
+
+/// Strategy: a strictly increasing key vector with bounded values.
+fn keyed_values(max_len: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    proptest::collection::vec((0.01f64..10.0, -100.0f64..100.0), 2..max_len).prop_map(|pairs| {
+        let mut key = 0.0;
+        let mut keys = Vec::with_capacity(pairs.len());
+        let mut values = Vec::with_capacity(pairs.len());
+        for (gap, v) in pairs {
+            key += gap;
+            keys.push(key);
+            values.push(v);
+        }
+        (keys, values)
+    })
+}
+
+/// Strategy: positive-measure records with arbitrary (possibly duplicate)
+/// keys.
+fn records(max_len: usize) -> impl Strategy<Value = Vec<Record>> {
+    proptest::collection::vec((-1000.0f64..1000.0, 0.1f64..50.0), 2..max_len)
+        .prop_map(|pairs| pairs.into_iter().map(|(k, m)| Record::new(k, m)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- fitting: Definition 2 / Lemma 1 -------------------------------
+
+    /// The reported minimax error equals the brute-force max deviation.
+    #[test]
+    fn fit_error_is_true_max_residual((keys, values) in keyed_values(60), deg in 0usize..4) {
+        let fit = fit_minimax(&keys, &values, deg, FitBackend::Exchange);
+        let brute = keys.iter().zip(&values)
+            .map(|(&k, &v)| (v - fit.poly.eval(k)).abs())
+            .fold(0.0f64, f64::max);
+        prop_assert!((fit.error - brute).abs() <= 1e-7 * brute.max(1.0));
+    }
+
+    /// Exchange and simplex find the same optimum (they solve the same LP).
+    #[test]
+    fn backends_agree((keys, values) in keyed_values(40), deg in 0usize..3) {
+        let ex = fit_minimax(&keys, &values, deg, FitBackend::Exchange);
+        let sx = fit_minimax(&keys, &values, deg, FitBackend::Simplex);
+        prop_assert!(
+            (ex.error - sx.error).abs() <= 1e-5 * ex.error.max(1.0),
+            "exchange {} vs simplex {}", ex.error, sx.error
+        );
+    }
+
+    /// Lemma 1: adding points never decreases the optimal fitting error.
+    #[test]
+    fn error_monotone_in_point_count((keys, values) in keyed_values(50), deg in 1usize..3) {
+        let l = keys.len();
+        let half = fit_minimax(&keys[..l / 2 + 1], &values[..l / 2 + 1], deg, FitBackend::Exchange);
+        let full = fit_minimax(&keys, &values, deg, FitBackend::Exchange);
+        prop_assert!(full.error >= half.error - 1e-7 * half.error.max(1.0));
+    }
+
+    // ---- segmentation: Theorem 1 ---------------------------------------
+
+    /// GS segment count equals the DP optimum.
+    #[test]
+    fn gs_is_optimal((keys, values) in keyed_values(40), delta in 0.5f64..20.0) {
+        let f = TargetFunction { keys, values };
+        let cfg = PolyFitConfig::with_degree(1);
+        let gs = greedy_segmentation(&f, &cfg, delta, ErrorMetric::DataPoint);
+        let dp = dp_segmentation(&f, &cfg, delta, ErrorMetric::DataPoint);
+        prop_assert_eq!(gs.len(), dp.len());
+    }
+
+    /// Every GS segment respects the δ constraint and they tile the input.
+    #[test]
+    fn gs_segments_valid((keys, values) in keyed_values(60), delta in 0.5f64..20.0) {
+        let n = keys.len();
+        let f = TargetFunction { keys, values };
+        let cfg = PolyFitConfig::default();
+        let segs = greedy_segmentation(&f, &cfg, delta, ErrorMetric::DataPoint);
+        prop_assert_eq!(segs[0].start, 0);
+        prop_assert_eq!(segs.last().unwrap().end, n - 1);
+        for w in segs.windows(2) {
+            prop_assert_eq!(w[0].end + 1, w[1].start);
+        }
+        for s in &segs {
+            prop_assert!(s.certified_error <= delta + 1e-9);
+        }
+    }
+
+    /// Continuous certification upper-bounds data-point certification.
+    #[test]
+    fn continuous_at_least_datapoint((keys, values) in keyed_values(40)) {
+        let f = TargetFunction { keys, values };
+        let n = f.keys.len();
+        let (_, dp) = fit_range(&f, 0, n - 1, 2, FitBackend::Exchange, ErrorMetric::DataPoint);
+        let (_, cont) = fit_range(&f, 0, n - 1, 2, FitBackend::Exchange, ErrorMetric::Continuous);
+        prop_assert!(cont >= dp - 1e-7 * dp.max(1.0));
+    }
+
+    // ---- polynomial algebra --------------------------------------------
+
+    /// Root isolation finds every constructed root inside the interval.
+    #[test]
+    fn roots_found(rs in proptest::collection::vec(-5.0f64..5.0, 1..5)) {
+        let mut rs = rs;
+        rs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        rs.dedup_by(|a, b| (*a - *b).abs() < 1e-3);
+        let p = Polynomial::from_roots(&rs);
+        let found = roots_in_interval(&p, -6.0, 6.0);
+        prop_assert_eq!(found.len(), rs.len(), "expected {:?}, found {:?}", rs, found);
+        for (f, r) in found.iter().zip(&rs) {
+            prop_assert!((f - r).abs() < 1e-6, "{} vs {}", f, r);
+        }
+    }
+
+    /// The analytic interval maximum dominates dense sampling.
+    #[test]
+    fn extrema_dominate_samples(coeffs in proptest::collection::vec(-3.0f64..3.0, 1..6)) {
+        let p = Polynomial::new(coeffs);
+        let m = max_on_interval(&p, -2.0, 2.0);
+        for i in 0..=400 {
+            let x = -2.0 + 4.0 * i as f64 / 400.0;
+            prop_assert!(p.eval(x) <= m.value + 1e-9 * m.value.abs().max(1.0));
+        }
+    }
+
+    // ---- exact substrates ------------------------------------------------
+
+    /// KCA range sums equal brute force on arbitrary record sets.
+    #[test]
+    fn kca_matches_brute(mut rs in records(80), l in -1000.0f64..1000.0, span in 0.0f64..2000.0) {
+        sort_records(&mut rs);
+        let rs = dedup_sum(rs);
+        let kca = KeyCumulativeArray::new(&rs);
+        let u = l + span;
+        let brute: f64 = rs.iter().filter(|r| r.key > l && r.key <= u).map(|r| r.measure).sum();
+        prop_assert!((kca.range_sum(l, u) - brute).abs() < 1e-7);
+    }
+
+    /// AggTree record-range max equals brute force.
+    #[test]
+    fn aggtree_matches_brute(mut rs in records(80), l in -1000.0f64..1000.0, span in 0.0f64..2000.0) {
+        sort_records(&mut rs);
+        let tree = AggTree::new(&rs);
+        let u = l + span;
+        let brute = rs.iter()
+            .filter(|r| r.key >= l && r.key <= u)
+            .map(|r| r.measure)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let expected = (brute > f64::NEG_INFINITY).then_some(brute);
+        prop_assert_eq!(tree.range_max_records(l, u), expected);
+    }
+
+    // ---- end-to-end guarantees (Problem 1) -------------------------------
+
+    /// The absolute SUM guarantee holds for arbitrary data and key-endpoint
+    /// queries.
+    #[test]
+    fn sum_guarantee_holds(mut rs in records(120), eps in 5.0f64..100.0, qa in 0usize..120, qb in 0usize..120) {
+        sort_records(&mut rs);
+        let rs = dedup_sum(rs);
+        prop_assume!(rs.len() >= 2);
+        let exact = KeyCumulativeArray::new(&rs);
+        let driver = GuaranteedSum::with_abs_guarantee(rs.clone(), eps, PolyFitConfig::default());
+        let (a, b) = (qa % rs.len(), qb % rs.len());
+        let (l, u) = (rs[a.min(b)].key, rs[a.max(b)].key);
+        let err = (driver.query_abs(l, u) - exact.range_sum(l, u)).abs();
+        prop_assert!(err <= eps + 1e-6, "err {} eps {}", err, eps);
+    }
+
+    /// The absolute MAX guarantee holds for arbitrary *real* endpoints
+    /// (continuous certification).
+    #[test]
+    fn max_guarantee_holds(mut rs in records(100), eps in 2.0f64..50.0, l in -1000.0f64..1000.0, span in 0.1f64..2000.0) {
+        sort_records(&mut rs);
+        let rs = polyfit_suite::exact::dataset::dedup_max(rs);
+        prop_assume!(rs.len() >= 2);
+        let exact = AggTree::new(&rs);
+        let driver = GuaranteedMax::with_abs_guarantee(rs.clone(), eps, PolyFitConfig::default());
+        let u = l + span;
+        match (driver.query_abs(l, u), exact.range_max(l, u)) {
+            (Some(approx), Some(truth)) => {
+                prop_assert!((approx - truth).abs() <= eps + 1e-5,
+                    "approx {} truth {} eps {}", approx, truth, eps);
+            }
+            (None, None) => {}
+            (a, t) => prop_assert!(false, "presence mismatch: {:?} vs {:?}", a, t),
+        }
+    }
+
+    /// The relative SUM guarantee holds (certified or exact fallback).
+    #[test]
+    fn rel_guarantee_holds(mut rs in records(100), eps_rel in 0.01f64..0.3, qa in 0usize..100, qb in 0usize..100) {
+        sort_records(&mut rs);
+        let rs = dedup_sum(rs);
+        prop_assume!(rs.len() >= 2);
+        let exact = KeyCumulativeArray::new(&rs);
+        let driver = GuaranteedSum::with_rel_guarantee(rs.clone(), 10.0, PolyFitConfig::default());
+        let (a, b) = (qa % rs.len(), qb % rs.len());
+        let (l, u) = (rs[a.min(b)].key, rs[a.max(b)].key);
+        let ans = driver.query_rel(l, u, eps_rel);
+        let truth = exact.range_sum(l, u);
+        if truth > 0.0 {
+            prop_assert!((ans.value - truth).abs() / truth <= eps_rel + 1e-12);
+        } else {
+            prop_assert_eq!(ans.value, 0.0);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! End-to-end validation of the two-key extension against the aggregate
+//! R-tree on clustered (OSM-like) data.
+
+use polyfit_suite::data::{generate_osm, query_rectangles};
+use polyfit_suite::exact::artree::Rect;
+use polyfit_suite::exact::dataset::Point2d;
+use polyfit_suite::exact::ARTree;
+use polyfit_suite::polyfit::twod::{Guaranteed2dCount, Quad2dConfig, QuadPolyFit};
+
+fn points(n: usize, seed: u64) -> Vec<Point2d> {
+    generate_osm(n, seed)
+        .iter()
+        .map(|p| Point2d::new(p.u, p.v, p.w))
+        .collect()
+}
+
+fn cfg() -> Quad2dConfig {
+    Quad2dConfig { grid_resolution: 512, ..Default::default() }
+}
+
+#[test]
+fn lattice_certification_holds() {
+    let pts = points(200_000, 1);
+    let idx = QuadPolyFit::build(&pts, 100.0, cfg()).expect("build");
+    assert_eq!(
+        idx.uncertified_leaves(),
+        0,
+        "δ=100 must be resolvable at lattice 512 (worst {})",
+        idx.max_leaf_error()
+    );
+    assert!(idx.max_leaf_error() <= 100.0 + 1e-6);
+}
+
+#[test]
+fn measured_errors_on_random_rectangles() {
+    // Empirical validation of the Lemma 6 composition on arbitrary
+    // (off-lattice) rectangles: errors stay near 4δ (lattice strips add a
+    // small data-dependent slack; assert a generous envelope and a tight
+    // mean).
+    let pts = points(200_000, 2);
+    let eps_abs = 400.0; // δ = 100
+    let driver = Guaranteed2dCount::with_abs_guarantee(&pts, eps_abs, cfg()).expect("build");
+    let exact = ARTree::new(pts.clone());
+    let rects = query_rectangles((-180.0, 180.0, -60.0, 75.0), 300, 0.3, 5);
+    let mut errs = Vec::new();
+    for r in &rects {
+        let approx = driver.query_abs(r.u_lo, r.u_hi, r.v_lo, r.v_hi);
+        let truth = exact.range_count(&Rect::new(r.u_lo, r.u_hi, r.v_lo, r.v_hi)) as f64;
+        errs.push((approx - truth).abs());
+    }
+    let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+    let worst = errs.iter().cloned().fold(0.0f64, f64::max);
+    assert!(mean <= eps_abs, "mean error {mean} above ε_abs {eps_abs}");
+    assert!(worst <= 3.0 * eps_abs, "worst error {worst} above envelope");
+}
+
+#[test]
+fn rel_guarantee_certified_or_exact() {
+    let pts = points(150_000, 3);
+    let driver = Guaranteed2dCount::with_rel_guarantee(pts.clone(), 50.0, cfg()).expect("build");
+    let exact = ARTree::new(pts);
+    let eps_rel = 0.05;
+    let mut certified = 0usize;
+    for r in query_rectangles((-180.0, 180.0, -60.0, 75.0), 150, 0.4, 7) {
+        let ans = driver.query_rel(r.u_lo, r.u_hi, r.v_lo, r.v_hi, eps_rel);
+        let truth = exact.range_count(&Rect::new(r.u_lo, r.u_hi, r.v_lo, r.v_hi)) as f64;
+        if ans.used_fallback {
+            assert_eq!(ans.value, truth, "fallback must be exact");
+        } else {
+            certified += 1;
+            if truth > 0.0 {
+                // Lattice-strip slack applies off-lattice; certified
+                // answers must still be within ~2× the nominal bound.
+                let rel = (ans.value - truth).abs() / truth;
+                assert!(rel <= 2.0 * eps_rel, "certified rel err {rel}");
+            }
+        }
+    }
+    assert!(certified > 0, "certificate never passed — workload degenerate");
+}
+
+#[test]
+fn scaling_delta_monotone_leaves() {
+    let pts = points(100_000, 4);
+    let coarse = QuadPolyFit::build(&pts, 400.0, cfg()).unwrap();
+    let fine = QuadPolyFit::build(&pts, 25.0, cfg()).unwrap();
+    assert!(fine.num_leaves() > coarse.num_leaves());
+    assert!(fine.size_bytes() > coarse.size_bytes());
+}
+
+#[test]
+fn total_and_empty_queries() {
+    let pts = points(50_000, 5);
+    let idx = QuadPolyFit::build(&pts, 50.0, cfg()).unwrap();
+    let (u0, u1, v0, v1) = idx.bbox();
+    let full = idx.query(u0 - 1.0, u1 + 1.0, v0 - 1.0, v1 + 1.0);
+    assert!((full - 50_000.0).abs() <= 1e-6);
+    assert_eq!(idx.query(u0 - 10.0, u0 - 5.0, v0, v1), 0.0);
+}
