@@ -133,8 +133,26 @@ impl FitingTree {
 
     /// Logical serialized size: per segment (lo, hi, base, slope).
     pub fn size_bytes(&self) -> usize {
-        self.segments.len() * 4 * std::mem::size_of::<f64>()
-            + 3 * std::mem::size_of::<f64>()
+        self.segments.len() * 4 * std::mem::size_of::<f64>() + 3 * std::mem::size_of::<f64>()
+    }
+}
+
+impl polyfit::AggregateIndex for FitingTree {
+    fn name(&self) -> &'static str {
+        "FITing-tree"
+    }
+
+    fn kind(&self) -> polyfit::AggregateKind {
+        polyfit::AggregateKind::Sum
+    }
+
+    fn query(&self, lq: f64, uq: f64) -> Option<polyfit::RangeAggregate> {
+        // Same Lemma 2 machinery as PolyFit: two δ-bounded endpoints.
+        Some(polyfit::RangeAggregate::absolute(FitingTree::query(self, lq, uq), 2.0 * self.delta))
+    }
+
+    fn size_bytes(&self) -> usize {
+        FitingTree::size_bytes(self)
     }
 }
 

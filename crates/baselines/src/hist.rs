@@ -65,11 +65,8 @@ impl EquiDepthHistogram {
         if i >= self.boundaries.len() {
             return self.total;
         }
-        let (lo_key, lo_cum) = if i == 0 {
-            (self.first_key, 0.0)
-        } else {
-            (self.boundaries[i - 1], self.cum[i - 1])
-        };
+        let (lo_key, lo_cum) =
+            if i == 0 { (self.first_key, 0.0) } else { (self.boundaries[i - 1], self.cum[i - 1]) };
         let (hi_key, hi_cum) = (self.boundaries[i], self.cum[i]);
         if hi_key <= lo_key {
             return hi_cum;
@@ -95,6 +92,25 @@ impl EquiDepthHistogram {
     /// Logical size: boundary + cumulative per bucket.
     pub fn size_bytes(&self) -> usize {
         self.boundaries.len() * 2 * std::mem::size_of::<f64>()
+    }
+}
+
+impl polyfit::AggregateIndex for EquiDepthHistogram {
+    fn name(&self) -> &'static str {
+        "hist"
+    }
+
+    fn kind(&self) -> polyfit::AggregateKind {
+        polyfit::AggregateKind::Sum
+    }
+
+    fn query(&self, lq: f64, uq: f64) -> Option<polyfit::RangeAggregate> {
+        // Intra-bucket interpolation carries no deterministic bound.
+        Some(polyfit::RangeAggregate::heuristic(EquiDepthHistogram::query(self, lq, uq)))
+    }
+
+    fn size_bytes(&self) -> usize {
+        EquiDepthHistogram::size_bytes(self)
     }
 }
 

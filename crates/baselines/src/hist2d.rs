@@ -100,6 +100,33 @@ impl GridHistogram2d {
     }
 }
 
+impl polyfit::AggregateIndex2d for GridHistogram2d {
+    fn name(&self) -> &'static str {
+        "hist-2d"
+    }
+
+    fn kind(&self) -> polyfit::AggregateKind {
+        polyfit::AggregateKind::Count
+    }
+
+    fn query_rect(
+        &self,
+        u_lo: f64,
+        u_hi: f64,
+        v_lo: f64,
+        v_hi: f64,
+    ) -> Option<polyfit::RangeAggregate> {
+        // Per-cell uniformity assumption carries no deterministic bound.
+        Some(polyfit::RangeAggregate::heuristic(GridHistogram2d::query(
+            self, u_lo, u_hi, v_lo, v_hi,
+        )))
+    }
+
+    fn size_bytes(&self) -> usize {
+        GridHistogram2d::size_bytes(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,10 +162,9 @@ mod tests {
                 )
             })
             .collect();
-        let brute = pts
-            .iter()
-            .filter(|(u, v)| *u > 13.0 && *u <= 57.0 && *v > 22.0 && *v <= 91.0)
-            .count() as f64;
+        let brute =
+            pts.iter().filter(|(u, v)| *u > 13.0 && *u <= 57.0 && *v > 22.0 && *v <= 91.0).count()
+                as f64;
         let coarse = GridHistogram2d::new(&pts, 8);
         let fine = GridHistogram2d::new(&pts, 128);
         let e_coarse = (coarse.query(13.0, 57.0, 22.0, 91.0) - brute).abs();

@@ -7,7 +7,7 @@
 //! | Module | Paper method | Guarantees |
 //! |--------|--------------|------------|
 //! | [`rmi`] | RMI \[33\] extended to range aggregates (Appendix A/B) | abs + rel via last-mile fallback |
-//! | [`fiting`] | FITing-tree \[20\] (shrinking-cone linear segments) | abs + rel |
+//! | [`fitting`] | FITing-tree \[20\] (shrinking-cone linear segments) | abs + rel |
 //! | [`hist`] | Entropy-based histogram \[52\] | none (heuristic) |
 //! | [`stree`] | S-tree: B+-tree over a uniform sample | none (heuristic) |
 //! | [`s2`] | S2 sequential sampling \[26\] | probabilistic |
@@ -18,7 +18,7 @@
 //! range aggregates exactly as the paper's Appendix A prescribes: fit the
 //! cumulative function, then apply the Lemma 2/3 error machinery.
 
-pub mod fiting;
+pub mod fitting;
 pub mod hist;
 pub mod hist2d;
 pub mod mlp;
@@ -26,10 +26,10 @@ pub mod rmi;
 pub mod s2;
 pub mod stree;
 
-pub use fiting::FitingTree;
+pub use fitting::FitingTree;
 pub use hist::EquiDepthHistogram;
 pub use hist2d::GridHistogram2d;
 pub use mlp::Mlp;
 pub use rmi::Rmi;
-pub use s2::{S2Sampler, S2Sampler2d};
+pub use s2::{S2Dispatch, S2Dispatch2d, S2Mode, S2Sampler, S2Sampler2d};
 pub use stree::STree;

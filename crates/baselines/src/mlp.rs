@@ -28,9 +28,7 @@ impl Layer {
     fn new(inputs: usize, outputs: usize, rng: &mut StdRng) -> Self {
         // He initialisation for ReLU nets.
         let scale = (2.0 / inputs as f64).sqrt();
-        let w = (0..inputs * outputs)
-            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
-            .collect();
+        let w = (0..inputs * outputs).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale).collect();
         Layer { w, b: vec![0.0; outputs], inputs, outputs }
     }
 }
@@ -81,9 +79,8 @@ impl Mlp {
         assert_eq!(keys.len(), targets.len(), "keys/targets length mismatch");
         assert!(!keys.is_empty(), "empty training set");
         let n = keys.len();
-        let (kmin, kmax) = keys
-            .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &k| (a.min(k), b.max(k)));
+        let (kmin, kmax) =
+            keys.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &k| (a.min(k), b.max(k)));
         let (ymin, ymax) = targets
             .iter()
             .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &y| (a.min(y), b.max(y)));
@@ -97,10 +94,8 @@ impl Mlp {
         dims.push(1);
         dims.extend_from_slice(hidden);
         dims.push(1);
-        let mut layers: Vec<Layer> = dims
-            .windows(2)
-            .map(|w| Layer::new(w[0], w[1], &mut rng))
-            .collect();
+        let mut layers: Vec<Layer> =
+            dims.windows(2).map(|w| Layer::new(w[0], w[1], &mut rng)).collect();
 
         let width = dims.iter().copied().max().unwrap_or(1);
         // Pre-normalised training data.
@@ -262,7 +257,8 @@ mod tests {
         assert_eq!(lin.num_params(), 2); // w + b
         let nn = Mlp::train(&keys, &targets, &[8], MlpConfig { epochs: 1, ..Default::default() });
         assert_eq!(nn.num_params(), (8 + 8) + (8 + 1)); // 1→8 + 8→1
-        let deep = Mlp::train(&keys, &targets, &[4, 4], MlpConfig { epochs: 1, ..Default::default() });
+        let deep =
+            Mlp::train(&keys, &targets, &[4, 4], MlpConfig { epochs: 1, ..Default::default() });
         assert_eq!(deep.num_params(), (4 + 4) + (16 + 4) + (4 + 1));
     }
 

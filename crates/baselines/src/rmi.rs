@@ -140,11 +140,8 @@ impl Rmi {
                     .zip(&leaf_vals[m])
                     .map(|(&k, &v)| (v - model.predict(k)).abs())
                     .fold(0.0f64, f64::max);
-                let (lo, hi) = if leaf_lo[m] == u32::MAX {
-                    (0, 0)
-                } else {
-                    (leaf_lo[m], leaf_hi[m])
-                };
+                let (lo, hi) =
+                    if leaf_lo[m] == u32::MAX { (0, 0) } else { (leaf_lo[m], leaf_hi[m]) };
                 LeafMeta { model, max_err, lo, hi }
             })
             .collect();
@@ -250,6 +247,26 @@ impl Rmi {
     /// Total number of models across all stages.
     pub fn num_models(&self) -> usize {
         self.routers.iter().map(Vec::len).sum::<usize>() + self.leaves.len()
+    }
+}
+
+impl polyfit::AggregateIndex for Rmi {
+    fn name(&self) -> &'static str {
+        "RMI"
+    }
+
+    fn kind(&self) -> polyfit::AggregateKind {
+        polyfit::AggregateKind::Sum
+    }
+
+    fn query(&self, lq: f64, uq: f64) -> Option<polyfit::RangeAggregate> {
+        // Certified leaves answer by model, the rest by exact last-mile
+        // search — either way each endpoint is within δ (Appendix A).
+        Some(polyfit::RangeAggregate::absolute(Rmi::query(self, lq, uq), 2.0 * self.delta))
+    }
+
+    fn size_bytes(&self) -> usize {
+        Rmi::size_bytes(self)
     }
 }
 

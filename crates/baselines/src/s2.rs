@@ -52,12 +52,7 @@ impl S2Sampler {
             other => panic!("unsupported confidence {other}; use 0.8/0.9/0.95/0.99"),
         };
         let n = keys.len();
-        S2Sampler {
-            keys,
-            z,
-            min_samples: 100,
-            max_samples: (4 * n).max(10_000),
-        }
+        S2Sampler { keys, z, min_samples: 100, max_samples: (4 * n).max(10_000) }
     }
 
     /// Estimate the COUNT over `(lq, uq]` with an absolute-error target:
@@ -84,13 +79,7 @@ impl S2Sampler {
         })
     }
 
-    fn run(
-        &self,
-        lq: f64,
-        uq: f64,
-        seed: u64,
-        stop: impl Fn(f64, f64, f64) -> bool,
-    ) -> S2Estimate {
+    fn run(&self, lq: f64, uq: f64, seed: u64, stop: impl Fn(f64, f64, f64) -> bool) -> S2Estimate {
         let n = self.keys.len();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut hits = 0usize;
@@ -104,10 +93,7 @@ impl S2Sampler {
             if k >= self.min_samples {
                 let p_hat = hits as f64 / k as f64;
                 if stop(p_hat, k as f64, self.z) || k >= self.max_samples {
-                    return S2Estimate {
-                        value: p_hat * n as f64,
-                        samples: k,
-                    };
+                    return S2Estimate { value: p_hat * n as f64, samples: k };
                 }
             }
         }
@@ -135,9 +121,7 @@ impl S2Sampler2d {
     pub fn query_abs(&self, rect: (f64, f64, f64, f64), eps_abs: f64, seed: u64) -> S2Estimate {
         assert!(eps_abs > 0.0, "eps_abs must be positive");
         let n = self.points.len() as f64;
-        self.run(rect, seed, |p_hat, k, z| {
-            z * (p_hat * (1.0 - p_hat) / k).sqrt() * n <= eps_abs
-        })
+        self.run(rect, seed, |p_hat, k, z| z * (p_hat * (1.0 - p_hat) / k).sqrt() * n <= eps_abs)
     }
 
     /// Rectangle COUNT with a relative-error stopping rule.
@@ -172,6 +156,101 @@ impl S2Sampler2d {
                 }
             }
         }
+    }
+}
+
+/// Error target pinned into an [`S2Dispatch`] wrapper.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum S2Mode {
+    /// Stop when the CLT half-width meets an absolute target.
+    Abs(f64),
+    /// Stop when the CLT half-width meets a relative target.
+    Rel(f64),
+}
+
+/// Adapter answering [`polyfit::AggregateIndex`] queries with sequential
+/// sampling: the trait query carries no error target or seed, so both are
+/// pinned at wrap time (the seed keeps runs reproducible). The sampler sits
+/// behind `Rc` so several dispatch modes can share one copy of the data.
+#[derive(Clone, Debug)]
+pub struct S2Dispatch {
+    sampler: std::rc::Rc<S2Sampler>,
+    mode: S2Mode,
+    seed: u64,
+}
+
+impl S2Dispatch {
+    /// Wrap `sampler`, answering every trait query under `mode`.
+    pub fn new(sampler: impl Into<std::rc::Rc<S2Sampler>>, mode: S2Mode, seed: u64) -> Self {
+        S2Dispatch { sampler: sampler.into(), mode, seed }
+    }
+}
+
+impl polyfit::AggregateIndex for S2Dispatch {
+    fn name(&self) -> &'static str {
+        "S2"
+    }
+
+    fn kind(&self) -> polyfit::AggregateKind {
+        polyfit::AggregateKind::Count
+    }
+
+    fn query(&self, lq: f64, uq: f64) -> Option<polyfit::RangeAggregate> {
+        let est = match self.mode {
+            S2Mode::Abs(eps) => self.sampler.query_abs(lq, uq, eps, self.seed),
+            S2Mode::Rel(eps) => self.sampler.query_rel(lq, uq, eps, self.seed),
+        };
+        // The CLT bound holds only with the configured confidence.
+        Some(polyfit::RangeAggregate::heuristic(est.value))
+    }
+
+    fn size_bytes(&self) -> usize {
+        // S2 keeps no index — it probes the raw key array.
+        self.sampler.keys.len() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Two-key analogue of [`S2Dispatch`].
+#[derive(Clone, Debug)]
+pub struct S2Dispatch2d {
+    sampler: std::rc::Rc<S2Sampler2d>,
+    mode: S2Mode,
+    seed: u64,
+}
+
+impl S2Dispatch2d {
+    /// Wrap `sampler`, answering every trait query under `mode`.
+    pub fn new(sampler: impl Into<std::rc::Rc<S2Sampler2d>>, mode: S2Mode, seed: u64) -> Self {
+        S2Dispatch2d { sampler: sampler.into(), mode, seed }
+    }
+}
+
+impl polyfit::AggregateIndex2d for S2Dispatch2d {
+    fn name(&self) -> &'static str {
+        "S2"
+    }
+
+    fn kind(&self) -> polyfit::AggregateKind {
+        polyfit::AggregateKind::Count
+    }
+
+    fn query_rect(
+        &self,
+        u_lo: f64,
+        u_hi: f64,
+        v_lo: f64,
+        v_hi: f64,
+    ) -> Option<polyfit::RangeAggregate> {
+        let rect = (u_lo, u_hi, v_lo, v_hi);
+        let est = match self.mode {
+            S2Mode::Abs(eps) => self.sampler.query_abs(rect, eps, self.seed),
+            S2Mode::Rel(eps) => self.sampler.query_rel(rect, eps, self.seed),
+        };
+        Some(polyfit::RangeAggregate::heuristic(est.value))
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.sampler.points.len() * 2 * std::mem::size_of::<f64>()
     }
 }
 
@@ -219,10 +298,7 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let s = S2Sampler::new(keys(10_000));
-        assert_eq!(
-            s.query_abs(100.0, 5000.0, 200.0, 9),
-            s.query_abs(100.0, 5000.0, 200.0, 9)
-        );
+        assert_eq!(s.query_abs(100.0, 5000.0, 200.0, 9), s.query_abs(100.0, 5000.0, 200.0, 9));
     }
 
     #[test]
@@ -233,9 +309,8 @@ mod tests {
 
     #[test]
     fn two_key_abs_estimate() {
-        let pts: Vec<(f64, f64)> = (0..200u32)
-            .flat_map(|i| (0..200u32).map(move |j| (i as f64, j as f64)))
-            .collect();
+        let pts: Vec<(f64, f64)> =
+            (0..200u32).flat_map(|i| (0..200u32).map(move |j| (i as f64, j as f64))).collect();
         let s = S2Sampler2d::new(pts);
         // Quarter of the domain -> 10000 points.
         let est = s.query_abs((-1.0, 99.0, -1.0, 99.0), 500.0, 3);

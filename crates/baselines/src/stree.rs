@@ -61,6 +61,25 @@ impl STree {
     }
 }
 
+impl polyfit::AggregateIndex for STree {
+    fn name(&self) -> &'static str {
+        "S-tree"
+    }
+
+    fn kind(&self) -> polyfit::AggregateKind {
+        polyfit::AggregateKind::Count
+    }
+
+    fn query(&self, lq: f64, uq: f64) -> Option<polyfit::RangeAggregate> {
+        // Sampling scale-up carries no deterministic bound.
+        Some(polyfit::RangeAggregate::heuristic(STree::query(self, lq, uq)))
+    }
+
+    fn size_bytes(&self) -> usize {
+        STree::size_bytes(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

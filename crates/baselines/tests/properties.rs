@@ -27,7 +27,7 @@ proptest! {
 
     /// FITing-tree: every key is approximated within δ.
     #[test]
-    fn fiting_respects_delta((keys, values) in cumulative(120), delta in 0.5f64..30.0) {
+    fn fitting_respects_delta((keys, values) in cumulative(120), delta in 0.5f64..30.0) {
         let t = FitingTree::new(&keys, &values, delta);
         for (k, v) in keys.iter().zip(&values) {
             let err = (t.cf(*k) - v).abs();

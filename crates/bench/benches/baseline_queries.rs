@@ -7,15 +7,19 @@ use polyfit_data::{generate_tweet, query_intervals_from_keys};
 use polyfit_exact::dataset::{dedup_sum, sort_records, Record};
 
 fn bench_heuristics(c: &mut Criterion) {
-    let mut records: Vec<Record> = generate_tweet(200_000, 4)
-        .iter()
-        .map(|r| Record::new(r.key, r.measure))
-        .collect();
+    let mut records: Vec<Record> =
+        generate_tweet(200_000, 4).iter().map(|r| Record::new(r.key, r.measure)).collect();
     sort_records(&mut records);
     let records = dedup_sum(records);
     let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
     let mut acc = 0.0;
-    let values: Vec<f64> = records.iter().map(|r| { acc += r.measure; acc }).collect();
+    let values: Vec<f64> = records
+        .iter()
+        .map(|r| {
+            acc += r.measure;
+            acc
+        })
+        .collect();
     let queries = query_intervals_from_keys(&keys, 256, 9);
 
     let hist = EquiDepthHistogram::new(&keys, &values, 1024);

@@ -8,10 +8,8 @@ use polyfit_data::{generate_hki, generate_tweet};
 use polyfit_exact::dataset::{dedup_max, dedup_sum, sort_records, Record};
 
 fn tweet_records(n: usize) -> Vec<Record> {
-    let mut records: Vec<Record> = generate_tweet(n, 1)
-        .iter()
-        .map(|r| Record::new(r.key, r.measure))
-        .collect();
+    let mut records: Vec<Record> =
+        generate_tweet(n, 1).iter().map(|r| Record::new(r.key, r.measure)).collect();
     sort_records(&mut records);
     dedup_sum(records)
 }
@@ -20,7 +18,13 @@ fn bench_sum_construction(c: &mut Criterion) {
     let records = tweet_records(100_000);
     let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
     let mut acc = 0.0;
-    let values: Vec<f64> = records.iter().map(|r| { acc += r.measure; acc }).collect();
+    let values: Vec<f64> = records
+        .iter()
+        .map(|r| {
+            acc += r.measure;
+            acc
+        })
+        .collect();
 
     let mut g = c.benchmark_group("construction_count_100k");
     for deg in [1usize, 2, 3] {
@@ -30,17 +34,13 @@ fn bench_sum_construction(c: &mut Criterion) {
             })
         });
     }
-    g.bench_function("FITing-tree", |b| {
-        b.iter(|| FitingTree::new(&keys, &values, 50.0))
-    });
+    g.bench_function("FITing-tree", |b| b.iter(|| FitingTree::new(&keys, &values, 50.0)));
     g.finish();
 }
 
 fn bench_max_construction(c: &mut Criterion) {
-    let mut records: Vec<Record> = generate_hki(50_000, 2)
-        .iter()
-        .map(|r| Record::new(r.key, r.measure))
-        .collect();
+    let mut records: Vec<Record> =
+        generate_hki(50_000, 2).iter().map(|r| Record::new(r.key, r.measure)).collect();
     sort_records(&mut records);
     let records = dedup_max(records);
 

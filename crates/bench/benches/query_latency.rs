@@ -12,15 +12,19 @@ use polyfit_exact::{AggTree, KeyCumulativeArray};
 const N: usize = 200_000;
 
 fn prep_count() -> (Vec<Record>, Vec<f64>, Vec<f64>) {
-    let mut records: Vec<Record> = generate_tweet(N, 1)
-        .iter()
-        .map(|r| Record::new(r.key, r.measure))
-        .collect();
+    let mut records: Vec<Record> =
+        generate_tweet(N, 1).iter().map(|r| Record::new(r.key, r.measure)).collect();
     sort_records(&mut records);
     let records = dedup_sum(records);
     let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
     let mut acc = 0.0;
-    let values: Vec<f64> = records.iter().map(|r| { acc += r.measure; acc }).collect();
+    let values: Vec<f64> = records
+        .iter()
+        .map(|r| {
+            acc += r.measure;
+            acc
+        })
+        .collect();
     (records, keys, values)
 }
 
@@ -67,10 +71,8 @@ fn bench_count_query(c: &mut Criterion) {
 }
 
 fn bench_max_query(c: &mut Criterion) {
-    let mut records: Vec<Record> = generate_hki(N, 2)
-        .iter()
-        .map(|r| Record::new(r.key, r.measure))
-        .collect();
+    let mut records: Vec<Record> =
+        generate_hki(N, 2).iter().map(|r| Record::new(r.key, r.measure)).collect();
     sort_records(&mut records);
     let records = dedup_max(records);
     let keys: Vec<f64> = records.iter().map(|r| r.key).collect();

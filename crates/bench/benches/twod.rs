@@ -8,10 +8,8 @@ use polyfit_exact::dataset::Point2d;
 use polyfit_exact::ARTree;
 
 fn bench_twod(c: &mut Criterion) {
-    let points: Vec<Point2d> = generate_osm(500_000, 11)
-        .iter()
-        .map(|p| Point2d::new(p.u, p.v, p.w))
-        .collect();
+    let points: Vec<Point2d> =
+        generate_osm(500_000, 11).iter().map(|p| Point2d::new(p.u, p.v, p.w)).collect();
     let cfg = Quad2dConfig { grid_resolution: 512, ..Default::default() };
     let quad = QuadPolyFit::build(&points, 250.0, cfg).expect("build");
     let artree = ARTree::new(points);
@@ -39,10 +37,8 @@ fn bench_twod(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("build_2key_500k");
     g.sample_size(10);
-    let points: Vec<Point2d> = generate_osm(500_000, 11)
-        .iter()
-        .map(|p| Point2d::new(p.u, p.v, p.w))
-        .collect();
+    let points: Vec<Point2d> =
+        generate_osm(500_000, 11).iter().map(|p| Point2d::new(p.u, p.v, p.w)).collect();
     g.bench_function("quadtree_build", |b| {
         b.iter(|| QuadPolyFit::build(&points, 250.0, cfg).expect("build"))
     });

@@ -22,8 +22,10 @@ fn main() {
     let records = to_records(&generate_tweet(4000, 0x7EE7));
     let f = cumulative_function(records).expect("non-empty");
     for &(l, deg) in &[(50usize, 1usize), (50, 2), (200, 2), (200, 3), (800, 2)] {
-        let (_, e_ex) = fit_range(&f, 100, 100 + l - 1, deg, FitBackend::Exchange, ErrorMetric::DataPoint);
-        let (_, e_sx) = fit_range(&f, 100, 100 + l - 1, deg, FitBackend::Simplex, ErrorMetric::DataPoint);
+        let (_, e_ex) =
+            fit_range(&f, 100, 100 + l - 1, deg, FitBackend::Exchange, ErrorMetric::DataPoint);
+        let (_, e_sx) =
+            fit_range(&f, 100, 100 + l - 1, deg, FitBackend::Simplex, ErrorMetric::DataPoint);
         let rel = (e_ex - e_sx).abs() / e_sx.max(1e-12);
         agree.row(&[
             format!("{l}"),
@@ -67,14 +69,12 @@ fn main() {
         let records = to_records(&generate_tweet(n, 0x7EE7));
         let f = cumulative_function(records).expect("non-empty");
         let cfg = PolyFitConfig::default();
-        let (fast, fast_s) = time_it(|| greedy_segmentation(&f, &cfg, 25.0, ErrorMetric::DataPoint));
+        let (fast, fast_s) =
+            time_it(|| greedy_segmentation(&f, &cfg, 25.0, ErrorMetric::DataPoint));
         let (naive, naive_s) =
             time_it(|| greedy_segmentation_naive(&f, &cfg, 25.0, ErrorMetric::DataPoint));
         let same = fast.len() == naive.len()
-            && fast
-                .iter()
-                .zip(&naive)
-                .all(|(a, b)| (a.start, a.end) == (b.start, b.end));
+            && fast.iter().zip(&naive).all(|(a, b)| (a.start, a.end) == (b.start, b.end));
         gallop.row(&[
             format!("{n}"),
             format!("{:.1}", fast_s * 1e3),

@@ -42,9 +42,8 @@ fn main() {
         let mut seg_cells = Vec::new();
         for deg in 1..=3usize {
             let cfg = PolyFitConfig::with_degree(deg);
-            let (idx, secs) = time_it(|| {
-                PolyFitSum::build(sorted.clone(), eps / 2.0, cfg).expect("build")
-            });
+            let (idx, secs) =
+                time_it(|| PolyFitSum::build(sorted.clone(), eps / 2.0, cfg).expect("build"));
             let ns = measure_ns(&queries, 20, |q| idx.query(q.lo, q.hi));
             q_row.push(format!("{ns:.0}"));
             c_row.push(format!("{secs:.2}"));

@@ -28,7 +28,13 @@ fn main() {
     let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
     let values: Vec<f64> = {
         let mut acc = 0.0;
-        records.iter().map(|r| { acc += r.measure; acc }).collect()
+        records
+            .iter()
+            .map(|r| {
+                acc += r.measure;
+                acc
+            })
+            .collect()
     };
     let queries = query_intervals_from_keys(&keys, n_queries, 99);
 
@@ -64,19 +70,16 @@ fn main() {
         let delta = 50.0;
         let rmi = Rmi::new(keys.clone(), values.clone(), &[1, 10, 100, 1000], delta);
         let fit = FitingTree::new(&keys, &values, delta);
-        let pf = GuaranteedSum::with_rel_guarantee(records.clone(), delta, PolyFitConfig::default());
+        let pf =
+            GuaranteedSum::with_rel_guarantee(records.clone(), delta, PolyFitConfig::default());
         let exact = polyfit_exact::KeyCumulativeArray::new(&records);
         for &eps in &[0.005, 0.01, 0.05, 0.1, 0.2] {
             // RMI / FITing rel queries share the same certificate + exact
-            // fallback machinery (paper Appendix A).
-            let rmi_ns = measure_ns(&queries, 10, |q| {
-                let a = rmi.query(q.lo, q.hi);
-                if rmi.rel_certified(a, eps) { a } else { exact.range_sum(q.lo, q.hi) }
-            });
-            let fit_ns = measure_ns(&queries, 10, |q| {
-                let a = fit.query(q.lo, q.hi);
-                if fit.rel_certified(a, eps) { a } else { exact.range_sum(q.lo, q.hi) }
-            });
+            // fallback machinery (paper Appendix A), via CertifiedRelSum.
+            let rmi_rel = CertifiedRelSum::new(&rmi, &exact, delta, eps);
+            let fit_rel = CertifiedRelSum::new(&fit, &exact, delta, eps);
+            let rmi_ns = measure_ns(&queries, 10, |q| rmi_rel.query(q.lo, q.hi));
+            let fit_ns = measure_ns(&queries, 10, |q| fit_rel.query(q.lo, q.hi));
             let pf_ns = measure_ns(&queries, 10, |q| pf.query_rel(q.lo, q.hi, eps).value);
             t16a.row(&[
                 format!("{eps}"),
@@ -118,14 +121,16 @@ fn main() {
         &["eps_rel", "aR-tree", "PolyFit-2"],
     );
     {
-        let quad = Guaranteed2dCount::with_rel_guarantee(points.clone(), 250.0, Quad2dConfig::default())
-            .expect("build 2d index");
+        let quad =
+            Guaranteed2dCount::with_rel_guarantee(points.clone(), 250.0, Quad2dConfig::default())
+                .expect("build 2d index");
         for &eps in &[0.005, 0.01, 0.05, 0.1, 0.2] {
             let ar_ns = measure_ns(&rects, 3, |r| {
                 artree.range_count(&Rect::new(r.u_lo, r.u_hi, r.v_lo, r.v_hi))
             });
-            let pf_ns =
-                measure_ns(&rects, 3, |r| quad.query_rel(r.u_lo, r.u_hi, r.v_lo, r.v_hi, eps).value);
+            let pf_ns = measure_ns(&rects, 3, |r| {
+                quad.query_rel(r.u_lo, r.u_hi, r.v_lo, r.v_hi, eps).value
+            });
             t16b.row(&[format!("{eps}"), format!("{ar_ns:.0}"), format!("{pf_ns:.0}")]);
         }
     }

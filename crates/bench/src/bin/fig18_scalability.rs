@@ -37,7 +37,13 @@ fn main() {
         let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
         let values: Vec<f64> = {
             let mut acc = 0.0;
-            records.iter().map(|r| { acc += r.measure; acc }).collect()
+            records
+                .iter()
+                .map(|r| {
+                    acc += r.measure;
+                    acc
+                })
+                .collect()
         };
         let queries = query_intervals_from_keys(&keys, n_queries, 3);
         let exact = KeyCumulativeArray::new(&records);
@@ -47,14 +53,10 @@ fn main() {
         let fit = FitingTree::new(&keys, &values, delta);
         let pf = GuaranteedSum::with_rel_guarantee(records, delta, PolyFitConfig::default());
 
-        let rmi_ns = measure_ns(&queries, 5, |q| {
-            let a = rmi.query(q.lo, q.hi);
-            if rmi.rel_certified(a, eps_rel) { a } else { exact.range_sum(q.lo, q.hi) }
-        });
-        let fit_ns = measure_ns(&queries, 5, |q| {
-            let a = fit.query(q.lo, q.hi);
-            if fit.rel_certified(a, eps_rel) { a } else { exact.range_sum(q.lo, q.hi) }
-        });
+        let rmi_rel = CertifiedRelSum::new(rmi, &exact, delta, eps_rel);
+        let fit_rel = CertifiedRelSum::new(fit, &exact, delta, eps_rel);
+        let rmi_ns = measure_ns(&queries, 5, |q| rmi_rel.query(q.lo, q.hi));
+        let fit_ns = measure_ns(&queries, 5, |q| fit_rel.query(q.lo, q.hi));
         let pf_ns = measure_ns(&queries, 5, |q| pf.query_rel(q.lo, q.hi, eps_rel).value);
         t.row(&[
             format!("{}M", n / 1_000_000),

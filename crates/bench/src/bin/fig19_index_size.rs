@@ -18,7 +18,13 @@ fn main() {
     let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
     let values: Vec<f64> = {
         let mut acc = 0.0;
-        records.iter().map(|r| { acc += r.measure; acc }).collect()
+        records
+            .iter()
+            .map(|r| {
+                acc += r.measure;
+                acc
+            })
+            .collect()
     };
 
     let mut t = ResultsTable::new(

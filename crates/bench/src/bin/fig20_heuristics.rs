@@ -41,7 +41,13 @@ fn main() {
     let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
     let values: Vec<f64> = {
         let mut acc = 0.0;
-        records.iter().map(|r| { acc += r.measure; acc }).collect()
+        records
+            .iter()
+            .map(|r| {
+                acc += r.measure;
+                acc
+            })
+            .collect()
     };
     let queries = query_intervals_from_keys(&keys, n_queries, 55);
     let exact = KeyCumulativeArray::new(&records);

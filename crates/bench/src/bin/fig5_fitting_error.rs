@@ -22,10 +22,8 @@ fn main() {
     );
 
     // Linear regression (RMI's model family): least squares line.
-    let (mean_k, mean_v) = (
-        keys.iter().sum::<f64>() / n as f64,
-        values.iter().sum::<f64>() / n as f64,
-    );
+    let (mean_k, mean_v) =
+        (keys.iter().sum::<f64>() / n as f64, values.iter().sum::<f64>() / n as f64);
     let (mut cov, mut var) = (0.0, 0.0);
     for (k, v) in keys.iter().zip(&values) {
         cov += (k - mean_k) * (v - mean_v);

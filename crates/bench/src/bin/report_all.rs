@@ -7,25 +7,30 @@
 use std::process::Command;
 
 fn main() {
-    let exe_dir = std::env::current_exe()
-        .expect("own path")
-        .parent()
-        .expect("bin dir")
-        .to_path_buf();
+    let exe_dir =
+        std::env::current_exe().expect("own path").parent().expect("bin dir").to_path_buf();
     let runs: &[(&str, &[&str])] = &[
         ("fig5_fitting_error", &[]),
         ("table2_segmentation", &[]),
         ("fig14_degree", &["--tweet", "100000", "--hki", "100000", "--queries", "500"]),
-        (
-            "fig15_16_count_sweeps",
-            &["--tweet", "100000", "--osm", "500000", "--queries", "500"],
-        ),
+        ("fig15_16_count_sweeps", &["--tweet", "100000", "--osm", "500000", "--queries", "500"]),
         ("fig17_max_sweeps", &["--hki", "100000", "--queries", "500"]),
         ("fig19_index_size", &["--tweet", "100000"]),
         ("fig20_heuristics", &["--tweet", "100000", "--queries", "500"]),
         (
             "table5_all_methods",
-            &["--tweet", "100000", "--hki", "100000", "--osm", "500000", "--queries", "300", "--s2-queries", "10"],
+            &[
+                "--tweet",
+                "100000",
+                "--hki",
+                "100000",
+                "--osm",
+                "500000",
+                "--queries",
+                "300",
+                "--s2-queries",
+                "10",
+            ],
         ),
         ("table6_model_selection", &["--tweet", "50000", "--train", "10000", "--queries", "200"]),
         ("ablation_fitting", &[]),

@@ -4,30 +4,119 @@
 //! parameters: ε_abs = 100 (single key) / 1000 (two keys); ε_rel = 0.01;
 //! PolyFit's Problem-2 δ = 50 (single key) / 250 (two keys).
 //!
+//! Every method is benchmarked through the [`AggregateIndex`] /
+//! [`AggregateIndex2d`] trait objects — one generic timing loop, no
+//! per-method dispatch arms.
+//!
 //! Usage: `cargo run --release -p polyfit-bench --bin table5_all_methods
 //!         [--tweet 1000000] [--hki 900000] [--osm 10000000]`
 
 use polyfit::prelude::*;
 use polyfit::twod::Quad2dConfig;
-use polyfit::{Guaranteed2dCount, GuaranteedMax, GuaranteedSum};
-use polyfit_baselines::{FitingTree, Rmi, S2Sampler, S2Sampler2d};
+use polyfit::CertifiedRelSum;
+use polyfit_baselines::{
+    FitingTree, Rmi, S2Dispatch, S2Dispatch2d, S2Mode, S2Sampler, S2Sampler2d,
+};
 use polyfit_bench::{arg_usize, fmt_ns, measure_ns, to_points, to_records, ResultsTable};
 use polyfit_data::{
     generate_hki, generate_osm, generate_tweet, query_intervals_from_keys, query_rectangles,
+    QueryInterval, QueryRect,
 };
-use polyfit_exact::artree::Rect;
-use polyfit_exact::{AggTree, ARTree, KeyCumulativeArray};
+use polyfit_exact::{ARTree, AggTree, KeyCumulativeArray};
+
+/// Table columns, in print order.
+const COLUMNS: [&str; 5] = ["S2", "aR-tree", "RMI", "FITing-tree", "PolyFit"];
+
+/// One method occupying a column of a row: the boxed index plus its
+/// timing knobs (S2 runs ~10⁶× slower than the index methods, so it gets
+/// fewer queries and no repeats).
+struct Method {
+    index: Box<dyn AggregateIndex>,
+    repeats: usize,
+    query_cap: usize,
+}
+
+impl Method {
+    fn fast(index: Box<dyn AggregateIndex>) -> Self {
+        Method { index, repeats: 10, query_cap: usize::MAX }
+    }
+
+    fn slow(index: Box<dyn AggregateIndex>, query_cap: usize) -> Self {
+        Method { index, repeats: 1, query_cap }
+    }
+}
+
+/// One method of a two-key row.
+struct Method2d {
+    index: Box<dyn AggregateIndex2d>,
+    repeats: usize,
+    query_cap: usize,
+}
+
+impl Method2d {
+    fn fast(index: Box<dyn AggregateIndex2d>) -> Self {
+        Method2d { index, repeats: 3, query_cap: usize::MAX }
+    }
+
+    fn slow(index: Box<dyn AggregateIndex2d>, query_cap: usize) -> Self {
+        Method2d { index, repeats: 1, query_cap }
+    }
+}
+
+/// Time every column of a single-key row through the trait.
+fn row_1d(
+    table: &mut ResultsTable,
+    problem: &str,
+    query_type: &str,
+    queries: &[QueryInterval],
+    methods: [Option<Method>; COLUMNS.len()],
+) {
+    let mut cells = vec![problem.to_string(), query_type.to_string()];
+    for method in methods {
+        cells.push(match method {
+            None => "n/a".into(),
+            Some(m) => {
+                let qs = &queries[..m.query_cap.min(queries.len())];
+                fmt_ns(measure_ns(qs, m.repeats, |q| m.index.query(q.lo, q.hi)))
+            }
+        });
+    }
+    table.row(&cells);
+}
+
+/// Time every column of a two-key row through the trait.
+fn row_2d(
+    table: &mut ResultsTable,
+    problem: &str,
+    query_type: &str,
+    rects: &[QueryRect],
+    methods: [Option<Method2d>; COLUMNS.len()],
+) {
+    let mut cells = vec![problem.to_string(), query_type.to_string()];
+    for method in methods {
+        cells.push(match method {
+            None => "n/a".into(),
+            Some(m) => {
+                let rs = &rects[..m.query_cap.min(rects.len())];
+                fmt_ns(measure_ns(rs, m.repeats, |r| {
+                    m.index.query_rect(r.u_lo, r.u_hi, r.v_lo, r.v_hi)
+                }))
+            }
+        });
+    }
+    table.row(&cells);
+}
 
 fn main() {
     let tweet_n = arg_usize("tweet", 1_000_000);
     let hki_n = arg_usize("hki", 900_000);
     let osm_n = arg_usize("osm", 10_000_000);
     let n_queries = arg_usize("queries", 1000);
-    let s2_queries = arg_usize("s2-queries", 50); // S2 is ~10^6 × slower
+    let s2_queries = arg_usize("s2-queries", 50);
 
     let mut table = ResultsTable::new(
         "Table V — response time (ns) for all methods with error guarantees",
-        &["problem", "query type", "S2", "aR-tree", "RMI", "FITing-tree", "PolyFit"],
+        &["problem", "query type", COLUMNS[0], COLUMNS[1], COLUMNS[2], COLUMNS[3], COLUMNS[4]],
     );
 
     // ============ COUNT, single key (TWEET) ============
@@ -38,58 +127,80 @@ fn main() {
     let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
     let values: Vec<f64> = {
         let mut acc = 0.0;
-        records.iter().map(|r| { acc += r.measure; acc }).collect()
+        records
+            .iter()
+            .map(|r| {
+                acc += r.measure;
+                acc
+            })
+            .collect()
     };
     let queries = query_intervals_from_keys(&keys, n_queries, 99);
-    let exact = KeyCumulativeArray::new(&records);
-    let s2 = S2Sampler::new(keys.clone());
+    let delta = 50.0;
+    let eps_rel = 0.01;
 
-    // Problem 1 (eps_abs = 100 → delta = 50).
-    {
-        let delta = 50.0;
-        let rmi = Rmi::new(keys.clone(), values.clone(), &[1, 10, 100, 1000], delta);
-        let fit = FitingTree::new(&keys, &values, delta);
-        let pf = GuaranteedSum::with_abs_guarantee(records.clone(), 100.0, PolyFitConfig::default());
-        let s2_ns = measure_ns(&queries[..s2_queries.min(queries.len())], 1, |q| {
-            s2.query_abs(q.lo, q.hi, 100.0, 1)
-        });
-        table.row(&[
-            "1".into(),
-            "COUNT (single key)".into(),
-            fmt_ns(s2_ns),
-            "n/a".into(),
-            fmt_ns(measure_ns(&queries, 10, |q| rmi.query(q.lo, q.hi))),
-            fmt_ns(measure_ns(&queries, 10, |q| fit.query(q.lo, q.hi))),
-            fmt_ns(measure_ns(&queries, 10, |q| pf.query_abs(q.lo, q.hi))),
-        ]);
-    }
-    // Problem 2 (eps_rel = 0.01, delta = 50).
-    {
-        let delta = 50.0;
-        let eps = 0.01;
-        let rmi = Rmi::new(keys.clone(), values.clone(), &[1, 10, 100, 1000], delta);
-        let fit = FitingTree::new(&keys, &values, delta);
-        let pf = GuaranteedSum::with_rel_guarantee(records.clone(), delta, PolyFitConfig::default());
-        let s2_ns = measure_ns(&queries[..s2_queries.min(queries.len())], 1, |q| {
-            s2.query_rel(q.lo, q.hi, eps, 1)
-        });
-        table.row(&[
-            "2".into(),
-            "COUNT (single key)".into(),
-            fmt_ns(s2_ns),
-            "n/a".into(),
-            fmt_ns(measure_ns(&queries, 10, |q| {
-                let a = rmi.query(q.lo, q.hi);
-                if rmi.rel_certified(a, eps) { a } else { exact.range_sum(q.lo, q.hi) }
-            })),
-            fmt_ns(measure_ns(&queries, 10, |q| {
-                let a = fit.query(q.lo, q.hi);
-                if fit.rel_certified(a, eps) { a } else { exact.range_sum(q.lo, q.hi) }
-            })),
-            fmt_ns(measure_ns(&queries, 10, |q| pf.query_rel(q.lo, q.hi, eps).value)),
-        ]);
-    }
-    drop(exact);
+    // Problem 1 (ε_abs = 100 → δ = 50).
+    row_1d(
+        &mut table,
+        "1",
+        "COUNT (single key)",
+        &queries,
+        [
+            Some(Method::slow(
+                Box::new(S2Dispatch::new(S2Sampler::new(keys.clone()), S2Mode::Abs(100.0), 1)),
+                s2_queries,
+            )),
+            None,
+            Some(Method::fast(Box::new(Rmi::new(
+                keys.clone(),
+                values.clone(),
+                &[1, 10, 100, 1000],
+                delta,
+            )))),
+            Some(Method::fast(Box::new(FitingTree::new(&keys, &values, delta)))),
+            Some(Method::fast(Box::new(GuaranteedSum::with_abs_guarantee(
+                records.clone(),
+                100.0,
+                PolyFitConfig::default(),
+            )))),
+        ],
+    );
+
+    // Problem 2 (ε_rel = 0.01, δ = 50): approximate methods share one
+    // exact key-cumulative array as their Lemma 3 fallback.
+    let kca = std::rc::Rc::new(KeyCumulativeArray::new(&records));
+    row_1d(
+        &mut table,
+        "2",
+        "COUNT (single key)",
+        &queries,
+        [
+            Some(Method::slow(
+                Box::new(S2Dispatch::new(S2Sampler::new(keys.clone()), S2Mode::Rel(eps_rel), 1)),
+                s2_queries,
+            )),
+            None,
+            Some(Method::fast(Box::new(CertifiedRelSum::new(
+                Rmi::new(keys.clone(), values.clone(), &[1, 10, 100, 1000], delta),
+                std::rc::Rc::clone(&kca),
+                delta,
+                eps_rel,
+            )))),
+            Some(Method::fast(Box::new(CertifiedRelSum::new(
+                FitingTree::new(&keys, &values, delta),
+                std::rc::Rc::clone(&kca),
+                delta,
+                eps_rel,
+            )))),
+            Some(Method::fast(Box::new(RelDispatch::new(
+                GuaranteedSum::with_rel_guarantee(records.clone(), delta, PolyFitConfig::default()),
+                eps_rel,
+            )))),
+        ],
+    );
+    drop(records);
+    drop(values);
+    drop(kca);
 
     // ============ MAX, single key (HKI) ============
     println!("== MAX single key (HKI {hki_n}) ==");
@@ -98,74 +209,90 @@ fn main() {
     let hki = polyfit_exact::dataset::dedup_max(hki);
     let hkeys: Vec<f64> = hki.iter().map(|r| r.key).collect();
     let hqueries = query_intervals_from_keys(&hkeys, n_queries, 41);
-    let tree = AggTree::new(&hki);
-    {
-        let pf = GuaranteedMax::with_abs_guarantee(hki.clone(), 100.0, PolyFitConfig::default());
-        table.row(&[
-            "1".into(),
-            "MAX (single key)".into(),
-            "n/a".into(),
-            fmt_ns(measure_ns(&hqueries, 10, |q| tree.range_max(q.lo, q.hi))),
-            "n/a".into(),
-            "n/a".into(),
-            fmt_ns(measure_ns(&hqueries, 10, |q| pf.query_abs(q.lo, q.hi))),
-        ]);
-        let pf2 = GuaranteedMax::with_rel_guarantee(hki.clone(), 50.0, PolyFitConfig::default());
-        table.row(&[
-            "2".into(),
-            "MAX (single key)".into(),
-            "n/a".into(),
-            fmt_ns(measure_ns(&hqueries, 10, |q| tree.range_max(q.lo, q.hi))),
-            "n/a".into(),
-            "n/a".into(),
-            fmt_ns(measure_ns(&hqueries, 10, |q| pf2.query_rel(q.lo, q.hi, 0.01))),
-        ]);
-    }
+    let tree = std::rc::Rc::new(AggTree::new(&hki));
+
+    row_1d(
+        &mut table,
+        "1",
+        "MAX (single key)",
+        &hqueries,
+        [
+            None,
+            Some(Method::fast(Box::new(std::rc::Rc::clone(&tree)))),
+            None,
+            None,
+            Some(Method::fast(Box::new(GuaranteedMax::with_abs_guarantee(
+                hki.clone(),
+                100.0,
+                PolyFitConfig::default(),
+            )))),
+        ],
+    );
+    row_1d(
+        &mut table,
+        "2",
+        "MAX (single key)",
+        &hqueries,
+        [
+            None,
+            Some(Method::fast(Box::new(std::rc::Rc::clone(&tree)))),
+            None,
+            None,
+            Some(Method::fast(Box::new(RelDispatch::new(
+                GuaranteedMax::with_rel_guarantee(hki.clone(), delta, PolyFitConfig::default()),
+                eps_rel,
+            )))),
+        ],
+    );
+    drop(hki);
 
     // ============ COUNT, two keys (OSM) ============
     println!("== COUNT two keys (OSM {osm_n}) ==");
     let points = to_points(&generate_osm(osm_n, 0x05E4));
     let rects = query_rectangles((-180.0, 180.0, -60.0, 75.0), n_queries, 0.25, 7);
     println!("building aR-tree...");
-    let artree = ARTree::new(points.clone());
-    let s2d = S2Sampler2d::new(points.iter().map(|p| (p.u, p.v)).collect());
-    {
-        println!("building 2-D PolyFit (abs)...");
-        let quad = Guaranteed2dCount::with_abs_guarantee(&points, 1000.0, Quad2dConfig::default())
+    let artree = std::rc::Rc::new(ARTree::new(points.clone()));
+    let s2d = std::rc::Rc::new(S2Sampler2d::new(points.iter().map(|p| (p.u, p.v)).collect()));
+
+    println!("building 2-D PolyFit (abs)...");
+    let quad_abs = Guaranteed2dCount::with_abs_guarantee(&points, 1000.0, Quad2dConfig::default())
+        .expect("2d build");
+    row_2d(
+        &mut table,
+        "1",
+        "COUNT (two keys)",
+        &rects,
+        [
+            Some(Method2d::slow(
+                Box::new(S2Dispatch2d::new(std::rc::Rc::clone(&s2d), S2Mode::Abs(1000.0), 1)),
+                s2_queries,
+            )),
+            Some(Method2d::fast(Box::new(std::rc::Rc::clone(&artree)))),
+            None,
+            None,
+            Some(Method2d::fast(Box::new(quad_abs))),
+        ],
+    );
+
+    println!("building 2-D PolyFit (rel)...");
+    let quad_rel =
+        Guaranteed2dCount::with_rel_guarantee(points.clone(), 250.0, Quad2dConfig::default())
             .expect("2d build");
-        let s2_ns = measure_ns(&rects[..s2_queries.min(rects.len())], 1, |r| {
-            s2d.query_abs((r.u_lo, r.u_hi, r.v_lo, r.v_hi), 1000.0, 1)
-        });
-        table.row(&[
-            "1".into(),
-            "COUNT (two keys)".into(),
-            fmt_ns(s2_ns),
-            fmt_ns(measure_ns(&rects, 3, |r| {
-                artree.range_count(&Rect::new(r.u_lo, r.u_hi, r.v_lo, r.v_hi))
-            })),
-            "n/a".into(),
-            "n/a".into(),
-            fmt_ns(measure_ns(&rects, 3, |r| quad.query_abs(r.u_lo, r.u_hi, r.v_lo, r.v_hi))),
-        ]);
-        println!("building 2-D PolyFit (rel)...");
-        let quad2 = Guaranteed2dCount::with_rel_guarantee(points.clone(), 250.0, Quad2dConfig::default())
-            .expect("2d build");
-        let s2_ns = measure_ns(&rects[..s2_queries.min(rects.len())], 1, |r| {
-            s2d.query_rel((r.u_lo, r.u_hi, r.v_lo, r.v_hi), 0.01, 1)
-        });
-        table.row(&[
-            "2".into(),
-            "COUNT (two keys)".into(),
-            fmt_ns(s2_ns),
-            fmt_ns(measure_ns(&rects, 3, |r| {
-                artree.range_count(&Rect::new(r.u_lo, r.u_hi, r.v_lo, r.v_hi))
-            })),
-            "n/a".into(),
-            "n/a".into(),
-            fmt_ns(measure_ns(&rects, 3, |r| {
-                quad2.query_rel(r.u_lo, r.u_hi, r.v_lo, r.v_hi, 0.01).value
-            })),
-        ]);
-    }
+    row_2d(
+        &mut table,
+        "2",
+        "COUNT (two keys)",
+        &rects,
+        [
+            Some(Method2d::slow(
+                Box::new(S2Dispatch2d::new(std::rc::Rc::clone(&s2d), S2Mode::Rel(eps_rel), 1)),
+                s2_queries,
+            )),
+            Some(Method2d::fast(Box::new(artree))),
+            None,
+            None,
+            Some(Method2d::fast(Box::new(RelDispatch2d::new(quad_rel, eps_rel)))),
+        ],
+    );
     table.emit("table5_all_methods");
 }

@@ -51,9 +51,7 @@ impl fmt::Display for ParseError {
 }
 
 fn flag_value<'a>(argv: &'a [String], flag: &str) -> Option<&'a str> {
-    argv.windows(2)
-        .find(|w| w[0] == flag)
-        .map(|w| w[1].as_str())
+    argv.windows(2).find(|w| w[0] == flag).map(|w| w[1].as_str())
 }
 
 fn required<'a>(argv: &'a [String], flag: &str) -> Result<&'a str, ParseError> {
@@ -61,8 +59,7 @@ fn required<'a>(argv: &'a [String], flag: &str) -> Result<&'a str, ParseError> {
 }
 
 fn parse_f64(s: &str, flag: &str) -> Result<f64, ParseError> {
-    s.parse()
-        .map_err(|_| ParseError(format!("{flag} expects a number, got '{s}'")))
+    s.parse().map_err(|_| ParseError(format!("{flag} expects a number, got '{s}'")))
 }
 
 /// Parse an argv (without the program name) into a [`Command`].
@@ -111,9 +108,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             lo: parse_f64(required(argv, "--lo")?, "--lo")?,
             hi: parse_f64(required(argv, "--hi")?, "--hi")?,
         }),
-        "info" => Ok(Command::Info {
-            index: required(argv, "--index")?.to_string(),
-        }),
+        "info" => Ok(Command::Info { index: required(argv, "--index")?.to_string() }),
         other => Err(ParseError(format!("unknown subcommand '{other}'"))),
     }
 }
@@ -147,10 +142,8 @@ mod tests {
 
     #[test]
     fn build_defaults() {
-        let cmd = parse(&argv(
-            "build --input d.csv --output i.pf --aggregate count --eps-abs 10",
-        ))
-        .unwrap();
+        let cmd = parse(&argv("build --input d.csv --output i.pf --aggregate count --eps-abs 10"))
+            .unwrap();
         match cmd {
             Command::Build { degree, backend, aggregate, .. } => {
                 assert_eq!(degree, 2);
@@ -177,9 +170,15 @@ mod tests {
     fn rejects_bad_input() {
         assert!(parse(&argv("")).is_err());
         assert!(parse(&argv("frobnicate")).is_err());
-        assert!(parse(&argv("build --input d.csv --output i.pf --aggregate avg --eps-abs 1")).is_err());
-        assert!(parse(&argv("build --input d.csv --output i.pf --aggregate sum --eps-abs -1")).is_err());
-        assert!(parse(&argv("build --input d.csv --output i.pf --aggregate sum --eps-abs x")).is_err());
+        assert!(
+            parse(&argv("build --input d.csv --output i.pf --aggregate avg --eps-abs 1")).is_err()
+        );
+        assert!(
+            parse(&argv("build --input d.csv --output i.pf --aggregate sum --eps-abs -1")).is_err()
+        );
+        assert!(
+            parse(&argv("build --input d.csv --output i.pf --aggregate sum --eps-abs x")).is_err()
+        );
         assert!(parse(&argv("query --index i.pf --lo 1")).is_err());
         assert!(parse(&argv(
             "build --input d.csv --output i.pf --aggregate sum --eps-abs 1 --backend magic"

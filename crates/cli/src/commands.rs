@@ -3,7 +3,7 @@
 use std::fs;
 
 use polyfit::prelude::*;
-use polyfit::{PolyFitMax, PolyFitSum};
+use polyfit::{Extremum, PolyFitMax, PolyFitSum};
 
 use crate::args::{Aggregate, Command};
 use crate::csv;
@@ -12,8 +12,19 @@ use crate::csv;
 fn kind_of(bytes: &[u8]) -> Option<&'static str> {
     match bytes.get(..4) {
         Some(b"PFS1") => Some("sum"),
-        Some(b"PFM1") => Some("max"),
+        Some(b"PFM2") => Some("max"),
         _ => None,
+    }
+}
+
+/// Decode an index file into a trait object: the one place the on-disk
+/// format is inspected. Everything downstream dispatches through
+/// [`AggregateIndex`].
+fn load_index(bytes: &[u8]) -> Result<Box<dyn AggregateIndex>, String> {
+    match kind_of(bytes) {
+        Some("sum") => Ok(Box::new(PolyFitSum::from_bytes(bytes).map_err(|e| e.to_string())?)),
+        Some("max") => Ok(Box::new(PolyFitMax::from_bytes(bytes).map_err(|e| e.to_string())?)),
+        _ => Err("not a PolyFit index file".into()),
     }
 }
 
@@ -29,19 +40,16 @@ fn backend_of(name: &str) -> FitBackend {
 pub fn run(cmd: Command) -> Result<(), String> {
     match cmd {
         Command::Build { input, output, aggregate, eps_abs, degree, backend } => {
-            let text = fs::read_to_string(&input)
-                .map_err(|e| format!("cannot read {input}: {e}"))?;
+            let text =
+                fs::read_to_string(&input).map_err(|e| format!("cannot read {input}: {e}"))?;
             let mut records = csv::parse_records(&text)?;
             if aggregate == Aggregate::Count {
                 for r in &mut records {
                     r.measure = 1.0;
                 }
             }
-            let config = PolyFitConfig {
-                degree,
-                backend: backend_of(&backend),
-                ..Default::default()
-            };
+            let config =
+                PolyFitConfig { degree, backend: backend_of(&backend), ..Default::default() };
             config.validate().map_err(|e| e.to_string())?;
             let (bytes, segments, kind) = match aggregate {
                 Aggregate::Sum | Aggregate::Count => {
@@ -52,41 +60,28 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 }
                 Aggregate::Max => {
                     // Lemma 4: δ = ε_abs.
-                    let idx = PolyFitMax::build(records, eps_abs, config)
-                        .map_err(|e| e.to_string())?;
+                    let idx =
+                        PolyFitMax::build(records, eps_abs, config).map_err(|e| e.to_string())?;
                     (idx.to_bytes(), idx.num_segments(), "max")
                 }
                 Aggregate::Min => {
                     let idx = PolyFitMax::build_min(records, eps_abs, config)
                         .map_err(|e| e.to_string())?;
-                    (idx.to_bytes(), idx.num_segments(), "min (max-file)")
+                    (idx.to_bytes(), idx.num_segments(), "min")
                 }
             };
             fs::write(&output, &bytes).map_err(|e| format!("cannot write {output}: {e}"))?;
-            println!(
-                "built {kind} index: {segments} segments, {} bytes -> {output}",
-                bytes.len()
-            );
+            println!("built {kind} index: {segments} segments, {} bytes -> {output}", bytes.len());
             Ok(())
         }
         Command::Query { index, lo, hi } => {
             let bytes = fs::read(&index).map_err(|e| format!("cannot read {index}: {e}"))?;
-            match kind_of(&bytes) {
-                Some("sum") => {
-                    let idx = PolyFitSum::from_bytes(&bytes).map_err(|e| e.to_string())?;
-                    println!("{}", idx.query(lo, hi));
-                    Ok(())
-                }
-                Some("max") => {
-                    let idx = PolyFitMax::from_bytes(&bytes).map_err(|e| e.to_string())?;
-                    match idx.query_max(lo, hi) {
-                        Some(v) => println!("{v}"),
-                        None => println!("NaN  # range outside the key domain"),
-                    }
-                    Ok(())
-                }
-                _ => Err(format!("{index} is not a PolyFit index file")),
+            let idx = load_index(&bytes).map_err(|e| format!("{index} is {e}"))?;
+            match idx.query(lo, hi) {
+                Some(ans) => println!("{}", ans.value),
+                None => println!("NaN  # range outside the key domain"),
             }
+            Ok(())
         }
         Command::Info { index } => {
             let bytes = fs::read(&index).map_err(|e| format!("cannot read {index}: {e}"))?;
@@ -103,7 +98,10 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 }
                 Some("max") => {
                     let idx = PolyFitMax::from_bytes(&bytes).map_err(|e| e.to_string())?;
-                    println!("kind:      MAX/MIN (staircase extremum queries)");
+                    match idx.orientation() {
+                        Extremum::Max => println!("kind:      MAX (staircase extremum queries)"),
+                        Extremum::Min => println!("kind:      MIN (staircase extremum queries)"),
+                    }
                     println!("segments:  {}", idx.num_segments());
                     println!("delta:     {} (answers within δ, any endpoints)", idx.delta());
                     println!("domain:    [{}, {}]", idx.domain().0, idx.domain().1);
@@ -155,9 +153,8 @@ mod tests {
     fn end_to_end_max_roundtrip() {
         let data = tmp("max.csv");
         let idx = tmp("max.pf");
-        let rows: String = (0..1000)
-            .map(|i| format!("{i},{}\n", 100.0 + (i as f64 * 0.1).sin() * 30.0))
-            .collect();
+        let rows: String =
+            (0..1000).map(|i| format!("{i},{}\n", 100.0 + (i as f64 * 0.1).sin() * 30.0)).collect();
         fs::write(&data, rows).unwrap();
         run(parse(&argv(&format!(
             "build --input {data} --output {idx} --aggregate max --eps-abs 5"
@@ -168,6 +165,25 @@ mod tests {
         assert_eq!(kind_of(&bytes), Some("max"));
         let loaded = PolyFitMax::from_bytes(&bytes).unwrap();
         assert!(loaded.query_max(100.0, 900.0).is_some());
+    }
+
+    #[test]
+    fn min_index_answers_minima_through_query_path() {
+        let data = tmp("min.csv");
+        let idx = tmp("min.pf");
+        // Alternating measures 3 / 9: MIN over any window ≈ 3, MAX ≈ 9.
+        let rows: String =
+            (0..500).map(|i| format!("{i},{}\n", if i % 2 == 0 { 3 } else { 9 })).collect();
+        fs::write(&data, rows).unwrap();
+        run(parse(&argv(&format!(
+            "build --input {data} --output {idx} --aggregate min --eps-abs 1"
+        )))
+        .unwrap())
+        .unwrap();
+        let loaded = load_index(&fs::read(&idx).unwrap()).unwrap();
+        let ans = loaded.query(50.0, 400.0).unwrap();
+        assert!((ans.value - 3.0).abs() <= 1.0 + 1e-9, "min query answered {}", ans.value);
+        run(parse(&argv(&format!("info --index {idx}"))).unwrap()).unwrap();
     }
 
     #[test]

@@ -22,9 +22,9 @@ pub fn parse_records(text: &str) -> Result<Vec<Record>, String> {
         };
         let measure: f64 = match measure_s {
             None | Some("") => 1.0,
-            Some(m) => m
-                .parse()
-                .map_err(|_| format!("line {}: invalid measure '{m}'", lineno + 1))?,
+            Some(m) => {
+                m.parse().map_err(|_| format!("line {}: invalid measure '{m}'", lineno + 1))?
+            }
         };
         if !key.is_finite() || !measure.is_finite() {
             return Err(format!("line {}: non-finite value", lineno + 1));

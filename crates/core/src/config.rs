@@ -23,11 +23,7 @@ pub struct PolyFitConfig {
 
 impl Default for PolyFitConfig {
     fn default() -> Self {
-        PolyFitConfig {
-            degree: 2,
-            backend: FitBackend::Exchange,
-            max_segment_len: None,
-        }
+        PolyFitConfig { degree: 2, backend: FitBackend::Exchange, max_segment_len: None }
     }
 }
 

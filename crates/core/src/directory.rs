@@ -1,0 +1,164 @@
+//! The generic segment-directory core shared by every 1-D PolyFit index.
+//!
+//! [`PolyFitSum`](crate::index_sum::PolyFitSum) and
+//! [`PolyFitMax`](crate::index_max::PolyFitMax) both store the same thing:
+//! the segments produced by δ-certified segmentation, plus a sorted array
+//! of their `lo_key`s used as an `O(log h)` search directory (paper
+//! Fig. 6). Historically each index carried its own copy of the
+//! spec→segment assembly and the binary-search lookup; this module is the
+//! single implementation both build on.
+
+use crate::function::TargetFunction;
+use crate::segment::Segment;
+use crate::segmentation::SegmentSpec;
+
+/// Sorted, tiling polynomial segments plus their search directory.
+#[derive(Clone, Debug)]
+pub struct SegmentDirectory {
+    /// `lo_key` of each segment, ascending — the binary-search directory.
+    lo_keys: Vec<f64>,
+    segments: Vec<Segment>,
+}
+
+impl SegmentDirectory {
+    /// Assemble segments from segmentation output: each spec becomes a
+    /// [`Segment`] carrying its fitted polynomial, certified error, and the
+    /// exact value extrema over its covered points (the per-segment
+    /// aggregates MAX queries and diagnostics rely on).
+    pub fn from_specs(f: &TargetFunction, specs: Vec<SegmentSpec>) -> Self {
+        let mut lo_keys = Vec::with_capacity(specs.len());
+        let mut segments = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let lo_key = f.keys[spec.start];
+            let hi_key = f.keys[spec.end];
+            let values = &f.values[spec.start..=spec.end];
+            let value_max = values.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+            let value_min = values.iter().fold(f64::INFINITY, |m, &v| m.min(v));
+            lo_keys.push(lo_key);
+            segments.push(Segment {
+                lo_key,
+                hi_key,
+                poly: spec.fit.poly,
+                error: spec.certified_error,
+                value_max,
+                value_min,
+            });
+        }
+        SegmentDirectory { lo_keys, segments }
+    }
+
+    /// Rebuild the directory over already-assembled segments (the
+    /// deserialization path). Segments must be sorted and tiling.
+    pub fn from_segments(segments: Vec<Segment>) -> Self {
+        let lo_keys = segments.iter().map(|s| s.lo_key).collect();
+        SegmentDirectory { lo_keys, segments }
+    }
+
+    /// Index of the segment owning `k` — the last segment whose `lo_key`
+    /// is ≤ `k` — or `None` left of the first segment.
+    #[inline]
+    pub fn locate(&self, k: f64) -> Option<usize> {
+        match self.lo_keys.partition_point(|&lo| lo <= k) {
+            0 => None,
+            i => Some(i - 1),
+        }
+    }
+
+    /// The segment owning `k` (see [`Self::locate`]).
+    #[inline]
+    pub fn segment_for(&self, k: f64) -> Option<&Segment> {
+        self.locate(k).map(|i| &self.segments[i])
+    }
+
+    /// Number of segments `h`.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True when the directory holds no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// All segments, ascending by key.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Segment at position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &Segment {
+        &self.segments[i]
+    }
+
+    /// Largest certified per-segment error (≤ δ by construction).
+    pub fn max_certified_error(&self) -> f64 {
+        self.segments.iter().fold(0.0, |m, s| m.max(s.error))
+    }
+
+    /// Logical serialized size of the segments themselves (directory keys
+    /// are derived from segment bounds, so they cost nothing extra).
+    pub fn segments_logical_bytes(&self) -> usize {
+        self.segments.iter().map(Segment::logical_size_bytes).sum()
+    }
+
+    /// Per-segment `(value_max, value_min)` aggregates, in segment order —
+    /// the leaves of the MAX index's extrema tree.
+    pub fn extrema_leaves(&self) -> Vec<(f64, f64)> {
+        self.segments.iter().map(|s| (s.value_max, s.value_min)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyfit_poly::{Polynomial, ShiftedPolynomial};
+
+    fn segment(lo: f64, hi: f64) -> Segment {
+        Segment {
+            lo_key: lo,
+            hi_key: hi,
+            poly: ShiftedPolynomial::new(Polynomial::new(vec![2.0]), 0.0, 1.0),
+            error: 0.25,
+            value_max: 1.0,
+            value_min: 0.0,
+        }
+    }
+
+    fn directory() -> SegmentDirectory {
+        SegmentDirectory::from_segments(vec![
+            segment(0.0, 10.0),
+            segment(10.0, 20.0),
+            segment(20.0, 30.0),
+        ])
+    }
+
+    #[test]
+    fn locate_finds_owning_segment() {
+        let d = directory();
+        assert_eq!(d.locate(-0.1), None);
+        assert_eq!(d.locate(0.0), Some(0));
+        assert_eq!(d.locate(9.99), Some(0));
+        assert_eq!(d.locate(10.0), Some(1));
+        assert_eq!(d.locate(25.0), Some(2));
+        assert_eq!(d.locate(1e9), Some(2));
+    }
+
+    #[test]
+    fn segment_for_matches_locate() {
+        let d = directory();
+        assert!(d.segment_for(-5.0).is_none());
+        assert_eq!(d.segment_for(15.0).unwrap().lo_key, 10.0);
+    }
+
+    #[test]
+    fn aggregates_and_sizes() {
+        let d = directory();
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.max_certified_error(), 0.25);
+        // 3 segments × (2 bounds + 1 coefficient) × 8 bytes.
+        assert_eq!(d.segments_logical_bytes(), 3 * 24);
+        assert_eq!(d.extrema_leaves(), vec![(1.0, 0.0); 3]);
+    }
+}

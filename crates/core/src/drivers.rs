@@ -44,8 +44,8 @@ impl GuaranteedSum {
     /// Panics on invalid data or bounds (see [`PolyFitSum::build`] errors);
     /// use [`PolyFitSum::build`] directly for fallible construction.
     pub fn with_abs_guarantee(records: Vec<Record>, eps_abs: f64, config: PolyFitConfig) -> Self {
-        let index = PolyFitSum::build(records, eps_abs / 2.0, config)
-            .expect("valid records and bounds");
+        let index =
+            PolyFitSum::build(records, eps_abs / 2.0, config).expect("valid records and bounds");
         GuaranteedSum { index, exact: None }
     }
 
@@ -80,10 +80,8 @@ impl GuaranteedSum {
         if a >= threshold {
             RelAnswer { value: a, used_fallback: false }
         } else {
-            let exact = self
-                .exact
-                .as_ref()
-                .expect("relative-guarantee driver requires the exact fallback");
+            let exact =
+                self.exact.as_ref().expect("relative-guarantee driver requires the exact fallback");
             RelAnswer { value: exact.range_sum(lq, uq), used_fallback: true }
         }
     }
@@ -140,13 +138,9 @@ impl GuaranteedMax {
         if a >= threshold {
             Some(RelAnswer { value: a, used_fallback: false })
         } else {
-            let exact = self
-                .exact
-                .as_ref()
-                .expect("relative-guarantee driver requires the exact fallback");
-            exact
-                .range_max(lq, uq)
-                .map(|value| RelAnswer { value, used_fallback: true })
+            let exact =
+                self.exact.as_ref().expect("relative-guarantee driver requires the exact fallback");
+            exact.range_max(lq, uq).map(|value| RelAnswer { value, used_fallback: true })
         }
     }
 
@@ -210,13 +204,9 @@ impl GuaranteedMin {
         if a >= threshold {
             Some(RelAnswer { value: a, used_fallback: false })
         } else {
-            let exact = self
-                .exact
-                .as_ref()
-                .expect("relative-guarantee driver requires the exact fallback");
-            exact
-                .range_min(lq, uq)
-                .map(|value| RelAnswer { value, used_fallback: true })
+            let exact =
+                self.exact.as_ref().expect("relative-guarantee driver requires the exact fallback");
+            exact.range_min(lq, uq).map(|value| RelAnswer { value, used_fallback: true })
         }
     }
 
@@ -261,8 +251,7 @@ impl GuaranteedAvg {
         config: PolyFitConfig,
     ) -> Self {
         sort_records(&mut records);
-        let count_records: Vec<Record> =
-            records.iter().map(|r| Record::new(r.key, 1.0)).collect();
+        let count_records: Vec<Record> = records.iter().map(|r| Record::new(r.key, 1.0)).collect();
         let sum = PolyFitSum::build(records, eps_sum / 2.0, config).expect("valid records");
         let count =
             PolyFitSum::build(count_records, eps_count / 2.0, config).expect("valid records");
@@ -299,15 +288,11 @@ mod tests {
     use super::*;
 
     fn sum_records(n: usize) -> Vec<Record> {
-        (0..n)
-            .map(|i| Record::new(i as f64, 1.0 + ((i * 11) % 5) as f64))
-            .collect()
+        (0..n).map(|i| Record::new(i as f64, 1.0 + ((i * 11) % 5) as f64)).collect()
     }
 
     fn max_records(n: usize) -> Vec<Record> {
-        (0..n)
-            .map(|i| Record::new(i as f64, 100.0 + ((i as f64) * 0.07).sin() * 40.0))
-            .collect()
+        (0..n).map(|i| Record::new(i as f64, 100.0 + ((i as f64) * 0.07).sin() * 40.0)).collect()
     }
 
     #[test]
@@ -329,7 +314,7 @@ mod tests {
         let eps = 0.01;
         for (l, u) in [
             (0.0, 4999.0),
-            (10.0, 30.0),   // small range → certificate fails → fallback
+            (10.0, 30.0), // small range → certificate fails → fallback
             (100.0, 4000.0),
             (2500.0, 2500.5),
         ] {
@@ -386,7 +371,8 @@ mod tests {
         assert!(ans.used_fallback);
         assert_eq!(ans.value, tree.range_max(100.0, 200.0).unwrap());
         // With a generous eps the certificate can pass.
-        let d2 = GuaranteedMax::with_rel_guarantee(max_records(3000), 1.0, PolyFitConfig::default());
+        let d2 =
+            GuaranteedMax::with_rel_guarantee(max_records(3000), 1.0, PolyFitConfig::default());
         let ans2 = d2.query_rel(100.0, 2000.0, 0.5).unwrap();
         assert!(!ans2.used_fallback);
         let truth = tree.range_max(100.0, 2000.0).unwrap();

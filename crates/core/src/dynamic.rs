@@ -13,10 +13,12 @@
 use std::collections::BTreeMap;
 
 use polyfit_exact::dataset::{dedup_sum, sort_records, Record};
+use polyfit_lp::FitBackend;
 
 use crate::config::PolyFitConfig;
 use crate::error::PolyFitError;
 use crate::index_sum::PolyFitSum;
+use crate::serialize::{DecodeError, Reader, Writer};
 
 /// Monotone total-order mapping for finite `f64` keys, so a `BTreeMap`
 /// can hold float keys: flips the sign bit for positives and all bits for
@@ -147,16 +149,110 @@ impl DynamicPolyFitSum {
     }
 }
 
+const MAGIC_DYNAMIC: &[u8; 4] = b"PFD1";
+
+fn backend_tag(backend: FitBackend) -> u32 {
+    match backend {
+        FitBackend::Exchange => 0,
+        FitBackend::ExchangeChebyshev => 1,
+        FitBackend::Simplex => 2,
+    }
+}
+
+fn backend_from_tag(tag: u32) -> Result<FitBackend, DecodeError> {
+    match tag {
+        0 => Ok(FitBackend::Exchange),
+        1 => Ok(FitBackend::ExchangeChebyshev),
+        2 => Ok(FitBackend::Simplex),
+        _ => Err(DecodeError::Corrupt("fit backend")),
+    }
+}
+
+impl DynamicPolyFitSum {
+    /// Serialize the full dynamic state — static index, base records (for
+    /// future compactions), pending buffer, and construction parameters —
+    /// to a compact little-endian buffer (magic `PFD1`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let base_bytes = self.base.to_bytes();
+        let mut w = Writer(Vec::with_capacity(
+            64 + base_bytes.len() + 16 * (self.base_records.len() + self.buffer.len()),
+        ));
+        w.0.extend_from_slice(MAGIC_DYNAMIC);
+        w.f64(self.delta);
+        w.u32(self.config.degree as u32);
+        w.u32(backend_tag(self.config.backend));
+        // 0 encodes None (a real cap is always ≥ 1).
+        w.u32(self.config.max_segment_len.unwrap_or(0) as u32);
+        w.u32(self.buffer_limit as u32);
+        w.u32(self.rebuilds as u32);
+        w.u32(base_bytes.len() as u32);
+        w.0.extend_from_slice(&base_bytes);
+        w.u32(self.base_records.len() as u32);
+        for r in &self.base_records {
+            w.f64(r.key);
+            w.f64(r.measure);
+        }
+        w.u32(self.buffer.len() as u32);
+        for &(key, dm) in self.buffer.values() {
+            w.f64(key);
+            w.f64(dm);
+        }
+        w.0
+    }
+
+    /// Decode a buffer produced by [`Self::to_bytes`]. The static index is
+    /// decoded (not refitted), so queries round-trip bit-exactly.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        if r.take(4)? != MAGIC_DYNAMIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let delta = r.finite("delta")?;
+        let degree = r.u32()? as usize;
+        let backend = backend_from_tag(r.u32()?)?;
+        let max_segment_len = match r.u32()? {
+            0 => None,
+            cap => Some(cap as usize),
+        };
+        let buffer_limit = r.u32()? as usize;
+        if buffer_limit == 0 {
+            return Err(DecodeError::Corrupt("buffer limit"));
+        }
+        let rebuilds = r.u32()? as usize;
+        let base_len = r.u32()? as usize;
+        let base = PolyFitSum::from_bytes(r.take(base_len)?)?;
+        let n_records = r.u32()? as usize;
+        let mut base_records = Vec::with_capacity(n_records.min(1 << 20));
+        for _ in 0..n_records {
+            let key = r.finite("record key")?;
+            let measure = r.finite("record measure")?;
+            base_records.push(Record::new(key, measure));
+        }
+        let n_buffered = r.u32()? as usize;
+        let mut buffer = BTreeMap::new();
+        for _ in 0..n_buffered {
+            let key = r.finite("buffered key")?;
+            let dm = r.finite("buffered delta")?;
+            buffer.insert(ord_bits(key), (key, dm));
+        }
+        Ok(DynamicPolyFitSum {
+            base,
+            base_records,
+            buffer,
+            buffer_limit,
+            delta,
+            config: PolyFitConfig { degree, backend, max_segment_len },
+            rebuilds,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn exact_sum(records: &[(f64, f64)], l: f64, u: f64) -> f64 {
-        records
-            .iter()
-            .filter(|(k, _)| *k > l && *k <= u)
-            .map(|(_, m)| m)
-            .sum()
+        records.iter().filter(|(k, _)| *k > l && *k <= u).map(|(_, m)| m).sum()
     }
 
     fn base_records(n: usize) -> Vec<Record> {

@@ -121,11 +121,7 @@ mod tests {
 
     #[test]
     fn cumulative_is_monotone_prefix() {
-        let records = vec![
-            Record::new(3.0, 2.0),
-            Record::new(1.0, 5.0),
-            Record::new(2.0, 1.0),
-        ];
+        let records = vec![Record::new(3.0, 2.0), Record::new(1.0, 5.0), Record::new(2.0, 1.0)];
         let f = cumulative_function(records).unwrap();
         assert_eq!(f.keys, vec![1.0, 2.0, 3.0]);
         assert_eq!(f.values, vec![5.0, 6.0, 8.0]);
@@ -133,11 +129,7 @@ mod tests {
 
     #[test]
     fn cumulative_folds_duplicates() {
-        let records = vec![
-            Record::new(1.0, 1.0),
-            Record::new(1.0, 2.0),
-            Record::new(2.0, 3.0),
-        ];
+        let records = vec![Record::new(1.0, 1.0), Record::new(1.0, 2.0), Record::new(2.0, 3.0)];
         let f = cumulative_function(records).unwrap();
         assert_eq!(f.keys, vec![1.0, 2.0]);
         assert_eq!(f.values, vec![3.0, 6.0]);
@@ -145,21 +137,14 @@ mod tests {
 
     #[test]
     fn step_function_keeps_max_on_duplicates() {
-        let records = vec![
-            Record::new(1.0, 4.0),
-            Record::new(1.0, 9.0),
-            Record::new(2.0, 3.0),
-        ];
+        let records = vec![Record::new(1.0, 4.0), Record::new(1.0, 9.0), Record::new(2.0, 3.0)];
         let f = step_function(records).unwrap();
         assert_eq!(f.values, vec![9.0, 3.0]);
     }
 
     #[test]
     fn step_function_min_keeps_min() {
-        let records = vec![
-            Record::new(1.0, 4.0),
-            Record::new(1.0, 9.0),
-        ];
+        let records = vec![Record::new(1.0, 4.0), Record::new(1.0, 9.0)];
         let f = step_function_min(records).unwrap();
         assert_eq!(f.values, vec![4.0]);
     }
@@ -173,10 +158,7 @@ mod tests {
     #[test]
     fn non_finite_rejected_with_index() {
         let records = vec![Record::new(1.0, 1.0), Record::new(f64::NAN, 1.0)];
-        assert_eq!(
-            cumulative_function(records),
-            Err(PolyFitError::NonFiniteData { index: 1 })
-        );
+        assert_eq!(cumulative_function(records), Err(PolyFitError::NonFiniteData { index: 1 }));
     }
 
     #[test]

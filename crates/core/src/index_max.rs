@@ -17,6 +17,7 @@ use polyfit_exact::dataset::Record;
 use polyfit_poly::extrema::{max_on_interval_shifted, min_on_interval_shifted};
 
 use crate::config::PolyFitConfig;
+use crate::directory::SegmentDirectory;
 use crate::error::PolyFitError;
 use crate::function::{step_function, step_function_min, TargetFunction};
 use crate::segment::Segment;
@@ -72,14 +73,25 @@ impl ExtremaTree {
     }
 }
 
+/// Which extremum a staircase index was folded for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Extremum {
+    /// Duplicate keys folded by maximum; answer with [`PolyFitMax::query_max`].
+    Max,
+    /// Duplicate keys folded by minimum; answer with [`PolyFitMax::query_min`].
+    Min,
+}
+
 /// A PolyFit index over the key–measure staircase.
 #[derive(Clone, Debug)]
 pub struct PolyFitMax {
-    directory: Vec<f64>,
-    segments: Vec<Segment>,
+    dir: SegmentDirectory,
     tree: ExtremaTree,
     delta: f64,
     domain: (f64, f64),
+    /// The fold direction this index certifies (drives trait dispatch and
+    /// is preserved across serialization).
+    orientation: Extremum,
     build_stats: IndexStats,
 }
 
@@ -110,69 +122,45 @@ impl PolyFitMax {
             return Err(PolyFitError::InvalidErrorBound { bound: delta });
         }
         let f = step_function_min(records)?;
-        Ok(Self::from_function(&f, delta, config))
+        let mut idx = Self::from_function(&f, delta, config);
+        idx.orientation = Extremum::Min;
+        Ok(idx)
     }
 
     /// Build from a prepared staircase.
     pub fn from_function(f: &TargetFunction, delta: f64, config: PolyFitConfig) -> Self {
         let t0 = std::time::Instant::now();
         let specs = greedy_segmentation(f, &config, delta, ErrorMetric::Continuous);
-        let mut directory = Vec::with_capacity(specs.len());
-        let mut segments = Vec::with_capacity(specs.len());
-        let mut leaves = Vec::with_capacity(specs.len());
-        for spec in specs {
-            let lo_key = f.keys[spec.start];
-            let hi_key = f.keys[spec.end];
-            let vmax = f.values[spec.start..=spec.end]
-                .iter()
-                .fold(f64::NEG_INFINITY, |m, &v| m.max(v));
-            let vmin = f.values[spec.start..=spec.end]
-                .iter()
-                .fold(f64::INFINITY, |m, &v| m.min(v));
-            directory.push(lo_key);
-            leaves.push((vmax, vmin));
-            segments.push(Segment {
-                lo_key,
-                hi_key,
-                poly: spec.fit.poly,
-                error: spec.certified_error,
-                value_max: vmax,
-                value_min: vmin,
-            });
-        }
-        let tree = ExtremaTree::new(&leaves);
-        let domain = f.domain();
-        let logical = segments
-            .iter()
-            .map(|s| s.logical_size_bytes() + 2 * std::mem::size_of::<f64>())
-            .sum::<usize>()
-            + tree.node_count() * 2 * std::mem::size_of::<f64>();
-        let stats = IndexStats {
-            segments: segments.len(),
-            logical_size_bytes: logical,
-            build_time: t0.elapsed(),
-        };
-        PolyFitMax { directory, segments, tree, delta, domain, build_stats: stats }
+        let dir = SegmentDirectory::from_specs(f, specs);
+        Self::assemble(dir, delta, f.domain(), t0.elapsed())
     }
 
     /// Reassemble an index from decoded parts (see [`crate::serialize`]);
     /// the extrema tree is rebuilt from per-segment aggregates.
-    pub(crate) fn from_parts(segments: Vec<Segment>, delta: f64, domain: (f64, f64)) -> Self {
-        let directory = segments.iter().map(|s| s.lo_key).collect();
-        let leaves: Vec<(f64, f64)> =
-            segments.iter().map(|s| (s.value_max, s.value_min)).collect();
-        let tree = ExtremaTree::new(&leaves);
-        let logical = segments
-            .iter()
-            .map(|s| s.logical_size_bytes() + 2 * std::mem::size_of::<f64>())
-            .sum::<usize>()
+    pub(crate) fn from_parts(
+        segments: Vec<Segment>,
+        delta: f64,
+        domain: (f64, f64),
+        orientation: Extremum,
+    ) -> Self {
+        let dir = SegmentDirectory::from_segments(segments);
+        let mut idx = Self::assemble(dir, delta, domain, std::time::Duration::ZERO);
+        idx.orientation = orientation;
+        idx
+    }
+
+    fn assemble(
+        dir: SegmentDirectory,
+        delta: f64,
+        domain: (f64, f64),
+        build_time: std::time::Duration,
+    ) -> Self {
+        let tree = ExtremaTree::new(&dir.extrema_leaves());
+        let logical = dir.segments_logical_bytes()
+            + dir.len() * 2 * std::mem::size_of::<f64>() // per-segment extrema
             + tree.node_count() * 2 * std::mem::size_of::<f64>();
-        let stats = IndexStats {
-            segments: segments.len(),
-            logical_size_bytes: logical,
-            build_time: std::time::Duration::ZERO,
-        };
-        PolyFitMax { directory, segments, tree, delta, domain, build_stats: stats }
+        let stats = IndexStats { segments: dir.len(), logical_size_bytes: logical, build_time };
+        PolyFitMax { dir, tree, delta, domain, orientation: Extremum::Max, build_stats: stats }
     }
 
     /// Locate the segment whose staircase covers `k` (the segment of
@@ -182,7 +170,7 @@ impl PolyFitMax {
         if k < self.domain.0 {
             return None;
         }
-        Some(self.directory.partition_point(|&lo| lo <= k) - 1)
+        self.dir.locate(k)
     }
 
     /// Approximate the maximum of `DF` over `[lq, uq]`, within δ.
@@ -207,7 +195,7 @@ impl PolyFitMax {
         let iu = self.locate(uq).expect("uq ≥ domain start");
         let combine = |a: f64, b: f64| if want_max { a.max(b) } else { a.min(b) };
         let boundary = |i: usize, from: f64, to: f64| -> f64 {
-            let seg = &self.segments[i];
+            let seg = self.dir.get(i);
             let a = from.clamp(seg.lo_key, seg.hi_key);
             let b = to.clamp(seg.lo_key, seg.hi_key);
             if want_max {
@@ -233,14 +221,19 @@ impl PolyFitMax {
         self.delta
     }
 
+    /// Which extremum this index was folded for.
+    pub fn orientation(&self) -> Extremum {
+        self.orientation
+    }
+
     /// Number of polynomial segments `h`.
     pub fn num_segments(&self) -> usize {
-        self.segments.len()
+        self.dir.len()
     }
 
     /// Largest certified per-segment error (≤ δ by construction).
     pub fn max_certified_error(&self) -> f64 {
-        self.segments.iter().fold(0.0, |m, s| m.max(s.error))
+        self.dir.max_certified_error()
     }
 
     /// Logical serialized index size in bytes.
@@ -260,7 +253,7 @@ impl PolyFitMax {
 
     /// Segment access for diagnostics.
     pub fn segments(&self) -> &[Segment] {
-        &self.segments
+        self.dir.segments()
     }
 }
 
@@ -345,11 +338,7 @@ mod tests {
     fn right_of_domain_uses_last_step() {
         // DF(k) = m_n for k ≥ k_n (Eq. 6): queries beyond the domain see
         // the final step.
-        let rs = vec![
-            Record::new(0.0, 5.0),
-            Record::new(1.0, 9.0),
-            Record::new(2.0, 3.0),
-        ];
+        let rs = vec![Record::new(0.0, 5.0), Record::new(1.0, 9.0), Record::new(2.0, 3.0)];
         let idx = PolyFitMax::build(rs, 0.5, PolyFitConfig::with_degree(1)).unwrap();
         let v = idx.query_max(10.0, 20.0).unwrap();
         assert!((v - 3.0).abs() <= 0.5 + 1e-9, "got {v}");

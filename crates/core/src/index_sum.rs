@@ -8,6 +8,7 @@
 use polyfit_exact::dataset::Record;
 
 use crate::config::PolyFitConfig;
+use crate::directory::SegmentDirectory;
 use crate::error::PolyFitError;
 use crate::function::{cumulative_function, TargetFunction};
 use crate::segment::Segment;
@@ -17,9 +18,7 @@ use crate::stats::IndexStats;
 /// A PolyFit index over the cumulative function.
 #[derive(Clone, Debug)]
 pub struct PolyFitSum {
-    /// `lo_key` of each segment, ascending — the search directory.
-    directory: Vec<f64>,
-    segments: Vec<Segment>,
+    dir: SegmentDirectory,
     /// The δ each segment is certified against.
     delta: f64,
     /// Exact total of all measures (pinning the right domain edge exactly
@@ -60,43 +59,10 @@ impl PolyFitSum {
     pub fn from_function(f: &TargetFunction, delta: f64, config: PolyFitConfig) -> Self {
         let t0 = std::time::Instant::now();
         let specs = greedy_segmentation(f, &config, delta, ErrorMetric::DataPoint);
-        let mut directory = Vec::with_capacity(specs.len());
-        let mut segments = Vec::with_capacity(specs.len());
-        for spec in specs {
-            let lo_key = f.keys[spec.start];
-            let hi_key = f.keys[spec.end];
-            let vmax = f.values[spec.start..=spec.end]
-                .iter()
-                .fold(f64::NEG_INFINITY, |m, &v| m.max(v));
-            let vmin = f.values[spec.start..=spec.end]
-                .iter()
-                .fold(f64::INFINITY, |m, &v| m.min(v));
-            directory.push(lo_key);
-            segments.push(Segment {
-                lo_key,
-                hi_key,
-                poly: spec.fit.poly,
-                error: spec.certified_error,
-                value_max: vmax,
-                value_min: vmin,
-            });
-        }
+        let dir = SegmentDirectory::from_specs(f, specs);
         let total = *f.values.last().expect("non-empty function");
         let domain = f.domain();
-        let logical_bytes = Self::logical_bytes(&segments);
-        PolyFitSum {
-            directory,
-            segments,
-            delta,
-            total,
-            domain,
-            build_stats: IndexStats {
-                segments: 0, // fixed below
-                logical_size_bytes: logical_bytes,
-                build_time: t0.elapsed(),
-            },
-        }
-        .finish_stats()
+        Self::assemble(dir, delta, total, domain, t0.elapsed())
     }
 
     /// Reassemble an index from decoded parts (see [`crate::serialize`]).
@@ -107,31 +73,27 @@ impl PolyFitSum {
         total: f64,
         domain: (f64, f64),
     ) -> Self {
-        let directory = segments.iter().map(|s| s.lo_key).collect();
-        let logical_bytes = Self::logical_bytes(&segments);
-        PolyFitSum {
-            directory,
-            segments,
-            delta,
-            total,
-            domain,
-            build_stats: IndexStats {
-                segments: 0,
-                logical_size_bytes: logical_bytes,
-                build_time: std::time::Duration::ZERO,
-            },
-        }
-        .finish_stats()
+        let dir = SegmentDirectory::from_segments(segments);
+        Self::assemble(dir, delta, total, domain, std::time::Duration::ZERO)
     }
 
-    fn finish_stats(mut self) -> Self {
-        self.build_stats.segments = self.segments.len();
-        self
+    fn assemble(
+        dir: SegmentDirectory,
+        delta: f64,
+        total: f64,
+        domain: (f64, f64),
+        build_time: std::time::Duration,
+    ) -> Self {
+        let build_stats = IndexStats {
+            segments: dir.len(),
+            logical_size_bytes: Self::logical_bytes(&dir),
+            build_time,
+        };
+        PolyFitSum { dir, delta, total, domain, build_stats }
     }
 
-    fn logical_bytes(segments: &[Segment]) -> usize {
-        segments.iter().map(Segment::logical_size_bytes).sum::<usize>()
-            + 3 * std::mem::size_of::<f64>() // delta, total, domain edge
+    fn logical_bytes(dir: &SegmentDirectory) -> usize {
+        dir.segments_logical_bytes() + 3 * std::mem::size_of::<f64>() // delta, total, domain edge
     }
 
     /// Approximate the cumulative function at `k`, within δ at every
@@ -144,8 +106,7 @@ impl PolyFitSum {
         if k >= self.domain.1 {
             return self.total;
         }
-        let i = self.directory.partition_point(|&lo| lo <= k) - 1;
-        self.segments[i].eval_clamped(k)
+        self.dir.segment_for(k).expect("k is inside the key domain").eval_clamped(k)
     }
 
     /// Approximate range SUM over `(lq, uq]`: `|answer − exact| ≤ 2δ` at
@@ -165,12 +126,12 @@ impl PolyFitSum {
 
     /// Number of polynomial segments `h`.
     pub fn num_segments(&self) -> usize {
-        self.segments.len()
+        self.dir.len()
     }
 
     /// Largest certified per-segment error (≤ δ by construction).
     pub fn max_certified_error(&self) -> f64 {
-        self.segments.iter().fold(0.0, |m, s| m.max(s.error))
+        self.dir.max_certified_error()
     }
 
     /// Logical serialized index size in bytes (paper Fig. 19 metric).
@@ -195,7 +156,7 @@ impl PolyFitSum {
 
     /// Iterate over segments (diagnostics, plots, serialization).
     pub fn segments(&self) -> &[Segment] {
-        &self.segments
+        self.dir.segments()
     }
 }
 
@@ -205,9 +166,7 @@ mod tests {
     use polyfit_exact::KeyCumulativeArray;
 
     fn records(n: usize) -> Vec<Record> {
-        (0..n)
-            .map(|i| Record::new(i as f64 * 1.5, 1.0 + ((i * 7) % 13) as f64))
-            .collect()
+        (0..n).map(|i| Record::new(i as f64 * 1.5, 1.0 + ((i * 7) % 13) as f64)).collect()
     }
 
     fn exact_of(records: &[Record]) -> KeyCumulativeArray {

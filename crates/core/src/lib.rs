@@ -46,6 +46,7 @@
 //! ```
 
 pub mod config;
+pub mod directory;
 pub mod drivers;
 pub mod dynamic;
 pub mod error;
@@ -56,19 +57,29 @@ pub mod segment;
 pub mod segmentation;
 pub mod serialize;
 pub mod stats;
+pub mod traits;
 pub mod twod;
 
 pub use config::PolyFitConfig;
-pub use drivers::{AvgAnswer, GuaranteedAvg, GuaranteedMax, GuaranteedMin, GuaranteedSum, RelAnswer};
+pub use directory::SegmentDirectory;
+pub use drivers::{
+    AvgAnswer, GuaranteedAvg, GuaranteedMax, GuaranteedMin, GuaranteedSum, RelAnswer,
+};
 pub use dynamic::DynamicPolyFitSum;
 pub use error::PolyFitError;
-pub use serialize::DecodeError;
 pub use function::{cumulative_function, step_function, TargetFunction};
-pub use index_max::PolyFitMax;
+pub use index_max::{Extremum, PolyFitMax};
 pub use index_sum::PolyFitSum;
 pub use segment::Segment;
-pub use segmentation::{dp_segmentation, greedy_segmentation, greedy_segmentation_naive, SegmentSpec};
+pub use segmentation::{
+    dp_segmentation, greedy_segmentation, greedy_segmentation_naive, SegmentSpec,
+};
+pub use serialize::DecodeError;
 pub use stats::IndexStats;
+pub use traits::{
+    AggregateIndex, AggregateIndex2d, AggregateKind, CertifiedRelSum, Guarantee, RangeAggregate,
+    RelDispatch, RelDispatch2d,
+};
 pub use twod::{Guaranteed2dCount, QuadPolyFit};
 
 /// Convenient re-exports for downstream users.
@@ -80,6 +91,10 @@ pub mod prelude {
     pub use crate::dynamic::DynamicPolyFitSum;
     pub use crate::index_max::PolyFitMax;
     pub use crate::index_sum::PolyFitSum;
+    pub use crate::traits::{
+        AggregateIndex, AggregateIndex2d, AggregateKind, CertifiedRelSum, Guarantee,
+        RangeAggregate, RelDispatch, RelDispatch2d,
+    };
     pub use crate::twod::{Guaranteed2dCount, QuadPolyFit};
     pub use polyfit_exact::dataset::{Point2d, Record};
     pub use polyfit_lp::FitBackend;

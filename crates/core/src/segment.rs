@@ -49,14 +49,7 @@ mod tests {
     fn segment() -> Segment {
         // P(t) = t on [10, 20] → eval(k) = (k − 15) / 5
         let poly = ShiftedPolynomial::new(Polynomial::new(vec![0.0, 1.0]), 15.0, 5.0);
-        Segment {
-            lo_key: 10.0,
-            hi_key: 20.0,
-            poly,
-            error: 0.5,
-            value_max: 1.0,
-            value_min: -1.0,
-        }
+        Segment { lo_key: 10.0, hi_key: 20.0, poly, error: 0.5, value_max: 1.0, value_min: -1.0 }
     }
 
     #[test]

@@ -282,7 +282,9 @@ mod tests {
     fn staircase(n: usize) -> TargetFunction {
         TargetFunction {
             keys: (0..n).map(|i| i as f64).collect(),
-            values: (0..n).map(|i| ((i * i) as f64).sqrt() * 3.0 + ((i as f64) * 0.9).sin() * 5.0).collect(),
+            values: (0..n)
+                .map(|i| ((i * i) as f64).sqrt() * 3.0 + ((i as f64) * 0.9).sin() * 5.0)
+                .collect(),
         }
     }
 
@@ -329,8 +331,10 @@ mod tests {
     #[test]
     fn higher_degree_never_more_segments() {
         let f = staircase(400);
-        let d1 = greedy_segmentation(&f, &PolyFitConfig::with_degree(1), 1.5, ErrorMetric::DataPoint);
-        let d3 = greedy_segmentation(&f, &PolyFitConfig::with_degree(3), 1.5, ErrorMetric::DataPoint);
+        let d1 =
+            greedy_segmentation(&f, &PolyFitConfig::with_degree(1), 1.5, ErrorMetric::DataPoint);
+        let d3 =
+            greedy_segmentation(&f, &PolyFitConfig::with_degree(3), 1.5, ErrorMetric::DataPoint);
         assert!(d3.len() <= d1.len(), "deg3 {} vs deg1 {}", d3.len(), d1.len());
     }
 
@@ -349,16 +353,15 @@ mod tests {
             keys: (0..1000).map(|i| i as f64).collect(),
             values: (0..1000).map(|i| 2.0 * i as f64 + 1.0).collect(),
         };
-        let specs = greedy_segmentation(&f, &PolyFitConfig::with_degree(1), 0.01, ErrorMetric::DataPoint);
+        let specs =
+            greedy_segmentation(&f, &PolyFitConfig::with_degree(1), 0.01, ErrorMetric::DataPoint);
         assert_eq!(specs.len(), 1);
     }
 
     #[test]
     fn max_segment_len_cap_respected() {
-        let f = TargetFunction {
-            keys: (0..100).map(|i| i as f64).collect(),
-            values: vec![0.0; 100],
-        };
+        let f =
+            TargetFunction { keys: (0..100).map(|i| i as f64).collect(), values: vec![0.0; 100] };
         let cfg = PolyFitConfig { max_segment_len: Some(10), ..Default::default() };
         let specs = greedy_segmentation(&f, &cfg, 1.0, ErrorMetric::DataPoint);
         assert_eq!(specs.len(), 10);

@@ -8,12 +8,14 @@
 
 use polyfit_poly::{Polynomial, ShiftedPolynomial};
 
-use crate::index_max::PolyFitMax;
+use crate::index_max::{Extremum, PolyFitMax};
 use crate::index_sum::PolyFitSum;
 use crate::segment::Segment;
 
 const MAGIC_SUM: &[u8; 4] = b"PFS1";
-const MAGIC_MAX: &[u8; 4] = b"PFM1";
+// "PFM2": v2 of the staircase layout — v1 (never shipped; the seed tree
+// could not compile) lacked the orientation field.
+const MAGIC_MAX: &[u8; 4] = b"PFM2";
 
 /// Errors from [`PolyFitSum::from_bytes`] / [`PolyFitMax::from_bytes`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -38,24 +40,27 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-struct Writer(Vec<u8>);
+pub(crate) struct Writer(pub(crate) Vec<u8>);
 
 impl Writer {
-    fn f64(&mut self, v: f64) {
+    pub(crate) fn f64(&mut self, v: f64) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
 }
 
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         if self.pos + n > self.buf.len() {
             return Err(DecodeError::Truncated);
         }
@@ -63,13 +68,13 @@ impl<'a> Reader<'a> {
         self.pos += n;
         Ok(s)
     }
-    fn f64(&mut self) -> Result<f64, DecodeError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, DecodeError> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
-    fn u32(&mut self) -> Result<u32, DecodeError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, DecodeError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
     }
-    fn finite(&mut self, what: &'static str) -> Result<f64, DecodeError> {
+    pub(crate) fn finite(&mut self, what: &'static str) -> Result<f64, DecodeError> {
         let v = self.f64()?;
         if v.is_finite() {
             Ok(v)
@@ -167,6 +172,10 @@ impl PolyFitMax {
         let mut w = Writer(Vec::with_capacity(64 + self.num_segments() * 64));
         w.0.extend_from_slice(MAGIC_MAX);
         w.f64(self.delta());
+        w.u32(match self.orientation() {
+            Extremum::Max => 0,
+            Extremum::Min => 1,
+        });
         let (d0, d1) = self.domain();
         w.f64(d0);
         w.f64(d1);
@@ -182,10 +191,15 @@ impl PolyFitMax {
             return Err(DecodeError::BadMagic);
         }
         let delta = r.finite("delta")?;
+        let orientation = match r.u32()? {
+            0 => Extremum::Max,
+            1 => Extremum::Min,
+            _ => return Err(DecodeError::Corrupt("orientation")),
+        };
         let d0 = r.finite("domain lo")?;
         let d1 = r.finite("domain hi")?;
         let segments = read_segments(&mut r)?;
-        Ok(PolyFitMax::from_parts(segments, delta, (d0, d1)))
+        Ok(PolyFitMax::from_parts(segments, delta, (d0, d1), orientation))
     }
 }
 
@@ -196,9 +210,7 @@ mod tests {
     use polyfit_exact::dataset::Record;
 
     fn records(n: usize) -> Vec<Record> {
-        (0..n)
-            .map(|i| Record::new(i as f64 * 0.5, 1.0 + ((i * 13) % 7) as f64))
-            .collect()
+        (0..n).map(|i| Record::new(i as f64 * 0.5, 1.0 + ((i * 13) % 7) as f64)).collect()
     }
 
     #[test]
@@ -249,10 +261,7 @@ mod tests {
         let mut bytes = idx.to_bytes();
         // Corrupt delta with a NaN.
         bytes[4..12].copy_from_slice(&f64::NAN.to_le_bytes());
-        assert!(matches!(
-            PolyFitSum::from_bytes(&bytes),
-            Err(DecodeError::Corrupt("delta"))
-        ));
+        assert!(matches!(PolyFitSum::from_bytes(&bytes), Err(DecodeError::Corrupt("delta"))));
     }
 
     #[test]

@@ -1,0 +1,821 @@
+//! The `AggregateIndex` abstraction: one interface over every range
+//! aggregate structure in the workspace.
+//!
+//! PolyFit's evaluation (Tables V–VI) compares three families of methods —
+//! PolyFit itself, exact structures, and learned/heuristic baselines —
+//! over the same query workloads. Before this layer existed, every harness
+//! and the CLI dispatched with per-method match arms; now each structure
+//! implements [`AggregateIndex`] (or [`AggregateIndex2d`] for two-key
+//! rectangles) and callers hold `&dyn AggregateIndex` trait objects.
+//!
+//! Implementations for the `polyfit-exact` structures live here (the exact
+//! crate sits *below* this one in the dependency order, so the orphan rule
+//! places the impls next to the trait). Baseline implementations live in
+//! `polyfit-baselines`, which depends on this crate.
+
+use polyfit_exact::artree::Rect;
+use polyfit_exact::{ARTree, AggTree, BPlusTree, KeyCumulativeArray};
+
+use crate::drivers::{GuaranteedAvg, GuaranteedMax, GuaranteedMin, GuaranteedSum};
+use crate::dynamic::DynamicPolyFitSum;
+use crate::index_max::{Extremum, PolyFitMax};
+use crate::index_sum::PolyFitSum;
+use crate::stats::IndexStats;
+use crate::twod::{Guaranteed2dCount, QuadPolyFit};
+
+/// The aggregate function an index answers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggregateKind {
+    /// Range SUM over `(lq, uq]`.
+    Sum,
+    /// Range COUNT over `(lq, uq]` (SUM with unit measures).
+    Count,
+    /// Range MAX over `[lq, uq]` (step-function semantics).
+    Max,
+    /// Range MIN over `[lq, uq]`.
+    Min,
+    /// Range AVG over `(lq, uq]`.
+    Avg,
+}
+
+/// What an answer promises relative to the exact aggregate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Guarantee {
+    /// The answer is exact.
+    Exact,
+    /// `|answer − truth| ≤ bound` at the method's certified endpoints
+    /// (Problem 1 of the paper).
+    Absolute(f64),
+    /// `|answer − truth| / truth ≤ bound`, via certificate or exact
+    /// fallback (Problem 2 of the paper).
+    Relative(f64),
+    /// No deterministic bound (sampling or heuristic method).
+    Heuristic,
+}
+
+/// A range-aggregate answer with provenance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RangeAggregate {
+    /// The aggregate value.
+    pub value: f64,
+    /// The promise attached to `value`.
+    pub guarantee: Guarantee,
+    /// True when a relative-guarantee certificate failed and an exact
+    /// structure produced `value` instead (Fig. 10 of the paper).
+    pub used_fallback: bool,
+}
+
+impl RangeAggregate {
+    /// An exact answer.
+    pub fn exact(value: f64) -> Self {
+        RangeAggregate { value, guarantee: Guarantee::Exact, used_fallback: false }
+    }
+
+    /// An answer within `bound` absolutely.
+    pub fn absolute(value: f64, bound: f64) -> Self {
+        RangeAggregate { value, guarantee: Guarantee::Absolute(bound), used_fallback: false }
+    }
+
+    /// An answer within `bound` relatively.
+    pub fn relative(value: f64, bound: f64, used_fallback: bool) -> Self {
+        RangeAggregate { value, guarantee: Guarantee::Relative(bound), used_fallback }
+    }
+
+    /// An answer with no deterministic bound.
+    pub fn heuristic(value: f64) -> Self {
+        RangeAggregate { value, guarantee: Guarantee::Heuristic, used_fallback: false }
+    }
+}
+
+/// A built range-aggregate index over single-key records.
+///
+/// Object safe: harnesses and the CLI dispatch over `&dyn AggregateIndex`.
+/// Query conventions follow the workspace standard (`polyfit-exact` crate
+/// docs): half-open `(lq, uq]` for SUM/COUNT/AVG, closed step-function
+/// semantics `[lq, uq]` for MAX/MIN.
+pub trait AggregateIndex {
+    /// Method name as it appears in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// The aggregate this index answers.
+    fn kind(&self) -> AggregateKind;
+
+    /// Answer the range aggregate, or `None` when the range is empty or
+    /// outside the key domain for extremum/average queries.
+    fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate>;
+
+    /// Logical serialized size in bytes (the paper's Fig. 19 metric).
+    fn size_bytes(&self) -> usize;
+
+    /// Construction statistics, when the structure records them.
+    fn stats(&self) -> Option<&IndexStats> {
+        None
+    }
+}
+
+/// A built range-aggregate index over two-key points, queried with
+/// half-open rectangles `(u_lo, u_hi] × (v_lo, v_hi]`.
+pub trait AggregateIndex2d {
+    /// Method name as it appears in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// The aggregate this index answers.
+    fn kind(&self) -> AggregateKind;
+
+    /// Answer the rectangle aggregate.
+    fn query_rect(&self, u_lo: f64, u_hi: f64, v_lo: f64, v_hi: f64) -> Option<RangeAggregate>;
+
+    /// Logical serialized size in bytes.
+    fn size_bytes(&self) -> usize;
+
+    /// Construction statistics, when the structure records them.
+    fn stats(&self) -> Option<&IndexStats> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PolyFit indexes and drivers
+// ---------------------------------------------------------------------------
+
+impl AggregateIndex for PolyFitSum {
+    fn name(&self) -> &'static str {
+        "PolyFit"
+    }
+
+    fn kind(&self) -> AggregateKind {
+        AggregateKind::Sum
+    }
+
+    fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
+        // Lemma 2: two δ-certified endpoint evaluations → 2δ.
+        Some(RangeAggregate::absolute(PolyFitSum::query(self, lq, uq), 2.0 * self.delta()))
+    }
+
+    fn size_bytes(&self) -> usize {
+        PolyFitSum::size_bytes(self)
+    }
+
+    fn stats(&self) -> Option<&IndexStats> {
+        Some(PolyFitSum::stats(self))
+    }
+}
+
+impl AggregateIndex for PolyFitMax {
+    fn name(&self) -> &'static str {
+        "PolyFit"
+    }
+
+    fn kind(&self) -> AggregateKind {
+        match self.orientation() {
+            Extremum::Max => AggregateKind::Max,
+            Extremum::Min => AggregateKind::Min,
+        }
+    }
+
+    fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
+        // Lemma 4: the continuous certification bounds any endpoint by δ.
+        // Dispatch on the fold direction recorded at build time, so a
+        // MIN-built index answers minima through the trait.
+        let v = match self.orientation() {
+            Extremum::Max => self.query_max(lq, uq),
+            Extremum::Min => self.query_min(lq, uq),
+        };
+        v.map(|v| RangeAggregate::absolute(v, self.delta()))
+    }
+
+    fn size_bytes(&self) -> usize {
+        PolyFitMax::size_bytes(self)
+    }
+
+    fn stats(&self) -> Option<&IndexStats> {
+        Some(PolyFitMax::stats(self))
+    }
+}
+
+impl AggregateIndex for DynamicPolyFitSum {
+    fn name(&self) -> &'static str {
+        "PolyFit-dynamic"
+    }
+
+    fn kind(&self) -> AggregateKind {
+        AggregateKind::Sum
+    }
+
+    fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
+        // The delta buffer contributes exactly; the bound is the base's.
+        Some(RangeAggregate::absolute(
+            DynamicPolyFitSum::query(self, lq, uq),
+            2.0 * self.base().delta(),
+        ))
+    }
+
+    fn size_bytes(&self) -> usize {
+        // Base segments plus the buffered (key, Δmeasure) pairs.
+        self.base().size_bytes() + self.buffered() * 2 * std::mem::size_of::<f64>()
+    }
+
+    fn stats(&self) -> Option<&IndexStats> {
+        Some(self.base().stats())
+    }
+}
+
+impl AggregateIndex for GuaranteedSum {
+    fn name(&self) -> &'static str {
+        "PolyFit"
+    }
+
+    fn kind(&self) -> AggregateKind {
+        AggregateKind::Sum
+    }
+
+    fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
+        Some(RangeAggregate::absolute(self.query_abs(lq, uq), 2.0 * self.index().delta()))
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.index().size_bytes()
+    }
+
+    fn stats(&self) -> Option<&IndexStats> {
+        Some(self.index().stats())
+    }
+}
+
+impl AggregateIndex for GuaranteedMax {
+    fn name(&self) -> &'static str {
+        "PolyFit"
+    }
+
+    fn kind(&self) -> AggregateKind {
+        AggregateKind::Max
+    }
+
+    fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
+        self.query_abs(lq, uq).map(|v| RangeAggregate::absolute(v, self.index().delta()))
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.index().size_bytes()
+    }
+
+    fn stats(&self) -> Option<&IndexStats> {
+        Some(self.index().stats())
+    }
+}
+
+impl AggregateIndex for GuaranteedMin {
+    fn name(&self) -> &'static str {
+        "PolyFit"
+    }
+
+    fn kind(&self) -> AggregateKind {
+        AggregateKind::Min
+    }
+
+    fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
+        self.query_abs(lq, uq).map(|v| RangeAggregate::absolute(v, self.index().delta()))
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.index().size_bytes()
+    }
+
+    fn stats(&self) -> Option<&IndexStats> {
+        Some(self.index().stats())
+    }
+}
+
+impl AggregateIndex for GuaranteedAvg {
+    fn name(&self) -> &'static str {
+        "PolyFit"
+    }
+
+    fn kind(&self) -> AggregateKind {
+        AggregateKind::Avg
+    }
+
+    fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
+        GuaranteedAvg::query(self, lq, uq).map(|ans| RangeAggregate::absolute(ans.value, ans.bound))
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.sum_index().size_bytes() + self.count_index().size_bytes()
+    }
+
+    fn stats(&self) -> Option<&IndexStats> {
+        Some(self.sum_index().stats())
+    }
+}
+
+/// Adapter pinning an `ε_rel` so a relative-guarantee driver answers
+/// through the fixed-arity trait query (the trait cannot thread a
+/// per-query ε without losing object safety for every other method).
+#[derive(Clone, Debug)]
+pub struct RelDispatch<D> {
+    driver: D,
+    eps_rel: f64,
+}
+
+impl<D> RelDispatch<D> {
+    /// Wrap `driver`, answering every trait query at `eps_rel`.
+    pub fn new(driver: D, eps_rel: f64) -> Self {
+        assert!(eps_rel > 0.0, "relative error must be positive");
+        RelDispatch { driver, eps_rel }
+    }
+
+    /// The wrapped driver.
+    pub fn driver(&self) -> &D {
+        &self.driver
+    }
+
+    /// The pinned relative-error target.
+    pub fn eps_rel(&self) -> f64 {
+        self.eps_rel
+    }
+}
+
+impl AggregateIndex for RelDispatch<GuaranteedSum> {
+    fn name(&self) -> &'static str {
+        "PolyFit"
+    }
+
+    fn kind(&self) -> AggregateKind {
+        AggregateKind::Sum
+    }
+
+    fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
+        let ans = self.driver.query_rel(lq, uq, self.eps_rel);
+        Some(RangeAggregate::relative(ans.value, self.eps_rel, ans.used_fallback))
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.driver.index().size_bytes()
+    }
+
+    fn stats(&self) -> Option<&IndexStats> {
+        Some(self.driver.index().stats())
+    }
+}
+
+impl AggregateIndex for RelDispatch<GuaranteedMax> {
+    fn name(&self) -> &'static str {
+        "PolyFit"
+    }
+
+    fn kind(&self) -> AggregateKind {
+        AggregateKind::Max
+    }
+
+    fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
+        self.driver
+            .query_rel(lq, uq, self.eps_rel)
+            .map(|ans| RangeAggregate::relative(ans.value, self.eps_rel, ans.used_fallback))
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.driver.index().size_bytes()
+    }
+
+    fn stats(&self) -> Option<&IndexStats> {
+        Some(self.driver.index().stats())
+    }
+}
+
+impl AggregateIndex for RelDispatch<GuaranteedMin> {
+    fn name(&self) -> &'static str {
+        "PolyFit"
+    }
+
+    fn kind(&self) -> AggregateKind {
+        AggregateKind::Min
+    }
+
+    fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
+        self.driver
+            .query_rel(lq, uq, self.eps_rel)
+            .map(|ans| RangeAggregate::relative(ans.value, self.eps_rel, ans.used_fallback))
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.driver.index().size_bytes()
+    }
+
+    fn stats(&self) -> Option<&IndexStats> {
+        Some(self.driver.index().stats())
+    }
+}
+
+macro_rules! delegate_aggregate_index {
+    ($($ptr:ty),+ $(,)?) => {$(
+        impl<T: AggregateIndex + ?Sized> AggregateIndex for $ptr {
+            fn name(&self) -> &'static str {
+                (**self).name()
+            }
+
+            fn kind(&self) -> AggregateKind {
+                (**self).kind()
+            }
+
+            fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
+                (**self).query(lq, uq)
+            }
+
+            fn size_bytes(&self) -> usize {
+                (**self).size_bytes()
+            }
+
+            fn stats(&self) -> Option<&IndexStats> {
+                (**self).stats()
+            }
+        }
+    )+};
+}
+
+macro_rules! delegate_aggregate_index_2d {
+    ($($ptr:ty),+ $(,)?) => {$(
+        impl<T: AggregateIndex2d + ?Sized> AggregateIndex2d for $ptr {
+            fn name(&self) -> &'static str {
+                (**self).name()
+            }
+
+            fn kind(&self) -> AggregateKind {
+                (**self).kind()
+            }
+
+            fn query_rect(
+                &self,
+                u_lo: f64,
+                u_hi: f64,
+                v_lo: f64,
+                v_hi: f64,
+            ) -> Option<RangeAggregate> {
+                (**self).query_rect(u_lo, u_hi, v_lo, v_hi)
+            }
+
+            fn size_bytes(&self) -> usize {
+                (**self).size_bytes()
+            }
+
+            fn stats(&self) -> Option<&IndexStats> {
+                (**self).stats()
+            }
+        }
+    )+};
+}
+
+// Pointer delegation, so adapters and harnesses can share one structure
+// (e.g. a single exact fallback behind `Rc` serving several
+// `CertifiedRelSum` wrappers, or one aR-tree timed in several rows).
+delegate_aggregate_index!(&T, Box<T>, std::rc::Rc<T>, std::sync::Arc<T>);
+delegate_aggregate_index_2d!(&T, Box<T>, std::rc::Rc<T>, std::sync::Arc<T>);
+
+/// Lemma 3-style relative dispatch for *any* SUM-family approximate index
+/// with a δ-bounded cumulative function: the approximate answer is
+/// certified iff `A ≥ 2δ(1 + 1/ε_rel)`; otherwise the exact structure
+/// answers. This is the generic form of the per-method fallback arms the
+/// bench harness used to copy-paste for RMI and the FITing-tree.
+pub struct CertifiedRelSum<I, E> {
+    approx: I,
+    exact: E,
+    delta: f64,
+    eps_rel: f64,
+}
+
+impl<I, E> CertifiedRelSum<I, E> {
+    /// Wrap `approx` (whose endpoint evaluations are within `delta`) with
+    /// `exact` as the fallback, answering at `eps_rel`.
+    pub fn new(approx: I, exact: E, delta: f64, eps_rel: f64) -> Self {
+        assert!(eps_rel > 0.0, "relative error must be positive");
+        assert!(delta > 0.0, "delta must be positive");
+        CertifiedRelSum { approx, exact, delta, eps_rel }
+    }
+}
+
+impl<I: AggregateIndex, E: AggregateIndex> AggregateIndex for CertifiedRelSum<I, E> {
+    fn name(&self) -> &'static str {
+        self.approx.name()
+    }
+
+    fn kind(&self) -> AggregateKind {
+        self.approx.kind()
+    }
+
+    fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
+        let a = self.approx.query(lq, uq)?;
+        if a.value >= 2.0 * self.delta * (1.0 + 1.0 / self.eps_rel) {
+            Some(RangeAggregate::relative(a.value, self.eps_rel, false))
+        } else {
+            let e = self.exact.query(lq, uq)?;
+            Some(RangeAggregate::relative(e.value, self.eps_rel, true))
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.approx.size_bytes()
+    }
+
+    fn stats(&self) -> Option<&IndexStats> {
+        self.approx.stats()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exact structures (polyfit-exact)
+// ---------------------------------------------------------------------------
+
+impl AggregateIndex for KeyCumulativeArray {
+    fn name(&self) -> &'static str {
+        "KCA"
+    }
+
+    fn kind(&self) -> AggregateKind {
+        AggregateKind::Sum
+    }
+
+    fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
+        Some(RangeAggregate::exact(self.range_sum(lq, uq)))
+    }
+
+    fn size_bytes(&self) -> usize {
+        KeyCumulativeArray::size_bytes(self)
+    }
+}
+
+impl AggregateIndex for AggTree {
+    fn name(&self) -> &'static str {
+        "agg-tree"
+    }
+
+    fn kind(&self) -> AggregateKind {
+        AggregateKind::Max
+    }
+
+    fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
+        self.range_max(lq, uq).map(RangeAggregate::exact)
+    }
+
+    fn size_bytes(&self) -> usize {
+        AggTree::size_bytes(self)
+    }
+}
+
+impl AggregateIndex for BPlusTree {
+    fn name(&self) -> &'static str {
+        "B+-tree"
+    }
+
+    fn kind(&self) -> AggregateKind {
+        AggregateKind::Sum
+    }
+
+    fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
+        Some(RangeAggregate::exact(self.range_sum(lq, uq)))
+    }
+
+    fn size_bytes(&self) -> usize {
+        BPlusTree::size_bytes(self)
+    }
+}
+
+impl AggregateIndex2d for ARTree {
+    fn name(&self) -> &'static str {
+        "aR-tree"
+    }
+
+    fn kind(&self) -> AggregateKind {
+        AggregateKind::Count
+    }
+
+    fn query_rect(&self, u_lo: f64, u_hi: f64, v_lo: f64, v_hi: f64) -> Option<RangeAggregate> {
+        let rect = Rect::new(u_lo, u_hi, v_lo, v_hi);
+        Some(RangeAggregate::exact(self.range_count(&rect) as f64))
+    }
+
+    fn size_bytes(&self) -> usize {
+        ARTree::size_bytes(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Two-key PolyFit
+// ---------------------------------------------------------------------------
+
+impl AggregateIndex2d for QuadPolyFit {
+    fn name(&self) -> &'static str {
+        "PolyFit"
+    }
+
+    fn kind(&self) -> AggregateKind {
+        AggregateKind::Count
+    }
+
+    fn query_rect(&self, u_lo: f64, u_hi: f64, v_lo: f64, v_hi: f64) -> Option<RangeAggregate> {
+        // Lemma 6: four δ-certified patch evaluations → 4δ.
+        Some(RangeAggregate::absolute(self.query(u_lo, u_hi, v_lo, v_hi), 4.0 * self.delta()))
+    }
+
+    fn size_bytes(&self) -> usize {
+        QuadPolyFit::size_bytes(self)
+    }
+
+    fn stats(&self) -> Option<&IndexStats> {
+        Some(QuadPolyFit::stats(self))
+    }
+}
+
+impl AggregateIndex2d for Guaranteed2dCount {
+    fn name(&self) -> &'static str {
+        "PolyFit"
+    }
+
+    fn kind(&self) -> AggregateKind {
+        AggregateKind::Count
+    }
+
+    fn query_rect(&self, u_lo: f64, u_hi: f64, v_lo: f64, v_hi: f64) -> Option<RangeAggregate> {
+        Some(RangeAggregate::absolute(
+            self.query_abs(u_lo, u_hi, v_lo, v_hi),
+            4.0 * self.index().delta(),
+        ))
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.index().size_bytes()
+    }
+
+    fn stats(&self) -> Option<&IndexStats> {
+        Some(self.index().stats())
+    }
+}
+
+/// Adapter pinning an `ε_rel` for the relative-guarantee 2-D driver.
+pub struct RelDispatch2d {
+    driver: Guaranteed2dCount,
+    eps_rel: f64,
+}
+
+impl RelDispatch2d {
+    /// Wrap `driver`, answering every trait query at `eps_rel`.
+    pub fn new(driver: Guaranteed2dCount, eps_rel: f64) -> Self {
+        assert!(eps_rel > 0.0, "relative error must be positive");
+        RelDispatch2d { driver, eps_rel }
+    }
+}
+
+impl AggregateIndex2d for RelDispatch2d {
+    fn name(&self) -> &'static str {
+        "PolyFit"
+    }
+
+    fn kind(&self) -> AggregateKind {
+        AggregateKind::Count
+    }
+
+    fn query_rect(&self, u_lo: f64, u_hi: f64, v_lo: f64, v_hi: f64) -> Option<RangeAggregate> {
+        let ans = self.driver.query_rel(u_lo, u_hi, v_lo, v_hi, self.eps_rel);
+        Some(RangeAggregate::relative(ans.value, self.eps_rel, ans.used_fallback))
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.driver.index().size_bytes()
+    }
+
+    fn stats(&self) -> Option<&IndexStats> {
+        Some(self.driver.index().stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PolyFitConfig;
+    use polyfit_exact::dataset::{dedup_sum, sort_records, Record};
+
+    fn records(n: usize) -> Vec<Record> {
+        (0..n).map(|i| Record::new(i as f64, 1.0 + ((i * 7) % 5) as f64)).collect()
+    }
+
+    #[test]
+    fn sum_index_dispatches_with_absolute_guarantee() {
+        let idx = PolyFitSum::build(records(2000), 10.0, PolyFitConfig::default()).unwrap();
+        let dyn_idx: &dyn AggregateIndex = &idx;
+        assert_eq!(dyn_idx.kind(), AggregateKind::Sum);
+        let ans = dyn_idx.query(100.0, 900.0).unwrap();
+        assert_eq!(ans.guarantee, Guarantee::Absolute(20.0));
+        assert!(!ans.used_fallback);
+        assert_eq!(ans.value, idx.query(100.0, 900.0));
+        assert!(dyn_idx.size_bytes() > 0);
+        assert_eq!(dyn_idx.stats().unwrap().segments, idx.num_segments());
+    }
+
+    #[test]
+    fn max_index_none_outside_domain() {
+        let idx = PolyFitMax::build(records(500), 2.0, PolyFitConfig::default()).unwrap();
+        let dyn_idx: &dyn AggregateIndex = &idx;
+        assert!(dyn_idx.query(-100.0, -50.0).is_none());
+        assert_eq!(dyn_idx.query(10.0, 400.0).unwrap().guarantee, Guarantee::Absolute(2.0));
+    }
+
+    #[test]
+    fn min_built_index_dispatches_minima() {
+        // Alternating measures: max ≈ 9, min ≈ 3 — a MIN-built index must
+        // answer ~3 through the trait, not ~9.
+        let rs: Vec<Record> =
+            (0..500).map(|i| Record::new(i as f64, if i % 2 == 0 { 3.0 } else { 9.0 })).collect();
+        let idx = PolyFitMax::build_min(rs, 0.5, PolyFitConfig::default()).unwrap();
+        assert_eq!(idx.orientation(), Extremum::Min);
+        let dyn_idx: &dyn AggregateIndex = &idx;
+        assert_eq!(dyn_idx.kind(), AggregateKind::Min);
+        let ans = dyn_idx.query(10.0, 400.0).unwrap();
+        assert!((ans.value - 3.0).abs() <= 0.5 + 1e-9, "got {}", ans.value);
+        // Orientation survives serialization (the CLI query path decodes
+        // the file before dispatching through the trait).
+        let back = PolyFitMax::from_bytes(&idx.to_bytes()).unwrap();
+        assert_eq!(back.orientation(), Extremum::Min);
+        let back_ans = AggregateIndex::query(&back, 10.0, 400.0).unwrap();
+        assert_eq!(back_ans.value.to_bits(), ans.value.to_bits());
+    }
+
+    #[test]
+    fn pointer_delegation_preserves_behavior() {
+        let idx = PolyFitSum::build(records(800), 10.0, PolyFitConfig::default()).unwrap();
+        let direct = AggregateIndex::query(&idx, 50.0, 700.0).unwrap();
+        let rc: std::rc::Rc<dyn AggregateIndex> = std::rc::Rc::new(idx);
+        let via_rc = rc.query(50.0, 700.0).unwrap();
+        assert_eq!(via_rc, direct);
+        assert_eq!(rc.kind(), AggregateKind::Sum);
+        assert!((&rc).size_bytes() > 0);
+    }
+
+    #[test]
+    fn exact_structures_report_exact() {
+        let mut rs = records(1000);
+        sort_records(&mut rs);
+        let rs = dedup_sum(rs);
+        let kca = KeyCumulativeArray::new(&rs);
+        let tree = AggTree::new(&rs);
+        let btree = BPlusTree::new(&rs);
+        let methods: Vec<&dyn AggregateIndex> = vec![&kca, &tree, &btree];
+        for m in methods {
+            let ans = m.query(50.0, 500.0).unwrap();
+            assert_eq!(ans.guarantee, Guarantee::Exact, "{}", m.name());
+            assert!(m.size_bytes() > 0);
+            assert!(m.stats().is_none());
+        }
+        // The exact SUM structures agree with each other through the trait.
+        let a = AggregateIndex::query(&kca, 50.0, 500.0).unwrap().value;
+        let b = AggregateIndex::query(&btree, 50.0, 500.0).unwrap().value;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rel_dispatch_reports_fallback() {
+        let driver =
+            GuaranteedSum::with_rel_guarantee(records(2000), 50.0, PolyFitConfig::default());
+        // Measures average 3, so the full-range SUM is ≈ 6000; the Lemma 3
+        // threshold 2δ(1 + 1/ε) = 2100 sits between the tiny and huge range.
+        let rel = RelDispatch::new(driver, 0.05);
+        let tiny = rel.query(10.0, 12.0).unwrap();
+        assert!(tiny.used_fallback, "tiny range must fall back");
+        assert_eq!(tiny.guarantee, Guarantee::Relative(0.05));
+        let big = rel.query(0.0, 1999.0).unwrap();
+        assert!(!big.used_fallback, "huge range must certify");
+    }
+
+    #[test]
+    fn dynamic_index_dispatches() {
+        let mut idx =
+            DynamicPolyFitSum::new(records(500), 5.0, PolyFitConfig::default(), 1000).unwrap();
+        idx.insert(100.5, 3.0);
+        let dyn_idx: &dyn AggregateIndex = &idx;
+        let with_insert = dyn_idx.query(100.0, 101.0).unwrap();
+        assert_eq!(with_insert.guarantee, Guarantee::Absolute(10.0));
+        assert!(dyn_idx.size_bytes() > idx.base().size_bytes());
+    }
+
+    #[test]
+    fn heterogeneous_trait_object_collection() {
+        let mut rs = records(1500);
+        sort_records(&mut rs);
+        let rs = dedup_sum(rs);
+        let kca = KeyCumulativeArray::new(&rs);
+        let pf = PolyFitSum::build(rs.clone(), 25.0, PolyFitConfig::default()).unwrap();
+        let methods: Vec<Box<dyn AggregateIndex>> = vec![Box::new(kca), Box::new(pf)];
+        let truth = methods[0].query(100.0, 1200.0).unwrap().value;
+        for m in &methods {
+            let ans = m.query(100.0, 1200.0).unwrap();
+            let bound = match ans.guarantee {
+                Guarantee::Exact => 0.0,
+                Guarantee::Absolute(b) => b,
+                other => panic!("unexpected guarantee {other:?}"),
+            };
+            assert!(
+                (ans.value - truth).abs() <= bound + 1e-9,
+                "{}: {} vs {truth}",
+                m.name(),
+                ans.value
+            );
+        }
+    }
+}

@@ -154,11 +154,7 @@ impl GridCF {
 
 enum Node {
     /// Split cell. `mid_u`/`mid_v` are `NAN` when that axis is not split.
-    Internal {
-        mid_u: f64,
-        mid_v: f64,
-        children: Vec<Node>,
-    },
+    Internal { mid_u: f64, mid_v: f64, children: Vec<Node> },
     Leaf {
         poly: BivariatePoly,
         /// Achieved max error over the cell's fitted lattice samples.
@@ -204,37 +200,22 @@ impl QuadPolyFit {
         let root = if res >= 2 {
             let im = res / 2;
             let jm = res / 2;
-            let ranges = [
-                (0, im, 0, jm),
-                (im, res, 0, jm),
-                (0, im, jm, res),
-                (im, res, jm, res),
-            ];
-            let children: Vec<Node> = crossbeam::thread::scope(|s| {
+            let ranges = [(0, im, 0, jm), (im, res, 0, jm), (0, im, jm, res), (im, res, jm, res)];
+            let children: Vec<Node> = std::thread::scope(|s| {
                 let handles: Vec<_> = ranges
                     .iter()
                     .map(|&(a, b, c, d)| {
                         let b_ref = &builder;
-                        s.spawn(move |_| b_ref.build_cell(a, b, c, d, 1))
+                        s.spawn(move || b_ref.build_cell(a, b, c, d, 1))
                     })
                     .collect();
                 handles.into_iter().map(|h| h.join().expect("builder thread")).collect()
-            })
-            .expect("crossbeam scope");
-            Node::Internal {
-                mid_u: grid.line_u(im),
-                mid_v: grid.line_v(jm),
-                children,
-            }
+            });
+            Node::Internal { mid_u: grid.line_u(im), mid_v: grid.line_v(jm), children }
         } else {
             builder.build_cell(0, res, 0, res, 0)
         };
-        let bbox = (
-            grid.line_u(0),
-            grid.line_u(res),
-            grid.line_v(0),
-            grid.line_v(res),
-        );
+        let bbox = (grid.line_u(0), grid.line_u(res), grid.line_v(0), grid.line_v(res));
         let total = grid.total();
         let mut idx = QuadPolyFit {
             root,
@@ -397,10 +378,7 @@ impl CellBuilder<'_> {
         let (fit, error) = self.fit_cell(i0, i1, j0, j1);
         let splittable_u = i1 - i0 >= 2;
         let splittable_v = j1 - j0 >= 2;
-        if error <= self.delta
-            || depth >= self.cfg.max_depth
-            || (!splittable_u && !splittable_v)
-        {
+        if error <= self.delta || depth >= self.cfg.max_depth || (!splittable_u && !splittable_v) {
             return Node::Leaf { poly: fit, error };
         }
         let im = (i0 + i1) / 2;
@@ -478,9 +456,7 @@ fn sample_indices(lo: usize, hi: usize, per_axis: usize) -> Vec<usize> {
     if span <= per_axis {
         return (lo..=hi).collect();
     }
-    let mut out: Vec<usize> = (0..=per_axis)
-        .map(|k| lo + (span * k) / per_axis)
-        .collect();
+    let mut out: Vec<usize> = (0..=per_axis).map(|k| lo + (span * k) / per_axis).collect();
     out.dedup();
     out
 }
@@ -534,10 +510,8 @@ impl Guaranteed2dCount {
         if a >= threshold {
             crate::drivers::RelAnswer { value: a, used_fallback: false }
         } else {
-            let exact = self
-                .exact
-                .as_ref()
-                .expect("relative-guarantee driver requires the exact fallback");
+            let exact =
+                self.exact.as_ref().expect("relative-guarantee driver requires the exact fallback");
             let rect = polyfit_exact::artree::Rect::new(u_lo, u_hi, v_lo, v_hi);
             // Closed-rectangle count; boundary-coincident points are
             // measure-zero for continuous workloads.
@@ -577,9 +551,7 @@ mod tests {
     }
 
     fn brute_count(pts: &[Point2d], r: (f64, f64, f64, f64)) -> f64 {
-        pts.iter()
-            .filter(|p| p.u > r.0 && p.u <= r.1 && p.v > r.2 && p.v <= r.3)
-            .count() as f64
+        pts.iter().filter(|p| p.u > r.0 && p.u <= r.1 && p.v > r.2 && p.v <= r.3).count() as f64
     }
 
     fn test_config() -> Quad2dConfig {
@@ -619,7 +591,9 @@ mod tests {
         let idx = QuadPolyFit::build(&pts, 25.0, test_config()).unwrap();
         let g = GridCF::new(&pts, 128);
         // Lattice-aligned rectangles: fully certified.
-        for &(a, b, c, d) in &[(0usize, 128usize, 0usize, 128usize), (10, 50, 20, 90), (64, 65, 64, 65)] {
+        for &(a, b, c, d) in
+            &[(0usize, 128usize, 0usize, 128usize), (10, 50, 20, 90), (64, 65, 64, 65)]
+        {
             let r = (g.line_u(a), g.line_u(b), g.line_v(c), g.line_v(d));
             let approx = idx.query(r.0, r.1, r.2, r.3);
             let truth = brute_count(&pts, r);
@@ -635,11 +609,9 @@ mod tests {
         let pts = clustered_points(5000);
         let idx = QuadPolyFit::build(&pts, 25.0, test_config()).unwrap();
         // Off-lattice corners: allow the lattice-strip slack on top of 4δ.
-        for &(a, b, c, d) in &[
-            (-30.0, 55.5, -40.0, 44.4),
-            (15.3, 25.7, 25.1, 35.9),
-            (60.0, 80.0, 50.0, 70.0),
-        ] {
+        for &(a, b, c, d) in
+            &[(-30.0, 55.5, -40.0, 44.4), (15.3, 25.7, 25.1, 35.9), (60.0, 80.0, 50.0, 70.0)]
+        {
             let approx = idx.query(a, b, c, d);
             let truth = brute_count(&pts, (a, b, c, d));
             assert!(
@@ -757,10 +729,7 @@ mod tests {
             .sum();
         let approx = idx.query(20.0, 70.0, 10.0, 90.0);
         // 4δ plus lattice-strip slack on off-lattice corners.
-        assert!(
-            (approx - brute).abs() <= 4.0 * 40.0 + 200.0,
-            "approx {approx} brute {brute}"
-        );
+        assert!((approx - brute).abs() <= 4.0 * 40.0 + 200.0, "approx {approx} brute {brute}");
     }
 
     #[test]

@@ -116,10 +116,135 @@ proptest! {
         }
     }
 
-    /// Truncating a serialized buffer anywhere never panics — it returns a
-    /// decode error (or succeeds only for the full buffer).
+    /// Delete-heavy workload: remove whole key blocks so compaction runs
+    /// repeatedly, and check the absolute guarantee against a brute-force
+    /// shadow across every rebuild.
     #[test]
-    fn truncated_decode_never_panics(cut_fraction in 0.0f64..1.0) {
+    fn delete_heavy_compaction_preserves_guarantee(
+        block_start in 0usize..600,
+        block_len in 50usize..300,
+        buffer_limit in 1usize..24,
+        extra_deletes in proptest::collection::vec((0usize..1000, 0.1f64..0.9), 0..40),
+    ) {
+        let n = 1000usize;
+        let delta = 4.0;
+        let base: Vec<Record> = (0..n).map(|i| Record::new(i as f64, 1.0)).collect();
+        let mut idx = DynamicPolyFitSum::new(
+            base, delta, PolyFitConfig::default(), buffer_limit,
+        ).unwrap();
+        let mut shadow: Vec<(f64, f64)> = (0..n).map(|i| (i as f64, 1.0)).collect();
+
+        // Fully delete a contiguous block (the compaction-stress case:
+        // folded-to-zero keys must drop out of the rebuilt function).
+        let block_end = (block_start + block_len).min(n - 1);
+        for k in block_start..block_end {
+            idx.delete(k as f64, 1.0);
+            shadow.push((k as f64, -1.0));
+        }
+        // Plus scattered partial deletes outside the block (at most one
+        // per key, < 1.0 each, so those keys survive in the rebuilt
+        // function and stay δ-certified query endpoints).
+        let mut hit = std::collections::HashSet::new();
+        for &(at, m) in &extra_deletes {
+            if (block_start..block_end).contains(&at) || !hit.insert(at) {
+                continue;
+            }
+            idx.delete(at as f64, m);
+            shadow.push((at as f64, -m));
+        }
+        // The block alone exceeds any buffer limit in range → compactions.
+        prop_assert!(idx.rebuilds() >= 1, "buffer limit {buffer_limit} never compacted");
+        prop_assert!(idx.buffered() < buffer_limit);
+
+        let exact = |l: f64, u: f64| -> f64 {
+            shadow.iter().filter(|(k, _)| *k > l && *k <= u).map(|(_, m)| m).sum()
+        };
+        // Probe at surviving dataset keys (the certified endpoints),
+        // straddling and bracketing the deleted block.
+        let left_edge = if block_start == 0 { -1.0 } else { (block_start - 1) as f64 };
+        let probes = [
+            (-1.0, (n - 1) as f64),
+            (left_edge, block_end as f64),
+            (left_edge, ((block_end + 50).min(n - 1)) as f64),
+            (-1.0, left_edge),
+        ];
+        for (l, u) in probes {
+            let (l, u) = (l.min(u), l.max(u));
+            let approx = idx.query(l, u);
+            let truth = exact(l, u);
+            prop_assert!(
+                (approx - truth).abs() <= 2.0 * delta + 1e-6,
+                "({l}, {u}]: approx {approx} truth {truth} after {} rebuilds",
+                idx.rebuilds()
+            );
+        }
+    }
+
+    /// Dynamic-state serialization round-trips bit-exactly on queries, and
+    /// the decoded index keeps absorbing updates like the original.
+    #[test]
+    fn dynamic_serialization_roundtrip(
+        ops in ops_strategy(40),
+        buffer_limit in 1usize..16,
+        probes in proptest::collection::vec((-150.0f64..250.0, 0.0f64..400.0), 1..16),
+    ) {
+        let base: Vec<Record> = (0..150).map(|i| Record::new(i as f64 - 50.0, 1.0)).collect();
+        let mut idx = DynamicPolyFitSum::new(
+            base, 5.0, PolyFitConfig::default(), buffer_limit,
+        ).unwrap();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, m) => idx.insert(k, m),
+                Op::Delete(k, m) => idx.delete(k, m),
+                Op::Query(..) => {}
+            }
+        }
+        let back = DynamicPolyFitSum::from_bytes(&idx.to_bytes()).unwrap();
+        prop_assert_eq!(back.base_len(), idx.base_len());
+        prop_assert_eq!(back.buffered(), idx.buffered());
+        prop_assert_eq!(back.rebuilds(), idx.rebuilds());
+        for &(l, span) in &probes {
+            let u = l + span;
+            prop_assert_eq!(back.query(l, u).to_bits(), idx.query(l, u).to_bits());
+        }
+        // The decoded state is live: both sides absorb the same new
+        // updates (enough to cross the buffer limit) and stay in lockstep.
+        let mut original = idx;
+        let mut decoded = back;
+        for i in 0..(2 * buffer_limit) {
+            let k = 10.25 + i as f64;
+            original.insert(k, 2.0);
+            decoded.insert(k, 2.0);
+        }
+        prop_assert_eq!(original.rebuilds(), decoded.rebuilds());
+        for &(l, span) in &probes {
+            let u = l + span;
+            prop_assert_eq!(original.query(l, u).to_bits(), decoded.query(l, u).to_bits());
+        }
+    }
+
+    /// Corrupting the dynamic magic is rejected; truncations never panic
+    /// (and the untruncated buffer — cut_fraction 1.0 — must decode).
+    #[test]
+    fn dynamic_truncated_decode_never_panics(cut_fraction in 0.0f64..=1.0) {
+        let base: Vec<Record> = (0..200).map(|i| Record::new(i as f64, 1.0)).collect();
+        let mut idx = DynamicPolyFitSum::new(base, 5.0, PolyFitConfig::default(), 64).unwrap();
+        idx.insert(42.5, 3.0);
+        idx.delete(17.0, 1.0);
+        let bytes = idx.to_bytes();
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        let result = DynamicPolyFitSum::from_bytes(&bytes[..cut.min(bytes.len())]);
+        if cut >= bytes.len() {
+            prop_assert!(result.is_ok());
+        } else {
+            prop_assert!(result.is_err());
+        }
+    }
+
+    /// Truncating a serialized buffer anywhere never panics — it returns a
+    /// decode error (or succeeds only for the full buffer, cut_fraction 1.0).
+    #[test]
+    fn truncated_decode_never_panics(cut_fraction in 0.0f64..=1.0) {
         let records: Vec<Record> = (0..100).map(|i| Record::new(i as f64, 1.0)).collect();
         let idx = PolyFitSum::build(records, 5.0, PolyFitConfig::default()).unwrap();
         let bytes = idx.to_bytes();

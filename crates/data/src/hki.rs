@@ -88,10 +88,7 @@ mod tests {
         let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert!(max - min > 100.0, "series too flat: range {}", max - min);
         // Steps stay small relative to the level (local smoothness).
-        let max_step = values
-            .windows(2)
-            .map(|w| (w[1] - w[0]).abs())
-            .fold(0.0f64, f64::max);
+        let max_step = values.windows(2).map(|w| (w[1] - w[0]).abs()).fold(0.0f64, f64::max);
         assert!(max_step < 100.0, "max step {max_step}");
     }
 

@@ -51,7 +51,5 @@ pub struct Point2d {
 
 pub use hki::generate_hki;
 pub use osm::generate_osm;
-pub use queries::{
-    query_intervals_from_keys, query_rectangles, QueryInterval, QueryRect,
-};
+pub use queries::{query_intervals_from_keys, query_rectangles, QueryInterval, QueryRect};
 pub use tweet::generate_tweet;

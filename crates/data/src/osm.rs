@@ -43,10 +43,7 @@ pub fn generate_osm(n: usize, seed: u64) -> Vec<Point2d> {
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         let (lon, lat) = if rng.gen::<f64>() < BACKGROUND_FRACTION {
-            (
-                rng.gen_range(LON_RANGE.0..LON_RANGE.1),
-                rng.gen_range(LAT_RANGE.0..LAT_RANGE.1),
-            )
+            (rng.gen_range(LON_RANGE.0..LON_RANGE.1), rng.gen_range(LAT_RANGE.0..LAT_RANGE.1))
         } else {
             let &(sx, sy, sigma) = &subs[rng.gen_range(0..subs.len())];
             (sx + gaussian(&mut rng) * sigma, sy + gaussian(&mut rng) * sigma)
@@ -91,10 +88,10 @@ mod tests {
         let pts = generate_osm(20_000, 2);
         let mut cells = [0usize; 144];
         for p in &pts {
-            let cx = (((p.u - LON_RANGE.0) / (LON_RANGE.1 - LON_RANGE.0)) * 12.0)
-                .min(11.0) as usize;
-            let cy = (((p.v - LAT_RANGE.0) / (LAT_RANGE.1 - LAT_RANGE.0)) * 12.0)
-                .min(11.0) as usize;
+            let cx =
+                (((p.u - LON_RANGE.0) / (LON_RANGE.1 - LON_RANGE.0)) * 12.0).min(11.0) as usize;
+            let cy =
+                (((p.v - LAT_RANGE.0) / (LAT_RANGE.1 - LAT_RANGE.0)) * 12.0).min(11.0) as usize;
             cells[cy * 12 + cx] += 1;
         }
         let max_cell = *cells.iter().max().unwrap();

@@ -14,9 +14,7 @@ use crate::Record;
 pub fn uniform_keys(n: usize, lo: f64, hi: f64, seed: u64) -> Vec<Record> {
     assert!(lo < hi, "invalid range");
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| Record { key: rng.gen_range(lo..hi), measure: 1.0 })
-        .collect()
+    (0..n).map(|_| Record { key: rng.gen_range(lo..hi), measure: 1.0 }).collect()
 }
 
 /// Zipf-clustered keys: `n` draws from `universe` distinct hot spots with

@@ -38,10 +38,7 @@ impl AggTree {
     /// # Panics
     /// Panics if records are not sorted.
     pub fn new(records: &[Record]) -> Self {
-        assert!(
-            records.windows(2).all(|w| w[0].key <= w[1].key),
-            "records must be sorted by key"
-        );
+        assert!(records.windows(2).all(|w| w[0].key <= w[1].key), "records must be sorted by key");
         let n = records.len();
         let size = n.next_power_of_two().max(1);
         let mut nodes = vec![EMPTY_AGG; 2 * size];
@@ -51,12 +48,7 @@ impl AggTree {
         for i in (1..size).rev() {
             nodes[i] = merge(nodes[2 * i], nodes[2 * i + 1]);
         }
-        AggTree {
-            keys: records.iter().map(|r| r.key).collect(),
-            nodes,
-            size,
-            n,
-        }
+        AggTree { keys: records.iter().map(|r| r.key).collect(), nodes, size, n }
     }
 
     /// Number of records.
@@ -112,11 +104,8 @@ impl AggTree {
         let hi = rank_inclusive(&self.keys, uq);
         // When lq precedes every key, DF_max is 0/undefined left of the
         // first key; fall back to records inside the range only.
-        let lo = if rank_inclusive(&self.keys, lq) == 0 {
-            rank_exclusive(&self.keys, lq)
-        } else {
-            lo
-        };
+        let lo =
+            if rank_inclusive(&self.keys, lq) == 0 { rank_exclusive(&self.keys, lq) } else { lo };
         let agg = self.query_idx(lo, hi);
         (agg.max > f64::NEG_INFINITY).then_some(agg.max)
     }
@@ -223,11 +212,8 @@ mod tests {
         let rs = records();
         let t = AggTree::new(&rs);
         for &(l, u) in &[(0.0, 10.0), (2.0, 7.0), (3.0, 3.5), (9.0, 9.0)] {
-            let brute: f64 = rs
-                .iter()
-                .filter(|r| r.key >= l && r.key <= u)
-                .map(|r| r.measure)
-                .sum();
+            let brute: f64 =
+                rs.iter().filter(|r| r.key >= l && r.key <= u).map(|r| r.measure).sum();
             assert_eq!(t.range_sum_records(l, u), brute, "range [{l}, {u}]");
         }
     }

@@ -80,20 +80,8 @@ impl Rect {
 
 #[derive(Clone, Debug)]
 enum Node {
-    Leaf {
-        mbr: Rect,
-        count: u64,
-        sum: f64,
-        max: f64,
-        points: Vec<Point2d>,
-    },
-    Internal {
-        mbr: Rect,
-        count: u64,
-        sum: f64,
-        max: f64,
-        children: Vec<Node>,
-    },
+    Leaf { mbr: Rect, count: u64, sum: f64, max: f64, points: Vec<Point2d> },
+    Internal { mbr: Rect, count: u64, sum: f64, max: f64, children: Vec<Node> },
 }
 
 impl Node {
@@ -344,10 +332,8 @@ mod tests {
             (99.0, 100.0, 99.0, 100.0),
         ] {
             let q = Rect::new(ul, uh, vl, vh);
-            let brute: Vec<&Point2d> = pts
-                .iter()
-                .filter(|p| p.u >= ul && p.u <= uh && p.v >= vl && p.v <= vh)
-                .collect();
+            let brute: Vec<&Point2d> =
+                pts.iter().filter(|p| p.u >= ul && p.u <= uh && p.v >= vl && p.v <= vh).collect();
             assert_eq!(t.range_count(&q), brute.len() as u64, "count {q:?}");
             let bsum: f64 = brute.iter().map(|p| p.w).sum();
             assert!((t.range_sum(&q) - bsum).abs() < 1e-6, "sum {q:?}");

@@ -41,10 +41,7 @@ impl BPlusTree {
     /// # Panics
     /// Panics if records are not sorted.
     pub fn new(records: &[Record]) -> Self {
-        assert!(
-            records.windows(2).all(|w| w[0].key <= w[1].key),
-            "records must be sorted by key"
-        );
+        assert!(records.windows(2).all(|w| w[0].key <= w[1].key), "records must be sorted by key");
         let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
         let mut cum = Vec::with_capacity(records.len());
         let mut acc = 0.0;
@@ -55,20 +52,12 @@ impl BPlusTree {
         // Build router levels bottom-up: each level summarises blocks of
         // NODE_CAPACITY entries of the level below with their first key.
         let mut levels = Vec::new();
-        let mut level_first_keys: Vec<f64> = keys
-            .chunks(NODE_CAPACITY)
-            .map(|c| c[0])
-            .collect();
+        let mut level_first_keys: Vec<f64> = keys.chunks(NODE_CAPACITY).map(|c| c[0]).collect();
         while level_first_keys.len() > 1 {
             let separators = level_first_keys.clone();
-            let node_offsets = (0..separators.len())
-                .step_by(NODE_CAPACITY)
-                .collect();
+            let node_offsets = (0..separators.len()).step_by(NODE_CAPACITY).collect();
             levels.push(InternalLevel { separators, node_offsets });
-            level_first_keys = level_first_keys
-                .chunks(NODE_CAPACITY)
-                .map(|c| c[0])
-                .collect();
+            level_first_keys = level_first_keys.chunks(NODE_CAPACITY).map(|c| c[0]).collect();
         }
         levels.reverse();
         let height = levels.len() + 1;
@@ -145,8 +134,10 @@ impl BPlusTree {
         let routers: usize = self
             .levels
             .iter()
-            .map(|l| l.separators.len() * std::mem::size_of::<f64>()
-                + l.node_offsets.len() * std::mem::size_of::<usize>())
+            .map(|l| {
+                l.separators.len() * std::mem::size_of::<f64>()
+                    + l.node_offsets.len() * std::mem::size_of::<usize>()
+            })
             .sum();
         leaf + routers
     }
@@ -157,9 +148,8 @@ mod tests {
     use super::*;
 
     fn tree_of(n: usize) -> (BPlusTree, Vec<Record>) {
-        let records: Vec<Record> = (0..n)
-            .map(|i| Record::new(i as f64 * 2.0, (i % 5) as f64))
-            .collect();
+        let records: Vec<Record> =
+            (0..n).map(|i| Record::new(i as f64 * 2.0, (i % 5) as f64)).collect();
         (BPlusTree::new(&records), records)
     }
 
@@ -168,11 +158,7 @@ mod tests {
         let (t, records) = tree_of(1000);
         let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
         for &x in &[-1.0, 0.0, 1.0, 2.0, 999.0, 1000.0, 1998.0, 5000.0, 333.3] {
-            assert_eq!(
-                t.rank_inclusive(x),
-                keys.partition_point(|&k| k <= x),
-                "rank at {x}"
-            );
+            assert_eq!(t.rank_inclusive(x), keys.partition_point(|&k| k <= x), "rank at {x}");
         }
     }
 
@@ -192,11 +178,8 @@ mod tests {
     fn range_sum_matches_brute() {
         let (t, records) = tree_of(500);
         for &(l, u) in &[(0.0, 100.0), (-10.0, 2000.0), (500.0, 500.0), (37.0, 41.0)] {
-            let brute: f64 = records
-                .iter()
-                .filter(|r| r.key > l && r.key <= u)
-                .map(|r| r.measure)
-                .sum();
+            let brute: f64 =
+                records.iter().filter(|r| r.key > l && r.key <= u).map(|r| r.measure).sum();
             assert_eq!(t.range_sum(l, u), brute, "range ({l}, {u}]");
         }
     }
@@ -227,11 +210,7 @@ mod tests {
 
     #[test]
     fn duplicate_keys() {
-        let records = vec![
-            Record::new(1.0, 1.0),
-            Record::new(1.0, 1.0),
-            Record::new(2.0, 1.0),
-        ];
+        let records = vec![Record::new(1.0, 1.0), Record::new(1.0, 1.0), Record::new(2.0, 1.0)];
         let t = BPlusTree::new(&records);
         assert_eq!(t.cf(1.0), 2.0);
         assert_eq!(t.range_sum(0.0, 2.0), 3.0);

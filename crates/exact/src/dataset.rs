@@ -114,22 +114,14 @@ mod tests {
 
     #[test]
     fn dedup_sum_folds() {
-        let rs = vec![
-            Record::new(1.0, 2.0),
-            Record::new(1.0, 3.0),
-            Record::new(2.0, 1.0),
-        ];
+        let rs = vec![Record::new(1.0, 2.0), Record::new(1.0, 3.0), Record::new(2.0, 1.0)];
         let out = dedup_sum(rs);
         assert_eq!(out, vec![Record::new(1.0, 5.0), Record::new(2.0, 1.0)]);
     }
 
     #[test]
     fn dedup_max_keeps_extremum() {
-        let rs = vec![
-            Record::new(1.0, 2.0),
-            Record::new(1.0, 7.0),
-            Record::new(1.0, 3.0),
-        ];
+        let rs = vec![Record::new(1.0, 2.0), Record::new(1.0, 7.0), Record::new(1.0, 3.0)];
         let out = dedup_max(rs);
         assert_eq!(out, vec![Record::new(1.0, 7.0)]);
     }

@@ -27,10 +27,7 @@ impl KeyCumulativeArray {
     /// # Panics
     /// Panics if records are not sorted.
     pub fn new(records: &[Record]) -> Self {
-        assert!(
-            records.windows(2).all(|w| w[0].key <= w[1].key),
-            "records must be sorted by key"
-        );
+        assert!(records.windows(2).all(|w| w[0].key <= w[1].key), "records must be sorted by key");
         let mut keys = Vec::with_capacity(records.len());
         let mut cum = Vec::with_capacity(records.len());
         let mut acc = 0.0;
@@ -183,11 +180,7 @@ mod tests {
 
     #[test]
     fn duplicate_keys_accumulate() {
-        let records = vec![
-            Record::new(1.0, 1.0),
-            Record::new(1.0, 2.0),
-            Record::new(2.0, 3.0),
-        ];
+        let records = vec![Record::new(1.0, 1.0), Record::new(1.0, 2.0), Record::new(2.0, 3.0)];
         let kca = KeyCumulativeArray::new(&records);
         assert_eq!(kca.cf(1.0), 3.0);
         assert_eq!(kca.range_sum(0.0, 1.0), 3.0);
@@ -195,16 +188,12 @@ mod tests {
 
     #[test]
     fn brute_force_agreement() {
-        let records: Vec<Record> = (0..200)
-            .map(|i| Record::new(i as f64 * 0.7, (i % 7) as f64))
-            .collect();
+        let records: Vec<Record> =
+            (0..200).map(|i| Record::new(i as f64 * 0.7, (i % 7) as f64)).collect();
         let kca = KeyCumulativeArray::new(&records);
         for &(l, u) in &[(0.0, 50.0), (10.0, 10.5), (-5.0, 300.0), (70.0, 70.0)] {
-            let brute: f64 = records
-                .iter()
-                .filter(|r| r.key > l && r.key <= u)
-                .map(|r| r.measure)
-                .sum();
+            let brute: f64 =
+                records.iter().filter(|r| r.key > l && r.key <= u).map(|r| r.measure).sum();
             assert_eq!(kca.range_sum(l, u), brute);
         }
     }

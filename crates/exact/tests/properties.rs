@@ -5,7 +5,7 @@ use proptest::prelude::*;
 
 use polyfit_exact::artree::Rect;
 use polyfit_exact::dataset::{dedup_sum, sort_records, Point2d, Record};
-use polyfit_exact::{AggTree, ARTree, BPlusTree, KeyCumulativeArray};
+use polyfit_exact::{ARTree, AggTree, BPlusTree, KeyCumulativeArray};
 
 fn records(max_len: usize) -> impl Strategy<Value = Vec<Record>> {
     proptest::collection::vec((-500.0f64..500.0, 0.0f64..20.0), 1..max_len)

@@ -128,9 +128,7 @@ pub fn minimax_exchange_in_basis(ts: &[f64], ys: &[f64], deg: usize, basis: Basi
     }
     // Initial reference: spread indices evenly across the range (a discrete
     // stand-in for Chebyshev nodes).
-    let mut reference: Vec<usize> = (0..m)
-        .map(|k| (k * (l - 1)) / (m - 1))
-        .collect();
+    let mut reference: Vec<usize> = (0..m).map(|k| (k * (l - 1)) / (m - 1)).collect();
     reference.dedup();
     // Ensure m distinct indices even for tiny l (l ≥ m here).
     let mut fill = 0usize;

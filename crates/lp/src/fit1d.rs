@@ -55,10 +55,7 @@ pub fn fit_minimax(keys: &[f64], values: &[f64], deg: usize, backend: FitBackend
     assert!(!keys.is_empty(), "cannot fit zero points");
     let (center, scale) = ShiftedPolynomial::normalizer(keys[0], keys[keys.len() - 1]);
     let ts: Vec<f64> = keys.iter().map(|&k| (k - center) / scale).collect();
-    debug_assert!(
-        ts.windows(2).all(|w| w[0] < w[1]),
-        "keys must be strictly increasing"
-    );
+    debug_assert!(ts.windows(2).all(|w| w[0] < w[1]), "keys must be strictly increasing");
     let (coeffs, error) = match backend {
         FitBackend::Exchange => {
             let fit = minimax_exchange(&ts, values, deg);
@@ -75,10 +72,7 @@ pub fn fit_minimax(keys: &[f64], values: &[f64], deg: usize, backend: FitBackend
         }
         FitBackend::Simplex => fit_simplex(&ts, values, deg),
     };
-    MinimaxFit {
-        poly: ShiftedPolynomial::new(Polynomial::new(coeffs), center, scale),
-        error,
-    }
+    MinimaxFit { poly: ShiftedPolynomial::new(Polynomial::new(coeffs), center, scale), error }
 }
 
 /// Fit a polynomial through at most `deg + 1` points exactly (zero minimax
@@ -136,10 +130,7 @@ mod tests {
     }
 
     fn brute_error(fit: &MinimaxFit, keys: &[f64], values: &[f64]) -> f64 {
-        keys.iter()
-            .zip(values)
-            .map(|(&k, &v)| (v - fit.poly.eval(k)).abs())
-            .fold(0.0f64, f64::max)
+        keys.iter().zip(values).map(|(&k, &v)| (v - fit.poly.eval(k)).abs()).fold(0.0f64, f64::max)
     }
 
     #[test]
@@ -244,12 +235,7 @@ mod tests {
         let mut last = 0.0f64;
         for l in 1..=keys.len() {
             let fit = fit_minimax(&keys[..l], &values[..l], 2, FitBackend::Exchange);
-            assert!(
-                fit.error >= last - 1e-7 * last.max(1.0),
-                "l={l}: {} < {}",
-                fit.error,
-                last
-            );
+            assert!(fit.error >= last - 1e-7 * last.max(1.0), "l={l}: {} < {}", fit.error, last);
             last = last.max(fit.error);
         }
     }

@@ -212,19 +212,11 @@ mod tests {
     fn simplex_error_not_worse_than_least_squares() {
         let rect = (0.0, 1.0, 0.0, 1.0);
         let (us, vs) = grid(5, rect);
-        let ws: Vec<f64> = us
-            .iter()
-            .zip(&vs)
-            .map(|(&u, &v)| (6.0 * u).sin() + (4.0 * v).cos())
-            .collect();
+        let ws: Vec<f64> =
+            us.iter().zip(&vs).map(|(&u, &v)| (6.0 * u).sin() + (4.0 * v).cos()).collect();
         let ls = fit_minimax_2d(&us, &vs, &ws, rect, 2, Fit2dBackend::LeastSquares);
         let lp = fit_minimax_2d(&us, &vs, &ws, rect, 2, Fit2dBackend::Simplex);
-        assert!(
-            lp.error <= ls.error * (1.0 + 1e-6) + 1e-9,
-            "lp {} vs ls {}",
-            lp.error,
-            ls.error
-        );
+        assert!(lp.error <= ls.error * (1.0 + 1e-6) + 1e-9, "lp {} vs ls {}", lp.error, ls.error);
     }
 
     #[test]

@@ -155,11 +155,7 @@ impl Tableau {
         }
         let n_split = next;
         // One slack/surplus per inequality; artificials assigned after.
-        let n_slack = p
-            .constraints
-            .iter()
-            .filter(|c| c.rel != Relation::Eq)
-            .count();
+        let n_slack = p.constraints.iter().filter(|c| c.rel != Relation::Eq).count();
         // Count artificials: rows whose canonical form lacks an identity
         // column (Ge with positive rhs, Eq, and Le with negative rhs which
         // flips into Ge).
@@ -242,8 +238,7 @@ impl Tableau {
             // feasible solutions can leave them basic at value 0).
             for r in 0..m {
                 if self.basis[r] >= self.art_start {
-                    let pivot_col = (0..self.art_start)
-                        .find(|&c| self.t.get(r, c).abs() > TOL);
+                    let pivot_col = (0..self.art_start).find(|&c| self.t.get(r, c).abs() > TOL);
                     if let Some(c) = pivot_col {
                         self.pivot(r, c);
                     }

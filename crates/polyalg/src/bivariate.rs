@@ -41,11 +41,7 @@ impl BivariatePoly {
     /// # Panics
     /// Panics if `coeffs.len() != monomial_count(deg)` or a scale is invalid.
     pub fn new(deg: usize, coeffs: Vec<f64>, cu: f64, su: f64, cv: f64, sv: f64) -> Self {
-        assert_eq!(
-            coeffs.len(),
-            monomial_count(deg),
-            "coefficient count must match total degree"
-        );
+        assert_eq!(coeffs.len(), monomial_count(deg), "coefficient count must match total degree");
         assert!(su.is_finite() && su != 0.0, "invalid u-scale {su}");
         assert!(sv.is_finite() && sv != 0.0, "invalid v-scale {sv}");
         BivariatePoly { deg, coeffs, cu, su, cv, sv }

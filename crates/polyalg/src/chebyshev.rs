@@ -154,11 +154,7 @@ mod tests {
     fn clenshaw_matches_direct_sum() {
         let coeffs = [0.5, -1.0, 0.25, 2.0, -0.125];
         for &t in &[-1.0, -0.7, 0.0, 0.33, 0.99] {
-            let direct: f64 = coeffs
-                .iter()
-                .enumerate()
-                .map(|(j, &c)| c * chebyshev_t(j, t))
-                .sum();
+            let direct: f64 = coeffs.iter().enumerate().map(|(j, &c)| c * chebyshev_t(j, t)).sum();
             assert_close(eval_clenshaw(&coeffs, t), direct, 1e-12);
         }
     }

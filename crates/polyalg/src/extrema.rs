@@ -35,10 +35,7 @@ pub fn min_on_interval(p: &Polynomial, lo: f64, hi: f64) -> IntervalExtremum {
 }
 
 fn extremum(p: &Polynomial, lo: f64, hi: f64, want_max: bool) -> IntervalExtremum {
-    assert!(
-        lo.is_finite() && hi.is_finite() && lo <= hi,
-        "invalid interval [{lo}, {hi}]"
-    );
+    assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid interval [{lo}, {hi}]");
     let mut best = IntervalExtremum { at: lo, value: p.eval(lo) };
     let mut consider = |x: f64| {
         let v = p.eval(x);

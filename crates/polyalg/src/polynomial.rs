@@ -89,13 +89,7 @@ impl Polynomial {
         if self.coeffs.len() <= 1 {
             return Polynomial::zero();
         }
-        let coeffs = self
-            .coeffs
-            .iter()
-            .enumerate()
-            .skip(1)
-            .map(|(j, &c)| c * j as f64)
-            .collect();
+        let coeffs = self.coeffs.iter().enumerate().skip(1).map(|(j, &c)| c * j as f64).collect();
         Polynomial::new(coeffs)
     }
 
@@ -332,12 +326,7 @@ mod tests {
     fn eval_matches_naive() {
         let p = Polynomial::new(vec![1.0, -2.0, 3.0, 0.5]);
         for &x in &[-2.5f64, -1.0, 0.0, 0.3, 1.0, 4.2] {
-            let naive: f64 = p
-                .coeffs()
-                .iter()
-                .enumerate()
-                .map(|(j, c)| c * x.powi(j as i32))
-                .sum();
+            let naive: f64 = p.coeffs().iter().enumerate().map(|(j, c)| c * x.powi(j as i32)).sum();
             assert_close(p.eval(x), naive, 1e-12 * naive.abs().max(1.0));
         }
     }

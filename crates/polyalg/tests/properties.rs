@@ -3,7 +3,9 @@
 use proptest::prelude::*;
 
 use polyfit_poly::bivariate::{monomial_count, monomials, BivariatePoly};
-use polyfit_poly::chebyshev::{chebyshev_t, chebyshev_to_monomial, eval_clenshaw, monomial_to_chebyshev};
+use polyfit_poly::chebyshev::{
+    chebyshev_t, chebyshev_to_monomial, eval_clenshaw, monomial_to_chebyshev,
+};
 use polyfit_poly::{max_on_interval, min_on_interval, roots_in_interval, Polynomial, SturmChain};
 
 fn coeffs_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {

@@ -19,15 +19,13 @@ use polyfit_suite::polyfit::twod::{Guaranteed2dCount, Quad2dConfig};
 fn main() {
     let n = 1_000_000;
     println!("generating {n} synthetic OSM points...");
-    let points: Vec<Point2d> = generate_osm(n, 7)
-        .iter()
-        .map(|p| Point2d::new(p.u, p.v, p.w))
-        .collect();
+    let points: Vec<Point2d> =
+        generate_osm(n, 7).iter().map(|p| Point2d::new(p.u, p.v, p.w)).collect();
 
     let t0 = Instant::now();
     let cfg = Quad2dConfig { grid_resolution: 512, ..Default::default() };
-    let driver = Guaranteed2dCount::with_rel_guarantee(points.clone(), 250.0, cfg)
-        .expect("build 2-D index");
+    let driver =
+        Guaranteed2dCount::with_rel_guarantee(points.clone(), 250.0, cfg).expect("build 2-D index");
     println!(
         "built quadtree in {:.2}s: {} patches, {} KB",
         t0.elapsed().as_secs_f64(),

@@ -51,7 +51,10 @@ fn main() {
         .collect();
 
     for (name, f) in [
-        ("PolyFit-2", Box::new(|l: f64, u: f64| pf.query_abs(l, u)) as Box<dyn Fn(f64, f64) -> f64>),
+        (
+            "PolyFit-2",
+            Box::new(|l: f64, u: f64| pf.query_abs(l, u)) as Box<dyn Fn(f64, f64) -> f64>,
+        ),
         ("FITing", Box::new(|l, u| fit.query(l, u))),
         ("RMI", Box::new(|l, u| rmi.query(l, u))),
     ] {

@@ -38,7 +38,8 @@ fn main() {
     assert!((approx - exact).abs() <= eps_abs);
 
     // 4. A MAX index with the same machinery (δ = ε_abs per Lemma 4).
-    let max_index = GuaranteedMax::with_abs_guarantee(records.clone(), 50.0, PolyFitConfig::default());
+    let max_index =
+        GuaranteedMax::with_abs_guarantee(records.clone(), 50.0, PolyFitConfig::default());
     let peak = max_index.query_abs(lo, hi).expect("range overlaps the data");
     println!("range MAX  [{lo}, {hi}]: approx peak = {peak:.1} W (±50)");
 

@@ -17,19 +17,19 @@ use polyfit_suite::polyfit::PolyFitMax;
 fn main() {
     let n = 900_000;
     println!("generating {n} minutes of synthetic HKI ticks...");
-    let records: Vec<Record> = generate_hki(n, 2018)
-        .iter()
-        .map(|r| Record::new(r.key, r.measure))
-        .collect();
+    let records: Vec<Record> =
+        generate_hki(n, 2018).iter().map(|r| Record::new(r.key, r.measure)).collect();
 
     // SUM index for averages: ε_abs = 100 index-points of cumulative mass.
     let t0 = Instant::now();
-    let sum_idx = GuaranteedSum::with_abs_guarantee(records.clone(), 100.0, PolyFitConfig::default());
+    let sum_idx =
+        GuaranteedSum::with_abs_guarantee(records.clone(), 100.0, PolyFitConfig::default());
     // COUNT index to divide by (measure 1 per tick).
     let count_records: Vec<Record> = records.iter().map(|r| Record::new(r.key, 1.0)).collect();
     let cnt_idx = GuaranteedSum::with_abs_guarantee(count_records, 2.0, PolyFitConfig::default());
     // MAX and MIN indexes: ±25 index-points.
-    let max_idx = GuaranteedMax::with_abs_guarantee(records.clone(), 25.0, PolyFitConfig::default());
+    let max_idx =
+        GuaranteedMax::with_abs_guarantee(records.clone(), 25.0, PolyFitConfig::default());
     let min_idx = PolyFitMax::build_min(records.clone(), 25.0, PolyFitConfig::default()).unwrap();
     println!(
         "built 4 indexes in {:.2}s — SUM {} segs / MAX {} segs / sizes {} + {} bytes",

@@ -13,9 +13,8 @@ use polyfit_suite::polyfit::prelude::*;
 
 fn main() {
     // Initial bulk load: 200k sensor readings.
-    let records: Vec<Record> = (0..200_000)
-        .map(|i| Record::new(i as f64, 1.0 + (i % 7) as f64))
-        .collect();
+    let records: Vec<Record> =
+        (0..200_000).map(|i| Record::new(i as f64, 1.0 + (i % 7) as f64)).collect();
     let eps_abs = 100.0;
     let mut index =
         DynamicPolyFitSum::new(records.clone(), eps_abs / 2.0, PolyFitConfig::default(), 10_000)
@@ -58,11 +57,7 @@ fn main() {
     for w in 0..100 {
         let lo = w as f64 * 2_500.0;
         let hi = lo + 30_000.0;
-        let truth: f64 = shadow
-            .iter()
-            .filter(|(k, _)| *k > lo && *k <= hi)
-            .map(|(_, m)| m)
-            .sum();
+        let truth: f64 = shadow.iter().filter(|(k, _)| *k > lo && *k <= hi).map(|(_, m)| m).sum();
         let approx = index.query(lo, hi);
         worst = worst.max((approx - truth).abs());
     }

@@ -7,20 +7,24 @@ use polyfit_suite::exact::dataset::{dedup_sum, sort_records, Record};
 use polyfit_suite::exact::{ARTree, BPlusTree, KeyCumulativeArray};
 
 fn prepared(n: usize, seed: u64) -> (Vec<Record>, Vec<f64>, Vec<f64>) {
-    let mut records: Vec<Record> = generate_tweet(n, seed)
-        .iter()
-        .map(|r| Record::new(r.key, r.measure))
-        .collect();
+    let mut records: Vec<Record> =
+        generate_tweet(n, seed).iter().map(|r| Record::new(r.key, r.measure)).collect();
     sort_records(&mut records);
     let records = dedup_sum(records);
     let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
     let mut acc = 0.0;
-    let values: Vec<f64> = records.iter().map(|r| { acc += r.measure; acc }).collect();
+    let values: Vec<f64> = records
+        .iter()
+        .map(|r| {
+            acc += r.measure;
+            acc
+        })
+        .collect();
     (records, keys, values)
 }
 
 #[test]
-fn rmi_and_fiting_respect_shared_delta() {
+fn rmi_and_fitting_respect_shared_delta() {
     let (records, keys, values) = prepared(30_000, 5);
     let exact = KeyCumulativeArray::new(&records);
     let delta = 40.0;

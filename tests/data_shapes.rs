@@ -2,8 +2,8 @@
 //! measure distribution (uniform, Zipf-clustered, lognormal-skewed), not
 //! just on the paper's three datasets.
 
-use polyfit_suite::data::synthetic::{lognormal_measures, uniform_keys, zipf_keys};
 use polyfit_suite::data::query_intervals_from_keys;
+use polyfit_suite::data::synthetic::{lognormal_measures, uniform_keys, zipf_keys};
 use polyfit_suite::exact::dataset::{dedup_max, dedup_sum, sort_records, Record};
 use polyfit_suite::exact::{AggTree, KeyCumulativeArray};
 use polyfit_suite::polyfit::prelude::*;
@@ -39,11 +39,7 @@ fn zipf_clustered_guarantee() {
 #[test]
 fn lognormal_measures_guarantee() {
     // Heavy-tailed measures: single records can carry huge mass.
-    check_sum_guarantee(
-        prepare_sum(lognormal_measures(20_000, 1.0, 1.5, 17)),
-        200.0,
-        "lognormal",
-    );
+    check_sum_guarantee(prepare_sum(lognormal_measures(20_000, 1.0, 1.5, 17)), 200.0, "lognormal");
 }
 
 #[test]

@@ -11,19 +11,15 @@ use polyfit_suite::polyfit::prelude::*;
 use polyfit_suite::polyfit::PolyFitMax;
 
 fn tweet_records(n: usize) -> Vec<Record> {
-    let mut rs: Vec<Record> = generate_tweet(n, 42)
-        .iter()
-        .map(|r| Record::new(r.key, r.measure))
-        .collect();
+    let mut rs: Vec<Record> =
+        generate_tweet(n, 42).iter().map(|r| Record::new(r.key, r.measure)).collect();
     sort_records(&mut rs);
     dedup_sum(rs)
 }
 
 fn hki_records(n: usize) -> Vec<Record> {
-    let mut rs: Vec<Record> = generate_hki(n, 42)
-        .iter()
-        .map(|r| Record::new(r.key, r.measure))
-        .collect();
+    let mut rs: Vec<Record> =
+        generate_hki(n, 42).iter().map(|r| Record::new(r.key, r.measure)).collect();
     sort_records(&mut rs);
     dedup_max(rs)
 }
@@ -95,8 +91,10 @@ fn max_relative_guarantee_end_to_end() {
     let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
     // HKI measures ≈ 20k–36k: δ = 100, eps = 0.01 → threshold 10100, which
     // every answer passes; δ = 500 → threshold 50500, which always fails.
-    let pass_driver = GuaranteedMax::with_rel_guarantee(records.clone(), 100.0, PolyFitConfig::default());
-    let fail_driver = GuaranteedMax::with_rel_guarantee(records.clone(), 500.0, PolyFitConfig::default());
+    let pass_driver =
+        GuaranteedMax::with_rel_guarantee(records.clone(), 100.0, PolyFitConfig::default());
+    let fail_driver =
+        GuaranteedMax::with_rel_guarantee(records.clone(), 500.0, PolyFitConfig::default());
     for q in query_intervals_from_keys(&keys, 150, 17) {
         let truth = exact.range_max(q.lo, q.hi).expect("non-empty");
         let a = pass_driver.query_rel(q.lo, q.hi, 0.01).expect("in-domain");

@@ -8,10 +8,7 @@ use polyfit_suite::exact::ARTree;
 use polyfit_suite::polyfit::twod::{Guaranteed2dCount, Quad2dConfig, QuadPolyFit};
 
 fn points(n: usize, seed: u64) -> Vec<Point2d> {
-    generate_osm(n, seed)
-        .iter()
-        .map(|p| Point2d::new(p.u, p.v, p.w))
-        .collect()
+    generate_osm(n, seed).iter().map(|p| Point2d::new(p.u, p.v, p.w)).collect()
 }
 
 fn cfg() -> Quad2dConfig {

@@ -1,0 +1,261 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this crate vendors
+//! the API surface the workspace's benches use — `Criterion` with its
+//! builder knobs, benchmark groups, `BenchmarkId`, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: warm up for `warm_up_time`, then
+//! run iterations for `measurement_time` and report the mean wall-clock
+//! nanoseconds per iteration. No statistics, no plots, no comparison to
+//! saved baselines — numbers print to stdout in a `name: N ns/iter`
+//! format good enough for before/after eyeballing.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting bench work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier, optionally parameterised (`name/param`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Identifier rendered as `name/param`.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId { full: format!("{name}/{param}") }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { full: name.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(full: String) -> Self {
+        BenchmarkId { full }
+    }
+}
+
+/// Runs one benchmark body repeatedly and records the mean latency.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly; the mean is reported by the harness afterwards.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= self.measurement {
+                break;
+            }
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// Shared measurement configuration.
+#[derive(Clone, Debug)]
+struct Config {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+/// The benchmark harness entry point (builder + runner).
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            config: Config {
+                warm_up: Duration::from_millis(200),
+                measurement: Duration::from_millis(500),
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the stub has no sampling phases.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Wall-clock budget for the measurement phase of each benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement = d;
+        self
+    }
+
+    /// Wall-clock budget for the warm-up phase of each benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up = d;
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&self, label: &str, mut f: F) {
+        let mut b = Bencher {
+            warm_up: self.config.warm_up,
+            measurement: self.config.measurement,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        println!("{label}: {:.1} ns/iter ({} iters)", b.mean_ns, b.iters);
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(&id.full, f);
+        self
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(&id.full, |b| f(b, input));
+        self
+    }
+
+    /// Open a named group; benchmarks inside print as `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// No-op; kept so `criterion_main!`-style drivers can call it.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub has no sampling phases.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// See [`Criterion::measurement_time`].
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.config.measurement = d;
+        self
+    }
+
+    /// Run a benchmark within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.full);
+        self.criterion.run(&label, f);
+        self
+    }
+
+    /// Run a parameterised benchmark within this group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.full);
+        self.criterion.run(&label, |b| f(b, input));
+        self
+    }
+
+    /// Close the group (printing happens eagerly, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions under one group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_positive_mean() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("fit", 512).full, "fit/512");
+        assert_eq!(BenchmarkId::from("plain").full, "plain");
+    }
+}
