@@ -59,28 +59,32 @@ fn main() {
     }
     cost.emit("ablation_fitting_cost");
 
-    // ---- galloping vs literal Algorithm 1 ----
-    use polyfit::segmentation::greedy_segmentation_naive;
-    let mut gallop = ResultsTable::new(
-        "Ablation A1c — GS search strategy: galloping vs one-key-at-a-time (delta = 25, deg = 2)",
-        &["n", "gallop (ms)", "naive (ms)", "same boundaries?"],
+    // ---- serial vs chunk-parallel build pipeline ----
+    // (The one-key-at-a-time Algorithm 1 is now a test-only oracle inside
+    // `polyfit::segmentation`; the interesting construction ablation is
+    // the thread count of the shared build pipeline.)
+    use polyfit::build::{segment_function, BuildOptions};
+    let mut pipe = ResultsTable::new(
+        "Ablation A1c — build pipeline thread count (delta = 25, deg = 2)",
+        &["n", "threads", "time (ms)", "segments", "max certified err"],
     );
-    for &n in &[5_000usize, 20_000, 80_000] {
+    for &n in &[20_000usize, 80_000] {
         let records = to_records(&generate_tweet(n, 0x7EE7));
         let f = cumulative_function(records).expect("non-empty");
         let cfg = PolyFitConfig::default();
-        let (fast, fast_s) =
-            time_it(|| greedy_segmentation(&f, &cfg, 25.0, ErrorMetric::DataPoint));
-        let (naive, naive_s) =
-            time_it(|| greedy_segmentation_naive(&f, &cfg, 25.0, ErrorMetric::DataPoint));
-        let same = fast.len() == naive.len()
-            && fast.iter().zip(&naive).all(|(a, b)| (a.start, a.end) == (b.start, b.end));
-        gallop.row(&[
-            format!("{n}"),
-            format!("{:.1}", fast_s * 1e3),
-            format!("{:.1}", naive_s * 1e3),
-            format!("{same}"),
-        ]);
+        for threads in [1usize, 2, 4] {
+            let opts = BuildOptions::with_threads(threads);
+            let (specs, secs) =
+                time_it(|| segment_function(&f, &cfg, 25.0, ErrorMetric::DataPoint, &opts));
+            let worst = specs.iter().fold(0.0f64, |m, s| m.max(s.certified_error));
+            pipe.row(&[
+                format!("{n}"),
+                format!("{threads}"),
+                format!("{:.1}", secs * 1e3),
+                format!("{}", specs.len()),
+                format!("{worst:.3}"),
+            ]);
+        }
     }
-    gallop.emit("ablation_gs_search");
+    pipe.emit("ablation_build_pipeline");
 }

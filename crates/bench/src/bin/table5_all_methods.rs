@@ -63,48 +63,74 @@ impl Method2d {
     }
 }
 
-/// Time every column of a single-key row through the trait.
+/// Time every column of a single-key row through the trait, both one
+/// query at a time and through the batched `query_batch` path; the
+/// amortized ns/query of each goes to its own table.
 fn row_1d(
     table: &mut ResultsTable,
+    batch_table: &mut ResultsTable,
     problem: &str,
     query_type: &str,
     queries: &[QueryInterval],
     methods: [Option<Method>; COLUMNS.len()],
 ) {
     let mut cells = vec![problem.to_string(), query_type.to_string()];
+    let mut batch_cells = cells.clone();
     for method in methods {
-        cells.push(match method {
-            None => "n/a".into(),
+        match method {
+            None => {
+                cells.push("n/a".into());
+                batch_cells.push("n/a".into());
+            }
             Some(m) => {
                 let qs = &queries[..m.query_cap.min(queries.len())];
-                fmt_ns(measure_ns(qs, m.repeats, |q| m.index.query(q.lo, q.hi)))
+                cells.push(fmt_ns(measure_ns(qs, m.repeats, |q| m.index.query(q.lo, q.hi))));
+                let ranges: Vec<(f64, f64)> = qs.iter().map(|q| (q.lo, q.hi)).collect();
+                // One "item" = the whole batch; divide by batch size for
+                // amortized ns/query.
+                let batch_ns = measure_ns(&[()], m.repeats, |()| m.index.query_batch(&ranges))
+                    / ranges.len() as f64;
+                batch_cells.push(fmt_ns(batch_ns));
             }
-        });
+        }
     }
     table.row(&cells);
+    batch_table.row(&batch_cells);
 }
 
-/// Time every column of a two-key row through the trait.
+/// Time every column of a two-key row through the trait (sequential and
+/// batched, as in [`row_1d`]).
 fn row_2d(
     table: &mut ResultsTable,
+    batch_table: &mut ResultsTable,
     problem: &str,
     query_type: &str,
     rects: &[QueryRect],
     methods: [Option<Method2d>; COLUMNS.len()],
 ) {
     let mut cells = vec![problem.to_string(), query_type.to_string()];
+    let mut batch_cells = cells.clone();
     for method in methods {
-        cells.push(match method {
-            None => "n/a".into(),
+        match method {
+            None => {
+                cells.push("n/a".into());
+                batch_cells.push("n/a".into());
+            }
             Some(m) => {
                 let rs = &rects[..m.query_cap.min(rects.len())];
-                fmt_ns(measure_ns(rs, m.repeats, |r| {
+                cells.push(fmt_ns(measure_ns(rs, m.repeats, |r| {
                     m.index.query_rect(r.u_lo, r.u_hi, r.v_lo, r.v_hi)
-                }))
+                })));
+                let rects4: Vec<(f64, f64, f64, f64)> =
+                    rs.iter().map(|r| (r.u_lo, r.u_hi, r.v_lo, r.v_hi)).collect();
+                let batch_ns = measure_ns(&[()], m.repeats, |()| m.index.query_batch_rect(&rects4))
+                    / rects4.len() as f64;
+                batch_cells.push(fmt_ns(batch_ns));
             }
-        });
+        }
     }
     table.row(&cells);
+    batch_table.row(&batch_cells);
 }
 
 fn main() {
@@ -116,6 +142,10 @@ fn main() {
 
     let mut table = ResultsTable::new(
         "Table V — response time (ns) for all methods with error guarantees",
+        &["problem", "query type", COLUMNS[0], COLUMNS[1], COLUMNS[2], COLUMNS[3], COLUMNS[4]],
+    );
+    let mut batch_table = ResultsTable::new(
+        "Table V (batched) — amortized ns/query through query_batch",
         &["problem", "query type", COLUMNS[0], COLUMNS[1], COLUMNS[2], COLUMNS[3], COLUMNS[4]],
     );
 
@@ -142,6 +172,7 @@ fn main() {
     // Problem 1 (ε_abs = 100 → δ = 50).
     row_1d(
         &mut table,
+        &mut batch_table,
         "1",
         "COUNT (single key)",
         &queries,
@@ -171,6 +202,7 @@ fn main() {
     let kca = std::rc::Rc::new(KeyCumulativeArray::new(&records));
     row_1d(
         &mut table,
+        &mut batch_table,
         "2",
         "COUNT (single key)",
         &queries,
@@ -213,6 +245,7 @@ fn main() {
 
     row_1d(
         &mut table,
+        &mut batch_table,
         "1",
         "MAX (single key)",
         &hqueries,
@@ -230,6 +263,7 @@ fn main() {
     );
     row_1d(
         &mut table,
+        &mut batch_table,
         "2",
         "MAX (single key)",
         &hqueries,
@@ -259,6 +293,7 @@ fn main() {
         .expect("2d build");
     row_2d(
         &mut table,
+        &mut batch_table,
         "1",
         "COUNT (two keys)",
         &rects,
@@ -280,6 +315,7 @@ fn main() {
             .expect("2d build");
     row_2d(
         &mut table,
+        &mut batch_table,
         "2",
         "COUNT (two keys)",
         &rects,
@@ -295,4 +331,5 @@ fn main() {
         ],
     );
     table.emit("table5_all_methods");
+    batch_table.emit("table5_all_methods_batch");
 }

@@ -89,7 +89,29 @@ impl ResultsTable {
         out
     }
 
-    /// Print to stdout and persist as `results/<name>.csv`.
+    /// Render as a machine-readable JSON document (`{title, headers,
+    /// rows}`) so the perf trajectory can be tracked across PRs without
+    /// scraping the aligned text.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"title\": {},", json_string(&self.title));
+        let _ = writeln!(
+            out,
+            "  \"headers\": [{}],",
+            self.headers.iter().map(|h| json_string(h)).collect::<Vec<_>>().join(", ")
+        );
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let cells = row.iter().map(|c| json_string(c)).collect::<Vec<_>>().join(", ");
+            let comma = if i + 1 < self.rows.len() { "," } else { "" };
+            let _ = writeln!(out, "    [{cells}]{comma}");
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Print to stdout and persist as `results/<name>.csv` plus
+    /// `results/<name>.json`.
     pub fn emit(&self, name: &str) {
         println!("{}", self.render());
         let dir = results_dir();
@@ -99,13 +121,37 @@ impl ResultsTable {
         for row in &self.rows {
             let _ = writeln!(csv, "{}", row.join(","));
         }
-        let path = dir.join(format!("{name}.csv"));
-        if let Err(e) = fs::write(&path, csv) {
-            eprintln!("warning: could not write {}: {e}", path.display());
-        } else {
-            println!("[saved {}]", path.display());
+        for (ext, payload) in [("csv", csv), ("json", self.to_json())] {
+            let path = dir.join(format!("{name}.{ext}"));
+            if let Err(e) = fs::write(&path, payload) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("[saved {}]", path.display());
+            }
         }
     }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes) —
+/// enough for table cells, which the harness formats itself.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Directory where runners drop CSVs: `$POLYFIT_RESULTS_DIR` when set
@@ -175,6 +221,16 @@ mod tests {
     fn row_width_checked() {
         let mut t = ResultsTable::new("demo", &["a", "b"]);
         t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_structures() {
+        let mut t = ResultsTable::new("t\"itle", &["a", "b"]);
+        t.row(&["x".into(), "1\n2".into()]);
+        let j = t.to_json();
+        assert!(j.contains("\"t\\\"itle\""));
+        assert!(j.contains("[\"x\", \"1\\n2\"]"));
+        assert!(j.contains("\"headers\": [\"a\", \"b\"]"));
     }
 
     #[test]

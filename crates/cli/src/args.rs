@@ -7,8 +7,11 @@ pub const USAGE: &str = "\
 usage:
   polyfit-cli build --input <data.csv> --output <index.pf> --aggregate <sum|count|max|min>
                 --eps-abs <float> [--degree <1..8>] [--backend <exchange|chebyshev|simplex>]
-  polyfit-cli query --index <index.pf> --lo <float> --hi <float>
-  polyfit-cli info  --index <index.pf>";
+                [--threads <N>]   (0 or omitted = all available cores)
+  polyfit-cli query --index <index.pf> (--lo <float> --hi <float> | --batch-file <ranges.csv>)
+  polyfit-cli info  --index <index.pf>
+
+batch file: one `lo,hi` pair per line; answers print one per line in order.";
 
 /// Aggregate kind selected at build time.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -29,11 +32,18 @@ pub enum Command {
         eps_abs: f64,
         degree: usize,
         backend: String,
+        /// Build-pipeline worker threads; 0 = available parallelism.
+        threads: usize,
     },
     Query {
         index: String,
         lo: f64,
         hi: f64,
+    },
+    /// Answer every `lo,hi` range of a batch file through `query_batch`.
+    QueryBatch {
+        index: String,
+        batch_file: String,
     },
     Info {
         index: String,
@@ -94,6 +104,12 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                     "unknown backend '{backend}' (expected exchange|chebyshev|simplex)"
                 )));
             }
+            let threads = match flag_value(argv, "--threads") {
+                Some(s) => s
+                    .parse()
+                    .map_err(|_| ParseError(format!("--threads expects an integer, got '{s}'")))?,
+                None => 0, // auto: all available cores
+            };
             Ok(Command::Build {
                 input: required(argv, "--input")?.to_string(),
                 output: required(argv, "--output")?.to_string(),
@@ -101,13 +117,25 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 eps_abs,
                 degree,
                 backend: backend.to_string(),
+                threads,
             })
         }
-        "query" => Ok(Command::Query {
-            index: required(argv, "--index")?.to_string(),
-            lo: parse_f64(required(argv, "--lo")?, "--lo")?,
-            hi: parse_f64(required(argv, "--hi")?, "--hi")?,
-        }),
+        "query" => {
+            let index = required(argv, "--index")?.to_string();
+            if let Some(batch_file) = flag_value(argv, "--batch-file") {
+                if flag_value(argv, "--lo").is_some() || flag_value(argv, "--hi").is_some() {
+                    return Err(ParseError(
+                        "--batch-file conflicts with --lo/--hi (pick one query mode)".into(),
+                    ));
+                }
+                return Ok(Command::QueryBatch { index, batch_file: batch_file.to_string() });
+            }
+            Ok(Command::Query {
+                index,
+                lo: parse_f64(required(argv, "--lo")?, "--lo")?,
+                hi: parse_f64(required(argv, "--hi")?, "--hi")?,
+            })
+        }
         "info" => Ok(Command::Info { index: required(argv, "--index")?.to_string() }),
         other => Err(ParseError(format!("unknown subcommand '{other}'"))),
     }
@@ -136,6 +164,7 @@ mod tests {
                 eps_abs: 100.0,
                 degree: 3,
                 backend: "exchange".into(),
+                threads: 0,
             }
         );
     }
@@ -145,13 +174,30 @@ mod tests {
         let cmd = parse(&argv("build --input d.csv --output i.pf --aggregate count --eps-abs 10"))
             .unwrap();
         match cmd {
-            Command::Build { degree, backend, aggregate, .. } => {
+            Command::Build { degree, backend, aggregate, threads, .. } => {
                 assert_eq!(degree, 2);
                 assert_eq!(backend, "exchange");
                 assert_eq!(aggregate, Aggregate::Count);
+                assert_eq!(threads, 0, "default is auto parallelism");
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn build_parses_threads() {
+        let cmd = parse(&argv(
+            "build --input d.csv --output i.pf --aggregate sum --eps-abs 10 --threads 4",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Build { threads, .. } => assert_eq!(threads, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv(
+            "build --input d.csv --output i.pf --aggregate sum --eps-abs 10 --threads x"
+        ))
+        .is_err());
     }
 
     #[test]
@@ -164,6 +210,17 @@ mod tests {
             parse(&argv("info --index i.pf")).unwrap(),
             Command::Info { index: "i.pf".into() }
         );
+    }
+
+    #[test]
+    fn parses_batch_query() {
+        assert_eq!(
+            parse(&argv("query --index i.pf --batch-file ranges.csv")).unwrap(),
+            Command::QueryBatch { index: "i.pf".into(), batch_file: "ranges.csv".into() }
+        );
+        // Mixing the two query modes is rejected, not silently resolved.
+        assert!(parse(&argv("query --index i.pf --lo 1 --hi 2 --batch-file r.csv")).is_err());
+        assert!(parse(&argv("query --index i.pf --batch-file r.csv --hi 2")).is_err());
     }
 
     #[test]

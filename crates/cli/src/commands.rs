@@ -5,6 +5,30 @@ use std::fs;
 use polyfit::prelude::*;
 use polyfit::{Extremum, PolyFitMax, PolyFitSum};
 
+/// Parse a batch-query file: one `lo,hi` range per line; `#` comments and
+/// blank lines are skipped.
+fn parse_ranges(text: &str) -> Result<Vec<(f64, f64)>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(2, ',');
+        let parse = |s: Option<&str>| -> Result<f64, String> {
+            s.and_then(|v| v.trim().parse().ok())
+                .ok_or_else(|| format!("line {}: expected 'lo,hi', got '{line}'", lineno + 1))
+        };
+        let lo = parse(parts.next())?;
+        let hi = parse(parts.next())?;
+        out.push((lo, hi));
+    }
+    if out.is_empty() {
+        return Err("batch file contains no ranges".into());
+    }
+    Ok(out)
+}
+
 use crate::args::{Aggregate, Command};
 use crate::csv;
 
@@ -39,7 +63,7 @@ fn backend_of(name: &str) -> FitBackend {
 /// Execute a parsed command.
 pub fn run(cmd: Command) -> Result<(), String> {
     match cmd {
-        Command::Build { input, output, aggregate, eps_abs, degree, backend } => {
+        Command::Build { input, output, aggregate, eps_abs, degree, backend, threads } => {
             let text =
                 fs::read_to_string(&input).map_err(|e| format!("cannot read {input}: {e}"))?;
             let mut records = csv::parse_records(&text)?;
@@ -51,21 +75,24 @@ pub fn run(cmd: Command) -> Result<(), String> {
             let config =
                 PolyFitConfig { degree, backend: backend_of(&backend), ..Default::default() };
             config.validate().map_err(|e| e.to_string())?;
+            // `--threads 0` (the default) resolves to available
+            // parallelism inside the build pipeline.
+            let opts = BuildOptions::with_threads(threads);
             let (bytes, segments, kind) = match aggregate {
                 Aggregate::Sum | Aggregate::Count => {
                     // Lemma 2: δ = ε_abs / 2 for SUM-family queries.
-                    let idx = PolyFitSum::build(records, eps_abs / 2.0, config)
+                    let idx = PolyFitSum::build_with(records, eps_abs / 2.0, config, &opts)
                         .map_err(|e| e.to_string())?;
                     (idx.to_bytes(), idx.num_segments(), "sum")
                 }
                 Aggregate::Max => {
                     // Lemma 4: δ = ε_abs.
-                    let idx =
-                        PolyFitMax::build(records, eps_abs, config).map_err(|e| e.to_string())?;
+                    let idx = PolyFitMax::build_with(records, eps_abs, config, &opts)
+                        .map_err(|e| e.to_string())?;
                     (idx.to_bytes(), idx.num_segments(), "max")
                 }
                 Aggregate::Min => {
-                    let idx = PolyFitMax::build_min(records, eps_abs, config)
+                    let idx = PolyFitMax::build_min_with(records, eps_abs, config, &opts)
                         .map_err(|e| e.to_string())?;
                     (idx.to_bytes(), idx.num_segments(), "min")
                 }
@@ -81,6 +108,23 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 Some(ans) => println!("{}", ans.value),
                 None => println!("NaN  # range outside the key domain"),
             }
+            Ok(())
+        }
+        Command::QueryBatch { index, batch_file } => {
+            let bytes = fs::read(&index).map_err(|e| format!("cannot read {index}: {e}"))?;
+            let idx = load_index(&bytes).map_err(|e| format!("{index} is {e}"))?;
+            let text = fs::read_to_string(&batch_file)
+                .map_err(|e| format!("cannot read {batch_file}: {e}"))?;
+            let ranges = parse_ranges(&text)?;
+            // One sort-and-share pass over the whole file.
+            let mut out = String::with_capacity(ranges.len() * 16);
+            for ans in idx.query_batch(&ranges) {
+                match ans {
+                    Some(a) => out.push_str(&format!("{}\n", a.value)),
+                    None => out.push_str("NaN\n"),
+                }
+            }
+            print!("{out}");
             Ok(())
         }
         Command::Info { index } => {
@@ -217,8 +261,42 @@ mod tests {
             eps_abs: 1.0,
             degree: 2,
             backend: "exchange".into(),
+            threads: 0,
         })
         .unwrap_err();
         assert!(err.contains("cannot read"));
+    }
+
+    #[test]
+    fn threaded_build_and_batch_query_roundtrip() {
+        let data = tmp("batch.csv");
+        let idx = tmp("batch.pf");
+        let ranges = tmp("batch-ranges.csv");
+        let rows: String = (0..3000).map(|i| format!("{i},1\n")).collect();
+        fs::write(&data, rows).unwrap();
+        run(parse(&argv(&format!(
+            "build --input {data} --output {idx} --aggregate sum --eps-abs 50 --threads 2"
+        )))
+        .unwrap())
+        .unwrap();
+        fs::write(&ranges, "# lo,hi pairs\n99,1099\n1,2\n2000,1000\n").unwrap();
+        run(parse(&argv(&format!("query --index {idx} --batch-file {ranges}"))).unwrap()).unwrap();
+        // The batch path must agree with the sequential trait query.
+        let loaded = load_index(&fs::read(&idx).unwrap()).unwrap();
+        let parsed = super::parse_ranges(&fs::read_to_string(&ranges).unwrap()).unwrap();
+        let batch = loaded.query_batch(&parsed);
+        for (i, &(lo, hi)) in parsed.iter().enumerate() {
+            assert_eq!(
+                batch[i].map(|a| a.value.to_bits()),
+                loaded.query(lo, hi).map(|a| a.value.to_bits())
+            );
+        }
+    }
+
+    #[test]
+    fn batch_file_parse_errors_are_reported() {
+        assert!(parse_ranges("").is_err());
+        assert!(parse_ranges("1,2\nbogus\n").is_err());
+        assert_eq!(parse_ranges("# c\n 1 , 2 \n\n3,4\n").unwrap(), vec![(1.0, 2.0), (3.0, 4.0)]);
     }
 }

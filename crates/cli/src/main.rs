@@ -1,14 +1,18 @@
 //! `polyfit-cli` — build, inspect, and query PolyFit index files.
 //!
 //! ```text
-//! polyfit-cli build --input data.csv --output idx.pf --aggregate sum --eps-abs 100 [--degree 2]
+//! polyfit-cli build --input data.csv --output idx.pf --aggregate sum --eps-abs 100 [--degree 2] [--threads 4]
 //! polyfit-cli query --index idx.pf --lo 10 --hi 500
+//! polyfit-cli query --index idx.pf --batch-file ranges.csv
 //! polyfit-cli info  --index idx.pf
 //! ```
 //!
 //! Input CSV: one record per line, `key,measure` (or bare `key` for COUNT
 //! data, measure defaults to 1). Lines starting with `#` and a single
-//! header line of non-numeric text are skipped.
+//! header line of non-numeric text are skipped. Batch files hold one
+//! `lo,hi` range per line; answers are served through one sort-and-share
+//! `query_batch` sweep and print one per line. `--threads 0` (the
+//! default) builds with every available core.
 
 use std::process::ExitCode;
 

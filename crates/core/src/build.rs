@@ -1,0 +1,315 @@
+//! The shared build pipeline: chunk-parallel δ-certified segmentation.
+//!
+//! PolyFit's headline trade-off is cheap queries bought with an expensive
+//! LP/exchange-based construction phase (paper Section VII-D: construction
+//! dominates end-to-end cost at scale). The fitting work is embarrassingly
+//! parallel along the key domain, so this module partitions the target
+//! function's points into contiguous chunks, runs the same greedy
+//! segmentation ([`crate::segmentation::greedy_segmentation`]) per chunk
+//! under `std::thread::scope`, and stitches the chunk boundaries back
+//! together.
+//!
+//! ## Guarantee preservation
+//!
+//! Every segment a chunk worker emits is certified against δ by the exact
+//! same feasibility probe as the serial path, so the concatenated result
+//! honors the bounded δ-error constraint (Definition 3) verbatim —
+//! parallelism can only *add* segments at chunk seams, never loosen the
+//! error. The stitch pass then repairs those seams: the leading segments
+//! of each chunk are re-fitted together with the previous chunk's trailing
+//! segment and merged while the combined fit stays within δ, recovering
+//! the segment-count optimality the serial greedy achieves (Theorem 1)
+//! except in adversarial seam placements.
+//!
+//! Every index constructor in the workspace routes through
+//! [`segment_function`]; [`BuildOptions::default`] keeps the serial,
+//! bit-deterministic path, and callers opt into parallelism per build
+//! (the CLI defaults to [`BuildOptions::auto`]).
+
+use crate::config::PolyFitConfig;
+use crate::function::TargetFunction;
+use crate::segmentation::{
+    dp_segmentation, fit_range, greedy_segmentation, greedy_segmentation_range, ErrorMetric,
+    SegmentSpec,
+};
+
+/// Below this many points per would-be chunk, extra threads stop paying
+/// for themselves (fit calls are microseconds; thread spawn is not).
+const MIN_POINTS_PER_CHUNK: usize = 4096;
+
+/// Which segmentation algorithm the pipeline runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SegmentationMethod {
+    /// Greedy maximal extension with galloping search (paper Algorithm 1,
+    /// Theorem 1 optimal). The production path.
+    #[default]
+    Greedy,
+    /// The `O(n²)` dynamic-programming optimum \[35\] — a small-input
+    /// oracle; always runs serially regardless of the thread budget.
+    Dp,
+}
+
+/// Construction-time options shared by every index builder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BuildOptions {
+    /// Worker threads for the build. `0` means "use
+    /// [`std::thread::available_parallelism`]"; `1` (the default) is the
+    /// serial path, bit-identical to the pre-pipeline builders.
+    pub threads: usize,
+    /// Segmentation algorithm (1-D builds only).
+    pub segmentation: SegmentationMethod,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions { threads: 1, segmentation: SegmentationMethod::Greedy }
+    }
+}
+
+impl BuildOptions {
+    /// Options using every available core.
+    pub fn auto() -> Self {
+        BuildOptions { threads: 0, ..Default::default() }
+    }
+
+    /// Options with an explicit thread count (`0` = auto).
+    pub fn with_threads(threads: usize) -> Self {
+        BuildOptions { threads, ..Default::default() }
+    }
+
+    /// The concrete worker count: `threads`, with `0` resolved to the
+    /// machine's available parallelism (one policy, shared with the
+    /// exact crate's bulk-loads).
+    pub fn effective_threads(&self) -> usize {
+        polyfit_exact::resolve_threads(self.threads)
+    }
+}
+
+/// Run `n_items` independent jobs on up to `threads` workers pulling
+/// indices from a shared queue (oversubscription-friendly: stragglers
+/// don't idle the other workers). Results are returned in index order,
+/// so output is deterministic whenever each job's result depends only on
+/// its index.
+pub(crate) fn run_indexed_queue<T: Send>(
+    n_items: usize,
+    threads: usize,
+    job: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n_items).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads.clamp(1, n_items))
+            .map(|_| {
+                let (next, job) = (&next, &job);
+                s.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n_items {
+                            break;
+                        }
+                        done.push((i, job(i)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("build worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots.into_iter().map(|v| v.expect("every job ran")).collect()
+}
+
+/// Segment `f` under the bounded δ-error constraint, fanning the greedy
+/// fitting work across `opts.threads` workers and stitching chunk seams.
+///
+/// With one effective thread (or inputs too small to chunk) this is
+/// exactly the serial [`greedy_segmentation`] / [`dp_segmentation`] —
+/// same segments, same bits.
+///
+/// # Panics
+/// Panics if the target function is empty or `delta` is not positive.
+pub fn segment_function(
+    f: &TargetFunction,
+    cfg: &PolyFitConfig,
+    delta: f64,
+    metric: ErrorMetric,
+    opts: &BuildOptions,
+) -> Vec<SegmentSpec> {
+    assert!(!f.is_empty(), "cannot segment an empty function");
+    assert!(delta > 0.0 && delta.is_finite(), "delta must be positive");
+    let n = f.len();
+    // Floor division throughout: chunking never produces chunks smaller
+    // than MIN_POINTS_PER_CHUNK.
+    let max_chunks = (n / MIN_POINTS_PER_CHUNK).max(1);
+    let threads = match opts.segmentation {
+        // The DP oracle's table is inherently sequential in the prefix.
+        SegmentationMethod::Dp => 1,
+        SegmentationMethod::Greedy => opts.effective_threads().clamp(1, max_chunks),
+    };
+    if threads == 1 {
+        return match opts.segmentation {
+            SegmentationMethod::Greedy => greedy_segmentation(f, cfg, delta, metric),
+            SegmentationMethod::Dp => dp_segmentation(f, cfg, delta, metric),
+        };
+    }
+    // Contiguous chunks over the point indices, oversubscribed ~4× the
+    // worker count so stragglers (chunks whose data fits poorly and needs
+    // many probe fits) don't leave the other workers idle; workers pull
+    // chunk indices from a shared queue.
+    let n_chunks = (threads * 4).clamp(threads, max_chunks);
+    let bounds: Vec<(usize, usize)> =
+        (0..n_chunks).map(|i| (n * i / n_chunks, n * (i + 1) / n_chunks)).collect();
+    let chunks = run_indexed_queue(n_chunks, threads, |i| {
+        let (lo, hi) = bounds[i];
+        greedy_segmentation_range(f, cfg, delta, metric, lo, hi)
+    });
+    stitch(f, cfg, delta, metric, chunks)
+}
+
+/// Concatenate per-chunk segment lists, repairing each seam: absorb the
+/// right chunk's leading segments into the left chunk's trailing segment
+/// while the re-fitted union stays certified ≤ δ (and within the length
+/// cap). Each merge replays the serial path's feasibility probe, so the
+/// output is indistinguishable, guarantee-wise, from a serial build.
+fn stitch(
+    f: &TargetFunction,
+    cfg: &PolyFitConfig,
+    delta: f64,
+    metric: ErrorMetric,
+    chunks: Vec<Vec<SegmentSpec>>,
+) -> Vec<SegmentSpec> {
+    let cap = cfg.max_segment_len.unwrap_or(usize::MAX).max(1);
+    let mut out: Vec<SegmentSpec> = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+    for chunk in chunks {
+        let mut specs = chunk.into_iter().peekable();
+        while let (Some(prev), Some(next)) = (out.last(), specs.peek()) {
+            let len = next.end - prev.start + 1;
+            if len > cap {
+                break;
+            }
+            let (fit, cert) = fit_range(f, prev.start, next.end, cfg.degree, cfg.backend, metric);
+            if cert > delta {
+                break;
+            }
+            let (start, end) = (prev.start, next.end);
+            out.pop();
+            specs.next();
+            out.push(SegmentSpec { start, end, fit, certified_error: cert });
+        }
+        out.extend(specs);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wavy(n: usize) -> TargetFunction {
+        TargetFunction {
+            keys: (0..n).map(|i| i as f64).collect(),
+            values: (0..n).map(|i| (i as f64) * 2.0 + ((i as f64) * 0.13).sin() * 25.0).collect(),
+        }
+    }
+
+    fn check_cover(specs: &[SegmentSpec], n: usize, delta: f64) {
+        assert_eq!(specs[0].start, 0);
+        assert_eq!(specs.last().unwrap().end, n - 1);
+        for w in specs.windows(2) {
+            assert_eq!(w[0].end + 1, w[1].start, "segments must tile");
+        }
+        for s in specs {
+            assert!(s.certified_error <= delta + 1e-9, "cert {}", s.certified_error);
+        }
+    }
+
+    #[test]
+    fn serial_options_reproduce_greedy_exactly() {
+        let f = wavy(2000);
+        let cfg = PolyFitConfig::default();
+        let serial = greedy_segmentation(&f, &cfg, 4.0, ErrorMetric::DataPoint);
+        let piped =
+            segment_function(&f, &cfg, 4.0, ErrorMetric::DataPoint, &BuildOptions::default());
+        assert_eq!(serial.len(), piped.len());
+        for (a, b) in serial.iter().zip(&piped) {
+            assert_eq!((a.start, a.end), (b.start, b.end));
+        }
+    }
+
+    #[test]
+    fn parallel_chunks_cover_and_certify() {
+        // Force chunking below MIN_POINTS_PER_CHUNK via a tiny chunk floor:
+        // 20k points / 4 threads = 5k-point chunks, above the floor.
+        let f = wavy(20_000);
+        let cfg = PolyFitConfig::default();
+        for threads in [2usize, 4] {
+            let specs = segment_function(
+                &f,
+                &cfg,
+                6.0,
+                ErrorMetric::DataPoint,
+                &BuildOptions::with_threads(threads),
+            );
+            check_cover(&specs, 20_000, 6.0);
+        }
+    }
+
+    #[test]
+    fn parallel_segment_count_close_to_serial() {
+        let f = wavy(20_000);
+        let cfg = PolyFitConfig::default();
+        let serial = greedy_segmentation(&f, &cfg, 6.0, ErrorMetric::DataPoint);
+        let par =
+            segment_function(&f, &cfg, 6.0, ErrorMetric::DataPoint, &BuildOptions::with_threads(4));
+        // Stitching bounds the seam overhead: at most one extra segment
+        // per seam survives repair.
+        assert!(par.len() <= serial.len() + 3, "parallel {} vs serial {}", par.len(), serial.len());
+    }
+
+    #[test]
+    fn small_inputs_never_chunk() {
+        // 100 points with 8 requested threads: the chunk floor collapses
+        // the build to the serial path.
+        let f = wavy(100);
+        let cfg = PolyFitConfig::default();
+        let serial = greedy_segmentation(&f, &cfg, 2.0, ErrorMetric::DataPoint);
+        let piped =
+            segment_function(&f, &cfg, 2.0, ErrorMetric::DataPoint, &BuildOptions::with_threads(8));
+        assert_eq!(serial.len(), piped.len());
+    }
+
+    #[test]
+    fn length_cap_respected_across_seams() {
+        let f = TargetFunction {
+            keys: (0..12_000).map(|i| i as f64).collect(),
+            values: vec![0.0; 12_000],
+        };
+        let cfg = PolyFitConfig { max_segment_len: Some(100), ..Default::default() };
+        let specs =
+            segment_function(&f, &cfg, 1.0, ErrorMetric::DataPoint, &BuildOptions::with_threads(3));
+        assert!(specs.iter().all(|s| s.end - s.start < 100));
+        check_cover(&specs, 12_000, 1.0);
+    }
+
+    #[test]
+    fn dp_method_runs_serial() {
+        let f = wavy(120);
+        let cfg = PolyFitConfig::with_degree(1);
+        let opts = BuildOptions { threads: 4, segmentation: SegmentationMethod::Dp };
+        let dp = segment_function(&f, &cfg, 8.0, ErrorMetric::DataPoint, &opts);
+        let greedy = greedy_segmentation(&f, &cfg, 8.0, ErrorMetric::DataPoint);
+        // Theorem 1: greedy matches the DP optimum in count.
+        assert_eq!(dp.len(), greedy.len());
+    }
+
+    #[test]
+    fn effective_threads_resolves_auto() {
+        assert!(BuildOptions::auto().effective_threads() >= 1);
+        assert_eq!(BuildOptions::with_threads(3).effective_threads(), 3);
+        assert_eq!(BuildOptions::default().effective_threads(), 1);
+    }
+}

@@ -107,6 +107,42 @@ impl SegmentDirectory {
     pub fn extrema_leaves(&self) -> Vec<(f64, f64)> {
         self.segments.iter().map(|s| (s.value_max, s.value_min)).collect()
     }
+
+    /// A monotone lookup cursor for ascending key sweeps (the batched
+    /// query path): `m` locates over `h` segments cost `O(m + h)` total
+    /// instead of `O(m log h)` independent binary searches.
+    pub fn cursor(&self) -> DirectoryCursor<'_> {
+        DirectoryCursor { dir: self, upper: 0 }
+    }
+}
+
+/// See [`SegmentDirectory::cursor`]. Feeding keys out of ascending order
+/// is a logic error (the cursor never rewinds).
+#[derive(Clone, Debug)]
+pub struct DirectoryCursor<'a> {
+    dir: &'a SegmentDirectory,
+    /// Number of `lo_keys` known to be ≤ the last key seen.
+    upper: usize,
+}
+
+impl DirectoryCursor<'_> {
+    /// Equivalent to [`SegmentDirectory::locate`] provided keys arrive in
+    /// ascending order.
+    #[inline]
+    pub fn locate(&mut self, k: f64) -> Option<usize> {
+        if k.is_nan() {
+            // `partition_point(lo <= NaN)` is 0: mirror `locate` exactly.
+            return None;
+        }
+        let lo_keys = &self.dir.lo_keys;
+        while self.upper < lo_keys.len() && lo_keys[self.upper] <= k {
+            self.upper += 1;
+        }
+        match self.upper {
+            0 => None,
+            i => Some(i - 1),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +185,16 @@ mod tests {
         let d = directory();
         assert!(d.segment_for(-5.0).is_none());
         assert_eq!(d.segment_for(15.0).unwrap().lo_key, 10.0);
+    }
+
+    #[test]
+    fn cursor_matches_locate_on_ascending_sweep() {
+        let d = directory();
+        let keys = [-5.0, -0.1, 0.0, 0.0, 3.3, 9.99, 10.0, 10.0, 25.0, 1e9, f64::NAN];
+        let mut c = d.cursor();
+        for &k in &keys {
+            assert_eq!(c.locate(k), d.locate(k), "key {k}");
+        }
     }
 
     #[test]

@@ -262,14 +262,28 @@ impl GuaranteedAvg {
     /// when the estimated count cannot be distinguished from zero
     /// (`Ĉ ≤ ε_C`).
     pub fn query(&self, lq: f64, uq: f64) -> Option<AvgAnswer> {
-        let s_hat = self.sum.query(lq, uq);
-        let c_hat = self.count.query(lq, uq);
+        self.compose(self.sum.query(lq, uq), self.count.query(lq, uq))
+    }
+
+    /// Compose component estimates into a certified average — the single
+    /// definition of the bound arithmetic shared by the one-shot and
+    /// batched paths.
+    fn compose(&self, s_hat: f64, c_hat: f64) -> Option<AvgAnswer> {
         if c_hat <= self.eps_count {
             return None;
         }
         let value = s_hat / c_hat;
         let bound = (self.eps_sum + value.abs() * self.eps_count) / (c_hat - self.eps_count);
         Some(AvgAnswer { value, bound })
+    }
+
+    /// Batched [`Self::query`]: both component indexes answer through
+    /// their sort-and-share sweeps; the per-query composition is
+    /// identical, so results match per-range calls bit-for-bit.
+    pub fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<AvgAnswer>> {
+        let sums = self.sum.query_batch(ranges);
+        let counts = self.count.query_batch(ranges);
+        sums.into_iter().zip(counts).map(|(s_hat, c_hat)| self.compose(s_hat, c_hat)).collect()
     }
 
     /// The SUM component index.

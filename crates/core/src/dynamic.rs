@@ -15,6 +15,7 @@ use std::collections::BTreeMap;
 use polyfit_exact::dataset::{dedup_sum, sort_records, Record};
 use polyfit_lp::FitBackend;
 
+use crate::build::BuildOptions;
 use crate::config::PolyFitConfig;
 use crate::error::PolyFitError;
 use crate::index_sum::PolyFitSum;
@@ -46,6 +47,9 @@ pub struct DynamicPolyFitSum {
     buffer_limit: usize,
     delta: f64,
     config: PolyFitConfig,
+    /// Build-pipeline options applied to the initial build and every
+    /// compaction rebuild (runtime knob — not serialized).
+    build_opts: BuildOptions,
     rebuilds: usize,
 }
 
@@ -53,14 +57,28 @@ impl DynamicPolyFitSum {
     /// Build from initial records with the bounded δ-error constraint and
     /// a buffer limit (number of distinct buffered keys before compaction).
     pub fn new(
-        mut records: Vec<Record>,
+        records: Vec<Record>,
         delta: f64,
         config: PolyFitConfig,
         buffer_limit: usize,
     ) -> Result<Self, PolyFitError> {
+        Self::with_options(records, delta, config, buffer_limit, &BuildOptions::default())
+    }
+
+    /// [`Self::new`] with explicit build-pipeline options: the initial
+    /// build *and* every LSM-style compaction rebuild fan out across
+    /// `opts.threads` workers — rebuilds are exactly the latency spikes
+    /// the parallel pipeline exists to shrink.
+    pub fn with_options(
+        mut records: Vec<Record>,
+        delta: f64,
+        config: PolyFitConfig,
+        buffer_limit: usize,
+        opts: &BuildOptions,
+    ) -> Result<Self, PolyFitError> {
         sort_records(&mut records);
         let records = dedup_sum(records);
-        let base = PolyFitSum::build(records.clone(), delta, config)?;
+        let base = PolyFitSum::build_with(records.clone(), delta, config, opts)?;
         Ok(DynamicPolyFitSum {
             base,
             base_records: records,
@@ -68,6 +86,7 @@ impl DynamicPolyFitSum {
             buffer_limit: buffer_limit.max(1),
             delta,
             config,
+            build_opts: *opts,
             rebuilds: 0,
         })
     }
@@ -104,8 +123,9 @@ impl DynamicPolyFitSum {
         // Fully-deleted keys fold to measure 0; drop them so the step
         // function stays minimal.
         merged.retain(|r| r.measure != 0.0);
-        self.base = PolyFitSum::build(merged.clone(), self.delta, self.config)
-            .expect("rebuild over non-empty data");
+        self.base =
+            PolyFitSum::build_with(merged.clone(), self.delta, self.config, &self.build_opts)
+                .expect("rebuild over non-empty data");
         self.base_records = merged;
         self.rebuilds += 1;
     }
@@ -128,6 +148,31 @@ impl DynamicPolyFitSum {
         base + buffered
     }
 
+    /// Batched range SUM: the static base answers all ranges through its
+    /// sort-and-share sweep, the buffer contributes exactly per range.
+    /// Bitwise identical to per-range [`Self::query`] calls.
+    pub fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<f64> {
+        let base = self.base.query_batch(ranges);
+        ranges
+            .iter()
+            .zip(base)
+            .map(|(&(lq, uq), b)| {
+                if lq >= uq {
+                    return 0.0;
+                }
+                let buffered: f64 = self
+                    .buffer
+                    .range((
+                        std::ops::Bound::Excluded(ord_bits(lq)),
+                        std::ops::Bound::Included(ord_bits(uq)),
+                    ))
+                    .map(|(_, &(_, dm))| dm)
+                    .sum();
+                b + buffered
+            })
+            .collect()
+    }
+
     /// Number of records folded into the static index.
     pub fn base_len(&self) -> usize {
         self.base_records.len()
@@ -141,6 +186,19 @@ impl DynamicPolyFitSum {
     /// How many compactions have run.
     pub fn rebuilds(&self) -> usize {
         self.rebuilds
+    }
+
+    /// The build-pipeline options applied to compaction rebuilds.
+    pub fn build_options(&self) -> &BuildOptions {
+        &self.build_opts
+    }
+
+    /// Set the build-pipeline options for future compaction rebuilds —
+    /// a runtime knob, so it is not serialized; call this after
+    /// [`Self::from_bytes`] to restore parallel rebuilds on a reloaded
+    /// index.
+    pub fn set_build_options(&mut self, opts: BuildOptions) {
+        self.build_opts = opts;
     }
 
     /// The underlying static index.
@@ -242,6 +300,7 @@ impl DynamicPolyFitSum {
             buffer_limit,
             delta,
             config: PolyFitConfig { degree, backend, max_segment_len },
+            build_opts: BuildOptions::default(),
             rebuilds,
         })
     }

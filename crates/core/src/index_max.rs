@@ -16,12 +16,13 @@
 use polyfit_exact::dataset::Record;
 use polyfit_poly::extrema::{max_on_interval_shifted, min_on_interval_shifted};
 
+use crate::build::{segment_function, BuildOptions};
 use crate::config::PolyFitConfig;
 use crate::directory::SegmentDirectory;
 use crate::error::PolyFitError;
 use crate::function::{step_function, step_function_min, TargetFunction};
 use crate::segment::Segment;
-use crate::segmentation::{greedy_segmentation, ErrorMetric};
+use crate::segmentation::ErrorMetric;
 use crate::stats::IndexStats;
 
 /// Implicit binary tree over per-segment (max, min) aggregates.
@@ -102,12 +103,23 @@ impl PolyFitMax {
         delta: f64,
         config: PolyFitConfig,
     ) -> Result<Self, PolyFitError> {
+        Self::build_with(records, delta, config, &BuildOptions::default())
+    }
+
+    /// [`Self::build`] through the shared chunk-parallel pipeline
+    /// ([`crate::build`]).
+    pub fn build_with(
+        records: Vec<Record>,
+        delta: f64,
+        config: PolyFitConfig,
+        opts: &BuildOptions,
+    ) -> Result<Self, PolyFitError> {
         config.validate()?;
         if delta <= 0.0 || !delta.is_finite() {
             return Err(PolyFitError::InvalidErrorBound { bound: delta });
         }
         let f = step_function(records)?;
-        Ok(Self::from_function(&f, delta, config))
+        Ok(Self::from_function_with(&f, delta, config, opts))
     }
 
     /// Build a MIN-oriented index (duplicate keys folded by minimum).
@@ -117,20 +129,42 @@ impl PolyFitMax {
         delta: f64,
         config: PolyFitConfig,
     ) -> Result<Self, PolyFitError> {
+        Self::build_min_with(records, delta, config, &BuildOptions::default())
+    }
+
+    /// [`Self::build_min`] through the shared chunk-parallel pipeline.
+    pub fn build_min_with(
+        records: Vec<Record>,
+        delta: f64,
+        config: PolyFitConfig,
+        opts: &BuildOptions,
+    ) -> Result<Self, PolyFitError> {
         config.validate()?;
         if delta <= 0.0 || !delta.is_finite() {
             return Err(PolyFitError::InvalidErrorBound { bound: delta });
         }
         let f = step_function_min(records)?;
-        let mut idx = Self::from_function(&f, delta, config);
+        let mut idx = Self::from_function_with(&f, delta, config, opts);
         idx.orientation = Extremum::Min;
         Ok(idx)
     }
 
     /// Build from a prepared staircase.
     pub fn from_function(f: &TargetFunction, delta: f64, config: PolyFitConfig) -> Self {
+        Self::from_function_with(f, delta, config, &BuildOptions::default())
+    }
+
+    /// [`Self::from_function`] through the shared build pipeline. MAX/MIN
+    /// segments are certified with the continuous metric, so chunked
+    /// builds keep the any-endpoint guarantee.
+    pub fn from_function_with(
+        f: &TargetFunction,
+        delta: f64,
+        config: PolyFitConfig,
+        opts: &BuildOptions,
+    ) -> Self {
         let t0 = std::time::Instant::now();
-        let specs = greedy_segmentation(f, &config, delta, ErrorMetric::Continuous);
+        let specs = segment_function(f, &config, delta, ErrorMetric::Continuous, opts);
         let dir = SegmentDirectory::from_specs(f, specs);
         Self::assemble(dir, delta, f.domain(), t0.elapsed())
     }
@@ -193,6 +227,12 @@ impl PolyFitMax {
         let lq = lq.max(self.domain.0);
         let il = self.locate(lq).expect("lq clamped into domain");
         let iu = self.locate(uq).expect("uq ≥ domain start");
+        Some(self.answer_located(lq, uq, il, iu, want_max))
+    }
+
+    /// The extremum over `[lq, uq]` given the already-located boundary
+    /// segments — the shared core of the single and batched query paths.
+    fn answer_located(&self, lq: f64, uq: f64, il: usize, iu: usize, want_max: bool) -> f64 {
         let combine = |a: f64, b: f64| if want_max { a.max(b) } else { a.min(b) };
         let boundary = |i: usize, from: f64, to: f64| -> f64 {
             let seg = self.dir.get(i);
@@ -205,7 +245,7 @@ impl PolyFitMax {
             }
         };
         if il == iu {
-            return Some(boundary(il, lq, uq));
+            return boundary(il, lq, uq);
         }
         let mut best = boundary(il, lq, f64::INFINITY);
         best = combine(best, boundary(iu, f64::NEG_INFINITY, uq));
@@ -213,7 +253,55 @@ impl PolyFitMax {
             let (mx, mn) = self.tree.query(il + 1, iu);
             best = combine(best, if want_max { mx } else { mn });
         }
-        Some(best)
+        best
+    }
+
+    /// Batched range MAX, bitwise identical to per-range
+    /// [`Self::query_max`] calls. The `2m` (clamped) endpoints are located
+    /// with one sorted sweep of the segment directory; the boundary
+    /// maximisation and extrema-tree lookups then run per query.
+    pub fn query_batch_max(&self, ranges: &[(f64, f64)]) -> Vec<Option<f64>> {
+        self.query_batch_impl(ranges, true)
+    }
+
+    /// Batched range MIN (see [`Self::query_batch_max`]); meaningful on
+    /// indexes built with [`Self::build_min`].
+    pub fn query_batch_min(&self, ranges: &[(f64, f64)]) -> Vec<Option<f64>> {
+        self.query_batch_impl(ranges, false)
+    }
+
+    fn query_batch_impl(&self, ranges: &[(f64, f64)], want_max: bool) -> Vec<Option<f64>> {
+        // Endpoint key as the single-query path sees it: lq clamped to the
+        // domain start, uq raw.
+        let endpoint = |e: usize| {
+            let (lq, uq) = ranges[e / 2];
+            if e.is_multiple_of(2) {
+                lq.max(self.domain.0)
+            } else {
+                uq
+            }
+        };
+        let mut order: Vec<usize> = (0..2 * ranges.len()).collect();
+        order.sort_unstable_by(|&a, &b| endpoint(a).total_cmp(&endpoint(b)));
+        let mut located: Vec<Option<usize>> = vec![None; 2 * ranges.len()];
+        let mut cursor = self.dir.cursor();
+        for &e in &order {
+            let k = endpoint(e);
+            located[e] = if k < self.domain.0 { None } else { cursor.locate(k) };
+        }
+        ranges
+            .iter()
+            .enumerate()
+            .map(|(q, &(lq, uq))| {
+                if lq > uq || uq < self.domain.0 {
+                    return None;
+                }
+                let lq = lq.max(self.domain.0);
+                let il = located[2 * q].expect("lq clamped into domain");
+                let iu = located[2 * q + 1].expect("uq ≥ domain start");
+                Some(self.answer_located(lq, uq, il, iu, want_max))
+            })
+            .collect()
     }
 
     /// The certified per-query error bound δ.

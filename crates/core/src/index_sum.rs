@@ -7,12 +7,13 @@
 
 use polyfit_exact::dataset::Record;
 
+use crate::build::{segment_function, BuildOptions};
 use crate::config::PolyFitConfig;
 use crate::directory::SegmentDirectory;
 use crate::error::PolyFitError;
 use crate::function::{cumulative_function, TargetFunction};
 use crate::segment::Segment;
-use crate::segmentation::{greedy_segmentation, ErrorMetric};
+use crate::segmentation::ErrorMetric;
 use crate::stats::IndexStats;
 
 /// A PolyFit index over the cumulative function.
@@ -30,18 +31,31 @@ pub struct PolyFitSum {
 }
 
 impl PolyFitSum {
-    /// Build from raw records with the bounded δ-error constraint.
+    /// Build from raw records with the bounded δ-error constraint
+    /// (serial; see [`Self::build_with`] for the parallel pipeline).
     pub fn build(
         records: Vec<Record>,
         delta: f64,
         config: PolyFitConfig,
+    ) -> Result<Self, PolyFitError> {
+        Self::build_with(records, delta, config, &BuildOptions::default())
+    }
+
+    /// Build through the shared pipeline ([`crate::build`]): the fitting
+    /// work fans out over `opts.threads` workers and chunk seams are
+    /// stitched back under the same δ guarantee.
+    pub fn build_with(
+        records: Vec<Record>,
+        delta: f64,
+        config: PolyFitConfig,
+        opts: &BuildOptions,
     ) -> Result<Self, PolyFitError> {
         config.validate()?;
         if delta <= 0.0 || !delta.is_finite() {
             return Err(PolyFitError::InvalidErrorBound { bound: delta });
         }
         let f = cumulative_function(records)?;
-        Ok(Self::from_function(&f, delta, config))
+        Ok(Self::from_function_with(&f, delta, config, opts))
     }
 
     /// Build a COUNT index (all measures 1).
@@ -57,8 +71,18 @@ impl PolyFitSum {
     /// Build directly from a prepared target function (used by drivers that
     /// already materialised `CF`).
     pub fn from_function(f: &TargetFunction, delta: f64, config: PolyFitConfig) -> Self {
+        Self::from_function_with(f, delta, config, &BuildOptions::default())
+    }
+
+    /// [`Self::from_function`] through the shared build pipeline.
+    pub fn from_function_with(
+        f: &TargetFunction,
+        delta: f64,
+        config: PolyFitConfig,
+        opts: &BuildOptions,
+    ) -> Self {
         let t0 = std::time::Instant::now();
-        let specs = greedy_segmentation(f, &config, delta, ErrorMetric::DataPoint);
+        let specs = segment_function(f, &config, delta, ErrorMetric::DataPoint, opts);
         let dir = SegmentDirectory::from_specs(f, specs);
         let total = *f.values.last().expect("non-empty function");
         let domain = f.domain();
@@ -117,6 +141,45 @@ impl PolyFitSum {
             return 0.0;
         }
         self.cf(uq) - self.cf(lq)
+    }
+
+    /// Batched range SUM: answers every `(lq, uq]` of `ranges`, bitwise
+    /// identical to per-range [`Self::query`] calls.
+    ///
+    /// Sort-and-share execution: the `2m` endpoints are sorted once, the
+    /// segment directory is walked with a single monotone cursor
+    /// (`O(m log m + m·deg + h)` instead of `m` independent
+    /// `O(log h + deg)` probes), and duplicate endpoints hit the same
+    /// already-located segment.
+    pub fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<f64> {
+        let endpoint = |e: usize| {
+            let (lq, uq) = ranges[e / 2];
+            if e.is_multiple_of(2) {
+                lq
+            } else {
+                uq
+            }
+        };
+        let mut order: Vec<usize> = (0..2 * ranges.len()).collect();
+        order.sort_unstable_by(|&a, &b| endpoint(a).total_cmp(&endpoint(b)));
+        let mut cf = vec![0.0f64; 2 * ranges.len()];
+        let mut cursor = self.dir.cursor();
+        for &e in &order {
+            let k = endpoint(e);
+            cf[e] = if k < self.domain.0 {
+                0.0
+            } else if k >= self.domain.1 {
+                self.total
+            } else {
+                let i = cursor.locate(k).expect("k is inside the key domain");
+                self.dir.get(i).eval_clamped(k)
+            };
+        }
+        ranges
+            .iter()
+            .enumerate()
+            .map(|(q, &(lq, uq))| if lq >= uq { 0.0 } else { cf[2 * q + 1] - cf[2 * q] })
+            .collect()
     }
 
     /// The δ this index certifies per endpoint.

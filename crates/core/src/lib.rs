@@ -45,6 +45,7 @@
 //! assert!((approx - exact).abs() <= 50.0);
 //! ```
 
+pub mod build;
 pub mod config;
 pub mod directory;
 pub mod drivers;
@@ -60,6 +61,7 @@ pub mod stats;
 pub mod traits;
 pub mod twod;
 
+pub use build::{segment_function, BuildOptions, SegmentationMethod};
 pub use config::PolyFitConfig;
 pub use directory::SegmentDirectory;
 pub use drivers::{
@@ -71,9 +73,7 @@ pub use function::{cumulative_function, step_function, TargetFunction};
 pub use index_max::{Extremum, PolyFitMax};
 pub use index_sum::PolyFitSum;
 pub use segment::Segment;
-pub use segmentation::{
-    dp_segmentation, greedy_segmentation, greedy_segmentation_naive, SegmentSpec,
-};
+pub use segmentation::{dp_segmentation, greedy_segmentation, SegmentSpec};
 pub use serialize::DecodeError;
 pub use stats::IndexStats;
 pub use traits::{
@@ -84,6 +84,7 @@ pub use twod::{Guaranteed2dCount, QuadPolyFit};
 
 /// Convenient re-exports for downstream users.
 pub mod prelude {
+    pub use crate::build::{BuildOptions, SegmentationMethod};
     pub use crate::config::PolyFitConfig;
     pub use crate::drivers::{
         AvgAnswer, GuaranteedAvg, GuaranteedMax, GuaranteedMin, GuaranteedSum, RelAnswer,

@@ -135,10 +135,27 @@ pub fn greedy_segmentation(
 ) -> Vec<SegmentSpec> {
     assert!(!f.is_empty(), "cannot segment an empty function");
     assert!(delta > 0.0 && delta.is_finite(), "delta must be positive");
-    let n = f.len();
+    greedy_segmentation_range(f, cfg, delta, metric, 0, f.len())
+}
+
+/// Greedy segmentation restricted to the point range `[lo, hi)`, producing
+/// specs with *absolute* point indices. This is the worker kernel of the
+/// chunk-parallel build pipeline ([`crate::build`]): each chunk runs the
+/// same maximal-extension greedy as [`greedy_segmentation`], so every
+/// emitted segment is individually certified to error ≤ `delta`.
+pub(crate) fn greedy_segmentation_range(
+    f: &TargetFunction,
+    cfg: &PolyFitConfig,
+    delta: f64,
+    metric: ErrorMetric,
+    lo: usize,
+    hi: usize,
+) -> Vec<SegmentSpec> {
+    debug_assert!(lo < hi && hi <= f.len(), "invalid chunk range");
+    let n = hi;
     let cap = cfg.max_segment_len.unwrap_or(usize::MAX).max(1);
     let mut out = Vec::new();
-    let mut start = 0usize;
+    let mut start = lo;
     while start < n {
         // Feasibility probe: can the segment extend to `end`?
         let max_end = n.min(start.saturating_add(cap)) - 1;
@@ -189,40 +206,6 @@ pub fn greedy_segmentation(
         let (fit, certified_error) = good_fit;
         out.push(SegmentSpec { start, end: good_end, fit, certified_error });
         start = good_end + 1;
-    }
-    out
-}
-
-/// Literal Algorithm 1 of the paper: extend the segment one key at a time
-/// until the δ-constraint breaks. Same output as [`greedy_segmentation`]
-/// (both are maximal-extension greedy; the galloping variant just probes
-/// fewer prefixes thanks to Lemma 1 monotonicity), kept for the ablation
-/// bench and as an executable specification.
-pub fn greedy_segmentation_naive(
-    f: &TargetFunction,
-    cfg: &PolyFitConfig,
-    delta: f64,
-    metric: ErrorMetric,
-) -> Vec<SegmentSpec> {
-    assert!(!f.is_empty(), "cannot segment an empty function");
-    assert!(delta > 0.0 && delta.is_finite(), "delta must be positive");
-    let n = f.len();
-    let cap = cfg.max_segment_len.unwrap_or(usize::MAX).max(1);
-    let mut out = Vec::new();
-    let mut start = 0usize;
-    while start < n {
-        let mut end = start;
-        let mut good = fit_range(f, start, start, cfg.degree, cfg.backend, metric);
-        while end + 1 < n && end + 1 - start < cap {
-            let cand = fit_range(f, start, end + 1, cfg.degree, cfg.backend, metric);
-            if cand.1 > delta {
-                break;
-            }
-            end += 1;
-            good = cand;
-        }
-        out.push(SegmentSpec { start, end, fit: good.0, certified_error: good.1 });
-        start = end + 1;
     }
     out
 }
@@ -390,6 +373,40 @@ mod tests {
         }
     }
 
+    /// Literal Algorithm 1 of the paper: extend the segment one key at a
+    /// time until the δ-constraint breaks. Kept as a *test-only oracle* —
+    /// Lemma 1 monotonicity makes it equivalent to the shipped galloping
+    /// [`greedy_segmentation`], and the property test below holds the two
+    /// to segment-for-segment agreement.
+    fn greedy_segmentation_naive(
+        f: &TargetFunction,
+        cfg: &PolyFitConfig,
+        delta: f64,
+        metric: ErrorMetric,
+    ) -> Vec<SegmentSpec> {
+        assert!(!f.is_empty(), "cannot segment an empty function");
+        assert!(delta > 0.0 && delta.is_finite(), "delta must be positive");
+        let n = f.len();
+        let cap = cfg.max_segment_len.unwrap_or(usize::MAX).max(1);
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        while start < n {
+            let mut end = start;
+            let mut good = fit_range(f, start, start, cfg.degree, cfg.backend, metric);
+            while end + 1 < n && end + 1 - start < cap {
+                let cand = fit_range(f, start, end + 1, cfg.degree, cfg.backend, metric);
+                if cand.1 > delta {
+                    break;
+                }
+                end += 1;
+                good = cand;
+            }
+            out.push(SegmentSpec { start, end, fit: good.0, certified_error: good.1 });
+            start = end + 1;
+        }
+        out
+    }
+
     #[test]
     fn naive_gs_matches_galloping_gs() {
         let f = staircase(150);
@@ -400,6 +417,43 @@ mod tests {
             assert_eq!(fast.len(), naive.len(), "delta {delta}");
             for (a, b) in fast.iter().zip(&naive) {
                 assert_eq!((a.start, a.end), (b.start, b.end), "delta {delta}");
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+        /// Property: over random staircase shapes, degrees, length caps,
+        /// and δ, the galloping search agrees with the literal one-key-at-
+        /// a-time Algorithm 1 segment-for-segment (Lemma 1 equivalence).
+        #[test]
+        fn gallop_equals_naive_oracle(
+            n in 20usize..160,
+            degree in 1usize..4,
+            delta_tenths in 5u32..200,
+            cap in 0usize..40,
+            amp in 1.0f64..8.0,
+            freq in 0.1f64..2.0,
+        ) {
+            let f = TargetFunction {
+                keys: (0..n).map(|i| i as f64).collect(),
+                values: (0..n)
+                    .map(|i| (i as f64).sqrt() * amp + (i as f64 * freq).sin() * amp)
+                    .collect(),
+            };
+            let cfg = PolyFitConfig {
+                max_segment_len: (cap >= 2).then_some(cap),
+                ..PolyFitConfig::with_degree(degree)
+            };
+            let delta = delta_tenths as f64 / 10.0;
+            for metric in [ErrorMetric::DataPoint, ErrorMetric::Continuous] {
+                let fast = greedy_segmentation(&f, &cfg, delta, metric);
+                let naive = greedy_segmentation_naive(&f, &cfg, delta, metric);
+                proptest::prop_assert_eq!(fast.len(), naive.len());
+                for (a, b) in fast.iter().zip(&naive) {
+                    proptest::prop_assert_eq!((a.start, a.end), (b.start, b.end));
+                }
             }
         }
     }

@@ -104,6 +104,17 @@ pub trait AggregateIndex {
     /// outside the key domain for extremum/average queries.
     fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate>;
 
+    /// Answer a batch of range aggregates: element `i` equals
+    /// `self.query(ranges[i].0, ranges[i].1)` bit-for-bit.
+    ///
+    /// The default loops over [`Self::query`]; structures with a sorted
+    /// search path override it with sort-and-share execution (endpoints
+    /// sorted once, lookups shared across the batch), which is how heavy
+    /// query traffic should be served.
+    fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<RangeAggregate>> {
+        ranges.iter().map(|&(lq, uq)| self.query(lq, uq)).collect()
+    }
+
     /// Logical serialized size in bytes (the paper's Fig. 19 metric).
     fn size_bytes(&self) -> usize;
 
@@ -124,6 +135,13 @@ pub trait AggregateIndex2d {
 
     /// Answer the rectangle aggregate.
     fn query_rect(&self, u_lo: f64, u_hi: f64, v_lo: f64, v_hi: f64) -> Option<RangeAggregate>;
+
+    /// Answer a batch of rectangle aggregates: element `i` equals the
+    /// corresponding [`Self::query_rect`] call bit-for-bit (the 2-D
+    /// analogue of [`AggregateIndex::query_batch`]).
+    fn query_batch_rect(&self, rects: &[(f64, f64, f64, f64)]) -> Vec<Option<RangeAggregate>> {
+        rects.iter().map(|&(a, b, c, d)| self.query_rect(a, b, c, d)).collect()
+    }
 
     /// Logical serialized size in bytes.
     fn size_bytes(&self) -> usize;
@@ -150,6 +168,14 @@ impl AggregateIndex for PolyFitSum {
     fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
         // Lemma 2: two δ-certified endpoint evaluations → 2δ.
         Some(RangeAggregate::absolute(PolyFitSum::query(self, lq, uq), 2.0 * self.delta()))
+    }
+
+    fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<RangeAggregate>> {
+        let bound = 2.0 * self.delta();
+        PolyFitSum::query_batch(self, ranges)
+            .into_iter()
+            .map(|v| Some(RangeAggregate::absolute(v, bound)))
+            .collect()
     }
 
     fn size_bytes(&self) -> usize {
@@ -184,6 +210,15 @@ impl AggregateIndex for PolyFitMax {
         v.map(|v| RangeAggregate::absolute(v, self.delta()))
     }
 
+    fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<RangeAggregate>> {
+        let vals = match self.orientation() {
+            Extremum::Max => self.query_batch_max(ranges),
+            Extremum::Min => self.query_batch_min(ranges),
+        };
+        let delta = self.delta();
+        vals.into_iter().map(|v| v.map(|v| RangeAggregate::absolute(v, delta))).collect()
+    }
+
     fn size_bytes(&self) -> usize {
         PolyFitMax::size_bytes(self)
     }
@@ -210,6 +245,14 @@ impl AggregateIndex for DynamicPolyFitSum {
         ))
     }
 
+    fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<RangeAggregate>> {
+        let bound = 2.0 * self.base().delta();
+        DynamicPolyFitSum::query_batch(self, ranges)
+            .into_iter()
+            .map(|v| Some(RangeAggregate::absolute(v, bound)))
+            .collect()
+    }
+
     fn size_bytes(&self) -> usize {
         // Base segments plus the buffered (key, Δmeasure) pairs.
         self.base().size_bytes() + self.buffered() * 2 * std::mem::size_of::<f64>()
@@ -231,6 +274,15 @@ impl AggregateIndex for GuaranteedSum {
 
     fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
         Some(RangeAggregate::absolute(self.query_abs(lq, uq), 2.0 * self.index().delta()))
+    }
+
+    fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<RangeAggregate>> {
+        let bound = 2.0 * self.index().delta();
+        self.index()
+            .query_batch(ranges)
+            .into_iter()
+            .map(|v| Some(RangeAggregate::absolute(v, bound)))
+            .collect()
     }
 
     fn size_bytes(&self) -> usize {
@@ -255,6 +307,15 @@ impl AggregateIndex for GuaranteedMax {
         self.query_abs(lq, uq).map(|v| RangeAggregate::absolute(v, self.index().delta()))
     }
 
+    fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<RangeAggregate>> {
+        let delta = self.index().delta();
+        self.index()
+            .query_batch_max(ranges)
+            .into_iter()
+            .map(|v| v.map(|v| RangeAggregate::absolute(v, delta)))
+            .collect()
+    }
+
     fn size_bytes(&self) -> usize {
         self.index().size_bytes()
     }
@@ -277,6 +338,15 @@ impl AggregateIndex for GuaranteedMin {
         self.query_abs(lq, uq).map(|v| RangeAggregate::absolute(v, self.index().delta()))
     }
 
+    fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<RangeAggregate>> {
+        let delta = self.index().delta();
+        self.index()
+            .query_batch_min(ranges)
+            .into_iter()
+            .map(|v| v.map(|v| RangeAggregate::absolute(v, delta)))
+            .collect()
+    }
+
     fn size_bytes(&self) -> usize {
         self.index().size_bytes()
     }
@@ -297,6 +367,13 @@ impl AggregateIndex for GuaranteedAvg {
 
     fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
         GuaranteedAvg::query(self, lq, uq).map(|ans| RangeAggregate::absolute(ans.value, ans.bound))
+    }
+
+    fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<RangeAggregate>> {
+        GuaranteedAvg::query_batch(self, ranges)
+            .into_iter()
+            .map(|ans| ans.map(|ans| RangeAggregate::absolute(ans.value, ans.bound)))
+            .collect()
     }
 
     fn size_bytes(&self) -> usize {
@@ -421,6 +498,12 @@ macro_rules! delegate_aggregate_index {
                 (**self).query(lq, uq)
             }
 
+            fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<RangeAggregate>> {
+                // Forwarded explicitly so pointer wrappers keep the
+                // pointee's sort-and-share override.
+                (**self).query_batch(ranges)
+            }
+
             fn size_bytes(&self) -> usize {
                 (**self).size_bytes()
             }
@@ -451,6 +534,13 @@ macro_rules! delegate_aggregate_index_2d {
                 v_hi: f64,
             ) -> Option<RangeAggregate> {
                 (**self).query_rect(u_lo, u_hi, v_lo, v_hi)
+            }
+
+            fn query_batch_rect(
+                &self,
+                rects: &[(f64, f64, f64, f64)],
+            ) -> Vec<Option<RangeAggregate>> {
+                (**self).query_batch_rect(rects)
             }
 
             fn size_bytes(&self) -> usize {
@@ -511,6 +601,27 @@ impl<I: AggregateIndex, E: AggregateIndex> AggregateIndex for CertifiedRelSum<I,
         }
     }
 
+    fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<RangeAggregate>> {
+        // The approximate index answers the whole batch through its
+        // sort-and-share path; only certificate failures touch the exact
+        // structure, one by one (they are the rare case by design).
+        let threshold = 2.0 * self.delta * (1.0 + 1.0 / self.eps_rel);
+        self.approx
+            .query_batch(ranges)
+            .into_iter()
+            .zip(ranges)
+            .map(|(a, &(lq, uq))| {
+                let a = a?;
+                if a.value >= threshold {
+                    Some(RangeAggregate::relative(a.value, self.eps_rel, false))
+                } else {
+                    let e = self.exact.query(lq, uq)?;
+                    Some(RangeAggregate::relative(e.value, self.eps_rel, true))
+                }
+            })
+            .collect()
+    }
+
     fn size_bytes(&self) -> usize {
         self.approx.size_bytes()
     }
@@ -537,6 +648,10 @@ impl AggregateIndex for KeyCumulativeArray {
         Some(RangeAggregate::exact(self.range_sum(lq, uq)))
     }
 
+    fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<RangeAggregate>> {
+        self.range_sum_batch(ranges).into_iter().map(|v| Some(RangeAggregate::exact(v))).collect()
+    }
+
     fn size_bytes(&self) -> usize {
         KeyCumulativeArray::size_bytes(self)
     }
@@ -555,6 +670,10 @@ impl AggregateIndex for AggTree {
         self.range_max(lq, uq).map(RangeAggregate::exact)
     }
 
+    fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<RangeAggregate>> {
+        self.range_max_batch(ranges).into_iter().map(|v| v.map(RangeAggregate::exact)).collect()
+    }
+
     fn size_bytes(&self) -> usize {
         AggTree::size_bytes(self)
     }
@@ -571,6 +690,10 @@ impl AggregateIndex for BPlusTree {
 
     fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
         Some(RangeAggregate::exact(self.range_sum(lq, uq)))
+    }
+
+    fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<RangeAggregate>> {
+        self.range_sum_batch(ranges).into_iter().map(|v| Some(RangeAggregate::exact(v))).collect()
     }
 
     fn size_bytes(&self) -> usize {
@@ -745,7 +868,9 @@ mod tests {
         let via_rc = rc.query(50.0, 700.0).unwrap();
         assert_eq!(via_rc, direct);
         assert_eq!(rc.kind(), AggregateKind::Sum);
-        assert!((&rc).size_bytes() > 0);
+        // Exercise the `&T` delegation impl explicitly.
+        let borrowed: &std::rc::Rc<dyn AggregateIndex> = &rc;
+        assert!(AggregateIndex::size_bytes(&borrowed) > 0);
     }
 
     #[test]

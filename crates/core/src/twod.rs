@@ -29,6 +29,7 @@ use polyfit_exact::dataset::Point2d;
 use polyfit_lp::{fit_minimax_2d, Fit2dBackend};
 use polyfit_poly::BivariatePoly;
 
+use crate::build::BuildOptions;
 use crate::error::PolyFitError;
 use crate::stats::IndexStats;
 
@@ -176,11 +177,26 @@ pub struct QuadPolyFit {
 }
 
 impl QuadPolyFit {
-    /// Build with the bounded δ-error constraint.
+    /// Build with the bounded δ-error constraint, using every available
+    /// core for the patch fits (see [`Self::build_with`]).
     pub fn build(
         points: &[Point2d],
         delta: f64,
         config: Quad2dConfig,
+    ) -> Result<Self, PolyFitError> {
+        Self::build_with(points, delta, config, &BuildOptions::auto())
+    }
+
+    /// Build through the shared pipeline: the top-level quadrants are
+    /// fitted by up to `opts.threads` workers pulling from a task queue
+    /// (quadtree construction is embarrassingly parallel, and each cell's
+    /// fit is deterministic, so the index is identical for every thread
+    /// count).
+    pub fn build_with(
+        points: &[Point2d],
+        delta: f64,
+        config: Quad2dConfig,
+        opts: &BuildOptions,
     ) -> Result<Self, PolyFitError> {
         if points.is_empty() {
             return Err(PolyFitError::EmptyDataset);
@@ -195,22 +211,21 @@ impl QuadPolyFit {
         let grid = GridCF::new(points, config.grid_resolution);
         let builder = CellBuilder { grid: &grid, delta, cfg: &config };
         let res = grid.resolution();
-        // Top-level split is built in parallel (one thread per quadrant) —
-        // quadtree construction is embarrassingly parallel.
+        let threads = opts.effective_threads();
         let root = if res >= 2 {
             let im = res / 2;
             let jm = res / 2;
             let ranges = [(0, im, 0, jm), (im, res, 0, jm), (0, im, jm, res), (im, res, jm, res)];
-            let children: Vec<Node> = std::thread::scope(|s| {
-                let handles: Vec<_> = ranges
-                    .iter()
-                    .map(|&(a, b, c, d)| {
-                        let b_ref = &builder;
-                        s.spawn(move || b_ref.build_cell(a, b, c, d, 1))
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("builder thread")).collect()
-            });
+            let children: Vec<Node> = if threads <= 1 {
+                ranges.iter().map(|&(a, b, c, d)| builder.build_cell(a, b, c, d, 1)).collect()
+            } else {
+                // Shared work queue over the four quadrants, drained by
+                // min(threads, 4) workers.
+                crate::build::run_indexed_queue(ranges.len(), threads, |i| {
+                    let (a, b, c, d) = ranges[i];
+                    builder.build_cell(a, b, c, d, 1)
+                })
+            };
             Node::Internal { mid_u: grid.line_u(im), mid_v: grid.line_v(jm), children }
         } else {
             builder.build_cell(0, res, 0, res, 0)

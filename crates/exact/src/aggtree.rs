@@ -6,7 +6,8 @@
 //! tree touching at most two branches per level — the paper's aggregate
 //! max-tree traversal, `O(log n)`.
 
-use crate::dataset::{rank_exclusive, rank_inclusive, Record};
+use crate::dataset::{batch_ranks, rank_exclusive, rank_inclusive, Record};
+use crate::resolve_threads;
 
 #[derive(Clone, Copy, Debug)]
 struct NodeAgg {
@@ -32,21 +33,76 @@ pub struct AggTree {
     n: usize,
 }
 
+/// Below this many nodes, a level is merged serially — thread spawns cost
+/// more than the merges they would split.
+const PARALLEL_LEVEL_MIN: usize = 1 << 13;
+
 impl AggTree {
     /// Build from records sorted by key.
     ///
     /// # Panics
     /// Panics if records are not sorted.
     pub fn new(records: &[Record]) -> Self {
+        Self::with_threads(records, 1)
+    }
+
+    /// Parallel bulk-load: leaves are filled and each sufficiently large
+    /// tree level is merged by `threads` workers (`0` = available
+    /// parallelism). Per-node merges are identical regardless of execution
+    /// order, so the tree is **bit-identical** to [`Self::new`] for every
+    /// thread count.
+    ///
+    /// # Panics
+    /// Panics if records are not sorted.
+    pub fn with_threads(records: &[Record], threads: usize) -> Self {
         assert!(records.windows(2).all(|w| w[0].key <= w[1].key), "records must be sorted by key");
+        let threads = resolve_threads(threads);
         let n = records.len();
         let size = n.next_power_of_two().max(1);
         let mut nodes = vec![EMPTY_AGG; 2 * size];
-        for (i, r) in records.iter().enumerate() {
-            nodes[size + i] = NodeAgg { max: r.measure, min: r.measure, sum: r.measure };
+        let fill = |leaves: &mut [NodeAgg], rs: &[Record]| {
+            for (slot, r) in leaves.iter_mut().zip(rs) {
+                *slot = NodeAgg { max: r.measure, min: r.measure, sum: r.measure };
+            }
+        };
+        if threads > 1 && n >= PARALLEL_LEVEL_MIN {
+            let leaves = &mut nodes[size..size + n];
+            let chunk = n.div_ceil(threads);
+            std::thread::scope(|s| {
+                for (ls, rs) in leaves.chunks_mut(chunk).zip(records.chunks(chunk)) {
+                    s.spawn(move || fill(ls, rs));
+                }
+            });
+        } else {
+            fill(&mut nodes[size..size + n], records);
         }
-        for i in (1..size).rev() {
-            nodes[i] = merge(nodes[2 * i], nodes[2 * i + 1]);
+        // Bottom-up by level: level `L` occupies indices [L, 2L) and reads
+        // only its child level [2L, 4L), so levels split into disjoint
+        // mutable/shared slices.
+        let mut level = size / 2;
+        while level >= 1 {
+            let (head, children) = nodes.split_at_mut(2 * level);
+            let current = &mut head[level..];
+            if threads > 1 && level >= PARALLEL_LEVEL_MIN {
+                let chunk = level.div_ceil(threads);
+                std::thread::scope(|s| {
+                    for (ci, slots) in current.chunks_mut(chunk).enumerate() {
+                        let children = &*children;
+                        s.spawn(move || {
+                            let base = ci * chunk;
+                            for (k, slot) in slots.iter_mut().enumerate() {
+                                let j = base + k;
+                                *slot = merge(children[2 * j], children[2 * j + 1]);
+                            }
+                        });
+                    }
+                });
+            } else {
+                for (j, slot) in current.iter_mut().enumerate() {
+                    *slot = merge(children[2 * j], children[2 * j + 1]);
+                }
+            }
+            level /= 2;
         }
         AggTree { keys: records.iter().map(|r| r.key).collect(), nodes, size, n }
     }
@@ -123,6 +179,45 @@ impl AggTree {
         let hi = rank_inclusive(&self.keys, uq);
         let agg = self.query_idx(lo, hi);
         (agg.min < f64::INFINITY).then_some(agg.min)
+    }
+
+    /// Batched [`Self::range_max`]: all boundary ranks are computed with
+    /// shared sorted sweeps of the key array, then each range runs the
+    /// same tree walk — results bitwise identical to per-range calls.
+    pub fn range_max_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<f64>> {
+        self.range_extremum_batch(ranges, true)
+    }
+
+    /// Batched [`Self::range_min`] (see [`Self::range_max_batch`]).
+    pub fn range_min_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<f64>> {
+        self.range_extremum_batch(ranges, false)
+    }
+
+    fn range_extremum_batch(&self, ranges: &[(f64, f64)], want_max: bool) -> Vec<Option<f64>> {
+        let lqs: Vec<f64> = ranges.iter().map(|&(lq, _)| lq).collect();
+        let uqs: Vec<f64> = ranges.iter().map(|&(_, uq)| uq).collect();
+        let incl_l = batch_ranks(&self.keys, &lqs, true);
+        let incl_u = batch_ranks(&self.keys, &uqs, true);
+        ranges
+            .iter()
+            .enumerate()
+            .map(|(q, &(lq, uq))| {
+                if lq > uq || self.n == 0 {
+                    return None;
+                }
+                // Same predecessor-step logic as the single-query path:
+                // when the inclusive rank is 0 the exclusive rank is 0 as
+                // well (rank_exclusive ≤ rank_inclusive), so saturating
+                // subtraction covers both branches.
+                let lo = incl_l[q].saturating_sub(1);
+                let agg = self.query_idx(lo, incl_u[q]);
+                if want_max {
+                    (agg.max > f64::NEG_INFINITY).then_some(agg.max)
+                } else {
+                    (agg.min < f64::INFINITY).then_some(agg.min)
+                }
+            })
+            .collect()
     }
 
     /// Maximum measure among records with key strictly inside the closed
@@ -239,6 +334,50 @@ mod tests {
         assert_eq!(t.range_max_records(3.0, 3.0), Some(42.0));
         assert_eq!(t.range_max(10.0, 20.0), Some(42.0)); // step extends right
         assert_eq!(t.range_max(0.0, 1.0), None);
+    }
+
+    #[test]
+    fn parallel_bulk_load_is_bit_identical() {
+        // Enough records to cross PARALLEL_LEVEL_MIN so the parallel path
+        // actually runs.
+        let rs: Vec<Record> = (0..(1 << 14) + 37)
+            .map(|i| Record::new(i as f64, ((i * 2654435761_usize) % 997) as f64 * 0.25))
+            .collect();
+        let serial = AggTree::new(&rs);
+        for threads in [2usize, 4] {
+            let par = AggTree::with_threads(&rs, threads);
+            for &(l, u) in &[(0.0, 20000.0), (100.0, 5000.0), (8191.5, 8192.5), (3.0, 3.0)] {
+                assert_eq!(
+                    serial.range_max(l, u).map(f64::to_bits),
+                    par.range_max(l, u).map(f64::to_bits),
+                    "threads {threads} range [{l}, {u}]"
+                );
+                assert_eq!(
+                    serial.range_sum_records(l, u).to_bits(),
+                    par.range_sum_records(l, u).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_extrema_match_single_queries() {
+        let t = AggTree::new(&records());
+        let ranges = [
+            (1.0, 9.0),
+            (4.5, 6.0),
+            (0.0, 0.5),
+            (5.0, 1.0),
+            (2.0, 3.0),
+            (9.0, 9.0),
+            (-10.0, 100.0),
+        ];
+        let maxs = t.range_max_batch(&ranges);
+        let mins = t.range_min_batch(&ranges);
+        for (i, &(l, u)) in ranges.iter().enumerate() {
+            assert_eq!(maxs[i].map(f64::to_bits), t.range_max(l, u).map(f64::to_bits));
+            assert_eq!(mins[i].map(f64::to_bits), t.range_min(l, u).map(f64::to_bits));
+        }
     }
 
     #[test]

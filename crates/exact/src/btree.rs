@@ -35,20 +35,82 @@ pub struct BPlusTree {
     height: usize,
 }
 
+/// Minimum records per chunk before the parallel bulk-load pays off.
+const PARALLEL_CHUNK_MIN: usize = 1 << 15;
+
 impl BPlusTree {
     /// Bulk-load from records sorted by key.
     ///
     /// # Panics
     /// Panics if records are not sorted.
     pub fn new(records: &[Record]) -> Self {
+        Self::with_threads(records, 1)
+    }
+
+    /// Parallel bulk-load with `threads` workers (`0` = available
+    /// parallelism): leaf keys are copied and the cumulative sums computed
+    /// chunk-wise (per-chunk prefix + carried offsets). Chunking
+    /// reassociates the floating-point additions, so `cum` can differ from
+    /// the serial [`Self::new`] by rounding when measure sums are not
+    /// exactly representable; for integer-valued measures (COUNT data,
+    /// integral SUM measures) the result is bit-identical.
+    ///
+    /// # Panics
+    /// Panics if records are not sorted.
+    pub fn with_threads(records: &[Record], threads: usize) -> Self {
         assert!(records.windows(2).all(|w| w[0].key <= w[1].key), "records must be sorted by key");
-        let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
-        let mut cum = Vec::with_capacity(records.len());
-        let mut acc = 0.0;
-        for r in records {
-            acc += r.measure;
-            cum.push(acc);
-        }
+        let threads = crate::resolve_threads(threads);
+        let n = records.len();
+        let (keys, cum) = if threads > 1 && n >= PARALLEL_CHUNK_MIN {
+            let chunk = n.div_ceil(threads);
+            let mut keys = vec![0.0f64; n];
+            let mut cum = vec![0.0f64; n];
+            // Pass 1: per-chunk key copy + local prefix sums, in parallel.
+            std::thread::scope(|s| {
+                for ((ks, cs), rs) in
+                    keys.chunks_mut(chunk).zip(cum.chunks_mut(chunk)).zip(records.chunks(chunk))
+                {
+                    s.spawn(move || {
+                        let mut acc = 0.0;
+                        for ((k, c), r) in ks.iter_mut().zip(cs.iter_mut()).zip(rs) {
+                            *k = r.key;
+                            acc += r.measure;
+                            *c = acc;
+                        }
+                    });
+                }
+            });
+            // Pass 2: fold chunk totals into offsets, add in parallel.
+            let offsets: Vec<f64> = cum
+                .chunks(chunk)
+                .scan(0.0, |acc, c| {
+                    let this = *acc;
+                    *acc += c.last().copied().unwrap_or(0.0);
+                    Some(this)
+                })
+                .collect();
+            std::thread::scope(|s| {
+                for (cs, &off) in cum.chunks_mut(chunk).zip(&offsets) {
+                    if off != 0.0 {
+                        s.spawn(move || {
+                            for c in cs {
+                                *c += off;
+                            }
+                        });
+                    }
+                }
+            });
+            (keys, cum)
+        } else {
+            let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+            let mut cum = Vec::with_capacity(n);
+            let mut acc = 0.0;
+            for r in records {
+                acc += r.measure;
+                cum.push(acc);
+            }
+            (keys, cum)
+        };
         // Build router levels bottom-up: each level summarises blocks of
         // NODE_CAPACITY entries of the level below with their first key.
         let mut levels = Vec::new();
@@ -128,6 +190,14 @@ impl BPlusTree {
         self.cf(uq) - self.cf(lq)
     }
 
+    /// Batched range SUM over half-open ranges, bitwise identical to
+    /// per-range [`Self::range_sum`] calls (the root-to-leaf descent and
+    /// the shared galloping sweep compute the same inclusive rank). All
+    /// `2m` endpoints share one sorted sweep of the leaf key array.
+    pub fn range_sum_batch(&self, ranges: &[(f64, f64)]) -> Vec<f64> {
+        crate::dataset::range_sum_batch_prefix(&self.keys, &self.cum, ranges)
+    }
+
     /// Heap size in bytes (leaves + routers).
     pub fn size_bytes(&self) -> usize {
         let leaf = (self.keys.len() + self.cum.len()) * std::mem::size_of::<f64>();
@@ -181,6 +251,33 @@ mod tests {
             let brute: f64 =
                 records.iter().filter(|r| r.key > l && r.key <= u).map(|r| r.measure).sum();
             assert_eq!(t.range_sum(l, u), brute, "range ({l}, {u}]");
+        }
+    }
+
+    #[test]
+    fn parallel_bulk_load_matches_serial_on_integer_measures() {
+        // Integer measures: chunked prefix sums are exactly representable,
+        // so the parallel load is bit-identical to the serial one.
+        let records: Vec<Record> =
+            (0..(1 << 15) + 91).map(|i| Record::new(i as f64, (i % 7) as f64)).collect();
+        let serial = BPlusTree::new(&records);
+        for threads in [2usize, 4] {
+            let par = BPlusTree::with_threads(&records, threads);
+            for &x in &[-1.0, 0.0, 100.5, 16384.0, 32859.0, 1e9] {
+                assert_eq!(serial.rank_inclusive(x), par.rank_inclusive(x), "threads {threads}");
+                assert_eq!(serial.cf(x).to_bits(), par.cf(x).to_bits(), "threads {threads}");
+            }
+            assert_eq!(serial.height(), par.height());
+        }
+    }
+
+    #[test]
+    fn batch_range_sum_matches_single_queries() {
+        let (t, _) = tree_of(500);
+        let ranges = [(0.0, 100.0), (-10.0, 2000.0), (500.0, 500.0), (37.0, 41.0), (900.0, 10.0)];
+        let batch = t.range_sum_batch(&ranges);
+        for (i, &(l, u)) in ranges.iter().enumerate() {
+            assert_eq!(batch[i].to_bits(), t.range_sum(l, u).to_bits());
         }
     }
 

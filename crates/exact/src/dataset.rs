@@ -93,9 +93,93 @@ pub fn rank_exclusive(keys: &[f64], x: f64) -> usize {
     keys.partition_point(|&k| k < x)
 }
 
+/// Batched ranks with a shared cursor: `out[i]` equals
+/// `rank_inclusive(keys, queries[i])` (or `rank_exclusive` when
+/// `inclusive` is false) for every query, computed by sorting the queries
+/// once and galloping a single forward cursor over `keys`. Total cost
+/// `O(m log m + m log(n/m))` instead of `m` independent `O(log n)`
+/// searches — the sort-and-share kernel of the batched query path.
+pub fn batch_ranks(keys: &[f64], queries: &[f64], inclusive: bool) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..queries.len()).collect();
+    order.sort_unstable_by(|&a, &b| queries[a].total_cmp(&queries[b]));
+    let mut out = vec![0usize; queries.len()];
+    let mut pos = 0usize;
+    for &qi in &order {
+        let x = queries[qi];
+        if x.is_nan() {
+            // `partition_point(k ≤ NaN)` is 0; don't move the cursor.
+            continue;
+        }
+        pos = if inclusive { gallop(keys, pos, |k| k <= x) } else { gallop(keys, pos, |k| k < x) };
+        out[qi] = pos;
+    }
+    out
+}
+
+/// Batched half-open range SUM over an inclusive prefix-sum
+/// representation (`cum[i]` = Σ measures of records `0..=i`): the shared
+/// kernel of `KeyCumulativeArray::range_sum_batch` and
+/// `BPlusTree::range_sum_batch`, bitwise identical to evaluating
+/// `CF(uq) − CF(lq)` per range with [`rank_inclusive`].
+pub(crate) fn range_sum_batch_prefix(keys: &[f64], cum: &[f64], ranges: &[(f64, f64)]) -> Vec<f64> {
+    let endpoints: Vec<f64> = ranges.iter().flat_map(|&(lq, uq)| [lq, uq]).collect();
+    let ranks = batch_ranks(keys, &endpoints, true);
+    let cf_of = |rank: usize| if rank == 0 { 0.0 } else { cum[rank - 1] };
+    ranges
+        .iter()
+        .enumerate()
+        .map(
+            |(q, &(lq, uq))| {
+                if lq >= uq {
+                    0.0
+                } else {
+                    cf_of(ranks[2 * q + 1]) - cf_of(ranks[2 * q])
+                }
+            },
+        )
+        .collect()
+}
+
+/// First index at which `pred` turns false, given that it already holds
+/// for every key before `from` (the ascending-sweep invariant). Identical
+/// result to `keys.partition_point(pred)`.
+fn gallop(keys: &[f64], from: usize, pred: impl Fn(f64) -> bool) -> usize {
+    let n = keys.len();
+    if from >= n || !pred(keys[from]) {
+        return from;
+    }
+    // pred holds at `lo`; double the stride until it breaks or we run out.
+    let mut lo = from;
+    let mut step = 1usize;
+    while lo + step < n && pred(keys[lo + step]) {
+        lo += step;
+        step = step.saturating_mul(2);
+    }
+    let hi = (lo + step).min(n);
+    lo + 1 + keys[lo + 1..hi].partition_point(|&k| pred(k))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn batch_ranks_match_per_query_ranks() {
+        let keys: Vec<f64> = vec![1.0, 1.0, 2.0, 4.0, 4.0, 4.0, 7.0, 9.0];
+        let queries = vec![5.0, -1.0, 4.0, 4.0, 9.0, 0.5, 100.0, 1.0, 7.0, 6.999, f64::NAN, 2.0];
+        let incl = batch_ranks(&keys, &queries, true);
+        let excl = batch_ranks(&keys, &queries, false);
+        for (i, &q) in queries.iter().enumerate() {
+            assert_eq!(incl[i], rank_inclusive(&keys, q), "inclusive rank of {q}");
+            assert_eq!(excl[i], rank_exclusive(&keys, q), "exclusive rank of {q}");
+        }
+    }
+
+    #[test]
+    fn batch_ranks_empty_inputs() {
+        assert!(batch_ranks(&[], &[1.0, 2.0], true).iter().all(|&r| r == 0));
+        assert!(batch_ranks(&[1.0], &[], true).is_empty());
+    }
 
     #[test]
     fn sorting_orders_by_key() {

@@ -92,6 +92,14 @@ impl KeyCumulativeArray {
         self.cf(uq) - self.cf(lq)
     }
 
+    /// Batched exact range SUM over half-open ranges, bitwise identical
+    /// to per-range [`Self::range_sum`] calls. All `2m` endpoints share
+    /// one sorted galloping sweep of the key array
+    /// ([`crate::dataset::batch_ranks`]).
+    pub fn range_sum_batch(&self, ranges: &[(f64, f64)]) -> Vec<f64> {
+        crate::dataset::range_sum_batch_prefix(&self.keys, &self.cum, ranges)
+    }
+
     /// Exact range SUM over the closed range `[lq, uq]`.
     pub fn range_sum_closed(&self, lq: f64, uq: f64) -> f64 {
         if lq > uq {

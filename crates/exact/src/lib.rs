@@ -43,5 +43,15 @@ pub mod kca;
 pub use aggtree::AggTree;
 pub use artree::ARTree;
 pub use btree::BPlusTree;
-pub use dataset::{dedup_max, dedup_sum, sort_records, Point2d, Record};
+pub use dataset::{batch_ranks, dedup_max, dedup_sum, sort_records, Point2d, Record};
 pub use kca::KeyCumulativeArray;
+
+/// Resolve a bulk-load thread count: `0` means "use the machine's
+/// available parallelism" (mirrors `polyfit::build::BuildOptions`, which
+/// lives above this crate in the dependency order).
+pub fn resolve_threads(threads: usize) -> usize {
+    match threads {
+        0 => std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1),
+        t => t,
+    }
+}

@@ -1,0 +1,225 @@
+//! Cross-crate integration tests for the build pipeline and the batched
+//! query path: parallel builds must honor the same δ guarantee as serial
+//! ones, and `query_batch` must equal sequential queries bit-for-bit for
+//! every overriding implementation.
+
+use polyfit_suite::data::{generate_hki, generate_tweet, query_intervals_from_keys};
+use polyfit_suite::exact::dataset::{dedup_max, dedup_sum, sort_records, Record};
+use polyfit_suite::exact::{AggTree, BPlusTree, KeyCumulativeArray};
+use polyfit_suite::polyfit::prelude::*;
+use polyfit_suite::polyfit::{CertifiedRelSum, PolyFitMax, PolyFitSum};
+
+fn tweet_records(n: usize) -> Vec<Record> {
+    let mut rs: Vec<Record> =
+        generate_tweet(n, 42).iter().map(|r| Record::new(r.key, r.measure)).collect();
+    sort_records(&mut rs);
+    dedup_sum(rs)
+}
+
+fn hki_records(n: usize) -> Vec<Record> {
+    let mut rs: Vec<Record> =
+        generate_hki(n, 42).iter().map(|r| Record::new(r.key, r.measure)).collect();
+    sort_records(&mut rs);
+    dedup_max(rs)
+}
+
+/// Query ranges over the key domain, including edge cases the batch path
+/// must reproduce exactly: inverted, degenerate, out-of-domain, and
+/// full-domain ranges.
+fn ranges_of(keys: &[f64], n: usize) -> Vec<(f64, f64)> {
+    let mut out: Vec<(f64, f64)> =
+        query_intervals_from_keys(keys, n, 7).iter().map(|q| (q.lo, q.hi)).collect();
+    let (first, last) = (keys[0], *keys.last().unwrap());
+    out.push((last, first)); // inverted
+    out.push((first, first)); // degenerate
+    out.push((first - 100.0, first - 50.0)); // left of domain
+    out.push((last + 1.0, last + 2.0)); // right of domain
+    out.push((first - 1e9, last + 1e9)); // full domain and beyond
+    out
+}
+
+#[test]
+fn parallel_sum_build_within_delta_for_every_thread_count() {
+    let records = tweet_records(20_000);
+    let exact = KeyCumulativeArray::new(&records);
+    let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+    let ranges = ranges_of(&keys, 150);
+    let delta = 50.0;
+    for threads in [1usize, 2, 4] {
+        let idx = PolyFitSum::build_with(
+            records.clone(),
+            delta,
+            PolyFitConfig::default(),
+            &BuildOptions::with_threads(threads),
+        )
+        .unwrap();
+        assert!(idx.max_certified_error() <= delta + 1e-9, "threads {threads}");
+        for &(l, u) in &ranges {
+            let err = (idx.query(l, u) - exact.range_sum(l, u)).abs();
+            assert!(err <= 2.0 * delta + 1e-6, "threads {threads} ({l}, {u}]: err {err}");
+        }
+    }
+}
+
+#[test]
+fn parallel_max_build_within_delta_for_every_thread_count() {
+    let records = hki_records(20_000);
+    let exact = AggTree::new(&records);
+    let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+    let ranges = ranges_of(&keys, 100);
+    let delta = 60.0;
+    for threads in [1usize, 2, 4] {
+        let idx = PolyFitMax::build_with(
+            records.clone(),
+            delta,
+            PolyFitConfig::default(),
+            &BuildOptions::with_threads(threads),
+        )
+        .unwrap();
+        assert!(idx.max_certified_error() <= delta + 1e-9, "threads {threads}");
+        for &(l, u) in &ranges {
+            let (approx, truth) = (idx.query_max(l, u), exact.range_max(l, u));
+            match (approx, truth) {
+                (Some(a), Some(t)) => assert!(
+                    (a - t).abs() <= delta + 1e-6,
+                    "threads {threads} [{l}, {u}]: approx {a} truth {t}"
+                ),
+                (a, t) => assert_eq!(a.is_some(), t.is_some(), "threads {threads} [{l}, {u}]"),
+            }
+        }
+    }
+}
+
+#[test]
+fn serial_options_reproduce_legacy_build_exactly() {
+    // threads = 1 must be the pre-pipeline builder bit-for-bit.
+    let records = tweet_records(10_000);
+    let legacy = PolyFitSum::build(records.clone(), 25.0, PolyFitConfig::default()).unwrap();
+    let piped =
+        PolyFitSum::build_with(records, 25.0, PolyFitConfig::default(), &BuildOptions::default())
+            .unwrap();
+    assert_eq!(legacy.num_segments(), piped.num_segments());
+    assert_eq!(legacy.to_bytes(), piped.to_bytes());
+}
+
+#[test]
+fn query_batch_is_bitwise_identical_across_implementations() {
+    let records = tweet_records(6_000);
+    let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+    let ranges = ranges_of(&keys, 300);
+
+    let max_records = hki_records(6_000);
+
+    let mut dynamic =
+        DynamicPolyFitSum::new(records.clone(), 25.0, PolyFitConfig::default(), 1_000_000).unwrap();
+    for i in 0..200 {
+        dynamic.insert(keys[0] + i as f64 * 0.37, 2.0);
+    }
+
+    let methods: Vec<Box<dyn AggregateIndex>> = vec![
+        Box::new(PolyFitSum::build(records.clone(), 25.0, PolyFitConfig::default()).unwrap()),
+        Box::new(PolyFitMax::build(max_records.clone(), 40.0, PolyFitConfig::default()).unwrap()),
+        Box::new(
+            PolyFitMax::build_min(max_records.clone(), 40.0, PolyFitConfig::default()).unwrap(),
+        ),
+        Box::new(dynamic),
+        Box::new(KeyCumulativeArray::new(&records)),
+        Box::new(BPlusTree::new(&records)),
+        Box::new(AggTree::new(&max_records)),
+        Box::new(GuaranteedSum::with_abs_guarantee(
+            records.clone(),
+            100.0,
+            PolyFitConfig::default(),
+        )),
+        Box::new(GuaranteedMax::with_abs_guarantee(
+            max_records.clone(),
+            40.0,
+            PolyFitConfig::default(),
+        )),
+        Box::new(GuaranteedMin::with_abs_guarantee(
+            max_records.clone(),
+            40.0,
+            PolyFitConfig::default(),
+        )),
+        Box::new(GuaranteedAvg::with_abs_guarantees(
+            records.clone(),
+            50.0,
+            10.0,
+            PolyFitConfig::default(),
+        )),
+        Box::new(CertifiedRelSum::new(
+            PolyFitSum::build(records.clone(), 25.0, PolyFitConfig::default()).unwrap(),
+            KeyCumulativeArray::new(&records),
+            25.0,
+            0.05,
+        )),
+    ];
+
+    for m in &methods {
+        let batch = m.query_batch(&ranges);
+        assert_eq!(batch.len(), ranges.len());
+        for (i, &(lq, uq)) in ranges.iter().enumerate() {
+            let single = m.query(lq, uq);
+            match (&batch[i], &single) {
+                (Some(b), Some(s)) => {
+                    assert_eq!(
+                        b.value.to_bits(),
+                        s.value.to_bits(),
+                        "{} range ({lq}, {uq}]",
+                        m.name()
+                    );
+                    assert_eq!(b.guarantee, s.guarantee, "{}", m.name());
+                    assert_eq!(b.used_fallback, s.used_fallback, "{}", m.name());
+                }
+                (None, None) => {}
+                other => panic!("{} range ({lq}, {uq}]: {other:?}", m.name()),
+            }
+        }
+    }
+}
+
+#[test]
+fn query_batch_through_pointer_delegation_keeps_override() {
+    let records = tweet_records(4_000);
+    let idx = PolyFitSum::build(records, 25.0, PolyFitConfig::default()).unwrap();
+    let keys_ranges = vec![(100.0, 900.0), (0.5, 0.25), (-1e6, 1e6)];
+    let direct = AggregateIndex::query_batch(&idx, &keys_ranges);
+    let boxed: Box<dyn AggregateIndex> = Box::new(idx);
+    let via_box = boxed.query_batch(&keys_ranges);
+    let via_rc: std::rc::Rc<dyn AggregateIndex> = std::rc::Rc::from(boxed);
+    let via_rc_batch = via_rc.query_batch(&keys_ranges);
+    for ((a, b), c) in direct.iter().zip(&via_box).zip(&via_rc_batch) {
+        assert_eq!(a.map(|x| x.value.to_bits()), b.map(|x| x.value.to_bits()));
+        assert_eq!(a.map(|x| x.value.to_bits()), c.map(|x| x.value.to_bits()));
+    }
+}
+
+#[test]
+fn dynamic_parallel_rebuild_preserves_answers() {
+    // A dynamic index with a parallel build option keeps the guarantee
+    // through compaction rebuilds.
+    let records = tweet_records(12_000);
+    let delta = 30.0;
+    let mut idx = DynamicPolyFitSum::with_options(
+        records.clone(),
+        delta,
+        PolyFitConfig::default(),
+        128,
+        &BuildOptions::with_threads(4),
+    )
+    .unwrap();
+    let mut shadow: Vec<(f64, f64)> = records.iter().map(|r| (r.key, r.measure)).collect();
+    let lo = records[0].key;
+    for i in 0..400 {
+        let k = lo + 0.1 + i as f64 * 0.21;
+        idx.insert(k, 3.0);
+        shadow.push((k, 3.0));
+    }
+    assert!(idx.rebuilds() >= 1, "buffer limit 128 must have compacted");
+    let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+    for &(l, u) in ranges_of(&keys, 60).iter() {
+        let truth: f64 = shadow.iter().filter(|(k, _)| *k > l && *k <= u).map(|(_, m)| m).sum();
+        let err = (idx.query(l, u) - truth).abs();
+        assert!(err <= 2.0 * delta + 1e-6, "({l}, {u}]: err {err}");
+    }
+}
