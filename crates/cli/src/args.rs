@@ -8,6 +8,7 @@ usage:
   polyfit-cli build --input <data.csv> --output <index.pf> --aggregate <sum|count|max|min>
                 --eps-abs <float> [--degree <1..8>] [--backend <exchange|chebyshev|simplex>]
                 [--threads <N>]   (0 or omitted = all available cores)
+                [--stats]         (sum/count: embed per-segment statistics)
   polyfit-cli query --index <index.pf> (--lo <float> --hi <float> | --batch-file <ranges.csv>)
   polyfit-cli info  --index <index.pf>
 
@@ -34,6 +35,9 @@ pub enum Command {
         backend: String,
         /// Build-pipeline worker threads; 0 = available parallelism.
         threads: usize,
+        /// Embed per-segment statistics in the index file (SUM/COUNT),
+        /// so reloaded indexes keep compaction incremental.
+        stats: bool,
     },
     Query {
         index: String,
@@ -118,6 +122,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 degree,
                 backend: backend.to_string(),
                 threads,
+                stats: argv.iter().any(|a| a == "--stats"),
             })
         }
         "query" => {
@@ -165,8 +170,20 @@ mod tests {
                 degree: 3,
                 backend: "exchange".into(),
                 threads: 0,
+                stats: false,
             }
         );
+    }
+
+    #[test]
+    fn build_parses_stats_flag() {
+        let cmd =
+            parse(&argv("build --input d.csv --output i.pf --aggregate sum --eps-abs 10 --stats"))
+                .unwrap();
+        match cmd {
+            Command::Build { stats, .. } => assert!(stats),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]
@@ -174,11 +191,12 @@ mod tests {
         let cmd = parse(&argv("build --input d.csv --output i.pf --aggregate count --eps-abs 10"))
             .unwrap();
         match cmd {
-            Command::Build { degree, backend, aggregate, threads, .. } => {
+            Command::Build { degree, backend, aggregate, threads, stats, .. } => {
                 assert_eq!(degree, 2);
                 assert_eq!(backend, "exchange");
                 assert_eq!(aggregate, Aggregate::Count);
                 assert_eq!(threads, 0, "default is auto parallelism");
+                assert!(!stats, "stats block is opt-in");
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -35,7 +35,7 @@ use crate::csv;
 /// File-kind sniffing: the serializer's magic bytes.
 fn kind_of(bytes: &[u8]) -> Option<&'static str> {
     match bytes.get(..4) {
-        Some(b"PFS1") => Some("sum"),
+        Some(b"PFS2") => Some("sum"),
         Some(b"PFM2") => Some("max"),
         _ => None,
     }
@@ -63,7 +63,7 @@ fn backend_of(name: &str) -> FitBackend {
 /// Execute a parsed command.
 pub fn run(cmd: Command) -> Result<(), String> {
     match cmd {
-        Command::Build { input, output, aggregate, eps_abs, degree, backend, threads } => {
+        Command::Build { input, output, aggregate, eps_abs, degree, backend, threads, stats } => {
             let text =
                 fs::read_to_string(&input).map_err(|e| format!("cannot read {input}: {e}"))?;
             let mut records = csv::parse_records(&text)?;
@@ -83,15 +83,23 @@ pub fn run(cmd: Command) -> Result<(), String> {
                     // Lemma 2: δ = ε_abs / 2 for SUM-family queries.
                     let idx = PolyFitSum::build_with(records, eps_abs / 2.0, config, &opts)
                         .map_err(|e| e.to_string())?;
-                    (idx.to_bytes(), idx.num_segments(), "sum")
+                    // --stats embeds the per-segment summaries so a
+                    // reloaded index keeps compaction incremental.
+                    (idx.to_bytes_with_stats(stats), idx.num_segments(), "sum")
                 }
                 Aggregate::Max => {
+                    if stats {
+                        eprintln!("note: --stats applies to sum/count indexes only; ignored");
+                    }
                     // Lemma 4: δ = ε_abs.
                     let idx = PolyFitMax::build_with(records, eps_abs, config, &opts)
                         .map_err(|e| e.to_string())?;
                     (idx.to_bytes(), idx.num_segments(), "max")
                 }
                 Aggregate::Min => {
+                    if stats {
+                        eprintln!("note: --stats applies to sum/count indexes only; ignored");
+                    }
                     let idx = PolyFitMax::build_min_with(records, eps_abs, config, &opts)
                         .map_err(|e| e.to_string())?;
                     (idx.to_bytes(), idx.num_segments(), "min")
@@ -138,6 +146,29 @@ pub fn run(cmd: Command) -> Result<(), String> {
                     println!("domain:    [{}, {}]", idx.domain().0, idx.domain().1);
                     println!("total:     {}", idx.total());
                     println!("file size: {} bytes", bytes.len());
+                    match (idx.segment_stats(), idx.segment_stats_summary()) {
+                        (Some(stats), Some(s)) => {
+                            let mean_mass = stats.iter().map(SegmentStats::mass).sum::<f64>()
+                                / stats.len() as f64;
+                            println!(
+                                "seg stats: spans {}..{} records (mean {:.1}), \
+                                 worst residual {:.4} ({:.0}% of δ), \
+                                 mass {} ({:.1}/segment)",
+                                s.min_span,
+                                s.max_span,
+                                s.mean_span,
+                                s.max_residual,
+                                if idx.delta() > 0.0 {
+                                    s.max_residual / idx.delta() * 100.0
+                                } else {
+                                    0.0
+                                },
+                                s.total_mass,
+                                mean_mass,
+                            );
+                        }
+                        _ => println!("seg stats: absent (built without --stats)"),
+                    }
                     Ok(())
                 }
                 Some("max") => {
@@ -262,9 +293,42 @@ mod tests {
             degree: 2,
             backend: "exchange".into(),
             threads: 0,
+            stats: false,
         })
         .unwrap_err();
         assert!(err.contains("cannot read"));
+    }
+
+    #[test]
+    fn stats_flag_embeds_segment_statistics() {
+        let data = tmp("stats.csv");
+        let lean = tmp("stats-lean.pf");
+        let rich = tmp("stats-rich.pf");
+        let rows: String = (0..1500).map(|i| format!("{i},3\n")).collect();
+        fs::write(&data, rows).unwrap();
+        run(parse(&argv(&format!(
+            "build --input {data} --output {lean} --aggregate sum --eps-abs 40"
+        )))
+        .unwrap())
+        .unwrap();
+        run(parse(&argv(&format!(
+            "build --input {data} --output {rich} --aggregate sum --eps-abs 40 --stats"
+        )))
+        .unwrap())
+        .unwrap();
+        let lean_idx = PolyFitSum::from_bytes(&fs::read(&lean).unwrap()).unwrap();
+        let rich_idx = PolyFitSum::from_bytes(&fs::read(&rich).unwrap()).unwrap();
+        assert!(lean_idx.segment_stats().is_none(), "default build strips stats");
+        let stats = rich_idx.segment_stats().expect("--stats embeds the block");
+        assert_eq!(stats.len(), rich_idx.num_segments());
+        // Queries agree bitwise regardless of the stats block.
+        for i in 0..40 {
+            let (l, u) = (i as f64 * 9.0, i as f64 * 9.0 + 300.0);
+            assert_eq!(lean_idx.query(l, u).to_bits(), rich_idx.query(l, u).to_bits());
+        }
+        // `info` renders the summary on both flavours.
+        run(parse(&argv(&format!("info --index {rich}"))).unwrap()).unwrap();
+        run(parse(&argv(&format!("info --index {lean}"))).unwrap()).unwrap();
     }
 
     #[test]

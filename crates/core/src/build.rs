@@ -170,6 +170,37 @@ pub fn segment_function(
     stitch(f, cfg, delta, metric, chunks)
 }
 
+/// Segment several disjoint point ranges of `f` independently, fanning
+/// the ranges across `opts.threads` workers — the compaction refit path:
+/// each range is a dirty run between reused segments, so no seam
+/// stitching applies (the neighbours are kept verbatim). Each range is
+/// segmented by the same serial greedy as the incremental stepper, so the
+/// output is identical to stepping regardless of thread count. Ranges are
+/// inclusive `(start, end)` point-index pairs.
+pub(crate) fn segment_ranges(
+    f: &TargetFunction,
+    cfg: &PolyFitConfig,
+    delta: f64,
+    metric: ErrorMetric,
+    opts: &BuildOptions,
+    ranges: &[(usize, usize)],
+) -> Vec<Vec<SegmentSpec>> {
+    if ranges.is_empty() {
+        return Vec::new();
+    }
+    let threads = opts.effective_threads().clamp(1, ranges.len());
+    if threads <= 1 {
+        return ranges
+            .iter()
+            .map(|&(lo, hi)| greedy_segmentation_range(f, cfg, delta, metric, lo, hi + 1))
+            .collect();
+    }
+    run_indexed_queue(ranges.len(), threads, |i| {
+        let (lo, hi) = ranges[i];
+        greedy_segmentation_range(f, cfg, delta, metric, lo, hi + 1)
+    })
+}
+
 /// Concatenate per-chunk segment lists, repairing each seam: absorb the
 /// right chunk's leading segments into the left chunk's trailing segment
 /// while the re-fitted union stays certified ≤ δ (and within the length
@@ -304,6 +335,50 @@ mod tests {
         let greedy = greedy_segmentation(&f, &cfg, 8.0, ErrorMetric::DataPoint);
         // Theorem 1: greedy matches the DP optimum in count.
         assert_eq!(dp.len(), greedy.len());
+    }
+
+    #[test]
+    fn segment_ranges_matches_serial_per_range() {
+        let f = wavy(3000);
+        let cfg = PolyFitConfig::default();
+        let ranges = [(0usize, 799usize), (1200, 1999), (2500, 2999)];
+        let serial = segment_ranges(
+            &f,
+            &cfg,
+            5.0,
+            ErrorMetric::DataPoint,
+            &BuildOptions::default(),
+            &ranges,
+        );
+        let par = segment_ranges(
+            &f,
+            &cfg,
+            5.0,
+            ErrorMetric::DataPoint,
+            &BuildOptions::with_threads(3),
+            &ranges,
+        );
+        assert_eq!(serial.len(), par.len());
+        for (a, b) in serial.iter().zip(&par) {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!((x.start, x.end), (y.start, y.end));
+            }
+        }
+        // Each range is covered exactly.
+        for (specs, &(lo, hi)) in serial.iter().zip(&ranges) {
+            assert_eq!(specs[0].start, lo);
+            assert_eq!(specs.last().unwrap().end, hi);
+        }
+        assert!(segment_ranges(
+            &f,
+            &cfg,
+            5.0,
+            ErrorMetric::DataPoint,
+            &BuildOptions::default(),
+            &[]
+        )
+        .is_empty());
     }
 
     #[test]

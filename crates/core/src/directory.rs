@@ -29,20 +29,9 @@ impl SegmentDirectory {
         let mut lo_keys = Vec::with_capacity(specs.len());
         let mut segments = Vec::with_capacity(specs.len());
         for spec in specs {
-            let lo_key = f.keys[spec.start];
-            let hi_key = f.keys[spec.end];
-            let values = &f.values[spec.start..=spec.end];
-            let value_max = values.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
-            let value_min = values.iter().fold(f64::INFINITY, |m, &v| m.min(v));
-            lo_keys.push(lo_key);
-            segments.push(Segment {
-                lo_key,
-                hi_key,
-                poly: spec.fit.poly,
-                error: spec.certified_error,
-                value_max,
-                value_min,
-            });
+            let seg = segment_from_spec(f, spec);
+            lo_keys.push(seg.lo_key);
+            segments.push(seg);
         }
         SegmentDirectory { lo_keys, segments }
     }
@@ -113,6 +102,24 @@ impl SegmentDirectory {
     /// instead of `O(m log h)` independent binary searches.
     pub fn cursor(&self) -> DirectoryCursor<'_> {
         DirectoryCursor { dir: self, upper: 0 }
+    }
+}
+
+/// Materialise one segmentation spec into a [`Segment`]: fitted
+/// polynomial, certified error, and the exact value extrema over the
+/// covered points. Shared by the bulk assembly above and the incremental
+/// compaction path, which emits segments one bounded step at a time.
+pub(crate) fn segment_from_spec(f: &TargetFunction, spec: SegmentSpec) -> Segment {
+    let values = &f.values[spec.start..=spec.end];
+    let value_max = values.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+    let value_min = values.iter().fold(f64::INFINITY, |m, &v| m.min(v));
+    Segment {
+        lo_key: f.keys[spec.start],
+        hi_key: f.keys[spec.end],
+        poly: spec.fit.poly,
+        error: spec.certified_error,
+        value_max,
+        value_min,
     }
 }
 

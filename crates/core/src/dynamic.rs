@@ -6,26 +6,67 @@
 //! absorbs inserts/deletes. Queries combine the index's certified
 //! approximation with the buffer's *exact* contribution, so the absolute
 //! guarantee `|A − R| ≤ ε_abs` is preserved verbatim — the buffer adds
-//! zero error. When the buffer exceeds its limit, the index is rebuilt by
-//! merging (an LSM-style compaction); rebuild cost is amortised over the
-//! buffered updates.
+//! zero error.
+//!
+//! ## Shadow compaction
+//!
+//! When the buffer exceeds its limit, the index is compacted by merging
+//! (LSM-style). Compaction is **incremental and non-blocking**: the
+//! writer stages the merged record set into a generational
+//! [`PendingRebuild`] and then drives the rebuild in bounded steps
+//! ([`DynamicPolyFitSum::step_compaction`]) — each step emits at most a
+//! budget's worth of refitted points — while inserts and deletes keep
+//! landing in a fresh buffer overlaying the old base. When the shadow
+//! index is complete it is swapped in atomically. Queries issued at any
+//! point are bitwise-identical to an index that never started the
+//! rebuild, and the post-swap state is bitwise-identical to a blocking
+//! compaction ([`DynamicPolyFitSum::compact_now`]) at the same trigger.
+//!
+//! ## Mergeable segment statistics
+//!
+//! Staging consults the base index's per-segment
+//! [`SegmentStats`](crate::stats::SegmentStats): a segment whose key span
+//! contains no buffered update is **reused verbatim** — its polynomial is
+//! translated by the delta mass that accumulated in front of it (adding a
+//! constant preserves the minimax residual) and re-certified as the old
+//! residual plus the measured prefix-rounding drift. Only segments whose
+//! span intersects the updates are refitted, so a skewed update workload
+//! refits a small fraction of the index instead of paying a full rebuild.
 
 use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::time::Duration;
 
 use polyfit_exact::dataset::{dedup_sum, sort_records, Record};
 use polyfit_lp::FitBackend;
+use polyfit_poly::{Polynomial, ShiftedPolynomial};
 
-use crate::build::BuildOptions;
+use crate::build::{segment_ranges, BuildOptions};
 use crate::config::PolyFitConfig;
+use crate::directory::segment_from_spec;
 use crate::error::PolyFitError;
+use crate::function::{cumulative_function_sorted, TargetFunction};
 use crate::index_sum::PolyFitSum;
+use crate::segment::Segment;
+use crate::segmentation::{greedy_next_segment, ErrorMetric, SegmentSpec};
 use crate::serialize::{DecodeError, Reader, Writer};
+use crate::stats::SegmentStats;
+
+/// Default per-step compaction budget (measure: merged points covered by
+/// refitting; reused segments cost one unit). Small workloads complete
+/// within the triggering update; large rebuilds amortise across updates.
+pub const DEFAULT_STEP_BUDGET: usize = 4096;
 
 /// Monotone total-order mapping for finite `f64` keys, so a `BTreeMap`
 /// can hold float keys: flips the sign bit for positives and all bits for
-/// negatives (the classic IEEE-754 order trick).
+/// negatives (the classic IEEE-754 order trick). `-0.0` is normalized to
+/// `+0.0` first — the base index's sort and dedup compare keys with `==`,
+/// which treats the two zeros as the same key, so the buffer must bucket
+/// them together too (else a delete at `+0.0` never cancels an insert at
+/// `-0.0` and range bounds at `±0.0` disagree with the base).
 #[inline]
 fn ord_bits(k: f64) -> u64 {
+    let k = if k == 0.0 { 0.0 } else { k };
     let b = k.to_bits();
     if b >> 63 == 1 {
         !b
@@ -34,14 +75,112 @@ fn ord_bits(k: f64) -> u64 {
     }
 }
 
+/// One unit of staged rebuild work, in merged-record coordinates.
+#[derive(Clone, Copy, Debug)]
+enum PlanItem {
+    /// Keep base segment `old_idx` verbatim: translate its polynomial by
+    /// `shift` (the delta mass accumulated before it) and certify it as
+    /// `residual` (old certificate + measured prefix drift).
+    Reuse { old_idx: usize, new_start: usize, new_end: usize, shift: f64, residual: f64 },
+    /// Refit merged points `start..=end` with the greedy segmentation.
+    Refit { start: usize, end: usize },
+}
+
+/// The in-flight shadow rebuild: staged snapshot, merged record set, the
+/// reuse/refit plan, and the partially emitted output. One generation of
+/// the compaction state machine — created by staging, advanced by
+/// [`DynamicPolyFitSum::step_compaction`], consumed by the atomic swap.
+#[derive(Clone, Debug)]
+struct PendingRebuild {
+    /// Generation this rebuild will install (see
+    /// [`DynamicPolyFitSum::generation`]).
+    generation: u64,
+    /// Buffer snapshot folded into `merged` at staging time. Never
+    /// mutated afterwards.
+    staged: BTreeMap<u64, (f64, f64)>,
+    /// For keys updated *again* while staged: the control-visible folded
+    /// value (staged delta ⊕ fresh deltas, folded in arrival order), so
+    /// queries during the rebuild stay bitwise-identical to an index that
+    /// never started compacting.
+    overlay: BTreeMap<u64, f64>,
+    /// The staged record set the shadow index is built over.
+    merged: Vec<Record>,
+    /// Cumulative function over `merged` (exact prefix sums).
+    cf: TargetFunction,
+    plan: Vec<PlanItem>,
+    next_item: usize,
+    /// Next uncovered point within the current `Refit` item.
+    refit_pos: usize,
+    out: Vec<Segment>,
+    out_stats: Vec<SegmentStats>,
+    reused: usize,
+    refit_segments: usize,
+    refit_points: usize,
+    covered_points: usize,
+    build_time: Duration,
+}
+
+/// Progress snapshot of an in-flight shadow rebuild.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompactionStatus {
+    /// Generation the rebuild will install when it swaps.
+    pub generation: u64,
+    /// Plan items completed so far.
+    pub items_done: usize,
+    /// Total plan items (reuse + refit runs).
+    pub items_total: usize,
+    /// Merged points covered so far (reused spans + refitted spans).
+    pub points_done: usize,
+    /// Total merged points to cover.
+    pub points_total: usize,
+    /// Points that went through the fitting pipeline so far — the
+    /// expensive share of `points_done` (reused spans are translated,
+    /// not refitted) and the unit the step budget bounds.
+    pub refit_points_done: usize,
+    /// Segments emitted into the shadow index so far.
+    pub segments_emitted: usize,
+}
+
+/// Outcome of the most recent completed compaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Generation installed by the swap.
+    pub generation: u64,
+    /// Base segments kept verbatim (translated, not refitted).
+    pub reused_segments: usize,
+    /// Segments produced by refitting dirty runs.
+    pub refit_segments: usize,
+    /// Merged points that went through the fitting pipeline.
+    pub refit_points: usize,
+    /// Total merged points.
+    pub total_points: usize,
+    /// Wall-clock time spent inside compaction steps (staging excluded).
+    pub build_time: Duration,
+}
+
+impl CompactionReport {
+    /// Fraction of merged points that had to be refitted (`< 1.0`
+    /// whenever any segment was reused; `0.0` for an empty merge).
+    pub fn refit_fraction(&self) -> f64 {
+        if self.total_points == 0 {
+            0.0
+        } else {
+            self.refit_points as f64 / self.total_points as f64
+        }
+    }
+}
+
 /// A PolyFit SUM/COUNT index supporting inserts and deletes.
 #[derive(Clone, Debug)]
 pub struct DynamicPolyFitSum {
-    base: PolyFitSum,
+    /// The static index, absent only after a compaction over a fully
+    /// deleted record set (queries then answer from the buffer alone).
+    base: Option<PolyFitSum>,
     /// All records currently folded into `base` (kept for rebuilds).
     base_records: Vec<Record>,
     /// Pending measure deltas per key (positive = insert, negative =
-    /// delete), ordered by key bits.
+    /// delete), ordered by key bits. While a rebuild is pending this
+    /// holds only the *fresh* deltas that arrived after staging.
     buffer: BTreeMap<u64, (f64, f64)>,
     /// Rebuild threshold.
     buffer_limit: usize,
@@ -51,6 +190,17 @@ pub struct DynamicPolyFitSum {
     /// compaction rebuild (runtime knob — not serialized).
     build_opts: BuildOptions,
     rebuilds: usize,
+    /// The in-flight shadow rebuild, if any.
+    pending: Option<PendingRebuild>,
+    /// Budget auto-driven per update while a rebuild is pending
+    /// (`0` = manual mode: the caller drives [`Self::step_compaction`]).
+    step_budget: usize,
+    /// Staging counter: increments when a rebuild is staged; the value
+    /// tags the [`PendingRebuild`] and its eventual [`CompactionReport`].
+    generation: u64,
+    last_compaction: Option<CompactionReport>,
+    reused_segments_total: usize,
+    refit_segments_total: usize,
 }
 
 impl DynamicPolyFitSum {
@@ -66,9 +216,9 @@ impl DynamicPolyFitSum {
     }
 
     /// [`Self::new`] with explicit build-pipeline options: the initial
-    /// build *and* every LSM-style compaction rebuild fan out across
-    /// `opts.threads` workers — rebuilds are exactly the latency spikes
-    /// the parallel pipeline exists to shrink.
+    /// build *and* every compaction refit fan out across `opts.threads`
+    /// workers — rebuilds are exactly the latency spikes the parallel
+    /// pipeline exists to shrink.
     pub fn with_options(
         mut records: Vec<Record>,
         delta: f64,
@@ -80,7 +230,7 @@ impl DynamicPolyFitSum {
         let records = dedup_sum(records);
         let base = PolyFitSum::build_with(records.clone(), delta, config, opts)?;
         Ok(DynamicPolyFitSum {
-            base,
+            base: Some(base),
             base_records: records,
             buffer: BTreeMap::new(),
             buffer_limit: buffer_limit.max(1),
@@ -88,89 +238,544 @@ impl DynamicPolyFitSum {
             config,
             build_opts: *opts,
             rebuilds: 0,
+            pending: None,
+            step_budget: DEFAULT_STEP_BUDGET,
+            generation: 0,
+            last_compaction: None,
+            reused_segments_total: 0,
+            refit_segments_total: 0,
         })
     }
 
-    /// Insert a record. `O(log buffer)`; triggers a rebuild when the
-    /// buffer limit is reached.
-    pub fn insert(&mut self, key: f64, measure: f64) {
-        assert!(key.is_finite() && measure.is_finite(), "finite values required");
-        let entry = self.buffer.entry(ord_bits(key)).or_insert((key, 0.0));
-        entry.1 += measure;
-        self.maybe_rebuild();
+    /// Insert a record: `O(log buffer)` plus at most one bounded
+    /// compaction step. When the buffer limit is reached a shadow rebuild
+    /// is staged and driven incrementally — the writer is never blocked
+    /// for a full refit.
+    ///
+    /// Returns [`PolyFitError::NonFiniteUpdate`] for NaN/∞ inputs.
+    pub fn try_insert(&mut self, key: f64, measure: f64) -> Result<(), PolyFitError> {
+        if !key.is_finite() || !measure.is_finite() {
+            return Err(PolyFitError::NonFiniteUpdate { key, measure });
+        }
+        // −0.0 ≡ +0.0: store the normalized key so the folded record set
+        // matches the base index's key semantics.
+        let key = if key == 0.0 { 0.0 } else { key };
+        let kb = ord_bits(key);
+        match &mut self.pending {
+            Some(p) if p.staged.contains_key(&kb) => {
+                // The key is being folded into the shadow base. Keep the
+                // buffer entry alive even when its delta cancels to zero
+                // (post-swap it must carry exactly the fresh mass), and
+                // track the control-visible folded value in the overlay
+                // so queries stay bitwise-unchanged by the rebuild.
+                let staged_dm = p.staged[&kb].1;
+                let entry = self.buffer.entry(kb).or_insert((key, 0.0));
+                entry.1 += measure;
+                if entry.1 == 0.0 {
+                    entry.1 = 0.0; // normalize −0.0, mirroring re-creation
+                }
+                let ov = p.overlay.entry(kb).or_insert(staged_dm);
+                *ov += measure;
+                if *ov == 0.0 {
+                    *ov = 0.0;
+                }
+            }
+            _ => {
+                let entry = self.buffer.entry(kb).or_insert((key, 0.0));
+                entry.1 += measure;
+                // A cancelled update releases its slot immediately — it
+                // must not count toward the compaction trigger.
+                if entry.1 == 0.0 {
+                    self.buffer.remove(&kb);
+                }
+            }
+        }
+        // Auto-drive (step budget 0 = manual mode: the caller stages and
+        // steps explicitly): stage at the limit, then one bounded step
+        // per update until the shadow index swaps in.
+        if self.step_budget > 0 {
+            if self.pending.is_some() {
+                self.step_compaction(self.step_budget);
+            } else if self.buffer.len() >= self.buffer_limit {
+                self.stage_compaction();
+                self.step_compaction(self.step_budget);
+            }
+        }
+        Ok(())
     }
 
     /// Delete measure mass at a key (the inverse of a previous insert).
     /// Deleting more than exists leaves a negative contribution — exactly
     /// cancelling against the base at query time.
-    pub fn delete(&mut self, key: f64, measure: f64) {
-        self.insert(key, -measure);
+    pub fn try_delete(&mut self, key: f64, measure: f64) -> Result<(), PolyFitError> {
+        self.try_insert(key, -measure)
     }
 
-    fn maybe_rebuild(&mut self) {
-        if self.buffer.len() < self.buffer_limit {
-            return;
+    /// Panicking convenience wrapper over [`Self::try_insert`].
+    ///
+    /// # Panics
+    /// Panics on non-finite inputs.
+    pub fn insert(&mut self, key: f64, measure: f64) {
+        self.try_insert(key, measure).expect("finite values required");
+    }
+
+    /// Panicking convenience wrapper over [`Self::try_delete`].
+    ///
+    /// # Panics
+    /// Panics on non-finite inputs.
+    pub fn delete(&mut self, key: f64, measure: f64) {
+        self.try_delete(key, measure).expect("finite values required");
+    }
+
+    /// Stage a shadow rebuild now, without waiting for the buffer limit:
+    /// snapshots the buffer, merges it into the base record set, and
+    /// plans which segments to reuse vs refit. Returns `false` when there
+    /// is nothing to compact or a rebuild is already pending. Cheap:
+    /// `O(n)` merges and additions, no polynomial fitting.
+    pub fn begin_compaction(&mut self) -> bool {
+        if self.pending.is_some() || self.buffer.is_empty() {
+            return false;
         }
-        let mut merged = std::mem::take(&mut self.base_records);
-        for &(key, dm) in self.buffer.values() {
-            if dm != 0.0 {
-                merged.push(Record::new(key, dm));
+        self.stage_compaction();
+        self.pending.is_some()
+    }
+
+    /// Drive the pending rebuild by up to `budget` units of work (a
+    /// refitted segment costs its point span; a reused segment costs one
+    /// unit — the step may overshoot by at most one segment, since
+    /// segments are emitted atomically). Swaps the shadow index in when
+    /// the plan completes. Returns `true` when no rebuild remains pending
+    /// after the call.
+    pub fn step_compaction(&mut self, budget: usize) -> bool {
+        let Some(mut p) = self.pending.take() else {
+            return true;
+        };
+        let t0 = std::time::Instant::now();
+        let mut work = 0usize;
+        while work < budget && p.next_item < p.plan.len() {
+            match p.plan[p.next_item] {
+                PlanItem::Reuse { old_idx, new_start, new_end, shift, residual } => {
+                    self.emit_reuse(&mut p, old_idx, new_start, new_end, shift, residual);
+                    work += 1;
+                    p.next_item += 1;
+                }
+                PlanItem::Refit { start, end } => {
+                    let pos = p.refit_pos.max(start);
+                    let spec = greedy_next_segment(
+                        &p.cf,
+                        &self.config,
+                        self.delta,
+                        ErrorMetric::DataPoint,
+                        pos,
+                        end + 1,
+                    );
+                    let next_pos = spec.end + 1;
+                    work += spec.end - spec.start + 1;
+                    emit_refit_spec(&mut p, spec);
+                    p.refit_pos = next_pos;
+                    if next_pos > end {
+                        p.next_item += 1;
+                    }
+                }
             }
         }
-        self.buffer.clear();
-        sort_records(&mut merged);
-        let mut merged = dedup_sum(merged);
+        p.build_time += t0.elapsed();
+        if p.next_item == p.plan.len() {
+            self.finish_swap(p);
+            true
+        } else {
+            self.pending = Some(p);
+            false
+        }
+    }
+
+    /// Blocking compaction: stage (if needed) and drive the rebuild to
+    /// completion. With a multi-thread build configuration the dirty runs
+    /// are refitted in parallel; the result is bitwise-identical to
+    /// serial stepping either way.
+    pub fn compact_now(&mut self) {
+        if self.pending.is_none() {
+            if self.buffer.is_empty() {
+                return;
+            }
+            self.stage_compaction();
+        }
+        let fresh = self.pending.as_ref().is_some_and(|p| p.next_item == 0);
+        if self.build_opts.effective_threads() > 1 && fresh {
+            let mut p = self.pending.take().expect("pending staged above");
+            let t0 = std::time::Instant::now();
+            let ranges: Vec<(usize, usize)> = p
+                .plan
+                .iter()
+                .filter_map(|it| match *it {
+                    PlanItem::Refit { start, end } => Some((start, end)),
+                    PlanItem::Reuse { .. } => None,
+                })
+                .collect();
+            let mut fitted = segment_ranges(
+                &p.cf,
+                &self.config,
+                self.delta,
+                ErrorMetric::DataPoint,
+                &self.build_opts,
+                &ranges,
+            )
+            .into_iter();
+            let plan = std::mem::take(&mut p.plan);
+            for item in &plan {
+                match *item {
+                    PlanItem::Reuse { old_idx, new_start, new_end, shift, residual } => {
+                        self.emit_reuse(&mut p, old_idx, new_start, new_end, shift, residual);
+                    }
+                    PlanItem::Refit { .. } => {
+                        for spec in fitted.next().expect("one spec list per refit run") {
+                            emit_refit_spec(&mut p, spec);
+                        }
+                    }
+                }
+            }
+            p.plan = plan;
+            p.next_item = p.plan.len();
+            p.build_time += t0.elapsed();
+            self.finish_swap(p);
+            return;
+        }
+        while !self.step_compaction(usize::MAX) {}
+    }
+
+    /// Discard a pending rebuild, folding the staged snapshot back into
+    /// the live buffer. The resulting state is exactly the index that
+    /// never began compacting. Returns `false` when nothing was pending.
+    pub fn abort_compaction(&mut self) -> bool {
+        if self.pending.is_none() {
+            return false;
+        }
+        let entries = self.control_entries();
+        self.pending = None;
+        self.buffer = entries
+            .into_iter()
+            .filter(|&(_, dm)| dm != 0.0)
+            .map(|(k, dm)| (ord_bits(k), (k, dm)))
+            .collect();
+        true
+    }
+
+    /// Snapshot the staged record set, compute its cumulative function,
+    /// and plan reuse vs refit from the base's segment statistics.
+    fn stage_compaction(&mut self) {
+        debug_assert!(self.pending.is_none(), "staging over a pending rebuild");
+        if self.buffer.is_empty() {
+            return;
+        }
+        let staged = std::mem::take(&mut self.buffer);
+        // merged = base_records ⊕ staged deltas. Both sides are sorted,
+        // so a linear merge replaces the sort a blocking rebuild would
+        // run; equal keys fold base-first, exactly like `sort_records` +
+        // `dedup_sum` over base records followed by the buffered deltas.
+        let mut merged = Vec::with_capacity(self.base_records.len() + staged.len());
+        {
+            let mut base_it = self.base_records.iter().peekable();
+            let mut deltas = staged.values().filter(|&&(_, dm)| dm != 0.0).peekable();
+            loop {
+                match (base_it.peek(), deltas.peek()) {
+                    (Some(&&b), Some(&&(dk, dm))) => {
+                        if b.key < dk {
+                            merged.push(b);
+                            base_it.next();
+                        } else if dk < b.key {
+                            merged.push(Record::new(dk, dm));
+                            deltas.next();
+                        } else {
+                            merged.push(Record::new(b.key, b.measure + dm));
+                            base_it.next();
+                            deltas.next();
+                        }
+                    }
+                    (Some(&&b), None) => {
+                        merged.push(b);
+                        base_it.next();
+                    }
+                    (None, Some(&&(dk, dm))) => {
+                        merged.push(Record::new(dk, dm));
+                        deltas.next();
+                    }
+                    (None, None) => break,
+                }
+            }
+        }
         // Fully-deleted keys fold to measure 0; drop them so the step
         // function stays minimal.
         merged.retain(|r| r.measure != 0.0);
-        self.base =
-            PolyFitSum::build_with(merged.clone(), self.delta, self.config, &self.build_opts)
-                .expect("rebuild over non-empty data");
-        self.base_records = merged;
+        let cf = cumulative_function_sorted(&merged);
+
+        let update_keys: Vec<f64> =
+            staged.values().filter(|&&(_, dm)| dm != 0.0).map(|&(k, _)| k).collect();
+        let first_update = update_keys.first().copied();
+        let mut plan = Vec::new();
+        if let Some(base) = &self.base {
+            let stats_owned;
+            let stats: &[SegmentStats] = match base.segment_stats() {
+                Some(s) => s,
+                None => {
+                    // Stats-less decode: recover them once from the
+                    // record set so this and future compactions stay
+                    // incremental.
+                    stats_owned = base.derived_segment_stats(&self.base_records);
+                    &stats_owned
+                }
+            };
+            // Exact old CF prefix — the same fold the base was built
+            // over, so reused spans can be drift-checked cheaply.
+            let mut old_cf = Vec::with_capacity(self.base_records.len());
+            let mut acc = 0.0;
+            for r in &self.base_records {
+                acc += r.measure;
+                old_cf.push(acc);
+            }
+            let mut cursor = 0usize;
+            for (j, st) in stats.iter().enumerate() {
+                // Defence in depth: stats whose span overruns the record
+                // set (e.g. hand-constructed) fall back to refitting
+                // rather than indexing out of bounds below.
+                if st.point_end >= self.base_records.len() || st.point_end < st.point_start {
+                    continue;
+                }
+                // Dirty iff any update key falls inside the closed span:
+                // binary-search the first candidate at or right of
+                // lo_key, then span-test it.
+                let a = update_keys.partition_point(|&k| k < st.lo_key);
+                if a < update_keys.len() && st.key_span_intersects(update_keys[a], update_keys[a]) {
+                    continue;
+                }
+                // A clean segment's records are untouched: locate them in
+                // merged coordinates and certify the constant translation.
+                let ns = merged.partition_point(|r| r.key < st.lo_key);
+                let ne = ns + (st.point_end - st.point_start);
+                if ns < cursor || ne >= merged.len() {
+                    continue;
+                }
+                if merged[ns].key != st.lo_key || merged[ne].key != st.hi_key {
+                    continue;
+                }
+                let new_before = if ns == 0 { 0.0 } else { cf.values[ns - 1] };
+                let (shift, residual) = if first_update.is_some_and(|fu| st.hi_key < fu) {
+                    // Entirely left of every update: the prefix is
+                    // bitwise unchanged — exact reuse, no drift scan.
+                    (0.0, st.residual)
+                } else {
+                    // The CF over this span translates by a constant, up
+                    // to prefix-summation rounding; fold the measured
+                    // worst drift into the residual certificate.
+                    let shift = new_before - st.cf_before;
+                    let mut drift = 0.0f64;
+                    for i in 0..st.span() {
+                        let d = cf.values[ns + i] - (old_cf[st.point_start + i] + shift);
+                        drift = drift.max(d.abs());
+                    }
+                    (shift, st.residual + drift)
+                };
+                if residual > self.delta {
+                    continue; // drift ate the error budget → refit
+                }
+                if ns > cursor {
+                    plan.push(PlanItem::Refit { start: cursor, end: ns - 1 });
+                }
+                plan.push(PlanItem::Reuse {
+                    old_idx: j,
+                    new_start: ns,
+                    new_end: ne,
+                    shift,
+                    residual,
+                });
+                cursor = ne + 1;
+            }
+            if cursor < merged.len() {
+                plan.push(PlanItem::Refit { start: cursor, end: merged.len() - 1 });
+            }
+        } else if !merged.is_empty() {
+            plan.push(PlanItem::Refit { start: 0, end: merged.len() - 1 });
+        }
+        self.generation += 1;
+        self.pending = Some(PendingRebuild {
+            generation: self.generation,
+            staged,
+            overlay: BTreeMap::new(),
+            merged,
+            cf,
+            plan,
+            next_item: 0,
+            refit_pos: 0,
+            out: Vec::new(),
+            out_stats: Vec::new(),
+            reused: 0,
+            refit_segments: 0,
+            refit_points: 0,
+            covered_points: 0,
+            build_time: Duration::ZERO,
+        });
+    }
+
+    fn emit_reuse(
+        &self,
+        p: &mut PendingRebuild,
+        old_idx: usize,
+        new_start: usize,
+        new_end: usize,
+        shift: f64,
+        residual: f64,
+    ) {
+        let old = &self.base.as_ref().expect("reuse implies a base").segments()[old_idx];
+        p.out_stats.push(SegmentStats {
+            point_start: new_start,
+            point_end: new_end,
+            lo_key: old.lo_key,
+            hi_key: old.hi_key,
+            residual,
+            cf_before: if new_start == 0 { 0.0 } else { p.cf.values[new_start - 1] },
+            cf_end: p.cf.values[new_end],
+        });
+        p.out.push(shifted_segment(old, shift, residual));
+        p.reused += 1;
+        p.covered_points += new_end - new_start + 1;
+    }
+
+    /// Install the completed shadow index atomically.
+    fn finish_swap(&mut self, p: PendingRebuild) {
+        let report = CompactionReport {
+            generation: p.generation,
+            reused_segments: p.reused,
+            refit_segments: p.refit_segments,
+            refit_points: p.refit_points,
+            total_points: p.merged.len(),
+            build_time: p.build_time,
+        };
+        if p.merged.is_empty() {
+            // Delete-everything workload: a valid degenerate state — the
+            // buffer alone answers queries (exactly).
+            self.base = None;
+            self.base_records = Vec::new();
+        } else {
+            let total = *p.cf.values.last().expect("non-empty merged set");
+            let domain = p.cf.domain();
+            self.base = Some(PolyFitSum::from_parts(
+                p.out,
+                self.delta,
+                total,
+                domain,
+                Some(p.out_stats),
+                p.build_time,
+            ));
+            self.base_records = p.merged;
+        }
+        // Deferred zero-delta removals (entries that cancelled while
+        // their key was staged) drop now; what remains is exactly the
+        // fresh mass that arrived during the rebuild.
+        self.buffer.retain(|_, &mut (_, dm)| dm != 0.0);
         self.rebuilds += 1;
+        self.reused_segments_total += p.reused;
+        self.refit_segments_total += p.refit_segments;
+        self.last_compaction = Some(report);
+    }
+
+    /// Visit the control-visible buffer entries within `bounds` in key
+    /// order — the single definition of "what a never-compacted index's
+    /// buffer would hold". While a rebuild is pending this merge-joins
+    /// the staged snapshot with the fresh buffer, taking the overlay's
+    /// folded value where a key is in both (and skipping it when folded
+    /// to exactly `0.0`, mirroring the control's removed entry), so every
+    /// consumer — queries, serialization, abort — visits the same values
+    /// in the same order as a never-compacted index.
+    fn for_each_control_entry(
+        &self,
+        bounds: (Bound<u64>, Bound<u64>),
+        mut visit: impl FnMut(f64, f64),
+    ) {
+        let Some(p) = &self.pending else {
+            for &(key, dm) in self.buffer.range(bounds).map(|(_, v)| v) {
+                visit(key, dm);
+            }
+            return;
+        };
+        let mut staged = p.staged.range(bounds).peekable();
+        let mut fresh = self.buffer.range(bounds).peekable();
+        loop {
+            match (staged.peek(), fresh.peek()) {
+                (Some(&(&sk, &(skey, sdm))), Some(&(&fk, &(_, fdm)))) => {
+                    if sk < fk {
+                        visit(skey, sdm);
+                        staged.next();
+                    } else if fk < sk {
+                        visit(self.buffer[&fk].0, fdm);
+                        fresh.next();
+                    } else {
+                        let ov = *p.overlay.get(&sk).expect("overlay tracks doubly-present keys");
+                        if ov != 0.0 {
+                            visit(skey, ov);
+                        }
+                        staged.next();
+                        fresh.next();
+                    }
+                }
+                (Some(&(_, &(skey, sdm))), None) => {
+                    visit(skey, sdm);
+                    staged.next();
+                }
+                (None, Some(&(_, &(fkey, fdm)))) => {
+                    visit(fkey, fdm);
+                    fresh.next();
+                }
+                (None, None) => break,
+            }
+        }
+    }
+
+    /// The buffer as a never-compacted index would hold it: staged and
+    /// fresh deltas merged per key in arrival-fold order.
+    fn control_entries(&self) -> Vec<(f64, f64)> {
+        let mut out = Vec::with_capacity(
+            self.buffer.len() + self.pending.as_ref().map_or(0, |p| p.staged.len()),
+        );
+        self.for_each_control_entry((Bound::Unbounded, Bound::Unbounded), |key, dm| {
+            out.push((key, dm))
+        });
+        out
+    }
+
+    /// Exact buffered contribution to `(lq, uq]` — bitwise-identical to
+    /// a never-compacted index's, even mid-rebuild.
+    fn buffered_sum(&self, lq: f64, uq: f64) -> f64 {
+        let mut acc = 0.0;
+        self.for_each_control_entry(
+            (Bound::Excluded(ord_bits(lq)), Bound::Included(ord_bits(uq))),
+            |_, dm| acc += dm,
+        );
+        acc
     }
 
     /// Approximate range SUM over `(lq, uq]`: index approximation + exact
-    /// buffer contribution. Same `2δ` bound as the static index.
+    /// buffer contribution. Same `2δ` bound as the static index — before,
+    /// during, and after a shadow compaction.
     pub fn query(&self, lq: f64, uq: f64) -> f64 {
         if lq >= uq {
             return 0.0;
         }
-        let base = self.base.query(lq, uq);
-        let buffered: f64 = self
-            .buffer
-            .range((
-                std::ops::Bound::Excluded(ord_bits(lq)),
-                std::ops::Bound::Included(ord_bits(uq)),
-            ))
-            .map(|(_, &(_, dm))| dm)
-            .sum();
-        base + buffered
+        let base = self.base.as_ref().map_or(0.0, |b| b.query(lq, uq));
+        base + self.buffered_sum(lq, uq)
     }
 
     /// Batched range SUM: the static base answers all ranges through its
     /// sort-and-share sweep, the buffer contributes exactly per range.
     /// Bitwise identical to per-range [`Self::query`] calls.
     pub fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<f64> {
-        let base = self.base.query_batch(ranges);
-        ranges
-            .iter()
-            .zip(base)
-            .map(|(&(lq, uq), b)| {
-                if lq >= uq {
-                    return 0.0;
-                }
-                let buffered: f64 = self
-                    .buffer
-                    .range((
-                        std::ops::Bound::Excluded(ord_bits(lq)),
-                        std::ops::Bound::Included(ord_bits(uq)),
-                    ))
-                    .map(|(_, &(_, dm))| dm)
-                    .sum();
-                b + buffered
-            })
-            .collect()
+        match &self.base {
+            Some(b) => b
+                .query_batch(ranges)
+                .into_iter()
+                .zip(ranges)
+                .map(|(v, &(lq, uq))| if lq >= uq { 0.0 } else { v + self.buffered_sum(lq, uq) })
+                .collect(),
+            None => ranges.iter().map(|&(lq, uq)| self.query(lq, uq)).collect(),
+        }
     }
 
     /// Number of records folded into the static index.
@@ -178,14 +783,72 @@ impl DynamicPolyFitSum {
         self.base_records.len()
     }
 
-    /// Number of pending buffered keys.
+    /// Number of pending buffered keys (staged and fresh combined while a
+    /// rebuild is in flight).
     pub fn buffered(&self) -> usize {
-        self.buffer.len()
+        match &self.pending {
+            None => self.buffer.len(),
+            Some(p) => {
+                self.buffer.len() + p.staged.keys().filter(|k| !self.buffer.contains_key(k)).count()
+            }
+        }
     }
 
-    /// How many compactions have run.
+    /// How many compactions have completed (swapped in).
     pub fn rebuilds(&self) -> usize {
         self.rebuilds
+    }
+
+    /// The certified per-endpoint δ (query answers are within `2δ`).
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// True while a shadow rebuild is staged but not yet swapped.
+    pub fn is_compacting(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Progress of the in-flight rebuild, if any.
+    pub fn compaction(&self) -> Option<CompactionStatus> {
+        self.pending.as_ref().map(|p| CompactionStatus {
+            generation: p.generation,
+            items_done: p.next_item,
+            items_total: p.plan.len(),
+            points_done: p.covered_points,
+            points_total: p.merged.len(),
+            refit_points_done: p.refit_points,
+            segments_emitted: p.out.len(),
+        })
+    }
+
+    /// Report of the most recent completed compaction.
+    pub fn last_compaction(&self) -> Option<&CompactionReport> {
+        self.last_compaction.as_ref()
+    }
+
+    /// Cumulative `(reused, refitted)` segment counters across all
+    /// completed compactions.
+    pub fn reuse_counters(&self) -> (usize, usize) {
+        (self.reused_segments_total, self.refit_segments_total)
+    }
+
+    /// Staging counter: how many shadow rebuilds have been staged (the
+    /// pending one included).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Budget auto-driven per update while a rebuild is pending. `0`
+    /// disables auto-driving (callers step manually).
+    pub fn step_budget(&self) -> usize {
+        self.step_budget
+    }
+
+    /// Set the auto-driven per-update step budget (see
+    /// [`Self::step_budget`]). A runtime knob — not serialized.
+    pub fn set_step_budget(&mut self, budget: usize) {
+        self.step_budget = budget;
     }
 
     /// The build-pipeline options applied to compaction rebuilds.
@@ -201,13 +864,63 @@ impl DynamicPolyFitSum {
         self.build_opts = opts;
     }
 
-    /// The underlying static index.
-    pub fn base(&self) -> &PolyFitSum {
-        &self.base
+    /// The underlying static index (`None` after compacting a fully
+    /// deleted record set).
+    pub fn base(&self) -> Option<&PolyFitSum> {
+        self.base.as_ref()
     }
 }
 
-const MAGIC_DYNAMIC: &[u8; 4] = b"PFD1";
+/// Translate a reused segment by the delta mass accumulated before it:
+/// add `shift` to the polynomial's constant term (the normalized variable
+/// leaves constants untouched) and to the exact value extrema, and carry
+/// the re-certified residual.
+fn shifted_segment(old: &Segment, shift: f64, residual: f64) -> Segment {
+    if shift == 0.0 && residual == old.error {
+        return old.clone();
+    }
+    let mut coeffs = old.poly.inner().coeffs().to_vec();
+    if coeffs.is_empty() {
+        coeffs.push(shift);
+    } else {
+        coeffs[0] += shift;
+    }
+    Segment {
+        lo_key: old.lo_key,
+        hi_key: old.hi_key,
+        poly: ShiftedPolynomial::new(
+            Polynomial::new(coeffs),
+            old.poly.center(),
+            old.poly.scale_factor(),
+        ),
+        error: residual,
+        value_max: old.value_max + shift,
+        value_min: old.value_min + shift,
+    }
+}
+
+/// Materialise one refitted spec into the shadow output.
+fn emit_refit_spec(p: &mut PendingRebuild, spec: SegmentSpec) {
+    let span = spec.end - spec.start + 1;
+    p.out_stats.push(SegmentStats {
+        point_start: spec.start,
+        point_end: spec.end,
+        lo_key: p.cf.keys[spec.start],
+        hi_key: p.cf.keys[spec.end],
+        residual: spec.certified_error,
+        cf_before: if spec.start == 0 { 0.0 } else { p.cf.values[spec.start - 1] },
+        cf_end: p.cf.values[spec.end],
+    });
+    p.out.push(segment_from_spec(&p.cf, spec));
+    p.refit_segments += 1;
+    p.refit_points += span;
+    p.covered_points += span;
+}
+
+// "PFD2": v2 of the dynamic layout — the base block is the PFS2 format
+// (carrying segment statistics) and may be empty (no base after a
+// delete-everything compaction).
+const MAGIC_DYNAMIC: &[u8; 4] = b"PFD2";
 
 fn backend_tag(backend: FitBackend) -> u32 {
     match backend {
@@ -227,13 +940,20 @@ fn backend_from_tag(tag: u32) -> Result<FitBackend, DecodeError> {
 }
 
 impl DynamicPolyFitSum {
-    /// Serialize the full dynamic state — static index, base records (for
-    /// future compactions), pending buffer, and construction parameters —
-    /// to a compact little-endian buffer (magic `PFD1`).
+    /// Serialize the full dynamic state — static index (with its segment
+    /// statistics), base records (for future compactions), pending
+    /// buffer, and construction parameters — to a compact little-endian
+    /// buffer (magic `PFD2`).
+    ///
+    /// An in-flight shadow rebuild is not persisted: the buffer is
+    /// written as a never-compacted index would hold it, so the decoded
+    /// index answers bitwise-identically and simply re-stages its
+    /// compaction on the next update.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let base_bytes = self.base.to_bytes();
+        let base_bytes = self.base.as_ref().map(|b| b.to_bytes()).unwrap_or_default();
+        let entries = self.control_entries();
         let mut w = Writer(Vec::with_capacity(
-            64 + base_bytes.len() + 16 * (self.base_records.len() + self.buffer.len()),
+            64 + base_bytes.len() + 16 * (self.base_records.len() + entries.len()),
         ));
         w.0.extend_from_slice(MAGIC_DYNAMIC);
         w.f64(self.delta);
@@ -250,8 +970,8 @@ impl DynamicPolyFitSum {
             w.f64(r.key);
             w.f64(r.measure);
         }
-        w.u32(self.buffer.len() as u32);
-        for &(key, dm) in self.buffer.values() {
+        w.u32(entries.len() as u32);
+        for &(key, dm) in &entries {
             w.f64(key);
             w.f64(dm);
         }
@@ -278,20 +998,47 @@ impl DynamicPolyFitSum {
         }
         let rebuilds = r.u32()? as usize;
         let base_len = r.u32()? as usize;
-        let base = PolyFitSum::from_bytes(r.take(base_len)?)?;
+        let base =
+            if base_len == 0 { None } else { Some(PolyFitSum::from_bytes(r.take(base_len)?)?) };
         let n_records = r.u32()? as usize;
         let mut base_records = Vec::with_capacity(n_records.min(1 << 20));
         for _ in 0..n_records {
             let key = r.finite("record key")?;
             let measure = r.finite("record measure")?;
+            // Compaction linear-merges this set and derives segment
+            // statistics from it, both of which assume sorted distinct
+            // keys — enforce at the trust boundary.
+            if base_records.last().is_some_and(|prev: &Record| key <= prev.key) {
+                return Err(DecodeError::Corrupt("record order"));
+            }
             base_records.push(Record::new(key, measure));
+        }
+        if let Some(base) = &base {
+            // The record set must be exactly the one the base was built
+            // over: same key extent…
+            let (d0, d1) = base.domain();
+            let covers = base_records.first().is_some_and(|r| r.key == d0)
+                && base_records.last().is_some_and(|r| r.key == d1);
+            if !covers {
+                return Err(DecodeError::Corrupt("record coverage"));
+            }
+            // …and, when a stats block is present, its tiled spans must
+            // cover the records exactly (they index into them later).
+            if let Some(stats) = base.segment_stats() {
+                if stats.last().is_some_and(|s| s.point_end + 1 != base_records.len()) {
+                    return Err(DecodeError::Corrupt("stats span coverage"));
+                }
+            }
         }
         let n_buffered = r.u32()? as usize;
         let mut buffer = BTreeMap::new();
         for _ in 0..n_buffered {
             let key = r.finite("buffered key")?;
+            let key = if key == 0.0 { 0.0 } else { key };
             let dm = r.finite("buffered delta")?;
-            buffer.insert(ord_bits(key), (key, dm));
+            if dm != 0.0 {
+                buffer.insert(ord_bits(key), (key, dm));
+            }
         }
         Ok(DynamicPolyFitSum {
             base,
@@ -302,6 +1049,12 @@ impl DynamicPolyFitSum {
             config: PolyFitConfig { degree, backend, max_segment_len },
             build_opts: BuildOptions::default(),
             rebuilds,
+            pending: None,
+            step_budget: DEFAULT_STEP_BUDGET,
+            generation: rebuilds as u64,
+            last_compaction: None,
+            reused_segments_total: 0,
+            refit_segments_total: 0,
         })
     }
 }
@@ -398,5 +1151,359 @@ mod tests {
         for w in vals.windows(2) {
             assert!(ord_bits(w[0]) <= ord_bits(w[1]), "{} vs {}", w[0], w[1]);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Satellite regression tests
+    // ------------------------------------------------------------------
+
+    /// Insert-then-delete pairs fold to a zero delta; the entry must
+    /// release its buffer slot instead of counting toward the limit and
+    /// triggering spurious compactions.
+    #[test]
+    fn cancelled_updates_release_their_slot() {
+        let mut idx =
+            DynamicPolyFitSum::new(base_records(500), 5.0, PolyFitConfig::default(), 8).unwrap();
+        for i in 0..20 {
+            let k = 1000.5 + i as f64;
+            idx.insert(k, 3.0);
+            idx.delete(k, 3.0);
+        }
+        assert_eq!(idx.buffered(), 0, "cancelled entries must not occupy slots");
+        assert_eq!(idx.rebuilds(), 0, "cancelled entries must not trigger compaction");
+        assert_eq!(idx.query(999.0, 1030.0), 0.0);
+    }
+
+    /// `-0.0` and `+0.0` are one key to the base index; the buffer must
+    /// bucket them together so deletes cancel and range bounds agree.
+    #[test]
+    fn negative_zero_folds_with_positive_zero() {
+        let records: Vec<Record> = (-5..5).map(|i| Record::new(i as f64, 1.0)).collect();
+        let mut idx =
+            DynamicPolyFitSum::new(records, 2.0, PolyFitConfig::default(), 1_000_000).unwrap();
+        idx.insert(-0.0, 5.0);
+        idx.delete(0.0, 5.0);
+        assert_eq!(idx.buffered(), 0, "±0.0 updates must cancel");
+        idx.insert(0.0, 7.0);
+        assert_eq!(idx.buffered(), 1);
+        // Range bounds at ±0.0 agree with the base index's semantics.
+        assert_eq!(idx.query(-0.0, 2.0).to_bits(), idx.query(0.0, 2.0).to_bits());
+        assert_eq!(idx.query(-2.0, -0.0).to_bits(), idx.query(-2.0, 0.0).to_bits());
+        let with_insert = idx.query(-1.0, 1.0);
+        let truth = 2.0 + 7.0; // keys 0 and 1 plus the buffered insert
+        assert!((with_insert - truth).abs() <= 4.0 + 1e-9, "got {with_insert}");
+    }
+
+    /// Deleting the whole record set must compact to a valid degenerate
+    /// base instead of panicking, and the index must stay live.
+    #[test]
+    fn delete_everything_compacts_to_empty_base() {
+        let n = 100usize;
+        let mut idx =
+            DynamicPolyFitSum::new(base_records(n), 5.0, PolyFitConfig::default(), 10).unwrap();
+        for i in 0..n {
+            idx.delete(i as f64, 1.0);
+        }
+        assert!(idx.rebuilds() >= 1);
+        assert!(idx.base().is_none(), "empty merge must drop the base");
+        assert_eq!(idx.base_len(), 0);
+        assert_eq!(idx.query(-1.0, n as f64), 0.0);
+        // The index keeps absorbing updates and rebuilds from scratch.
+        for i in 0..50 {
+            idx.insert(i as f64 + 0.5, 2.0);
+        }
+        assert!(idx.base().is_some(), "inserts after emptiness rebuild a base");
+        let approx = idx.query(0.0, 100.0);
+        assert!((approx - 100.0).abs() <= 10.0 + 1e-9, "got {approx}");
+    }
+
+    /// `try_insert`/`try_delete` reject non-finite updates with an error;
+    /// the convenience wrappers panic.
+    #[test]
+    fn non_finite_updates_are_rejected() {
+        let mut idx =
+            DynamicPolyFitSum::new(base_records(100), 5.0, PolyFitConfig::default(), 10).unwrap();
+        assert!(matches!(idx.try_insert(f64::NAN, 1.0), Err(PolyFitError::NonFiniteUpdate { .. })));
+        assert!(matches!(
+            idx.try_insert(1.0, f64::INFINITY),
+            Err(PolyFitError::NonFiniteUpdate { .. })
+        ));
+        assert!(matches!(
+            idx.try_delete(f64::NEG_INFINITY, 1.0),
+            Err(PolyFitError::NonFiniteUpdate { .. })
+        ));
+        assert_eq!(idx.buffered(), 0, "rejected updates must not land");
+        assert!(idx.try_insert(1.5, 2.0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite values required")]
+    fn insert_panics_on_non_finite() {
+        let mut idx =
+            DynamicPolyFitSum::new(base_records(10), 5.0, PolyFitConfig::default(), 10).unwrap();
+        idx.insert(f64::NAN, 1.0);
+    }
+
+    // ------------------------------------------------------------------
+    // Shadow-compaction machinery
+    // ------------------------------------------------------------------
+
+    /// Skewed updates refit strictly fewer segments than a full rebuild:
+    /// the reuse counters prove interior segments were kept verbatim.
+    /// Config with a segment-length cap, so segment counts (and hence
+    /// reuse behaviour) are deterministic even over linear data.
+    fn capped(cap: usize) -> PolyFitConfig {
+        PolyFitConfig { max_segment_len: Some(cap), ..PolyFitConfig::default() }
+    }
+
+    #[test]
+    fn skewed_compaction_reuses_clean_segments() {
+        let mut idx = DynamicPolyFitSum::new(base_records(8_000), 10.0, capped(256), 64).unwrap();
+        let before = idx.base().unwrap().num_segments();
+        assert!(before >= 4, "need several segments for reuse to be visible");
+        // All updates land in the top 2% of the key range.
+        for i in 0..64 {
+            idx.insert(7_900.25 + i as f64 * 0.01, 2.0);
+        }
+        assert_eq!(idx.rebuilds(), 1);
+        let report = *idx.last_compaction().unwrap();
+        assert!(report.reused_segments >= 1, "clean interior segments must be reused");
+        // Strictly fewer refits than a full rebuild would fit: the old
+        // base had `before` segments, all of which a blocking refit-only
+        // rebuild would re-derive; here most are reused instead.
+        assert!(
+            report.refit_segments < before,
+            "refit {} segments vs {before} in a full rebuild",
+            report.refit_segments
+        );
+        assert!(report.refit_fraction() < 1.0, "refit fraction {}", report.refit_fraction());
+        assert_eq!(idx.reuse_counters().0, report.reused_segments);
+        // The guarantee holds over the swapped base.
+        let approx = idx.query(-1.0, 8_000.0);
+        let truth = 8_000.0 + 64.0 * 2.0;
+        assert!((approx - truth).abs() <= 20.0 + 1e-9, "got {approx} want {truth}");
+    }
+
+    /// Queries issued while the rebuild is mid-flight are bitwise-equal
+    /// to a control index that never compacts, and the post-swap state is
+    /// bitwise-equal to a blocking rebuild at the same trigger point.
+    #[test]
+    fn stepped_rebuild_is_bitwise_transparent() {
+        let delta = 8.0;
+        let mk =
+            || DynamicPolyFitSum::new(base_records(4_000), delta, capped(96), 1 << 30).unwrap();
+        let mut stepped = mk();
+        let mut control = mk(); // never compacts
+        for i in 0..200 {
+            let k = 1_000.5 + i as f64 * 7.0;
+            stepped.insert(k, 3.0);
+            control.insert(k, 3.0);
+            stepped.delete(i as f64, 0.25);
+            control.delete(i as f64, 0.25);
+        }
+        let mut blocking = stepped.clone(); // same trigger state
+        blocking.compact_now();
+        assert!(!blocking.is_compacting() && blocking.rebuilds() == 1);
+
+        stepped.set_step_budget(0); // manual stepping
+        assert!(stepped.begin_compaction());
+        let probes: Vec<(f64, f64)> =
+            (0..40).map(|i| (i as f64 * 55.0 - 10.0, i as f64 * 55.0 + 700.0)).collect();
+        let mut steps = 0usize;
+        let cap = 120; // points per step; segments may overshoot by one
+        loop {
+            // During the rebuild: bitwise-equal to the untouched control,
+            // per-query and batched.
+            for &(l, u) in &probes {
+                assert_eq!(stepped.query(l, u).to_bits(), control.query(l, u).to_bits());
+            }
+            let sb = stepped.query_batch(&probes);
+            let cb = control.query_batch(&probes);
+            for (a, b) in sb.iter().zip(&cb) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            // Fresh updates land without blocking, on both sides.
+            let k = 30_000.0 + steps as f64;
+            stepped.insert(k, 1.5);
+            control.insert(k, 1.5);
+            blocking.insert(k, 1.5);
+            let before = stepped.compaction().map(|s| s.refit_points_done).unwrap_or(0);
+            if stepped.step_compaction(cap) {
+                break;
+            }
+            let after = stepped.compaction().unwrap().refit_points_done;
+            // Segments are atomic, so a step may overshoot its fitting
+            // budget by at most one segment span (capped at 96 here).
+            assert!(after - before <= cap + 96, "step refit {} points", after - before);
+            steps += 1;
+            assert!(steps < 10_000, "compaction must terminate");
+        }
+        assert!(steps > 1, "budget {cap} must take several steps on 4k points");
+        // After the swap: bitwise-equal to the blocking rebuild.
+        assert_eq!(stepped.rebuilds(), blocking.rebuilds());
+        assert_eq!(stepped.base_len(), blocking.base_len());
+        assert_eq!(stepped.base().unwrap().num_segments(), blocking.base().unwrap().num_segments());
+        assert_eq!(stepped.buffered(), blocking.buffered());
+        for &(l, u) in &probes {
+            assert_eq!(stepped.query(l, u).to_bits(), blocking.query(l, u).to_bits());
+        }
+        let sb = stepped.query_batch(&probes);
+        let bb = blocking.query_batch(&probes);
+        for (a, b) in sb.iter().zip(&bb) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Updates to a key that is being folded into the shadow base keep
+    /// queries control-identical during the rebuild and leave exactly the
+    /// fresh delta behind after the swap.
+    #[test]
+    fn staged_key_updates_overlay_correctly() {
+        let mk = || {
+            DynamicPolyFitSum::new(base_records(2_000), 5.0, PolyFitConfig::default(), 1 << 30)
+                .unwrap()
+        };
+        let mut idx = mk();
+        let mut control = mk();
+        for m in [(100.5, 2.0), (200.5, 4.0), (300.5, 8.0), (400.5, 16.0)] {
+            idx.insert(m.0, m.1);
+            control.insert(m.0, m.1);
+        }
+        idx.set_step_budget(0);
+        assert!(idx.begin_compaction());
+        // Hit staged keys again mid-rebuild: more mass, a cancel of the
+        // staged mass, a partial restatement, and a fresh delta that
+        // folds back to exactly zero.
+        for (k, m) in
+            [(100.5, 1.0), (200.5, -4.0), (300.5, -8.0), (300.5, 0.5), (400.5, 3.0), (400.5, -3.0)]
+        {
+            idx.insert(k, m);
+            control.insert(k, m);
+        }
+        for &(l, u) in
+            &[(0.0, 2000.0), (100.0, 101.0), (200.0, 201.0), (300.0, 301.0), (400.0, 401.0)]
+        {
+            assert_eq!(idx.query(l, u).to_bits(), control.query(l, u).to_bits());
+        }
+        while !idx.step_compaction(64) {}
+        // Post-swap the base holds the staged mass and the buffer exactly
+        // the fresh deltas; the zero-folded 400.5 entry dropped at swap.
+        let got: Vec<(f64, f64)> = idx.buffer.values().copied().collect();
+        assert_eq!(got, vec![(100.5, 1.0), (200.5, -4.0), (300.5, -7.5)]);
+        assert_eq!(idx.buffered(), 3);
+    }
+
+    /// `abort_compaction` restores the never-compacted state exactly.
+    #[test]
+    fn abort_restores_control_state() {
+        let mk = || {
+            DynamicPolyFitSum::new(base_records(1_000), 5.0, PolyFitConfig::default(), 1 << 30)
+                .unwrap()
+        };
+        let mut idx = mk();
+        let mut control = mk();
+        for i in 0..30 {
+            idx.insert(i as f64 + 0.5, 1.0);
+            control.insert(i as f64 + 0.5, 1.0);
+        }
+        idx.set_step_budget(0);
+        assert!(idx.begin_compaction());
+        idx.insert(5.5, 2.0);
+        control.insert(5.5, 2.0);
+        idx.step_compaction(8);
+        assert!(idx.abort_compaction());
+        assert!(!idx.is_compacting());
+        assert!(!idx.abort_compaction(), "nothing left to abort");
+        assert_eq!(idx.buffered(), control.buffered());
+        for i in 0..40 {
+            let (l, u) = (i as f64 - 3.0, i as f64 + 12.0);
+            assert_eq!(idx.query(l, u).to_bits(), control.query(l, u).to_bits());
+        }
+    }
+
+    /// Parallel `compact_now` produces bitwise-identical output to serial
+    /// stepping.
+    #[test]
+    fn parallel_compact_matches_serial() {
+        let mk = |threads: usize| {
+            let mut idx = DynamicPolyFitSum::with_options(
+                base_records(6_000),
+                10.0,
+                capped(200),
+                1 << 30,
+                &BuildOptions::default(),
+            )
+            .unwrap();
+            idx.set_build_options(BuildOptions::with_threads(threads));
+            // Two separated update clusters → two dirty refit runs, so
+            // the parallel path genuinely fans out.
+            for i in 0..50 {
+                idx.insert(1_500.25 + i as f64 * 2.0, 2.0);
+                idx.insert(4_500.25 + i as f64 * 2.0, 2.0);
+            }
+            idx
+        };
+        let mut serial = mk(1);
+        let mut par = mk(4);
+        serial.compact_now();
+        par.compact_now();
+        assert_eq!(serial.base().unwrap().num_segments(), par.base().unwrap().num_segments());
+        for i in 0..60 {
+            let (l, u) = (i as f64 * 90.0, i as f64 * 90.0 + 800.0);
+            assert_eq!(serial.query(l, u).to_bits(), par.query(l, u).to_bits());
+        }
+        let a = serial.last_compaction().unwrap();
+        let b = par.last_compaction().unwrap();
+        assert_eq!((a.reused_segments, a.refit_segments), (b.reused_segments, b.refit_segments));
+    }
+
+    /// A PFD2 buffer whose segment statistics overrun the serialized
+    /// record set must fail decoding (not panic a later compaction).
+    #[test]
+    fn stats_overrunning_records_rejected_at_decode() {
+        let mut idx =
+            DynamicPolyFitSum::new(base_records(100), 5.0, PolyFitConfig::default(), 1 << 30)
+                .unwrap();
+        idx.insert(42.5, 3.0);
+        let mut bytes = idx.to_bytes();
+        // Layout: magic(4) delta(8) degree(4) backend(4) cap(4) limit(4)
+        // rebuilds(4) base_len(4) base… — shrink n_records so the stats
+        // spans (which cover 100 records) overrun the record set.
+        let base_len = u32::from_le_bytes(bytes[32..36].try_into().unwrap()) as usize;
+        let n_off = 36 + base_len;
+        let n = u32::from_le_bytes(bytes[n_off..n_off + 4].try_into().unwrap());
+        assert_eq!(n, 100);
+        bytes[n_off..n_off + 4].copy_from_slice(&(n - 1).to_le_bytes());
+        assert!(
+            DynamicPolyFitSum::from_bytes(&bytes).is_err(),
+            "stats spans overrunning the record set must not decode"
+        );
+    }
+
+    /// The generational state machine reports sane progress.
+    #[test]
+    fn compaction_status_reports_progress() {
+        let mut idx =
+            DynamicPolyFitSum::new(base_records(3_000), 8.0, capped(128), 1 << 30).unwrap();
+        assert!(idx.compaction().is_none());
+        assert_eq!(idx.generation(), 0);
+        for i in 0..50 {
+            idx.insert(700.5 + i as f64, 1.0);
+        }
+        idx.set_step_budget(0);
+        assert!(idx.begin_compaction());
+        assert!(!idx.begin_compaction(), "already pending");
+        let s0 = idx.compaction().unwrap();
+        assert_eq!(s0.generation, 1);
+        assert_eq!(s0.points_done, 0);
+        assert!(s0.points_total >= 3_000);
+        idx.step_compaction(100);
+        let s1 = idx.compaction().unwrap();
+        assert!(s1.points_done > 0 && s1.points_done <= s1.points_total);
+        assert!(s1.segments_emitted > 0);
+        while !idx.step_compaction(500) {}
+        assert!(idx.compaction().is_none());
+        assert_eq!(idx.generation(), 1);
+        assert_eq!(idx.last_compaction().unwrap().generation, 1);
     }
 }

@@ -22,6 +22,14 @@ pub enum PolyFitError {
         /// The rejected degree.
         degree: usize,
     },
+    /// A dynamic update (insert/delete) carried a non-finite key or
+    /// measure.
+    NonFiniteUpdate {
+        /// The rejected key.
+        key: f64,
+        /// The rejected measure.
+        measure: f64,
+    },
 }
 
 impl fmt::Display for PolyFitError {
@@ -36,6 +44,9 @@ impl fmt::Display for PolyFitError {
             }
             PolyFitError::InvalidDegree { degree } => {
                 write!(f, "polynomial degree {degree} unsupported (expected 1..=8)")
+            }
+            PolyFitError::NonFiniteUpdate { key, measure } => {
+                write!(f, "update ({key}, {measure}) has a non-finite key or measure")
             }
         }
     }
@@ -53,5 +64,8 @@ mod tests {
         assert!(PolyFitError::NonFiniteData { index: 3 }.to_string().contains('3'));
         assert!(PolyFitError::InvalidErrorBound { bound: -1.0 }.to_string().contains("-1"));
         assert!(PolyFitError::InvalidDegree { degree: 99 }.to_string().contains("99"));
+        assert!(PolyFitError::NonFiniteUpdate { key: f64::NAN, measure: 1.0 }
+            .to_string()
+            .contains("non-finite"));
     }
 }

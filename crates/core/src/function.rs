@@ -74,6 +74,31 @@ pub fn cumulative_function(mut records: Vec<Record>) -> Result<TargetFunction, P
     Ok(TargetFunction { keys, values })
 }
 
+/// Build `CF_sum` from records that are already sorted, deduplicated, and
+/// finite — the compaction fast path, where the merged record set is
+/// produced by a linear merge and re-sorting would waste the invariant.
+/// The prefix fold is identical to [`cumulative_function`], so the values
+/// are bitwise-equal to a from-scratch build over the same records.
+///
+/// # Panics
+/// Debug-asserts the sorted/distinct invariant; an empty slice yields an
+/// empty function (callers representing "no data" handle that case).
+pub fn cumulative_function_sorted(records: &[Record]) -> TargetFunction {
+    debug_assert!(
+        records.windows(2).all(|w| w[0].key < w[1].key),
+        "records must be sorted with distinct keys"
+    );
+    let mut keys = Vec::with_capacity(records.len());
+    let mut values = Vec::with_capacity(records.len());
+    let mut acc = 0.0;
+    for r in records {
+        acc += r.measure;
+        keys.push(r.key);
+        values.push(acc);
+    }
+    TargetFunction { keys, values }
+}
+
 /// Build `DF_max` from raw records: sort, fold duplicates by maximum.
 ///
 /// The resulting staircase takes value `values[i]` on `[keys[i],
@@ -159,6 +184,15 @@ mod tests {
     fn non_finite_rejected_with_index() {
         let records = vec![Record::new(1.0, 1.0), Record::new(f64::NAN, 1.0)];
         assert_eq!(cumulative_function(records), Err(PolyFitError::NonFiniteData { index: 1 }));
+    }
+
+    #[test]
+    fn sorted_prefix_matches_general_builder() {
+        let records = vec![Record::new(1.0, 5.0), Record::new(2.0, 1.0), Record::new(3.0, 2.0)];
+        let general = cumulative_function(records.clone()).unwrap();
+        let fast = cumulative_function_sorted(&records);
+        assert_eq!(general, fast);
+        assert!(cumulative_function_sorted(&[]).is_empty());
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::error::PolyFitError;
 use crate::function::{cumulative_function, TargetFunction};
 use crate::segment::Segment;
 use crate::segmentation::ErrorMetric;
-use crate::stats::IndexStats;
+use crate::stats::{IndexStats, SegmentStats, SegmentStatsSummary};
 
 /// A PolyFit index over the cumulative function.
 #[derive(Clone, Debug)]
@@ -28,6 +28,10 @@ pub struct PolyFitSum {
     /// Key domain `[first, last]`.
     domain: (f64, f64),
     build_stats: IndexStats,
+    /// Per-segment fit summaries (key span, residual certificate,
+    /// endpoint state). Always present for freshly built indexes; `None`
+    /// only when decoded from a file serialized without the stats block.
+    seg_stats: Option<Vec<SegmentStats>>,
 }
 
 impl PolyFitSum {
@@ -83,22 +87,37 @@ impl PolyFitSum {
     ) -> Self {
         let t0 = std::time::Instant::now();
         let specs = segment_function(f, &config, delta, ErrorMetric::DataPoint, opts);
+        let seg_stats = specs
+            .iter()
+            .map(|s| SegmentStats {
+                point_start: s.start,
+                point_end: s.end,
+                lo_key: f.keys[s.start],
+                hi_key: f.keys[s.end],
+                residual: s.certified_error,
+                cf_before: if s.start == 0 { 0.0 } else { f.values[s.start - 1] },
+                cf_end: f.values[s.end],
+            })
+            .collect();
         let dir = SegmentDirectory::from_specs(f, specs);
         let total = *f.values.last().expect("non-empty function");
         let domain = f.domain();
-        Self::assemble(dir, delta, total, domain, t0.elapsed())
+        Self::assemble(dir, delta, total, domain, Some(seg_stats), t0.elapsed())
     }
 
-    /// Reassemble an index from decoded parts (see [`crate::serialize`]).
-    /// Intended for deserialization; segments must be sorted and tiling.
+    /// Reassemble an index from decoded parts (see [`crate::serialize`])
+    /// or from a completed shadow compaction. Segments must be sorted and
+    /// tiling; `seg_stats`, when present, must align with them.
     pub(crate) fn from_parts(
         segments: Vec<Segment>,
         delta: f64,
         total: f64,
         domain: (f64, f64),
+        seg_stats: Option<Vec<SegmentStats>>,
+        build_time: std::time::Duration,
     ) -> Self {
         let dir = SegmentDirectory::from_segments(segments);
-        Self::assemble(dir, delta, total, domain, std::time::Duration::ZERO)
+        Self::assemble(dir, delta, total, domain, seg_stats, build_time)
     }
 
     fn assemble(
@@ -106,14 +125,16 @@ impl PolyFitSum {
         delta: f64,
         total: f64,
         domain: (f64, f64),
+        seg_stats: Option<Vec<SegmentStats>>,
         build_time: std::time::Duration,
     ) -> Self {
+        debug_assert!(seg_stats.as_ref().is_none_or(|s| s.len() == dir.len()));
         let build_stats = IndexStats {
             segments: dir.len(),
             logical_size_bytes: Self::logical_bytes(&dir),
             build_time,
         };
-        PolyFitSum { dir, delta, total, domain, build_stats }
+        PolyFitSum { dir, delta, total, domain, build_stats, seg_stats }
     }
 
     fn logical_bytes(dir: &SegmentDirectory) -> usize {
@@ -220,6 +241,55 @@ impl PolyFitSum {
     /// Iterate over segments (diagnostics, plots, serialization).
     pub fn segments(&self) -> &[Segment] {
         self.dir.segments()
+    }
+
+    /// Per-segment fit summaries, when available (always for built
+    /// indexes; absent only after decoding a stats-less file).
+    pub fn segment_stats(&self) -> Option<&[SegmentStats]> {
+        self.seg_stats.as_deref()
+    }
+
+    /// Aggregate view over the segment statistics.
+    pub fn segment_stats_summary(&self) -> Option<SegmentStatsSummary> {
+        self.seg_stats.as_deref().map(SegmentStatsSummary::of)
+    }
+
+    /// Reconstruct [`SegmentStats`] from the backing record set (sorted,
+    /// distinct keys, exactly the records this index was built over) —
+    /// the recovery path for indexes decoded from stats-less files, so
+    /// incremental compaction works on them too. Cost: one `O(n)` prefix
+    /// sweep plus a binary search per segment.
+    pub fn derived_segment_stats(&self, records: &[Record]) -> Vec<SegmentStats> {
+        debug_assert!(records.windows(2).all(|w| w[0].key < w[1].key));
+        if records.is_empty() {
+            return Vec::new();
+        }
+        let mut prefix = Vec::with_capacity(records.len());
+        let mut acc = 0.0;
+        for r in records {
+            acc += r.measure;
+            prefix.push(acc);
+        }
+        self.dir
+            .segments()
+            .iter()
+            .map(|s| {
+                // Saturate rather than underflow on segments outside the
+                // record set (possible only with inconsistent inputs —
+                // compaction's plan guards then force a refit).
+                let end = records.partition_point(|r| r.key <= s.hi_key).max(1) - 1;
+                let start = records.partition_point(|r| r.key < s.lo_key).min(end);
+                SegmentStats {
+                    point_start: start,
+                    point_end: end,
+                    lo_key: s.lo_key,
+                    hi_key: s.hi_key,
+                    residual: s.error,
+                    cf_before: if start == 0 { 0.0 } else { prefix[start - 1] },
+                    cf_end: prefix[end],
+                }
+            })
+            .collect()
     }
 }
 
@@ -336,5 +406,44 @@ mod tests {
         let idx = PolyFitSum::build(records(500), 20.0, PolyFitConfig::default()).unwrap();
         assert_eq!(idx.stats().segments, idx.num_segments());
         assert!(idx.stats().logical_size_bytes > 0);
+    }
+
+    #[test]
+    fn segment_stats_align_with_segments() {
+        let rs = {
+            let mut rs = records(2000);
+            polyfit_exact::dataset::sort_records(&mut rs);
+            polyfit_exact::dataset::dedup_sum(rs)
+        };
+        let idx = PolyFitSum::build(rs.clone(), 25.0, PolyFitConfig::default()).unwrap();
+        let stats = idx.segment_stats().expect("built indexes carry stats");
+        assert_eq!(stats.len(), idx.num_segments());
+        // Spans tile the record set, key bounds match segments, residual
+        // equals the certified error, endpoint state is the exact prefix.
+        assert_eq!(stats[0].point_start, 0);
+        assert_eq!(stats.last().unwrap().point_end, rs.len() - 1);
+        let mut acc = 0.0;
+        let mut prefix = Vec::new();
+        for r in &rs {
+            acc += r.measure;
+            prefix.push(acc);
+        }
+        for (seg, st) in idx.segments().iter().zip(stats) {
+            assert_eq!((st.lo_key, st.hi_key), (seg.lo_key, seg.hi_key));
+            assert_eq!(st.residual, seg.error);
+            assert!(st.residual <= 25.0 + 1e-9);
+            assert_eq!(st.cf_end, prefix[st.point_end]);
+            let before = if st.point_start == 0 { 0.0 } else { prefix[st.point_start - 1] };
+            assert_eq!(st.cf_before, before);
+        }
+        for w in stats.windows(2) {
+            assert_eq!(w[0].point_end + 1, w[1].point_start, "spans must tile");
+        }
+        // The derived stats (stats-less decode recovery) reproduce the
+        // build-time ones exactly.
+        assert_eq!(idx.derived_segment_stats(&rs), stats);
+        let summary = idx.segment_stats_summary().unwrap();
+        assert_eq!(summary.segments, idx.num_segments());
+        assert_eq!(summary.total_mass, prefix.last().copied().unwrap());
     }
 }

@@ -67,15 +67,17 @@ pub use directory::SegmentDirectory;
 pub use drivers::{
     AvgAnswer, GuaranteedAvg, GuaranteedMax, GuaranteedMin, GuaranteedSum, RelAnswer,
 };
-pub use dynamic::DynamicPolyFitSum;
+pub use dynamic::{CompactionReport, CompactionStatus, DynamicPolyFitSum, DEFAULT_STEP_BUDGET};
 pub use error::PolyFitError;
-pub use function::{cumulative_function, step_function, TargetFunction};
+pub use function::{
+    cumulative_function, cumulative_function_sorted, step_function, TargetFunction,
+};
 pub use index_max::{Extremum, PolyFitMax};
 pub use index_sum::PolyFitSum;
 pub use segment::Segment;
 pub use segmentation::{dp_segmentation, greedy_segmentation, SegmentSpec};
 pub use serialize::DecodeError;
-pub use stats::IndexStats;
+pub use stats::{IndexStats, SegmentStats, SegmentStatsSummary};
 pub use traits::{
     AggregateIndex, AggregateIndex2d, AggregateKind, CertifiedRelSum, Guarantee, RangeAggregate,
     RelDispatch, RelDispatch2d,
@@ -89,9 +91,10 @@ pub mod prelude {
     pub use crate::drivers::{
         AvgAnswer, GuaranteedAvg, GuaranteedMax, GuaranteedMin, GuaranteedSum, RelAnswer,
     };
-    pub use crate::dynamic::DynamicPolyFitSum;
+    pub use crate::dynamic::{CompactionReport, CompactionStatus, DynamicPolyFitSum};
     pub use crate::index_max::PolyFitMax;
     pub use crate::index_sum::PolyFitSum;
+    pub use crate::stats::{IndexStats, SegmentStats, SegmentStatsSummary};
     pub use crate::traits::{
         AggregateIndex, AggregateIndex2d, AggregateKind, CertifiedRelSum, Guarantee,
         RangeAggregate, RelDispatch, RelDispatch2d,

@@ -152,62 +152,79 @@ pub(crate) fn greedy_segmentation_range(
     hi: usize,
 ) -> Vec<SegmentSpec> {
     debug_assert!(lo < hi && hi <= f.len(), "invalid chunk range");
-    let n = hi;
-    let cap = cfg.max_segment_len.unwrap_or(usize::MAX).max(1);
     let mut out = Vec::new();
     let mut start = lo;
-    while start < n {
-        // Feasibility probe: can the segment extend to `end`?
-        let max_end = n.min(start.saturating_add(cap)) - 1;
-        let probe = |end: usize| -> Option<(MinimaxFit, f64)> {
-            let (fit, cert) = fit_range(f, start, end, cfg.degree, cfg.backend, metric);
-            (cert <= delta).then_some((fit, cert))
-        };
-        // A single point always fits exactly (error 0): guaranteed progress.
-        let mut good_end = start;
-        let mut good_fit = probe(start).expect("single-point fit has zero error");
-        if max_end > start {
-            // Gallop: double the extension until infeasible or out of range.
-            let mut lo = start; // last known-good end
-            let mut hi_bound: Option<usize> = None; // first known-bad end
-            let mut step = 1usize;
-            loop {
-                let cand = (start + step).min(max_end);
-                match probe(cand) {
-                    Some(fitc) => {
-                        lo = cand;
-                        good_fit = fitc;
-                        if cand == max_end {
-                            break;
-                        }
-                        step = step.saturating_mul(2);
-                    }
-                    None => {
-                        hi_bound = Some(cand);
-                        break;
-                    }
-                }
-            }
-            // Binary search the maximal feasible end in (lo, hi_bound).
-            if let Some(mut hi) = hi_bound {
-                while hi - lo > 1 {
-                    let mid = lo + (hi - lo) / 2;
-                    match probe(mid) {
-                        Some(fitc) => {
-                            lo = mid;
-                            good_fit = fitc;
-                        }
-                        None => hi = mid,
-                    }
-                }
-            }
-            good_end = lo;
-        }
-        let (fit, certified_error) = good_fit;
-        out.push(SegmentSpec { start, end: good_end, fit, certified_error });
-        start = good_end + 1;
+    while start < hi {
+        let spec = greedy_next_segment(f, cfg, delta, metric, start, hi);
+        start = spec.end + 1;
+        out.push(spec);
     }
     out
+}
+
+/// Emit the single maximal segment starting at point `start` within the
+/// range `[start, hi)` — one iteration of the greedy loop, exposed so the
+/// incremental compaction machinery (`crate::dynamic`) can bound the work
+/// per step to one segment at a time while producing output identical to
+/// [`greedy_segmentation_range`].
+pub(crate) fn greedy_next_segment(
+    f: &TargetFunction,
+    cfg: &PolyFitConfig,
+    delta: f64,
+    metric: ErrorMetric,
+    start: usize,
+    hi: usize,
+) -> SegmentSpec {
+    debug_assert!(start < hi && hi <= f.len(), "invalid segment range");
+    let cap = cfg.max_segment_len.unwrap_or(usize::MAX).max(1);
+    // Feasibility probe: can the segment extend to `end`?
+    let max_end = hi.min(start.saturating_add(cap)) - 1;
+    let probe = |end: usize| -> Option<(MinimaxFit, f64)> {
+        let (fit, cert) = fit_range(f, start, end, cfg.degree, cfg.backend, metric);
+        (cert <= delta).then_some((fit, cert))
+    };
+    // A single point always fits exactly (error 0): guaranteed progress.
+    let mut good_end = start;
+    let mut good_fit = probe(start).expect("single-point fit has zero error");
+    if max_end > start {
+        // Gallop: double the extension until infeasible or out of range.
+        let mut lo = start; // last known-good end
+        let mut hi_bound: Option<usize> = None; // first known-bad end
+        let mut step = 1usize;
+        loop {
+            let cand = (start + step).min(max_end);
+            match probe(cand) {
+                Some(fitc) => {
+                    lo = cand;
+                    good_fit = fitc;
+                    if cand == max_end {
+                        break;
+                    }
+                    step = step.saturating_mul(2);
+                }
+                None => {
+                    hi_bound = Some(cand);
+                    break;
+                }
+            }
+        }
+        // Binary search the maximal feasible end in (lo, hi_bound).
+        if let Some(mut hi) = hi_bound {
+            while hi - lo > 1 {
+                let mid = lo + (hi - lo) / 2;
+                match probe(mid) {
+                    Some(fitc) => {
+                        lo = mid;
+                        good_fit = fitc;
+                    }
+                    None => hi = mid,
+                }
+            }
+        }
+        good_end = lo;
+    }
+    let (fit, certified_error) = good_fit;
+    SegmentSpec { start, end: good_end, fit, certified_error }
 }
 
 /// Dynamic-programming segmentation minimising the number of segments

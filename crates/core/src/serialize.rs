@@ -11,11 +11,18 @@ use polyfit_poly::{Polynomial, ShiftedPolynomial};
 use crate::index_max::{Extremum, PolyFitMax};
 use crate::index_sum::PolyFitSum;
 use crate::segment::Segment;
+use crate::stats::SegmentStats;
 
-const MAGIC_SUM: &[u8; 4] = b"PFS1";
+// "PFS2": v2 of the CF layout — adds a flags word and an optional
+// per-segment statistics block (point spans, residual certificates,
+// endpoint state) so reloaded indexes keep compaction incremental.
+const MAGIC_SUM: &[u8; 4] = b"PFS2";
 // "PFM2": v2 of the staircase layout — v1 (never shipped; the seed tree
 // could not compile) lacked the orientation field.
 const MAGIC_MAX: &[u8; 4] = b"PFM2";
+
+/// Header flag: the segment-statistics block follows the segments.
+const FLAG_SEGMENT_STATS: u32 = 1;
 
 /// Errors from [`PolyFitSum::from_bytes`] / [`PolyFitMax::from_bytes`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -138,16 +145,36 @@ fn read_segments(r: &mut Reader<'_>) -> Result<Vec<Segment>, DecodeError> {
 }
 
 impl PolyFitSum {
-    /// Serialize to a compact little-endian byte buffer.
+    /// Serialize to a compact little-endian byte buffer, including the
+    /// segment-statistics block when the index carries one.
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_bytes_with_stats(true)
+    }
+
+    /// [`Self::to_bytes`] with explicit control over the statistics
+    /// block: `false` strips it (smaller file; a reloaded index can still
+    /// recover stats from its record set via
+    /// [`Self::derived_segment_stats`]).
+    pub fn to_bytes_with_stats(&self, include_stats: bool) -> Vec<u8> {
+        let stats = if include_stats { self.segment_stats() } else { None };
         let mut w = Writer(Vec::with_capacity(64 + self.num_segments() * 64));
         w.0.extend_from_slice(MAGIC_SUM);
+        w.u32(if stats.is_some() { FLAG_SEGMENT_STATS } else { 0 });
         w.f64(self.delta());
         w.f64(self.total());
         let (d0, d1) = self.domain();
         w.f64(d0);
         w.f64(d1);
         write_segments(&mut w, self.segments());
+        if let Some(stats) = stats {
+            for s in stats {
+                w.u32(s.point_start as u32);
+                w.u32(s.point_end as u32);
+                w.f64(s.residual);
+                w.f64(s.cf_before);
+                w.f64(s.cf_end);
+            }
+        }
         w.0
     }
 
@@ -157,12 +184,47 @@ impl PolyFitSum {
         if r.take(4)? != MAGIC_SUM {
             return Err(DecodeError::BadMagic);
         }
+        let flags = r.u32()?;
         let delta = r.finite("delta")?;
         let total = r.finite("total")?;
         let d0 = r.finite("domain lo")?;
         let d1 = r.finite("domain hi")?;
         let segments = read_segments(&mut r)?;
-        Ok(PolyFitSum::from_parts(segments, delta, total, (d0, d1)))
+        let seg_stats = if flags & FLAG_SEGMENT_STATS != 0 {
+            let mut stats: Vec<SegmentStats> = Vec::with_capacity(segments.len());
+            for seg in &segments {
+                let point_start = r.u32()? as usize;
+                let point_end = r.u32()? as usize;
+                // Spans must be ordered and tile the record set front to
+                // back — compaction indexes records through them, so a
+                // corrupt block must fail here, not panic later.
+                let expected_start =
+                    stats.last().map_or(0, |prev: &SegmentStats| prev.point_end + 1);
+                if point_end < point_start || point_start != expected_start {
+                    return Err(DecodeError::Corrupt("stats span order"));
+                }
+                stats.push(SegmentStats {
+                    point_start,
+                    point_end,
+                    lo_key: seg.lo_key,
+                    hi_key: seg.hi_key,
+                    residual: r.finite("stats residual")?,
+                    cf_before: r.finite("stats cf_before")?,
+                    cf_end: r.finite("stats cf_end")?,
+                });
+            }
+            Some(stats)
+        } else {
+            None
+        };
+        Ok(PolyFitSum::from_parts(
+            segments,
+            delta,
+            total,
+            (d0, d1),
+            seg_stats,
+            std::time::Duration::ZERO,
+        ))
     }
 }
 
@@ -259,8 +321,8 @@ mod tests {
     fn corrupt_rejected() {
         let idx = PolyFitSum::build(records(100), 5.0, PolyFitConfig::default()).unwrap();
         let mut bytes = idx.to_bytes();
-        // Corrupt delta with a NaN.
-        bytes[4..12].copy_from_slice(&f64::NAN.to_le_bytes());
+        // Corrupt delta (magic + flags word precede it) with a NaN.
+        bytes[8..16].copy_from_slice(&f64::NAN.to_le_bytes());
         assert!(matches!(PolyFitSum::from_bytes(&bytes), Err(DecodeError::Corrupt("delta"))));
     }
 
@@ -270,5 +332,47 @@ mod tests {
         let bytes = idx.to_bytes();
         // Serialized form tracks the logical size (segments dominate).
         assert!(bytes.len() < idx.num_segments() * 100 + 64);
+    }
+
+    #[test]
+    fn corrupt_stats_spans_rejected() {
+        let idx = PolyFitSum::build(records(3_000), 15.0, PolyFitConfig::default()).unwrap();
+        let mut bytes = idx.to_bytes();
+        // The stats block is the trailing 32 bytes per segment
+        // (2×u32 span + 3×f64); break the first span's tiling.
+        let stats_off = bytes.len() - idx.num_segments() * 32;
+        bytes[stats_off..stats_off + 4].copy_from_slice(&7u32.to_le_bytes());
+        assert!(matches!(
+            PolyFitSum::from_bytes(&bytes),
+            Err(DecodeError::Corrupt("stats span order"))
+        ));
+        // Reversed span order is rejected too.
+        let mut bytes = idx.to_bytes();
+        bytes[stats_off + 4..stats_off + 8].copy_from_slice(&0u32.to_le_bytes());
+        bytes[stats_off..stats_off + 4].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            PolyFitSum::from_bytes(&bytes),
+            Err(DecodeError::Corrupt("stats span order"))
+        ));
+    }
+
+    #[test]
+    fn stats_block_roundtrips_and_strips() {
+        let idx = PolyFitSum::build(records(3_000), 15.0, PolyFitConfig::default()).unwrap();
+        let with_stats = PolyFitSum::from_bytes(&idx.to_bytes()).unwrap();
+        assert_eq!(
+            with_stats.segment_stats().expect("stats round-trip"),
+            idx.segment_stats().unwrap()
+        );
+        let lean_bytes = idx.to_bytes_with_stats(false);
+        assert!(lean_bytes.len() < idx.to_bytes().len());
+        let lean = PolyFitSum::from_bytes(&lean_bytes).unwrap();
+        assert!(lean.segment_stats().is_none());
+        // Queries are unaffected either way.
+        for i in 0..50 {
+            let (l, u) = (i as f64 * 7.0, i as f64 * 7.0 + 400.0);
+            assert_eq!(lean.query(l, u).to_bits(), idx.query(l, u).to_bits());
+            assert_eq!(with_stats.query(l, u).to_bits(), idx.query(l, u).to_bits());
+        }
     }
 }

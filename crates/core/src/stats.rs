@@ -1,4 +1,7 @@
-//! Construction statistics shared by the index types.
+//! Construction statistics shared by the index types, plus the
+//! per-segment fit summaries ([`SegmentStats`]) that make compaction
+//! incremental: a rebuild can keep certified segments verbatim and only
+//! refit those whose key span intersects the buffered updates.
 
 use std::time::Duration;
 
@@ -16,6 +19,111 @@ pub struct IndexStats {
     pub build_time: Duration,
 }
 
+/// Mergeable per-segment fit summary for SUM-family indexes.
+///
+/// Stored next to each polynomial segment and serialized with the index.
+/// The three pieces make segments *reusable* across compactions:
+///
+/// * **key span / point span** — which records the segment covers, so a
+///   merge can test whether any buffered update intersects it;
+/// * **residual certificate** — the certified minimax fit error, carried
+///   forward (plus measured prefix drift) instead of refitting;
+/// * **endpoint state** — the exact cumulative-function values just
+///   before and at the end of the segment, so a reused segment's
+///   polynomial can be translated by the delta mass that accumulated in
+///   front of it (adding a constant preserves the residual).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SegmentStats {
+    /// Index of the first covered record in the backing record set.
+    pub point_start: usize,
+    /// Index of the last covered record (inclusive).
+    pub point_end: usize,
+    /// First key covered.
+    pub lo_key: f64,
+    /// Last key covered.
+    pub hi_key: f64,
+    /// Certified fit residual over the span (≤ δ by construction).
+    pub residual: f64,
+    /// Exact CF just left of the segment (sum of measures at keys
+    /// `< lo_key`; `0.0` for the first segment).
+    pub cf_before: f64,
+    /// Exact CF at `hi_key` (inclusive prefix sum).
+    pub cf_end: f64,
+}
+
+impl SegmentStats {
+    /// Number of records covered.
+    pub fn span(&self) -> usize {
+        self.point_end - self.point_start + 1
+    }
+
+    /// Exact measure mass inside the segment.
+    pub fn mass(&self) -> f64 {
+        self.cf_end - self.cf_before
+    }
+
+    /// True when the closed key span `[lo_key, hi_key]` intersects
+    /// `[lo, hi]` — the dirtiness test compaction runs per update key.
+    pub fn key_span_intersects(&self, lo: f64, hi: f64) -> bool {
+        self.lo_key <= hi && lo <= self.hi_key
+    }
+
+    /// Merge with the stats of the immediately following segment: span
+    /// union, worst residual, outer endpoint state. This is what makes
+    /// the statistics *mergeable* — a summary over any contiguous run of
+    /// segments folds up without touching the underlying records.
+    pub fn merge(self, right: SegmentStats) -> SegmentStats {
+        debug_assert!(self.point_end < right.point_start, "merge expects adjacent, ordered spans");
+        SegmentStats {
+            point_start: self.point_start,
+            point_end: right.point_end,
+            lo_key: self.lo_key,
+            hi_key: right.hi_key,
+            residual: self.residual.max(right.residual),
+            cf_before: self.cf_before,
+            cf_end: right.cf_end,
+        }
+    }
+}
+
+/// Aggregate view over a whole index's [`SegmentStats`], for diagnostics
+/// and the CLI `info` command.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SegmentStatsSummary {
+    /// Number of segments.
+    pub segments: usize,
+    /// Smallest per-segment record span.
+    pub min_span: usize,
+    /// Largest per-segment record span.
+    pub max_span: usize,
+    /// Mean per-segment record span.
+    pub mean_span: f64,
+    /// Worst residual certificate across segments.
+    pub max_residual: f64,
+    /// Total measure mass (CF at the right edge).
+    pub total_mass: f64,
+}
+
+impl SegmentStatsSummary {
+    /// Summarize a segment-ordered stats slice: per-segment span extrema
+    /// plus the [`SegmentStats::merge`] fold of the whole run (worst
+    /// residual, outer endpoint state → total mass).
+    pub fn of(stats: &[SegmentStats]) -> SegmentStatsSummary {
+        let Some(folded) = stats.iter().copied().reduce(SegmentStats::merge) else {
+            return SegmentStatsSummary::default();
+        };
+        let spans: Vec<usize> = stats.iter().map(SegmentStats::span).collect();
+        SegmentStatsSummary {
+            segments: stats.len(),
+            min_span: spans.iter().copied().min().unwrap_or(0),
+            max_span: spans.iter().copied().max().unwrap_or(0),
+            mean_span: spans.iter().sum::<usize>() as f64 / stats.len() as f64,
+            max_residual: folded.residual,
+            total_mass: folded.cf_end,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -26,5 +134,53 @@ mod tests {
         assert_eq!(s.segments, 0);
         assert_eq!(s.logical_size_bytes, 0);
         assert_eq!(s.build_time, Duration::ZERO);
+    }
+
+    fn stats(start: usize, end: usize, lo: f64, hi: f64, cf0: f64, cf1: f64) -> SegmentStats {
+        SegmentStats {
+            point_start: start,
+            point_end: end,
+            lo_key: lo,
+            hi_key: hi,
+            residual: 0.5,
+            cf_before: cf0,
+            cf_end: cf1,
+        }
+    }
+
+    #[test]
+    fn span_mass_and_intersection() {
+        let s = stats(10, 19, 100.0, 190.0, 50.0, 80.0);
+        assert_eq!(s.span(), 10);
+        assert_eq!(s.mass(), 30.0);
+        assert!(s.key_span_intersects(190.0, 500.0));
+        assert!(s.key_span_intersects(0.0, 100.0));
+        assert!(s.key_span_intersects(150.0, 150.0));
+        assert!(!s.key_span_intersects(190.1, 500.0));
+        assert!(!s.key_span_intersects(-5.0, 99.9));
+    }
+
+    #[test]
+    fn merge_folds_adjacent_spans() {
+        let a = stats(0, 4, 0.0, 40.0, 0.0, 10.0);
+        let mut b = stats(5, 9, 50.0, 90.0, 10.0, 25.0);
+        b.residual = 0.9;
+        let m = a.merge(b);
+        assert_eq!((m.point_start, m.point_end), (0, 9));
+        assert_eq!((m.lo_key, m.hi_key), (0.0, 90.0));
+        assert_eq!(m.residual, 0.9);
+        assert_eq!(m.mass(), 25.0);
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let v = vec![stats(0, 4, 0.0, 40.0, 0.0, 10.0), stats(5, 14, 50.0, 140.0, 10.0, 25.0)];
+        let s = SegmentStatsSummary::of(&v);
+        assert_eq!(s.segments, 2);
+        assert_eq!((s.min_span, s.max_span), (5, 10));
+        assert_eq!(s.mean_span, 7.5);
+        assert_eq!(s.max_residual, 0.5);
+        assert_eq!(s.total_mass, 25.0);
+        assert_eq!(SegmentStatsSummary::of(&[]), SegmentStatsSummary::default());
     }
 }

@@ -238,15 +238,13 @@ impl AggregateIndex for DynamicPolyFitSum {
     }
 
     fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
-        // The delta buffer contributes exactly; the bound is the base's.
-        Some(RangeAggregate::absolute(
-            DynamicPolyFitSum::query(self, lq, uq),
-            2.0 * self.base().delta(),
-        ))
+        // The delta buffer contributes exactly; the bound is the base's
+        // (and holds before, during, and after a shadow compaction).
+        Some(RangeAggregate::absolute(DynamicPolyFitSum::query(self, lq, uq), 2.0 * self.delta()))
     }
 
     fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<RangeAggregate>> {
-        let bound = 2.0 * self.base().delta();
+        let bound = 2.0 * self.delta();
         DynamicPolyFitSum::query_batch(self, ranges)
             .into_iter()
             .map(|v| Some(RangeAggregate::absolute(v, bound)))
@@ -255,11 +253,11 @@ impl AggregateIndex for DynamicPolyFitSum {
 
     fn size_bytes(&self) -> usize {
         // Base segments plus the buffered (key, Δmeasure) pairs.
-        self.base().size_bytes() + self.buffered() * 2 * std::mem::size_of::<f64>()
+        self.base().map_or(0, |b| b.size_bytes()) + self.buffered() * 2 * std::mem::size_of::<f64>()
     }
 
     fn stats(&self) -> Option<&IndexStats> {
-        Some(self.base().stats())
+        self.base().map(|b| b.stats())
     }
 }
 
@@ -916,7 +914,7 @@ mod tests {
         let dyn_idx: &dyn AggregateIndex = &idx;
         let with_insert = dyn_idx.query(100.0, 101.0).unwrap();
         assert_eq!(with_insert.guarantee, Guarantee::Absolute(10.0));
-        assert!(dyn_idx.size_bytes() > idx.base().size_bytes());
+        assert!(dyn_idx.size_bytes() > idx.base().unwrap().size_bytes());
     }
 
     #[test]

@@ -22,7 +22,7 @@ fn main() {
     println!(
         "bulk-loaded {} records into {} segments",
         index.base_len(),
-        index.base().num_segments()
+        index.base().map_or(0, |b| b.num_segments())
     );
 
     // A shadow copy to verify the guarantee live.
@@ -51,6 +51,14 @@ fn main() {
         index.rebuilds(),
         index.buffered(),
     );
+    if let Some(report) = index.last_compaction() {
+        println!(
+            "last compaction: {} segments reused, {} refitted ({:.0}% of points refit)",
+            report.reused_segments,
+            report.refit_segments,
+            report.refit_fraction() * 100.0,
+        );
+    }
 
     // Verify the guarantee over a sweep of windows.
     let mut worst: f64 = 0.0;
