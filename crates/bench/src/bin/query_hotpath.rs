@@ -1,0 +1,265 @@
+//! Query hot-path benchmark: the compiled read path (flattened arena
+//! rows + branchless Eytzinger directory) versus the oracle assembly
+//! (`Vec<Segment>` + `partition_point` + per-segment heap polynomials).
+//!
+//! This is the operation the paper is about — ns per range-SUM query —
+//! measured for point / short / long ranges at two directory sizes, with
+//! the answers of the two paths asserted **bitwise-equal** before any
+//! number is written. Emits `results/BENCH_query.json`, the
+//! machine-readable record tracked across PRs.
+//!
+//! The parallel batch path (`query_batch_par`) is timed too, for the
+//! ROADMAP trajectory; its speedup is hardware-gated (a 1-CPU box sees
+//! ~1.0×, like the build pipeline — see ROADMAP.md).
+//!
+//! Usage: `cargo run --release -p polyfit-bench --bin query_hotpath
+//!         [--h1 1000] [--h2 100000] [--pts 16] [--queries 4096]
+//!         [--repeats 25] [--threads 4]`
+
+use std::fmt::Write as _;
+
+use polyfit::prelude::*;
+use polyfit::SegmentDirectory;
+use polyfit_bench::{arg_usize, fmt_ns, measure_ns, results_dir, ResultsTable};
+use polyfit_exact::dataset::Record;
+
+/// The pre-refactor query path, replayed over the oracle assembly: a
+/// `partition_point` search over `lo_keys`, then a dereference of the
+/// owning `Segment` and its heap coefficient vector.
+struct OldPathSum {
+    dir: SegmentDirectory,
+    total: f64,
+    domain: (f64, f64),
+}
+
+impl OldPathSum {
+    fn of(idx: &PolyFitSum) -> Self {
+        OldPathSum {
+            dir: SegmentDirectory::from_segments(idx.segments()),
+            total: idx.total(),
+            domain: idx.domain(),
+        }
+    }
+
+    #[inline]
+    fn cf(&self, k: f64) -> f64 {
+        if k < self.domain.0 {
+            return 0.0;
+        }
+        if k >= self.domain.1 {
+            return self.total;
+        }
+        self.dir.segment_for(k).expect("k inside the key domain").eval_clamped(k)
+    }
+
+    #[inline]
+    fn query(&self, lq: f64, uq: f64) -> f64 {
+        if lq >= uq {
+            return 0.0;
+        }
+        self.cf(uq) - self.cf(lq)
+    }
+}
+
+/// Deterministic mixer for query placement (no RNG dependency).
+#[inline]
+fn mix(i: usize, salt: u64) -> u64 {
+    let mut h = (i as u64).wrapping_add(salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 29;
+    h.wrapping_mul(0xBF58_476D_1CE4_E5B9) ^ (h >> 32)
+}
+
+fn unit(i: usize, salt: u64) -> f64 {
+    (mix(i, salt) % (1 << 24)) as f64 / (1 << 24) as f64
+}
+
+struct Workload {
+    name: &'static str,
+    ranges: Vec<(f64, f64)>,
+}
+
+fn workloads(keys: &[f64], m: usize) -> Vec<Workload> {
+    let (d0, d1) = (keys[0], *keys.last().unwrap());
+    let span = d1 - d0;
+    let point = (0..m)
+        .map(|i| {
+            let j = 1 + mix(i, 11) as usize % (keys.len() - 1);
+            (keys[j - 1], keys[j])
+        })
+        .collect();
+    let short = (0..m)
+        .map(|i| {
+            let lo = d0 + unit(i, 22) * span * 0.999;
+            (lo, lo + span * 1e-3)
+        })
+        .collect();
+    let long = (0..m)
+        .map(|i| {
+            let lo = d0 + unit(i, 33) * span * 0.5;
+            (lo, lo + span * 0.5)
+        })
+        .collect();
+    vec![
+        Workload { name: "point", ranges: point },
+        Workload { name: "short", ranges: short },
+        Workload { name: "long", ranges: long },
+    ]
+}
+
+struct Row {
+    h: usize,
+    workload: &'static str,
+    ns_old: f64,
+    ns_compiled: f64,
+    ns_batch: f64,
+    ns_batch_par: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.ns_old / self.ns_compiled
+    }
+}
+
+fn main() {
+    let h1 = arg_usize("h1", 1_000);
+    let h2 = arg_usize("h2", 100_000);
+    let pts = arg_usize("pts", 16).max(2);
+    let m = arg_usize("queries", 4_096);
+    let repeats = arg_usize("repeats", 25).max(1);
+    let threads = arg_usize("threads", 4);
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut bitwise_equal = true;
+
+    for &h in &[h1, h2] {
+        // A length cap of `pts` with a loose δ makes the greedy
+        // segmentation emit exactly `h` segments of `pts` points each, so
+        // the directory size is controlled precisely. Key spacing and
+        // measures vary deterministically so the fitted rows are
+        // non-trivial.
+        let n = h * pts;
+        let records: Vec<Record> = (0..n)
+            .map(|i| {
+                let k = i as f64 * (1.0 + 0.25 * unit(i, 7));
+                Record::new(k, 1.0 + 4.0 * unit(i, 8) + ((i as f64) * 0.013).sin())
+            })
+            .collect();
+        let config = PolyFitConfig { max_segment_len: Some(pts), ..PolyFitConfig::default() };
+        let idx = PolyFitSum::build(records, 1e12, config).expect("build");
+        assert_eq!(idx.num_segments(), h, "cap must pin the segment count");
+        let old = OldPathSum::of(&idx);
+        let keys: Vec<f64> = idx.segments().iter().map(|s| s.lo_key).collect();
+
+        for w in workloads(&keys, m) {
+            // Equality gate first: per-query, batched, and parallel
+            // batched answers must match the oracle path bit-for-bit.
+            let batched = idx.query_batch(&w.ranges);
+            let par = idx.query_batch_par(&w.ranges, threads);
+            for (q, &(l, u)) in w.ranges.iter().enumerate() {
+                let a = idx.query(l, u).to_bits();
+                let equal = a == old.query(l, u).to_bits()
+                    && a == batched[q].to_bits()
+                    && a == par[q].to_bits();
+                if !equal {
+                    eprintln!("MISMATCH h={h} {} range ({l}, {u}]", w.name);
+                    bitwise_equal = false;
+                }
+            }
+
+            // Timing: warm both paths once, then interleave measurement
+            // rounds and keep each path's minimum — the shared container
+            // this runs on injects spikes that a single long measurement
+            // folds into the mean.
+            measure_ns(&w.ranges, 1, |&(l, u)| old.query(l, u));
+            measure_ns(&w.ranges, 1, |&(l, u)| idx.query(l, u));
+            let rounds = 7usize;
+            let mut ns_old = f64::INFINITY;
+            let mut ns_compiled = f64::INFINITY;
+            for _ in 0..rounds {
+                ns_old = ns_old.min(measure_ns(&w.ranges, repeats, |&(l, u)| old.query(l, u)));
+                ns_compiled =
+                    ns_compiled.min(measure_ns(&w.ranges, repeats, |&(l, u)| idx.query(l, u)));
+            }
+            let batch_unit = [w.ranges.clone()];
+            let mut ns_batch = f64::INFINITY;
+            let mut ns_batch_par = f64::INFINITY;
+            for _ in 0..rounds {
+                ns_batch = ns_batch.min(measure_ns(&batch_unit, repeats, |r| idx.query_batch(r)));
+                ns_batch_par = ns_batch_par
+                    .min(measure_ns(&batch_unit, repeats, |r| idx.query_batch_par(r, threads)));
+            }
+            ns_batch /= m as f64;
+            ns_batch_par /= m as f64;
+            rows.push(Row { h, workload: w.name, ns_old, ns_compiled, ns_batch, ns_batch_par });
+        }
+    }
+
+    let mut table = ResultsTable::new(
+        "Query hot path: oracle vs compiled (ns/query)",
+        &["h", "workload", "old", "compiled", "speedup", "batch", "batch_par"],
+    );
+    for r in &rows {
+        table.row(&[
+            r.h.to_string(),
+            r.workload.to_string(),
+            fmt_ns(r.ns_old),
+            fmt_ns(r.ns_compiled),
+            format!("{:.2}x", r.speedup()),
+            fmt_ns(r.ns_batch),
+            fmt_ns(r.ns_batch_par),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let long_large = rows
+        .iter()
+        .find(|r| r.h == h2 && r.workload == "long")
+        .expect("long workload at h2 always runs");
+
+    // The bench refuses to write numbers for a path that changed answers.
+    assert!(bitwise_equal, "compiled path diverged from the oracle path");
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"h_small\": {h1},");
+    let _ = writeln!(json, "  \"h_large\": {h2},");
+    let _ = writeln!(json, "  \"points_per_segment\": {pts},");
+    let _ = writeln!(json, "  \"queries\": {m},");
+    let _ = writeln!(json, "  \"repeats\": {repeats},");
+    let _ = writeln!(json, "  \"batch_par_threads\": {threads},");
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"h\": {}, \"workload\": \"{}\", \"ns_old\": {:.2}, \
+             \"ns_compiled\": {:.2}, \"speedup\": {:.4}, \"ns_batch\": {:.2}, \
+             \"ns_batch_par\": {:.2}}}{comma}",
+            r.h,
+            r.workload,
+            r.ns_old,
+            r.ns_compiled,
+            r.speedup(),
+            r.ns_batch,
+            r.ns_batch_par,
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"long_range_speedup_large_h\": {:.4},", long_large.speedup());
+    let _ = writeln!(json, "  \"bitwise_equal\": {bitwise_equal}");
+    json.push_str("}\n");
+
+    let dir = results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_query.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("[saved {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+    println!(
+        "long-range speedup at h = {h2}: {:.2}x (old {} vs compiled {} per query)",
+        long_large.speedup(),
+        fmt_ns(long_large.ns_old),
+        fmt_ns(long_large.ns_compiled),
+    );
+}

@@ -1,23 +1,48 @@
-//! The generic segment-directory core shared by every 1-D PolyFit index.
+//! The segment-directory core shared by every 1-D PolyFit index.
 //!
 //! [`PolyFitSum`](crate::index_sum::PolyFitSum) and
 //! [`PolyFitMax`](crate::index_max::PolyFitMax) both store the same thing:
-//! the segments produced by δ-certified segmentation, plus a sorted array
-//! of their `lo_key`s used as an `O(log h)` search directory (paper
-//! Fig. 6). Historically each index carried its own copy of the
-//! spec→segment assembly and the binary-search lookup; this module is the
-//! single implementation both build on.
+//! the segments produced by δ-certified segmentation, plus a search
+//! directory over their `lo_key`s (paper Fig. 6). Two implementations
+//! live here:
+//!
+//! * [`CompiledDirectory`] — the **production read path**. Segments are
+//!   flattened at build time into fixed-stride rows of one contiguous
+//!   arena (`[lo, hi, center, scale, c₀ … c_d]`), so an endpoint
+//!   evaluation touches a single cache line instead of chasing a
+//!   `Segment` struct and its per-segment heap `Vec<f64>`. Lookups run a
+//!   branchless search over an Eytzinger-layout copy of the `lo_key`
+//!   directory, and Horner evaluation is monomorphized per degree,
+//!   selected once at construction.
+//! * [`SegmentDirectory`] — the original `Vec<Segment>` +
+//!   `partition_point` assembly, kept as the **oracle**: property tests
+//!   and the `query_hotpath` benchmark hold the compiled path to
+//!   bitwise-identical answers against it.
+//!
+//! Compiling is lossless: [`CompiledDirectory::segment`] reconstructs
+//! the exact `Segment` (padding zeros trim back off because stored
+//! polynomials never carry trailing zeros), which is how serialization
+//! and the dynamic index's segment-reuse compaction read the directory.
+
+use polyfit_poly::{Polynomial, ShiftedPolynomial};
 
 use crate::function::TargetFunction;
 use crate::segment::Segment;
 use crate::segmentation::SegmentSpec;
 
-/// Sorted, tiling polynomial segments plus their search directory.
+/// Sorted, tiling polynomial segments plus their search directory — the
+/// reference assembly the compiled read path is verified against.
 #[derive(Clone, Debug)]
 pub struct SegmentDirectory {
     /// `lo_key` of each segment, ascending — the binary-search directory.
     lo_keys: Vec<f64>,
     segments: Vec<Segment>,
+    /// Largest certified error, folded once at construction.
+    max_error: f64,
+    /// Logical serialized size of the segments, folded once at
+    /// construction (the CLI `info` path used to recompute both of these
+    /// O(h) folds on every call).
+    logical_bytes: usize,
 }
 
 impl SegmentDirectory {
@@ -26,21 +51,16 @@ impl SegmentDirectory {
     /// exact value extrema over its covered points (the per-segment
     /// aggregates MAX queries and diagnostics rely on).
     pub fn from_specs(f: &TargetFunction, specs: Vec<SegmentSpec>) -> Self {
-        let mut lo_keys = Vec::with_capacity(specs.len());
-        let mut segments = Vec::with_capacity(specs.len());
-        for spec in specs {
-            let seg = segment_from_spec(f, spec);
-            lo_keys.push(seg.lo_key);
-            segments.push(seg);
-        }
-        SegmentDirectory { lo_keys, segments }
+        Self::from_segments(specs.into_iter().map(|spec| segment_from_spec(f, spec)).collect())
     }
 
-    /// Rebuild the directory over already-assembled segments (the
+    /// Build the directory over already-assembled segments (the
     /// deserialization path). Segments must be sorted and tiling.
     pub fn from_segments(segments: Vec<Segment>) -> Self {
         let lo_keys = segments.iter().map(|s| s.lo_key).collect();
-        SegmentDirectory { lo_keys, segments }
+        let max_error = segments.iter().fold(0.0f64, |m, s| m.max(s.error));
+        let logical_bytes = segments.iter().map(Segment::logical_size_bytes).sum();
+        SegmentDirectory { lo_keys, segments, max_error, logical_bytes }
     }
 
     /// Index of the segment owning `k` — the last segment whose `lo_key`
@@ -80,15 +100,17 @@ impl SegmentDirectory {
         &self.segments[i]
     }
 
-    /// Largest certified per-segment error (≤ δ by construction).
+    /// Largest certified per-segment error (≤ δ by construction;
+    /// precomputed at construction).
     pub fn max_certified_error(&self) -> f64 {
-        self.segments.iter().fold(0.0, |m, s| m.max(s.error))
+        self.max_error
     }
 
     /// Logical serialized size of the segments themselves (directory keys
-    /// are derived from segment bounds, so they cost nothing extra).
+    /// are derived from segment bounds, so they cost nothing extra;
+    /// precomputed at construction).
     pub fn segments_logical_bytes(&self) -> usize {
-        self.segments.iter().map(Segment::logical_size_bytes).sum()
+        self.logical_bytes
     }
 
     /// Per-segment `(value_max, value_min)` aggregates, in segment order —
@@ -152,6 +174,393 @@ impl DirectoryCursor<'_> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Compiled (flattened) read path
+// ---------------------------------------------------------------------------
+
+/// Degree-monomorphized Horner kernel, selected once at compile time from
+/// the directory's uniform coefficient stride. Each unrolled arm performs
+/// the exact multiply/add sequence of [`Polynomial::eval`] over the padded
+/// row, so answers are bitwise-identical to evaluating the original
+/// trimmed polynomial (padding zeros are absorbed exactly: `±0·t + c = c`
+/// for the non-zero stored coefficients, and an all-zero row folds to the
+/// zero polynomial's `+0.0`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum HornerKernel {
+    /// No coefficients anywhere: the zero polynomial.
+    Zero,
+    /// Stride 1 (constant segments).
+    Constant,
+    /// Stride 2 (degree ≤ 1).
+    Affine,
+    /// Stride 3 (degree ≤ 2).
+    Quadratic,
+    /// Stride 4 (degree ≤ 3).
+    Cubic,
+    /// Any higher stride: the generic Horner loop.
+    Generic,
+}
+
+impl HornerKernel {
+    fn for_stride(stride: usize) -> Self {
+        match stride {
+            0 => HornerKernel::Zero,
+            1 => HornerKernel::Constant,
+            2 => HornerKernel::Affine,
+            3 => HornerKernel::Quadratic,
+            4 => HornerKernel::Cubic,
+            _ => HornerKernel::Generic,
+        }
+    }
+}
+
+/// Number of row slots before the coefficients: `lo`, `hi`, `center`,
+/// `scale`.
+const ROW_HEADER: usize = 4;
+
+/// The flattened, cache-conscious segment directory — the default read
+/// path behind every 1-D PolyFit index.
+///
+/// Layout: per segment one fixed-stride row `[lo, hi, center, scale,
+/// c₀ … c_{s−1}]` in a single contiguous arena (`s` = the index-wide
+/// maximum coefficient count, ≤ degree + 1; shorter polynomials are
+/// zero-padded). One endpoint evaluation therefore reads one row — a
+/// single cache line for degree ≤ 3 — where the oracle path reads a
+/// `Segment` struct *and* chases its heap-allocated coefficient vector.
+///
+/// Lookups use a branchless search over an Eytzinger (BFS) permutation of
+/// the sorted `lo_key`s: the hot top levels of the implicit tree share a
+/// handful of cache lines across all queries, and the loop executes no
+/// data-dependent branches. A sorted `lo_keys` copy remains for the
+/// monotone [`CompiledCursor`] the batched sweep uses.
+#[derive(Clone, Debug)]
+pub struct CompiledDirectory {
+    /// `lo_key` per segment, ascending (cursor sweeps + diagnostics).
+    lo_keys: Vec<f64>,
+    /// Eytzinger-permuted `lo_keys`, 1-indexed; slot 0 is an unused pad.
+    /// Kept keys-only (the slot → rank map lives in `eytz_rank`): packing
+    /// ranks next to the keys halves the walk's cache-line density and
+    /// measures strictly slower at every directory size.
+    eytz: Vec<f64>,
+    /// Eytzinger slot (1-based) → sorted rank (0-based).
+    eytz_rank: Vec<u32>,
+    /// The row arena: `h` rows of `ROW_HEADER + coeff_stride` floats, in
+    /// sorted segment order (the batch sweep reads it sequentially).
+    rows: Vec<f64>,
+    /// The same rows permuted into Eytzinger slot order (slot 0 unused):
+    /// the fused point lookup indexes it directly with the predecessor
+    /// slot the walk tracked, skipping the rank indirection — one fewer
+    /// dependent cache miss on the hottest chain, bought with one extra
+    /// copy of the arena.
+    rows_eytz: Vec<f64>,
+    row_stride: usize,
+    coeff_stride: usize,
+    kernel: HornerKernel,
+    /// Certified error per segment (cold; diagnostics and reconstruction).
+    errors: Vec<f64>,
+    /// Exact `(value_max, value_min)` per segment (cold; extrema-tree
+    /// leaves and reconstruction).
+    extrema: Vec<(f64, f64)>,
+    /// Largest certified error, folded once at construction.
+    max_error: f64,
+    /// Logical serialized size of the segments, folded once at
+    /// construction.
+    logical_bytes: usize,
+}
+
+impl CompiledDirectory {
+    /// Compile segmentation output directly (see
+    /// [`SegmentDirectory::from_specs`] for the spec → segment step).
+    pub fn from_specs(f: &TargetFunction, specs: Vec<SegmentSpec>) -> Self {
+        Self::from_segments(specs.into_iter().map(|spec| segment_from_spec(f, spec)).collect())
+    }
+
+    /// Compile already-assembled segments (the deserialization path).
+    /// Segments must be sorted and tiling.
+    pub fn from_segments(segments: Vec<Segment>) -> Self {
+        let h = segments.len();
+        let coeff_stride = segments.iter().map(|s| s.poly.coeff_count()).max().unwrap_or(0);
+        let row_stride = ROW_HEADER + coeff_stride;
+        let mut lo_keys = Vec::with_capacity(h);
+        let mut rows = Vec::with_capacity(h * row_stride);
+        let mut errors = Vec::with_capacity(h);
+        let mut extrema = Vec::with_capacity(h);
+        let mut max_error = 0.0f64;
+        let mut logical_bytes = 0usize;
+        for s in &segments {
+            lo_keys.push(s.lo_key);
+            rows.push(s.lo_key);
+            rows.push(s.hi_key);
+            rows.push(s.poly.center());
+            rows.push(s.poly.scale_factor());
+            let coeffs = s.poly.inner().coeffs();
+            rows.extend_from_slice(coeffs);
+            rows.resize(rows.len() + (coeff_stride - coeffs.len()), 0.0);
+            errors.push(s.error);
+            extrema.push((s.value_max, s.value_min));
+            max_error = max_error.max(s.error);
+            logical_bytes += s.logical_size_bytes();
+        }
+        let (eytz, eytz_rank) = build_eytzinger(&lo_keys);
+        let mut rows_eytz = vec![0.0f64; (h + 1) * row_stride];
+        for (slot, &rank) in eytz_rank.iter().enumerate().skip(1) {
+            let src = rank as usize * row_stride;
+            rows_eytz[slot * row_stride..(slot + 1) * row_stride]
+                .copy_from_slice(&rows[src..src + row_stride]);
+        }
+        CompiledDirectory {
+            lo_keys,
+            eytz,
+            eytz_rank,
+            rows,
+            rows_eytz,
+            row_stride,
+            coeff_stride,
+            kernel: HornerKernel::for_stride(coeff_stride),
+            errors,
+            extrema,
+            max_error,
+            logical_bytes,
+        }
+    }
+
+    /// Number of `lo_keys` ≤ `k` — `lo_keys.partition_point(|&lo| lo <= k)`
+    /// computed branchlessly over the Eytzinger layout. NaN compares false
+    /// against every key and lands on rank 0, exactly like
+    /// `partition_point`.
+    #[inline]
+    fn upper_rank(&self, k: f64) -> usize {
+        // Bound the walk by the indexed array itself (`eytz.len() == h+1`)
+        // so the per-level bounds check is provably redundant and elided.
+        let eytz = self.eytz.as_slice();
+        let h = eytz.len() - 1;
+        let mut i = 1usize;
+        while i <= h {
+            // `<=` as an integer: no data-dependent branch in the walk.
+            i = 2 * i + usize::from(eytz[i] <= k);
+        }
+        // Undo the final descent: strip the trailing 1-bits (right turns)
+        // plus the terminating 0; what remains is the Eytzinger slot of
+        // the first key > `k`, or 0 when every key is ≤ `k`.
+        i >>= i.trailing_ones() + 1;
+        if i == 0 {
+            h
+        } else {
+            self.eytz_rank[i] as usize
+        }
+    }
+
+    /// Index of the segment owning `k` — the last segment whose `lo_key`
+    /// is ≤ `k` — or `None` left of the first segment. Bitwise-equivalent
+    /// to [`SegmentDirectory::locate`].
+    #[inline]
+    pub fn locate(&self, k: f64) -> Option<usize> {
+        self.upper_rank(k).checked_sub(1)
+    }
+
+    /// Run the selected Horner kernel over one arena row.
+    #[inline]
+    fn eval_row(&self, r: &[f64], k: f64) -> f64 {
+        let t = (k.clamp(r[0], r[1]) - r[2]) / r[3];
+        let c = &r[ROW_HEADER..];
+        match self.kernel {
+            HornerKernel::Zero => 0.0,
+            HornerKernel::Constant => c[0],
+            HornerKernel::Affine => c[1] * t + c[0],
+            HornerKernel::Quadratic => (c[2] * t + c[1]) * t + c[0],
+            HornerKernel::Cubic => ((c[3] * t + c[2]) * t + c[1]) * t + c[0],
+            HornerKernel::Generic => {
+                let mut acc = 0.0;
+                for &cj in c.iter().rev() {
+                    acc = acc * t + cj;
+                }
+                acc
+            }
+        }
+    }
+
+    /// Evaluate segment `i`'s polynomial at `k`, clamped into the segment
+    /// interval — bitwise-identical to
+    /// [`Segment::eval_clamped`](crate::segment::Segment::eval_clamped)
+    /// on the segment this row was compiled from, for any non-NaN `k`
+    /// (±∞ clamp into the interval like every other key). NaN keys are a
+    /// caller error: the query paths resolve them to `None` in
+    /// `locate`/cursor before ever evaluating, and the padded kernels do
+    /// not reproduce the trimmed oracle's NaN propagation bit-for-bit.
+    #[inline]
+    pub fn eval(&self, i: usize, k: f64) -> f64 {
+        self.eval_row(&self.rows[i * self.row_stride..(i + 1) * self.row_stride], k)
+    }
+
+    /// Locate-and-evaluate in one fused call — the point-query hot path.
+    ///
+    /// The walk tracks the predecessor slot with a conditional move (the
+    /// last node whose key was ≤ `k` *is* the owning segment), so the
+    /// answer row is read straight from the Eytzinger-ordered arena copy:
+    /// no path recovery, no slot → rank indirection, one dependent cache
+    /// miss after the walk. Bitwise-identical to
+    /// `locate(k).map(|i| eval(i, k))`.
+    #[inline]
+    pub fn locate_eval(&self, k: f64) -> Option<f64> {
+        let eytz = self.eytz.as_slice();
+        let h = eytz.len() - 1;
+        let mut i = 1usize;
+        let mut pred = 0usize;
+        while i <= h {
+            let le = eytz[i] <= k;
+            pred = if le { i } else { pred };
+            i = 2 * i + usize::from(le);
+        }
+        if pred == 0 {
+            return None;
+        }
+        Some(self.eval_row(&self.rows_eytz[pred * self.row_stride..][..self.row_stride], k))
+    }
+
+    /// Number of segments `h`.
+    pub fn len(&self) -> usize {
+        self.lo_keys.len()
+    }
+
+    /// True when the directory holds no segments.
+    pub fn is_empty(&self) -> bool {
+        self.lo_keys.is_empty()
+    }
+
+    /// Sorted `lo_key` directory.
+    pub fn lo_keys(&self) -> &[f64] {
+        &self.lo_keys
+    }
+
+    /// `lo_key` of segment `i`.
+    #[inline]
+    pub fn lo_key(&self, i: usize) -> f64 {
+        self.lo_keys[i]
+    }
+
+    /// `hi_key` of segment `i`.
+    #[inline]
+    pub fn hi_key(&self, i: usize) -> f64 {
+        self.rows[i * self.row_stride + 1]
+    }
+
+    /// Certified error of segment `i`.
+    #[inline]
+    pub fn error(&self, i: usize) -> f64 {
+        self.errors[i]
+    }
+
+    /// Largest certified per-segment error (≤ δ by construction;
+    /// precomputed at construction).
+    pub fn max_certified_error(&self) -> f64 {
+        self.max_error
+    }
+
+    /// Logical serialized size of the segments (precomputed at
+    /// construction; identical to the oracle's accounting).
+    pub fn segments_logical_bytes(&self) -> usize {
+        self.logical_bytes
+    }
+
+    /// The uniform per-row coefficient count (≤ degree + 1).
+    pub fn coeff_stride(&self) -> usize {
+        self.coeff_stride
+    }
+
+    /// Per-segment `(value_max, value_min)` aggregates, in segment order —
+    /// the leaves of the MAX index's extrema tree.
+    pub fn extrema_leaves(&self) -> Vec<(f64, f64)> {
+        self.extrema.clone()
+    }
+
+    /// Reconstruct segment `i`'s polynomial. `Polynomial::new` trims the
+    /// padding zeros back off, so the result equals the original segment's
+    /// polynomial coefficient-for-coefficient.
+    pub fn shifted_poly(&self, i: usize) -> ShiftedPolynomial {
+        let r = &self.rows[i * self.row_stride..(i + 1) * self.row_stride];
+        ShiftedPolynomial::new(Polynomial::new(r[ROW_HEADER..].to_vec()), r[2], r[3])
+    }
+
+    /// Reconstruct segment `i` exactly as it was compiled in.
+    pub fn segment(&self, i: usize) -> Segment {
+        let (value_max, value_min) = self.extrema[i];
+        Segment {
+            lo_key: self.lo_key(i),
+            hi_key: self.hi_key(i),
+            poly: self.shifted_poly(i),
+            error: self.errors[i],
+            value_max,
+            value_min,
+        }
+    }
+
+    /// Materialise every segment, ascending by key (serialization,
+    /// diagnostics, oracle construction — cold paths).
+    pub fn segments(&self) -> Vec<Segment> {
+        (0..self.len()).map(|i| self.segment(i)).collect()
+    }
+
+    /// A monotone lookup cursor for ascending key sweeps, starting before
+    /// the first segment.
+    pub fn cursor(&self) -> CompiledCursor<'_> {
+        CompiledCursor { dir: self, upper: 0 }
+    }
+
+    /// A cursor pre-positioned at `k` by one branchless lookup, so a sweep
+    /// restricted to a sub-range of the key domain (the parallel batch
+    /// path's per-thread chunks) does not gallop from the domain start.
+    pub fn cursor_at(&self, k: f64) -> CompiledCursor<'_> {
+        CompiledCursor { dir: self, upper: if k.is_nan() { 0 } else { self.upper_rank(k) } }
+    }
+}
+
+/// Fill the Eytzinger array (and its slot → sorted-rank map) by an
+/// in-order walk of the implicit complete tree.
+fn build_eytzinger(sorted: &[f64]) -> (Vec<f64>, Vec<u32>) {
+    let h = sorted.len();
+    let mut eytz = vec![f64::NAN; h + 1];
+    let mut rank = vec![0u32; h + 1];
+    fn fill(sorted: &[f64], eytz: &mut [f64], rank: &mut [u32], slot: usize, next: &mut usize) {
+        if slot <= sorted.len() {
+            fill(sorted, eytz, rank, 2 * slot, next);
+            eytz[slot] = sorted[*next];
+            rank[slot] = *next as u32;
+            *next += 1;
+            fill(sorted, eytz, rank, 2 * slot + 1, next);
+        }
+    }
+    let mut next = 0usize;
+    fill(sorted, &mut eytz, &mut rank, 1, &mut next);
+    debug_assert_eq!(next, h);
+    (eytz, rank)
+}
+
+/// See [`CompiledDirectory::cursor`]. Feeding keys out of ascending order
+/// is a logic error (the cursor never rewinds).
+#[derive(Clone, Debug)]
+pub struct CompiledCursor<'a> {
+    dir: &'a CompiledDirectory,
+    /// Number of `lo_keys` known to be ≤ the last key seen.
+    upper: usize,
+}
+
+impl CompiledCursor<'_> {
+    /// Equivalent to [`CompiledDirectory::locate`] provided keys arrive in
+    /// ascending order.
+    #[inline]
+    pub fn locate(&mut self, k: f64) -> Option<usize> {
+        if k.is_nan() {
+            // `partition_point(lo <= NaN)` is 0: mirror `locate` exactly.
+            return None;
+        }
+        let lo_keys = &self.dir.lo_keys;
+        while self.upper < lo_keys.len() && lo_keys[self.upper] <= k {
+            self.upper += 1;
+        }
+        self.upper.checked_sub(1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,12 +577,12 @@ mod tests {
         }
     }
 
+    fn segments() -> Vec<Segment> {
+        vec![segment(0.0, 10.0), segment(10.0, 20.0), segment(20.0, 30.0)]
+    }
+
     fn directory() -> SegmentDirectory {
-        SegmentDirectory::from_segments(vec![
-            segment(0.0, 10.0),
-            segment(10.0, 20.0),
-            segment(20.0, 30.0),
-        ])
+        SegmentDirectory::from_segments(segments())
     }
 
     #[test]
@@ -213,5 +622,124 @@ mod tests {
         // 3 segments × (2 bounds + 1 coefficient) × 8 bytes.
         assert_eq!(d.segments_logical_bytes(), 3 * 24);
         assert_eq!(d.extrema_leaves(), vec![(1.0, 0.0); 3]);
+    }
+
+    #[test]
+    fn compiled_matches_oracle_locate() {
+        let oracle = directory();
+        let compiled = CompiledDirectory::from_segments(segments());
+        let probes = [
+            f64::NEG_INFINITY,
+            -5.0,
+            -0.0,
+            0.0,
+            5.0,
+            9.99,
+            10.0,
+            19.999999,
+            20.0,
+            30.0,
+            1e18,
+            f64::INFINITY,
+            f64::NAN,
+        ];
+        for &k in &probes {
+            assert_eq!(compiled.locate(k), oracle.locate(k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn compiled_eval_matches_segment_eval() {
+        // Degree-3 rows alongside shorter polynomials in one directory:
+        // every kernel arm must absorb the padding bitwise.
+        let mk = |lo: f64, hi: f64, coeffs: Vec<f64>| Segment {
+            lo_key: lo,
+            hi_key: hi,
+            poly: ShiftedPolynomial::new(Polynomial::new(coeffs), 0.5 * (lo + hi), 0.5 * (hi - lo)),
+            error: 0.1,
+            value_max: 9.0,
+            value_min: -9.0,
+        };
+        let segs = vec![
+            mk(0.0, 4.0, vec![1.5, -0.25, 3.0, 0.125]),
+            mk(4.0, 8.0, vec![2.0, 0.5]),
+            mk(8.0, 16.0, vec![]),
+            mk(16.0, 20.0, vec![-7.0]),
+        ];
+        let compiled = CompiledDirectory::from_segments(segs.clone());
+        assert_eq!(compiled.coeff_stride(), 4);
+        for (i, s) in segs.iter().enumerate() {
+            for &k in &[-3.0, 0.0, 1.7, 4.0, 5.2, 9.9, 16.0, 18.5, 25.0] {
+                assert_eq!(
+                    compiled.eval(i, k).to_bits(),
+                    s.eval_clamped(k).to_bits(),
+                    "segment {i} at {k}"
+                );
+            }
+            // Reconstruction round-trips exactly.
+            let back = compiled.segment(i);
+            assert_eq!(back.poly, s.poly, "segment {i}");
+            assert_eq!(back.lo_key, s.lo_key);
+            assert_eq!(back.hi_key, s.hi_key);
+            assert_eq!(back.error, s.error);
+        }
+    }
+
+    #[test]
+    fn compiled_cursor_and_cursor_at() {
+        let compiled = CompiledDirectory::from_segments(segments());
+        let probes = [-5.0, -0.1, 0.0, 0.0, 3.3, 9.99, 10.0, 10.0, 25.0, 1e9];
+        let mut c = compiled.cursor();
+        for &k in &probes {
+            assert_eq!(c.locate(k), compiled.locate(k), "key {k}");
+        }
+        // A pre-positioned cursor continues a sweep mid-domain.
+        let mut c = compiled.cursor_at(10.0);
+        for &k in &[10.0, 12.0, 25.0, 40.0] {
+            assert_eq!(c.locate(k), compiled.locate(k), "key {k}");
+        }
+        assert_eq!(compiled.cursor_at(f64::NAN).locate(0.0), compiled.locate(0.0));
+    }
+
+    #[test]
+    fn compiled_empty_directory() {
+        let compiled = CompiledDirectory::from_segments(Vec::new());
+        assert!(compiled.is_empty());
+        assert_eq!(compiled.len(), 0);
+        assert_eq!(compiled.locate(1.0), None);
+        assert_eq!(compiled.locate(f64::NAN), None);
+        assert_eq!(compiled.cursor().locate(1.0), None);
+        assert_eq!(compiled.max_certified_error(), 0.0);
+        assert_eq!(compiled.segments_logical_bytes(), 0);
+    }
+
+    #[test]
+    fn compiled_aggregates_match_oracle() {
+        let oracle = directory();
+        let compiled = CompiledDirectory::from_segments(segments());
+        assert_eq!(compiled.max_certified_error(), oracle.max_certified_error());
+        assert_eq!(compiled.segments_logical_bytes(), oracle.segments_logical_bytes());
+        assert_eq!(compiled.extrema_leaves(), oracle.extrema_leaves());
+        assert_eq!(compiled.segments().len(), oracle.segments().len());
+    }
+
+    #[test]
+    fn eytzinger_handles_duplicate_lo_keys() {
+        // Duplicate lo_keys: locate must agree with partition_point's
+        // "last segment with lo ≤ k" semantics.
+        let segs = vec![
+            segment(1.0, 1.0),
+            segment(1.0, 1.0),
+            segment(1.0, 2.0),
+            segment(2.0, 3.0),
+            segment(2.0, 5.0),
+        ];
+        let oracle = SegmentDirectory::from_segments(segs.clone());
+        let compiled = CompiledDirectory::from_segments(segs);
+        for &k in &[0.5, 1.0, 1.5, 2.0, 2.5, 10.0] {
+            assert_eq!(compiled.locate(k), oracle.locate(k), "key {k}");
+        }
+        assert_eq!(compiled.locate(1.0), Some(2));
+        assert_eq!(compiled.locate(2.0), Some(4));
     }
 }

@@ -624,7 +624,7 @@ impl DynamicPolyFitSum {
         shift: f64,
         residual: f64,
     ) {
-        let old = &self.base.as_ref().expect("reuse implies a base").segments()[old_idx];
+        let old = self.base.as_ref().expect("reuse implies a base").segment(old_idx);
         p.out_stats.push(SegmentStats {
             point_start: new_start,
             point_end: new_end,
@@ -634,7 +634,7 @@ impl DynamicPolyFitSum {
             cf_before: if new_start == 0 { 0.0 } else { p.cf.values[new_start - 1] },
             cf_end: p.cf.values[new_end],
         });
-        p.out.push(shifted_segment(old, shift, residual));
+        p.out.push(shifted_segment(&old, shift, residual));
         p.reused += 1;
         p.covered_points += new_end - new_start + 1;
     }
@@ -768,14 +768,29 @@ impl DynamicPolyFitSum {
     /// Bitwise identical to per-range [`Self::query`] calls.
     pub fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<f64> {
         match &self.base {
-            Some(b) => b
-                .query_batch(ranges)
-                .into_iter()
-                .zip(ranges)
-                .map(|(v, &(lq, uq))| if lq >= uq { 0.0 } else { v + self.buffered_sum(lq, uq) })
-                .collect(),
+            Some(b) => self.combine_batch(ranges, b.query_batch(ranges)),
             None => ranges.iter().map(|&(lq, uq)| self.query(lq, uq)).collect(),
         }
+    }
+
+    /// Opt-in parallel batched range SUM: the base index sweeps the
+    /// sorted endpoints across `threads` workers
+    /// ([`PolyFitSum::query_batch_par`]); the exact buffer contribution is
+    /// folded in per range afterwards. Bitwise identical to
+    /// [`Self::query_batch`] for any thread count.
+    pub fn query_batch_par(&self, ranges: &[(f64, f64)], threads: usize) -> Vec<f64> {
+        match &self.base {
+            Some(b) => self.combine_batch(ranges, b.query_batch_par(ranges, threads)),
+            None => ranges.iter().map(|&(lq, uq)| self.query(lq, uq)).collect(),
+        }
+    }
+
+    /// Fold the exact buffered contribution into base batch answers.
+    fn combine_batch(&self, ranges: &[(f64, f64)], base: Vec<f64>) -> Vec<f64> {
+        base.into_iter()
+            .zip(ranges)
+            .map(|(v, &(lq, uq))| if lq >= uq { 0.0 } else { v + self.buffered_sum(lq, uq) })
+            .collect()
     }
 
     /// Number of records folded into the static index.

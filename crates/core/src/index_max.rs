@@ -18,7 +18,7 @@ use polyfit_poly::extrema::{max_on_interval_shifted, min_on_interval_shifted};
 
 use crate::build::{segment_function, BuildOptions};
 use crate::config::PolyFitConfig;
-use crate::directory::SegmentDirectory;
+use crate::directory::CompiledDirectory;
 use crate::error::PolyFitError;
 use crate::function::{step_function, step_function_min, TargetFunction};
 use crate::segment::Segment;
@@ -86,7 +86,7 @@ pub enum Extremum {
 /// A PolyFit index over the key–measure staircase.
 #[derive(Clone, Debug)]
 pub struct PolyFitMax {
-    dir: SegmentDirectory,
+    dir: CompiledDirectory,
     tree: ExtremaTree,
     delta: f64,
     domain: (f64, f64),
@@ -165,7 +165,7 @@ impl PolyFitMax {
     ) -> Self {
         let t0 = std::time::Instant::now();
         let specs = segment_function(f, &config, delta, ErrorMetric::Continuous, opts);
-        let dir = SegmentDirectory::from_specs(f, specs);
+        let dir = CompiledDirectory::from_specs(f, specs);
         Self::assemble(dir, delta, f.domain(), t0.elapsed())
     }
 
@@ -177,14 +177,14 @@ impl PolyFitMax {
         domain: (f64, f64),
         orientation: Extremum,
     ) -> Self {
-        let dir = SegmentDirectory::from_segments(segments);
+        let dir = CompiledDirectory::from_segments(segments);
         let mut idx = Self::assemble(dir, delta, domain, std::time::Duration::ZERO);
         idx.orientation = orientation;
         idx
     }
 
     fn assemble(
-        dir: SegmentDirectory,
+        dir: CompiledDirectory,
         delta: f64,
         domain: (f64, f64),
         build_time: std::time::Duration,
@@ -235,13 +235,16 @@ impl PolyFitMax {
     fn answer_located(&self, lq: f64, uq: f64, il: usize, iu: usize, want_max: bool) -> f64 {
         let combine = |a: f64, b: f64| if want_max { a.max(b) } else { a.min(b) };
         let boundary = |i: usize, from: f64, to: f64| -> f64 {
-            let seg = self.dir.get(i);
-            let a = from.clamp(seg.lo_key, seg.hi_key);
-            let b = to.clamp(seg.lo_key, seg.hi_key);
+            // Boundary extrema run closed-form root isolation, which
+            // dwarfs the one-off polynomial reconstruction from the
+            // compiled row (coefficient-identical to the built segment).
+            let poly = self.dir.shifted_poly(i);
+            let a = from.clamp(self.dir.lo_key(i), self.dir.hi_key(i));
+            let b = to.clamp(self.dir.lo_key(i), self.dir.hi_key(i));
             if want_max {
-                max_on_interval_shifted(&seg.poly, a, b).value
+                max_on_interval_shifted(&poly, a, b).value
             } else {
-                min_on_interval_shifted(&seg.poly, a, b).value
+                min_on_interval_shifted(&poly, a, b).value
             }
         };
         if il == iu {
@@ -339,8 +342,9 @@ impl PolyFitMax {
         self.domain
     }
 
-    /// Segment access for diagnostics.
-    pub fn segments(&self) -> &[Segment] {
+    /// Materialise the segments for diagnostics and serialization (cold
+    /// paths; the hot path reads the compiled arena directly).
+    pub fn segments(&self) -> Vec<Segment> {
         self.dir.segments()
     }
 }

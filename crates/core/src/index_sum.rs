@@ -2,14 +2,16 @@
 //!
 //! Segments approximate the cumulative function `CF(k)`; a range aggregate
 //! over `(lq, uq]` is `P_Iu(uq) − P_Il(lq)`. Each endpoint evaluation is an
-//! `O(log h)` binary search over the segment directory plus an `O(deg)`
-//! Horner evaluation — independent of `n`.
+//! `O(log h)` branchless Eytzinger lookup over the compiled segment
+//! directory plus an `O(deg)` monomorphized Horner evaluation over one
+//! contiguous arena row — independent of `n` and touching one cache line
+//! per segment visit (see [`crate::directory::CompiledDirectory`]).
 
 use polyfit_exact::dataset::Record;
 
 use crate::build::{segment_function, BuildOptions};
 use crate::config::PolyFitConfig;
-use crate::directory::SegmentDirectory;
+use crate::directory::CompiledDirectory;
 use crate::error::PolyFitError;
 use crate::function::{cumulative_function, TargetFunction};
 use crate::segment::Segment;
@@ -19,7 +21,7 @@ use crate::stats::{IndexStats, SegmentStats, SegmentStatsSummary};
 /// A PolyFit index over the cumulative function.
 #[derive(Clone, Debug)]
 pub struct PolyFitSum {
-    dir: SegmentDirectory,
+    dir: CompiledDirectory,
     /// The δ each segment is certified against.
     delta: f64,
     /// Exact total of all measures (pinning the right domain edge exactly
@@ -99,7 +101,7 @@ impl PolyFitSum {
                 cf_end: f.values[s.end],
             })
             .collect();
-        let dir = SegmentDirectory::from_specs(f, specs);
+        let dir = CompiledDirectory::from_specs(f, specs);
         let total = *f.values.last().expect("non-empty function");
         let domain = f.domain();
         Self::assemble(dir, delta, total, domain, Some(seg_stats), t0.elapsed())
@@ -116,12 +118,12 @@ impl PolyFitSum {
         seg_stats: Option<Vec<SegmentStats>>,
         build_time: std::time::Duration,
     ) -> Self {
-        let dir = SegmentDirectory::from_segments(segments);
+        let dir = CompiledDirectory::from_segments(segments);
         Self::assemble(dir, delta, total, domain, seg_stats, build_time)
     }
 
     fn assemble(
-        dir: SegmentDirectory,
+        dir: CompiledDirectory,
         delta: f64,
         total: f64,
         domain: (f64, f64),
@@ -137,7 +139,7 @@ impl PolyFitSum {
         PolyFitSum { dir, delta, total, domain, build_stats, seg_stats }
     }
 
-    fn logical_bytes(dir: &SegmentDirectory) -> usize {
+    fn logical_bytes(dir: &CompiledDirectory) -> usize {
         dir.segments_logical_bytes() + 3 * std::mem::size_of::<f64>() // delta, total, domain edge
     }
 
@@ -151,7 +153,7 @@ impl PolyFitSum {
         if k >= self.domain.1 {
             return self.total;
         }
-        self.dir.segment_for(k).expect("k is inside the key domain").eval_clamped(k)
+        self.dir.locate_eval(k).expect("k is inside the key domain")
     }
 
     /// Approximate range SUM over `(lq, uq]`: `|answer − exact| ≤ 2δ` at
@@ -173,34 +175,81 @@ impl PolyFitSum {
     /// `O(log h + deg)` probes), and duplicate endpoints hit the same
     /// already-located segment.
     pub fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<f64> {
-        let endpoint = |e: usize| {
-            let (lq, uq) = ranges[e / 2];
-            if e.is_multiple_of(2) {
-                lq
-            } else {
-                uq
-            }
-        };
-        let mut order: Vec<usize> = (0..2 * ranges.len()).collect();
-        order.sort_unstable_by(|&a, &b| endpoint(a).total_cmp(&endpoint(b)));
+        let order = sorted_endpoint_order(ranges);
         let mut cf = vec![0.0f64; 2 * ranges.len()];
         let mut cursor = self.dir.cursor();
         for &e in &order {
-            let k = endpoint(e);
+            let k = endpoint_of(ranges, e);
             cf[e] = if k < self.domain.0 {
                 0.0
             } else if k >= self.domain.1 {
                 self.total
             } else {
                 let i = cursor.locate(k).expect("k is inside the key domain");
-                self.dir.get(i).eval_clamped(k)
+                self.dir.eval(i, k)
             };
         }
-        ranges
-            .iter()
-            .enumerate()
-            .map(|(q, &(lq, uq))| if lq >= uq { 0.0 } else { cf[2 * q + 1] - cf[2 * q] })
-            .collect()
+        combine_endpoint_cf(ranges, &cf)
+    }
+
+    /// Opt-in parallel batched range SUM: the sorted endpoint sweep of
+    /// [`Self::query_batch`] is split into contiguous chunks at segment
+    /// boundaries and each chunk is swept by its own worker (with its own
+    /// monotone cursor, pre-positioned by one branchless lookup) under
+    /// `std::thread::scope`. Every endpoint's CF evaluation is identical
+    /// to the serial sweep's, so the answers are **bitwise-equal** to
+    /// [`Self::query_batch`] for any thread count.
+    ///
+    /// `threads == 0` resolves to the machine's available parallelism;
+    /// `threads <= 1` (or a batch too small to split) runs the serial
+    /// sweep. Note the speedup is hardware-gated: on a box with a single
+    /// CPU of FP throughput this degrades gracefully to ~1.0× (same
+    /// measurement note as the parallel build pipeline in ROADMAP.md).
+    pub fn query_batch_par(&self, ranges: &[(f64, f64)], threads: usize) -> Vec<f64> {
+        let threads = polyfit_exact::resolve_threads(threads);
+        // Floor: below a few hundred ranges (or a couple per worker),
+        // thread spawn costs more than the sweep itself.
+        if threads <= 1 || ranges.len() < (2 * threads).max(512) {
+            return self.query_batch(ranges);
+        }
+        let order = sorted_endpoint_order(ranges);
+        let mut cf = vec![0.0f64; 2 * ranges.len()];
+        let chunk_len = order.len().div_ceil(threads);
+        // Each worker sweeps one contiguous slice of the sorted endpoint
+        // order and writes values for its own endpoints; the scattered
+        // write-back happens after the join (cf indices interleave across
+        // chunks, so workers return (endpoint, value) pairs).
+        let parts: Vec<Vec<(usize, f64)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = order
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    s.spawn(move || {
+                        let mut out = Vec::with_capacity(chunk.len());
+                        let mut cursor = self.dir.cursor_at(endpoint_of(ranges, chunk[0]));
+                        for &e in chunk {
+                            let k = endpoint_of(ranges, e);
+                            let v = if k < self.domain.0 {
+                                0.0
+                            } else if k >= self.domain.1 {
+                                self.total
+                            } else {
+                                let i = cursor.locate(k).expect("k is inside the key domain");
+                                self.dir.eval(i, k)
+                            };
+                            out.push((e, v));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("query worker panicked")).collect()
+        });
+        for part in parts {
+            for (e, v) in part {
+                cf[e] = v;
+            }
+        }
+        combine_endpoint_cf(ranges, &cf)
     }
 
     /// The δ this index certifies per endpoint.
@@ -238,9 +287,21 @@ impl PolyFitSum {
         self.total
     }
 
-    /// Iterate over segments (diagnostics, plots, serialization).
-    pub fn segments(&self) -> &[Segment] {
+    /// Materialise the segments (diagnostics, plots, serialization —
+    /// cold paths; the hot path reads the compiled arena directly).
+    pub fn segments(&self) -> Vec<Segment> {
         self.dir.segments()
+    }
+
+    /// Materialise segment `i` (the dynamic index's compaction reads
+    /// individual reusable segments through this).
+    pub fn segment(&self, i: usize) -> Segment {
+        self.dir.segment(i)
+    }
+
+    /// The compiled read-path directory backing this index.
+    pub fn directory(&self) -> &CompiledDirectory {
+        &self.dir
     }
 
     /// Per-segment fit summaries, when available (always for built
@@ -291,6 +352,35 @@ impl PolyFitSum {
             })
             .collect()
     }
+}
+
+/// Endpoint `e` of the flattened `2m` endpoint list: even indices are the
+/// lower bound of range `e / 2`, odd indices the upper bound.
+#[inline]
+fn endpoint_of(ranges: &[(f64, f64)], e: usize) -> f64 {
+    let (lq, uq) = ranges[e / 2];
+    if e.is_multiple_of(2) {
+        lq
+    } else {
+        uq
+    }
+}
+
+/// Endpoint indices sorted ascending by key (the sort-and-share order).
+fn sorted_endpoint_order(ranges: &[(f64, f64)]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..2 * ranges.len()).collect();
+    order.sort_unstable_by(|&a, &b| endpoint_of(ranges, a).total_cmp(&endpoint_of(ranges, b)));
+    order
+}
+
+/// Fold per-endpoint CF values back into per-range answers, preserving
+/// the inverted-range convention of the single-query path.
+fn combine_endpoint_cf(ranges: &[(f64, f64)], cf: &[f64]) -> Vec<f64> {
+    ranges
+        .iter()
+        .enumerate()
+        .map(|(q, &(lq, uq))| if lq >= uq { 0.0 } else { cf[2 * q + 1] - cf[2 * q] })
+        .collect()
 }
 
 #[cfg(test)]
@@ -399,6 +489,35 @@ mod tests {
             idx.size_bytes(),
             raw_bytes
         );
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial_bitwise() {
+        let idx = PolyFitSum::build(records(6000), 30.0, PolyFitConfig::default()).unwrap();
+        let (d0, d1) = idx.domain();
+        let span = d1 - d0;
+        // Enough ranges to clear the parallelisation floor, endpoints in
+        // and out of the domain, plus inverted and degenerate ranges.
+        let ranges: Vec<(f64, f64)> = (0..3000)
+            .map(|i| {
+                let l = d0 - 10.0 + span * ((i * 37) % 101) as f64 / 99.0;
+                let u = l + span * ((i * 13) % 29) as f64 / 28.0 - 5.0;
+                (l, u)
+            })
+            .collect();
+        let serial = idx.query_batch(&ranges);
+        for threads in [1usize, 2, 4, 7] {
+            let par = idx.query_batch_par(&ranges, threads);
+            assert_eq!(par.len(), serial.len());
+            for (q, (a, b)) in par.iter().zip(&serial).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads {threads}, range {q}");
+            }
+        }
+        // Small batches fall back to the serial sweep.
+        let small = &ranges[..8];
+        let a = idx.query_batch_par(small, 4);
+        let b = idx.query_batch(small);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod twod;
 
 pub use build::{segment_function, BuildOptions, SegmentationMethod};
 pub use config::PolyFitConfig;
-pub use directory::SegmentDirectory;
+pub use directory::{CompiledCursor, CompiledDirectory, DirectoryCursor, SegmentDirectory};
 pub use drivers::{
     AvgAnswer, GuaranteedAvg, GuaranteedMax, GuaranteedMin, GuaranteedSum, RelAnswer,
 };

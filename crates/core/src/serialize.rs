@@ -165,7 +165,7 @@ impl PolyFitSum {
         let (d0, d1) = self.domain();
         w.f64(d0);
         w.f64(d1);
-        write_segments(&mut w, self.segments());
+        write_segments(&mut w, &self.segments());
         if let Some(stats) = stats {
             for s in stats {
                 w.u32(s.point_start as u32);
@@ -241,7 +241,7 @@ impl PolyFitMax {
         let (d0, d1) = self.domain();
         w.f64(d0);
         w.f64(d1);
-        write_segments(&mut w, self.segments());
+        write_segments(&mut w, &self.segments());
         w.0
     }
 

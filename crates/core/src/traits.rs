@@ -115,6 +115,22 @@ pub trait AggregateIndex {
         ranges.iter().map(|&(lq, uq)| self.query(lq, uq)).collect()
     }
 
+    /// Opt-in parallel batch execution: answers equal [`Self::query_batch`]
+    /// bit-for-bit, with the sorted endpoint sweep split across up to
+    /// `threads` workers (`0` = available parallelism) where the structure
+    /// supports it. The default ignores `threads` and runs the serial
+    /// batch, so every implementation is automatically correct; PolyFit
+    /// SUM indexes override it with a scoped-thread sweep. The speedup is
+    /// hardware-gated — a box with one CPU of FP throughput sees ~1.0×.
+    fn query_batch_par(
+        &self,
+        ranges: &[(f64, f64)],
+        threads: usize,
+    ) -> Vec<Option<RangeAggregate>> {
+        let _ = threads;
+        self.query_batch(ranges)
+    }
+
     /// Logical serialized size in bytes (the paper's Fig. 19 metric).
     fn size_bytes(&self) -> usize;
 
@@ -173,6 +189,18 @@ impl AggregateIndex for PolyFitSum {
     fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<RangeAggregate>> {
         let bound = 2.0 * self.delta();
         PolyFitSum::query_batch(self, ranges)
+            .into_iter()
+            .map(|v| Some(RangeAggregate::absolute(v, bound)))
+            .collect()
+    }
+
+    fn query_batch_par(
+        &self,
+        ranges: &[(f64, f64)],
+        threads: usize,
+    ) -> Vec<Option<RangeAggregate>> {
+        let bound = 2.0 * self.delta();
+        PolyFitSum::query_batch_par(self, ranges, threads)
             .into_iter()
             .map(|v| Some(RangeAggregate::absolute(v, bound)))
             .collect()
@@ -251,6 +279,18 @@ impl AggregateIndex for DynamicPolyFitSum {
             .collect()
     }
 
+    fn query_batch_par(
+        &self,
+        ranges: &[(f64, f64)],
+        threads: usize,
+    ) -> Vec<Option<RangeAggregate>> {
+        let bound = 2.0 * self.delta();
+        DynamicPolyFitSum::query_batch_par(self, ranges, threads)
+            .into_iter()
+            .map(|v| Some(RangeAggregate::absolute(v, bound)))
+            .collect()
+    }
+
     fn size_bytes(&self) -> usize {
         // Base segments plus the buffered (key, Δmeasure) pairs.
         self.base().map_or(0, |b| b.size_bytes()) + self.buffered() * 2 * std::mem::size_of::<f64>()
@@ -278,6 +318,19 @@ impl AggregateIndex for GuaranteedSum {
         let bound = 2.0 * self.index().delta();
         self.index()
             .query_batch(ranges)
+            .into_iter()
+            .map(|v| Some(RangeAggregate::absolute(v, bound)))
+            .collect()
+    }
+
+    fn query_batch_par(
+        &self,
+        ranges: &[(f64, f64)],
+        threads: usize,
+    ) -> Vec<Option<RangeAggregate>> {
+        let bound = 2.0 * self.index().delta();
+        self.index()
+            .query_batch_par(ranges, threads)
             .into_iter()
             .map(|v| Some(RangeAggregate::absolute(v, bound)))
             .collect()
@@ -500,6 +553,14 @@ macro_rules! delegate_aggregate_index {
                 // Forwarded explicitly so pointer wrappers keep the
                 // pointee's sort-and-share override.
                 (**self).query_batch(ranges)
+            }
+
+            fn query_batch_par(
+                &self,
+                ranges: &[(f64, f64)],
+                threads: usize,
+            ) -> Vec<Option<RangeAggregate>> {
+                (**self).query_batch_par(ranges, threads)
             }
 
             fn size_bytes(&self) -> usize {
