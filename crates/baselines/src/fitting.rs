@@ -148,7 +148,16 @@ impl polyfit::AggregateIndex for FitingTree {
 
     fn query(&self, lq: f64, uq: f64) -> Option<polyfit::RangeAggregate> {
         // Same Lemma 2 machinery as PolyFit: two δ-bounded endpoints.
-        Some(polyfit::RangeAggregate::absolute(FitingTree::query(self, lq, uq), 2.0 * self.delta))
+        match polyfit::classify_bounds(lq, uq) {
+            polyfit::QueryBounds::NonFinite => None,
+            polyfit::QueryBounds::Reversed => {
+                Some(polyfit::RangeAggregate::absolute(0.0, 2.0 * self.delta))
+            }
+            polyfit::QueryBounds::Proper => Some(polyfit::RangeAggregate::absolute(
+                FitingTree::query(self, lq, uq),
+                2.0 * self.delta,
+            )),
+        }
     }
 
     fn size_bytes(&self) -> usize {

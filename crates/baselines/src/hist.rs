@@ -106,7 +106,13 @@ impl polyfit::AggregateIndex for EquiDepthHistogram {
 
     fn query(&self, lq: f64, uq: f64) -> Option<polyfit::RangeAggregate> {
         // Intra-bucket interpolation carries no deterministic bound.
-        Some(polyfit::RangeAggregate::heuristic(EquiDepthHistogram::query(self, lq, uq)))
+        match polyfit::classify_bounds(lq, uq) {
+            polyfit::QueryBounds::NonFinite => None,
+            polyfit::QueryBounds::Reversed => Some(polyfit::RangeAggregate::heuristic(0.0)),
+            polyfit::QueryBounds::Proper => {
+                Some(polyfit::RangeAggregate::heuristic(EquiDepthHistogram::query(self, lq, uq)))
+            }
+        }
     }
 
     fn size_bytes(&self) -> usize {

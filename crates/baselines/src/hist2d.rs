@@ -117,9 +117,13 @@ impl polyfit::AggregateIndex2d for GridHistogram2d {
         v_hi: f64,
     ) -> Option<polyfit::RangeAggregate> {
         // Per-cell uniformity assumption carries no deterministic bound.
-        Some(polyfit::RangeAggregate::heuristic(GridHistogram2d::query(
-            self, u_lo, u_hi, v_lo, v_hi,
-        )))
+        match polyfit::classify_rect_bounds(u_lo, u_hi, v_lo, v_hi) {
+            polyfit::QueryBounds::NonFinite => None,
+            polyfit::QueryBounds::Reversed => Some(polyfit::RangeAggregate::heuristic(0.0)),
+            polyfit::QueryBounds::Proper => Some(polyfit::RangeAggregate::heuristic(
+                GridHistogram2d::query(self, u_lo, u_hi, v_lo, v_hi),
+            )),
+        }
     }
 
     fn size_bytes(&self) -> usize {

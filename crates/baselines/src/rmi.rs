@@ -262,7 +262,15 @@ impl polyfit::AggregateIndex for Rmi {
     fn query(&self, lq: f64, uq: f64) -> Option<polyfit::RangeAggregate> {
         // Certified leaves answer by model, the rest by exact last-mile
         // search — either way each endpoint is within δ (Appendix A).
-        Some(polyfit::RangeAggregate::absolute(Rmi::query(self, lq, uq), 2.0 * self.delta))
+        match polyfit::classify_bounds(lq, uq) {
+            polyfit::QueryBounds::NonFinite => None,
+            polyfit::QueryBounds::Reversed => {
+                Some(polyfit::RangeAggregate::absolute(0.0, 2.0 * self.delta))
+            }
+            polyfit::QueryBounds::Proper => {
+                Some(polyfit::RangeAggregate::absolute(Rmi::query(self, lq, uq), 2.0 * self.delta))
+            }
+        }
     }
 
     fn size_bytes(&self) -> usize {

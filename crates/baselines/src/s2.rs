@@ -196,6 +196,11 @@ impl polyfit::AggregateIndex for S2Dispatch {
     }
 
     fn query(&self, lq: f64, uq: f64) -> Option<polyfit::RangeAggregate> {
+        match polyfit::classify_bounds(lq, uq) {
+            polyfit::QueryBounds::NonFinite => return None,
+            polyfit::QueryBounds::Reversed => return Some(polyfit::RangeAggregate::heuristic(0.0)),
+            polyfit::QueryBounds::Proper => {}
+        }
         let est = match self.mode {
             S2Mode::Abs(eps) => self.sampler.query_abs(lq, uq, eps, self.seed),
             S2Mode::Rel(eps) => self.sampler.query_rel(lq, uq, eps, self.seed),
@@ -241,6 +246,11 @@ impl polyfit::AggregateIndex2d for S2Dispatch2d {
         v_lo: f64,
         v_hi: f64,
     ) -> Option<polyfit::RangeAggregate> {
+        match polyfit::classify_rect_bounds(u_lo, u_hi, v_lo, v_hi) {
+            polyfit::QueryBounds::NonFinite => return None,
+            polyfit::QueryBounds::Reversed => return Some(polyfit::RangeAggregate::heuristic(0.0)),
+            polyfit::QueryBounds::Proper => {}
+        }
         let rect = (u_lo, u_hi, v_lo, v_hi);
         let est = match self.mode {
             S2Mode::Abs(eps) => self.sampler.query_abs(rect, eps, self.seed),

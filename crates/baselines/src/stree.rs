@@ -72,7 +72,13 @@ impl polyfit::AggregateIndex for STree {
 
     fn query(&self, lq: f64, uq: f64) -> Option<polyfit::RangeAggregate> {
         // Sampling scale-up carries no deterministic bound.
-        Some(polyfit::RangeAggregate::heuristic(STree::query(self, lq, uq)))
+        match polyfit::classify_bounds(lq, uq) {
+            polyfit::QueryBounds::NonFinite => None,
+            polyfit::QueryBounds::Reversed => Some(polyfit::RangeAggregate::heuristic(0.0)),
+            polyfit::QueryBounds::Proper => {
+                Some(polyfit::RangeAggregate::heuristic(STree::query(self, lq, uq)))
+            }
+        }
     }
 
     fn size_bytes(&self) -> usize {

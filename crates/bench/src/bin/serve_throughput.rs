@@ -1,0 +1,339 @@
+//! Serving-layer benchmark: deadline-batched concurrent query execution
+//! versus a no-batching control, plus the dynamic write path with
+//! compaction stepping in the loop's idle gaps.
+//!
+//! Phase 1 (static): clients pipeline requests into a single-worker
+//! [`Server`] at batch caps {1, 64, 512}; the bench records req/s and
+//! p50/p99 client-observed latency per cap next to a direct
+//! per-`query` control loop. Answers of every configuration are
+//! asserted **bitwise-identical** to the control before any number is
+//! written.
+//!
+//! Phase 2 (dynamic): a [`DynamicServer`] absorbs an interleaved
+//! insert/query stream with a small buffer limit and step budget, so
+//! shadow rebuilds stage, step across many idle gaps, and swap — all
+//! while queries keep flowing. Every served answer is verified against
+//! the provenance replay oracle (stage log + stepped==blocking
+//! determinism), proving in-flight compaction never changed a result.
+//!
+//! Emits `results/BENCH_serve.json`. Single-worker numbers on a 1-CPU
+//! box are hardware-gated (same measurement note as the build pipeline
+//! and `query_batch_par`, see ROADMAP.md): batching still wins by
+//! amortizing per-request overhead into one sort-and-share sweep, but
+//! multi-worker scaling needs a multicore machine.
+//!
+//! Usage: `cargo run --release -p polyfit-bench --bin serve_throughput
+//!         [--records 200000] [--requests 8192] [--clients 4]
+//!         [--window-us 200] [--updates 2048]`
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use polyfit::prelude::*;
+use polyfit::{DynamicServeConfig, PolyFitSum, ServeConfig, Served, Ticket};
+use polyfit_bench::{arg_usize, results_dir, to_records};
+use polyfit_data::{generate_tweet, query_intervals_from_keys};
+
+struct WindowResult {
+    max_batch: usize,
+    reqs_per_s: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    batches: u64,
+    mean_batch: f64,
+    bitwise_equal: bool,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Drive one server configuration with pipelined clients; returns
+/// throughput/latency plus whether every answer matched the control.
+fn run_window(
+    index: &SharedIndex,
+    ranges: &[(f64, f64)],
+    control: &[Option<f64>],
+    clients: usize,
+    window_us: u64,
+    max_batch: usize,
+) -> WindowResult {
+    let server = polyfit::Server::start(
+        Arc::clone(index),
+        ServeConfig {
+            workers: 1, // single-thread worker: hardware-gated on this box
+            deadline: Duration::from_micros(window_us),
+            max_batch,
+        },
+    );
+    let t0 = Instant::now();
+    let per_client: Vec<(Vec<u64>, bool)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let handle = server.handle();
+                s.spawn(move || {
+                    let mine: Vec<usize> = (c..ranges.len()).step_by(clients).collect();
+                    let mut lat = Vec::with_capacity(mine.len());
+                    let mut equal = true;
+                    // Pipeline in chunks: submit a burst of tickets, then
+                    // drain — open-loop traffic that lets the deadline
+                    // window coalesce real batches.
+                    for chunk in mine.chunks(256) {
+                        let submitted: Vec<(usize, Instant, Ticket)> = chunk
+                            .iter()
+                            .map(|&i| {
+                                let (lo, hi) = ranges[i];
+                                (i, Instant::now(), handle.submit(lo, hi))
+                            })
+                            .collect();
+                        for (i, t, ticket) in submitted {
+                            let served = ticket.wait();
+                            lat.push(t.elapsed().as_nanos() as u64);
+                            equal &= served.answer.map(|a| a.value.to_bits())
+                                == control[i].map(f64::to_bits);
+                        }
+                    }
+                    (lat, equal)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client panicked")).collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let stats = server.shutdown();
+    let mut latencies: Vec<u64> = per_client.iter().flat_map(|(l, _)| l.iter().copied()).collect();
+    latencies.sort_unstable();
+    WindowResult {
+        max_batch,
+        reqs_per_s: ranges.len() as f64 / wall,
+        p50_ns: percentile(&latencies, 0.50),
+        p99_ns: percentile(&latencies, 0.99),
+        batches: stats.batches,
+        mean_batch: stats.requests as f64 / stats.batches.max(1) as f64,
+        bitwise_equal: per_client.iter().all(|&(_, eq)| eq),
+    }
+}
+
+fn main() {
+    let n = arg_usize("records", 200_000);
+    let n_requests = arg_usize("requests", 8_192);
+    let clients = arg_usize("clients", 4).max(1);
+    let window_us = arg_usize("window-us", 200) as u64;
+    let n_updates = arg_usize("updates", 2_048);
+
+    // Synthetic TWEET-shaped keys; the usual sort/dedup preparation.
+    let mut records = to_records(&generate_tweet(n, 0x5E47));
+    polyfit_exact::dataset::sort_records(&mut records);
+    let records = polyfit_exact::dataset::dedup_sum(records);
+    let keys: Vec<f64> = records.iter().map(|r| r.key).collect();
+    let config = PolyFitConfig {
+        max_segment_len: Some((records.len() / 64).max(128)),
+        ..PolyFitConfig::default()
+    };
+    let delta = 50.0;
+
+    // Request stream: realistic ranges plus the degenerate shapes a
+    // serving layer must absorb (reversed / NaN / ±inf / out-of-domain).
+    let qs = query_intervals_from_keys(&keys, n_requests, 99);
+    let mut ranges: Vec<(f64, f64)> = qs.iter().map(|q| (q.lo, q.hi)).collect();
+    for i in 0..ranges.len() / 64 {
+        let j = i * 64;
+        ranges[j] = match i % 4 {
+            0 => (ranges[j].1, ranges[j].0), // reversed
+            1 => (f64::NAN, ranges[j].1),
+            2 => (ranges[j].0, f64::INFINITY),
+            _ => (keys[keys.len() - 1] + 10.0, keys[keys.len() - 1] + 20.0),
+        };
+    }
+
+    println!(
+        "serve throughput: {} records, {} requests, {clients} clients, window {window_us} µs",
+        records.len(),
+        ranges.len()
+    );
+
+    let index: SharedIndex =
+        Arc::new(PolyFitSum::build(records.clone(), delta, config).expect("build"));
+
+    // No-batching control: direct trait queries, one at a time.
+    let t0 = Instant::now();
+    let control: Vec<Option<f64>> =
+        ranges.iter().map(|&(lo, hi)| index.query(lo, hi).map(|a| a.value)).collect();
+    let control_wall = t0.elapsed().as_secs_f64();
+    let control_ns = control_wall * 1e9 / ranges.len() as f64;
+    println!(
+        "  control (direct query): {control_ns:.0} ns/query, {:.0} req/s",
+        ranges.len() as f64 / control_wall
+    );
+
+    let windows: Vec<WindowResult> = [1usize, 64, 512]
+        .iter()
+        .map(|&cap| {
+            let w = run_window(&index, &ranges, &control, clients, window_us, cap);
+            println!(
+                "  cap {:>3}: {:>9.0} req/s   p50 {:>7} ns   p99 {:>8} ns   \
+                 {} batches (mean {:.1})   bitwise {}",
+                w.max_batch,
+                w.reqs_per_s,
+                w.p50_ns,
+                w.p99_ns,
+                w.batches,
+                w.mean_batch,
+                w.bitwise_equal
+            );
+            w
+        })
+        .collect();
+
+    // ---- Phase 2: dynamic serving with idle-gap compaction ----------------
+    let limit = (n_updates / 8).max(32);
+    let dyn_index = DynamicPolyFitSum::new(records.clone(), delta, config, limit).expect("build");
+    let server = polyfit::DynamicServer::start(
+        dyn_index,
+        DynamicServeConfig {
+            deadline: Duration::from_micros(window_us),
+            max_batch: 64,
+            // Small budget: rebuilds must spread across many idle gaps,
+            // and a request arriving mid-step waits at most one small
+            // bounded fit, never a full rebuild.
+            compaction_budget: (records.len() / 512).max(128),
+        },
+    );
+    let handle = server.handle();
+    let (k_lo, k_hi) = (keys[0], keys[keys.len() - 1]);
+    let top = k_hi - 0.02 * (k_hi - k_lo);
+    let mut updates: Vec<Update> = Vec::with_capacity(n_updates);
+    let mut observed: Vec<(f64, f64, Served)> = Vec::new();
+    let mut q_lat: Vec<u64> = Vec::new();
+    for i in 0..n_updates {
+        let k = top + (k_hi - top) * ((i * 7919) % 9973) as f64 / 9973.0;
+        let u = Update::Insert { key: k, measure: 1.0 + (i % 3) as f64 };
+        handle.update(u).expect("finite update");
+        updates.push(u);
+        if i % 8 == 0 {
+            let (lo, hi) = ranges[i % ranges.len()];
+            let t = Instant::now();
+            let served = handle.query_served(lo, hi);
+            q_lat.push(t.elapsed().as_nanos() as u64);
+            observed.push((lo, hi, served));
+        }
+    }
+    let stage_log = server.stage_log();
+    // Final counters come from shutdown itself, so they include the
+    // updates and compaction steps drained after the last query.
+    let (final_index, stats) = server.shutdown();
+    q_lat.sort_unstable();
+
+    // Replay oracle, advanced incrementally (queries were observed in
+    // submission order, and stages/swaps strictly alternate): stage at
+    // each logged point, swap when a served answer's `rebuilds` says the
+    // loop had — stepped == blocking makes every state exact, and a
+    // staged-but-unswapped rebuild is bitwise-transparent.
+    let mut oracle = DynamicPolyFitSum::new(records.clone(), delta, config, limit).expect("build");
+    oracle.set_step_budget(0);
+    let (mut applied, mut si, mut swapped) = (0usize, 0usize, 0u64);
+    let mut dynamic_equal = true;
+    for &(lo, hi, served) in &observed {
+        while applied < served.updates_applied as usize {
+            match updates[applied] {
+                Update::Insert { key, measure } => oracle.insert(key, measure),
+                Update::Delete { key, measure } => oracle.delete(key, measure),
+            }
+            applied += 1;
+            while si < stage_log.len() && stage_log[si] <= applied as u64 {
+                if oracle.is_compacting() {
+                    // The loop must have swapped the previous rebuild
+                    // before staging this one (at most one is pending).
+                    oracle.compact_now();
+                    swapped += 1;
+                }
+                assert!(oracle.begin_compaction(), "logged stage {si} must have work");
+                si += 1;
+            }
+        }
+        while swapped < served.rebuilds {
+            assert!(oracle.is_compacting(), "a reported swap must have a staged rebuild");
+            oracle.compact_now();
+            swapped += 1;
+        }
+        let expect = AggregateIndex::query(&oracle, lo, hi);
+        dynamic_equal &=
+            served.answer.map(|a| a.value.to_bits()) == expect.map(|a| a.value.to_bits());
+    }
+    println!(
+        "  dynamic: {} updates, {} queries   rebuilds {} ({} staged)   steps {}   \
+         p99 query {} ns   bitwise {}",
+        stats.updates,
+        observed.len(),
+        final_index.rebuilds(),
+        stage_log.len(),
+        stats.compaction_steps,
+        percentile(&q_lat, 0.99),
+        dynamic_equal
+    );
+
+    let bitwise_equal = windows.iter().all(|w| w.bitwise_equal) && dynamic_equal;
+
+    // Acceptance gates run before any JSON is written.
+    assert!(bitwise_equal, "served answers diverged from the direct-query control");
+    assert!(
+        final_index.rebuilds() >= 1,
+        "the dynamic workload must complete at least one compaction while serving"
+    );
+    assert!(
+        stats.compaction_steps > final_index.rebuilds() as u64,
+        "rebuilds must step across multiple idle gaps (steps {}, rebuilds {})",
+        stats.compaction_steps,
+        final_index.rebuilds()
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"records\": {},", records.len());
+    let _ = writeln!(json, "  \"requests\": {},", ranges.len());
+    let _ = writeln!(json, "  \"clients\": {clients},");
+    let _ = writeln!(json, "  \"window_us\": {window_us},");
+    let _ = writeln!(json, "  \"serve_workers\": 1,");
+    let _ = writeln!(json, "  \"control_ns_per_query\": {control_ns:.1},");
+    let _ = writeln!(json, "  \"control_reqs_per_s\": {:.1},", ranges.len() as f64 / control_wall);
+    let _ = writeln!(json, "  \"windows\": [");
+    for (i, w) in windows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"max_batch\": {}, \"reqs_per_s\": {:.1}, \"p50_ns\": {}, \
+             \"p99_ns\": {}, \"batches\": {}, \"mean_batch\": {:.2}}}{}",
+            w.max_batch,
+            w.reqs_per_s,
+            w.p50_ns,
+            w.p99_ns,
+            w.batches,
+            w.mean_batch,
+            if i + 1 < windows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"dynamic_updates\": {},", stats.updates);
+    let _ = writeln!(json, "  \"dynamic_queries\": {},", observed.len());
+    let _ = writeln!(json, "  \"dynamic_rebuilds\": {},", final_index.rebuilds());
+    let _ = writeln!(json, "  \"dynamic_compaction_steps\": {},", stats.compaction_steps);
+    let _ = writeln!(json, "  \"dynamic_p99_query_ns\": {},", percentile(&q_lat, 0.99));
+    let _ = writeln!(json, "  \"bitwise_equal\": {bitwise_equal},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"single serving worker; 1-CPU container — multi-worker scaling is \
+         hardware-gated (see ROADMAP), batching gains come from the shared sort-and-share sweep\""
+    );
+    json.push_str("}\n");
+
+    let dir = results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_serve.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("[saved {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}

@@ -10,9 +10,17 @@ usage:
                 [--threads <N>]   (0 or omitted = all available cores)
                 [--stats]         (sum/count: embed per-segment statistics)
   polyfit-cli query --index <index.pf> (--lo <float> --hi <float> | --batch-file <ranges.csv>)
+  polyfit-cli serve --index <index.pf> --requests <ranges.csv>
+                [--clients <N>]   (request-submitting client threads, default 4)
+                [--workers <N>]   (serving workers, 0 or omitted = all cores)
+                [--window-us <N>] (batch deadline window in µs, default 200)
+                [--batch-cap <N>] (max requests per sweep, default 512; 1 = no batching)
   polyfit-cli info  --index <index.pf>
 
-batch file: one `lo,hi` pair per line; answers print one per line in order.";
+batch file: one `lo,hi` pair per line; answers print one per line in order.
+serve: replays the request file through the concurrent serving loop
+(deadline-batched query_batch execution) and reports per-request answers
+plus throughput; answers are verified bitwise against direct queries.";
 
 /// Aggregate kind selected at build time.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,6 +56,19 @@ pub enum Command {
     QueryBatch {
         index: String,
         batch_file: String,
+    },
+    /// Replay a request file through the concurrent serving loop.
+    Serve {
+        index: String,
+        requests: String,
+        /// Client threads submitting requests concurrently.
+        clients: usize,
+        /// Serving worker threads; 0 = one per available core.
+        workers: usize,
+        /// Batch deadline window in microseconds.
+        window_us: u64,
+        /// Batch-size cap per sweep.
+        batch_cap: usize,
     },
     Info {
         index: String,
@@ -139,6 +160,32 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 index,
                 lo: parse_f64(required(argv, "--lo")?, "--lo")?,
                 hi: parse_f64(required(argv, "--hi")?, "--hi")?,
+            })
+        }
+        "serve" => {
+            let parse_usize = |flag: &str, default: usize| -> Result<usize, ParseError> {
+                match flag_value(argv, flag) {
+                    Some(s) => s
+                        .parse()
+                        .map_err(|_| ParseError(format!("{flag} expects an integer, got '{s}'"))),
+                    None => Ok(default),
+                }
+            };
+            let clients = parse_usize("--clients", 4)?;
+            if clients == 0 {
+                return Err(ParseError("--clients must be at least 1".into()));
+            }
+            let batch_cap = parse_usize("--batch-cap", 512)?;
+            if batch_cap == 0 {
+                return Err(ParseError("--batch-cap must be at least 1".into()));
+            }
+            Ok(Command::Serve {
+                index: required(argv, "--index")?.to_string(),
+                requests: required(argv, "--requests")?.to_string(),
+                clients,
+                workers: parse_usize("--workers", 0)?,
+                window_us: parse_usize("--window-us", 200)? as u64,
+                batch_cap,
             })
         }
         "info" => Ok(Command::Info { index: required(argv, "--index")?.to_string() }),
@@ -239,6 +286,40 @@ mod tests {
         // Mixing the two query modes is rejected, not silently resolved.
         assert!(parse(&argv("query --index i.pf --lo 1 --hi 2 --batch-file r.csv")).is_err());
         assert!(parse(&argv("query --index i.pf --batch-file r.csv --hi 2")).is_err());
+    }
+
+    #[test]
+    fn parses_serve() {
+        assert_eq!(
+            parse(&argv("serve --index i.pf --requests r.csv")).unwrap(),
+            Command::Serve {
+                index: "i.pf".into(),
+                requests: "r.csv".into(),
+                clients: 4,
+                workers: 0,
+                window_us: 200,
+                batch_cap: 512,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "serve --index i.pf --requests r.csv --clients 2 --workers 3 \
+                 --window-us 50 --batch-cap 64"
+            ))
+            .unwrap(),
+            Command::Serve {
+                index: "i.pf".into(),
+                requests: "r.csv".into(),
+                clients: 2,
+                workers: 3,
+                window_us: 50,
+                batch_cap: 64,
+            }
+        );
+        assert!(parse(&argv("serve --index i.pf")).is_err(), "--requests is required");
+        assert!(parse(&argv("serve --index i.pf --requests r.csv --clients 0")).is_err());
+        assert!(parse(&argv("serve --index i.pf --requests r.csv --batch-cap 0")).is_err());
+        assert!(parse(&argv("serve --index i.pf --requests r.csv --window-us x")).is_err());
     }
 
     #[test]

@@ -1,30 +1,45 @@
 //! Command implementations.
 
 use std::fs;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use polyfit::prelude::*;
 use polyfit::{Extremum, PolyFitMax, PolyFitSum};
 
-/// Parse a batch-query file: one `lo,hi` range per line; `#` comments and
-/// blank lines are skipped.
+/// Parse a batch-query file: one `lo,hi` range per line; `#` comments,
+/// blank lines, and trailing newlines (including CRLF) are skipped.
+///
+/// Untrusted input never panics here: malformed rows — missing fields,
+/// extra fields, non-numeric values — produce a line-numbered `Err`, and
+/// a file with no ranges at all (empty, or nothing but comments) is
+/// reported as such instead of handing downstream code an empty batch it
+/// did not ask for.
 fn parse_ranges(text: &str) -> Result<Vec<(f64, f64)>, String> {
     let mut out = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let mut parts = line.splitn(2, ',');
+        let mut parts = line.split(',');
         let parse = |s: Option<&str>| -> Result<f64, String> {
             s.and_then(|v| v.trim().parse().ok())
                 .ok_or_else(|| format!("line {}: expected 'lo,hi', got '{line}'", lineno + 1))
         };
         let lo = parse(parts.next())?;
         let hi = parse(parts.next())?;
+        if parts.next().is_some() {
+            return Err(format!(
+                "line {}: expected exactly two fields 'lo,hi', got '{line}'",
+                lineno + 1
+            ));
+        }
         out.push((lo, hi));
     }
     if out.is_empty() {
-        return Err("batch file contains no ranges".into());
+        let what = if text.trim().is_empty() { "file is empty" } else { "only comments/blanks" };
+        return Err(format!("batch file contains no ranges ({what})"));
     }
     Ok(out)
 }
@@ -43,8 +58,9 @@ fn kind_of(bytes: &[u8]) -> Option<&'static str> {
 
 /// Decode an index file into a trait object: the one place the on-disk
 /// format is inspected. Everything downstream dispatches through
-/// [`AggregateIndex`].
-fn load_index(bytes: &[u8]) -> Result<Box<dyn AggregateIndex>, String> {
+/// [`AggregateIndex`]; the `Send + Sync` bound lets `serve` share the
+/// same object across worker threads.
+fn load_index(bytes: &[u8]) -> Result<Box<dyn AggregateIndex + Send + Sync>, String> {
     match kind_of(bytes) {
         Some("sum") => Ok(Box::new(PolyFitSum::from_bytes(bytes).map_err(|e| e.to_string())?)),
         Some("max") => Ok(Box::new(PolyFitMax::from_bytes(bytes).map_err(|e| e.to_string())?)),
@@ -133,6 +149,83 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 }
             }
             print!("{out}");
+            Ok(())
+        }
+        Command::Serve { index, requests, clients, workers, window_us, batch_cap } => {
+            let bytes = fs::read(&index).map_err(|e| format!("cannot read {index}: {e}"))?;
+            let idx = load_index(&bytes).map_err(|e| format!("{index} is {e}"))?;
+            let text = fs::read_to_string(&requests)
+                .map_err(|e| format!("cannot read {requests}: {e}"))?;
+            let ranges = parse_ranges(&text).map_err(|e| format!("{requests}: {e}"))?;
+            let shared: SharedIndex = Arc::from(idx);
+            let server = Server::start(
+                Arc::clone(&shared),
+                ServeConfig {
+                    workers,
+                    deadline: Duration::from_micros(window_us),
+                    max_batch: batch_cap,
+                },
+            );
+            // Clients split the request stream round-robin and hammer the
+            // loop concurrently; answers come back tagged with their
+            // request position so output stays in file order.
+            let t0 = Instant::now();
+            let mut answers: Vec<Option<Served>> = vec![None; ranges.len()];
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|c| {
+                        let handle = server.handle();
+                        let ranges = &ranges;
+                        s.spawn(move || {
+                            let mut out = Vec::with_capacity(ranges.len() / clients + 1);
+                            let mut i = c;
+                            while i < ranges.len() {
+                                let (lo, hi) = ranges[i];
+                                out.push((i, handle.query_served(lo, hi)));
+                                i += clients;
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (i, served) in h.join().expect("serve client panicked") {
+                        answers[i] = Some(served);
+                    }
+                }
+            });
+            let wall = t0.elapsed().as_secs_f64();
+            let stats = server.shutdown();
+            // Served answers are bitwise-identical to direct queries on
+            // the quiesced index — verify before reporting anything.
+            let mut max_batch_seen = 0usize;
+            for (i, &(lo, hi)) in ranges.iter().enumerate() {
+                let served = answers[i].expect("every request was answered");
+                let direct = shared.query(lo, hi);
+                if served.answer.map(|a| a.value.to_bits()) != direct.map(|a| a.value.to_bits()) {
+                    return Err(format!(
+                        "request {i} ({lo}, {hi}]: served answer diverged from direct query"
+                    ));
+                }
+                max_batch_seen = max_batch_seen.max(served.batch_len);
+            }
+            let mut out = String::with_capacity(ranges.len() * 16);
+            for served in answers.iter().flatten() {
+                match served.answer {
+                    Some(a) => out.push_str(&format!("{}\n", a.value)),
+                    None => out.push_str("NaN\n"),
+                }
+            }
+            print!("{out}");
+            println!(
+                "# served {} requests in {:.3} ms ({:.0} req/s) — {} batches, \
+                 mean batch {:.1}, max batch {max_batch_seen}, bitwise-verified",
+                stats.requests,
+                wall * 1e3,
+                stats.requests as f64 / wall,
+                stats.batches,
+                stats.requests as f64 / stats.batches.max(1) as f64,
+            );
             Ok(())
         }
         Command::Info { index } => {
@@ -362,5 +455,72 @@ mod tests {
         assert!(parse_ranges("").is_err());
         assert!(parse_ranges("1,2\nbogus\n").is_err());
         assert_eq!(parse_ranges("# c\n 1 , 2 \n\n3,4\n").unwrap(), vec![(1.0, 2.0), (3.0, 4.0)]);
+    }
+
+    /// Builds a small SUM index file for the batch/serve regressions.
+    fn built_index(name: &str) -> String {
+        let data = tmp(&format!("{name}.csv"));
+        let idx = tmp(&format!("{name}.pf"));
+        let rows: String = (0..1000).map(|i| format!("{i},1\n")).collect();
+        fs::write(&data, rows).unwrap();
+        run(parse(&argv(&format!(
+            "build --input {data} --output {idx} --aggregate sum --eps-abs 20"
+        )))
+        .unwrap())
+        .unwrap();
+        idx
+    }
+
+    /// Satellite regression: empty files, comment-only files, trailing
+    /// newlines/CRLF, and malformed rows each produce a line-numbered
+    /// `Err` (or succeed) through the real `query --batch-file` path —
+    /// never a panic.
+    #[test]
+    fn batch_file_edge_cases_error_cleanly() {
+        let idx = built_index("batch-edges");
+        let run_batch = |name: &str, content: &str| -> Result<(), String> {
+            let f = tmp(name);
+            fs::write(&f, content).unwrap();
+            run(Command::QueryBatch { index: idx.clone(), batch_file: f })
+        };
+        // Empty file: a specific error, not a panic or silent success.
+        let err = run_batch("edge-empty.csv", "").unwrap_err();
+        assert!(err.contains("no ranges") && err.contains("empty"), "{err}");
+        // Only comments and blank lines.
+        let err = run_batch("edge-comments.csv", "# header\n\n   \n# more\n").unwrap_err();
+        assert!(err.contains("no ranges"), "{err}");
+        // Trailing newlines and CRLF line endings are fine.
+        run_batch("edge-trailing.csv", "1,2\n10,900\n\n\n").unwrap();
+        run_batch("edge-crlf.csv", "1,2\r\n10,900\r\n").unwrap();
+        // Malformed rows carry their 1-based line number.
+        let err = run_batch("edge-malformed.csv", "1,2\nbogus\n3,4\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = run_batch("edge-missing.csv", "1,2\n3\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = run_batch("edge-extra.csv", "1,2\n\n3,4,5\n").unwrap_err();
+        assert!(err.contains("line 3") && err.contains("two fields"), "{err}");
+        let err = run_batch("edge-nonnum.csv", "1,x\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn serve_replays_request_file_end_to_end() {
+        let idx = built_index("serve-e2e");
+        let reqs = tmp("serve-reqs.csv");
+        // Proper, reversed, degenerate, and out-of-domain ranges all flow
+        // through the serving loop (the bitwise check runs inside `run`).
+        fs::write(&reqs, "10,500\n900,100\n# comment\n5,5\n-50,-10\n0,999\n").unwrap();
+        run(parse(&argv(&format!(
+            "serve --index {idx} --requests {reqs} --clients 2 --workers 2 \
+             --window-us 100 --batch-cap 8"
+        )))
+        .unwrap())
+        .unwrap();
+        // Malformed request files fail up front with the line number.
+        let bad = tmp("serve-bad.csv");
+        fs::write(&bad, "1,2\nnope\n").unwrap();
+        let err = run(parse(&argv(&format!("serve --index {idx} --requests {bad}"))).unwrap())
+            .unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
     }
 }

@@ -170,6 +170,48 @@ impl CompactionReport {
     }
 }
 
+/// One queued write against a [`DynamicPolyFitSum`] — the unit the
+/// serving layer's update queue carries and
+/// [`DynamicPolyFitSum::apply_updates`] drains.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Update {
+    /// Add `measure` mass at `key` ([`DynamicPolyFitSum::try_insert`]).
+    Insert {
+        /// Record key.
+        key: f64,
+        /// Measure mass to add.
+        measure: f64,
+    },
+    /// Remove `measure` mass at `key` ([`DynamicPolyFitSum::try_delete`]).
+    Delete {
+        /// Record key.
+        key: f64,
+        /// Measure mass to remove.
+        measure: f64,
+    },
+}
+
+impl Update {
+    /// The key this update lands on.
+    pub fn key(&self) -> f64 {
+        match *self {
+            Update::Insert { key, .. } | Update::Delete { key, .. } => key,
+        }
+    }
+
+    /// True when both key and measure are finite — the precondition
+    /// [`DynamicPolyFitSum::try_insert`] enforces. Serving handles
+    /// pre-validate with this so a fire-and-forget enqueue cannot fail
+    /// later inside the loop.
+    pub fn is_finite(&self) -> bool {
+        match *self {
+            Update::Insert { key, measure } | Update::Delete { key, measure } => {
+                key.is_finite() && measure.is_finite()
+            }
+        }
+    }
+}
+
 /// A PolyFit SUM/COUNT index supporting inserts and deletes.
 #[derive(Clone, Debug)]
 pub struct DynamicPolyFitSum {
@@ -325,6 +367,27 @@ impl DynamicPolyFitSum {
     /// Panics on non-finite inputs.
     pub fn delete(&mut self, key: f64, measure: f64) {
         self.try_delete(key, measure).expect("finite values required");
+    }
+
+    /// Drain a queue of [`Update`]s in order — the serving loop's entry
+    /// point between query batches. Returns the number applied; stops at
+    /// the first non-finite update (everything before it has landed).
+    /// Each update costs the same as the corresponding
+    /// `try_insert`/`try_delete` call, including any auto-driven
+    /// compaction step (none in manual mode, `step_budget == 0`).
+    pub fn apply_updates(
+        &mut self,
+        updates: impl IntoIterator<Item = Update>,
+    ) -> Result<usize, PolyFitError> {
+        let mut applied = 0usize;
+        for u in updates {
+            match u {
+                Update::Insert { key, measure } => self.try_insert(key, measure)?,
+                Update::Delete { key, measure } => self.try_delete(key, measure)?,
+            }
+            applied += 1;
+        }
+        Ok(applied)
     }
 
     /// Stage a shadow rebuild now, without waiting for the buffer limit:
@@ -807,6 +870,18 @@ impl DynamicPolyFitSum {
                 self.buffer.len() + p.staged.keys().filter(|k| !self.buffer.contains_key(k)).count()
             }
         }
+    }
+
+    /// The buffered-key threshold that triggers a compaction.
+    pub fn buffer_limit(&self) -> usize {
+        self.buffer_limit
+    }
+
+    /// True when the buffer has reached its limit and no rebuild is in
+    /// flight — i.e. a manual-mode driver (the serving loop) should call
+    /// [`Self::begin_compaction`] in its next idle gap.
+    pub fn needs_compaction(&self) -> bool {
+        self.pending.is_none() && self.buffer.len() >= self.buffer_limit
     }
 
     /// How many compactions have completed (swapped in).

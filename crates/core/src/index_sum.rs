@@ -206,7 +206,12 @@ impl PolyFitSum {
     /// CPU of FP throughput this degrades gracefully to ~1.0× (same
     /// measurement note as the parallel build pipeline in ROADMAP.md).
     pub fn query_batch_par(&self, ranges: &[(f64, f64)], threads: usize) -> Vec<f64> {
-        let threads = polyfit_exact::resolve_threads(threads);
+        // Clamp to `max(1, min(threads, len))`: `threads == 0` resolves
+        // to available parallelism, oversubscription beyond one range per
+        // worker would spawn empty-chunk workers, and an empty batch must
+        // not divide by zero. (The serial floor below subsumes most of
+        // these, but the clamp is the documented contract.)
+        let threads = polyfit_exact::resolve_threads(threads).min(ranges.len()).max(1);
         // Floor: below a few hundred ranges (or a couple per worker),
         // thread spawn costs more than the sweep itself.
         if threads <= 1 || ranges.len() < (2 * threads).max(512) {
@@ -518,6 +523,29 @@ mod tests {
         let a = idx.query_batch_par(small, 4);
         let b = idx.query_batch(small);
         assert_eq!(a, b);
+    }
+
+    /// Edge regression: `threads == 0` (auto), `threads > len`, and an
+    /// empty batch must neither panic nor spawn empty-chunk workers —
+    /// the clamp is `max(1, min(threads, len))`.
+    #[test]
+    fn parallel_batch_edge_thread_counts() {
+        let idx = PolyFitSum::build(records(2000), 20.0, PolyFitConfig::default()).unwrap();
+        assert!(idx.query_batch_par(&[], 0).is_empty());
+        assert!(idx.query_batch_par(&[], 7).is_empty());
+        let ranges: Vec<(f64, f64)> = (0..600).map(|i| (i as f64, i as f64 + 50.0)).collect();
+        let serial = idx.query_batch(&ranges);
+        for threads in [0usize, 1, 601, 10_000, usize::MAX] {
+            let par = idx.query_batch_par(&ranges, threads);
+            assert_eq!(par.len(), serial.len(), "threads {threads}");
+            for (a, b) in par.iter().zip(&serial) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads {threads}");
+            }
+        }
+        // A single range with an absurd thread count degenerates to the
+        // serial sweep.
+        let one = idx.query_batch_par(&ranges[..1], 64);
+        assert_eq!(one[0].to_bits(), serial[0].to_bits());
     }
 
     #[test]

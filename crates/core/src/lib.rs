@@ -57,6 +57,7 @@ pub mod index_sum;
 pub mod segment;
 pub mod segmentation;
 pub mod serialize;
+pub mod serve;
 pub mod stats;
 pub mod traits;
 pub mod twod;
@@ -67,7 +68,9 @@ pub use directory::{CompiledCursor, CompiledDirectory, DirectoryCursor, SegmentD
 pub use drivers::{
     AvgAnswer, GuaranteedAvg, GuaranteedMax, GuaranteedMin, GuaranteedSum, RelAnswer,
 };
-pub use dynamic::{CompactionReport, CompactionStatus, DynamicPolyFitSum, DEFAULT_STEP_BUDGET};
+pub use dynamic::{
+    CompactionReport, CompactionStatus, DynamicPolyFitSum, Update, DEFAULT_STEP_BUDGET,
+};
 pub use error::PolyFitError;
 pub use function::{
     cumulative_function, cumulative_function_sorted, step_function, TargetFunction,
@@ -77,10 +80,15 @@ pub use index_sum::PolyFitSum;
 pub use segment::Segment;
 pub use segmentation::{dp_segmentation, greedy_segmentation, SegmentSpec};
 pub use serialize::DecodeError;
+pub use serve::{
+    DynamicServeConfig, DynamicServeHandle, DynamicServer, ServeConfig, ServeHandle, ServeStats,
+    Served, Server, Ticket,
+};
 pub use stats::{IndexStats, SegmentStats, SegmentStatsSummary};
 pub use traits::{
-    AggregateIndex, AggregateIndex2d, AggregateKind, CertifiedRelSum, Guarantee, RangeAggregate,
-    RelDispatch, RelDispatch2d,
+    classify_bounds, classify_rect_bounds, guarded_batch, AggregateIndex, AggregateIndex2d,
+    AggregateKind, CertifiedRelSum, Guarantee, QueryBounds, RangeAggregate, RelDispatch,
+    RelDispatch2d, SharedIndex,
 };
 pub use twod::{Guaranteed2dCount, QuadPolyFit};
 
@@ -91,13 +99,17 @@ pub mod prelude {
     pub use crate::drivers::{
         AvgAnswer, GuaranteedAvg, GuaranteedMax, GuaranteedMin, GuaranteedSum, RelAnswer,
     };
-    pub use crate::dynamic::{CompactionReport, CompactionStatus, DynamicPolyFitSum};
+    pub use crate::dynamic::{CompactionReport, CompactionStatus, DynamicPolyFitSum, Update};
     pub use crate::index_max::PolyFitMax;
     pub use crate::index_sum::PolyFitSum;
+    pub use crate::serve::{
+        DynamicServeConfig, DynamicServeHandle, DynamicServer, ServeConfig, ServeHandle,
+        ServeStats, Served, Server, Ticket,
+    };
     pub use crate::stats::{IndexStats, SegmentStats, SegmentStatsSummary};
     pub use crate::traits::{
-        AggregateIndex, AggregateIndex2d, AggregateKind, CertifiedRelSum, Guarantee,
-        RangeAggregate, RelDispatch, RelDispatch2d,
+        classify_bounds, AggregateIndex, AggregateIndex2d, AggregateKind, CertifiedRelSum,
+        Guarantee, QueryBounds, RangeAggregate, RelDispatch, RelDispatch2d, SharedIndex,
     };
     pub use crate::twod::{Guaranteed2dCount, QuadPolyFit};
     pub use polyfit_exact::dataset::{Point2d, Record};

@@ -1,0 +1,901 @@
+//! Concurrent serving layer: deadline-batched query execution over a
+//! shared [`AggregateIndex`] (the ROADMAP "Async serving layer" item).
+//!
+//! PR 2 built sort-and-share `query_batch` and PR 4 compiled the hot
+//! path, but nothing *formed* batches from concurrent client traffic —
+//! every caller still had to assemble its own `&[(f64, f64)]`. This
+//! module closes that gap with two loops, built purely from
+//! `std::thread` + `Mutex`/`Condvar` (no executor, no new dependencies):
+//!
+//! * [`Server`] — a thread-per-core read loop over a [`SharedIndex`].
+//!   Clients submit `(lo, hi)` requests through cloneable
+//!   [`ServeHandle`]s; a worker that sees traffic opens a **deadline
+//!   window** (collect ~N µs of requests, or until a batch-size cap),
+//!   answers the whole batch with one sort-and-share
+//!   [`AggregateIndex::query_batch`] sweep, and wakes each waiter with
+//!   its `Option<RangeAggregate>`.
+//! * [`DynamicServer`] — a single loop that *owns* a
+//!   [`DynamicPolyFitSum`], serving queries the same way while draining
+//!   an update queue between batches and driving
+//!   [`DynamicPolyFitSum::step_compaction`] in the idle gap after each
+//!   batch — compaction work never blocks a client request (the PR 3
+//!   follow-up).
+//!
+//! Served answers are **bitwise-identical** to calling
+//! [`AggregateIndex::query`] directly on a quiesced index: batching is an
+//! execution strategy, not an approximation (the `query_batch` ==
+//! `query` invariant every implementation upholds), and the
+//! [`crate::traits::classify_bounds`] contract vets untrusted client
+//! bounds before they reach any index internals.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::dynamic::{DynamicPolyFitSum, Update};
+use crate::error::PolyFitError;
+use crate::traits::{AggregateIndex, RangeAggregate, SharedIndex};
+
+/// Tuning knobs for a [`Server`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads; `0` = one per available core.
+    pub workers: usize,
+    /// Batch-formation window, measured from the first request a worker
+    /// sees: later arrivals within the window join the same batch.
+    /// `Duration::ZERO` disables batching-by-time (each batch is
+    /// whatever is queued when a worker wakes).
+    pub deadline: Duration,
+    /// Largest batch a single sweep answers (`0` is clamped to 1; `1`
+    /// effectively disables batching — the no-batching control in the
+    /// `serve_throughput` benchmark).
+    pub max_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { workers: 0, deadline: Duration::from_micros(200), max_batch: 512 }
+    }
+}
+
+/// Tuning knobs for a [`DynamicServer`].
+#[derive(Clone, Copy, Debug)]
+pub struct DynamicServeConfig {
+    /// Batch-formation window (see [`ServeConfig::deadline`]).
+    pub deadline: Duration,
+    /// Largest query batch per sweep (see [`ServeConfig::max_batch`]).
+    pub max_batch: usize,
+    /// [`DynamicPolyFitSum::step_compaction`] budget spent per idle gap
+    /// (after each answered batch, and while the loop is otherwise
+    /// idle). `0` disables loop-driven compaction entirely.
+    pub compaction_budget: usize,
+}
+
+impl Default for DynamicServeConfig {
+    fn default() -> Self {
+        DynamicServeConfig {
+            deadline: Duration::from_micros(200),
+            max_batch: 512,
+            compaction_budget: crate::dynamic::DEFAULT_STEP_BUDGET,
+        }
+    }
+}
+
+/// A served answer with its execution provenance — what a waiter gets
+/// back from the loop.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Served {
+    /// The aggregate answer, bitwise-identical to
+    /// [`AggregateIndex::query`] on the index state the batch ran
+    /// against.
+    pub answer: Option<RangeAggregate>,
+    /// Writes the loop had drained before answering this request's batch
+    /// (always `0` for the read-only [`Server`]). Pins the exact index
+    /// state for oracle replay in tests and benchmarks.
+    pub updates_applied: u64,
+    /// Compactions that had swapped in when the batch was answered
+    /// (always `0` for the read-only [`Server`]). Together with
+    /// `updates_applied` and [`DynamicServer::stage_log`] this makes the
+    /// answer exactly reproducible: an in-flight rebuild is
+    /// bitwise-transparent (the PR 3 invariant), and a swapped rebuild's
+    /// state is a deterministic function of what was staged.
+    pub rebuilds: u64,
+    /// Number of requests answered by the same sweep.
+    pub batch_len: usize,
+}
+
+/// Aggregate counters of a serving loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Query requests answered.
+    pub requests: u64,
+    /// Batches swept (`requests / batches` = mean batch size).
+    pub batches: u64,
+    /// Largest batch answered by one sweep.
+    pub max_batch: u64,
+    /// Updates drained into the index (dynamic loop only).
+    pub updates: u64,
+    /// Bounded compaction steps driven in idle gaps (dynamic loop only).
+    pub compaction_steps: u64,
+}
+
+// ---------------------------------------------------------------------------
+// One-shot rendezvous between a waiting client and the answering worker
+// ---------------------------------------------------------------------------
+
+struct Slot {
+    state: Mutex<Option<Served>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Slot> {
+        Arc::new(Slot { state: Mutex::new(None), cv: Condvar::new() })
+    }
+
+    fn complete(&self, served: Served) {
+        *self.state.lock().expect("slot lock poisoned") = Some(served);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Served {
+        let mut state = self.state.lock().expect("slot lock poisoned");
+        loop {
+            if let Some(served) = state.take() {
+                return served;
+            }
+            state = self.cv.wait(state).expect("slot lock poisoned");
+        }
+    }
+}
+
+/// A pending request: an in-flight submission whose answer can be
+/// awaited exactly once ([`Ticket::wait`]). Submitting first and waiting
+/// later lets one client thread keep many requests in flight.
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+impl Ticket {
+    /// Block until the serving loop answers this request.
+    pub fn wait(self) -> Served {
+        self.slot.wait()
+    }
+}
+
+struct PendingQuery {
+    lo: f64,
+    hi: f64,
+    slot: Arc<Slot>,
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    max_batch: AtomicU64,
+    updates: AtomicU64,
+    compaction_steps: AtomicU64,
+}
+
+impl Counters {
+    fn record_batch(&self, len: usize) {
+        self.requests.fetch_add(len as u64, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.max_batch.fetch_max(len as u64, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
+            compaction_steps: self.compaction_steps.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Read-only thread-per-core server
+// ---------------------------------------------------------------------------
+
+struct QueueState {
+    pending: VecDeque<PendingQuery>,
+    open: bool,
+}
+
+struct Shared {
+    q: Mutex<QueueState>,
+    cv: Condvar,
+    counters: Counters,
+}
+
+impl Shared {
+    fn enqueue(&self, lo: f64, hi: f64) -> Ticket {
+        let slot = Slot::new();
+        {
+            let mut q = self.q.lock().expect("serve queue poisoned");
+            assert!(q.open, "serving loop has shut down");
+            q.pending.push_back(PendingQuery { lo, hi, slot: Arc::clone(&slot) });
+        }
+        self.cv.notify_all();
+        Ticket { slot }
+    }
+}
+
+/// Cloneable client endpoint of a [`Server`]. Cheap to clone and safe to
+/// share across threads; every method may be called concurrently.
+#[derive(Clone)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServeHandle {
+    /// Submit a request without waiting; pair with [`Ticket::wait`].
+    ///
+    /// # Panics
+    /// Panics if the server has been shut down.
+    pub fn submit(&self, lo: f64, hi: f64) -> Ticket {
+        self.shared.enqueue(lo, hi)
+    }
+
+    /// Submit and block for the answer — bitwise-identical to
+    /// [`AggregateIndex::query`] on the shared index.
+    pub fn query(&self, lo: f64, hi: f64) -> Option<RangeAggregate> {
+        self.submit(lo, hi).wait().answer
+    }
+
+    /// [`Self::query`] returning the full [`Served`] provenance.
+    pub fn query_served(&self, lo: f64, hi: f64) -> Served {
+        self.submit(lo, hi).wait()
+    }
+}
+
+/// Thread-per-core serving loop over a read-only [`SharedIndex`].
+///
+/// Start it, clone handles into client threads, and shut it down to join
+/// the workers (pending requests are drained first):
+///
+/// ```
+/// use std::sync::Arc;
+/// use polyfit::prelude::*;
+///
+/// let records: Vec<Record> =
+///     (0..2000).map(|i| Record::new(i as f64, 1.0)).collect();
+/// let index: SharedIndex =
+///     Arc::new(PolyFitSum::build(records, 10.0, PolyFitConfig::default()).unwrap());
+/// let server = Server::start(Arc::clone(&index), ServeConfig::default());
+/// let handle = server.handle();
+/// let served = handle.query(100.0, 900.0);
+/// assert_eq!(served, index.query(100.0, 900.0)); // bitwise-identical
+/// server.shutdown();
+/// ```
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Spawn the worker threads and start serving.
+    pub fn start(index: SharedIndex, config: ServeConfig) -> Server {
+        let workers = polyfit_exact::resolve_threads(config.workers);
+        let max_batch = config.max_batch.max(1);
+        let shared = Arc::new(Shared {
+            q: Mutex::new(QueueState { pending: VecDeque::new(), open: true }),
+            cv: Condvar::new(),
+            counters: Counters::default(),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let index = Arc::clone(&index);
+                std::thread::spawn(move || {
+                    while let Some(batch) = collect_batch(&shared, config.deadline, max_batch) {
+                        answer_batch(&*index, batch, 0, 0, &shared.counters);
+                    }
+                })
+            })
+            .collect();
+        Server { shared, workers: handles }
+    }
+
+    /// A new client endpoint.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Stop accepting requests, drain what is queued, join the workers,
+    /// and return the final counters.
+    pub fn shutdown(self) -> ServeStats {
+        self.shared.q.lock().expect("serve queue poisoned").open = false;
+        self.shared.cv.notify_all();
+        for w in self.workers {
+            w.join().expect("serve worker panicked");
+        }
+        self.shared.counters.snapshot()
+    }
+}
+
+/// Block until traffic arrives, then hold the deadline window open so
+/// concurrent clients coalesce into one batch. Returns `None` when the
+/// queue is closed and empty (worker exits).
+fn collect_batch(
+    shared: &Shared,
+    deadline: Duration,
+    max_batch: usize,
+) -> Option<Vec<PendingQuery>> {
+    let mut q = shared.q.lock().expect("serve queue poisoned");
+    loop {
+        if !q.pending.is_empty() {
+            break;
+        }
+        if !q.open {
+            return None;
+        }
+        q = shared.cv.wait(q).expect("serve queue poisoned");
+    }
+    // The window opens when a worker first observes traffic; it stays
+    // open for `deadline` or until the cap fills, whichever is sooner.
+    let opened = Instant::now();
+    while q.pending.len() < max_batch && q.open {
+        let elapsed = opened.elapsed();
+        if elapsed >= deadline {
+            break;
+        }
+        let (guard, timeout) =
+            shared.cv.wait_timeout(q, deadline - elapsed).expect("serve queue poisoned");
+        q = guard;
+        if timeout.timed_out() {
+            break;
+        }
+    }
+    let take = q.pending.len().min(max_batch);
+    Some(q.pending.drain(..take).collect())
+}
+
+/// One sort-and-share sweep for the whole batch, then wake every waiter.
+fn answer_batch(
+    index: &dyn AggregateIndex,
+    batch: Vec<PendingQuery>,
+    updates_applied: u64,
+    rebuilds: u64,
+    counters: &Counters,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    let ranges: Vec<(f64, f64)> = batch.iter().map(|p| (p.lo, p.hi)).collect();
+    let answers = index.query_batch(&ranges);
+    // Every implementation returns one answer per range (tested across
+    // the workspace); if a foreign impl ever violates that, wake the
+    // tail waiters with `None` rather than stranding them forever in
+    // `Slot::wait` — liveness over a silently wrong `None`.
+    debug_assert_eq!(answers.len(), batch.len());
+    let batch_len = batch.len();
+    counters.record_batch(batch_len);
+    let mut answers = answers.into_iter();
+    for p in batch {
+        let answer = answers.next().flatten();
+        p.slot.complete(Served { answer, updates_applied, rebuilds, batch_len });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer-owning dynamic server
+// ---------------------------------------------------------------------------
+
+struct DynQueueState {
+    queries: VecDeque<PendingQuery>,
+    updates: VecDeque<Update>,
+    open: bool,
+}
+
+struct DynShared {
+    q: Mutex<DynQueueState>,
+    cv: Condvar,
+    counters: Counters,
+    /// `updates_applied` at the instant each compaction was staged, in
+    /// staging order — the provenance that, with [`Served::rebuilds`],
+    /// makes every served answer exactly reproducible by replay.
+    stage_log: Mutex<Vec<u64>>,
+}
+
+/// Cloneable client endpoint of a [`DynamicServer`]: queries block for
+/// their served answer, writes are validated eagerly and enqueued
+/// fire-and-forget (the loop drains them between query batches, in
+/// submission order).
+#[derive(Clone)]
+pub struct DynamicServeHandle {
+    shared: Arc<DynShared>,
+}
+
+impl DynamicServeHandle {
+    /// Submit a query without waiting; pair with [`Ticket::wait`].
+    ///
+    /// # Panics
+    /// Panics if the server has been shut down.
+    pub fn submit(&self, lo: f64, hi: f64) -> Ticket {
+        let slot = Slot::new();
+        {
+            let mut q = self.shared.q.lock().expect("serve queue poisoned");
+            assert!(q.open, "serving loop has shut down");
+            q.queries.push_back(PendingQuery { lo, hi, slot: Arc::clone(&slot) });
+        }
+        self.shared.cv.notify_all();
+        Ticket { slot }
+    }
+
+    /// Submit and block for the answer — bitwise-identical to
+    /// [`AggregateIndex::query`] on the index with every update submitted
+    /// before this call already applied (the loop drains the update queue
+    /// before answering the batch).
+    pub fn query(&self, lo: f64, hi: f64) -> Option<RangeAggregate> {
+        self.submit(lo, hi).wait().answer
+    }
+
+    /// [`Self::query`] returning the full [`Served`] provenance —
+    /// `updates_applied` pins the exact index state the answer reflects.
+    pub fn query_served(&self, lo: f64, hi: f64) -> Served {
+        self.submit(lo, hi).wait()
+    }
+
+    /// Enqueue a write. Validation ([`Update::is_finite`]) happens here,
+    /// so a rejected update never occupies queue space and the loop's
+    /// drain cannot fail.
+    ///
+    /// # Panics
+    /// Panics if the server has been shut down.
+    pub fn update(&self, update: Update) -> Result<(), PolyFitError> {
+        if !update.is_finite() {
+            let (key, measure) = match update {
+                Update::Insert { key, measure } => (key, measure),
+                Update::Delete { key, measure } => (key, -measure),
+            };
+            return Err(PolyFitError::NonFiniteUpdate { key, measure });
+        }
+        {
+            let mut q = self.shared.q.lock().expect("serve queue poisoned");
+            assert!(q.open, "serving loop has shut down");
+            q.updates.push_back(update);
+        }
+        self.shared.cv.notify_all();
+        Ok(())
+    }
+
+    /// Enqueue an insert of `measure` mass at `key`.
+    pub fn insert(&self, key: f64, measure: f64) -> Result<(), PolyFitError> {
+        self.update(Update::Insert { key, measure })
+    }
+
+    /// Enqueue a delete of `measure` mass at `key`.
+    pub fn delete(&self, key: f64, measure: f64) -> Result<(), PolyFitError> {
+        self.update(Update::Delete { key, measure })
+    }
+}
+
+/// Serving loop that owns a [`DynamicPolyFitSum`] — queries, the update
+/// queue, and incremental compaction all run on one writer thread, so no
+/// lock is ever held across a fitting step:
+///
+/// * queued **updates are drained between batches** (never mid-sweep), so
+///   every answer in a batch reflects one quiesced index state;
+/// * **compaction runs in the idle gap** after a batch is answered (and
+///   while the loop idles), one bounded
+///   [`step_compaction`](DynamicPolyFitSum::step_compaction) at a time —
+///   a client request arriving mid-step waits at most one bounded step,
+///   never a full rebuild (auto-driving is disabled; the loop is the only
+///   compaction driver).
+pub struct DynamicServer {
+    shared: Arc<DynShared>,
+    worker: Option<JoinHandle<DynamicPolyFitSum>>,
+}
+
+impl DynamicServer {
+    /// Take ownership of `index` and start the serving loop.
+    pub fn start(index: DynamicPolyFitSum, config: DynamicServeConfig) -> DynamicServer {
+        let shared = Arc::new(DynShared {
+            q: Mutex::new(DynQueueState {
+                queries: VecDeque::new(),
+                updates: VecDeque::new(),
+                open: true,
+            }),
+            cv: Condvar::new(),
+            counters: Counters::default(),
+            stage_log: Mutex::new(Vec::new()),
+        });
+        let worker = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || dynamic_loop(index, &shared, config))
+        };
+        DynamicServer { shared, worker: Some(worker) }
+    }
+
+    /// A new client endpoint.
+    pub fn handle(&self) -> DynamicServeHandle {
+        DynamicServeHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// The update count at which each compaction was staged, in staging
+    /// order. Replaying the update stream, staging at these points, and
+    /// swapping the first [`Served::rebuilds`] of them reproduces the
+    /// exact index state behind any served answer (staged-but-unswapped
+    /// rebuilds are bitwise-transparent and can be skipped).
+    pub fn stage_log(&self) -> Vec<u64> {
+        self.shared.stage_log.lock().expect("stage log poisoned").clone()
+    }
+
+    /// Stop accepting requests, drain queued updates and queries, join
+    /// the loop, and hand back the (updated) index along with the final
+    /// counters — which, unlike a pre-shutdown [`Self::stats`] snapshot,
+    /// include the work done by the shutdown drain itself.
+    pub fn shutdown(mut self) -> (DynamicPolyFitSum, ServeStats) {
+        self.shared.q.lock().expect("serve queue poisoned").open = false;
+        self.shared.cv.notify_all();
+        let index =
+            self.worker.take().expect("shutdown runs once").join().expect("serve loop panicked");
+        (index, self.shared.counters.snapshot())
+    }
+}
+
+/// The dynamic serving loop body. Runs until the queue closes and
+/// drains; returns the index so [`DynamicServer::shutdown`] can hand it
+/// back.
+fn dynamic_loop(
+    mut index: DynamicPolyFitSum,
+    shared: &DynShared,
+    config: DynamicServeConfig,
+) -> DynamicPolyFitSum {
+    // Manual compaction mode: updates must never pay a fitting step —
+    // this loop is the only driver, and only in idle gaps.
+    index.set_step_budget(0);
+    let max_batch = config.max_batch.max(1);
+    // How long an idle, compacting loop waits before spending another
+    // step budget. Short enough to keep rebuilds progressing, long
+    // enough not to busy-spin an idle core.
+    let idle_poll = config.deadline.max(Duration::from_micros(50));
+    let mut updates_applied: u64 = 0;
+    loop {
+        // Phase 1: wait for traffic. While idle with compaction work
+        // outstanding, keep spending bounded budgets between waits.
+        let (batch, writes) = {
+            let mut q = shared.q.lock().expect("serve queue poisoned");
+            loop {
+                if !q.queries.is_empty() || !q.updates.is_empty() {
+                    break;
+                }
+                if !q.open {
+                    return index;
+                }
+                if config.compaction_budget > 0
+                    && (index.is_compacting() || index.needs_compaction())
+                {
+                    drop(q);
+                    step_idle_compaction(
+                        &mut index,
+                        config.compaction_budget,
+                        updates_applied,
+                        shared,
+                    );
+                    q = shared.q.lock().expect("serve queue poisoned");
+                    if q.queries.is_empty() && q.updates.is_empty() && q.open {
+                        let (guard, _) =
+                            shared.cv.wait_timeout(q, idle_poll).expect("serve queue poisoned");
+                        q = guard;
+                    }
+                } else {
+                    q = shared.cv.wait(q).expect("serve queue poisoned");
+                }
+            }
+            // Phase 2: deadline window over queries only — updates keep
+            // queuing and are drained in one go below.
+            if !q.queries.is_empty() {
+                let opened = Instant::now();
+                while q.queries.len() < max_batch && q.open {
+                    let elapsed = opened.elapsed();
+                    if elapsed >= config.deadline {
+                        break;
+                    }
+                    let (guard, timeout) = shared
+                        .cv
+                        .wait_timeout(q, config.deadline - elapsed)
+                        .expect("serve queue poisoned");
+                    q = guard;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+            }
+            let take = q.queries.len().min(max_batch);
+            let batch: Vec<PendingQuery> = q.queries.drain(..take).collect();
+            let writes: Vec<Update> = q.updates.drain(..).collect();
+            (batch, writes)
+        };
+        // Phase 3: drain writes between batches. The handle validated
+        // finiteness at enqueue, so this cannot fail; updates land as
+        // plain buffer writes (manual mode ⇒ no fitting here).
+        if !writes.is_empty() {
+            let applied =
+                index.apply_updates(writes).expect("handle pre-validates update finiteness");
+            updates_applied += applied as u64;
+            shared.counters.updates.fetch_add(applied as u64, Ordering::Relaxed);
+        }
+        // Phase 4: one sort-and-share sweep answers the whole batch.
+        answer_batch(&index, batch, updates_applied, index.rebuilds() as u64, &shared.counters);
+        // Phase 5: idle gap — spend one bounded compaction budget.
+        if config.compaction_budget > 0 && (index.is_compacting() || index.needs_compaction()) {
+            step_idle_compaction(&mut index, config.compaction_budget, updates_applied, shared);
+        }
+    }
+}
+
+/// Stage if needed (recording the provenance point), then drive one
+/// bounded compaction step.
+fn step_idle_compaction(
+    index: &mut DynamicPolyFitSum,
+    budget: usize,
+    updates_applied: u64,
+    shared: &DynShared,
+) {
+    if index.needs_compaction() && index.begin_compaction() {
+        shared.stage_log.lock().expect("stage log poisoned").push(updates_applied);
+    }
+    if index.is_compacting() {
+        index.step_compaction(budget);
+        shared.counters.compaction_steps.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PolyFitConfig;
+    use crate::index_sum::PolyFitSum;
+    use polyfit_exact::dataset::Record;
+
+    fn records(n: usize) -> Vec<Record> {
+        (0..n).map(|i| Record::new(i as f64, 1.0 + ((i * 7) % 5) as f64)).collect()
+    }
+
+    fn probe_ranges() -> Vec<(f64, f64)> {
+        let mut out: Vec<(f64, f64)> =
+            (0..40).map(|i| (i as f64 * 17.0 - 20.0, i as f64 * 17.0 + 350.0)).collect();
+        out.push((900.0, 100.0)); // reversed
+        out.push((f64::NAN, 10.0)); // non-finite
+        out.push((-1e9, 1e9)); // full domain
+        out.push((5.0, 5.0)); // degenerate
+        out
+    }
+
+    #[test]
+    fn served_answers_bitwise_equal_direct_query() {
+        let index: SharedIndex =
+            Arc::new(PolyFitSum::build(records(3000), 20.0, PolyFitConfig::default()).unwrap());
+        let server = Server::start(
+            Arc::clone(&index),
+            ServeConfig { workers: 2, deadline: Duration::from_micros(100), max_batch: 16 },
+        );
+        let probes = probe_ranges();
+        let mut clients = Vec::new();
+        for c in 0..3usize {
+            let handle = server.handle();
+            let probes = probes.clone();
+            let index = Arc::clone(&index);
+            clients.push(std::thread::spawn(move || {
+                for (i, &(lo, hi)) in probes.iter().enumerate().skip(c % 2) {
+                    let served = handle.query_served(lo, hi);
+                    let direct = index.query(lo, hi);
+                    assert_eq!(
+                        served.answer.map(|a| a.value.to_bits()),
+                        direct.map(|a| a.value.to_bits()),
+                        "client {c} probe {i}"
+                    );
+                    assert_eq!(served.answer.map(|a| a.guarantee), direct.map(|a| a.guarantee));
+                    assert_eq!(served.updates_applied, 0);
+                    assert!(served.batch_len >= 1);
+                }
+            }));
+        }
+        for c in clients {
+            c.join().unwrap();
+        }
+        let stats = server.shutdown();
+        assert!(stats.requests >= probes.len() as u64 * 2);
+        assert!(stats.batches >= 1 && stats.batches <= stats.requests);
+        assert_eq!(stats.updates, 0);
+    }
+
+    #[test]
+    fn deadline_window_coalesces_tickets_into_batches() {
+        let index: SharedIndex =
+            Arc::new(PolyFitSum::build(records(1000), 10.0, PolyFitConfig::default()).unwrap());
+        // One worker, generous window: tickets submitted back-to-back
+        // must coalesce into shared sweeps.
+        let server = Server::start(
+            Arc::clone(&index),
+            ServeConfig { workers: 1, deadline: Duration::from_millis(100), max_batch: 64 },
+        );
+        let handle = server.handle();
+        let tickets: Vec<Ticket> = (0..64).map(|i| handle.submit(i as f64, 900.0)).collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            let served = t.wait();
+            let direct = index.query(i as f64, 900.0);
+            assert_eq!(served.answer.map(|a| a.value.to_bits()), direct.map(|a| a.value.to_bits()));
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.requests, 64);
+        assert!(
+            stats.max_batch >= 2,
+            "a 100ms window must coalesce back-to-back submissions, got {stats:?}"
+        );
+        assert!(stats.batches < 64, "batching must beat one-sweep-per-request: {stats:?}");
+    }
+
+    #[test]
+    fn shutdown_drains_pending_requests() {
+        let index: SharedIndex =
+            Arc::new(PolyFitSum::build(records(500), 10.0, PolyFitConfig::default()).unwrap());
+        let server = Server::start(
+            Arc::clone(&index),
+            ServeConfig { workers: 1, deadline: Duration::from_millis(50), max_batch: 512 },
+        );
+        let handle = server.handle();
+        let tickets: Vec<Ticket> = (0..16).map(|i| handle.submit(0.0, 10.0 + i as f64)).collect();
+        let stats = server.shutdown();
+        assert_eq!(stats.requests, 16, "shutdown must answer queued requests");
+        for t in tickets {
+            assert!(t.wait().answer.is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "serving loop has shut down")]
+    fn submitting_after_shutdown_panics() {
+        let index: SharedIndex =
+            Arc::new(PolyFitSum::build(records(100), 10.0, PolyFitConfig::default()).unwrap());
+        let server = Server::start(Arc::clone(&index), ServeConfig::default());
+        let handle = server.handle();
+        server.shutdown();
+        let _ = handle.submit(0.0, 1.0);
+    }
+
+    /// Replay a prefix of the update stream into a fresh index,
+    /// reproducing the serving loop's compaction history: stage at the
+    /// recorded points, swap (blocking — bitwise-equal to stepped) the
+    /// first `swaps` of them, and skip later stagings entirely (a
+    /// staged-but-unswapped rebuild is bitwise-transparent). The result
+    /// answers bit-for-bit like the loop's index did at
+    /// `(updates_applied, rebuilds) = (upto, swaps)`.
+    #[allow(clippy::too_many_arguments)]
+    fn replay_oracle(
+        base: &[Record],
+        delta: f64,
+        config: PolyFitConfig,
+        limit: usize,
+        updates: &[(f64, f64)],
+        stage_log: &[u64],
+        upto: u64,
+        swaps: u64,
+    ) -> DynamicPolyFitSum {
+        let mut o = DynamicPolyFitSum::new(base.to_vec(), delta, config, limit).unwrap();
+        o.set_step_budget(0);
+        let mut si = 0usize;
+        for (i, &(k, m)) in updates.iter().take(upto as usize).enumerate() {
+            o.insert(k, m);
+            while si < stage_log.len() && stage_log[si] <= (i + 1) as u64 {
+                if (si as u64) < swaps {
+                    assert!(o.begin_compaction(), "stage {si} must have work");
+                    o.compact_now();
+                }
+                si += 1;
+            }
+        }
+        o
+    }
+
+    #[test]
+    fn dynamic_loop_serves_updates_and_compacts_between_batches() {
+        let base: Vec<Record> = (0..4000).map(|i| Record::new(i as f64, 1.0)).collect();
+        let config = PolyFitConfig { max_segment_len: Some(256), ..PolyFitConfig::default() };
+        let (delta, limit) = (10.0, 48);
+        // Small buffer limit + small budget: compaction must trigger and
+        // take several idle-gap steps while the loop keeps serving.
+        let index = DynamicPolyFitSum::new(base.clone(), delta, config, limit).unwrap();
+        let server = DynamicServer::start(
+            index,
+            DynamicServeConfig {
+                deadline: Duration::from_micros(50),
+                max_batch: 32,
+                compaction_budget: 64,
+            },
+        );
+        let handle = server.handle();
+        let mut updates: Vec<(f64, f64)> = Vec::new();
+        let mut observed: Vec<(f64, f64, Served)> = Vec::new();
+        for i in 0..200 {
+            let k = 3_900.25 + (i % 80) as f64;
+            handle.insert(k, 2.0).unwrap();
+            updates.push((k, 2.0));
+            if i % 5 == 0 {
+                let (lo, hi) = (i as f64 * 13.0, i as f64 * 13.0 + 700.0);
+                let served = handle.query_served(lo, hi);
+                // Single client: every update submitted so far must be
+                // drained before the answering batch.
+                assert_eq!(served.updates_applied, updates.len() as u64, "query {i}");
+                observed.push((lo, hi, served));
+            }
+        }
+        let stage_log = server.stage_log();
+        let (index, stats) = server.shutdown();
+        assert_eq!(stats.updates, 200, "shutdown must drain every queued update");
+        assert!(index.rebuilds() >= 1, "buffer limit 48 must have compacted while serving");
+        assert!(
+            stats.compaction_steps >= 2,
+            "budget 64 on a multi-segment rebuild must take several idle-gap steps: {stats:?}"
+        );
+        // Every served answer is bitwise-identical to a direct query on
+        // the quiesced replay of its provenance point — including the
+        // answers served while a rebuild was in flight.
+        for (qi, &(lo, hi, served)) in observed.iter().enumerate() {
+            let oracle = replay_oracle(
+                &base,
+                delta,
+                config,
+                limit,
+                &updates,
+                &stage_log,
+                served.updates_applied,
+                served.rebuilds,
+            );
+            let expect = AggregateIndex::query(&oracle, lo, hi);
+            assert_eq!(
+                served.answer.map(|a| a.value.to_bits()),
+                expect.map(|a| a.value.to_bits()),
+                "query {qi}: served answer must match the quiesced oracle"
+            );
+        }
+        // The handed-back index is live and consistent with a full replay.
+        let final_oracle = replay_oracle(
+            &base,
+            delta,
+            config,
+            limit,
+            &updates,
+            &stage_log,
+            updates.len() as u64,
+            index.rebuilds() as u64,
+        );
+        for i in 0..50 {
+            let (lo, hi) = (i as f64 * 90.0 - 10.0, i as f64 * 90.0 + 600.0);
+            assert_eq!(index.query(lo, hi).to_bits(), final_oracle.query(lo, hi).to_bits());
+        }
+    }
+
+    #[test]
+    fn dynamic_handle_rejects_non_finite_updates_eagerly() {
+        let base: Vec<Record> = (0..100).map(|i| Record::new(i as f64, 1.0)).collect();
+        let index = DynamicPolyFitSum::new(base, 5.0, PolyFitConfig::default(), 1000).unwrap();
+        let server = DynamicServer::start(index, DynamicServeConfig::default());
+        let handle = server.handle();
+        assert!(handle.insert(f64::NAN, 1.0).is_err());
+        assert!(handle.delete(1.0, f64::INFINITY).is_err());
+        assert!(handle.insert(1.5, 2.0).is_ok());
+        let ans = handle.query(0.0, 50.0);
+        assert!(ans.is_some());
+        let (index, stats) = server.shutdown();
+        assert_eq!(index.buffered(), 1, "only the finite update may land");
+        assert_eq!(stats.updates, 1, "rejected updates never reach the loop");
+    }
+}

@@ -87,12 +87,94 @@ impl RangeAggregate {
     }
 }
 
+/// Classification of raw `(lo, hi)` query bounds under the
+/// workspace-wide query-boundary contract (see [`classify_bounds`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryBounds {
+    /// At least one endpoint is NaN or ±∞ — the query is unanswerable.
+    NonFinite,
+    /// `lo > hi` — treated as an empty range.
+    Reversed,
+    /// Finite, ordered bounds — answered normally.
+    Proper,
+}
+
+/// Vet raw client bounds once, uniformly across every implementation.
+///
+/// A serving layer forwards `(lo, hi)` pairs from untrusted clients
+/// straight into whatever index sits behind the trait object, so the
+/// meaning of a reversed or non-finite range must not be
+/// implementation-dependent (historically it was: some structures
+/// answered `0`, some `None`, some walked a search path with NaN keys).
+/// The contract every [`AggregateIndex`] impl honors:
+///
+/// * **non-finite endpoint** (NaN or ±∞) ⇒ `None` — there is no key it
+///   can denote;
+/// * **reversed bounds** (`lo > hi`) ⇒ the empty-range answer: `0` with
+///   the usual guarantee for SUM/COUNT-family queries, `None` for
+///   extremum and average queries;
+/// * **proper bounds** ⇒ the index answers normally (`lo == hi` is a
+///   proper, possibly empty, range under each kind's own semantics).
+#[inline]
+pub fn classify_bounds(lo: f64, hi: f64) -> QueryBounds {
+    if !lo.is_finite() || !hi.is_finite() {
+        QueryBounds::NonFinite
+    } else if lo > hi {
+        QueryBounds::Reversed
+    } else {
+        QueryBounds::Proper
+    }
+}
+
+/// [`classify_bounds`] for a rectangle: non-finite wins over reversed,
+/// and either axis being reversed makes the rectangle empty.
+#[inline]
+pub fn classify_rect_bounds(u_lo: f64, u_hi: f64, v_lo: f64, v_hi: f64) -> QueryBounds {
+    match (classify_bounds(u_lo, u_hi), classify_bounds(v_lo, v_hi)) {
+        (QueryBounds::NonFinite, _) | (_, QueryBounds::NonFinite) => QueryBounds::NonFinite,
+        (QueryBounds::Reversed, _) | (_, QueryBounds::Reversed) => QueryBounds::Reversed,
+        _ => QueryBounds::Proper,
+    }
+}
+
+/// Apply the query-boundary contract over a batch: contract-degenerate
+/// ranges are answered without touching the index (`None` for non-finite,
+/// `empty` for reversed), proper ranges pass to `run` in their original
+/// relative order, and the results are spliced back positionally. Batches
+/// with no degenerate range take a zero-copy fast path, so overriding
+/// implementations keep their sort-and-share sweep untouched.
+pub fn guarded_batch(
+    ranges: &[(f64, f64)],
+    empty: Option<RangeAggregate>,
+    run: impl FnOnce(&[(f64, f64)]) -> Vec<Option<RangeAggregate>>,
+) -> Vec<Option<RangeAggregate>> {
+    if ranges.iter().all(|&(lo, hi)| classify_bounds(lo, hi) == QueryBounds::Proper) {
+        return run(ranges);
+    }
+    let proper: Vec<(f64, f64)> = ranges
+        .iter()
+        .copied()
+        .filter(|&(lo, hi)| classify_bounds(lo, hi) == QueryBounds::Proper)
+        .collect();
+    let mut inner = run(&proper).into_iter();
+    ranges
+        .iter()
+        .map(|&(lo, hi)| match classify_bounds(lo, hi) {
+            QueryBounds::NonFinite => None,
+            QueryBounds::Reversed => empty,
+            QueryBounds::Proper => inner.next().expect("one inner answer per proper range"),
+        })
+        .collect()
+}
+
 /// A built range-aggregate index over single-key records.
 ///
-/// Object safe: harnesses and the CLI dispatch over `&dyn AggregateIndex`.
-/// Query conventions follow the workspace standard (`polyfit-exact` crate
-/// docs): half-open `(lq, uq]` for SUM/COUNT/AVG, closed step-function
-/// semantics `[lq, uq]` for MAX/MIN.
+/// Object safe: harnesses and the CLI dispatch over `&dyn AggregateIndex`,
+/// and the serving layer shares one index across worker threads as
+/// [`SharedIndex`]. Query conventions follow the workspace standard
+/// (`polyfit-exact` crate docs): half-open `(lq, uq]` for SUM/COUNT/AVG,
+/// closed step-function semantics `[lq, uq]` for MAX/MIN. Every
+/// implementation honors the [`classify_bounds`] boundary contract.
 pub trait AggregateIndex {
     /// Method name as it appears in the paper's tables.
     fn name(&self) -> &'static str;
@@ -183,15 +265,23 @@ impl AggregateIndex for PolyFitSum {
 
     fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
         // Lemma 2: two δ-certified endpoint evaluations → 2δ.
-        Some(RangeAggregate::absolute(PolyFitSum::query(self, lq, uq), 2.0 * self.delta()))
+        match classify_bounds(lq, uq) {
+            QueryBounds::NonFinite => None,
+            QueryBounds::Reversed => Some(RangeAggregate::absolute(0.0, 2.0 * self.delta())),
+            QueryBounds::Proper => {
+                Some(RangeAggregate::absolute(PolyFitSum::query(self, lq, uq), 2.0 * self.delta()))
+            }
+        }
     }
 
     fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<RangeAggregate>> {
         let bound = 2.0 * self.delta();
-        PolyFitSum::query_batch(self, ranges)
-            .into_iter()
-            .map(|v| Some(RangeAggregate::absolute(v, bound)))
-            .collect()
+        guarded_batch(ranges, Some(RangeAggregate::absolute(0.0, bound)), |proper| {
+            PolyFitSum::query_batch(self, proper)
+                .into_iter()
+                .map(|v| Some(RangeAggregate::absolute(v, bound)))
+                .collect()
+        })
     }
 
     fn query_batch_par(
@@ -200,10 +290,12 @@ impl AggregateIndex for PolyFitSum {
         threads: usize,
     ) -> Vec<Option<RangeAggregate>> {
         let bound = 2.0 * self.delta();
-        PolyFitSum::query_batch_par(self, ranges, threads)
-            .into_iter()
-            .map(|v| Some(RangeAggregate::absolute(v, bound)))
-            .collect()
+        guarded_batch(ranges, Some(RangeAggregate::absolute(0.0, bound)), |proper| {
+            PolyFitSum::query_batch_par(self, proper, threads)
+                .into_iter()
+                .map(|v| Some(RangeAggregate::absolute(v, bound)))
+                .collect()
+        })
     }
 
     fn size_bytes(&self) -> usize {
@@ -230,7 +322,12 @@ impl AggregateIndex for PolyFitMax {
     fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
         // Lemma 4: the continuous certification bounds any endpoint by δ.
         // Dispatch on the fold direction recorded at build time, so a
-        // MIN-built index answers minima through the trait.
+        // MIN-built index answers minima through the trait. Reversed
+        // ranges cover no step of the staircase: the empty answer is
+        // `None`, same as a range left of the domain.
+        if classify_bounds(lq, uq) != QueryBounds::Proper {
+            return None;
+        }
         let v = match self.orientation() {
             Extremum::Max => self.query_max(lq, uq),
             Extremum::Min => self.query_min(lq, uq),
@@ -239,12 +336,14 @@ impl AggregateIndex for PolyFitMax {
     }
 
     fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<RangeAggregate>> {
-        let vals = match self.orientation() {
-            Extremum::Max => self.query_batch_max(ranges),
-            Extremum::Min => self.query_batch_min(ranges),
-        };
         let delta = self.delta();
-        vals.into_iter().map(|v| v.map(|v| RangeAggregate::absolute(v, delta))).collect()
+        guarded_batch(ranges, None, |proper| {
+            let vals = match self.orientation() {
+                Extremum::Max => self.query_batch_max(proper),
+                Extremum::Min => self.query_batch_min(proper),
+            };
+            vals.into_iter().map(|v| v.map(|v| RangeAggregate::absolute(v, delta))).collect()
+        })
     }
 
     fn size_bytes(&self) -> usize {
@@ -268,15 +367,24 @@ impl AggregateIndex for DynamicPolyFitSum {
     fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
         // The delta buffer contributes exactly; the bound is the base's
         // (and holds before, during, and after a shadow compaction).
-        Some(RangeAggregate::absolute(DynamicPolyFitSum::query(self, lq, uq), 2.0 * self.delta()))
+        match classify_bounds(lq, uq) {
+            QueryBounds::NonFinite => None,
+            QueryBounds::Reversed => Some(RangeAggregate::absolute(0.0, 2.0 * self.delta())),
+            QueryBounds::Proper => Some(RangeAggregate::absolute(
+                DynamicPolyFitSum::query(self, lq, uq),
+                2.0 * self.delta(),
+            )),
+        }
     }
 
     fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<RangeAggregate>> {
         let bound = 2.0 * self.delta();
-        DynamicPolyFitSum::query_batch(self, ranges)
-            .into_iter()
-            .map(|v| Some(RangeAggregate::absolute(v, bound)))
-            .collect()
+        guarded_batch(ranges, Some(RangeAggregate::absolute(0.0, bound)), |proper| {
+            DynamicPolyFitSum::query_batch(self, proper)
+                .into_iter()
+                .map(|v| Some(RangeAggregate::absolute(v, bound)))
+                .collect()
+        })
     }
 
     fn query_batch_par(
@@ -285,10 +393,12 @@ impl AggregateIndex for DynamicPolyFitSum {
         threads: usize,
     ) -> Vec<Option<RangeAggregate>> {
         let bound = 2.0 * self.delta();
-        DynamicPolyFitSum::query_batch_par(self, ranges, threads)
-            .into_iter()
-            .map(|v| Some(RangeAggregate::absolute(v, bound)))
-            .collect()
+        guarded_batch(ranges, Some(RangeAggregate::absolute(0.0, bound)), |proper| {
+            DynamicPolyFitSum::query_batch_par(self, proper, threads)
+                .into_iter()
+                .map(|v| Some(RangeAggregate::absolute(v, bound)))
+                .collect()
+        })
     }
 
     fn size_bytes(&self) -> usize {
@@ -311,16 +421,26 @@ impl AggregateIndex for GuaranteedSum {
     }
 
     fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
-        Some(RangeAggregate::absolute(self.query_abs(lq, uq), 2.0 * self.index().delta()))
+        match classify_bounds(lq, uq) {
+            QueryBounds::NonFinite => None,
+            QueryBounds::Reversed => {
+                Some(RangeAggregate::absolute(0.0, 2.0 * self.index().delta()))
+            }
+            QueryBounds::Proper => {
+                Some(RangeAggregate::absolute(self.query_abs(lq, uq), 2.0 * self.index().delta()))
+            }
+        }
     }
 
     fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<RangeAggregate>> {
         let bound = 2.0 * self.index().delta();
-        self.index()
-            .query_batch(ranges)
-            .into_iter()
-            .map(|v| Some(RangeAggregate::absolute(v, bound)))
-            .collect()
+        guarded_batch(ranges, Some(RangeAggregate::absolute(0.0, bound)), |proper| {
+            self.index()
+                .query_batch(proper)
+                .into_iter()
+                .map(|v| Some(RangeAggregate::absolute(v, bound)))
+                .collect()
+        })
     }
 
     fn query_batch_par(
@@ -329,11 +449,13 @@ impl AggregateIndex for GuaranteedSum {
         threads: usize,
     ) -> Vec<Option<RangeAggregate>> {
         let bound = 2.0 * self.index().delta();
-        self.index()
-            .query_batch_par(ranges, threads)
-            .into_iter()
-            .map(|v| Some(RangeAggregate::absolute(v, bound)))
-            .collect()
+        guarded_batch(ranges, Some(RangeAggregate::absolute(0.0, bound)), |proper| {
+            self.index()
+                .query_batch_par(proper, threads)
+                .into_iter()
+                .map(|v| Some(RangeAggregate::absolute(v, bound)))
+                .collect()
+        })
     }
 
     fn size_bytes(&self) -> usize {
@@ -355,16 +477,21 @@ impl AggregateIndex for GuaranteedMax {
     }
 
     fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
+        if classify_bounds(lq, uq) != QueryBounds::Proper {
+            return None;
+        }
         self.query_abs(lq, uq).map(|v| RangeAggregate::absolute(v, self.index().delta()))
     }
 
     fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<RangeAggregate>> {
         let delta = self.index().delta();
-        self.index()
-            .query_batch_max(ranges)
-            .into_iter()
-            .map(|v| v.map(|v| RangeAggregate::absolute(v, delta)))
-            .collect()
+        guarded_batch(ranges, None, |proper| {
+            self.index()
+                .query_batch_max(proper)
+                .into_iter()
+                .map(|v| v.map(|v| RangeAggregate::absolute(v, delta)))
+                .collect()
+        })
     }
 
     fn size_bytes(&self) -> usize {
@@ -386,16 +513,21 @@ impl AggregateIndex for GuaranteedMin {
     }
 
     fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
+        if classify_bounds(lq, uq) != QueryBounds::Proper {
+            return None;
+        }
         self.query_abs(lq, uq).map(|v| RangeAggregate::absolute(v, self.index().delta()))
     }
 
     fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<RangeAggregate>> {
         let delta = self.index().delta();
-        self.index()
-            .query_batch_min(ranges)
-            .into_iter()
-            .map(|v| v.map(|v| RangeAggregate::absolute(v, delta)))
-            .collect()
+        guarded_batch(ranges, None, |proper| {
+            self.index()
+                .query_batch_min(proper)
+                .into_iter()
+                .map(|v| v.map(|v| RangeAggregate::absolute(v, delta)))
+                .collect()
+        })
     }
 
     fn size_bytes(&self) -> usize {
@@ -417,14 +549,22 @@ impl AggregateIndex for GuaranteedAvg {
     }
 
     fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
+        // The average of an empty range is undefined — reversed bounds
+        // answer `None`, matching the count-indistinguishable-from-zero
+        // refusal a proper empty range produces.
+        if classify_bounds(lq, uq) != QueryBounds::Proper {
+            return None;
+        }
         GuaranteedAvg::query(self, lq, uq).map(|ans| RangeAggregate::absolute(ans.value, ans.bound))
     }
 
     fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<RangeAggregate>> {
-        GuaranteedAvg::query_batch(self, ranges)
-            .into_iter()
-            .map(|ans| ans.map(|ans| RangeAggregate::absolute(ans.value, ans.bound)))
-            .collect()
+        guarded_batch(ranges, None, |proper| {
+            GuaranteedAvg::query_batch(self, proper)
+                .into_iter()
+                .map(|ans| ans.map(|ans| RangeAggregate::absolute(ans.value, ans.bound)))
+                .collect()
+        })
     }
 
     fn size_bytes(&self) -> usize {
@@ -473,8 +613,16 @@ impl AggregateIndex for RelDispatch<GuaranteedSum> {
     }
 
     fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
-        let ans = self.driver.query_rel(lq, uq, self.eps_rel);
-        Some(RangeAggregate::relative(ans.value, self.eps_rel, ans.used_fallback))
+        match classify_bounds(lq, uq) {
+            QueryBounds::NonFinite => None,
+            // An empty range's SUM of 0 always fails the Lemma 3
+            // certificate, so the (exact, trivially 0) fallback answers.
+            QueryBounds::Reversed => Some(RangeAggregate::relative(0.0, self.eps_rel, true)),
+            QueryBounds::Proper => {
+                let ans = self.driver.query_rel(lq, uq, self.eps_rel);
+                Some(RangeAggregate::relative(ans.value, self.eps_rel, ans.used_fallback))
+            }
+        }
     }
 
     fn size_bytes(&self) -> usize {
@@ -496,6 +644,9 @@ impl AggregateIndex for RelDispatch<GuaranteedMax> {
     }
 
     fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
+        if classify_bounds(lq, uq) != QueryBounds::Proper {
+            return None;
+        }
         self.driver
             .query_rel(lq, uq, self.eps_rel)
             .map(|ans| RangeAggregate::relative(ans.value, self.eps_rel, ans.used_fallback))
@@ -520,6 +671,9 @@ impl AggregateIndex for RelDispatch<GuaranteedMin> {
     }
 
     fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
+        if classify_bounds(lq, uq) != QueryBounds::Proper {
+            return None;
+        }
         self.driver
             .query_rel(lq, uq, self.eps_rel)
             .map(|ans| RangeAggregate::relative(ans.value, self.eps_rel, ans.used_fallback))
@@ -619,11 +773,48 @@ macro_rules! delegate_aggregate_index_2d {
 delegate_aggregate_index!(&T, Box<T>, std::rc::Rc<T>, std::sync::Arc<T>);
 delegate_aggregate_index_2d!(&T, Box<T>, std::rc::Rc<T>, std::sync::Arc<T>);
 
+/// A shareable, thread-safe aggregate index — the form the serving layer
+/// ([`crate::serve`]) answers from. [`AggregateIndex`] deliberately does
+/// *not* require `Send + Sync` (single-threaded harnesses share
+/// structures behind `Rc`), so concurrent consumers name the bound at the
+/// trait-object level instead.
+pub type SharedIndex = std::sync::Arc<dyn AggregateIndex + Send + Sync>;
+
+// Object-safety and thread-safety audit: the serving layer holds every
+// index as `Arc<dyn AggregateIndex + Send + Sync>` and fans queries out
+// across worker threads, so (a) both traits must stay object safe and
+// (b) every index meant to be served must be `Send + Sync`. Compile-time
+// assertions so a regression fails the build, not a production serve.
+const _: () = {
+    const fn object_safe(_: Option<&dyn AggregateIndex>, _: Option<&dyn AggregateIndex2d>) {}
+    object_safe(None, None);
+    const fn servable<T: AggregateIndex + Send + Sync>() {}
+    servable::<PolyFitSum>();
+    servable::<PolyFitMax>();
+    servable::<DynamicPolyFitSum>();
+    servable::<GuaranteedSum>();
+    servable::<GuaranteedMax>();
+    servable::<GuaranteedMin>();
+    servable::<GuaranteedAvg>();
+    servable::<RelDispatch<GuaranteedSum>>();
+    servable::<RelDispatch<GuaranteedMax>>();
+    servable::<RelDispatch<GuaranteedMin>>();
+    servable::<KeyCumulativeArray>();
+    servable::<AggTree>();
+    servable::<BPlusTree>();
+    servable::<CertifiedRelSum<PolyFitSum, KeyCumulativeArray>>();
+};
+
 /// Lemma 3-style relative dispatch for *any* SUM-family approximate index
 /// with a δ-bounded cumulative function: the approximate answer is
 /// certified iff `A ≥ 2δ(1 + 1/ε_rel)`; otherwise the exact structure
 /// answers. This is the generic form of the per-method fallback arms the
 /// bench harness used to copy-paste for RMI and the FITing-tree.
+///
+/// The query-boundary contract is inherited from the wrapped indexes:
+/// non-finite bounds propagate their `None`, and a reversed range's `0`
+/// always fails the certificate, landing on the (exact, trivially `0`)
+/// fallback — identically in the one-shot and batched paths.
 pub struct CertifiedRelSum<I, E> {
     approx: I,
     exact: E,
@@ -704,11 +895,20 @@ impl AggregateIndex for KeyCumulativeArray {
     }
 
     fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
-        Some(RangeAggregate::exact(self.range_sum(lq, uq)))
+        match classify_bounds(lq, uq) {
+            QueryBounds::NonFinite => None,
+            QueryBounds::Reversed => Some(RangeAggregate::exact(0.0)),
+            QueryBounds::Proper => Some(RangeAggregate::exact(self.range_sum(lq, uq))),
+        }
     }
 
     fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<RangeAggregate>> {
-        self.range_sum_batch(ranges).into_iter().map(|v| Some(RangeAggregate::exact(v))).collect()
+        guarded_batch(ranges, Some(RangeAggregate::exact(0.0)), |proper| {
+            self.range_sum_batch(proper)
+                .into_iter()
+                .map(|v| Some(RangeAggregate::exact(v)))
+                .collect()
+        })
     }
 
     fn size_bytes(&self) -> usize {
@@ -726,11 +926,16 @@ impl AggregateIndex for AggTree {
     }
 
     fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
+        if classify_bounds(lq, uq) != QueryBounds::Proper {
+            return None;
+        }
         self.range_max(lq, uq).map(RangeAggregate::exact)
     }
 
     fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<RangeAggregate>> {
-        self.range_max_batch(ranges).into_iter().map(|v| v.map(RangeAggregate::exact)).collect()
+        guarded_batch(ranges, None, |proper| {
+            self.range_max_batch(proper).into_iter().map(|v| v.map(RangeAggregate::exact)).collect()
+        })
     }
 
     fn size_bytes(&self) -> usize {
@@ -748,11 +953,20 @@ impl AggregateIndex for BPlusTree {
     }
 
     fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
-        Some(RangeAggregate::exact(self.range_sum(lq, uq)))
+        match classify_bounds(lq, uq) {
+            QueryBounds::NonFinite => None,
+            QueryBounds::Reversed => Some(RangeAggregate::exact(0.0)),
+            QueryBounds::Proper => Some(RangeAggregate::exact(self.range_sum(lq, uq))),
+        }
     }
 
     fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<RangeAggregate>> {
-        self.range_sum_batch(ranges).into_iter().map(|v| Some(RangeAggregate::exact(v))).collect()
+        guarded_batch(ranges, Some(RangeAggregate::exact(0.0)), |proper| {
+            self.range_sum_batch(proper)
+                .into_iter()
+                .map(|v| Some(RangeAggregate::exact(v)))
+                .collect()
+        })
     }
 
     fn size_bytes(&self) -> usize {
@@ -770,8 +984,14 @@ impl AggregateIndex2d for ARTree {
     }
 
     fn query_rect(&self, u_lo: f64, u_hi: f64, v_lo: f64, v_hi: f64) -> Option<RangeAggregate> {
-        let rect = Rect::new(u_lo, u_hi, v_lo, v_hi);
-        Some(RangeAggregate::exact(self.range_count(&rect) as f64))
+        match classify_rect_bounds(u_lo, u_hi, v_lo, v_hi) {
+            QueryBounds::NonFinite => None,
+            QueryBounds::Reversed => Some(RangeAggregate::exact(0.0)),
+            QueryBounds::Proper => {
+                let rect = Rect::new(u_lo, u_hi, v_lo, v_hi);
+                Some(RangeAggregate::exact(self.range_count(&rect) as f64))
+            }
+        }
     }
 
     fn size_bytes(&self) -> usize {
@@ -794,7 +1014,14 @@ impl AggregateIndex2d for QuadPolyFit {
 
     fn query_rect(&self, u_lo: f64, u_hi: f64, v_lo: f64, v_hi: f64) -> Option<RangeAggregate> {
         // Lemma 6: four δ-certified patch evaluations → 4δ.
-        Some(RangeAggregate::absolute(self.query(u_lo, u_hi, v_lo, v_hi), 4.0 * self.delta()))
+        match classify_rect_bounds(u_lo, u_hi, v_lo, v_hi) {
+            QueryBounds::NonFinite => None,
+            QueryBounds::Reversed => Some(RangeAggregate::absolute(0.0, 4.0 * self.delta())),
+            QueryBounds::Proper => Some(RangeAggregate::absolute(
+                self.query(u_lo, u_hi, v_lo, v_hi),
+                4.0 * self.delta(),
+            )),
+        }
     }
 
     fn size_bytes(&self) -> usize {
@@ -816,10 +1043,16 @@ impl AggregateIndex2d for Guaranteed2dCount {
     }
 
     fn query_rect(&self, u_lo: f64, u_hi: f64, v_lo: f64, v_hi: f64) -> Option<RangeAggregate> {
-        Some(RangeAggregate::absolute(
-            self.query_abs(u_lo, u_hi, v_lo, v_hi),
-            4.0 * self.index().delta(),
-        ))
+        match classify_rect_bounds(u_lo, u_hi, v_lo, v_hi) {
+            QueryBounds::NonFinite => None,
+            QueryBounds::Reversed => {
+                Some(RangeAggregate::absolute(0.0, 4.0 * self.index().delta()))
+            }
+            QueryBounds::Proper => Some(RangeAggregate::absolute(
+                self.query_abs(u_lo, u_hi, v_lo, v_hi),
+                4.0 * self.index().delta(),
+            )),
+        }
     }
 
     fn size_bytes(&self) -> usize {
@@ -855,8 +1088,16 @@ impl AggregateIndex2d for RelDispatch2d {
     }
 
     fn query_rect(&self, u_lo: f64, u_hi: f64, v_lo: f64, v_hi: f64) -> Option<RangeAggregate> {
-        let ans = self.driver.query_rel(u_lo, u_hi, v_lo, v_hi, self.eps_rel);
-        Some(RangeAggregate::relative(ans.value, self.eps_rel, ans.used_fallback))
+        match classify_rect_bounds(u_lo, u_hi, v_lo, v_hi) {
+            QueryBounds::NonFinite => None,
+            // An empty rectangle's COUNT of 0 fails the certificate; the
+            // (exact, trivially 0) fallback answers.
+            QueryBounds::Reversed => Some(RangeAggregate::relative(0.0, self.eps_rel, true)),
+            QueryBounds::Proper => {
+                let ans = self.driver.query_rel(u_lo, u_hi, v_lo, v_hi, self.eps_rel);
+                Some(RangeAggregate::relative(ans.value, self.eps_rel, ans.used_fallback))
+            }
+        }
     }
 
     fn size_bytes(&self) -> usize {
@@ -976,6 +1217,55 @@ mod tests {
         let with_insert = dyn_idx.query(100.0, 101.0).unwrap();
         assert_eq!(with_insert.guarantee, Guarantee::Absolute(10.0));
         assert!(dyn_idx.size_bytes() > idx.base().unwrap().size_bytes());
+    }
+
+    #[test]
+    fn bounds_classification() {
+        assert_eq!(classify_bounds(1.0, 2.0), QueryBounds::Proper);
+        assert_eq!(classify_bounds(2.0, 2.0), QueryBounds::Proper);
+        assert_eq!(classify_bounds(3.0, 2.0), QueryBounds::Reversed);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(classify_bounds(bad, 2.0), QueryBounds::NonFinite);
+            assert_eq!(classify_bounds(2.0, bad), QueryBounds::NonFinite);
+        }
+        // Non-finite wins over reversed, on either axis of a rectangle.
+        assert_eq!(classify_bounds(f64::INFINITY, f64::NEG_INFINITY), QueryBounds::NonFinite);
+        assert_eq!(classify_rect_bounds(0.0, 1.0, 0.0, 1.0), QueryBounds::Proper);
+        assert_eq!(classify_rect_bounds(1.0, 0.0, 0.0, 1.0), QueryBounds::Reversed);
+        assert_eq!(classify_rect_bounds(0.0, 1.0, 2.0, 1.0), QueryBounds::Reversed);
+        assert_eq!(classify_rect_bounds(1.0, 0.0, f64::NAN, 1.0), QueryBounds::NonFinite);
+    }
+
+    #[test]
+    fn guarded_batch_splices_contract_answers() {
+        let idx = PolyFitSum::build(records(1000), 10.0, PolyFitConfig::default()).unwrap();
+        let dyn_idx: &dyn AggregateIndex = &idx;
+        let ranges = [
+            (100.0, 500.0),
+            (f64::NAN, 500.0),
+            (400.0, 100.0),
+            (50.0, 800.0),
+            (f64::INFINITY, f64::NEG_INFINITY),
+            (7.0, 7.0),
+        ];
+        let batch = dyn_idx.query_batch(&ranges);
+        let par = dyn_idx.query_batch_par(&ranges, 3);
+        assert_eq!(batch.len(), ranges.len());
+        for (i, &(lo, hi)) in ranges.iter().enumerate() {
+            let single = dyn_idx.query(lo, hi);
+            assert_eq!(
+                batch[i].map(|a| a.value.to_bits()),
+                single.map(|a| a.value.to_bits()),
+                "range {i}"
+            );
+            assert_eq!(
+                par[i].map(|a| a.value.to_bits()),
+                single.map(|a| a.value.to_bits()),
+                "par range {i}"
+            );
+        }
+        assert!(batch[1].is_none() && batch[4].is_none(), "non-finite ⇒ None");
+        assert_eq!(batch[2].unwrap().value, 0.0, "reversed ⇒ empty SUM");
     }
 
     #[test]

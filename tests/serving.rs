@@ -1,0 +1,264 @@
+//! Property tests for the concurrent serving layer: interleaved
+//! submit/update streams from multiple client threads, verified
+//! bitwise against a quiesced-index oracle.
+//!
+//! The dynamic loop's provenance makes exact verification possible even
+//! though compaction interleaves with serving: every [`Served`] answer
+//! carries `(updates_applied, rebuilds)`, and the server records the
+//! update count at which each rebuild was staged. Replaying the update
+//! prefix, staging at the recorded points, and swapping exactly
+//! `rebuilds` of them reproduces the served index state bit-for-bit —
+//! an in-flight (staged but unswapped) rebuild is bitwise-transparent
+//! (the PR 3 compaction-boundary invariant this suite extends), and a
+//! swapped rebuild's state is a deterministic function of its staged
+//! content (stepped == blocking).
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use polyfit_suite::exact::dataset::Record;
+use polyfit_suite::polyfit::prelude::*;
+use polyfit_suite::polyfit::{DynamicServeConfig, PolyFitSum, ServeConfig};
+
+/// One step of the client workload.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(f64, f64),
+    Delete(f64, f64),
+    /// Query endpoint *selectors* — mapped to concrete (possibly
+    /// degenerate) bounds by [`endpoints_of`].
+    Query(usize, usize),
+}
+
+/// Map selector pairs to concrete query bounds, covering proper,
+/// reversed, out-of-domain, and non-finite shapes.
+fn endpoints_of(sa: usize, sb: usize) -> (f64, f64) {
+    let coord = |s: usize| -200.0 + (s % 900) as f64 * 0.5;
+    match sa % 11 {
+        0 => (coord(sb), coord(sa)),     // frequently reversed
+        1 => (f64::NAN, coord(sb)),      // non-finite low
+        2 => (coord(sb), f64::INFINITY), // non-finite high
+        3 => (coord(sa), coord(sa)),     // degenerate
+        _ => {
+            let (a, b) = (coord(sa), coord(sb) + 120.0);
+            (a.min(b), a.max(b).max(a)) // proper
+        }
+    }
+}
+
+fn ops_strategy(max_ops: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0u8..4, -150.0f64..150.0, 0.25f64..6.0, 0usize..1000, 0usize..1000),
+        8..max_ops,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(kind, k, m, sa, sb)| match kind {
+                0 | 1 => Op::Insert(k, m),
+                2 => Op::Delete(k, m),
+                _ => Op::Query(sa, sb),
+            })
+            .collect()
+    })
+}
+
+fn base_records(n: usize) -> Vec<Record> {
+    (0..n).map(|i| Record::new(i as f64 * 0.5 - 100.0, 1.0 + (i % 3) as f64)).collect()
+}
+
+fn capped_config() -> PolyFitConfig {
+    PolyFitConfig { max_segment_len: Some(96), ..PolyFitConfig::default() }
+}
+
+/// Replay the update prefix with the recorded compaction history: stage
+/// at each logged point, swap the first `swaps`, skip the rest. The
+/// result answers bit-for-bit like the serving loop's index did at
+/// provenance `(upto, swaps)`.
+fn replay_oracle(
+    delta: f64,
+    limit: usize,
+    updates: &[Update],
+    stage_log: &[u64],
+    upto: u64,
+    swaps: u64,
+) -> DynamicPolyFitSum {
+    let mut o = DynamicPolyFitSum::new(base_records(600), delta, capped_config(), limit).unwrap();
+    o.set_step_budget(0);
+    let mut si = 0usize;
+    for (i, &u) in updates.iter().take(upto as usize).enumerate() {
+        match u {
+            Update::Insert { key, measure } => o.insert(key, measure),
+            Update::Delete { key, measure } => o.delete(key, measure),
+        }
+        while si < stage_log.len() && stage_log[si] <= (i + 1) as u64 {
+            if (si as u64) < swaps {
+                assert!(o.begin_compaction(), "logged stage {si} must have work");
+                o.compact_now();
+            }
+            si += 1;
+        }
+    }
+    o
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The dynamic loop under interleaved multi-client traffic: one
+    /// writer thread streams updates while two client threads submit
+    /// queries concurrently; every served answer must equal a direct
+    /// query on the quiesced replay of its provenance point — including
+    /// answers served while a compaction was staged or mid-rebuild.
+    #[test]
+    fn served_answers_match_quiesced_replay(
+        ops in ops_strategy(48),
+        delta in 4.0f64..20.0,
+        limit in 4usize..16,
+    ) {
+        let index =
+            DynamicPolyFitSum::new(base_records(600), delta, capped_config(), limit).unwrap();
+        let server = polyfit_suite::polyfit::DynamicServer::start(
+            index,
+            DynamicServeConfig {
+                deadline: Duration::from_micros(30),
+                max_batch: 8,
+                // Tiny budget: rebuilds span many idle gaps, so queries
+                // regularly land mid-compaction.
+                compaction_budget: 48,
+            },
+        );
+        // Two query clients fed round-robin over channels — queries
+        // interleave with the writer from genuinely distinct threads.
+        let mut senders = Vec::new();
+        let mut clients = Vec::new();
+        for _ in 0..2 {
+            let (tx, rx) = mpsc::channel::<(f64, f64)>();
+            let handle = server.handle();
+            senders.push(tx);
+            clients.push(std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                for (lo, hi) in rx {
+                    seen.push((lo, hi, handle.query_served(lo, hi)));
+                }
+                seen
+            }));
+        }
+        let writer = server.handle();
+        let mut updates: Vec<Update> = Vec::new();
+        let mut qi = 0usize;
+        for op in &ops {
+            match *op {
+                Op::Insert(k, m) => {
+                    writer.insert(k, m).unwrap();
+                    updates.push(Update::Insert { key: k, measure: m });
+                }
+                Op::Delete(k, m) => {
+                    writer.delete(k, m).unwrap();
+                    updates.push(Update::Delete { key: k, measure: m });
+                }
+                Op::Query(sa, sb) => {
+                    let (lo, hi) = endpoints_of(sa, sb);
+                    senders[qi % senders.len()].send((lo, hi)).unwrap();
+                    qi += 1;
+                }
+            }
+        }
+        drop(senders);
+        let mut observed = Vec::new();
+        for c in clients {
+            observed.extend(c.join().expect("client thread panicked"));
+        }
+        let stage_log = server.stage_log();
+        let (final_index, _stats) = server.shutdown();
+
+        for (i, &(lo, hi, served)) in observed.iter().enumerate() {
+            let oracle = replay_oracle(
+                delta,
+                limit,
+                &updates,
+                &stage_log,
+                served.updates_applied,
+                served.rebuilds,
+            );
+            let expect = AggregateIndex::query(&oracle, lo, hi);
+            let got = served.answer;
+            prop_assert_eq!(
+                got.map(|a| a.value.to_bits()),
+                expect.map(|a| a.value.to_bits()),
+                "query {} ({}, {}] at provenance ({}, {}): served {:?} vs oracle {:?}",
+                i, lo, hi, served.updates_applied, served.rebuilds, got, expect
+            );
+        }
+        // The handed-back index equals the full replay (all updates, all
+        // completed swaps), so the serving session leaves a state any
+        // offline consumer can reproduce.
+        let oracle = replay_oracle(
+            delta,
+            limit,
+            &updates,
+            &stage_log,
+            updates.len() as u64,
+            final_index.rebuilds() as u64,
+        );
+        prop_assert_eq!(final_index.buffered(), oracle.buffered());
+        for s in 0..30usize {
+            let (lo, hi) = (s as f64 * 12.0 - 150.0, s as f64 * 12.0 + 60.0);
+            prop_assert_eq!(
+                final_index.query(lo, hi).to_bits(),
+                oracle.query(lo, hi).to_bits(),
+                "final state probe {}", s
+            );
+        }
+    }
+
+    /// The read-only thread-per-core server: concurrent clients over a
+    /// shared static index get answers bitwise-identical to direct
+    /// `query` calls, for proper and degenerate bounds alike.
+    #[test]
+    fn static_server_matches_direct_queries(
+        selectors in proptest::collection::vec((0usize..1000, 0usize..1000), 4..40),
+        workers in 1usize..4,
+    ) {
+        let index: SharedIndex = Arc::new(
+            PolyFitSum::build(base_records(800), 10.0, capped_config()).unwrap(),
+        );
+        let server = polyfit_suite::polyfit::Server::start(
+            Arc::clone(&index),
+            ServeConfig {
+                workers,
+                deadline: Duration::from_micros(40),
+                max_batch: 8,
+            },
+        );
+        let probes: Vec<(f64, f64)> =
+            selectors.iter().map(|&(sa, sb)| endpoints_of(sa, sb)).collect();
+        let mut clients = Vec::new();
+        for c in 0..2usize {
+            let handle = server.handle();
+            let probes = probes.clone();
+            clients.push(std::thread::spawn(move || {
+                probes
+                    .into_iter()
+                    .skip(c)
+                    .map(|(lo, hi)| (lo, hi, handle.query_served(lo, hi)))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for c in clients {
+            for (lo, hi, served) in c.join().expect("client thread panicked") {
+                let direct = index.query(lo, hi);
+                prop_assert_eq!(
+                    served.answer.map(|a| a.value.to_bits()),
+                    direct.map(|a| a.value.to_bits()),
+                    "({}, {}]", lo, hi
+                );
+                prop_assert_eq!(served.updates_applied, 0u64);
+                prop_assert!(served.batch_len >= 1);
+            }
+        }
+        server.shutdown();
+    }
+}
