@@ -8,6 +8,14 @@
 //! number is written. Emits `results/BENCH_query.json`, the
 //! machine-readable record tracked across PRs.
 //!
+//! PR 6 adds the batched-engine columns: `interleaved` times the
+//! lockstep K-way Eytzinger descent (`locate_batch`) with scalar Horner
+//! evaluation, `soa` times the full engine (`locate_eval_batch`:
+//! interleaved descent + lane-pack Horner over the transposed rows), and
+//! `batch` now routes through that engine inside `query_batch`. All
+//! engine answers are asserted bitwise-equal to the scalar compiled path
+//! (and the oracle) before the JSON is written.
+//!
 //! The parallel batch path (`query_batch_par`) is timed too, for the
 //! ROADMAP trajectory; its speedup is hardware-gated (a 1-CPU box sees
 //! ~1.0×, like the build pipeline — see ROADMAP.md).
@@ -111,6 +119,8 @@ struct Row {
     workload: &'static str,
     ns_old: f64,
     ns_compiled: f64,
+    ns_interleaved: f64,
+    ns_soa: f64,
     ns_batch: f64,
     ns_batch_par: f64,
 }
@@ -131,6 +141,7 @@ fn main() {
 
     let mut rows: Vec<Row> = Vec::new();
     let mut bitwise_equal = true;
+    let mut engine_bitwise_equal = true;
 
     for &h in &[h1, h2] {
         // A length cap of `pts` with a loose δ makes the greedy
@@ -167,6 +178,27 @@ fn main() {
                 }
             }
 
+            // Engine equality gate: the batched primitives (lockstep
+            // interleaved descent, and descent + lane-pack Horner) must
+            // match the scalar compiled primitives bit-for-bit on the
+            // workload's endpoint keys.
+            let dir = idx.directory();
+            let endpoint_keys: Vec<f64> = w.ranges.iter().flat_map(|&(l, u)| [l, u]).collect();
+            let engine_vals = dir.locate_eval_batch(&endpoint_keys);
+            let engine_locs = dir.locate_batch(&endpoint_keys);
+            for (j, &k) in endpoint_keys.iter().enumerate() {
+                let sv = dir.locate_eval(k);
+                let equal = engine_locs[j] == dir.locate(k)
+                    && match (engine_vals[j], sv) {
+                        (Some(a), Some(b)) => a.to_bits() == b.to_bits(),
+                        (a, b) => a == b,
+                    };
+                if !equal {
+                    eprintln!("ENGINE MISMATCH h={h} {} key {k}", w.name);
+                    engine_bitwise_equal = false;
+                }
+            }
+
             // Timing: warm both paths once, then interleave measurement
             // rounds and keep each path's minimum — the shared container
             // this runs on injects spikes that a single long measurement
@@ -182,22 +214,62 @@ fn main() {
                     ns_compiled.min(measure_ns(&w.ranges, repeats, |&(l, u)| idx.query(l, u)));
             }
             let batch_unit = [w.ranges.clone()];
+            let key_unit = [endpoint_keys];
+            let mut ns_interleaved = f64::INFINITY;
+            let mut ns_soa = f64::INFINITY;
             let mut ns_batch = f64::INFINITY;
             let mut ns_batch_par = f64::INFINITY;
             for _ in 0..rounds {
+                // Interleaved column: lockstep descents, scalar Horner —
+                // isolates the descent-overlap win from the lane kernels.
+                ns_interleaved = ns_interleaved.min(measure_ns(&key_unit, repeats, |ks| {
+                    let locs = dir.locate_batch(ks);
+                    let mut acc = 0.0;
+                    for (j, loc) in locs.iter().enumerate() {
+                        if let Some(i) = loc {
+                            acc += dir.eval(*i, ks[j]);
+                        }
+                    }
+                    acc
+                }));
+                // SoA column: the full engine — lockstep descents feeding
+                // lane-transposed Horner packs.
+                ns_soa = ns_soa.min(measure_ns(&key_unit, repeats, |ks| dir.locate_eval_batch(ks)));
                 ns_batch = ns_batch.min(measure_ns(&batch_unit, repeats, |r| idx.query_batch(r)));
                 ns_batch_par = ns_batch_par
                     .min(measure_ns(&batch_unit, repeats, |r| idx.query_batch_par(r, threads)));
             }
+            // Per-query normalisation: one range = two endpoint probes.
+            ns_interleaved /= m as f64;
+            ns_soa /= m as f64;
             ns_batch /= m as f64;
             ns_batch_par /= m as f64;
-            rows.push(Row { h, workload: w.name, ns_old, ns_compiled, ns_batch, ns_batch_par });
+            rows.push(Row {
+                h,
+                workload: w.name,
+                ns_old,
+                ns_compiled,
+                ns_interleaved,
+                ns_soa,
+                ns_batch,
+                ns_batch_par,
+            });
         }
     }
 
     let mut table = ResultsTable::new(
-        "Query hot path: oracle vs compiled (ns/query)",
-        &["h", "workload", "old", "compiled", "speedup", "batch", "batch_par"],
+        "Query hot path: oracle vs compiled vs batched engine (ns/query)",
+        &[
+            "h",
+            "workload",
+            "old",
+            "compiled",
+            "speedup",
+            "interleaved",
+            "soa",
+            "batch",
+            "batch_par",
+        ],
     );
     for r in &rows {
         table.row(&[
@@ -206,6 +278,8 @@ fn main() {
             fmt_ns(r.ns_old),
             fmt_ns(r.ns_compiled),
             format!("{:.2}x", r.speedup()),
+            fmt_ns(r.ns_interleaved),
+            fmt_ns(r.ns_soa),
             fmt_ns(r.ns_batch),
             fmt_ns(r.ns_batch_par),
         ]);
@@ -219,6 +293,7 @@ fn main() {
 
     // The bench refuses to write numbers for a path that changed answers.
     assert!(bitwise_equal, "compiled path diverged from the oracle path");
+    assert!(engine_bitwise_equal, "batched engine diverged from the scalar compiled path");
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"h_small\": {h1},");
@@ -233,19 +308,27 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{\"h\": {}, \"workload\": \"{}\", \"ns_old\": {:.2}, \
-             \"ns_compiled\": {:.2}, \"speedup\": {:.4}, \"ns_batch\": {:.2}, \
-             \"ns_batch_par\": {:.2}}}{comma}",
+             \"ns_compiled\": {:.2}, \"speedup\": {:.4}, \"ns_interleaved\": {:.2}, \
+             \"ns_soa\": {:.2}, \"ns_batch\": {:.2}, \"ns_batch_par\": {:.2}}}{comma}",
             r.h,
             r.workload,
             r.ns_old,
             r.ns_compiled,
             r.speedup(),
+            r.ns_interleaved,
+            r.ns_soa,
             r.ns_batch,
             r.ns_batch_par,
         );
     }
     json.push_str("  ],\n");
     let _ = writeln!(json, "  \"long_range_speedup_large_h\": {:.4},", long_large.speedup());
+    let _ = writeln!(
+        json,
+        "  \"engine_batch_speedup_large_h\": {:.4},",
+        long_large.ns_compiled / long_large.ns_batch
+    );
+    let _ = writeln!(json, "  \"engine_bitwise_equal\": {engine_bitwise_equal},");
     let _ = writeln!(json, "  \"bitwise_equal\": {bitwise_equal}");
     json.push_str("}\n");
 
@@ -261,5 +344,12 @@ fn main() {
         long_large.speedup(),
         fmt_ns(long_large.ns_old),
         fmt_ns(long_large.ns_compiled),
+    );
+    println!(
+        "engine batch speedup at h = {h2}: {:.2}x (compiled scalar {} vs engine batch {} \
+         per query)",
+        long_large.ns_compiled / long_large.ns_batch,
+        fmt_ns(long_large.ns_compiled),
+        fmt_ns(long_large.ns_batch),
     );
 }

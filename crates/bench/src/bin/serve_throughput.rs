@@ -19,8 +19,9 @@
 //! Emits `results/BENCH_serve.json`. Single-worker numbers on a 1-CPU
 //! box are hardware-gated (same measurement note as the build pipeline
 //! and `query_batch_par`, see ROADMAP.md): batching still wins by
-//! amortizing per-request overhead into one sort-and-share sweep, but
-//! multi-worker scaling needs a multicore machine.
+//! amortizing per-request overhead into one engine-batched
+//! `query_batch` call (PR 6: lockstep interleaved descents + lane-pack
+//! Horner), but multi-worker scaling needs a multicore machine.
 //!
 //! Usage: `cargo run --release -p polyfit-bench --bin serve_throughput
 //!         [--records 200000] [--requests 8192] [--clients 4]
@@ -325,7 +326,8 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"note\": \"single serving worker; 1-CPU container — multi-worker scaling is \
-         hardware-gated (see ROADMAP), batching gains come from the shared sort-and-share sweep\""
+         hardware-gated (see ROADMAP), batching gains come from the SIMD-batched descent \
+         engine behind query_batch\""
     );
     json.push_str("}\n");
 

@@ -23,7 +23,23 @@
 //! the exact `Segment` (padding zeros trim back off because stored
 //! polynomials never carry trailing zeros), which is how serialization
 //! and the dynamic index's segment-reuse compaction read the directory.
+//!
+//! On top of the scalar primitives sits the **batched execution engine**
+//! ([`CompiledDirectory::locate_batch`] /
+//! [`CompiledDirectory::locate_eval_batch`]): probes are processed in
+//! groups of [`DESCENT_LANES`], the Eytzinger descents of a group run in
+//! branch-free lockstep (so the dependent cache misses of different
+//! probes overlap instead of serialising), and the degree-monomorphized
+//! Horner kernels evaluate the whole group as [`F64x8`] lane packs — 8
+//! segment rows per arithmetic instruction, transposed from the arena
+//! rows into per-coefficient lanes. Every lane evaluates an independent
+//! row with the exact scalar operation order (no re-association, no
+//! FMA), so the engine is held **bitwise-identical** to the scalar
+//! [`CompiledDirectory::locate_eval`] path. The `scalar-hotpath` cargo
+//! feature forces the engine to fall back to the scalar path, proving
+//! the fallback stays green.
 
+use polyfit_lanes::F64x8;
 use polyfit_poly::{Polynomial, ShiftedPolynomial};
 
 use crate::function::TargetFunction;
@@ -218,6 +234,34 @@ impl HornerKernel {
 /// `scale`.
 const ROW_HEADER: usize = 4;
 
+/// Number of concurrent Eytzinger descents the batched engine keeps in
+/// flight per group — one outstanding cache line per probe per level.
+/// Matches [`F64x8::LANES`] so a located group feeds one lane-pack Horner
+/// evaluation.
+pub const DESCENT_LANES: usize = F64x8::LANES;
+
+/// Run the selected Horner kernel over one arena row — the scalar
+/// reference the lane kernels are held bitwise-equal to.
+#[inline]
+fn eval_row(kernel: HornerKernel, r: &[f64], k: f64) -> f64 {
+    let t = (k.clamp(r[0], r[1]) - r[2]) / r[3];
+    let c = &r[ROW_HEADER..];
+    match kernel {
+        HornerKernel::Zero => 0.0,
+        HornerKernel::Constant => c[0],
+        HornerKernel::Affine => c[1] * t + c[0],
+        HornerKernel::Quadratic => (c[2] * t + c[1]) * t + c[0],
+        HornerKernel::Cubic => ((c[3] * t + c[2]) * t + c[1]) * t + c[0],
+        HornerKernel::Generic => {
+            let mut acc = 0.0;
+            for &cj in c.iter().rev() {
+                acc = acc * t + cj;
+            }
+            acc
+        }
+    }
+}
+
 /// The flattened, cache-conscious segment directory — the default read
 /// path behind every 1-D PolyFit index.
 ///
@@ -241,9 +285,19 @@ pub struct CompiledDirectory {
     /// Kept keys-only (the slot → rank map lives in `eytz_rank`): packing
     /// ranks next to the keys halves the walk's cache-line density and
     /// measures strictly slower at every directory size.
+    ///
+    /// Padded with NaN out to `1 << levels` slots so the batched engine's
+    /// lockstep descents can run a fixed `levels` iterations without
+    /// per-lane depth branches: a NaN pad compares `false` against every
+    /// probe, so a lane that exhausted its real subtree keeps turning
+    /// left through pads without ever touching `pred`. Scalar walks slice
+    /// the `h + 1` prefix (keeping their bounds checks elidable).
     eytz: Vec<f64>,
     /// Eytzinger slot (1-based) → sorted rank (0-based).
     eytz_rank: Vec<u32>,
+    /// Depth of the Eytzinger tree: the fixed iteration count of a
+    /// lockstep descent (`⌊log₂ h⌋ + 1`, or 0 when empty).
+    levels: u32,
     /// The row arena: `h` rows of `ROW_HEADER + coeff_stride` floats, in
     /// sorted segment order (the batch sweep reads it sequentially).
     rows: Vec<f64>,
@@ -301,7 +355,7 @@ impl CompiledDirectory {
             max_error = max_error.max(s.error);
             logical_bytes += s.logical_size_bytes();
         }
-        let (eytz, eytz_rank) = build_eytzinger(&lo_keys);
+        let (eytz, eytz_rank, levels) = build_eytzinger(&lo_keys);
         let mut rows_eytz = vec![0.0f64; (h + 1) * row_stride];
         for (slot, &rank) in eytz_rank.iter().enumerate().skip(1) {
             let src = rank as usize * row_stride;
@@ -312,6 +366,7 @@ impl CompiledDirectory {
             lo_keys,
             eytz,
             eytz_rank,
+            levels,
             rows,
             rows_eytz,
             row_stride,
@@ -330,9 +385,10 @@ impl CompiledDirectory {
     /// `partition_point`.
     #[inline]
     fn upper_rank(&self, k: f64) -> usize {
-        // Bound the walk by the indexed array itself (`eytz.len() == h+1`)
-        // so the per-level bounds check is provably redundant and elided.
-        let eytz = self.eytz.as_slice();
+        // Bound the walk by the indexed slice itself (the `h + 1` prefix
+        // of the padded array) so the per-level bounds check is provably
+        // redundant and elided.
+        let eytz = &self.eytz[..self.lo_keys.len() + 1];
         let h = eytz.len() - 1;
         let mut i = 1usize;
         while i <= h {
@@ -358,27 +414,6 @@ impl CompiledDirectory {
         self.upper_rank(k).checked_sub(1)
     }
 
-    /// Run the selected Horner kernel over one arena row.
-    #[inline]
-    fn eval_row(&self, r: &[f64], k: f64) -> f64 {
-        let t = (k.clamp(r[0], r[1]) - r[2]) / r[3];
-        let c = &r[ROW_HEADER..];
-        match self.kernel {
-            HornerKernel::Zero => 0.0,
-            HornerKernel::Constant => c[0],
-            HornerKernel::Affine => c[1] * t + c[0],
-            HornerKernel::Quadratic => (c[2] * t + c[1]) * t + c[0],
-            HornerKernel::Cubic => ((c[3] * t + c[2]) * t + c[1]) * t + c[0],
-            HornerKernel::Generic => {
-                let mut acc = 0.0;
-                for &cj in c.iter().rev() {
-                    acc = acc * t + cj;
-                }
-                acc
-            }
-        }
-    }
-
     /// Evaluate segment `i`'s polynomial at `k`, clamped into the segment
     /// interval — bitwise-identical to
     /// [`Segment::eval_clamped`](crate::segment::Segment::eval_clamped)
@@ -389,7 +424,7 @@ impl CompiledDirectory {
     /// not reproduce the trimmed oracle's NaN propagation bit-for-bit.
     #[inline]
     pub fn eval(&self, i: usize, k: f64) -> f64 {
-        self.eval_row(&self.rows[i * self.row_stride..(i + 1) * self.row_stride], k)
+        eval_row(self.kernel, &self.rows[i * self.row_stride..(i + 1) * self.row_stride], k)
     }
 
     /// Locate-and-evaluate in one fused call — the point-query hot path.
@@ -402,7 +437,7 @@ impl CompiledDirectory {
     /// `locate(k).map(|i| eval(i, k))`.
     #[inline]
     pub fn locate_eval(&self, k: f64) -> Option<f64> {
-        let eytz = self.eytz.as_slice();
+        let eytz = &self.eytz[..self.lo_keys.len() + 1];
         let h = eytz.len() - 1;
         let mut i = 1usize;
         let mut pred = 0usize;
@@ -414,7 +449,164 @@ impl CompiledDirectory {
         if pred == 0 {
             return None;
         }
-        Some(self.eval_row(&self.rows_eytz[pred * self.row_stride..][..self.row_stride], k))
+        Some(eval_row(self.kernel, &self.rows_eytz[pred * self.row_stride..][..self.row_stride], k))
+    }
+
+    // -----------------------------------------------------------------
+    // Batched execution engine: lockstep descents + lane-pack Horner
+    // -----------------------------------------------------------------
+
+    /// Descend one group of [`DESCENT_LANES`] probes in lockstep: every
+    /// level issues one independent load per lane (the dependent misses
+    /// of the K walks overlap), tracking each lane's predecessor slot
+    /// with a conditional move exactly like [`Self::locate_eval`]. Runs a
+    /// fixed `levels` iterations over the NaN-padded array — a lane whose
+    /// real subtree is exhausted strides on through pads (`NaN <= k` is
+    /// false, so `pred` is never disturbed and the walk only moves to
+    /// ever-larger pad slots).
+    #[inline]
+    fn descend_group(&self, ks: &[f64; DESCENT_LANES]) -> [usize; DESCENT_LANES] {
+        let eytz = self.eytz.as_slice();
+        let mut i = [1usize; DESCENT_LANES];
+        let mut pred = [0usize; DESCENT_LANES];
+        for _ in 0..self.levels {
+            for w in 0..DESCENT_LANES {
+                let le = eytz[i[w]] <= ks[w];
+                pred[w] = if le { i[w] } else { pred[w] };
+                i[w] = 2 * i[w] + usize::from(le);
+            }
+        }
+        pred
+    }
+
+    /// Lane-pack Horner over one located group: the `C` coefficients (and
+    /// the row header) of the 8 predecessor rows are transposed from the
+    /// Eytzinger-ordered arena into per-coefficient [`F64x8`] lanes, and
+    /// the monomorphized multiply/add ladder runs once over the whole
+    /// pack. Each lane performs the exact scalar operation sequence of
+    /// [`eval_row`]'s degree-`C-1` arm on its own row — no re-association,
+    /// no cross-lane arithmetic — so results are bitwise-identical to
+    /// per-probe [`Self::locate_eval`]. Lanes with `pred == 0` (no owning
+    /// segment) read the all-zero pad row; their values are garbage and
+    /// the caller discards them.
+    #[inline]
+    fn eval_group<const C: usize>(
+        &self,
+        ks: &[f64; DESCENT_LANES],
+        pred: &[usize; DESCENT_LANES],
+    ) -> F64x8 {
+        debug_assert_eq!(C, self.coeff_stride);
+        let stride = self.row_stride;
+        let rows = self.rows_eytz.as_slice();
+        let lo = F64x8::from_fn(|w| rows[pred[w] * stride]);
+        let hi = F64x8::from_fn(|w| rows[pred[w] * stride + 1]);
+        let center = F64x8::from_fn(|w| rows[pred[w] * stride + 2]);
+        let scale = F64x8::from_fn(|w| rows[pred[w] * stride + 3]);
+        let t = (F64x8(*ks).clamp_ordered(lo, hi) - center) / scale;
+        let mut acc = F64x8::from_fn(|w| rows[pred[w] * stride + ROW_HEADER + C - 1]);
+        for p in (0..C - 1).rev() {
+            let c = F64x8::from_fn(|w| rows[pred[w] * stride + ROW_HEADER + p]);
+            acc = acc * t + c;
+        }
+        acc
+    }
+
+    /// [`Self::eval_group`] plus the `pred == 0 → None` resolution,
+    /// handing each lane's answer to the sink.
+    #[inline]
+    fn emit_group<const C: usize>(
+        &self,
+        ks: &[f64; DESCENT_LANES],
+        pred: &[usize; DESCENT_LANES],
+        base: usize,
+        sink: &mut impl FnMut(usize, Option<f64>),
+    ) {
+        let vals = self.eval_group::<C>(ks, pred);
+        for w in 0..DESCENT_LANES {
+            sink(base + w, (pred[w] != 0).then(|| vals[w]));
+        }
+    }
+
+    /// Batched [`Self::locate`]: one lockstep descent group per
+    /// [`DESCENT_LANES`] probes (remainder scalar). Probes may arrive in
+    /// any order and include NaN/±∞; `out[j]` is bitwise-identical to
+    /// `locate(keys[j])`.
+    pub fn locate_batch(&self, keys: &[f64]) -> Vec<Option<usize>> {
+        if cfg!(feature = "scalar-hotpath") {
+            return keys.iter().map(|&k| self.locate(k)).collect();
+        }
+        let mut out = Vec::with_capacity(keys.len());
+        let mut groups = keys.chunks_exact(DESCENT_LANES);
+        for ks in &mut groups {
+            let ks: &[f64; DESCENT_LANES] = ks.try_into().expect("exact chunk");
+            let pred = self.descend_group(ks);
+            for &p in &pred {
+                out.push((p != 0).then(|| self.eytz_rank[p] as usize));
+            }
+        }
+        out.extend(groups.remainder().iter().map(|&k| self.locate(k)));
+        out
+    }
+
+    /// Batched fused locate-and-evaluate — the data-parallel engine the
+    /// batch query paths dispatch probe groups through. Equivalent to
+    /// `keys.iter().map(|&k| self.locate_eval(k))` with every answer
+    /// bitwise-identical, but executed as lockstep descent groups feeding
+    /// lane-pack Horner kernels. With the `scalar-hotpath` feature (or a
+    /// `Generic`-kernel directory of degree > 3) evaluation falls back to
+    /// the scalar path per probe.
+    pub fn locate_eval_batch(&self, keys: &[f64]) -> Vec<Option<f64>> {
+        let mut out = vec![None; keys.len()];
+        self.locate_eval_batch_each(keys, &mut |j, v| out[j] = v);
+        out
+    }
+
+    /// Engine core: run the batch and hand `(probe index, answer)` pairs
+    /// to `sink` (grouped probes first, remainder last — not in probe
+    /// order).
+    pub(crate) fn locate_eval_batch_each(
+        &self,
+        keys: &[f64],
+        sink: &mut impl FnMut(usize, Option<f64>),
+    ) {
+        if cfg!(feature = "scalar-hotpath") {
+            for (j, &k) in keys.iter().enumerate() {
+                sink(j, self.locate_eval(k));
+            }
+            return;
+        }
+        let mut base = 0usize;
+        while base + DESCENT_LANES <= keys.len() {
+            let ks: &[f64; DESCENT_LANES] =
+                keys[base..base + DESCENT_LANES].try_into().expect("exact chunk");
+            let pred = self.descend_group(ks);
+            match self.kernel {
+                HornerKernel::Zero => {
+                    for (w, &p) in pred.iter().enumerate() {
+                        sink(base + w, (p != 0).then_some(0.0));
+                    }
+                }
+                HornerKernel::Constant => self.emit_group::<1>(ks, &pred, base, sink),
+                HornerKernel::Affine => self.emit_group::<2>(ks, &pred, base, sink),
+                HornerKernel::Quadratic => self.emit_group::<3>(ks, &pred, base, sink),
+                HornerKernel::Cubic => self.emit_group::<4>(ks, &pred, base, sink),
+                HornerKernel::Generic => {
+                    // Degree > 3: interleaved descents still pay off; the
+                    // variable-length Horner loop stays scalar per lane.
+                    for (w, (&p, &k)) in pred.iter().zip(ks).enumerate() {
+                        let v = (p != 0).then(|| {
+                            let row = &self.rows_eytz[p * self.row_stride..][..self.row_stride];
+                            eval_row(self.kernel, row, k)
+                        });
+                        sink(base + w, v);
+                    }
+                }
+            }
+            base += DESCENT_LANES;
+        }
+        for (j, &k) in keys.iter().enumerate().skip(base) {
+            sink(j, self.locate_eval(k));
+        }
     }
 
     /// Number of segments `h`.
@@ -501,24 +693,47 @@ impl CompiledDirectory {
     }
 
     /// A monotone lookup cursor for ascending key sweeps, starting before
-    /// the first segment.
+    /// the first segment. The directory invariants the per-probe loop
+    /// needs (key slice, row arena, stride, kernel tag) are loaded once
+    /// here instead of being re-derived on every call.
     pub fn cursor(&self) -> CompiledCursor<'_> {
-        CompiledCursor { dir: self, upper: 0 }
+        CompiledCursor {
+            lo_keys: &self.lo_keys,
+            rows: &self.rows,
+            row_stride: self.row_stride,
+            kernel: self.kernel,
+            upper: 0,
+        }
     }
 
     /// A cursor pre-positioned at `k` by one branchless lookup, so a sweep
     /// restricted to a sub-range of the key domain (the parallel batch
     /// path's per-thread chunks) does not gallop from the domain start.
     pub fn cursor_at(&self, k: f64) -> CompiledCursor<'_> {
-        CompiledCursor { dir: self, upper: if k.is_nan() { 0 } else { self.upper_rank(k) } }
+        let mut c = self.cursor();
+        c.upper = if k.is_nan() { 0 } else { self.upper_rank(k) };
+        c
     }
 }
 
 /// Fill the Eytzinger array (and its slot → sorted-rank map) by an
-/// in-order walk of the implicit complete tree.
-fn build_eytzinger(sorted: &[f64]) -> (Vec<f64>, Vec<u32>) {
+/// in-order walk of the implicit complete tree, then pad it with NaN
+/// sentinels out to `1 << levels` slots so the lockstep batched descent
+/// can run every lane for exactly `levels` iterations without bounds
+/// branches. Returns `(eytz, rank, levels)` where
+/// `levels = ⌊log₂ h⌋ + 1` is the scalar walk's maximum step count.
+///
+/// Why pads are safe: `NaN <= k` is false for every `k`, so a lane that
+/// lands on a pad never updates its predecessor and only ever steps to
+/// the (even larger, also padded) left child `2i` — once a walk leaves
+/// the real `1..=h` slots it can never re-enter them.
+fn build_eytzinger(sorted: &[f64]) -> (Vec<f64>, Vec<u32>, u32) {
     let h = sorted.len();
-    let mut eytz = vec![f64::NAN; h + 1];
+    let levels = if h == 0 { 0 } else { usize::BITS - h.leading_zeros() };
+    // Max index reachable at the last lockstep step is 2^levels - 1, so
+    // 1 << levels slots always cover both the real tree and the pads.
+    let padded = (1usize << levels).max(h + 1);
+    let mut eytz = vec![f64::NAN; padded];
     let mut rank = vec![0u32; h + 1];
     fn fill(sorted: &[f64], eytz: &mut [f64], rank: &mut [u32], slot: usize, next: &mut usize) {
         if slot <= sorted.len() {
@@ -532,14 +747,19 @@ fn build_eytzinger(sorted: &[f64]) -> (Vec<f64>, Vec<u32>) {
     let mut next = 0usize;
     fill(sorted, &mut eytz, &mut rank, 1, &mut next);
     debug_assert_eq!(next, h);
-    (eytz, rank)
+    (eytz, rank, levels)
 }
 
 /// See [`CompiledDirectory::cursor`]. Feeding keys out of ascending order
-/// is a logic error (the cursor never rewinds).
+/// is a logic error (the cursor never rewinds). The cursor carries the
+/// invariant directory state (key slice, arena, stride, kernel tag) as
+/// plain fields so the per-probe loop touches no double indirection.
 #[derive(Clone, Debug)]
 pub struct CompiledCursor<'a> {
-    dir: &'a CompiledDirectory,
+    lo_keys: &'a [f64],
+    rows: &'a [f64],
+    row_stride: usize,
+    kernel: HornerKernel,
     /// Number of `lo_keys` known to be ≤ the last key seen.
     upper: usize,
 }
@@ -553,11 +773,20 @@ impl CompiledCursor<'_> {
             // `partition_point(lo <= NaN)` is 0: mirror `locate` exactly.
             return None;
         }
-        let lo_keys = &self.dir.lo_keys;
+        let lo_keys = self.lo_keys;
         while self.upper < lo_keys.len() && lo_keys[self.upper] <= k {
             self.upper += 1;
         }
         self.upper.checked_sub(1)
+    }
+
+    /// Fused monotone locate-and-evaluate, bitwise-identical to
+    /// [`CompiledDirectory::locate_eval`] for ascending keys — the scalar
+    /// sweep analogue of the batched engine.
+    #[inline]
+    pub fn locate_eval(&mut self, k: f64) -> Option<f64> {
+        let i = self.locate(k)?;
+        Some(eval_row(self.kernel, &self.rows[i * self.row_stride..][..self.row_stride], k))
     }
 }
 
@@ -721,6 +950,99 @@ mod tests {
         assert_eq!(compiled.segments_logical_bytes(), oracle.segments_logical_bytes());
         assert_eq!(compiled.extrema_leaves(), oracle.extrema_leaves());
         assert_eq!(compiled.segments().len(), oracle.segments().len());
+    }
+
+    /// Engine batch vs per-probe scalar reference, bit for bit.
+    fn assert_batch_matches_scalar(compiled: &CompiledDirectory, keys: &[f64]) {
+        let batch = compiled.locate_eval_batch(keys);
+        let located = compiled.locate_batch(keys);
+        assert_eq!(batch.len(), keys.len());
+        assert_eq!(located.len(), keys.len());
+        for (j, &k) in keys.iter().enumerate() {
+            let scalar = compiled.locate_eval(k);
+            match (batch[j], scalar) {
+                (Some(b), Some(s)) => {
+                    assert_eq!(b.to_bits(), s.to_bits(), "probe {j} (key {k})")
+                }
+                (b, s) => assert_eq!(b, s, "probe {j} (key {k})"),
+            }
+            assert_eq!(located[j], compiled.locate(k), "probe {j} (key {k})");
+        }
+    }
+
+    #[test]
+    fn batch_engine_matches_scalar_mixed_probes() {
+        let compiled = CompiledDirectory::from_segments(segments());
+        // Mixed NaN/±∞/boundary probes, in descent-hostile order, sized so
+        // full groups AND a non-empty remainder both execute.
+        let keys = [
+            25.0,
+            f64::NAN,
+            -0.1,
+            0.0,
+            f64::INFINITY,
+            9.99,
+            f64::NEG_INFINITY,
+            10.0,
+            1e9,
+            -0.0,
+            20.0,
+        ];
+        assert_batch_matches_scalar(&compiled, &keys);
+    }
+
+    #[test]
+    fn batch_engine_handles_tiny_directories_and_batches() {
+        // h < DESCENT_LANES, including h = 1, plus batch sizes 0..2K+1
+        // so every remainder length is exercised.
+        for h in 1..DESCENT_LANES + 2 {
+            let segs: Vec<Segment> =
+                (0..h).map(|i| segment(i as f64 * 10.0, (i + 1) as f64 * 10.0)).collect();
+            let compiled = CompiledDirectory::from_segments(segs);
+            for batch in 0..=2 * DESCENT_LANES + 1 {
+                let keys: Vec<f64> = (0..batch).map(|j| (j as f64 * 7.3) - 5.0).collect();
+                assert_batch_matches_scalar(&compiled, &keys);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_engine_empty_directory() {
+        let compiled = CompiledDirectory::from_segments(Vec::new());
+        let keys = [0.0, 1.0, f64::NAN, f64::INFINITY, -3.5, 2.0, 7.0, 8.0, 9.0];
+        assert!(compiled.locate_eval_batch(&keys).iter().all(Option::is_none));
+        assert!(compiled.locate_batch(&keys).iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn batch_engine_covers_every_kernel_arm() {
+        // One directory per coefficient stride 0..=5 (Zero through
+        // Generic): the engine's kernel dispatch must agree with the
+        // scalar arm bitwise in each case.
+        for stride in 0..=5usize {
+            let mk = |lo: f64, hi: f64, seed: usize| Segment {
+                lo_key: lo,
+                hi_key: hi,
+                poly: ShiftedPolynomial::new(
+                    Polynomial::new(
+                        (0..stride).map(|p| (seed * 3 + p) as f64 * 0.37 - 1.1).collect(),
+                    ),
+                    0.5 * (lo + hi),
+                    0.5 * (hi - lo),
+                ),
+                error: 0.1,
+                value_max: 9.0,
+                value_min: -9.0,
+            };
+            let segs: Vec<Segment> =
+                (0..DESCENT_LANES + 3).map(|i| mk(i as f64, (i + 1) as f64, i)).collect();
+            let compiled = CompiledDirectory::from_segments(segs);
+            let keys: Vec<f64> = (0..3 * DESCENT_LANES)
+                .map(|j| (j as f64 * 1.37) % 13.0 - 1.0)
+                .chain([f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0])
+                .collect();
+            assert_batch_matches_scalar(&compiled, &keys);
+        }
     }
 
     #[test]

@@ -827,8 +827,8 @@ impl DynamicPolyFitSum {
     }
 
     /// Batched range SUM: the static base answers all ranges through its
-    /// sort-and-share sweep, the buffer contributes exactly per range.
-    /// Bitwise identical to per-range [`Self::query`] calls.
+    /// SIMD-batched descent engine, the buffer contributes exactly per
+    /// range. Bitwise identical to per-range [`Self::query`] calls.
     pub fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<f64> {
         match &self.base {
             Some(b) => self.combine_batch(ranges, b.query_batch(ranges)),
@@ -836,8 +836,8 @@ impl DynamicPolyFitSum {
         }
     }
 
-    /// Opt-in parallel batched range SUM: the base index sweeps the
-    /// sorted endpoints across `threads` workers
+    /// Opt-in parallel batched range SUM: the base index splits the
+    /// ranges across `threads` engine workers
     /// ([`PolyFitSum::query_batch_par`]); the exact buffer contribution is
     /// folded in per range afterwards. Bitwise identical to
     /// [`Self::query_batch`] for any thread count.

@@ -261,8 +261,9 @@ impl PolyFitMax {
 
     /// Batched range MAX, bitwise identical to per-range
     /// [`Self::query_max`] calls. The `2m` (clamped) endpoints are located
-    /// with one sorted sweep of the segment directory; the boundary
-    /// maximisation and extrema-tree lookups then run per query.
+    /// by the directory's lockstep batched descent engine
+    /// ([`CompiledDirectory::locate_batch`]); the boundary maximisation
+    /// and extrema-tree lookups then run per query.
     pub fn query_batch_max(&self, ranges: &[(f64, f64)]) -> Vec<Option<f64>> {
         self.query_batch_impl(ranges, true)
     }
@@ -284,13 +285,16 @@ impl PolyFitMax {
                 uq
             }
         };
-        let mut order: Vec<usize> = (0..2 * ranges.len()).collect();
-        order.sort_unstable_by(|&a, &b| endpoint(a).total_cmp(&endpoint(b)));
-        let mut located: Vec<Option<usize>> = vec![None; 2 * ranges.len()];
-        let mut cursor = self.dir.cursor();
-        for &e in &order {
-            let k = endpoint(e);
-            located[e] = if k < self.domain.0 { None } else { cursor.locate(k) };
+        // Independent lockstep descents need no endpoint sort; `locate`
+        // already answers `None` for NaN and keys left of the first
+        // segment, and the explicit domain guard mirrors the single-query
+        // path for directories whose first `lo_key` sits above `domain.0`.
+        let keys: Vec<f64> = (0..2 * ranges.len()).map(endpoint).collect();
+        let mut located = self.dir.locate_batch(&keys);
+        for (e, loc) in located.iter_mut().enumerate() {
+            if endpoint(e) < self.domain.0 {
+                *loc = None;
+            }
         }
         ranges
             .iter()

@@ -169,40 +169,48 @@ impl PolyFitSum {
     /// Batched range SUM: answers every `(lq, uq]` of `ranges`, bitwise
     /// identical to per-range [`Self::query`] calls.
     ///
-    /// Sort-and-share execution: the `2m` endpoints are sorted once, the
-    /// segment directory is walked with a single monotone cursor
-    /// (`O(m log m + m·deg + h)` instead of `m` independent
-    /// `O(log h + deg)` probes), and duplicate endpoints hit the same
-    /// already-located segment.
+    /// Engine execution: out-of-domain endpoints resolve to the exact
+    /// constants `0` / `total` without touching the directory; the
+    /// in-domain endpoints are dense-packed and dispatched through
+    /// [`CompiledDirectory::locate_eval_batch_each`], which runs
+    /// [`DESCENT_LANES`](crate::directory::DESCENT_LANES) Eytzinger
+    /// descents in lockstep (overlapping their dependent cache misses)
+    /// and evaluates the located rows with lane-pack Horner kernels. No
+    /// endpoint sort is needed — the descents are independent — and every
+    /// lane reproduces the scalar operation sequence exactly, so answers
+    /// stay bitwise-equal to the scalar path.
     pub fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<f64> {
-        let order = sorted_endpoint_order(ranges);
-        let mut cf = vec![0.0f64; 2 * ranges.len()];
-        let mut cursor = self.dir.cursor();
-        for &e in &order {
+        let m2 = 2 * ranges.len();
+        let mut cf = vec![0.0f64; m2];
+        let mut keys = Vec::with_capacity(m2);
+        let mut slots = Vec::with_capacity(m2);
+        for (e, slot) in cf.iter_mut().enumerate() {
             let k = endpoint_of(ranges, e);
-            cf[e] = if k < self.domain.0 {
-                0.0
+            if k < self.domain.0 {
+                // *slot stays 0.0.
             } else if k >= self.domain.1 {
-                self.total
+                *slot = self.total;
             } else {
-                let i = cursor.locate(k).expect("k is inside the key domain");
-                self.dir.eval(i, k)
-            };
+                keys.push(k);
+                slots.push(e);
+            }
         }
+        self.dir.locate_eval_batch_each(&keys, &mut |j, v| {
+            cf[slots[j]] = v.expect("k is inside the key domain");
+        });
         combine_endpoint_cf(ranges, &cf)
     }
 
-    /// Opt-in parallel batched range SUM: the sorted endpoint sweep of
-    /// [`Self::query_batch`] is split into contiguous chunks at segment
-    /// boundaries and each chunk is swept by its own worker (with its own
-    /// monotone cursor, pre-positioned by one branchless lookup) under
-    /// `std::thread::scope`. Every endpoint's CF evaluation is identical
-    /// to the serial sweep's, so the answers are **bitwise-equal** to
-    /// [`Self::query_batch`] for any thread count.
+    /// Opt-in parallel batched range SUM: `ranges` is split into
+    /// contiguous chunks and each chunk runs [`Self::query_batch`] (the
+    /// full batched engine) on its own worker under
+    /// `std::thread::scope`. Per-range answers depend only on that
+    /// range's two endpoints, so the concatenation is **bitwise-equal**
+    /// to the serial [`Self::query_batch`] for any thread count.
     ///
     /// `threads == 0` resolves to the machine's available parallelism;
     /// `threads <= 1` (or a batch too small to split) runs the serial
-    /// sweep. Note the speedup is hardware-gated: on a box with a single
+    /// engine. Note the speedup is hardware-gated: on a box with a single
     /// CPU of FP throughput this degrades gracefully to ~1.0× (same
     /// measurement note as the parallel build pipeline in ROADMAP.md).
     pub fn query_batch_par(&self, ranges: &[(f64, f64)], threads: usize) -> Vec<f64> {
@@ -213,48 +221,23 @@ impl PolyFitSum {
         // these, but the clamp is the documented contract.)
         let threads = polyfit_exact::resolve_threads(threads).min(ranges.len()).max(1);
         // Floor: below a few hundred ranges (or a couple per worker),
-        // thread spawn costs more than the sweep itself.
+        // thread spawn costs more than the batch itself.
         if threads <= 1 || ranges.len() < (2 * threads).max(512) {
             return self.query_batch(ranges);
         }
-        let order = sorted_endpoint_order(ranges);
-        let mut cf = vec![0.0f64; 2 * ranges.len()];
-        let chunk_len = order.len().div_ceil(threads);
-        // Each worker sweeps one contiguous slice of the sorted endpoint
-        // order and writes values for its own endpoints; the scattered
-        // write-back happens after the join (cf indices interleave across
-        // chunks, so workers return (endpoint, value) pairs).
-        let parts: Vec<Vec<(usize, f64)>> = std::thread::scope(|s| {
-            let handles: Vec<_> = order
+        let chunk_len = ranges.len().div_ceil(threads);
+        let parts: Vec<Vec<f64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = ranges
                 .chunks(chunk_len)
-                .map(|chunk| {
-                    s.spawn(move || {
-                        let mut out = Vec::with_capacity(chunk.len());
-                        let mut cursor = self.dir.cursor_at(endpoint_of(ranges, chunk[0]));
-                        for &e in chunk {
-                            let k = endpoint_of(ranges, e);
-                            let v = if k < self.domain.0 {
-                                0.0
-                            } else if k >= self.domain.1 {
-                                self.total
-                            } else {
-                                let i = cursor.locate(k).expect("k is inside the key domain");
-                                self.dir.eval(i, k)
-                            };
-                            out.push((e, v));
-                        }
-                        out
-                    })
-                })
+                .map(|chunk| s.spawn(move || self.query_batch(chunk)))
                 .collect();
             handles.into_iter().map(|h| h.join().expect("query worker panicked")).collect()
         });
+        let mut out = Vec::with_capacity(ranges.len());
         for part in parts {
-            for (e, v) in part {
-                cf[e] = v;
-            }
+            out.extend(part);
         }
-        combine_endpoint_cf(ranges, &cf)
+        out
     }
 
     /// The δ this index certifies per endpoint.
@@ -369,13 +352,6 @@ fn endpoint_of(ranges: &[(f64, f64)], e: usize) -> f64 {
     } else {
         uq
     }
-}
-
-/// Endpoint indices sorted ascending by key (the sort-and-share order).
-fn sorted_endpoint_order(ranges: &[(f64, f64)]) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..2 * ranges.len()).collect();
-    order.sort_unstable_by(|&a, &b| endpoint_of(ranges, a).total_cmp(&endpoint_of(ranges, b)));
-    order
 }
 
 /// Fold per-endpoint CF values back into per-range answers, preserving

@@ -11,9 +11,10 @@
 //!   Clients submit `(lo, hi)` requests through cloneable
 //!   [`ServeHandle`]s; a worker that sees traffic opens a **deadline
 //!   window** (collect ~N µs of requests, or until a batch-size cap),
-//!   answers the whole batch with one sort-and-share
-//!   [`AggregateIndex::query_batch`] sweep, and wakes each waiter with
-//!   its `Option<RangeAggregate>`.
+//!   answers the whole batch with one [`AggregateIndex::query_batch`]
+//!   call — which PR 6 routes through the directory's SIMD-batched
+//!   descent engine — and wakes each waiter with its
+//!   `Option<RangeAggregate>`.
 //! * [`DynamicServer`] — a single loop that *owns* a
 //!   [`DynamicPolyFitSum`], serving queries the same way while draining
 //!   an update queue between batches and driving
@@ -361,7 +362,8 @@ fn collect_batch(
     Some(q.pending.drain(..take).collect())
 }
 
-/// One sort-and-share sweep for the whole batch, then wake every waiter.
+/// One engine-batched `query_batch` call for the whole window, then wake
+/// every waiter.
 fn answer_batch(
     index: &dyn AggregateIndex,
     batch: Vec<PendingQuery>,
@@ -632,7 +634,7 @@ fn dynamic_loop(
             updates_applied += applied as u64;
             shared.counters.updates.fetch_add(applied as u64, Ordering::Relaxed);
         }
-        // Phase 4: one sort-and-share sweep answers the whole batch.
+        // Phase 4: one engine-batched query_batch call answers the batch.
         answer_batch(&index, batch, updates_applied, index.rebuilds() as u64, &shared.counters);
         // Phase 5: idle gap — spend one bounded compaction budget.
         if config.compaction_budget > 0 && (index.is_compacting() || index.needs_compaction()) {

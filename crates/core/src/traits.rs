@@ -142,7 +142,7 @@ pub fn classify_rect_bounds(u_lo: f64, u_hi: f64, v_lo: f64, v_hi: f64) -> Query
 /// `empty` for reversed), proper ranges pass to `run` in their original
 /// relative order, and the results are spliced back positionally. Batches
 /// with no degenerate range take a zero-copy fast path, so overriding
-/// implementations keep their sort-and-share sweep untouched.
+/// implementations keep their batched execution untouched.
 pub fn guarded_batch(
     ranges: &[(f64, f64)],
     empty: Option<RangeAggregate>,
@@ -189,20 +189,21 @@ pub trait AggregateIndex {
     /// Answer a batch of range aggregates: element `i` equals
     /// `self.query(ranges[i].0, ranges[i].1)` bit-for-bit.
     ///
-    /// The default loops over [`Self::query`]; structures with a sorted
-    /// search path override it with sort-and-share execution (endpoints
-    /// sorted once, lookups shared across the batch), which is how heavy
-    /// query traffic should be served.
+    /// The default loops over [`Self::query`]; PolyFit indexes override
+    /// it to dispatch the batch through the compiled directory's
+    /// SIMD-batched descent engine (lockstep interleaved lookups +
+    /// lane-pack Horner evaluation), which is how heavy query traffic
+    /// should be served.
     fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<RangeAggregate>> {
         ranges.iter().map(|&(lq, uq)| self.query(lq, uq)).collect()
     }
 
     /// Opt-in parallel batch execution: answers equal [`Self::query_batch`]
-    /// bit-for-bit, with the sorted endpoint sweep split across up to
-    /// `threads` workers (`0` = available parallelism) where the structure
+    /// bit-for-bit, with the batch split across up to `threads` engine
+    /// workers (`0` = available parallelism) where the structure
     /// supports it. The default ignores `threads` and runs the serial
     /// batch, so every implementation is automatically correct; PolyFit
-    /// SUM indexes override it with a scoped-thread sweep. The speedup is
+    /// SUM indexes override it with scoped-thread chunks. The speedup is
     /// hardware-gated — a box with one CPU of FP throughput sees ~1.0×.
     fn query_batch_par(
         &self,

@@ -161,6 +161,58 @@ proptest! {
         prop_assert_eq!(compiled.segments_logical_bytes(), oracle.segments_logical_bytes());
         prop_assert_eq!(compiled.extrema_leaves(), oracle.extrema_leaves());
     }
+
+    /// The SIMD-batched engine (`locate_eval_batch` / `locate_batch`) is
+    /// bitwise-equal to per-probe scalar `locate_eval` / `locate` on
+    /// adversarial directories — duplicate `lo_key`s, one-ULP tilings,
+    /// ±0.0 boundaries — with NaN/±∞ probes mixed into the batch, batch
+    /// sizes that do not divide the lane count, and tiny directories with
+    /// h < K. The oracle directory referees both paths.
+    #[test]
+    fn batched_engine_matches_scalar_bitwise(
+        steps in proptest::collection::vec((0u8..4, 0u8..40, -9i8..9), 1..48),
+        rot in 0usize..64,
+        truncate in 0usize..17,
+    ) {
+        let segs = segments_from_steps(&steps);
+        let oracle = SegmentDirectory::from_segments(segs.clone());
+        let compiled = CompiledDirectory::from_segments(segs.clone());
+
+        // Scramble probe order (rotation keeps NaN/±∞ at varying lane
+        // positions) and truncate so the length rarely divides the
+        // descent group width.
+        let mut keys = probes_for(&segs);
+        let r = rot % keys.len().max(1);
+        keys.rotate_left(r);
+        keys.truncate(keys.len().saturating_sub(truncate).max(1));
+
+        let vals = compiled.locate_eval_batch(&keys);
+        let locs = compiled.locate_batch(&keys);
+        prop_assert_eq!(vals.len(), keys.len());
+        prop_assert_eq!(locs.len(), keys.len());
+        for (j, &k) in keys.iter().enumerate() {
+            let scalar = compiled.locate_eval(k);
+            match (vals[j], scalar) {
+                (Some(b), Some(s)) => prop_assert_eq!(
+                    b.to_bits(), s.to_bits(), "probe {} (key {})", j, k
+                ),
+                (b, s) => prop_assert_eq!(b, s, "probe {} (key {})", j, k),
+            }
+            prop_assert_eq!(locs[j], oracle.locate(k), "locate probe {} (key {})", j, k);
+            // The fused scalar reference itself matches the oracle
+            // assembly on non-NaN probes (NaN short-circuits to None in
+            // both paths before evaluation).
+            if let Some(i) = oracle.locate(k) {
+                prop_assert_eq!(
+                    scalar.expect("located probes evaluate").to_bits(),
+                    segs[i].eval_clamped(k).to_bits(),
+                    "oracle eval probe {} (key {})", j, k
+                );
+            } else {
+                prop_assert_eq!(scalar, None);
+            }
+        }
+    }
 }
 
 /// The pre-refactor SUM query path, replayed over the oracle assembly:

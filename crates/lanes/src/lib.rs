@@ -1,0 +1,169 @@
+//! Fixed-width `f64` lane packs for the compiled query hot path.
+//!
+//! The container toolchain is stable Rust with no crates.io access, so
+//! neither `std::simd` nor the `wide` crate is available. This crate
+//! vendors the tiny subset the hot path needs: a `[f64; N]` wrapper whose
+//! elementwise operators are written as trivially vectorizable loops.
+//! LLVM's SLP/loop vectorizer lowers each op to packed `mulpd`/`addpd`
+//! (or their AVX widenings when the target allows) without any unsafe
+//! code or intrinsics.
+//!
+//! **Strictness contract:** every operation is elementwise IEEE-754
+//! arithmetic in the written order — no fused multiply-add, no
+//! re-association, no cross-lane reduction. `a * t + c` on a lane pack is
+//! bit-for-bit the scalar `a * t + c` of each lane (Rust never enables FP
+//! contraction, and vectorization cannot change the result of independent
+//! elementwise ops). This is what lets the SIMD query engine assert
+//! bitwise equality against the scalar reference path.
+
+#![no_std]
+
+use core::ops::{Add, Div, Index, IndexMut, Mul, Sub};
+
+macro_rules! lane_pack {
+    ($(#[$doc:meta])* $name:ident, $n:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, PartialEq)]
+        #[repr(transparent)]
+        pub struct $name(pub [f64; $n]);
+
+        impl $name {
+            /// Number of lanes.
+            pub const LANES: usize = $n;
+
+            /// All lanes set to `v`.
+            #[inline(always)]
+            pub fn splat(v: f64) -> Self {
+                Self([v; $n])
+            }
+
+            /// Lane `w` = `f(w)` — the gather/transpose constructor.
+            #[inline(always)]
+            pub fn from_fn(mut f: impl FnMut(usize) -> f64) -> Self {
+                let mut out = [0.0f64; $n];
+                let mut w = 0;
+                while w < $n {
+                    out[w] = f(w);
+                    w += 1;
+                }
+                Self(out)
+            }
+
+            /// The underlying lane array.
+            #[inline(always)]
+            pub fn to_array(self) -> [f64; $n] {
+                self.0
+            }
+
+            /// Elementwise `x.clamp(lo, hi)` for **ordered** bounds
+            /// (`lo ≤ hi`, neither NaN) — the exact branch structure of
+            /// `f64::clamp`, so NaN lanes pass through unchanged and
+            /// `-0.0` is not collapsed onto a `+0.0` bound (both of which
+            /// `f64::max`/`min` chains would get wrong). Lowered to
+            /// `cmppd` + blends.
+            #[inline(always)]
+            pub fn clamp_ordered(self, lo: Self, hi: Self) -> Self {
+                let mut out = self.0;
+                let mut w = 0;
+                while w < $n {
+                    if out[w] < lo.0[w] {
+                        out[w] = lo.0[w];
+                    }
+                    if out[w] > hi.0[w] {
+                        out[w] = hi.0[w];
+                    }
+                    w += 1;
+                }
+                Self(out)
+            }
+        }
+
+        impl Index<usize> for $name {
+            type Output = f64;
+            #[inline(always)]
+            fn index(&self, w: usize) -> &f64 {
+                &self.0[w]
+            }
+        }
+
+        impl IndexMut<usize> for $name {
+            #[inline(always)]
+            fn index_mut(&mut self, w: usize) -> &mut f64 {
+                &mut self.0[w]
+            }
+        }
+
+        lane_binop!($name, $n, Add, add, +=);
+        lane_binop!($name, $n, Sub, sub, -=);
+        lane_binop!($name, $n, Mul, mul, *=);
+        lane_binop!($name, $n, Div, div, /=);
+    };
+}
+
+macro_rules! lane_binop {
+    ($name:ident, $n:literal, $trait:ident, $method:ident, $op:tt) => {
+        impl $trait for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn $method(self, rhs: Self) -> Self {
+                let mut out = self.0;
+                let mut w = 0;
+                while w < $n {
+                    out[w] $op rhs.0[w];
+                    w += 1;
+                }
+                Self(out)
+            }
+        }
+    };
+}
+
+lane_pack! {
+    /// Four `f64` lanes — one AVX register (or two SSE2 ops).
+    F64x4, 4
+}
+lane_pack! {
+    /// Eight `f64` lanes — one AVX-512 register, two AVX ops, or four
+    /// SSE2 ops. The query engine's native group width: wide enough to
+    /// keep eight dependent cache misses in flight per descent group.
+    F64x8, 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elementwise_ops_match_scalar_bitwise() {
+        let a = F64x8::from_fn(|w| 1.5 + w as f64 * 0.3);
+        let b = F64x8::from_fn(|w| -2.0 + w as f64 * 1.7);
+        let horner = a * b + F64x8::splat(0.125);
+        for w in 0..F64x8::LANES {
+            assert_eq!(horner[w].to_bits(), (a[w] * b[w] + 0.125).to_bits());
+            assert_eq!((a - b)[w].to_bits(), (a[w] - b[w]).to_bits());
+            assert_eq!((a / b)[w].to_bits(), (a[w] / b[w]).to_bits());
+        }
+    }
+
+    #[test]
+    fn clamp_ordered_matches_std_clamp() {
+        let lo = F64x4::splat(0.0);
+        let hi = F64x4::splat(1.0);
+        let x = F64x4([-0.0, f64::NAN, 0.5, 7.0]);
+        let c = x.clamp_ordered(lo, hi);
+        for w in 0..F64x4::LANES {
+            let expect = x[w].clamp(0.0, 1.0);
+            assert_eq!(c[w].to_bits(), expect.to_bits(), "lane {w}");
+        }
+        // -0.0 survives a [0.0, 1.0] clamp exactly like f64::clamp.
+        assert_eq!(c[0].to_bits(), (-0.0f64).to_bits());
+        assert!(c[1].is_nan());
+    }
+
+    #[test]
+    fn splat_and_index() {
+        let mut v = F64x8::splat(3.0);
+        v[2] = 9.0;
+        assert_eq!(v.to_array(), [3.0, 3.0, 9.0, 3.0, 3.0, 3.0, 3.0, 3.0]);
+    }
+}
