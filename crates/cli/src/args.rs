@@ -15,12 +15,16 @@ usage:
                 [--workers <N>]   (serving workers, 0 or omitted = all cores)
                 [--window-us <N>] (batch deadline window in µs, default 200)
                 [--batch-cap <N>] (max requests per sweep, default 512; 1 = no batching)
+                [--shards <N>]    (0 or omitted = single serving loop; N >= 1 serves
+                                   through N shared-nothing key-space shards — the
+                                   index file must be a dynamic PFD2 index)
   polyfit-cli info  --index <index.pf>
 
 batch file: one `lo,hi` pair per line; answers print one per line in order.
 serve: replays the request file through the concurrent serving loop
 (deadline-batched query_batch execution) and reports per-request answers
-plus throughput; answers are verified bitwise against direct queries.";
+plus throughput; answers are verified bitwise against direct queries
+(against composed per-shard snapshot reads when --shards is used).";
 
 /// Aggregate kind selected at build time.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -69,6 +73,10 @@ pub enum Command {
         window_us: u64,
         /// Batch-size cap per sweep.
         batch_cap: usize,
+        /// Key-space shards: 0 = the single deadline-batched loop,
+        /// N >= 1 = shared-nothing sharded serving (requires a dynamic
+        /// PFD2 index file, which retains its record set).
+        shards: usize,
     },
     Info {
         index: String,
@@ -186,6 +194,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 workers: parse_usize("--workers", 0)?,
                 window_us: parse_usize("--window-us", 200)? as u64,
                 batch_cap,
+                shards: parse_usize("--shards", 0)?,
             })
         }
         "info" => Ok(Command::Info { index: required(argv, "--index")?.to_string() }),
@@ -299,12 +308,13 @@ mod tests {
                 workers: 0,
                 window_us: 200,
                 batch_cap: 512,
+                shards: 0,
             }
         );
         assert_eq!(
             parse(&argv(
                 "serve --index i.pf --requests r.csv --clients 2 --workers 3 \
-                 --window-us 50 --batch-cap 64"
+                 --window-us 50 --batch-cap 64 --shards 2"
             ))
             .unwrap(),
             Command::Serve {
@@ -314,12 +324,14 @@ mod tests {
                 workers: 3,
                 window_us: 50,
                 batch_cap: 64,
+                shards: 2,
             }
         );
         assert!(parse(&argv("serve --index i.pf")).is_err(), "--requests is required");
         assert!(parse(&argv("serve --index i.pf --requests r.csv --clients 0")).is_err());
         assert!(parse(&argv("serve --index i.pf --requests r.csv --batch-cap 0")).is_err());
         assert!(parse(&argv("serve --index i.pf --requests r.csv --window-us x")).is_err());
+        assert!(parse(&argv("serve --index i.pf --requests r.csv --shards x")).is_err());
     }
 
     #[test]

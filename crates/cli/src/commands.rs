@@ -52,6 +52,7 @@ fn kind_of(bytes: &[u8]) -> Option<&'static str> {
     match bytes.get(..4) {
         Some(b"PFS2") => Some("sum"),
         Some(b"PFM2") => Some("max"),
+        Some(b"PFD2") => Some("dynamic"),
         _ => None,
     }
 }
@@ -64,6 +65,9 @@ fn load_index(bytes: &[u8]) -> Result<Box<dyn AggregateIndex + Send + Sync>, Str
     match kind_of(bytes) {
         Some("sum") => Ok(Box::new(PolyFitSum::from_bytes(bytes).map_err(|e| e.to_string())?)),
         Some("max") => Ok(Box::new(PolyFitMax::from_bytes(bytes).map_err(|e| e.to_string())?)),
+        Some("dynamic") => {
+            Ok(Box::new(DynamicPolyFitSum::from_bytes(bytes).map_err(|e| e.to_string())?))
+        }
         _ => Err("not a PolyFit index file".into()),
     }
 }
@@ -74,6 +78,109 @@ fn backend_of(name: &str) -> FitBackend {
         "simplex" => FitBackend::Simplex,
         _ => FitBackend::Exchange,
     }
+}
+
+/// `serve --shards N`: replay the request file through N shared-nothing
+/// key-space shards instead of the single deadline-batched loop.
+///
+/// Sharding needs the record set to partition, and only dynamic (`PFD2`)
+/// index files retain one — the compacted base records plus any
+/// still-buffered deltas, which the sharded server's dedup-sum ingest
+/// folds back into one ground truth. A replay submits no updates, so the
+/// wait-free composed snapshot read is a stable oracle: every served
+/// answer is verified bitwise against it (same per-shard state, same
+/// clip-and-merge composition) before anything is printed.
+fn serve_sharded(
+    index: &str,
+    bytes: &[u8],
+    ranges: &[(f64, f64)],
+    clients: usize,
+    window_us: u64,
+    batch_cap: usize,
+    shards: usize,
+) -> Result<(), String> {
+    if kind_of(bytes) != Some("dynamic") {
+        return Err(format!(
+            "{index}: sharded serving needs the record set, which only dynamic (PFD2) \
+             index files retain — rebuild with DynamicPolyFitSum::to_bytes, or drop --shards"
+        ));
+    }
+    let dynamic = DynamicPolyFitSum::from_bytes(bytes).map_err(|e| e.to_string())?;
+    let mut records: Vec<Record> = dynamic.base_records().to_vec();
+    records.extend(dynamic.buffered_entries().into_iter().map(|(k, dm)| Record::new(k, dm)));
+    let server = ShardedServer::start(
+        records,
+        dynamic.delta(),
+        dynamic.config(),
+        ShardConfig {
+            shards,
+            deadline: Duration::from_micros(window_us),
+            max_batch: batch_cap,
+            buffer_limit: dynamic.buffer_limit(),
+            max_shards: shards.max(16),
+            ..Default::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let t0 = Instant::now();
+    let mut answers: Vec<Option<ShardServed>> = vec![None; ranges.len()];
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let handle = server.handle();
+                s.spawn(move || {
+                    let mut out = Vec::with_capacity(ranges.len() / clients + 1);
+                    let mut i = c;
+                    while i < ranges.len() {
+                        let (lo, hi) = ranges[i];
+                        out.push((i, handle.query_served(lo, hi)));
+                        i += clients;
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, served) in h.join().expect("serve client panicked") {
+                answers[i] = Some(served);
+            }
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let control = server.handle();
+    let mut max_batch_seen = 0usize;
+    for (i, &(lo, hi)) in ranges.iter().enumerate() {
+        let served = answers[i].as_ref().expect("every request was answered");
+        if served.poisoned {
+            return Err(format!("request {i} ({lo}, {hi}]: poisoned — a shard worker was lost"));
+        }
+        let snap = control.snapshot_query(lo, hi);
+        if served.value().map(f64::to_bits) != snap.value().map(f64::to_bits) {
+            return Err(format!(
+                "request {i} ({lo}, {hi}]: served answer diverged from composed snapshot read"
+            ));
+        }
+        max_batch_seen = max_batch_seen.max(served.batch_len);
+    }
+    let stats = server.shutdown();
+    let mut out = String::with_capacity(ranges.len() * 16);
+    for served in answers.iter().flatten() {
+        match served.value() {
+            Some(v) => out.push_str(&format!("{v}\n")),
+            None => out.push_str("NaN\n"),
+        }
+    }
+    print!("{out}");
+    println!(
+        "# served {} requests in {:.3} ms ({:.0} req/s) — {} shards, {} spanning, \
+         max batch {max_batch_seen}, bitwise-verified",
+        stats.submitted,
+        wall * 1e3,
+        stats.submitted as f64 / wall,
+        stats.shards.len(),
+        stats.spanning,
+    );
+    Ok(())
 }
 
 /// Execute a parsed command.
@@ -151,12 +258,17 @@ pub fn run(cmd: Command) -> Result<(), String> {
             print!("{out}");
             Ok(())
         }
-        Command::Serve { index, requests, clients, workers, window_us, batch_cap } => {
+        Command::Serve { index, requests, clients, workers, window_us, batch_cap, shards } => {
             let bytes = fs::read(&index).map_err(|e| format!("cannot read {index}: {e}"))?;
-            let idx = load_index(&bytes).map_err(|e| format!("{index} is {e}"))?;
             let text = fs::read_to_string(&requests)
                 .map_err(|e| format!("cannot read {requests}: {e}"))?;
             let ranges = parse_ranges(&text).map_err(|e| format!("{requests}: {e}"))?;
+            if shards >= 1 {
+                return serve_sharded(
+                    &index, &bytes, &ranges, clients, window_us, batch_cap, shards,
+                );
+            }
+            let idx = load_index(&bytes).map_err(|e| format!("{index} is {e}"))?;
             let shared: SharedIndex = Arc::from(idx);
             let server = Server::start(
                 Arc::clone(&shared),
@@ -273,6 +385,20 @@ pub fn run(cmd: Command) -> Result<(), String> {
                     println!("segments:  {}", idx.num_segments());
                     println!("delta:     {} (answers within δ, any endpoints)", idx.delta());
                     println!("domain:    [{}, {}]", idx.domain().0, idx.domain().1);
+                    println!("file size: {} bytes", bytes.len());
+                    Ok(())
+                }
+                Some("dynamic") => {
+                    let idx = DynamicPolyFitSum::from_bytes(&bytes).map_err(|e| e.to_string())?;
+                    println!("kind:      DYNAMIC SUM (base index + exact update buffer)");
+                    println!("base:      {} records", idx.base_len());
+                    println!(
+                        "buffered:  {} pending deltas (compaction at {})",
+                        idx.buffered(),
+                        idx.buffer_limit()
+                    );
+                    println!("rebuilds:  {}", idx.rebuilds());
+                    println!("delta:     {} (answers within 2δ at key endpoints)", idx.delta());
                     println!("file size: {} bytes", bytes.len());
                     Ok(())
                 }
@@ -522,5 +648,42 @@ mod tests {
         let err = run(parse(&argv(&format!("serve --index {idx} --requests {bad}"))).unwrap())
             .unwrap_err();
         assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn serve_shards_requests_through_dynamic_index_end_to_end() {
+        // Sharded serving needs records, so the index file must be a
+        // dynamic (PFD2) one — write it through the library, including a
+        // few still-buffered updates the sharded ingest must fold in.
+        let records: Vec<Record> = (0..1500).map(|i| Record::new(i as f64, 2.0)).collect();
+        let mut dynamic =
+            DynamicPolyFitSum::new(records, 25.0, PolyFitConfig::default(), 4096).unwrap();
+        dynamic.insert(250.5, 7.0);
+        dynamic.insert(1000.25, -3.0);
+        let idx = tmp("serve-sharded.pfd");
+        fs::write(&idx, dynamic.to_bytes()).unwrap();
+        let reqs = tmp("serve-sharded-reqs.csv");
+        // Point-in-one-shard, spanning, reversed, degenerate, and
+        // out-of-domain ranges all flow through the sharded path (the
+        // bitwise check against snapshot reads runs inside `run`).
+        fs::write(&reqs, "10,300\n900,100\n# comment\n5,5\n-50,-10\n0,1499\n700,800\n").unwrap();
+        run(parse(&argv(&format!(
+            "serve --index {idx} --requests {reqs} --clients 2 --shards 2 \
+             --window-us 100 --batch-cap 8"
+        )))
+        .unwrap())
+        .unwrap();
+        // A static index file cannot be sharded — refused with a hint,
+        // not a panic.
+        let static_idx = built_index("serve-sharded-static");
+        let err =
+            run(parse(&argv(&format!("serve --index {static_idx} --requests {reqs} --shards 2")))
+                .unwrap())
+            .unwrap_err();
+        assert!(err.contains("PFD2"), "{err}");
+        // The dynamic file also flows through info and the loop path.
+        run(parse(&argv(&format!("info --index {idx}"))).unwrap()).unwrap();
+        run(parse(&argv(&format!("serve --index {idx} --requests {reqs} --clients 2"))).unwrap())
+            .unwrap();
     }
 }

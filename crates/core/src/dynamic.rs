@@ -35,6 +35,7 @@
 
 use std::collections::BTreeMap;
 use std::ops::Bound;
+use std::sync::Arc;
 use std::time::Duration;
 
 use polyfit_exact::dataset::{dedup_sum, sort_records, Record};
@@ -217,7 +218,10 @@ impl Update {
 pub struct DynamicPolyFitSum {
     /// The static index, absent only after a compaction over a fully
     /// deleted record set (queries then answer from the buffer alone).
-    base: Option<PolyFitSum>,
+    /// `Arc`-shared so a [`DynamicSnapshot`] can alias the compiled
+    /// directory without copying it — a snapshot is two pointer clones
+    /// plus the (small) buffer.
+    base: Option<Arc<PolyFitSum>>,
     /// All records currently folded into `base` (kept for rebuilds).
     base_records: Vec<Record>,
     /// Pending measure deltas per key (positive = insert, negative =
@@ -272,7 +276,7 @@ impl DynamicPolyFitSum {
         let records = dedup_sum(records);
         let base = PolyFitSum::build_with(records.clone(), delta, config, opts)?;
         Ok(DynamicPolyFitSum {
-            base: Some(base),
+            base: Some(Arc::new(base)),
             base_records: records,
             buffer: BTreeMap::new(),
             buffer_limit: buffer_limit.max(1),
@@ -720,14 +724,14 @@ impl DynamicPolyFitSum {
         } else {
             let total = *p.cf.values.last().expect("non-empty merged set");
             let domain = p.cf.domain();
-            self.base = Some(PolyFitSum::from_parts(
+            self.base = Some(Arc::new(PolyFitSum::from_parts(
                 p.out,
                 self.delta,
                 total,
                 domain,
                 Some(p.out_stats),
                 p.build_time,
-            ));
+            )));
             self.base_records = p.merged;
         }
         // Deferred zero-delta removals (entries that cancelled while
@@ -894,6 +898,12 @@ impl DynamicPolyFitSum {
         self.delta
     }
 
+    /// The fitting configuration applied to rebuilds — what a rebalance
+    /// needs to rebuild this index's record set elsewhere.
+    pub fn config(&self) -> PolyFitConfig {
+        self.config
+    }
+
     /// True while a shadow rebuild is staged but not yet swapped.
     pub fn is_compacting(&self) -> bool {
         self.pending.is_some()
@@ -957,7 +967,234 @@ impl DynamicPolyFitSum {
     /// The underlying static index (`None` after compacting a fully
     /// deleted record set).
     pub fn base(&self) -> Option<&PolyFitSum> {
-        self.base.as_ref()
+        self.base.as_deref()
+    }
+
+    /// The records currently folded into the static base, sorted by key
+    /// with distinct keys — the ground truth a rebalance partitions.
+    pub fn base_records(&self) -> &[Record] {
+        &self.base_records
+    }
+
+    /// The control-visible buffered deltas `(key, Δmeasure)` in key
+    /// order — exactly what a never-compacted index's buffer would hold,
+    /// even while a shadow rebuild is in flight.
+    pub fn buffered_entries(&self) -> Vec<(f64, f64)> {
+        self.control_entries()
+    }
+
+    /// A deterministic split point: the median base-record key, chosen so
+    /// both sides of [`Self::split_at`] keep at least one record. `None`
+    /// when the base holds fewer than two records (nothing to split).
+    pub fn split_key(&self) -> Option<f64> {
+        if self.base_records.len() < 2 {
+            None
+        } else {
+            Some(self.base_records[(self.base_records.len() - 1) / 2].key)
+        }
+    }
+
+    /// Split the index into `(left, right)` halves at `key`: the left
+    /// side keeps every record and buffered delta with key `≤ key`, the
+    /// right side everything above — matching the serving layer's
+    /// half-open-left shard ownership `(lo, hi]`. Both halves are built
+    /// fresh with the parent's configuration and build options, so the
+    /// operation is deterministic and replayable: splitting a replayed
+    /// clone of the parent yields bitwise-identical children. Counters
+    /// (`rebuilds`, `generation`) restart at zero — the children are new
+    /// provenance domains.
+    ///
+    /// # Panics
+    /// Panics if a shadow rebuild is in flight (complete or abort it
+    /// first; the serving layer calls [`Self::compact_now`]).
+    pub fn split_at(&self, key: f64) -> Result<(Self, Self), PolyFitError> {
+        assert!(self.pending.is_none(), "split_at during a pending rebuild");
+        let key = if key == 0.0 { 0.0 } else { key };
+        let kb = ord_bits(key);
+        let cut = self.base_records.partition_point(|r| r.key <= key);
+        let (left_records, right_records) =
+            (self.base_records[..cut].to_vec(), self.base_records[cut..].to_vec());
+        let mut left_buffer = BTreeMap::new();
+        let mut right_buffer = BTreeMap::new();
+        for (&bits, &entry) in &self.buffer {
+            if bits <= kb {
+                left_buffer.insert(bits, entry);
+            } else {
+                right_buffer.insert(bits, entry);
+            }
+        }
+        let child = |records: Vec<Record>, buffer: BTreeMap<u64, (f64, f64)>| {
+            let base = match records.is_empty() {
+                true => None,
+                false => Some(Arc::new(PolyFitSum::build_with(
+                    records.clone(),
+                    self.delta,
+                    self.config,
+                    &self.build_opts,
+                )?)),
+            };
+            Ok(DynamicPolyFitSum {
+                base,
+                base_records: records,
+                buffer,
+                buffer_limit: self.buffer_limit,
+                delta: self.delta,
+                config: self.config,
+                build_opts: self.build_opts,
+                rebuilds: 0,
+                pending: None,
+                step_budget: self.step_budget,
+                generation: 0,
+                last_compaction: None,
+                reused_segments_total: 0,
+                refit_segments_total: 0,
+            })
+        };
+        Ok((child(left_records, left_buffer)?, child(right_records, right_buffer)?))
+    }
+
+    /// Merge with the adjacent index on the right (every key in `right`
+    /// strictly above every key in `self`): record sets are concatenated
+    /// and the base rebuilt fresh, buffers are unioned. Deterministic and
+    /// replayable like [`Self::split_at`]; counters restart at zero.
+    ///
+    /// # Panics
+    /// Panics if either side has a rebuild in flight or the key ranges
+    /// are not ordered/disjoint.
+    pub fn merge_with(&self, right: &Self) -> Result<Self, PolyFitError> {
+        assert!(
+            self.pending.is_none() && right.pending.is_none(),
+            "merge_with during a pending rebuild"
+        );
+        let mut records = self.base_records.clone();
+        records.extend_from_slice(&right.base_records);
+        let mut buffer = self.buffer.clone();
+        buffer.extend(right.buffer.iter().map(|(&k, &v)| (k, v)));
+        let left_hi = self
+            .buffer
+            .keys()
+            .next_back()
+            .copied()
+            .into_iter()
+            .chain(self.base_records.last().map(|r| ord_bits(r.key)));
+        let right_lo = right
+            .buffer
+            .keys()
+            .next()
+            .copied()
+            .into_iter()
+            .chain(right.base_records.first().map(|r| ord_bits(r.key)));
+        if let (Some(hi), Some(lo)) = (left_hi.max(), right_lo.min()) {
+            assert!(hi < lo, "merge_with requires disjoint ordered key ranges");
+        }
+        let base = match records.is_empty() {
+            true => None,
+            false => Some(Arc::new(PolyFitSum::build_with(
+                records.clone(),
+                self.delta,
+                self.config,
+                &self.build_opts,
+            )?)),
+        };
+        Ok(DynamicPolyFitSum {
+            base,
+            base_records: records,
+            buffer,
+            buffer_limit: self.buffer_limit,
+            delta: self.delta,
+            config: self.config,
+            build_opts: self.build_opts,
+            rebuilds: 0,
+            pending: None,
+            step_budget: self.step_budget,
+            generation: 0,
+            last_compaction: None,
+            reused_segments_total: 0,
+            refit_segments_total: 0,
+        })
+    }
+
+    /// Freeze the current control-visible state into an immutable,
+    /// cheaply cloneable [`DynamicSnapshot`]: the `Arc`-shared base plus
+    /// a copy of the buffered deltas. Queries against the snapshot are
+    /// bitwise-identical to queries against `self` at this instant.
+    pub fn snapshot(&self) -> DynamicSnapshot {
+        let mut entries = Vec::with_capacity(
+            self.buffer.len() + self.pending.as_ref().map_or(0, |p| p.staged.len()),
+        );
+        self.for_each_control_entry((Bound::Unbounded, Bound::Unbounded), |key, dm| {
+            entries.push((ord_bits(key), dm))
+        });
+        DynamicSnapshot { base: self.base.clone(), entries, delta: self.delta }
+    }
+}
+
+/// An immutable frozen view of a [`DynamicPolyFitSum`]: the `Arc`-shared
+/// compiled base plus the control-visible buffered deltas at freeze
+/// time. Queries are bitwise-identical to the source index at the
+/// moment [`DynamicPolyFitSum::snapshot`] ran — the serving layer
+/// publishes these through [`crate::epoch`] so scatter-gather reads and
+/// the wait-free read path never touch a live (mutating) index.
+#[derive(Clone, Debug)]
+pub struct DynamicSnapshot {
+    base: Option<Arc<PolyFitSum>>,
+    /// Buffered deltas as `(ord_bits(key), Δmeasure)`, ascending — the
+    /// same iteration order as the live buffer's `BTreeMap` range scan,
+    /// so the per-range fold is bitwise-identical.
+    entries: Vec<(u64, f64)>,
+    delta: f64,
+}
+
+impl DynamicSnapshot {
+    /// Exact buffered contribution to `(lq, uq]` — same fold, same
+    /// order, same values as the live index's.
+    fn buffered_sum(&self, lq: f64, uq: f64) -> f64 {
+        let start = self.entries.partition_point(|&(bits, _)| bits <= ord_bits(lq));
+        let end = self.entries.partition_point(|&(bits, _)| bits <= ord_bits(uq));
+        let mut acc = 0.0;
+        for &(_, dm) in &self.entries[start..end] {
+            acc += dm;
+        }
+        acc
+    }
+
+    /// Approximate range SUM over `(lq, uq]`, bitwise-identical to
+    /// [`DynamicPolyFitSum::query`] on the source at freeze time.
+    pub fn query(&self, lq: f64, uq: f64) -> f64 {
+        if lq >= uq {
+            return 0.0;
+        }
+        let base = self.base.as_ref().map_or(0.0, |b| b.query(lq, uq));
+        base + self.buffered_sum(lq, uq)
+    }
+
+    /// Batched range SUM through the base's batched descent engine,
+    /// bitwise-identical to per-range [`Self::query`] calls.
+    pub fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<f64> {
+        match &self.base {
+            Some(b) => b
+                .query_batch(ranges)
+                .into_iter()
+                .zip(ranges)
+                .map(|(v, &(lq, uq))| if lq >= uq { 0.0 } else { v + self.buffered_sum(lq, uq) })
+                .collect(),
+            None => ranges.iter().map(|&(lq, uq)| self.query(lq, uq)).collect(),
+        }
+    }
+
+    /// The certified per-endpoint δ (answers are within `2δ`).
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The frozen static base, if any.
+    pub fn base(&self) -> Option<&PolyFitSum> {
+        self.base.as_deref()
+    }
+
+    /// Number of buffered deltas in the frozen view.
+    pub fn buffered(&self) -> usize {
+        self.entries.len()
     }
 }
 
@@ -1088,8 +1325,11 @@ impl DynamicPolyFitSum {
         }
         let rebuilds = r.u32()? as usize;
         let base_len = r.u32()? as usize;
-        let base =
-            if base_len == 0 { None } else { Some(PolyFitSum::from_bytes(r.take(base_len)?)?) };
+        let base = if base_len == 0 {
+            None
+        } else {
+            Some(Arc::new(PolyFitSum::from_bytes(r.take(base_len)?)?))
+        };
         let n_records = r.u32()? as usize;
         let mut base_records = Vec::with_capacity(n_records.min(1 << 20));
         for _ in 0..n_records {

@@ -50,6 +50,7 @@ pub mod config;
 pub mod directory;
 pub mod drivers;
 pub mod dynamic;
+pub mod epoch;
 pub mod error;
 pub mod function;
 pub mod index_max;
@@ -58,6 +59,7 @@ pub mod segment;
 pub mod segmentation;
 pub mod serialize;
 pub mod serve;
+pub mod shard;
 pub mod stats;
 pub mod traits;
 pub mod twod;
@@ -69,7 +71,8 @@ pub use drivers::{
     AvgAnswer, GuaranteedAvg, GuaranteedMax, GuaranteedMin, GuaranteedSum, RelAnswer,
 };
 pub use dynamic::{
-    CompactionReport, CompactionStatus, DynamicPolyFitSum, Update, DEFAULT_STEP_BUDGET,
+    CompactionReport, CompactionStatus, DynamicPolyFitSum, DynamicSnapshot, Update,
+    DEFAULT_STEP_BUDGET,
 };
 pub use error::PolyFitError;
 pub use function::{
@@ -83,6 +86,10 @@ pub use serialize::DecodeError;
 pub use serve::{
     DynamicServeConfig, DynamicServeHandle, DynamicServer, ServeConfig, ServeHandle, ServeStats,
     Served, Server, Ticket,
+};
+pub use shard::{
+    RebalanceRecord, ShardConfig, ShardHandle, ShardPoint, ShardServed, ShardStats, ShardTicket,
+    ShardedHistory, ShardedOracle, ShardedServer, ShardedStats,
 };
 pub use stats::{IndexStats, SegmentStats, SegmentStatsSummary};
 pub use traits::{
@@ -99,12 +106,18 @@ pub mod prelude {
     pub use crate::drivers::{
         AvgAnswer, GuaranteedAvg, GuaranteedMax, GuaranteedMin, GuaranteedSum, RelAnswer,
     };
-    pub use crate::dynamic::{CompactionReport, CompactionStatus, DynamicPolyFitSum, Update};
+    pub use crate::dynamic::{
+        CompactionReport, CompactionStatus, DynamicPolyFitSum, DynamicSnapshot, Update,
+    };
     pub use crate::index_max::PolyFitMax;
     pub use crate::index_sum::PolyFitSum;
     pub use crate::serve::{
         DynamicServeConfig, DynamicServeHandle, DynamicServer, ServeConfig, ServeHandle,
         ServeStats, Served, Server, Ticket,
+    };
+    pub use crate::shard::{
+        ShardConfig, ShardHandle, ShardPoint, ShardServed, ShardTicket, ShardedOracle,
+        ShardedServer, ShardedStats,
     };
     pub use crate::stats::{IndexStats, SegmentStats, SegmentStatsSummary};
     pub use crate::traits::{

@@ -39,6 +39,11 @@ use crate::dynamic::{DynamicPolyFitSum, Update};
 use crate::error::PolyFitError;
 use crate::traits::{AggregateIndex, RangeAggregate, SharedIndex};
 
+/// Deadline windows above this are clamped by [`ServeConfig::validated`]
+/// — a misconfigured huge deadline must degrade to coarse batching, not
+/// to a loop that sits on requests for hours.
+const MAX_DEADLINE: Duration = Duration::from_millis(100);
+
 /// Tuning knobs for a [`Server`].
 #[derive(Clone, Copy, Debug)]
 pub struct ServeConfig {
@@ -58,6 +63,18 @@ pub struct ServeConfig {
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig { workers: 0, deadline: Duration::from_micros(200), max_batch: 512 }
+    }
+}
+
+impl ServeConfig {
+    /// Clamp degenerate values into the loop's operating range:
+    /// `max_batch = 0` would form empty batches forever and an over-long
+    /// deadline would stall every client for the full window.
+    /// [`Server::start`] applies this automatically.
+    pub fn validated(mut self) -> ServeConfig {
+        self.max_batch = self.max_batch.clamp(1, 1 << 20);
+        self.deadline = self.deadline.min(MAX_DEADLINE);
+        self
     }
 }
 
@@ -84,6 +101,16 @@ impl Default for DynamicServeConfig {
     }
 }
 
+impl DynamicServeConfig {
+    /// Clamp degenerate values (see [`ServeConfig::validated`]).
+    /// [`DynamicServer::start`] applies this automatically.
+    pub fn validated(mut self) -> DynamicServeConfig {
+        self.max_batch = self.max_batch.clamp(1, 1 << 20);
+        self.deadline = self.deadline.min(MAX_DEADLINE);
+        self
+    }
+}
+
 /// A served answer with its execution provenance — what a waiter gets
 /// back from the loop.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -105,6 +132,12 @@ pub struct Served {
     pub rebuilds: u64,
     /// Number of requests answered by the same sweep.
     pub batch_len: usize,
+    /// `true` when the serving layer could not answer — the request was
+    /// still queued when the loop shut down, or the answering worker
+    /// panicked with it in flight. Never conflated with a real `None`
+    /// answer: a poisoned `Served` has `answer == None` *and* this flag
+    /// set, and [`Ticket::wait`] returns it instead of blocking forever.
+    pub poisoned: bool,
 }
 
 /// Aggregate counters of a serving loop.
@@ -136,15 +169,20 @@ impl Slot {
         Arc::new(Slot { state: Mutex::new(None), cv: Condvar::new() })
     }
 
+    /// Complete the slot exactly once; a later completion (e.g. a
+    /// poison sweep racing a real answer) is ignored.
     fn complete(&self, served: Served) {
-        *self.state.lock().expect("slot lock poisoned") = Some(served);
-        self.cv.notify_all();
+        let mut state = self.state.lock().expect("slot lock poisoned");
+        if state.is_none() {
+            *state = Some(served);
+            self.cv.notify_all();
+        }
     }
 
     fn wait(&self) -> Served {
         let mut state = self.state.lock().expect("slot lock poisoned");
         loop {
-            if let Some(served) = state.take() {
+            if let Some(served) = *state {
                 return served;
             }
             state = self.cv.wait(state).expect("slot lock poisoned");
@@ -170,6 +208,22 @@ struct PendingQuery {
     lo: f64,
     hi: f64,
     slot: Arc<Slot>,
+}
+
+impl Drop for PendingQuery {
+    /// A pending query dropped un-answered — the worker panicked with it
+    /// in flight, or a shutdown sweep discarded it — poisons its slot so
+    /// the waiting client wakes instead of blocking forever. A normal
+    /// `complete` beats this: the slot is write-once.
+    fn drop(&mut self) {
+        self.slot.complete(Served {
+            answer: None,
+            updates_applied: 0,
+            rebuilds: 0,
+            batch_len: 0,
+            poisoned: true,
+        });
+    }
 }
 
 #[derive(Default)]
@@ -282,8 +336,9 @@ pub struct Server {
 impl Server {
     /// Spawn the worker threads and start serving.
     pub fn start(index: SharedIndex, config: ServeConfig) -> Server {
+        let config = config.validated();
         let workers = polyfit_exact::resolve_threads(config.workers);
-        let max_batch = config.max_batch.max(1);
+        let max_batch = config.max_batch;
         let shared = Arc::new(Shared {
             q: Mutex::new(QueueState { pending: VecDeque::new(), open: true }),
             cv: Condvar::new(),
@@ -314,13 +369,18 @@ impl Server {
     }
 
     /// Stop accepting requests, drain what is queued, join the workers,
-    /// and return the final counters.
+    /// and return the final counters. Tolerant of a panicked worker: the
+    /// survivors still drain the queue, and anything left un-answerable
+    /// resolves as poisoned rather than hanging its client.
     pub fn shutdown(self) -> ServeStats {
         self.shared.q.lock().expect("serve queue poisoned").open = false;
         self.shared.cv.notify_all();
         for w in self.workers {
-            w.join().expect("serve worker panicked");
+            let _ = w.join();
         }
+        // If every worker died mid-stream, queries may still be queued;
+        // dropping them poison-completes their slots.
+        self.shared.q.lock().expect("serve queue poisoned").pending.clear();
         self.shared.counters.snapshot()
     }
 }
@@ -386,7 +446,7 @@ fn answer_batch(
     let mut answers = answers.into_iter();
     for p in batch {
         let answer = answers.next().flatten();
-        p.slot.complete(Served { answer, updates_applied, rebuilds, batch_len });
+        p.slot.complete(Served { answer, updates_applied, rebuilds, batch_len, poisoned: false });
     }
 }
 
@@ -503,6 +563,7 @@ pub struct DynamicServer {
 impl DynamicServer {
     /// Take ownership of `index` and start the serving loop.
     pub fn start(index: DynamicPolyFitSum, config: DynamicServeConfig) -> DynamicServer {
+        let config = config.validated();
         let shared = Arc::new(DynShared {
             q: Mutex::new(DynQueueState {
                 queries: VecDeque::new(),
@@ -546,9 +607,14 @@ impl DynamicServer {
     pub fn shutdown(mut self) -> (DynamicPolyFitSum, ServeStats) {
         self.shared.q.lock().expect("serve queue poisoned").open = false;
         self.shared.cv.notify_all();
-        let index =
-            self.worker.take().expect("shutdown runs once").join().expect("serve loop panicked");
-        (index, self.shared.counters.snapshot())
+        let joined = self.worker.take().expect("shutdown runs once").join();
+        // Wake anything still pending before deciding how to report the
+        // join — a panicked loop must not strand its waiting clients.
+        self.shared.q.lock().expect("serve queue poisoned").queries.clear();
+        match joined {
+            Ok(index) => (index, self.shared.counters.snapshot()),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
     }
 }
 
@@ -760,6 +826,99 @@ mod tests {
         for t in tickets {
             assert!(t.wait().answer.is_some());
         }
+    }
+
+    #[test]
+    fn config_validation_clamps_degenerate_values() {
+        let c = ServeConfig { workers: 1, deadline: Duration::from_secs(3600), max_batch: 0 }
+            .validated();
+        assert_eq!(c.max_batch, 1);
+        assert!(c.deadline <= MAX_DEADLINE);
+        let d = DynamicServeConfig {
+            deadline: Duration::from_secs(3600),
+            max_batch: 0,
+            compaction_budget: 0,
+        }
+        .validated();
+        assert_eq!(d.max_batch, 1);
+        assert!(d.deadline <= MAX_DEADLINE);
+    }
+
+    #[test]
+    fn degenerate_config_still_serves_promptly() {
+        // max_batch = 0 and an hour-long deadline: unclamped, the first
+        // would never form a batch and the second would sit on a lone
+        // request for the full window. Both must clamp into a loop that
+        // answers within the 100ms deadline ceiling.
+        let index: SharedIndex =
+            Arc::new(PolyFitSum::build(records(300), 10.0, PolyFitConfig::default()).unwrap());
+        let server = Server::start(
+            Arc::clone(&index),
+            ServeConfig { workers: 1, deadline: Duration::from_secs(3600), max_batch: 0 },
+        );
+        let handle = server.handle();
+        let t0 = Instant::now();
+        let served = handle.query_served(10.0, 250.0);
+        assert!(!served.poisoned && served.answer.is_some());
+        assert!(t0.elapsed() < Duration::from_secs(30), "deadline clamp must bound the wait");
+        server.shutdown();
+
+        let dyn_index =
+            DynamicPolyFitSum::new(records(300), 10.0, PolyFitConfig::default(), 64).unwrap();
+        let server = DynamicServer::start(
+            dyn_index,
+            DynamicServeConfig {
+                deadline: Duration::from_secs(3600),
+                max_batch: 0,
+                compaction_budget: 0,
+            },
+        );
+        let handle = server.handle();
+        let served = handle.query_served(10.0, 250.0);
+        assert!(!served.poisoned && served.answer.is_some());
+        server.shutdown();
+    }
+
+    /// An index whose queries always panic — stands in for any bug that
+    /// kills a worker with requests in flight.
+    struct PanickingIndex;
+
+    impl AggregateIndex for PanickingIndex {
+        fn name(&self) -> &'static str {
+            "panicking"
+        }
+        fn kind(&self) -> crate::traits::AggregateKind {
+            crate::traits::AggregateKind::Sum
+        }
+        fn query(&self, _lq: f64, _uq: f64) -> Option<RangeAggregate> {
+            panic!("index blew up mid-query");
+        }
+        fn size_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn worker_panic_poisons_in_flight_tickets_instead_of_hanging() {
+        let index: SharedIndex = Arc::new(PanickingIndex);
+        let server = Server::start(
+            index,
+            ServeConfig { workers: 1, deadline: Duration::from_micros(50), max_batch: 8 },
+        );
+        let handle = server.handle();
+        // The worker panics answering this; the unwind drops the batch,
+        // which poison-completes every in-flight slot.
+        let t = handle.submit(0.0, 100.0);
+        let served = t.wait(); // regression: used to block forever
+        assert!(served.poisoned, "panicked worker must poison, got {served:?}");
+        assert_eq!(served.answer, None);
+        // Requests queued after the worker died resolve via the
+        // shutdown sweep rather than hanging.
+        let late = handle.submit(0.0, 50.0);
+        let stats = server.shutdown(); // regression: used to propagate the panic
+        let served = late.wait();
+        assert!(served.poisoned);
+        assert_eq!(stats.requests, 0, "no request was ever answered");
     }
 
     #[test]

@@ -1,0 +1,2040 @@
+//! Shard-per-core serving: shared-nothing key-space shards behind an
+//! epoch-published routing layout (the ROADMAP "sharded serving" item).
+//!
+//! The PR 5 loops funnel every request through one global
+//! `Mutex`/`Condvar` pair — at ~1.65 M req/s the coordination costs ~17×
+//! more than the 77 ns query it wraps. [`ShardedServer`] removes the
+//! global rendezvous entirely:
+//!
+//! * **Shared-nothing shards.** The key space is partitioned into
+//!   contiguous ranges `(B_{i-1}, B_i]`; each shard is one worker thread
+//!   owning its own [`DynamicPolyFitSum`] and a private request queue.
+//!   No mutex is shared between shards on the hot path.
+//! * **Spin-then-park wakeups.** Queues and answer slots hand off with
+//!   an atomic length/flag plus `thread::park` — a `notify_all` syscall
+//!   per submission (the dominant cost of the PR 5 loop) becomes a plain
+//!   atomic store unless someone is actually asleep.
+//! * **Epoch-published snapshots.** The routing table ([`Layout`]) and
+//!   every shard's frozen view ([`DynamicSnapshot`]) are published
+//!   through [`crate::epoch`]: compaction swaps and shard rebalances are
+//!   a pointer publish, wait-free for readers, with grace-period
+//!   reclamation instead of locks.
+//! * **Scatter-gather ranges.** A query `(lo, hi]` touching shards
+//!   `a..=b` is clipped at the shard bounds and scattered; the last
+//!   depositing shard composes the sub-answers **in ascending shard
+//!   order** with [`RangeAggregate::merge_sum`] — a deterministic fold,
+//!   so the composed value is exactly reproducible.
+//! * **Auto-partitioning.** Per-shard size counters drive YDB-style
+//!   splits (at the median base key) and merges into a neighbour, each
+//!   executed as a layout publish that is invisible to readers.
+//!
+//! ## Bitwise reproducibility
+//!
+//! Sharding changes the *decomposition* of an answer, not its
+//! determinism. Every served answer carries a per-shard provenance
+//! vector of [`ShardPoint`]s — `(shard, clipped range, updates_applied,
+//! rebuilds, epoch)` — and the server records, per shard, the applied
+//! update stream, the compaction stage points (the PR 5 provenance,
+//! now per shard), and every split/merge ([`RebalanceRecord`]).
+//! [`ShardedOracle`] replays that history offline: it reconstructs each
+//! shard's exact index state at its provenance point (split children
+//! are re-derived by replaying the parent to its final state and
+//! splitting at the recorded key — [`DynamicPolyFitSum::split_at`] is
+//! deterministic), re-runs the clipped sub-queries, and folds them in
+//! the same order. The proptests in `tests/serving.rs` hold every
+//! served answer — point, spanning, mid-split, mid-compaction — bitwise
+//! equal to this replay.
+//!
+//! Note the oracle is *per shard by construction*: a sharded answer is
+//! a sum of independently δ-certified sub-range answers, which is not
+//! (and need not be) bitwise-equal to one unsharded index answering the
+//! unclipped range — the two differ in segmentation and fold order.
+//! The certified `±2δ` bound per sub-range composes additively
+//! ([`RangeAggregate::merge_sum`]), so an answer spanning `k` shards
+//! carries a `±2kδ` certificate.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering::{Relaxed, SeqCst};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::{self, JoinHandle, Thread};
+use std::time::{Duration, Instant};
+
+use polyfit_exact::dataset::{dedup_sum, sort_records, Record};
+
+use crate::build::BuildOptions;
+use crate::config::PolyFitConfig;
+use crate::dynamic::{DynamicPolyFitSum, DynamicSnapshot, Update};
+use crate::epoch::{Domain, Published, Reader};
+use crate::error::PolyFitError;
+use crate::traits::{classify_bounds, QueryBounds, RangeAggregate};
+
+/// Deadline windows above this are clamped — a misconfigured huge
+/// deadline must degrade to coarse batching, not to an unserved stall.
+const MAX_DEADLINE: Duration = Duration::from_millis(100);
+
+/// How long a parked worker sleeps before re-checking for shutdown and
+/// compaction work. Bounds the shutdown latency of a worker whose
+/// close-time unpark was missed.
+const IDLE_POLL: Duration = Duration::from_millis(1);
+
+/// Tuning knobs for a [`ShardedServer`]. Validated and clamped by
+/// [`ShardedServer::start`] (see [`ShardConfig::validated`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ShardConfig {
+    /// Initial shard count (clamped to `1..=max_shards`; also capped by
+    /// the number of distinct records, since every shard needs at least
+    /// one).
+    pub shards: usize,
+    /// Per-shard batch-formation window, measured from the first request
+    /// a worker pops. Clamped to at most 100 ms.
+    pub deadline: Duration,
+    /// Largest query batch one sweep answers (`0` is clamped to 1).
+    pub max_batch: usize,
+    /// Compaction step budget spent per idle gap (`0` disables
+    /// loop-driven compaction).
+    pub compaction_budget: usize,
+    /// Per-shard update-buffer limit before compaction is staged.
+    pub buffer_limit: usize,
+    /// Split a shard when its record count (base + buffered) exceeds
+    /// this (`0` disables auto-splitting).
+    pub split_threshold: usize,
+    /// Merge a shard into a neighbour when its record count falls below
+    /// this (`0` disables auto-merging).
+    pub merge_threshold: usize,
+    /// Hard cap on the shard count (auto-splits stop here).
+    pub max_shards: usize,
+    /// Build-pipeline options for initial builds, compaction rebuilds,
+    /// and split/merge rebuilds. Must be deterministic for oracle
+    /// replay (the default serial pipeline is).
+    pub build: BuildOptions,
+    /// Record per-shard update logs, stage points, and rebalances so a
+    /// [`ShardedOracle`] can replay every answer. Off by default — the
+    /// log grows with the update stream.
+    pub record_history: bool,
+    /// Spin iterations before a waiter parks. On a single hardware
+    /// thread, spinning only steals cycles from the worker — keep it
+    /// small there.
+    pub spin: u32,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 1,
+            deadline: Duration::from_micros(200),
+            max_batch: 512,
+            compaction_budget: crate::dynamic::DEFAULT_STEP_BUDGET,
+            buffer_limit: 1024,
+            split_threshold: 0,
+            merge_threshold: 0,
+            max_shards: 16,
+            build: BuildOptions::default(),
+            record_history: false,
+            spin: 64,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// Clamp degenerate values into the serving loop's operating range:
+    /// `max_batch = 0` and over-long deadlines would otherwise configure
+    /// a loop that stalls, and `shards = 0` has no worker to run.
+    pub fn validated(mut self) -> ShardConfig {
+        self.max_shards = self.max_shards.max(1);
+        self.shards = self.shards.clamp(1, self.max_shards);
+        self.max_batch = self.max_batch.clamp(1, 1 << 20);
+        self.deadline = self.deadline.min(MAX_DEADLINE);
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Served answers and provenance
+// ---------------------------------------------------------------------------
+
+/// One shard's contribution to a served answer: the clipped sub-range it
+/// answered and the exact index state it answered from. The triple
+/// `(updates_applied, rebuilds, epoch)` extends the PR 5 provenance
+/// counters per shard — [`ShardedOracle::index_at`] reconstructs the
+/// state bit-for-bit from the first two; `epoch` names the published
+/// snapshot that carries the same state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShardPoint {
+    /// Shard id (stable across its lifetime; splits and merges mint new
+    /// ids).
+    pub shard: u64,
+    /// Clipped sub-range lower bound (exclusive).
+    pub lo: f64,
+    /// Clipped sub-range upper bound (inclusive).
+    pub hi: f64,
+    /// Updates this shard had applied when it answered.
+    pub updates_applied: u64,
+    /// Compaction swaps this shard had completed when it answered.
+    pub rebuilds: u64,
+    /// The shard's snapshot publication counter at answer time.
+    pub epoch: u64,
+}
+
+/// A sharded served answer: the composed aggregate plus the per-shard
+/// provenance vector (ascending shard order — the composition fold
+/// order).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardServed {
+    /// The composed answer (`None` for non-finite bounds or a poisoned
+    /// request).
+    pub answer: Option<RangeAggregate>,
+    /// Per-shard provenance, in composition order. Empty when the
+    /// request was answered inline (degenerate bounds) or poisoned.
+    pub shards: Vec<ShardPoint>,
+    /// Largest per-shard batch this request rode in (informational).
+    pub batch_len: usize,
+    /// `true` when the serving layer could not answer — the server shut
+    /// down or a worker died with the request in flight. Never silently
+    /// conflated with a real `None` answer: poisoned answers have
+    /// `answer == None` *and* this flag set.
+    pub poisoned: bool,
+}
+
+impl ShardServed {
+    /// The composed aggregate value, if any.
+    pub fn value(&self) -> Option<f64> {
+        self.answer.as_ref().map(|a| a.value)
+    }
+
+    fn poisoned() -> ShardServed {
+        ShardServed { answer: None, shards: Vec::new(), batch_len: 0, poisoned: true }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spin-then-park rendezvous
+// ---------------------------------------------------------------------------
+
+/// One-shot answer slot. The client spins briefly (the worker usually
+/// answers within a batch window), yields, and only then parks — the
+/// completing worker pays an `unpark` syscall only for a parked waiter.
+struct GatherSlot {
+    state: Mutex<Option<ShardServed>>,
+    done: AtomicBool,
+    waiter: OnceLock<Thread>,
+}
+
+impl GatherSlot {
+    fn new() -> Arc<GatherSlot> {
+        Arc::new(GatherSlot {
+            state: Mutex::new(None),
+            done: AtomicBool::new(false),
+            waiter: OnceLock::new(),
+        })
+    }
+
+    /// Complete the slot exactly once; later completions (e.g. a poison
+    /// sweep racing a real answer) are ignored.
+    fn finish(&self, served: ShardServed) {
+        {
+            let mut state = self.state.lock().expect("gather slot poisoned");
+            if self.done.load(SeqCst) {
+                return;
+            }
+            *state = Some(served);
+            self.done.store(true, SeqCst);
+        }
+        if let Some(t) = self.waiter.get() {
+            t.unpark();
+        }
+    }
+
+    fn wait(&self, spin: u32) -> ShardServed {
+        let mut i = 0u32;
+        while !self.done.load(SeqCst) {
+            if i < spin {
+                std::hint::spin_loop();
+                i += 1;
+            } else if i < spin.saturating_add(64) {
+                thread::yield_now();
+                i += 1;
+            } else {
+                let _ = self.waiter.set(thread::current());
+                if self.done.load(SeqCst) {
+                    break;
+                }
+                thread::park_timeout(IDLE_POLL);
+            }
+        }
+        self.state
+            .lock()
+            .expect("gather slot poisoned")
+            .take()
+            .expect("completed slot holds an answer")
+    }
+}
+
+/// A pending sharded request; await it exactly once.
+pub struct ShardTicket {
+    slot: Arc<GatherSlot>,
+    spin: u32,
+}
+
+impl ShardTicket {
+    /// Block until every involved shard has deposited its sub-answer.
+    /// Returns a poisoned answer (never blocks forever) if the server
+    /// shut down or a worker died with this request in flight.
+    pub fn wait(self) -> ShardServed {
+        self.slot.wait(self.spin)
+    }
+}
+
+/// One deposited sub-answer.
+enum PartState {
+    Waiting,
+    Poisoned,
+    Done { value: f64, point: ShardPoint, batch_len: usize },
+}
+
+/// Scatter-gather join: each involved shard deposits into its slot; the
+/// last depositor composes in part order (ascending shard order) and
+/// completes the client slot.
+struct GatherState {
+    parts: Mutex<Vec<PartState>>,
+    remaining: AtomicUsize,
+    slot: Arc<GatherSlot>,
+    /// `true` once the submitting client abandoned this gather (a shard
+    /// queue closed mid-scatter and the request was re-routed); late
+    /// deposits must not complete the client slot.
+    cancelled: AtomicBool,
+    /// Composed certificate per sub-answer (`2δ`).
+    bound: f64,
+}
+
+impl GatherState {
+    fn new(parts: usize, slot: Arc<GatherSlot>, bound: f64) -> GatherState {
+        GatherState {
+            parts: Mutex::new((0..parts).map(|_| PartState::Waiting).collect()),
+            remaining: AtomicUsize::new(parts),
+            slot,
+            cancelled: AtomicBool::new(false),
+            bound,
+        }
+    }
+
+    fn deposit(&self, part: usize, state: PartState) {
+        {
+            let mut parts = self.parts.lock().expect("gather parts poisoned");
+            parts[part] = state;
+        }
+        if self.remaining.fetch_sub(1, SeqCst) == 1 && !self.cancelled.load(SeqCst) {
+            self.compose();
+        }
+    }
+
+    /// Deterministic composition: fold sub-aggregates in part (shard)
+    /// order with [`RangeAggregate::merge_sum`]. Any poisoned part
+    /// poisons the whole answer.
+    fn compose(&self) {
+        let parts = self.parts.lock().expect("gather parts poisoned");
+        let mut shards = Vec::with_capacity(parts.len());
+        let mut agg: Option<RangeAggregate> = None;
+        let mut batch_len = 0usize;
+        let mut poisoned = false;
+        for p in parts.iter() {
+            match *p {
+                PartState::Done { value, point, batch_len: bl } => {
+                    shards.push(point);
+                    batch_len = batch_len.max(bl);
+                    let a = RangeAggregate::absolute(value, self.bound);
+                    agg = Some(match agg {
+                        None => a,
+                        Some(acc) => acc.merge_sum(a),
+                    });
+                }
+                PartState::Poisoned => poisoned = true,
+                PartState::Waiting => unreachable!("composed before all deposits"),
+            }
+        }
+        if poisoned {
+            self.slot.finish(ShardServed { answer: None, shards, batch_len, poisoned: true });
+        } else {
+            self.slot.finish(ShardServed { answer: agg, shards, batch_len, poisoned: false });
+        }
+    }
+}
+
+/// Where a sub-query's answer lands. Queries confined to one shard — the
+/// common case — skip the gather machinery entirely and finish the
+/// client slot directly (no parts vector, no second rendezvous).
+enum QuerySink {
+    Single { slot: Arc<GatherSlot>, bound: f64 },
+    Gather { gather: Arc<GatherState>, part: usize },
+}
+
+/// A routed sub-query riding a shard queue. Dropping it un-answered
+/// (worker panic, shutdown sweep, queue teardown) poisons its sink, so
+/// the waiting client always wakes.
+struct SubQuery {
+    lo: f64,
+    hi: f64,
+    sink: QuerySink,
+    deposited: bool,
+}
+
+impl SubQuery {
+    fn answer(mut self, value: f64, point: ShardPoint, batch_len: usize) {
+        self.deposited = true;
+        match &self.sink {
+            QuerySink::Single { slot, bound } => slot.finish(ShardServed {
+                answer: Some(RangeAggregate::absolute(value, *bound)),
+                shards: vec![point],
+                batch_len,
+                poisoned: false,
+            }),
+            QuerySink::Gather { gather, part } => {
+                gather.deposit(*part, PartState::Done { value, point, batch_len })
+            }
+        }
+    }
+}
+
+impl Drop for SubQuery {
+    fn drop(&mut self) {
+        if !self.deposited {
+            match &self.sink {
+                QuerySink::Single { slot, .. } => slot.finish(ShardServed::poisoned()),
+                QuerySink::Gather { gather, part } => gather.deposit(*part, PartState::Poisoned),
+            }
+        }
+    }
+}
+
+/// A merge handoff: the under-sized sender drained and froze itself,
+/// then mailed its whole state to the neighbour that absorbs it.
+struct MergeHandoff {
+    id: u64,
+    /// `true` when the sender sits to the right of the receiver.
+    from_right: bool,
+    index: Box<DynamicPolyFitSum>,
+    /// The sender's (closed) queue — the receiver drains stragglers that
+    /// raced the close.
+    queue: Arc<ShardQueue>,
+    /// The sender's final frozen view, for answering straggler queries.
+    snap: DynamicSnapshot,
+    updates_applied: u64,
+    rebuilds: u64,
+    epoch: u64,
+}
+
+enum Req {
+    Update(Update),
+    Query(SubQuery),
+    Merge(Box<MergeHandoff>),
+}
+
+/// Private MPSC request queue with spin-then-park consumer wakeup: a
+/// push is a short critical section plus one atomic swap; the `unpark`
+/// syscall is paid only when the worker actually parked.
+struct ShardQueue {
+    q: Mutex<VecDeque<Req>>,
+    len: AtomicUsize,
+    closed: AtomicBool,
+    parked: AtomicBool,
+    worker: OnceLock<Thread>,
+}
+
+impl ShardQueue {
+    fn new() -> Arc<ShardQueue> {
+        Arc::new(ShardQueue {
+            q: Mutex::new(VecDeque::new()),
+            len: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+            parked: AtomicBool::new(false),
+            worker: OnceLock::new(),
+        })
+    }
+
+    /// Enqueue, or hand the request back if the queue is closed (the
+    /// shard rebalanced away or the server shut down) — the caller
+    /// re-routes against a fresh layout.
+    fn push(&self, req: Req) -> Result<(), Req> {
+        {
+            let mut q = self.q.lock().expect("shard queue poisoned");
+            if self.closed.load(SeqCst) {
+                return Err(req);
+            }
+            q.push_back(req);
+            self.len.store(q.len(), SeqCst);
+        }
+        self.wake();
+        Ok(())
+    }
+
+    fn pop(&self) -> Option<Req> {
+        let mut q = self.q.lock().expect("shard queue poisoned");
+        let r = q.pop_front();
+        self.len.store(q.len(), SeqCst);
+        r
+    }
+
+    /// Drain up to `max` requests under one lock — the hot-path consumer
+    /// never pays one mutex round-trip per request.
+    fn pop_many(&self, max: usize, out: &mut Vec<Req>) -> usize {
+        let mut q = self.q.lock().expect("shard queue poisoned");
+        let take = q.len().min(max);
+        out.extend(q.drain(..take));
+        self.len.store(q.len(), SeqCst);
+        take
+    }
+
+    /// Close the queue: no push lands after this returns (the closed
+    /// flag is checked under the same lock pushes hold), so the owner
+    /// can drain the remainder exactly once.
+    fn close(&self) {
+        {
+            let _guard = self.q.lock().expect("shard queue poisoned");
+            self.closed.store(true, SeqCst);
+        }
+        self.wake();
+    }
+
+    fn wake(&self) {
+        if self.parked.swap(false, SeqCst) {
+            if let Some(t) = self.worker.get() {
+                t.unpark();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Published state: per-shard snapshots and the routing layout
+// ---------------------------------------------------------------------------
+
+/// What a shard publishes after every state change: its frozen view plus
+/// the provenance counters that pin it.
+struct ShardSnap {
+    view: DynamicSnapshot,
+    id: u64,
+    updates_applied: u64,
+    rebuilds: u64,
+    epoch: u64,
+    /// Base records + buffered deltas — the size the split/merge
+    /// triggers watch.
+    len: usize,
+}
+
+/// One shard's runtime identity: id, request queue, published snapshot.
+struct ShardRt {
+    id: u64,
+    queue: Arc<ShardQueue>,
+    snap: Published<ShardSnap>,
+    served: AtomicU64,
+}
+
+/// The routing table: shard `i` owns keys in `(bounds[i-1], bounds[i]]`
+/// (unbounded at the ends). Published through [`crate::epoch`], so
+/// routing is wait-free and a rebalance is one pointer swap.
+struct Layout {
+    version: u64,
+    bounds: Vec<f64>,
+    shards: Vec<Arc<ShardRt>>,
+}
+
+impl Layout {
+    fn shard_for_key(&self, k: f64) -> usize {
+        self.bounds.partition_point(|&b| b < k)
+    }
+
+    /// The inclusive shard positions a proper range `(lo, hi]` touches.
+    fn shard_range(&self, lo: f64, hi: f64) -> (usize, usize) {
+        let a = self.bounds.partition_point(|&b| b <= lo);
+        let b = self.bounds.partition_point(|&b| b < hi);
+        (a, b)
+    }
+
+    /// Clip `(lo, hi]` to shard position `j` within the touched span
+    /// `a..=b`.
+    fn clip(&self, j: usize, a: usize, b: usize, lo: f64, hi: f64) -> (f64, f64) {
+        let sl = if j == a { lo } else { self.bounds[j - 1] };
+        let sh = if j == b { hi } else { self.bounds[j] };
+        (sl, sh)
+    }
+
+    fn position_of(&self, id: u64) -> Option<usize> {
+        self.shards.iter().position(|s| s.id == id)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replay history
+// ---------------------------------------------------------------------------
+
+/// One shard's recorded serving history: the applied update stream plus
+/// the `updates_applied` value at which each compaction was staged (the
+/// PR 5 stage log, per shard).
+#[derive(Clone, Debug, Default)]
+pub struct ShardLog {
+    /// Updates in application order.
+    pub updates: Vec<Update>,
+    /// `updates_applied` at each compaction staging, in staging order.
+    pub stage_points: Vec<u64>,
+}
+
+/// A recorded shard split or merge — with [`ShardLog`]s, enough to
+/// reconstruct any shard's lineage offline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RebalanceRecord {
+    /// `parent` split at `key`: `left` took `(…, key]`, `right` the
+    /// rest. The parent had drained its queue and completed any pending
+    /// rebuild, so its log is final at this point.
+    Split {
+        /// The shard that split (retired).
+        parent: u64,
+        /// The split key (left-inclusive).
+        key: f64,
+        /// New left child id.
+        left: u64,
+        /// New right child id.
+        right: u64,
+    },
+    /// `left` and `right` (adjacent, both final) merged into `merged`.
+    Merge {
+        /// Left input shard id (retired).
+        left: u64,
+        /// Right input shard id (retired).
+        right: u64,
+        /// New merged shard id.
+        merged: u64,
+    },
+}
+
+/// Everything a [`ShardedOracle`] needs to replay a serving session:
+/// the initial partition, per-shard logs, and the rebalance lineage.
+#[derive(Clone, Debug, Default)]
+pub struct ShardedHistory {
+    /// Initial shards as `(id, records)` — records already sorted and
+    /// key-deduplicated, exactly what each shard was built from.
+    pub initial: Vec<(u64, Vec<Record>)>,
+    /// Per-shard serving logs.
+    pub logs: HashMap<u64, ShardLog>,
+    /// Splits and merges in execution order.
+    pub rebalances: Vec<RebalanceRecord>,
+}
+
+// ---------------------------------------------------------------------------
+// Server shared state
+// ---------------------------------------------------------------------------
+
+struct ServerShared {
+    domain: Arc<Domain>,
+    layout: Published<Layout>,
+    open: AtomicBool,
+    /// Serializes rebalances: at most one split or merge is in flight
+    /// across the whole server.
+    rebalance: AtomicBool,
+    next_id: AtomicU64,
+    splits: AtomicU64,
+    merges: AtomicU64,
+    spanning: AtomicU64,
+    submitted: AtomicU64,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    history: Mutex<ShardedHistory>,
+    cfg: ShardConfig,
+    delta: f64,
+    config: PolyFitConfig,
+}
+
+impl ServerShared {
+    fn mint_id(&self) -> u64 {
+        self.next_id.fetch_add(1, SeqCst)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client handle
+// ---------------------------------------------------------------------------
+
+/// Client endpoint of a [`ShardedServer`]. `Send` but not `Sync` (it
+/// owns an epoch reader slot); clone it to give each client thread its
+/// own.
+pub struct ShardHandle {
+    shared: Arc<ServerShared>,
+    reader: Reader,
+}
+
+impl Clone for ShardHandle {
+    fn clone(&self) -> Self {
+        ShardHandle { shared: Arc::clone(&self.shared), reader: self.shared.domain.reader() }
+    }
+}
+
+impl ShardHandle {
+    /// Submit a query without waiting; pair with [`ShardTicket::wait`].
+    /// Degenerate bounds (non-finite, reversed) are answered inline —
+    /// the contract answer is state-independent, so no queue round-trip
+    /// is paid. Never panics: after shutdown the ticket resolves
+    /// poisoned.
+    pub fn submit(&self, lo: f64, hi: f64) -> ShardTicket {
+        self.shared.submitted.fetch_add(1, Relaxed);
+        let slot = GatherSlot::new();
+        let spin = self.shared.cfg.spin;
+        match classify_bounds(lo, hi) {
+            QueryBounds::NonFinite => {
+                slot.finish(ShardServed {
+                    answer: None,
+                    shards: Vec::new(),
+                    batch_len: 0,
+                    poisoned: false,
+                });
+                return ShardTicket { slot, spin };
+            }
+            QueryBounds::Reversed => {
+                slot.finish(ShardServed {
+                    answer: Some(RangeAggregate::absolute(0.0, 2.0 * self.shared.delta)),
+                    shards: Vec::new(),
+                    batch_len: 0,
+                    poisoned: false,
+                });
+                return ShardTicket { slot, spin };
+            }
+            QueryBounds::Proper => {}
+        }
+        let bound = 2.0 * self.shared.delta;
+        loop {
+            if !self.shared.open.load(SeqCst) {
+                slot.finish(ShardServed::poisoned());
+                return ShardTicket { slot, spin };
+            }
+            let pin = self.reader.pin();
+            let layout = self.shared.layout.load(&pin);
+            let (a, b) = layout.shard_range(lo, hi);
+            if a == b {
+                // Single-shard fast path (the common case): the sub-query
+                // finishes the client slot directly — no gather state, no
+                // parts rendezvous.
+                let sq = SubQuery {
+                    lo,
+                    hi,
+                    sink: QuerySink::Single { slot: Arc::clone(&slot), bound },
+                    deposited: false,
+                };
+                if layout.shards[a].queue.push(Req::Query(sq)).is_ok() {
+                    drop(pin);
+                    return ShardTicket { slot, spin };
+                }
+                drop(pin);
+                thread::yield_now();
+                continue;
+            }
+            self.shared.spanning.fetch_add(1, Relaxed);
+            let gather = Arc::new(GatherState::new(b - a + 1, Arc::clone(&slot), bound));
+            let mut routed = true;
+            for j in a..=b {
+                let (sl, sh) = layout.clip(j, a, b, lo, hi);
+                let sq = SubQuery {
+                    lo: sl,
+                    hi: sh,
+                    sink: QuerySink::Gather { gather: Arc::clone(&gather), part: j - a },
+                    deposited: false,
+                };
+                if layout.shards[j].queue.push(Req::Query(sq)).is_err() {
+                    // The shard rebalanced away mid-scatter. Abandon this
+                    // gather (already-routed parts deposit into it
+                    // harmlessly) and re-route against the fresh layout.
+                    gather.cancelled.store(true, SeqCst);
+                    routed = false;
+                    break;
+                }
+            }
+            drop(pin);
+            if routed {
+                return ShardTicket { slot, spin };
+            }
+            thread::yield_now();
+        }
+    }
+
+    /// Submit and block for the composed answer value.
+    pub fn query(&self, lo: f64, hi: f64) -> Option<RangeAggregate> {
+        self.submit(lo, hi).wait().answer
+    }
+
+    /// [`Self::query`] with the full per-shard provenance.
+    pub fn query_served(&self, lo: f64, hi: f64) -> ShardServed {
+        self.submit(lo, hi).wait()
+    }
+
+    /// Wait-free read path: answer from the involved shards' published
+    /// snapshots under one epoch pin — no queue, no worker round-trip.
+    /// Eventually consistent (a snapshot trails the live shard by at
+    /// most the in-flight batch), but every answer is still exactly the
+    /// provenance-pinned state's answer, so it replays bitwise like any
+    /// queued answer.
+    pub fn snapshot_query(&self, lo: f64, hi: f64) -> ShardServed {
+        match classify_bounds(lo, hi) {
+            QueryBounds::NonFinite => {
+                return ShardServed {
+                    answer: None,
+                    shards: Vec::new(),
+                    batch_len: 0,
+                    poisoned: false,
+                }
+            }
+            QueryBounds::Reversed => {
+                return ShardServed {
+                    answer: Some(RangeAggregate::absolute(0.0, 2.0 * self.shared.delta)),
+                    shards: Vec::new(),
+                    batch_len: 0,
+                    poisoned: false,
+                }
+            }
+            QueryBounds::Proper => {}
+        }
+        let bound = 2.0 * self.shared.delta;
+        let pin = self.reader.pin();
+        let layout = self.shared.layout.load(&pin);
+        let (a, b) = layout.shard_range(lo, hi);
+        let mut shards = Vec::with_capacity(b - a + 1);
+        let mut agg: Option<RangeAggregate> = None;
+        for j in a..=b {
+            let (sl, sh) = layout.clip(j, a, b, lo, hi);
+            let snap = layout.shards[j].snap.load(&pin);
+            let v = snap.view.query(sl, sh);
+            shards.push(ShardPoint {
+                shard: snap.id,
+                lo: sl,
+                hi: sh,
+                updates_applied: snap.updates_applied,
+                rebuilds: snap.rebuilds,
+                epoch: snap.epoch,
+            });
+            let part = RangeAggregate::absolute(v, bound);
+            agg = Some(match agg {
+                None => part,
+                Some(acc) => acc.merge_sum(part),
+            });
+        }
+        ShardServed { answer: agg, shards, batch_len: 0, poisoned: false }
+    }
+
+    /// Enqueue a write, routed to the owning shard (fire-and-forget;
+    /// validated eagerly like the PR 5 handle).
+    ///
+    /// # Panics
+    /// Panics if the server has been shut down.
+    pub fn update(&self, update: Update) -> Result<(), PolyFitError> {
+        if !update.is_finite() {
+            let (key, measure) = match update {
+                Update::Insert { key, measure } => (key, measure),
+                Update::Delete { key, measure } => (key, -measure),
+            };
+            return Err(PolyFitError::NonFiniteUpdate { key, measure });
+        }
+        let mut req = Req::Update(update);
+        loop {
+            assert!(self.shared.open.load(SeqCst), "sharded server has shut down");
+            let pin = self.reader.pin();
+            let layout = self.shared.layout.load(&pin);
+            let j = layout.shard_for_key(update.key());
+            match layout.shards[j].queue.push(req) {
+                Ok(()) => return Ok(()),
+                Err(back) => req = back,
+            }
+            drop(pin);
+            thread::yield_now();
+        }
+    }
+
+    /// Enqueue an insert of `measure` mass at `key`.
+    pub fn insert(&self, key: f64, measure: f64) -> Result<(), PolyFitError> {
+        self.update(Update::Insert { key, measure })
+    }
+
+    /// Enqueue a delete of `measure` mass at `key`.
+    pub fn delete(&self, key: f64, measure: f64) -> Result<(), PolyFitError> {
+        self.update(Update::Delete { key, measure })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+/// One shard's counters, read from its latest published snapshot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShardStats {
+    /// Shard id.
+    pub shard: u64,
+    /// Updates applied so far.
+    pub updates_applied: u64,
+    /// Compaction swaps completed.
+    pub rebuilds: u64,
+    /// Snapshot publications.
+    pub epoch: u64,
+    /// Records owned (base + buffered).
+    pub len: usize,
+    /// Buffered deltas awaiting compaction.
+    pub buffered: usize,
+    /// Query sub-requests this shard answered.
+    pub served: u64,
+}
+
+/// Server-wide counters plus the per-shard vector.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardedStats {
+    /// Per-shard stats in layout order.
+    pub shards: Vec<ShardStats>,
+    /// Routing-table version (increments per rebalance).
+    pub layout_version: u64,
+    /// Current shard bounds (`shards.len() - 1` keys).
+    pub bounds: Vec<f64>,
+    /// Query requests submitted through handles.
+    pub submitted: u64,
+    /// Requests that spanned more than one shard.
+    pub spanning: u64,
+    /// Completed shard splits.
+    pub splits: u64,
+    /// Completed shard merges.
+    pub merges: u64,
+    /// Retired snapshots still awaiting their grace period.
+    pub limbo: usize,
+}
+
+// ---------------------------------------------------------------------------
+// The server
+// ---------------------------------------------------------------------------
+
+/// Shard-per-core serving engine over a partitioned
+/// [`DynamicPolyFitSum`] fleet.
+///
+/// ```
+/// use polyfit::prelude::*;
+///
+/// let records: Vec<Record> =
+///     (0..4000).map(|i| Record::new(i as f64, 1.0)).collect();
+/// let server = ShardedServer::start(
+///     records,
+///     10.0,
+///     PolyFitConfig::default(),
+///     ShardConfig { shards: 2, ..ShardConfig::default() },
+/// )
+/// .unwrap();
+/// let handle = server.handle();
+/// handle.insert(1234.5, 2.0).unwrap();
+/// let served = handle.query_served(100.0, 3900.0); // spans both shards
+/// assert!(!served.poisoned && served.shards.len() == 2);
+/// server.shutdown();
+/// ```
+pub struct ShardedServer {
+    shared: Arc<ServerShared>,
+    reader: Reader,
+}
+
+impl ShardedServer {
+    /// Partition `records` into `cfg.shards` contiguous key ranges,
+    /// build one [`DynamicPolyFitSum`] per shard, and start a worker
+    /// thread per shard. The config is validated/clamped first.
+    pub fn start(
+        mut records: Vec<Record>,
+        delta: f64,
+        config: PolyFitConfig,
+        cfg: ShardConfig,
+    ) -> Result<ShardedServer, PolyFitError> {
+        let cfg = cfg.validated();
+        sort_records(&mut records);
+        let records = dedup_sum(records);
+        if records.is_empty() {
+            return Err(PolyFitError::EmptyDataset);
+        }
+        let n = records.len();
+        let shards = cfg.shards.min(n);
+        let domain = Domain::new();
+        let mut history = ShardedHistory::default();
+        let mut rts = Vec::with_capacity(shards);
+        let mut indexes = Vec::with_capacity(shards);
+        let mut bounds = Vec::with_capacity(shards.saturating_sub(1));
+        for i in 0..shards {
+            let (a, b) = (i * n / shards, (i + 1) * n / shards);
+            let chunk = records[a..b].to_vec();
+            if i + 1 < shards {
+                bounds.push(chunk.last().expect("non-empty chunk").key);
+            }
+            let mut index = DynamicPolyFitSum::with_options(
+                chunk.clone(),
+                delta,
+                config,
+                cfg.buffer_limit,
+                &cfg.build,
+            )?;
+            index.set_step_budget(0);
+            let id = i as u64;
+            if cfg.record_history {
+                history.initial.push((id, chunk));
+            }
+            let rt = Arc::new(ShardRt {
+                id,
+                queue: ShardQueue::new(),
+                snap: Published::new(
+                    &domain,
+                    ShardSnap {
+                        view: index.snapshot(),
+                        id,
+                        updates_applied: 0,
+                        rebuilds: 0,
+                        epoch: 1,
+                        len: index.base_len() + index.buffered(),
+                    },
+                ),
+                served: AtomicU64::new(0),
+            });
+            rts.push(rt);
+            indexes.push(index);
+        }
+        let shared = Arc::new(ServerShared {
+            layout: Published::new(&domain, Layout { version: 1, bounds, shards: rts.clone() }),
+            domain: Arc::clone(&domain),
+            open: AtomicBool::new(true),
+            rebalance: AtomicBool::new(false),
+            next_id: AtomicU64::new(shards as u64),
+            splits: AtomicU64::new(0),
+            merges: AtomicU64::new(0),
+            spanning: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            threads: Mutex::new(Vec::new()),
+            history: Mutex::new(history),
+            cfg,
+            delta,
+            config,
+        });
+        {
+            let mut threads = shared.threads.lock().expect("thread registry poisoned");
+            for (rt, index) in rts.into_iter().zip(indexes) {
+                threads.push(spawn_worker(&shared, rt, index, 0, 1));
+            }
+        }
+        let reader = domain.reader();
+        Ok(ShardedServer { shared, reader })
+    }
+
+    /// A new client endpoint (one epoch reader slot per handle).
+    pub fn handle(&self) -> ShardHandle {
+        ShardHandle { shared: Arc::clone(&self.shared), reader: self.shared.domain.reader() }
+    }
+
+    /// Current counters and per-shard state.
+    pub fn stats(&self) -> ShardedStats {
+        let pin = self.reader.pin();
+        let layout = self.shared.layout.load(&pin);
+        let mut limbo = self.shared.layout.limbo_len();
+        let mut shards = Vec::with_capacity(layout.shards.len());
+        for rt in &layout.shards {
+            limbo += rt.snap.limbo_len();
+            let s = rt.snap.load(&pin);
+            shards.push(ShardStats {
+                shard: s.id,
+                updates_applied: s.updates_applied,
+                rebuilds: s.rebuilds,
+                epoch: s.epoch,
+                len: s.len,
+                buffered: s.view.buffered(),
+                served: rt.served.load(Relaxed),
+            });
+        }
+        ShardedStats {
+            shards,
+            layout_version: layout.version,
+            bounds: layout.bounds.clone(),
+            submitted: self.shared.submitted.load(Relaxed),
+            spanning: self.shared.spanning.load(Relaxed),
+            splits: self.shared.splits.load(Relaxed),
+            merges: self.shared.merges.load(Relaxed),
+            limbo,
+        }
+    }
+
+    /// A clone of the recorded history (meaningful only with
+    /// [`ShardConfig::record_history`]).
+    pub fn history(&self) -> ShardedHistory {
+        self.shared.history.lock().expect("history poisoned").clone()
+    }
+
+    /// A replay oracle over the recorded history. Requires
+    /// [`ShardConfig::record_history`] to have been set.
+    pub fn oracle(&self) -> ShardedOracle {
+        ShardedOracle::new(
+            self.history(),
+            self.shared.delta,
+            self.shared.config,
+            self.shared.cfg.buffer_limit,
+            self.shared.cfg.build,
+        )
+    }
+
+    /// Stop accepting requests, drain queued work, join every worker
+    /// (including rebalance-spawned ones), and return the final stats.
+    /// Requests still in flight when a worker dies resolve as poisoned
+    /// rather than hanging their clients.
+    pub fn shutdown(self) -> ShardedStats {
+        self.shared.open.store(false, SeqCst);
+        loop {
+            {
+                let pin = self.reader.pin();
+                let layout = self.shared.layout.load(&pin);
+                for rt in &layout.shards {
+                    rt.queue.close();
+                }
+            }
+            let batch: Vec<JoinHandle<()>> = {
+                let mut threads = self.shared.threads.lock().expect("thread registry poisoned");
+                threads.drain(..).collect()
+            };
+            if batch.is_empty() {
+                break;
+            }
+            for h in batch {
+                // A panicked worker already poisoned its in-flight
+                // requests via the SubQuery drop sweep; shutdown stays
+                // tolerant so the remaining workers still join.
+                let _ = h.join();
+            }
+        }
+        self.stats()
+    }
+}
+
+fn spawn_worker(
+    shared: &Arc<ServerShared>,
+    rt: Arc<ShardRt>,
+    index: DynamicPolyFitSum,
+    updates_applied: u64,
+    epoch: u64,
+) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    let reader = shared.domain.reader();
+    thread::spawn(move || {
+        Worker { shared, reader, rt, index, updates_applied, epoch, dirty: false }.run();
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The per-shard worker
+// ---------------------------------------------------------------------------
+
+enum Flow {
+    Continue,
+    /// The worker retired its shard (split executed or merge handed
+    /// off); the thread exits.
+    Exit,
+}
+
+struct Worker {
+    shared: Arc<ServerShared>,
+    reader: Reader,
+    rt: Arc<ShardRt>,
+    index: DynamicPolyFitSum,
+    updates_applied: u64,
+    /// Snapshot publication counter; the initial snapshot is epoch 1.
+    epoch: u64,
+    /// Control-visible state changed since the last publication.
+    dirty: bool,
+}
+
+impl Worker {
+    fn run(mut self) {
+        let _ = self.rt.queue.worker.set(thread::current());
+        loop {
+            if !self.wait_for_traffic() {
+                break;
+            }
+            let batch = self.collect_window();
+            self.process_batch(batch);
+            if self.shared.cfg.compaction_budget > 0
+                && (self.index.is_compacting() || self.index.needs_compaction())
+            {
+                self.step_idle_compaction();
+                self.maybe_publish();
+            }
+            if let Flow::Exit = self.maybe_rebalance() {
+                return;
+            }
+        }
+        // Closed and drained: publish the final state so stats and the
+        // wait-free read path stay coherent after shutdown.
+        self.maybe_publish();
+    }
+
+    /// Spin, then park until traffic arrives. While idle with a rebuild
+    /// outstanding, spend bounded compaction budgets instead of
+    /// sleeping. Returns `false` when the queue is closed and empty.
+    fn wait_for_traffic(&mut self) -> bool {
+        let mut spins = 0u32;
+        loop {
+            let queue = &self.rt.queue;
+            if queue.len.load(SeqCst) > 0 {
+                return true;
+            }
+            if queue.closed.load(SeqCst) {
+                return queue.len.load(SeqCst) > 0;
+            }
+            if self.shared.cfg.compaction_budget > 0
+                && (self.index.is_compacting() || self.index.needs_compaction())
+            {
+                self.step_idle_compaction();
+                self.maybe_publish();
+                continue;
+            }
+            if spins < self.shared.cfg.spin {
+                spins += 1;
+                std::hint::spin_loop();
+                continue;
+            }
+            queue.parked.store(true, SeqCst);
+            if queue.len.load(SeqCst) > 0 || queue.closed.load(SeqCst) {
+                queue.parked.store(false, SeqCst);
+                continue;
+            }
+            thread::park_timeout(IDLE_POLL);
+            self.rt.queue.parked.store(false, SeqCst);
+            // Idle housekeeping: drain any reclaimable snapshots.
+            self.rt.snap.try_reclaim();
+            spins = 0;
+        }
+    }
+
+    /// Pop up to `max_batch` requests, holding the deadline window open
+    /// (yielding, not spinning — on one hardware thread the submitters
+    /// need the core to fill the window).
+    fn collect_window(&mut self) -> Vec<Req> {
+        let cfg = &self.shared.cfg;
+        let queue = &self.rt.queue;
+        let mut out = Vec::new();
+        let opened = Instant::now();
+        loop {
+            if out.len() < cfg.max_batch {
+                queue.pop_many(cfg.max_batch - out.len(), &mut out);
+            }
+            if out.len() >= cfg.max_batch
+                || queue.closed.load(SeqCst)
+                || opened.elapsed() >= cfg.deadline
+            {
+                break;
+            }
+            if queue.len.load(SeqCst) == 0 {
+                thread::yield_now();
+            }
+        }
+        out
+    }
+
+    /// Apply the batch: drain writes first (every answer in the batch
+    /// reflects one quiesced state — the PR 5 contract), publish, then
+    /// answer all sub-queries with one engine-batched call.
+    fn process_batch(&mut self, batch: Vec<Req>) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut queries: Vec<SubQuery> = Vec::new();
+        let mut handoff: Option<Box<MergeHandoff>> = None;
+        let mut logged: Vec<Update> = Vec::new();
+        for req in batch {
+            match req {
+                Req::Update(u) => {
+                    match u {
+                        Update::Insert { key, measure } => self.index.insert(key, measure),
+                        Update::Delete { key, measure } => self.index.delete(key, measure),
+                    }
+                    self.updates_applied += 1;
+                    self.dirty = true;
+                    if self.shared.cfg.record_history {
+                        logged.push(u);
+                    }
+                }
+                Req::Query(sq) => queries.push(sq),
+                Req::Merge(h) => handoff = Some(h),
+            }
+        }
+        if !logged.is_empty() {
+            let mut hist = self.shared.history.lock().expect("history poisoned");
+            hist.logs.entry(self.rt.id).or_default().updates.extend(logged);
+        }
+        self.maybe_publish();
+        if !queries.is_empty() {
+            let ranges: Vec<(f64, f64)> = queries.iter().map(|s| (s.lo, s.hi)).collect();
+            let answers = DynamicPolyFitSum::query_batch(&self.index, &ranges);
+            let batch_len = queries.len();
+            let (id, ua, rb, ep) =
+                (self.rt.id, self.updates_applied, self.index.rebuilds() as u64, self.epoch);
+            self.rt.served.fetch_add(batch_len as u64, Relaxed);
+            for (sq, v) in queries.into_iter().zip(answers) {
+                let point = ShardPoint {
+                    shard: id,
+                    lo: sq.lo,
+                    hi: sq.hi,
+                    updates_applied: ua,
+                    rebuilds: rb,
+                    epoch: ep,
+                };
+                sq.answer(v, point, batch_len);
+            }
+        }
+        if let Some(h) = handoff {
+            self.absorb(*h);
+        }
+    }
+
+    fn make_snap(&self) -> ShardSnap {
+        ShardSnap {
+            view: self.index.snapshot(),
+            id: self.rt.id,
+            updates_applied: self.updates_applied,
+            rebuilds: self.index.rebuilds() as u64,
+            epoch: self.epoch,
+            len: self.index.base_len() + self.index.buffered(),
+        }
+    }
+
+    /// Publish the current state if it changed since the last
+    /// publication — one pointer swap, wait-free for readers.
+    fn maybe_publish(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.epoch += 1;
+        self.rt.snap.publish(self.make_snap());
+        self.dirty = false;
+    }
+
+    /// Stage if needed (recording the per-shard provenance point), then
+    /// drive one bounded compaction step.
+    fn step_idle_compaction(&mut self) {
+        let before = self.index.rebuilds();
+        if self.index.needs_compaction()
+            && self.index.begin_compaction()
+            && self.shared.cfg.record_history
+        {
+            let mut hist = self.shared.history.lock().expect("history poisoned");
+            hist.logs.entry(self.rt.id).or_default().stage_points.push(self.updates_applied);
+        }
+        if self.index.is_compacting() {
+            self.index.step_compaction(self.shared.cfg.compaction_budget);
+        }
+        if self.index.rebuilds() != before {
+            self.dirty = true;
+        }
+    }
+
+    /// Complete any in-flight rebuild (its staging was already
+    /// recorded), leaving the index split/merge-ready.
+    fn finish_pending_compaction(&mut self) {
+        if self.index.is_compacting() {
+            let before = self.index.rebuilds();
+            self.index.compact_now();
+            if self.index.rebuilds() != before {
+                self.dirty = true;
+            }
+        }
+    }
+
+    /// Pop-and-process until the queue is momentarily empty, so the
+    /// shard's log is complete before a rebalance freezes it.
+    fn drain_queue_fully(&mut self) {
+        loop {
+            let mut batch = Vec::new();
+            self.rt.queue.pop_many(usize::MAX, &mut batch);
+            if batch.is_empty() {
+                return;
+            }
+            self.process_batch(batch);
+        }
+    }
+
+    /// Check the size triggers and run at most one rebalance. Rebalances
+    /// are serialized server-wide by the `rebalance` flag.
+    fn maybe_rebalance(&mut self) -> Flow {
+        let cfg = &self.shared.cfg;
+        if !self.shared.open.load(SeqCst) {
+            return Flow::Continue;
+        }
+        let len = self.index.base_len() + self.index.buffered();
+        let want_split = cfg.split_threshold > 0
+            && len > cfg.split_threshold
+            && self.index.split_key().is_some();
+        let want_merge = cfg.merge_threshold > 0 && len < cfg.merge_threshold;
+        if !want_split && !want_merge {
+            return Flow::Continue;
+        }
+        {
+            let pin = self.reader.pin();
+            let layout = self.shared.layout.load(&pin);
+            if want_split && layout.shards.len() >= cfg.max_shards {
+                return Flow::Continue;
+            }
+            if want_merge && layout.shards.len() <= 1 {
+                return Flow::Continue;
+            }
+        }
+        if self.shared.rebalance.compare_exchange(false, true, SeqCst, SeqCst).is_err() {
+            return Flow::Continue;
+        }
+        if want_split {
+            self.do_split()
+        } else {
+            self.do_merge()
+        }
+    }
+
+    /// Split this shard at its median base key: drain, finish any
+    /// rebuild, build both children fresh (deterministic — the oracle
+    /// re-derives them the same way), publish the new layout, close the
+    /// old queue, and forward the stragglers.
+    fn do_split(&mut self) -> Flow {
+        self.drain_queue_fully();
+        self.finish_pending_compaction();
+        self.maybe_publish();
+        let Some(key) = self.index.split_key() else {
+            self.shared.rebalance.store(false, SeqCst);
+            return Flow::Continue;
+        };
+        let (li, ri) = match self.index.split_at(key) {
+            Ok(pair) => pair,
+            Err(_) => {
+                self.shared.rebalance.store(false, SeqCst);
+                return Flow::Continue;
+            }
+        };
+        let (lid, rid) = (self.shared.mint_id(), self.shared.mint_id());
+        if self.shared.cfg.record_history {
+            let mut hist = self.shared.history.lock().expect("history poisoned");
+            hist.rebalances.push(RebalanceRecord::Split {
+                parent: self.rt.id,
+                key,
+                left: lid,
+                right: rid,
+            });
+        }
+        let child_rt = |id: u64, index: &DynamicPolyFitSum| {
+            Arc::new(ShardRt {
+                id,
+                queue: ShardQueue::new(),
+                snap: Published::new(
+                    &self.shared.domain,
+                    ShardSnap {
+                        view: index.snapshot(),
+                        id,
+                        updates_applied: 0,
+                        rebuilds: 0,
+                        epoch: 1,
+                        len: index.base_len() + index.buffered(),
+                    },
+                ),
+                served: AtomicU64::new(0),
+            })
+        };
+        let (lrt, rrt) = (child_rt(lid, &li), child_rt(rid, &ri));
+        {
+            let pin = self.reader.pin();
+            let cur = self.shared.layout.load(&pin);
+            let pos = cur.position_of(self.rt.id).expect("splitting shard is in the layout");
+            let mut shards = cur.shards.clone();
+            let mut bounds = cur.bounds.clone();
+            shards.splice(pos..=pos, [Arc::clone(&lrt), Arc::clone(&rrt)]);
+            bounds.insert(pos, key);
+            let version = cur.version + 1;
+            drop(pin);
+            self.shared.layout.publish(Layout { version, bounds, shards });
+        }
+        self.rt.queue.close();
+        // Stragglers that raced the close: updates forward to the owning
+        // child (its worker logs them on application); queries answer
+        // from the parent's final state — every update routed to the
+        // parent before the close is already folded in, so the session
+        // guarantee holds.
+        let (pid, pua, prb, pep) =
+            (self.rt.id, self.updates_applied, self.index.rebuilds() as u64, self.epoch);
+        while let Some(req) = self.rt.queue.pop() {
+            match req {
+                Req::Update(u) => {
+                    let side = if u.key() <= key { &lrt } else { &rrt };
+                    let _ = side.queue.push(Req::Update(u));
+                }
+                Req::Query(sq) => {
+                    let v = DynamicPolyFitSum::query(&self.index, sq.lo, sq.hi);
+                    let point = ShardPoint {
+                        shard: pid,
+                        lo: sq.lo,
+                        hi: sq.hi,
+                        updates_applied: pua,
+                        rebuilds: prb,
+                        epoch: pep,
+                    };
+                    sq.answer(v, point, 1);
+                }
+                Req::Merge(_) => unreachable!("rebalances are serialized"),
+            }
+        }
+        {
+            let mut threads = self.shared.threads.lock().expect("thread registry poisoned");
+            threads.push(spawn_worker(&self.shared, lrt, li, 0, 1));
+            threads.push(spawn_worker(&self.shared, rrt, ri, 0, 1));
+        }
+        self.shared.splits.fetch_add(1, Relaxed);
+        self.shared.rebalance.store(false, SeqCst);
+        Flow::Exit
+    }
+
+    /// Hand this (undersized) shard to its neighbour: drain, freeze,
+    /// close the queue, and mail the whole state. The neighbour executes
+    /// the merge and releases the rebalance flag.
+    fn do_merge(&mut self) -> Flow {
+        let (neighbour, from_right) = {
+            let pin = self.reader.pin();
+            let cur = self.shared.layout.load(&pin);
+            let Some(pos) = cur.position_of(self.rt.id) else {
+                self.shared.rebalance.store(false, SeqCst);
+                return Flow::Continue;
+            };
+            if cur.shards.len() <= 1 {
+                self.shared.rebalance.store(false, SeqCst);
+                return Flow::Continue;
+            }
+            if pos > 0 {
+                (Arc::clone(&cur.shards[pos - 1]), true)
+            } else {
+                (Arc::clone(&cur.shards[1]), false)
+            }
+        };
+        self.drain_queue_fully();
+        self.finish_pending_compaction();
+        self.maybe_publish();
+        self.rt.queue.close();
+        let handoff = Box::new(MergeHandoff {
+            id: self.rt.id,
+            from_right,
+            index: Box::new(self.index.clone()),
+            queue: Arc::clone(&self.rt.queue),
+            snap: self.index.snapshot(),
+            updates_applied: self.updates_applied,
+            rebuilds: self.index.rebuilds() as u64,
+            epoch: self.epoch,
+        });
+        match neighbour.queue.push(Req::Merge(handoff)) {
+            Ok(()) => Flow::Exit,
+            Err(_) => {
+                // The neighbour's queue closed under us — only shutdown
+                // does that while we hold the rebalance flag. Drain our
+                // own stragglers (the drop sweep poisons any query we
+                // cannot answer sensibly) and exit.
+                self.shared.rebalance.store(false, SeqCst);
+                self.drain_closed_leftovers();
+                Flow::Exit
+            }
+        }
+    }
+
+    /// Answer/apply whatever raced into the closed queue before exit.
+    fn drain_closed_leftovers(&mut self) {
+        let mut batch = Vec::new();
+        while let Some(r) = self.rt.queue.pop() {
+            batch.push(r);
+        }
+        self.process_batch(batch);
+    }
+
+    /// Execute a merge handed off by the neighbour: build the merged
+    /// index, publish the new layout, and adopt both old queues. Runs on
+    /// the receiving worker's thread, which continues as the merged
+    /// shard's worker.
+    fn absorb(&mut self, h: MergeHandoff) {
+        self.finish_pending_compaction();
+        self.maybe_publish();
+        let (left_id, right_id) =
+            if h.from_right { (self.rt.id, h.id) } else { (h.id, self.rt.id) };
+        let merged = if h.from_right {
+            self.index.merge_with(&h.index)
+        } else {
+            h.index.merge_with(&self.index)
+        }
+        .expect("adjacent shards merge cleanly");
+        let mid = self.shared.mint_id();
+        if self.shared.cfg.record_history {
+            let mut hist = self.shared.history.lock().expect("history poisoned");
+            hist.rebalances.push(RebalanceRecord::Merge {
+                left: left_id,
+                right: right_id,
+                merged: mid,
+            });
+        }
+        let new_rt = Arc::new(ShardRt {
+            id: mid,
+            queue: ShardQueue::new(),
+            snap: Published::new(
+                &self.shared.domain,
+                ShardSnap {
+                    view: merged.snapshot(),
+                    id: mid,
+                    updates_applied: 0,
+                    rebuilds: 0,
+                    epoch: 1,
+                    len: merged.base_len() + merged.buffered(),
+                },
+            ),
+            served: AtomicU64::new(0),
+        });
+        let _ = new_rt.queue.worker.set(thread::current());
+        {
+            let pin = self.reader.pin();
+            let cur = self.shared.layout.load(&pin);
+            let p = cur.position_of(self.rt.id).expect("receiver is in the layout");
+            let q = cur.position_of(h.id).expect("sender is in the layout");
+            let lo_pos = p.min(q);
+            let mut shards = cur.shards.clone();
+            let mut bounds = cur.bounds.clone();
+            shards.splice(lo_pos..=lo_pos + 1, [Arc::clone(&new_rt)]);
+            bounds.remove(lo_pos);
+            let version = cur.version + 1;
+            drop(pin);
+            self.shared.layout.publish(Layout { version, bounds, shards });
+        }
+        let old_rt = Arc::clone(&self.rt);
+        old_rt.queue.close();
+        // Adopt stragglers from both retired queues. Updates re-queue on
+        // the merged shard (logged on application, key-disjoint across
+        // the two sources); queries answer from the respective final
+        // frozen states.
+        let (oid, oua, orb, oep) =
+            (old_rt.id, self.updates_applied, self.index.rebuilds() as u64, self.epoch);
+        while let Some(req) = old_rt.queue.pop() {
+            match req {
+                Req::Update(u) => {
+                    let _ = new_rt.queue.push(Req::Update(u));
+                }
+                Req::Query(sq) => {
+                    let v = DynamicPolyFitSum::query(&self.index, sq.lo, sq.hi);
+                    let point = ShardPoint {
+                        shard: oid,
+                        lo: sq.lo,
+                        hi: sq.hi,
+                        updates_applied: oua,
+                        rebuilds: orb,
+                        epoch: oep,
+                    };
+                    sq.answer(v, point, 1);
+                }
+                Req::Merge(_) => unreachable!("rebalances are serialized"),
+            }
+        }
+        while let Some(req) = h.queue.pop() {
+            match req {
+                Req::Update(u) => {
+                    let _ = new_rt.queue.push(Req::Update(u));
+                }
+                Req::Query(sq) => {
+                    let v = h.snap.query(sq.lo, sq.hi);
+                    let point = ShardPoint {
+                        shard: h.id,
+                        lo: sq.lo,
+                        hi: sq.hi,
+                        updates_applied: h.updates_applied,
+                        rebuilds: h.rebuilds,
+                        epoch: h.epoch,
+                    };
+                    sq.answer(v, point, 1);
+                }
+                Req::Merge(_) => unreachable!("rebalances are serialized"),
+            }
+        }
+        self.rt = new_rt;
+        self.index = merged;
+        self.index.set_step_budget(0);
+        self.updates_applied = 0;
+        self.epoch = 1;
+        self.dirty = false;
+        self.shared.merges.fetch_add(1, Relaxed);
+        self.shared.rebalance.store(false, SeqCst);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The replay oracle
+// ---------------------------------------------------------------------------
+
+/// Offline replay of a recorded sharded serving session. For any
+/// [`ShardPoint`] it reconstructs the shard's index state bit-for-bit
+/// (PR 3's stepped == blocking compaction determinism, plus
+/// deterministic [`DynamicPolyFitSum::split_at`]/
+/// [`DynamicPolyFitSum::merge_with`] for the lineage), re-runs the
+/// clipped sub-queries, and composes them in the served order — the
+/// ground truth every sharded answer is held bitwise-equal to.
+pub struct ShardedOracle {
+    delta: f64,
+    config: PolyFitConfig,
+    buffer_limit: usize,
+    build: BuildOptions,
+    history: ShardedHistory,
+}
+
+impl ShardedOracle {
+    /// Build an oracle from a recorded history and the server's build
+    /// parameters (which must match [`ShardedServer::start`]'s).
+    pub fn new(
+        history: ShardedHistory,
+        delta: f64,
+        config: PolyFitConfig,
+        buffer_limit: usize,
+        build: BuildOptions,
+    ) -> ShardedOracle {
+        ShardedOracle { delta, config, buffer_limit, build, history }
+    }
+
+    /// The recorded history backing this oracle.
+    pub fn history(&self) -> &ShardedHistory {
+        &self.history
+    }
+
+    fn apply(idx: &mut DynamicPolyFitSum, updates: &[Update]) {
+        for &u in updates {
+            match u {
+                Update::Insert { key, measure } => idx.insert(key, measure),
+                Update::Delete { key, measure } => idx.delete(key, measure),
+            }
+        }
+    }
+
+    /// A shard's starting state: its initial build, or its
+    /// split/merge-derived lineage.
+    fn origin_index(&self, shard: u64) -> DynamicPolyFitSum {
+        if let Some((_, records)) = self.history.initial.iter().find(|(id, _)| *id == shard) {
+            let mut idx = DynamicPolyFitSum::with_options(
+                records.clone(),
+                self.delta,
+                self.config,
+                self.buffer_limit,
+                &self.build,
+            )
+            .expect("initial shard records rebuild");
+            idx.set_step_budget(0);
+            return idx;
+        }
+        for r in &self.history.rebalances {
+            match *r {
+                RebalanceRecord::Split { parent, key, left, right }
+                    if left == shard || right == shard =>
+                {
+                    let p = self.final_index(parent);
+                    let (l, rgt) = p.split_at(key).expect("recorded split replays");
+                    return if left == shard { l } else { rgt };
+                }
+                RebalanceRecord::Merge { left, right, merged } if merged == shard => {
+                    let l = self.final_index(left);
+                    let rgt = self.final_index(right);
+                    return l.merge_with(&rgt).expect("recorded merge replays");
+                }
+                _ => {}
+            }
+        }
+        panic!("shard {shard} is not in the recorded history");
+    }
+
+    /// A retired shard's final state: full log applied, every staged
+    /// compaction completed (the worker finishes any pending rebuild
+    /// before retiring a shard).
+    fn final_index(&self, shard: u64) -> DynamicPolyFitSum {
+        let (updates, stages) = self
+            .history
+            .logs
+            .get(&shard)
+            .map(|l| (l.updates.len() as u64, l.stage_points.len() as u64))
+            .unwrap_or((0, 0));
+        self.index_at(shard, updates, stages)
+    }
+
+    /// Reconstruct shard `shard`'s exact index state at provenance
+    /// `(updates, rebuilds)`: replay the update prefix, staging at the
+    /// recorded points and completing the first `rebuilds` of them
+    /// (blocking — bitwise-equal to the worker's stepped execution; a
+    /// staged-but-unswapped rebuild is bitwise-transparent and skipped).
+    pub fn index_at(&self, shard: u64, updates: u64, rebuilds: u64) -> DynamicPolyFitSum {
+        let mut idx = self.origin_index(shard);
+        let empty = ShardLog::default();
+        let log = self.history.logs.get(&shard).unwrap_or(&empty);
+        let stages: Vec<u64> = log.stage_points.iter().copied().filter(|&p| p <= updates).collect();
+        let mut pos = 0usize;
+        for &p in stages.iter().take(rebuilds as usize) {
+            Self::apply(&mut idx, &log.updates[pos..p as usize]);
+            assert!(idx.begin_compaction(), "recorded stage point must have work");
+            idx.compact_now();
+            pos = p as usize;
+        }
+        Self::apply(&mut idx, &log.updates[pos..updates as usize]);
+        idx
+    }
+
+    /// Recompute the answer a [`ShardServed`] should carry: replay every
+    /// shard to its provenance point, re-run the clipped sub-query, and
+    /// compose in the served order.
+    pub fn expected(&self, served: &ShardServed) -> Option<RangeAggregate> {
+        if served.poisoned {
+            return None;
+        }
+        if served.shards.is_empty() {
+            // Degenerate bounds were answered inline from the contract,
+            // independent of any shard state.
+            return served.answer;
+        }
+        let bound = 2.0 * self.delta;
+        let mut agg: Option<RangeAggregate> = None;
+        for p in &served.shards {
+            let idx = self.index_at(p.shard, p.updates_applied, p.rebuilds);
+            let part = RangeAggregate::absolute(idx.query(p.lo, p.hi), bound);
+            agg = Some(match agg {
+                None => part,
+                Some(acc) => acc.merge_sum(part),
+            });
+        }
+        agg
+    }
+
+    /// `true` when the served answer is bitwise-identical to the replay.
+    pub fn matches(&self, served: &ShardServed) -> bool {
+        self.expected(served).map(|a| a.value.to_bits())
+            == served.answer.as_ref().map(|a| a.value.to_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records(n: usize) -> Vec<Record> {
+        (0..n).map(|i| Record::new(i as f64 * 0.5, 1.0 + (i % 4) as f64)).collect()
+    }
+
+    fn capped() -> PolyFitConfig {
+        PolyFitConfig { max_segment_len: Some(128), ..PolyFitConfig::default() }
+    }
+
+    fn recording_config(shards: usize) -> ShardConfig {
+        ShardConfig {
+            shards,
+            record_history: true,
+            deadline: Duration::from_micros(50),
+            max_batch: 16,
+            buffer_limit: 24,
+            compaction_budget: 64,
+            ..ShardConfig::default()
+        }
+    }
+
+    #[test]
+    fn config_validation_clamps_degenerate_values() {
+        let cfg = ShardConfig {
+            shards: 0,
+            max_batch: 0,
+            deadline: Duration::from_secs(3600),
+            max_shards: 0,
+            ..ShardConfig::default()
+        }
+        .validated();
+        assert_eq!(cfg.shards, 1);
+        assert_eq!(cfg.max_batch, 1);
+        assert_eq!(cfg.max_shards, 1);
+        assert!(cfg.deadline <= MAX_DEADLINE);
+    }
+
+    #[test]
+    fn degenerate_config_still_serves() {
+        let server = ShardedServer::start(
+            records(500),
+            8.0,
+            capped(),
+            ShardConfig { shards: 2, max_batch: 0, deadline: Duration::ZERO, ..Default::default() },
+        )
+        .unwrap();
+        let handle = server.handle();
+        for i in 0..32 {
+            let served = handle.query_served(i as f64, 200.0);
+            assert!(!served.poisoned && served.answer.is_some(), "query {i}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn point_and_spanning_queries_compose_the_per_shard_answers() {
+        let recs = records(2000);
+        let server =
+            ShardedServer::start(recs.clone(), 10.0, capped(), recording_config(4)).unwrap();
+        let handle = server.handle();
+        // A query inside one shard routes to exactly one; a full-domain
+        // query touches all four.
+        let one = handle.query_served(10.0, 100.0);
+        assert_eq!(one.shards.len(), 1);
+        let all = handle.query_served(-10.0, 2000.0);
+        assert_eq!(all.shards.len(), 4);
+        // The composed value is the in-order fold of the sub-values.
+        let mut acc: Option<RangeAggregate> = None;
+        let oracle = server.oracle();
+        for p in &all.shards {
+            let idx = oracle.index_at(p.shard, p.updates_applied, p.rebuilds);
+            let part = RangeAggregate::absolute(idx.query(p.lo, p.hi), 20.0);
+            acc = Some(match acc {
+                None => part,
+                Some(a) => a.merge_sum(part),
+            });
+        }
+        assert_eq!(all.answer.as_ref().map(|a| a.value.to_bits()), acc.map(|a| a.value.to_bits()));
+        assert!(oracle.matches(&one) && oracle.matches(&all));
+        server.shutdown();
+    }
+
+    #[test]
+    fn degenerate_bounds_answer_inline() {
+        let server = ShardedServer::start(records(400), 5.0, capped(), Default::default()).unwrap();
+        let handle = server.handle();
+        let nan = handle.query_served(f64::NAN, 10.0);
+        assert_eq!(nan.answer, None);
+        assert!(!nan.poisoned && nan.shards.is_empty());
+        let rev = handle.query_served(100.0, 5.0);
+        assert_eq!(rev.value(), Some(0.0));
+        server.shutdown();
+    }
+
+    #[test]
+    fn updates_route_to_the_owning_shard_and_replay() {
+        let server =
+            ShardedServer::start(records(1200), 8.0, capped(), recording_config(3)).unwrap();
+        let handle = server.handle();
+        let oracle_probe = (0..60).map(|i| (i as f64 * 9.0, i as f64 * 9.0 + 140.0));
+        for i in 0..150 {
+            handle.insert(3.25 + (i % 90) as f64 * 6.5, 2.0).unwrap();
+            if i % 3 == 0 {
+                let (lo, hi) = (i as f64 * 3.0, i as f64 * 3.0 + 320.0);
+                let served = handle.query_served(lo, hi);
+                assert!(!served.poisoned, "query {i}");
+            }
+        }
+        let mut observed = Vec::new();
+        for (lo, hi) in oracle_probe {
+            observed.push(handle.query_served(lo, hi));
+        }
+        let oracle = server.oracle();
+        for (i, served) in observed.iter().enumerate() {
+            assert!(oracle.matches(served), "probe {i}: {served:?}");
+        }
+        let stats = server.shutdown();
+        let total: u64 = stats.shards.iter().map(|s| s.updates_applied).sum();
+        assert_eq!(total, 150, "every update must land on exactly one shard");
+        server_is_quiet_after_shutdown(stats);
+    }
+
+    fn server_is_quiet_after_shutdown(stats: ShardedStats) {
+        assert!(stats.shards.iter().all(|s| s.epoch >= 1));
+    }
+
+    #[test]
+    fn snapshot_queries_are_oracle_consistent() {
+        let server =
+            ShardedServer::start(records(1500), 10.0, capped(), recording_config(2)).unwrap();
+        let handle = server.handle();
+        for i in 0..80 {
+            handle.insert(1.23 + i as f64 * 4.0, 3.0).unwrap();
+        }
+        // Force the live path to quiesce so snapshots observe the writes.
+        let _ = handle.query_served(0.0, 750.0);
+        let snap = handle.snapshot_query(-5.0, 800.0);
+        assert!(!snap.poisoned && snap.answer.is_some());
+        let oracle = server.oracle();
+        assert!(oracle.matches(&snap), "snapshot path must replay bitwise: {snap:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn auto_split_keeps_answers_replayable() {
+        let cfg = ShardConfig { split_threshold: 700, max_shards: 6, ..recording_config(1) };
+        let server = ShardedServer::start(records(1300), 8.0, capped(), cfg).unwrap();
+        let handle = server.handle();
+        let mut observed = Vec::new();
+        for i in 0..400 {
+            handle.insert(660.0 + i as f64 * 0.125, 1.5).unwrap();
+            if i % 7 == 0 {
+                observed.push(handle.query_served(i as f64, i as f64 + 500.0));
+            }
+        }
+        // Quiesce, then probe across the (possibly split) layout.
+        for i in 0..40 {
+            observed.push(handle.query_served(i as f64 * 18.0 - 4.0, i as f64 * 18.0 + 420.0));
+        }
+        let stats = server.stats();
+        assert!(stats.splits >= 1, "split threshold must have fired: {stats:?}");
+        assert!(stats.shards.len() >= 2);
+        let oracle = server.oracle();
+        for (i, served) in observed.iter().enumerate() {
+            assert!(!served.poisoned, "query {i} poisoned");
+            assert!(oracle.matches(served), "query {i}: {served:?}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn auto_merge_keeps_answers_replayable() {
+        let cfg = ShardConfig { merge_threshold: 400, ..recording_config(3) };
+        // 3 shards of ~240 records each — all under the merge threshold,
+        // so the fleet collapses while serving.
+        let server = ShardedServer::start(records(720), 8.0, capped(), cfg).unwrap();
+        let handle = server.handle();
+        let mut observed = Vec::new();
+        for i in 0..120 {
+            handle.insert(2.2 + (i % 50) as f64 * 7.0, 1.0).unwrap();
+            observed.push(handle.query_served(i as f64 - 8.0, i as f64 + 220.0));
+        }
+        let stats = server.stats();
+        assert!(stats.merges >= 1, "merge threshold must have fired: {stats:?}");
+        let oracle = server.oracle();
+        for (i, served) in observed.iter().enumerate() {
+            assert!(!served.poisoned, "query {i} poisoned");
+            assert!(oracle.matches(served), "query {i}: {served:?}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn submit_after_shutdown_resolves_poisoned_not_hanging() {
+        let server = ShardedServer::start(records(300), 5.0, capped(), Default::default()).unwrap();
+        let handle = server.handle();
+        server.shutdown();
+        let served = handle.submit(0.0, 50.0).wait();
+        assert!(served.poisoned);
+        assert_eq!(served.answer, None);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_requests() {
+        let server = ShardedServer::start(
+            records(600),
+            8.0,
+            capped(),
+            ShardConfig { shards: 2, deadline: Duration::from_millis(40), ..Default::default() },
+        )
+        .unwrap();
+        let handle = server.handle();
+        let tickets: Vec<ShardTicket> = (0..24).map(|i| handle.submit(i as f64, 250.0)).collect();
+        server.shutdown();
+        for t in tickets {
+            let served = t.wait();
+            assert!(!served.poisoned, "shutdown must answer queued requests");
+            assert!(served.answer.is_some());
+        }
+    }
+
+    #[test]
+    fn epoch_limbo_drains_once_readers_quiesce() {
+        let server =
+            ShardedServer::start(records(900), 8.0, capped(), recording_config(2)).unwrap();
+        let handle = server.handle();
+        for i in 0..60 {
+            handle.insert(i as f64 * 3.7, 1.0).unwrap();
+        }
+        let _ = handle.query_served(0.0, 400.0);
+        let stats = server.shutdown();
+        // After shutdown no reader pins anything; every retired snapshot
+        // must have been reclaimable by the final publishes.
+        assert!(stats.limbo <= stats.shards.len() * 2, "unreclaimed limbo: {stats:?}");
+    }
+}

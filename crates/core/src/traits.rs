@@ -17,7 +17,7 @@ use polyfit_exact::artree::Rect;
 use polyfit_exact::{ARTree, AggTree, BPlusTree, KeyCumulativeArray};
 
 use crate::drivers::{GuaranteedAvg, GuaranteedMax, GuaranteedMin, GuaranteedSum};
-use crate::dynamic::DynamicPolyFitSum;
+use crate::dynamic::{DynamicPolyFitSum, DynamicSnapshot};
 use crate::index_max::{Extremum, PolyFitMax};
 use crate::index_sum::PolyFitSum;
 use crate::stats::IndexStats;
@@ -84,6 +84,31 @@ impl RangeAggregate {
     /// An answer with no deterministic bound.
     pub fn heuristic(value: f64) -> Self {
         RangeAggregate { value, guarantee: Guarantee::Heuristic, used_fallback: false }
+    }
+
+    /// Compose two SUM-family sub-answers over *disjoint adjacent*
+    /// sub-ranges into the answer for their union — the mergeable
+    /// algebra the sharded serving layer gathers spanning ranges with.
+    /// Values add, absolute bounds add (`Exact` composes as a zero
+    /// bound), and `used_fallback` ORs. Relative or heuristic promises
+    /// do not compose additively and degrade to [`Guarantee::Heuristic`].
+    ///
+    /// The fold is deterministic: the serving layer always folds
+    /// sub-answers in ascending shard order, so a scatter-gather answer
+    /// is bitwise-reproducible regardless of which shard finished first.
+    pub fn merge_sum(self, other: RangeAggregate) -> RangeAggregate {
+        let guarantee = match (self.guarantee, other.guarantee) {
+            (Guarantee::Exact, Guarantee::Exact) => Guarantee::Exact,
+            (Guarantee::Exact, Guarantee::Absolute(b))
+            | (Guarantee::Absolute(b), Guarantee::Exact) => Guarantee::Absolute(b),
+            (Guarantee::Absolute(a), Guarantee::Absolute(b)) => Guarantee::Absolute(a + b),
+            _ => Guarantee::Heuristic,
+        };
+        RangeAggregate {
+            value: self.value + other.value,
+            guarantee,
+            used_fallback: self.used_fallback || other.used_fallback,
+        }
     }
 }
 
@@ -404,6 +429,48 @@ impl AggregateIndex for DynamicPolyFitSum {
 
     fn size_bytes(&self) -> usize {
         // Base segments plus the buffered (key, Δmeasure) pairs.
+        self.base().map_or(0, |b| b.size_bytes()) + self.buffered() * 2 * std::mem::size_of::<f64>()
+    }
+
+    fn stats(&self) -> Option<&IndexStats> {
+        self.base().map(|b| b.stats())
+    }
+}
+
+impl AggregateIndex for DynamicSnapshot {
+    fn name(&self) -> &'static str {
+        "PolyFit-dynamic-snapshot"
+    }
+
+    fn kind(&self) -> AggregateKind {
+        AggregateKind::Sum
+    }
+
+    // Bitwise-identical to the `DynamicPolyFitSum` impl at freeze time —
+    // the sharded gather path mixes live-index and snapshot sub-answers
+    // and must not be able to tell them apart.
+    fn query(&self, lq: f64, uq: f64) -> Option<RangeAggregate> {
+        match classify_bounds(lq, uq) {
+            QueryBounds::NonFinite => None,
+            QueryBounds::Reversed => Some(RangeAggregate::absolute(0.0, 2.0 * self.delta())),
+            QueryBounds::Proper => Some(RangeAggregate::absolute(
+                DynamicSnapshot::query(self, lq, uq),
+                2.0 * self.delta(),
+            )),
+        }
+    }
+
+    fn query_batch(&self, ranges: &[(f64, f64)]) -> Vec<Option<RangeAggregate>> {
+        let bound = 2.0 * self.delta();
+        guarded_batch(ranges, Some(RangeAggregate::absolute(0.0, bound)), |proper| {
+            DynamicSnapshot::query_batch(self, proper)
+                .into_iter()
+                .map(|v| Some(RangeAggregate::absolute(v, bound)))
+                .collect()
+        })
+    }
+
+    fn size_bytes(&self) -> usize {
         self.base().map_or(0, |b| b.size_bytes()) + self.buffered() * 2 * std::mem::size_of::<f64>()
     }
 
