@@ -379,6 +379,14 @@ struct SubQuery {
 }
 
 impl SubQuery {
+    /// Disarm the drop sweep on a request that was handed back by a
+    /// closed queue and will be re-routed: the sweep is for genuinely
+    /// abandoned requests, and the client slot is write-once — a poison
+    /// deposited here would win over the re-routed real answer.
+    fn defuse(mut self) {
+        self.deposited = true;
+    }
+
     fn answer(mut self, value: f64, point: ShardPoint, batch_len: usize) {
         self.deposited = true;
         match &self.sink {
@@ -716,9 +724,17 @@ impl ShardHandle {
                     sink: QuerySink::Single { slot: Arc::clone(&slot), bound },
                     deposited: false,
                 };
-                if layout.shards[a].queue.push(Req::Query(sq)).is_ok() {
-                    drop(pin);
-                    return ShardTicket { slot, spin };
+                match layout.shards[a].queue.push(Req::Query(sq)) {
+                    Ok(()) => {
+                        drop(pin);
+                        return ShardTicket { slot, spin };
+                    }
+                    // The shard rebalanced away mid-route: the queue
+                    // hands the request back. Defuse it before it drops
+                    // so the poison sweep cannot pre-fill the write-once
+                    // slot, then re-route against the fresh layout.
+                    Err(Req::Query(back)) => back.defuse(),
+                    Err(_) => unreachable!("push hands back the request it was given"),
                 }
                 drop(pin);
                 thread::yield_now();
@@ -735,11 +751,20 @@ impl ShardHandle {
                     sink: QuerySink::Gather { gather: Arc::clone(&gather), part: j - a },
                     deposited: false,
                 };
-                if layout.shards[j].queue.push(Req::Query(sq)).is_err() {
-                    // The shard rebalanced away mid-scatter. Abandon this
-                    // gather (already-routed parts deposit into it
-                    // harmlessly) and re-route against the fresh layout.
+                if let Err(back) = layout.shards[j].queue.push(Req::Query(sq)) {
+                    // The shard rebalanced away mid-scatter. Cancel the
+                    // gather BEFORE the recovered request can drop, then
+                    // defuse it so this part never deposits — `remaining`
+                    // can no longer reach zero, so no racing depositor
+                    // composes a spurious poisoned answer into the
+                    // write-once slot. Already-routed parts deposit into
+                    // the abandoned gather harmlessly; the query is
+                    // re-routed against the fresh layout.
                     gather.cancelled.store(true, SeqCst);
+                    match back {
+                        Req::Query(sq) => sq.defuse(),
+                        _ => unreachable!("push hands back the request it was given"),
+                    }
                     routed = false;
                     break;
                 }
@@ -1173,6 +1198,16 @@ impl Worker {
             }
             if queue.closed.load(SeqCst) {
                 return queue.len.load(SeqCst) > 0;
+            }
+            if !self.shared.open.load(SeqCst) {
+                // Shutdown is underway but this queue is still open: a
+                // rebalance published it after shutdown's close sweep
+                // read the layout (shutdown may already be blocked in
+                // join() on this very thread and will never re-close).
+                // Self-close so the drain-and-exit path runs instead of
+                // parking forever.
+                queue.close();
+                continue;
             }
             if self.shared.cfg.compaction_budget > 0
                 && (self.index.is_compacting() || self.index.needs_compaction())
@@ -1649,6 +1684,14 @@ impl Worker {
         self.dirty = false;
         self.shared.merges.fetch_add(1, Relaxed);
         self.shared.rebalance.store(false, SeqCst);
+        // Shutdown may have swept the previous layout's queues while the
+        // merge handoff was queued; it is then blocked joining this very
+        // thread and will never close the queue published above. Close
+        // it ourselves (after the straggler re-queues land) so the run
+        // loop drains the remainder and exits.
+        if !self.shared.open.load(SeqCst) {
+            self.rt.queue.close();
+        }
     }
 }
 
@@ -2036,5 +2079,82 @@ mod tests {
         // After shutdown no reader pins anything; every retired snapshot
         // must have been reclaimable by the final publishes.
         assert!(stats.limbo <= stats.shards.len() * 2, "unreclaimed limbo: {stats:?}");
+    }
+
+    #[test]
+    fn recovered_subquery_defuses_instead_of_poisoning_the_slot() {
+        let slot = GatherSlot::new();
+        let queue = ShardQueue::new();
+        queue.close();
+        let sq = SubQuery {
+            lo: 0.0,
+            hi: 1.0,
+            sink: QuerySink::Single { slot: Arc::clone(&slot), bound: 2.0 },
+            deposited: false,
+        };
+        match queue.push(Req::Query(sq)) {
+            Ok(()) => panic!("closed queue must hand the request back"),
+            Err(Req::Query(back)) => back.defuse(),
+            Err(_) => unreachable!("push hands back the request it was given"),
+        }
+        // The write-once slot must still be empty for the re-route.
+        assert!(!slot.done.load(SeqCst), "defused sub-query must not pre-fill the slot");
+        slot.finish(ShardServed {
+            answer: Some(RangeAggregate::absolute(4.0, 2.0)),
+            shards: Vec::new(),
+            batch_len: 1,
+            poisoned: false,
+        });
+        let served = slot.wait(0);
+        assert!(!served.poisoned, "re-routed answer must win, not the drop sweep");
+        assert_eq!(served.value(), Some(4.0));
+    }
+
+    #[test]
+    fn gather_with_failed_last_part_never_composes_poisoned() {
+        let slot = GatherSlot::new();
+        let gather = Arc::new(GatherState::new(2, Arc::clone(&slot), 2.0));
+        // Part 0 already answered by its worker.
+        let point =
+            ShardPoint { shard: 0, lo: 0.0, hi: 1.0, updates_applied: 0, rebuilds: 0, epoch: 1 };
+        gather.deposit(0, PartState::Done { value: 1.0, point, batch_len: 1 });
+        // Part 1's push failed mid-scatter: the recovery order is cancel
+        // first, then defuse the recovered request — `remaining` can no
+        // longer reach zero, so nothing composes into the client slot.
+        gather.cancelled.store(true, SeqCst);
+        let sq = SubQuery {
+            lo: 1.0,
+            hi: 2.0,
+            sink: QuerySink::Gather { gather: Arc::clone(&gather), part: 1 },
+            deposited: false,
+        };
+        sq.defuse();
+        assert!(!slot.done.load(SeqCst), "abandoned gather must leave the slot for the re-route");
+    }
+
+    #[test]
+    fn shutdown_racing_queued_merges_does_not_deadlock() {
+        use std::sync::mpsc;
+        // Every shard starts under the merge threshold, so the first
+        // batch each worker processes immediately hands the shard to a
+        // neighbour. Shutting down while that cascade is in flight races
+        // the close sweep against queued Req::Merge handoffs — absorb
+        // must close its freshly published queue itself, or shutdown
+        // blocks in join() on the receiver thread forever.
+        for round in 0..8 {
+            let cfg = ShardConfig { merge_threshold: 10_000, ..recording_config(3) };
+            let server = ShardedServer::start(records(600), 8.0, capped(), cfg).unwrap();
+            let handle = server.handle();
+            for i in 0..24 {
+                handle.insert(i as f64 * 7.0 + (round % 3) as f64, 1.0).unwrap();
+            }
+            let (tx, rx) = mpsc::channel();
+            let joiner = thread::spawn(move || {
+                let _ = tx.send(server.shutdown());
+            });
+            rx.recv_timeout(Duration::from_secs(20))
+                .expect("shutdown deadlocked against an in-flight merge");
+            joiner.join().unwrap();
+        }
     }
 }
