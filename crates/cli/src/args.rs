@@ -9,6 +9,8 @@ usage:
                 --eps-abs <float> [--degree <1..8>] [--backend <exchange|chebyshev|simplex>]
                 [--threads <N>]   (0 or omitted = all available cores)
                 [--stats]         (sum/count: embed per-segment statistics)
+                [--dynamic]       (sum/count: write a dynamic PFD2 index that retains
+                                   its records — required for --shards / --wal serving)
   polyfit-cli query --index <index.pf> (--lo <float> --hi <float> | --batch-file <ranges.csv>)
   polyfit-cli serve --index <index.pf> --requests <ranges.csv>
                 [--clients <N>]   (request-submitting client threads, default 4)
@@ -18,13 +20,21 @@ usage:
                 [--shards <N>]    (0 or omitted = single serving loop; N >= 1 serves
                                    through N shared-nothing key-space shards — the
                                    index file must be a dynamic PFD2 index)
-  polyfit-cli info  --index <index.pf>
+                [--wal <dir>]     (journal updates durably: checkpoint + fsync-batched
+                                   log(s) under <dir>; needs a dynamic PFD2 index)
+  polyfit-cli recover --wal <dir> [--output <index.pf>]
+  polyfit-cli info  --index <index.pf> [--wal <dir>]
 
 batch file: one `lo,hi` pair per line; answers print one per line in order.
 serve: replays the request file through the concurrent serving loop
 (deadline-batched query_batch execution) and reports per-request answers
 plus throughput; answers are verified bitwise against direct queries
-(against composed per-shard snapshot reads when --shards is used).";
+(against composed per-shard snapshot reads when --shards is used).
+recover: rebuild the exact pre-crash index state from a WAL directory
+(last checkpoint + checksummed log tail; torn tails are truncated) and
+report the replay; --output writes the recovered index as a PFD2 file.
+info --wal: additionally reports the journal's replay cursor (checkpoint
+sequence vs log head) for each log segment under <dir>.";
 
 /// Aggregate kind selected at build time.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,6 +60,9 @@ pub enum Command {
         /// Embed per-segment statistics in the index file (SUM/COUNT),
         /// so reloaded indexes keep compaction incremental.
         stats: bool,
+        /// Write a dynamic (PFD2) index that retains its record set —
+        /// the file kind sharded and WAL-journaled serving require.
+        dynamic: bool,
     },
     Query {
         index: String,
@@ -77,9 +90,22 @@ pub enum Command {
         /// N >= 1 = shared-nothing sharded serving (requires a dynamic
         /// PFD2 index file, which retains its record set).
         shards: usize,
+        /// WAL directory: journal every applied update durably
+        /// (checkpoint + fsync-batched log) so `recover` can rebuild
+        /// the exact served state after a crash. Requires PFD2.
+        wal: Option<String>,
+    },
+    /// Rebuild the exact pre-crash state from a WAL directory.
+    Recover {
+        wal: String,
+        /// Write the recovered index as a PFD2 file (single-journal
+        /// recovery only; sharded state stays in its per-shard WAL).
+        output: Option<String>,
     },
     Info {
         index: String,
+        /// Also report the journal replay cursor(s) under this WAL dir.
+        wal: Option<String>,
     },
 }
 
@@ -152,6 +178,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 backend: backend.to_string(),
                 threads,
                 stats: argv.iter().any(|a| a == "--stats"),
+                dynamic: argv.iter().any(|a| a == "--dynamic"),
             })
         }
         "query" => {
@@ -195,9 +222,17 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 window_us: parse_usize("--window-us", 200)? as u64,
                 batch_cap,
                 shards: parse_usize("--shards", 0)?,
+                wal: flag_value(argv, "--wal").map(String::from),
             })
         }
-        "info" => Ok(Command::Info { index: required(argv, "--index")?.to_string() }),
+        "recover" => Ok(Command::Recover {
+            wal: required(argv, "--wal")?.to_string(),
+            output: flag_value(argv, "--output").map(String::from),
+        }),
+        "info" => Ok(Command::Info {
+            index: required(argv, "--index")?.to_string(),
+            wal: flag_value(argv, "--wal").map(String::from),
+        }),
         other => Err(ParseError(format!("unknown subcommand '{other}'"))),
     }
 }
@@ -227,6 +262,7 @@ mod tests {
                 backend: "exchange".into(),
                 threads: 0,
                 stats: false,
+                dynamic: false,
             }
         );
     }
@@ -247,12 +283,13 @@ mod tests {
         let cmd = parse(&argv("build --input d.csv --output i.pf --aggregate count --eps-abs 10"))
             .unwrap();
         match cmd {
-            Command::Build { degree, backend, aggregate, threads, stats, .. } => {
+            Command::Build { degree, backend, aggregate, threads, stats, dynamic, .. } => {
                 assert_eq!(degree, 2);
                 assert_eq!(backend, "exchange");
                 assert_eq!(aggregate, Aggregate::Count);
                 assert_eq!(threads, 0, "default is auto parallelism");
                 assert!(!stats, "stats block is opt-in");
+                assert!(!dynamic, "dynamic output is opt-in");
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -282,8 +319,37 @@ mod tests {
         );
         assert_eq!(
             parse(&argv("info --index i.pf")).unwrap(),
-            Command::Info { index: "i.pf".into() }
+            Command::Info { index: "i.pf".into(), wal: None }
         );
+        assert_eq!(
+            parse(&argv("info --index i.pf --wal w")).unwrap(),
+            Command::Info { index: "i.pf".into(), wal: Some("w".into()) }
+        );
+    }
+
+    #[test]
+    fn parses_recover() {
+        assert_eq!(
+            parse(&argv("recover --wal wal-dir")).unwrap(),
+            Command::Recover { wal: "wal-dir".into(), output: None }
+        );
+        assert_eq!(
+            parse(&argv("recover --wal wal-dir --output r.pfd")).unwrap(),
+            Command::Recover { wal: "wal-dir".into(), output: Some("r.pfd".into()) }
+        );
+        assert!(parse(&argv("recover")).is_err(), "--wal is required");
+    }
+
+    #[test]
+    fn build_parses_dynamic_flag() {
+        let cmd = parse(&argv(
+            "build --input d.csv --output i.pfd --aggregate sum --eps-abs 10 --dynamic",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Build { dynamic, .. } => assert!(dynamic),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]
@@ -309,12 +375,13 @@ mod tests {
                 window_us: 200,
                 batch_cap: 512,
                 shards: 0,
+                wal: None,
             }
         );
         assert_eq!(
             parse(&argv(
                 "serve --index i.pf --requests r.csv --clients 2 --workers 3 \
-                 --window-us 50 --batch-cap 64 --shards 2"
+                 --window-us 50 --batch-cap 64 --shards 2 --wal wal-dir"
             ))
             .unwrap(),
             Command::Serve {
@@ -325,6 +392,7 @@ mod tests {
                 window_us: 50,
                 batch_cap: 64,
                 shards: 2,
+                wal: Some("wal-dir".into()),
             }
         );
         assert!(parse(&argv("serve --index i.pf")).is_err(), "--requests is required");

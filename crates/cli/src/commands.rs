@@ -1,11 +1,13 @@
 //! Command implementations.
 
 use std::fs;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use polyfit::prelude::*;
-use polyfit::{Extremum, PolyFitMax, PolyFitSum};
+use polyfit::wal::{checkpoint_path, log_path, read_checkpoint, scan_wal};
+use polyfit::{atomic_write, Extremum, LayoutLog, PolyFitMax, PolyFitSum};
 
 /// Parse a batch-query file: one `lo,hi` range per line; `#` comments,
 /// blank lines, and trailing newlines (including CRLF) are skipped.
@@ -80,6 +82,16 @@ fn backend_of(name: &str) -> FitBackend {
     }
 }
 
+/// Tuning knobs for [`serve_sharded`], bundled so the call site reads as
+/// one coherent option block.
+struct ShardServeOpts<'a> {
+    clients: usize,
+    window_us: u64,
+    batch_cap: usize,
+    shards: usize,
+    wal: Option<&'a str>,
+}
+
 /// `serve --shards N`: replay the request file through N shared-nothing
 /// key-space shards instead of the single deadline-batched loop.
 ///
@@ -94,34 +106,41 @@ fn serve_sharded(
     index: &str,
     bytes: &[u8],
     ranges: &[(f64, f64)],
-    clients: usize,
-    window_us: u64,
-    batch_cap: usize,
-    shards: usize,
+    opts: ShardServeOpts<'_>,
 ) -> Result<(), String> {
+    let ShardServeOpts { clients, window_us, batch_cap, shards, wal } = opts;
     if kind_of(bytes) != Some("dynamic") {
         return Err(format!(
             "{index}: sharded serving needs the record set, which only dynamic (PFD2) \
-             index files retain — rebuild with DynamicPolyFitSum::to_bytes, or drop --shards"
+             index files retain — rebuild with `build --dynamic`, or drop --shards"
         ));
     }
     let dynamic = DynamicPolyFitSum::from_bytes(bytes).map_err(|e| e.to_string())?;
     let mut records: Vec<Record> = dynamic.base_records().to_vec();
     records.extend(dynamic.buffered_entries().into_iter().map(|(k, dm)| Record::new(k, dm)));
-    let server = ShardedServer::start(
-        records,
-        dynamic.delta(),
-        dynamic.config(),
-        ShardConfig {
-            shards,
-            deadline: Duration::from_micros(window_us),
-            max_batch: batch_cap,
-            buffer_limit: dynamic.buffer_limit(),
-            max_shards: shards.max(16),
-            ..Default::default()
-        },
-    )
-    .map_err(|e| e.to_string())?;
+    let cfg = ShardConfig {
+        shards,
+        deadline: Duration::from_micros(window_us),
+        max_batch: batch_cap,
+        buffer_limit: dynamic.buffer_limit(),
+        max_shards: shards.max(16),
+        ..Default::default()
+    };
+    let server = match wal {
+        // Durable serving: every shard journals to `<dir>/shard-<id>`
+        // and acks only after its batch's group fsync.
+        Some(dir) => ShardedServer::start_with_wal(
+            records,
+            dynamic.delta(),
+            dynamic.config(),
+            cfg,
+            Path::new(dir),
+            SyncPolicy::Batch,
+        )
+        .map_err(|e| e.to_string())?,
+        None => ShardedServer::start(records, dynamic.delta(), dynamic.config(), cfg)
+            .map_err(|e| e.to_string())?,
+    };
     let t0 = Instant::now();
     let mut answers: Vec<Option<ShardServed>> = vec![None; ranges.len()];
     std::thread::scope(|s| {
@@ -183,10 +202,115 @@ fn serve_sharded(
     Ok(())
 }
 
+/// `serve --wal <dir>` without shards: the single dynamic serving loop
+/// with a journal attached. The loaded index seeds a fresh checkpoint
+/// under `<dir>/serve.{ckpt,wal}`; the loop group-commits the log after
+/// every update drain, so an acked write is durable before any query
+/// from the same window is answered. A file replay submits no updates,
+/// which keeps the state stable for the bitwise verification below —
+/// `recover` can rebuild this exact state from `<dir>` afterwards.
+fn serve_dynamic_wal(
+    index: &str,
+    bytes: &[u8],
+    ranges: &[(f64, f64)],
+    clients: usize,
+    window_us: u64,
+    batch_cap: usize,
+    wal_dir: &str,
+) -> Result<(), String> {
+    if kind_of(bytes) != Some("dynamic") {
+        return Err(format!(
+            "{index}: WAL-journaled serving mutates a dynamic index, so it needs a \
+             dynamic (PFD2) index file — rebuild with `build --dynamic`, or drop --wal"
+        ));
+    }
+    let mut dynamic = DynamicPolyFitSum::from_bytes(bytes).map_err(|e| e.to_string())?;
+    dynamic
+        .attach_wal(Path::new(wal_dir), "serve", SyncPolicy::Batch, 0)
+        .map_err(|e| format!("cannot start journal in {wal_dir}: {e}"))?;
+    let server = DynamicServer::start(
+        dynamic,
+        DynamicServeConfig {
+            deadline: Duration::from_micros(window_us),
+            max_batch: batch_cap,
+            // Frozen during a replay: compaction would re-segment the
+            // base mid-run and the bitwise check below compares every
+            // served answer against the final quiesced state.
+            compaction_budget: 0,
+        },
+    );
+    let t0 = Instant::now();
+    let mut answers: Vec<Option<Served>> = vec![None; ranges.len()];
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let handle = server.handle();
+                s.spawn(move || {
+                    let mut out = Vec::with_capacity(ranges.len() / clients + 1);
+                    let mut i = c;
+                    while i < ranges.len() {
+                        let (lo, hi) = ranges[i];
+                        out.push((i, handle.query_served(lo, hi)));
+                        i += clients;
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, served) in h.join().expect("serve client panicked") {
+                answers[i] = Some(served);
+            }
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let (mut recovered, stats) = server.shutdown();
+    let mut max_batch_seen = 0usize;
+    for (i, &(lo, hi)) in ranges.iter().enumerate() {
+        let served = answers[i].expect("every request was answered");
+        let direct = AggregateIndex::query(&recovered, lo, hi);
+        if served.answer.map(|a| a.value.to_bits()) != direct.map(|a| a.value.to_bits()) {
+            return Err(format!(
+                "request {i} ({lo}, {hi}]: served answer diverged from direct query"
+            ));
+        }
+        max_batch_seen = max_batch_seen.max(served.batch_len);
+    }
+    // Final group commit; the journal now covers everything acked.
+    recovered.detach_wal().map_err(|e| format!("journal shutdown sync failed: {e}"))?;
+    let mut out = String::with_capacity(ranges.len() * 16);
+    for served in answers.iter().flatten() {
+        match served.answer {
+            Some(a) => out.push_str(&format!("{}\n", a.value)),
+            None => out.push_str("NaN\n"),
+        }
+    }
+    print!("{out}");
+    println!(
+        "# served {} requests in {:.3} ms ({:.0} req/s) — journaled to {wal_dir}, \
+         {} batches, max batch {max_batch_seen}, bitwise-verified",
+        stats.requests,
+        wall * 1e3,
+        stats.requests as f64 / wall,
+        stats.batches,
+    );
+    Ok(())
+}
+
 /// Execute a parsed command.
 pub fn run(cmd: Command) -> Result<(), String> {
     match cmd {
-        Command::Build { input, output, aggregate, eps_abs, degree, backend, threads, stats } => {
+        Command::Build {
+            input,
+            output,
+            aggregate,
+            eps_abs,
+            degree,
+            backend,
+            threads,
+            stats,
+            dynamic,
+        } => {
             let text =
                 fs::read_to_string(&input).map_err(|e| format!("cannot read {input}: {e}"))?;
             let mut records = csv::parse_records(&text)?;
@@ -201,14 +325,34 @@ pub fn run(cmd: Command) -> Result<(), String> {
             // `--threads 0` (the default) resolves to available
             // parallelism inside the build pipeline.
             let opts = BuildOptions::with_threads(threads);
+            if dynamic && !matches!(aggregate, Aggregate::Sum | Aggregate::Count) {
+                return Err("--dynamic applies to sum/count indexes only".into());
+            }
             let (bytes, segments, kind) = match aggregate {
+                Aggregate::Sum | Aggregate::Count if dynamic => {
+                    // Dynamic index: retains the record set, so the file
+                    // can seed sharded or WAL-journaled serving.
+                    let idx = DynamicPolyFitSum::with_options(
+                        records,
+                        eps_abs / 2.0,
+                        config,
+                        1024,
+                        &opts,
+                    )
+                    .map_err(|e| e.to_string())?;
+                    (idx.to_bytes(), format!("{} records", idx.base_len()), "dynamic")
+                }
                 Aggregate::Sum | Aggregate::Count => {
                     // Lemma 2: δ = ε_abs / 2 for SUM-family queries.
                     let idx = PolyFitSum::build_with(records, eps_abs / 2.0, config, &opts)
                         .map_err(|e| e.to_string())?;
                     // --stats embeds the per-segment summaries so a
                     // reloaded index keeps compaction incremental.
-                    (idx.to_bytes_with_stats(stats), idx.num_segments(), "sum")
+                    (
+                        idx.to_bytes_with_stats(stats),
+                        format!("{} segments", idx.num_segments()),
+                        "sum",
+                    )
                 }
                 Aggregate::Max => {
                     if stats {
@@ -217,7 +361,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
                     // Lemma 4: δ = ε_abs.
                     let idx = PolyFitMax::build_with(records, eps_abs, config, &opts)
                         .map_err(|e| e.to_string())?;
-                    (idx.to_bytes(), idx.num_segments(), "max")
+                    (idx.to_bytes(), format!("{} segments", idx.num_segments()), "max")
                 }
                 Aggregate::Min => {
                     if stats {
@@ -225,11 +369,14 @@ pub fn run(cmd: Command) -> Result<(), String> {
                     }
                     let idx = PolyFitMax::build_min_with(records, eps_abs, config, &opts)
                         .map_err(|e| e.to_string())?;
-                    (idx.to_bytes(), idx.num_segments(), "min")
+                    (idx.to_bytes(), format!("{} segments", idx.num_segments()), "min")
                 }
             };
-            fs::write(&output, &bytes).map_err(|e| format!("cannot write {output}: {e}"))?;
-            println!("built {kind} index: {segments} segments, {} bytes -> {output}", bytes.len());
+            // Crash-atomic: temp file + fsync + rename + parent-dir
+            // fsync, so a crash mid-write never leaves a torn index.
+            atomic_write(Path::new(&output), &bytes)
+                .map_err(|e| format!("cannot write {output}: {e}"))?;
+            println!("built {kind} index: {segments}, {} bytes -> {output}", bytes.len());
             Ok(())
         }
         Command::Query { index, lo, hi } => {
@@ -258,14 +405,22 @@ pub fn run(cmd: Command) -> Result<(), String> {
             print!("{out}");
             Ok(())
         }
-        Command::Serve { index, requests, clients, workers, window_us, batch_cap, shards } => {
+        Command::Serve { index, requests, clients, workers, window_us, batch_cap, shards, wal } => {
             let bytes = fs::read(&index).map_err(|e| format!("cannot read {index}: {e}"))?;
             let text = fs::read_to_string(&requests)
                 .map_err(|e| format!("cannot read {requests}: {e}"))?;
             let ranges = parse_ranges(&text).map_err(|e| format!("{requests}: {e}"))?;
             if shards >= 1 {
                 return serve_sharded(
-                    &index, &bytes, &ranges, clients, window_us, batch_cap, shards,
+                    &index,
+                    &bytes,
+                    &ranges,
+                    ShardServeOpts { clients, window_us, batch_cap, shards, wal: wal.as_deref() },
+                );
+            }
+            if let Some(dir) = wal {
+                return serve_dynamic_wal(
+                    &index, &bytes, &ranges, clients, window_us, batch_cap, &dir,
                 );
             }
             let idx = load_index(&bytes).map_err(|e| format!("{index} is {e}"))?;
@@ -340,9 +495,65 @@ pub fn run(cmd: Command) -> Result<(), String> {
             );
             Ok(())
         }
-        Command::Info { index } => {
+        Command::Recover { wal, output } => {
+            let dir = Path::new(&wal);
+            if LayoutLog::exists(dir) {
+                // Sharded WAL: replay the layout lineage, then each
+                // surviving shard independently. The recovered server is
+                // live (and durable again); shut it down cleanly.
+                let (server, reports) =
+                    ShardedServer::recover(dir, ShardConfig::default(), SyncPolicy::Batch)
+                        .map_err(|e| format!("cannot recover {wal}: {e}"))?;
+                for (id, r) in &reports {
+                    println!(
+                        "shard-{id}: checkpoint seq {}, replayed {} updates + {} swaps \
+                         -> head {}{}",
+                        r.checkpoint_seq,
+                        r.replayed_updates,
+                        r.replayed_swaps,
+                        r.head_seq,
+                        torn_note(r.truncated_bytes),
+                    );
+                }
+                let stats = server.shutdown();
+                println!(
+                    "recovered {} shards from {wal} (checkpoints + log tails collapsed)",
+                    stats.shards.len()
+                );
+                if output.is_some() {
+                    return Err("--output applies to single-journal recovery; sharded state \
+                         lives in its per-shard checkpoints under the WAL dir"
+                        .into());
+                }
+                Ok(())
+            } else {
+                let (index, r) = DynamicPolyFitSum::recover(dir, "serve")
+                    .map_err(|e| format!("cannot recover {wal}: {e}"))?;
+                println!(
+                    "recovered: checkpoint seq {}, replayed {} updates + {} swaps -> head {}{}",
+                    r.checkpoint_seq,
+                    r.replayed_updates,
+                    r.replayed_swaps,
+                    r.head_seq,
+                    torn_note(r.truncated_bytes),
+                );
+                println!(
+                    "state:     {} base records, {} buffered deltas, {} rebuilds",
+                    index.base_len(),
+                    index.buffered(),
+                    index.rebuilds(),
+                );
+                if let Some(out) = output {
+                    atomic_write(Path::new(&out), &index.to_bytes())
+                        .map_err(|e| format!("cannot write {out}: {e}"))?;
+                    println!("wrote recovered index -> {out}");
+                }
+                Ok(())
+            }
+        }
+        Command::Info { index, wal } => {
             let bytes = fs::read(&index).map_err(|e| format!("cannot read {index}: {e}"))?;
-            match kind_of(&bytes) {
+            let report: Result<(), String> = match kind_of(&bytes) {
                 Some("sum") => {
                     let idx = PolyFitSum::from_bytes(&bytes).map_err(|e| e.to_string())?;
                     println!("kind:      SUM/COUNT (CF difference queries)");
@@ -400,12 +611,79 @@ pub fn run(cmd: Command) -> Result<(), String> {
                     println!("rebuilds:  {}", idx.rebuilds());
                     println!("delta:     {} (answers within 2δ at key endpoints)", idx.delta());
                     println!("file size: {} bytes", bytes.len());
+                    // Provenance: how this state came to be — compaction
+                    // lineage plus the exact buffer still riding on top.
+                    println!(
+                        "provenance: {} compaction swap(s) folded buffered updates into the \
+                         base; {} delta(s) pending on top of {} base records",
+                        idx.rebuilds(),
+                        idx.buffered(),
+                        idx.base_len(),
+                    );
                     Ok(())
                 }
                 _ => Err(format!("{index} is not a PolyFit index file")),
+            };
+            report?;
+            if let Some(dir) = wal {
+                wal_status(&dir)?;
             }
+            Ok(())
         }
     }
+}
+
+/// Human note for a torn/corrupt tail cut during scan or recovery.
+fn torn_note(truncated: u64) -> String {
+    if truncated == 0 {
+        String::new()
+    } else {
+        format!(" (torn tail: {truncated} bytes truncated)")
+    }
+}
+
+/// `info --wal <dir>`: report every journal's replay cursor — the
+/// checkpoint sequence a recovery would load vs the log head it would
+/// replay to. Read-only: torn tails are reported, not truncated.
+fn wal_status(dir_str: &str) -> Result<(), String> {
+    let dir = Path::new(dir_str);
+    // Enumerate journals by their checkpoint files; the sharded layout
+    // journal (routing table) is reported separately.
+    let mut names: Vec<String> = fs::read_dir(dir)
+        .map_err(|e| format!("cannot read WAL dir {dir_str}: {e}"))?
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            let name = path.file_name()?.to_str()?.strip_suffix(".ckpt")?.to_string();
+            (name != "layout").then_some(name)
+        })
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        return Err(format!("{dir_str}: no journal checkpoints found"));
+    }
+    if LayoutLog::exists(dir) {
+        println!("wal:       sharded journal ({} shard segment(s)) in {dir_str}", names.len());
+    } else {
+        println!("wal:       single journal in {dir_str}");
+    }
+    for name in &names {
+        let ckpt = read_checkpoint(&checkpoint_path(dir, name))
+            .map_err(|e| format!("{name}.ckpt: {e}"))?;
+        let scan = scan_wal(&log_path(dir, name)).map_err(|e| format!("{name}.wal: {e}"))?;
+        // A trailing all-zero region is the log's untouched preallocation
+        // (`scan.zero_tail`), not crash damage — only report real garbage.
+        let torn = if scan.truncated() { scan.file_len.saturating_sub(scan.valid_len) } else { 0 };
+        println!(
+            "  {name}: checkpoint seq {} ({} rebuilds); log head {} — {} update(s) to \
+             replay{}",
+            ckpt.updates_applied,
+            ckpt.rebuilds,
+            scan.head_seq,
+            scan.head_seq.saturating_sub(ckpt.updates_applied),
+            torn_note(torn),
+        );
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -513,6 +791,7 @@ mod tests {
             backend: "exchange".into(),
             threads: 0,
             stats: false,
+            dynamic: false,
         })
         .unwrap_err();
         assert!(err.contains("cannot read"));
@@ -685,5 +964,91 @@ mod tests {
         run(parse(&argv(&format!("info --index {idx}"))).unwrap()).unwrap();
         run(parse(&argv(&format!("serve --index {idx} --requests {reqs} --clients 2"))).unwrap())
             .unwrap();
+    }
+
+    /// Fresh WAL directory for a CLI durability test.
+    fn wal_dir(name: &str) -> String {
+        let dir = std::env::temp_dir().join("polyfit-cli-wal-tests").join(name);
+        let _ = fs::remove_dir_all(&dir);
+        dir.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn build_dynamic_serve_wal_recover_roundtrip() {
+        // The full CLI durability cycle: build --dynamic, serve --wal,
+        // recover, recover --output — the recovered file is bitwise the
+        // served state (a pure query replay applies no updates).
+        let data = tmp("wal-cycle.csv");
+        let idx = tmp("wal-cycle.pfd");
+        let rows: String = (0..1200).map(|i| format!("{i},2\n")).collect();
+        fs::write(&data, rows).unwrap();
+        run(parse(&argv(&format!(
+            "build --input {data} --output {idx} --aggregate sum --eps-abs 30 --dynamic"
+        )))
+        .unwrap())
+        .unwrap();
+        let bytes = fs::read(&idx).unwrap();
+        assert_eq!(kind_of(&bytes), Some("dynamic"), "--dynamic writes a PFD2 file");
+
+        let reqs = tmp("wal-cycle-reqs.csv");
+        fs::write(&reqs, "10,500\n900,100\n5,5\n-50,-10\n0,1199\n").unwrap();
+        let wal = wal_dir("cycle");
+        run(parse(&argv(&format!(
+            "serve --index {idx} --requests {reqs} --clients 2 --wal {wal}"
+        )))
+        .unwrap())
+        .unwrap();
+        // The journal now exists: info --wal reports its replay cursor,
+        // and recover rebuilds the exact served state.
+        run(parse(&argv(&format!("info --index {idx} --wal {wal}"))).unwrap()).unwrap();
+        run(parse(&argv(&format!("recover --wal {wal}"))).unwrap()).unwrap();
+        let out = tmp("wal-cycle-recovered.pfd");
+        run(parse(&argv(&format!("recover --wal {wal} --output {out}"))).unwrap()).unwrap();
+        let recovered = fs::read(&out).unwrap();
+        assert_eq!(recovered, bytes, "recovered index is bitwise the served state");
+
+        // --wal refuses static index files with a hint, not a panic.
+        let static_idx = built_index("wal-static");
+        let err =
+            run(parse(&argv(&format!("serve --index {static_idx} --requests {reqs} --wal {wal}")))
+                .unwrap())
+            .unwrap_err();
+        assert!(err.contains("PFD2"), "{err}");
+    }
+
+    #[test]
+    fn sharded_serve_wal_recover_roundtrip() {
+        let data = tmp("wal-sharded.csv");
+        let idx = tmp("wal-sharded.pfd");
+        let rows: String = (0..1000).map(|i| format!("{i},3\n")).collect();
+        fs::write(&data, rows).unwrap();
+        run(parse(&argv(&format!(
+            "build --input {data} --output {idx} --aggregate sum --eps-abs 30 --dynamic"
+        )))
+        .unwrap())
+        .unwrap();
+        let reqs = tmp("wal-sharded-reqs.csv");
+        fs::write(&reqs, "10,300\n900,100\n5,5\n0,999\n700,800\n").unwrap();
+        let wal = wal_dir("sharded");
+        run(parse(&argv(&format!(
+            "serve --index {idx} --requests {reqs} --clients 2 --shards 2 --wal {wal}"
+        )))
+        .unwrap())
+        .unwrap();
+        // Sharded recovery replays the layout journal + every shard.
+        run(parse(&argv(&format!("info --index {idx} --wal {wal}"))).unwrap()).unwrap();
+        run(parse(&argv(&format!("recover --wal {wal}"))).unwrap()).unwrap();
+        // --output is a single-journal affordance.
+        let out = tmp("wal-sharded-out.pfd");
+        let err =
+            run(parse(&argv(&format!("recover --wal {wal} --output {out}"))).unwrap()).unwrap_err();
+        assert!(err.contains("single-journal"), "{err}");
+    }
+
+    #[test]
+    fn recover_reports_missing_wal_dir() {
+        let wal = wal_dir("missing");
+        let err = run(parse(&argv(&format!("recover --wal {wal}"))).unwrap()).unwrap_err();
+        assert!(err.contains("cannot recover"), "{err}");
     }
 }

@@ -35,6 +35,7 @@
 
 use std::collections::BTreeMap;
 use std::ops::Bound;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -50,8 +51,12 @@ use crate::function::{cumulative_function_sorted, TargetFunction};
 use crate::index_sum::PolyFitSum;
 use crate::segment::Segment;
 use crate::segmentation::{greedy_next_segment, ErrorMetric, SegmentSpec};
-use crate::serialize::{DecodeError, Reader, Writer};
+use crate::serialize::{DecodeError, Reader, WalRecord, Writer};
 use crate::stats::SegmentStats;
+use crate::wal::{
+    checkpoint_path, log_path, read_checkpoint, scan_wal, truncate_torn_tail, Journal,
+    RecoveryReport, SyncPolicy, WalError,
+};
 
 /// Default per-step compaction budget (measure: merged points covered by
 /// refitting; reused segments cost one unit). Small workloads complete
@@ -119,6 +124,11 @@ struct PendingRebuild {
     refit_points: usize,
     covered_points: usize,
     build_time: Duration,
+    /// Journal cursor at staging time (`None` when no WAL is attached).
+    /// Written into the swap's `CompactionSwap` record so replay can
+    /// re-stage at exactly this point — stage-at-S + blocking-compact is
+    /// bitwise-identical to the live stepped rebuild that swapped later.
+    staged_at: Option<u64>,
 }
 
 /// Progress snapshot of an in-flight shadow rebuild.
@@ -214,7 +224,7 @@ impl Update {
 }
 
 /// A PolyFit SUM/COUNT index supporting inserts and deletes.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct DynamicPolyFitSum {
     /// The static index, absent only after a compaction over a fully
     /// deleted record set (queries then answer from the buffer alone).
@@ -247,6 +257,42 @@ pub struct DynamicPolyFitSum {
     last_compaction: Option<CompactionReport>,
     reused_segments_total: usize,
     refit_segments_total: usize,
+    /// The durable write path, when attached: every insert/delete is
+    /// journaled *before* it folds into the in-memory state, and every
+    /// compaction swap checkpoints + truncates the log.
+    journal: Option<Journal>,
+    /// Reusable batch buffer for the journaled [`Self::apply_updates`]
+    /// fast path. The serving loop often drains one-update batches, so a
+    /// fresh `Vec` per call would cost an allocation per update. Not part
+    /// of the index state — never serialized, never cloned.
+    apply_scratch: Vec<Update>,
+}
+
+impl Clone for DynamicPolyFitSum {
+    /// Clones everything *except* the journal — a WAL file handle is an
+    /// exclusive resource, so the clone is an in-memory replica (this is
+    /// what rebalance handoffs and oracles want; attach a fresh journal
+    /// explicitly if the clone should be durable).
+    fn clone(&self) -> Self {
+        DynamicPolyFitSum {
+            base: self.base.clone(),
+            base_records: self.base_records.clone(),
+            buffer: self.buffer.clone(),
+            buffer_limit: self.buffer_limit,
+            delta: self.delta,
+            config: self.config,
+            build_opts: self.build_opts,
+            rebuilds: self.rebuilds,
+            pending: self.pending.clone(),
+            step_budget: self.step_budget,
+            generation: self.generation,
+            last_compaction: self.last_compaction,
+            reused_segments_total: self.reused_segments_total,
+            refit_segments_total: self.refit_segments_total,
+            journal: None,
+            apply_scratch: Vec::new(),
+        }
+    }
 }
 
 impl DynamicPolyFitSum {
@@ -290,6 +336,8 @@ impl DynamicPolyFitSum {
             last_compaction: None,
             reused_segments_total: 0,
             refit_segments_total: 0,
+            journal: None,
+            apply_scratch: Vec::new(),
         })
     }
 
@@ -303,9 +351,22 @@ impl DynamicPolyFitSum {
         if !key.is_finite() || !measure.is_finite() {
             return Err(PolyFitError::NonFiniteUpdate { key, measure });
         }
-        // −0.0 ≡ +0.0: store the normalized key so the folded record set
-        // matches the base index's key semantics.
+        // −0.0 ≡ +0.0: normalize *before* journaling, so a replayed log
+        // folds bitwise-identically to the live path (and the on-disk
+        // record matches the base index's key semantics).
         let key = if key == 0.0 { 0.0 } else { key };
+        if let Some(j) = &mut self.journal {
+            j.append(&WalRecord::Insert { key, measure });
+        }
+        self.fold_delta(key, measure);
+        Ok(())
+    }
+
+    /// Fold one validated, normalized delta into the buffer (the shared
+    /// tail of [`Self::try_insert`]/[`Self::try_delete`], *after* the
+    /// journal append — the WAL must hold the record before the state
+    /// reflects it).
+    fn fold_delta(&mut self, key: f64, measure: f64) {
         let kb = ord_bits(key);
         match &mut self.pending {
             Some(p) if p.staged.contains_key(&kb) => {
@@ -347,14 +408,21 @@ impl DynamicPolyFitSum {
                 self.step_compaction(self.step_budget);
             }
         }
-        Ok(())
     }
 
     /// Delete measure mass at a key (the inverse of a previous insert).
     /// Deleting more than exists leaves a negative contribution — exactly
     /// cancelling against the base at query time.
     pub fn try_delete(&mut self, key: f64, measure: f64) -> Result<(), PolyFitError> {
-        self.try_insert(key, -measure)
+        if !key.is_finite() || !measure.is_finite() {
+            return Err(PolyFitError::NonFiniteUpdate { key, measure: -measure });
+        }
+        let key = if key == 0.0 { 0.0 } else { key };
+        if let Some(j) = &mut self.journal {
+            j.append(&WalRecord::Delete { key, measure });
+        }
+        self.fold_delta(key, -measure);
+        Ok(())
     }
 
     /// Panicking convenience wrapper over [`Self::try_insert`].
@@ -383,15 +451,62 @@ impl DynamicPolyFitSum {
         &mut self,
         updates: impl IntoIterator<Item = Update>,
     ) -> Result<usize, PolyFitError> {
-        let mut applied = 0usize;
-        for u in updates {
-            match u {
-                Update::Insert { key, measure } => self.try_insert(key, measure)?,
-                Update::Delete { key, measure } => self.try_delete(key, measure)?,
+        if self.journal.is_none() || self.step_budget > 0 {
+            // No journal to batch for — or auto-driven compaction, where
+            // a swap staged mid-batch must land in the log *between* the
+            // updates that surround it (batch-first journaling would
+            // reorder it past the whole batch and skew its `staged_at`
+            // cursor on replay). Apply one by one, in live order.
+            let mut applied = 0usize;
+            for u in updates {
+                match u {
+                    Update::Insert { key, measure } => self.try_insert(key, measure)?,
+                    Update::Delete { key, measure } => self.try_delete(key, measure)?,
+                }
+                applied += 1;
             }
-            applied += 1;
+            return Ok(applied);
         }
-        Ok(applied)
+        // Journaled fast path: take the valid prefix (normalized exactly
+        // like `try_insert`/`try_delete`), journal it in one tight loop,
+        // then fold it. Appending back-to-back lets the per-record
+        // checksum chains pipeline instead of stalling between BTreeMap
+        // operations — this is what keeps group-commit serving within a
+        // few percent of the journal-off loop. Ordering is preserved
+        // batch-wide: every record is journaled before any state
+        // reflects it, and replay applies them in the same order.
+        let mut prefix = std::mem::take(&mut self.apply_scratch);
+        prefix.clear();
+        let mut bad: Option<PolyFitError> = None;
+        for u in updates {
+            let (key, measure) = match u {
+                Update::Insert { key, measure } | Update::Delete { key, measure } => (key, measure),
+            };
+            if !key.is_finite() || !measure.is_finite() {
+                let signed = if matches!(u, Update::Delete { .. }) { -measure } else { measure };
+                bad = Some(PolyFitError::NonFiniteUpdate { key, measure: signed });
+                break;
+            }
+            // −0.0 ≡ +0.0, mirroring `try_insert` (see the note there).
+            let key = if key == 0.0 { 0.0 } else { key };
+            prefix.push(match u {
+                Update::Insert { measure, .. } => Update::Insert { key, measure },
+                Update::Delete { measure, .. } => Update::Delete { key, measure },
+            });
+        }
+        self.journal.as_mut().expect("checked above").append_updates(&prefix);
+        for u in &prefix {
+            match *u {
+                Update::Insert { key, measure } => self.fold_delta(key, measure),
+                Update::Delete { key, measure } => self.fold_delta(key, -measure),
+            }
+        }
+        let applied = prefix.len();
+        self.apply_scratch = prefix;
+        match bad {
+            Some(e) => Err(e),
+            None => Ok(applied),
+        }
     }
 
     /// Stage a shadow rebuild now, without waiting for the buffer limit:
@@ -679,6 +794,7 @@ impl DynamicPolyFitSum {
             refit_points: 0,
             covered_points: 0,
             build_time: Duration::ZERO,
+            staged_at: self.journal.as_ref().map(|j| j.seq()),
         });
     }
 
@@ -742,6 +858,20 @@ impl DynamicPolyFitSum {
         self.reused_segments_total += p.reused;
         self.refit_segments_total += p.refit_segments;
         self.last_compaction = Some(report);
+        // The swap is the log-truncation point: journal the swap record,
+        // checkpoint the post-swap state, start a fresh log. Fail-stop on
+        // I/O error — the swap already happened in memory, and a write
+        // path that cannot persist must not keep acknowledging.
+        if self.journal.is_some() {
+            // (`to_bytes` needs `&self`, so serialize before borrowing
+            // the journal mutably — and only when one is attached.)
+            let bytes = self.to_bytes();
+            let rebuilds = self.rebuilds as u64;
+            if let Some(j) = self.journal.as_mut() {
+                j.checkpoint(p.staged_at, &bytes, rebuilds)
+                    .expect("wal checkpoint failed (fail-stop)");
+            }
+        }
     }
 
     /// Visit the control-visible buffer entries within `bounds` in key
@@ -1048,6 +1178,8 @@ impl DynamicPolyFitSum {
                 last_compaction: None,
                 reused_segments_total: 0,
                 refit_segments_total: 0,
+                journal: None,
+                apply_scratch: Vec::new(),
             })
         };
         Ok((child(left_records, left_buffer)?, child(right_records, right_buffer)?))
@@ -1111,6 +1243,8 @@ impl DynamicPolyFitSum {
             last_compaction: None,
             reused_segments_total: 0,
             refit_segments_total: 0,
+            journal: None,
+            apply_scratch: Vec::new(),
         })
     }
 
@@ -1126,6 +1260,170 @@ impl DynamicPolyFitSum {
             entries.push((ord_bits(key), dm))
         });
         DynamicSnapshot { base: self.base.clone(), entries, delta: self.delta }
+    }
+
+    // ------------------------------------------------------------------
+    // Durable write path (see `crate::wal`)
+    // ------------------------------------------------------------------
+
+    /// Attach a write-ahead log: checkpoint the current state into
+    /// `<dir>/<name>.ckpt` at update cursor `seq`, start a fresh log, and
+    /// from here on journal every insert/delete before it folds into the
+    /// in-memory state. Compaction swaps checkpoint + truncate the log;
+    /// call [`Self::wal_sync`] to group-commit buffered appends (the
+    /// serving loop does this once per deadline window).
+    ///
+    /// # Panics
+    /// Panics if a shadow rebuild is in flight — attach at a quiesced
+    /// point (the serving layer attaches before traffic starts), so every
+    /// journaled swap carries a `staged_at` cursor the replay can use.
+    pub fn attach_wal(
+        &mut self,
+        dir: &Path,
+        name: &str,
+        policy: SyncPolicy,
+        seq: u64,
+    ) -> Result<(), WalError> {
+        assert!(self.pending.is_none(), "attach_wal during a pending rebuild");
+        let bytes = self.to_bytes();
+        let journal = Journal::create(dir, name, policy, &bytes, seq, self.rebuilds as u64)?;
+        self.journal = Some(journal);
+        Ok(())
+    }
+
+    /// Detach and return the journal (buffered appends are synced first).
+    /// The index keeps running, no longer durable.
+    pub fn detach_wal(&mut self) -> Result<Option<Journal>, WalError> {
+        if let Some(j) = &mut self.journal {
+            j.sync()?;
+        }
+        Ok(self.journal.take())
+    }
+
+    /// The attached journal, if any.
+    pub fn wal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// The journal's update cursor (updates journaled so far), if one is
+    /// attached.
+    pub fn wal_seq(&self) -> Option<u64> {
+        self.journal.as_ref().map(|j| j.seq())
+    }
+
+    /// Group commit: push every buffered journal append to disk with one
+    /// write + fsync. No-op without a journal or when already synced.
+    /// The serving loop calls this after draining a window's updates and
+    /// *before* answering its queries, so an acknowledged ticket implies
+    /// its updates are durable.
+    pub fn wal_sync(&mut self) -> Result<(), WalError> {
+        match &mut self.journal {
+            Some(j) => j.sync().map_err(WalError::Io),
+            None => Ok(()),
+        }
+    }
+
+    /// Crash recovery: load the last checkpoint from `<dir>/<name>.ckpt`,
+    /// scan the log, truncate any torn tail (truncate-at-corruption), and
+    /// replay — updates re-apply through the normal insert/delete path
+    /// and each journaled compaction swap re-stages at its recorded
+    /// cursor and compacts blocking, which PR 3's contract makes
+    /// bitwise-identical to the live stepped rebuild. The recovered index
+    /// answers bit-for-bit like one that never crashed.
+    ///
+    /// The returned index has **no journal attached** — call
+    /// [`Self::attach_wal`] with [`RecoveryReport::head_seq`] to resume
+    /// durable serving (which collapses checkpoint + tail into a fresh
+    /// checkpoint).
+    pub fn recover(dir: &Path, name: &str) -> Result<(Self, RecoveryReport), WalError> {
+        let ckpt = read_checkpoint(&checkpoint_path(dir, name))?;
+        let mut idx = Self::from_bytes(&ckpt.index).map_err(WalError::Decode)?;
+        let path = log_path(dir, name);
+        let scan = scan_wal(&path)?;
+        let truncated_bytes = truncate_torn_tail(&path, &scan)?;
+
+        // Pass 1 — split the valid log prefix into updates (with their
+        // absolute cursors) and the swap stage-points that still need
+        // replaying. The log's leading self-describing checkpoint record
+        // carries the rebuild count at the log's base; each swap in the
+        // log installs one more, so swaps the checkpoint file already
+        // covers (crash between checkpoint replace and log truncation)
+        // are skipped by rebuild count, and updates the checkpoint
+        // covers are skipped by cursor.
+        let mut base_rebuilds = idx.rebuilds as u64;
+        let mut swap_no = 0u64;
+        let mut cursor = scan.base_seq;
+        let mut updates: Vec<(u64, Update)> = Vec::new();
+        let mut swap_points: Vec<u64> = Vec::new();
+        for rec in &scan.records {
+            match *rec {
+                WalRecord::Insert { key, measure } => {
+                    cursor += 1;
+                    if cursor > ckpt.updates_applied {
+                        updates.push((cursor, Update::Insert { key, measure }));
+                    }
+                }
+                WalRecord::Delete { key, measure } => {
+                    cursor += 1;
+                    if cursor > ckpt.updates_applied {
+                        updates.push((cursor, Update::Delete { key, measure }));
+                    }
+                }
+                WalRecord::CompactionSwap { staged_at } => {
+                    swap_no += 1;
+                    if base_rebuilds + swap_no > ckpt.rebuilds {
+                        swap_points.push(staged_at);
+                    }
+                }
+                WalRecord::Checkpoint { rebuilds, .. } => {
+                    // The log-header record: pins the rebuild count at
+                    // the log's base (normally equal to the decoded
+                    // index's, but the checkpoint file may be one swap
+                    // ahead of this log — see above).
+                    base_rebuilds = rebuilds;
+                    swap_no = 0;
+                }
+                WalRecord::SplitAt { .. } | WalRecord::Merge { .. } => {
+                    // Layout records live in the layout log; tolerate
+                    // strays rather than fail a recovery.
+                }
+            }
+        }
+
+        // Pass 2 — oracle-style replay: apply updates in order, and at
+        // each surviving stage-point compact blocking before applying
+        // the updates that arrived after it. Auto-driving is disabled so
+        // compaction happens exactly where the log says it did.
+        let restore_budget = idx.step_budget;
+        idx.set_step_budget(0);
+        let replayed_updates = updates.len() as u64;
+        let replayed_swaps = swap_points.len() as u64;
+        let mut swaps = swap_points.into_iter().peekable();
+        for (at, u) in updates {
+            while swaps.peek().is_some_and(|&s| s < at) {
+                idx.begin_compaction();
+                idx.compact_now();
+                swaps.next();
+            }
+            match u {
+                Update::Insert { key, measure } => idx.try_insert(key, measure)?,
+                Update::Delete { key, measure } => idx.try_delete(key, measure)?,
+            }
+        }
+        for _ in swaps {
+            idx.begin_compaction();
+            idx.compact_now();
+        }
+        idx.set_step_budget(restore_budget);
+
+        let report = RecoveryReport {
+            checkpoint_seq: ckpt.updates_applied,
+            replayed_updates,
+            replayed_swaps,
+            head_seq: scan.head_seq,
+            truncated_bytes,
+        };
+        Ok((idx, report))
     }
 }
 
@@ -1385,6 +1683,8 @@ impl DynamicPolyFitSum {
             last_compaction: None,
             reused_segments_total: 0,
             refit_segments_total: 0,
+            journal: None,
+            apply_scratch: Vec::new(),
         })
     }
 }

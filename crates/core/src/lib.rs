@@ -63,6 +63,7 @@ pub mod shard;
 pub mod stats;
 pub mod traits;
 pub mod twod;
+pub mod wal;
 
 pub use build::{segment_function, BuildOptions, SegmentationMethod};
 pub use config::PolyFitConfig;
@@ -82,7 +83,7 @@ pub use index_max::{Extremum, PolyFitMax};
 pub use index_sum::PolyFitSum;
 pub use segment::Segment;
 pub use segmentation::{dp_segmentation, greedy_segmentation, SegmentSpec};
-pub use serialize::DecodeError;
+pub use serialize::{decode_wal_record, encode_wal_record, DecodeError, WalRecord};
 pub use serve::{
     DynamicServeConfig, DynamicServeHandle, DynamicServer, ServeConfig, ServeHandle, ServeStats,
     Served, Server, Ticket,
@@ -98,6 +99,10 @@ pub use traits::{
     RelDispatch2d, SharedIndex,
 };
 pub use twod::{Guaranteed2dCount, QuadPolyFit};
+pub use wal::{
+    atomic_write, Journal, LayoutCheckpoint, LayoutLog, RecoveryReport, SyncPolicy, WalError,
+    WalScan,
+};
 
 /// Convenient re-exports for downstream users.
 pub mod prelude {
@@ -125,6 +130,7 @@ pub mod prelude {
         Guarantee, QueryBounds, RangeAggregate, RelDispatch, RelDispatch2d, SharedIndex,
     };
     pub use crate::twod::{Guaranteed2dCount, QuadPolyFit};
+    pub use crate::wal::{Journal, RecoveryReport, SyncPolicy, WalError};
     pub use polyfit_exact::dataset::{Point2d, Record};
     pub use polyfit_lp::FitBackend;
 }

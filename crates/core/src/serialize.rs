@@ -56,6 +56,12 @@ impl Writer {
     pub(crate) fn u32(&mut self, v: u32) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
 }
 
 pub(crate) struct Reader<'a> {
@@ -80,6 +86,15 @@ impl<'a> Reader<'a> {
     }
     pub(crate) fn u32(&mut self) -> Result<u32, DecodeError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    pub(crate) fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    pub(crate) fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
     pub(crate) fn finite(&mut self, what: &'static str) -> Result<f64, DecodeError> {
         let v = self.f64()?;
@@ -265,6 +280,168 @@ impl PolyFitMax {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Write-ahead-log records
+// ---------------------------------------------------------------------------
+
+/// One logical entry of the durable update log (see [`crate::wal`]). The
+/// on-disk frame around an encoded record — length prefix + checksum —
+/// lives in the `wal` module; this is the payload codec, kept here with
+/// the other binary formats.
+///
+/// `Insert`/`Delete` advance the replay cursor (one sequence number
+/// each); the control records do not.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WalRecord {
+    /// `measure` mass added at `key`. Keys are journaled already
+    /// normalized (`-0.0` → `+0.0`), so a replayed log folds
+    /// bitwise-identically to the live path.
+    Insert {
+        /// Record key (normalized).
+        key: f64,
+        /// Measure mass added.
+        measure: f64,
+    },
+    /// `measure` mass removed at `key`.
+    Delete {
+        /// Record key (normalized).
+        key: f64,
+        /// Measure mass removed.
+        measure: f64,
+    },
+    /// A shadow-compaction swap completed at the append position. The
+    /// rebuild was staged when the cursor stood at `staged_at`; replay
+    /// stages there and compacts blocking (bitwise-equal to the live
+    /// stepped rebuild — the PR 3 determinism contract).
+    CompactionSwap {
+        /// Update cursor at staging time.
+        staged_at: u64,
+    },
+    /// Shard-layout record: `parent` split at `key` into `left`
+    /// (taking `(…, key]`) and `right`.
+    SplitAt {
+        /// Retired parent shard id.
+        parent: u64,
+        /// Split key (left-inclusive).
+        key: f64,
+        /// New left child id.
+        left: u64,
+        /// New right child id.
+        right: u64,
+    },
+    /// Shard-layout record: adjacent `left` and `right` merged into
+    /// `merged`.
+    Merge {
+        /// Retired left shard id.
+        left: u64,
+        /// Retired right shard id.
+        right: u64,
+        /// New merged shard id.
+        merged: u64,
+    },
+    /// A checkpoint of the full index state was made durable with the
+    /// cursor at `updates_applied`. Written as the first record of every
+    /// fresh (truncated) log so the file is self-describing.
+    Checkpoint {
+        /// Update cursor at checkpoint time.
+        updates_applied: u64,
+        /// Completed compaction swaps at checkpoint time.
+        rebuilds: u64,
+    },
+}
+
+pub(crate) const WAL_TAG_INSERT: u8 = 1;
+pub(crate) const WAL_TAG_DELETE: u8 = 2;
+const WAL_TAG_SWAP: u8 = 3;
+const WAL_TAG_SPLIT: u8 = 4;
+const WAL_TAG_MERGE: u8 = 5;
+const WAL_TAG_CHECKPOINT: u8 = 6;
+
+/// Encode a [`WalRecord`] payload (tag byte + little-endian fields).
+pub fn encode_wal_record(rec: &WalRecord) -> Vec<u8> {
+    let mut w = Writer(Vec::with_capacity(33));
+    encode_wal_record_into(&mut w, rec);
+    w.0
+}
+
+/// Encode a [`WalRecord`] payload onto the end of an existing writer —
+/// the allocation-free form the journal's append hot path frames records
+/// with.
+pub(crate) fn encode_wal_record_into(w: &mut Writer, rec: &WalRecord) {
+    match *rec {
+        WalRecord::Insert { key, measure } => {
+            w.u8(WAL_TAG_INSERT);
+            w.f64(key);
+            w.f64(measure);
+        }
+        WalRecord::Delete { key, measure } => {
+            w.u8(WAL_TAG_DELETE);
+            w.f64(key);
+            w.f64(measure);
+        }
+        WalRecord::CompactionSwap { staged_at } => {
+            w.u8(WAL_TAG_SWAP);
+            w.u64(staged_at);
+        }
+        WalRecord::SplitAt { parent, key, left, right } => {
+            w.u8(WAL_TAG_SPLIT);
+            w.u64(parent);
+            w.f64(key);
+            w.u64(left);
+            w.u64(right);
+        }
+        WalRecord::Merge { left, right, merged } => {
+            w.u8(WAL_TAG_MERGE);
+            w.u64(left);
+            w.u64(right);
+            w.u64(merged);
+        }
+        WalRecord::Checkpoint { updates_applied, rebuilds } => {
+            w.u8(WAL_TAG_CHECKPOINT);
+            w.u64(updates_applied);
+            w.u64(rebuilds);
+        }
+    }
+}
+
+/// Decode a [`WalRecord`] payload produced by [`encode_wal_record`].
+/// Any structural defect — unknown tag, short field, trailing bytes,
+/// non-finite key or measure — is [`DecodeError::Corrupt`]; the log
+/// scanner treats it as a torn tail and truncates there.
+pub fn decode_wal_record(payload: &[u8]) -> Result<WalRecord, DecodeError> {
+    let mut r = Reader::new(payload);
+    let rec = match r.u8()? {
+        WAL_TAG_INSERT => {
+            let key = r.finite("wal key")?;
+            // Keys are normalized before journaling; tolerate (and
+            // re-normalize) a hand-written -0.0 defensively.
+            let key = if key == 0.0 { 0.0 } else { key };
+            WalRecord::Insert { key, measure: r.finite("wal measure")? }
+        }
+        WAL_TAG_DELETE => {
+            let key = r.finite("wal key")?;
+            let key = if key == 0.0 { 0.0 } else { key };
+            WalRecord::Delete { key, measure: r.finite("wal measure")? }
+        }
+        WAL_TAG_SWAP => WalRecord::CompactionSwap { staged_at: r.u64()? },
+        WAL_TAG_SPLIT => WalRecord::SplitAt {
+            parent: r.u64()?,
+            key: r.finite("wal split key")?,
+            left: r.u64()?,
+            right: r.u64()?,
+        },
+        WAL_TAG_MERGE => WalRecord::Merge { left: r.u64()?, right: r.u64()?, merged: r.u64()? },
+        WAL_TAG_CHECKPOINT => {
+            WalRecord::Checkpoint { updates_applied: r.u64()?, rebuilds: r.u64()? }
+        }
+        _ => return Err(DecodeError::Corrupt("wal record tag")),
+    };
+    if r.remaining() != 0 {
+        return Err(DecodeError::Corrupt("wal record length"));
+    }
+    Ok(rec)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,6 +531,54 @@ mod tests {
             PolyFitSum::from_bytes(&bytes),
             Err(DecodeError::Corrupt("stats span order"))
         ));
+    }
+
+    #[test]
+    fn wal_records_roundtrip() {
+        let records = [
+            WalRecord::Insert { key: 1.5, measure: -2.25 },
+            WalRecord::Delete { key: -7.0, measure: 0.125 },
+            WalRecord::CompactionSwap { staged_at: u64::MAX - 3 },
+            WalRecord::SplitAt { parent: 9, key: 44.5, left: 10, right: 11 },
+            WalRecord::Merge { left: 10, right: 11, merged: 12 },
+            WalRecord::Checkpoint { updates_applied: 1 << 40, rebuilds: 17 },
+        ];
+        for rec in records {
+            let enc = encode_wal_record(&rec);
+            assert_eq!(decode_wal_record(&enc), Ok(rec), "{rec:?}");
+        }
+    }
+
+    #[test]
+    fn wal_record_negative_zero_key_normalized_on_decode() {
+        // The live path normalizes before journaling; a decoded -0.0 is
+        // folded to +0.0 so replay cannot diverge on the key bucketing.
+        let mut enc = encode_wal_record(&WalRecord::Insert { key: 0.0, measure: 1.0 });
+        enc[1..9].copy_from_slice(&(-0.0f64).to_le_bytes());
+        match decode_wal_record(&enc).unwrap() {
+            WalRecord::Insert { key, .. } => assert_eq!(key.to_bits(), 0.0f64.to_bits()),
+            other => panic!("wrong record {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wal_record_corruption_rejected() {
+        // Unknown tag.
+        assert!(matches!(
+            decode_wal_record(&[99, 0, 0]),
+            Err(DecodeError::Corrupt("wal record tag"))
+        ));
+        // Trailing garbage after a well-formed record.
+        let mut enc = encode_wal_record(&WalRecord::CompactionSwap { staged_at: 5 });
+        enc.push(0xAB);
+        assert!(matches!(decode_wal_record(&enc), Err(DecodeError::Corrupt("wal record length"))));
+        // Short field.
+        let enc = encode_wal_record(&WalRecord::Insert { key: 1.0, measure: 1.0 });
+        assert!(decode_wal_record(&enc[..enc.len() - 1]).is_err());
+        // Non-finite key.
+        let mut enc = encode_wal_record(&WalRecord::Insert { key: 1.0, measure: 1.0 });
+        enc[1..9].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(matches!(decode_wal_record(&enc), Err(DecodeError::Corrupt("wal key"))));
     }
 
     #[test]

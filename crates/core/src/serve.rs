@@ -635,6 +635,11 @@ fn dynamic_loop(
     // enough not to busy-spin an idle core.
     let idle_poll = config.deadline.max(Duration::from_micros(50));
     let mut updates_applied: u64 = 0;
+    // Journal appends not yet fenced to disk. The group-commit fsync
+    // runs at ack points only — before a query batch is answered, at an
+    // idle boundary, and at shutdown — so back-to-back write-only
+    // windows coalesce into one fsync instead of paying one each.
+    let mut wal_dirty = false;
     loop {
         // Phase 1: wait for traffic. While idle with compaction work
         // outstanding, keep spending bounded budgets between waits.
@@ -645,6 +650,9 @@ fn dynamic_loop(
                     break;
                 }
                 if !q.open {
+                    // Everything drained: make the journal cover the
+                    // final appends before handing the index back.
+                    index.wal_sync().expect("wal sync failed (fail-stop)");
                     return index;
                 }
                 if config.compaction_budget > 0
@@ -662,6 +670,26 @@ fn dynamic_loop(
                         let (guard, _) =
                             shared.cv.wait_timeout(q, idle_poll).expect("serve queue poisoned");
                         q = guard;
+                    }
+                } else if wal_dirty {
+                    // Deferred appends but no one to ack: wait first —
+                    // an empty queue here usually just means the
+                    // submitters haven't been scheduled yet, and fencing
+                    // immediately would pay one fsync per drain cycle.
+                    // The wait must outlast a scheduler quantum (hence
+                    // the 2 ms floor; one deadline window is far too
+                    // short on a loaded box), so a descheduled submitter
+                    // isn't mistaken for idleness. Only a queue still
+                    // empty after the full timeout is a real idle
+                    // boundary; fence there so an idle server never
+                    // sits on unsynced journal bytes.
+                    let fence_wait = idle_poll.max(Duration::from_millis(2));
+                    let (guard, timeout) =
+                        shared.cv.wait_timeout(q, fence_wait).expect("serve queue poisoned");
+                    q = guard;
+                    if timeout.timed_out() && q.queries.is_empty() && q.updates.is_empty() {
+                        index.wal_sync().expect("wal sync failed (fail-stop)");
+                        wal_dirty = false;
                     }
                 } else {
                     q = shared.cv.wait(q).expect("serve queue poisoned");
@@ -699,6 +727,18 @@ fn dynamic_loop(
                 index.apply_updates(writes).expect("handle pre-validates update finiteness");
             updates_applied += applied as u64;
             shared.counters.updates.fetch_add(applied as u64, Ordering::Relaxed);
+            wal_dirty = true;
+        }
+        // Group commit: one write + fsync covers every deferred append,
+        // *before* any query from this window is answered — an
+        // acknowledged ticket implies its updates are durable. Write-only
+        // windows defer the fence (nothing is being acked), so a burst of
+        // them shares the next window's fsync. Fail-stop on I/O error:
+        // the panic poisons in-flight tickets instead of acknowledging
+        // non-durable writes.
+        if wal_dirty && !batch.is_empty() {
+            index.wal_sync().expect("wal group commit failed (fail-stop)");
+            wal_dirty = false;
         }
         // Phase 4: one engine-batched query_batch call answers the batch.
         answer_batch(&index, batch, updates_applied, index.rebuilds() as u64, &shared.counters);

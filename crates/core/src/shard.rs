@@ -54,6 +54,7 @@
 //! carries a `±2kδ` certificate.
 
 use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering::{Relaxed, SeqCst};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -67,7 +68,9 @@ use crate::config::PolyFitConfig;
 use crate::dynamic::{DynamicPolyFitSum, DynamicSnapshot, Update};
 use crate::epoch::{Domain, Published, Reader};
 use crate::error::PolyFitError;
+use crate::serialize::WalRecord;
 use crate::traits::{classify_bounds, QueryBounds, RangeAggregate};
+use crate::wal::{Journal, LayoutCheckpoint, LayoutLog, RecoveryReport, SyncPolicy, WalError};
 
 /// Deadline windows above this are clamped — a misconfigured huge
 /// deadline must degrade to coarse batching, not to an unserved stall.
@@ -631,6 +634,48 @@ pub struct ShardedHistory {
 // Server shared state
 // ---------------------------------------------------------------------------
 
+/// The WAL log-segment name owned by shard `id`: `shard-{id}`. Split and
+/// merge children mint fresh ids, so every shard's journal lives in its
+/// own files and replays independently.
+fn shard_wal_name(id: u64) -> String {
+    format!("shard-{id}")
+}
+
+/// Remove `shard-*.{wal,ckpt}` files whose shard id is not in the live
+/// layout — segments of shards retired by a rebalance whose cutover
+/// record reached the layout log (the only place ids leave the layout),
+/// or children staged by a rebalance that never committed. Best-effort:
+/// a leftover file is garbage, never a correctness hazard.
+fn remove_orphan_segments(dir: &Path, live: &[u64]) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else {
+            continue;
+        };
+        let Some(stem) = name.strip_suffix(".wal").or_else(|| name.strip_suffix(".ckpt")) else {
+            continue;
+        };
+        let Some(id) = stem.strip_prefix("shard-").and_then(|s| s.parse::<u64>().ok()) else {
+            continue;
+        };
+        if !live.contains(&id) {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// Server-wide durability state: the WAL directory every per-shard
+/// journal lives in, plus the layout log journaling split/merge cutovers
+/// (rebalances are serialized server-wide, so one mutex is uncontended).
+struct WalShared {
+    dir: PathBuf,
+    policy: SyncPolicy,
+    layout: Mutex<LayoutLog>,
+}
+
 struct ServerShared {
     domain: Arc<Domain>,
     layout: Published<Layout>,
@@ -648,6 +693,9 @@ struct ServerShared {
     cfg: ShardConfig,
     delta: f64,
     config: PolyFitConfig,
+    /// Durable write path, when the server was started with a WAL
+    /// directory ([`ShardedServer::start_with_wal`]).
+    wal: Option<WalShared>,
 }
 
 impl ServerShared {
@@ -958,16 +1006,47 @@ impl ShardedServer {
     /// build one [`DynamicPolyFitSum`] per shard, and start a worker
     /// thread per shard. The config is validated/clamped first.
     pub fn start(
-        mut records: Vec<Record>,
+        records: Vec<Record>,
         delta: f64,
         config: PolyFitConfig,
         cfg: ShardConfig,
     ) -> Result<ShardedServer, PolyFitError> {
+        Self::boot(records, delta, config, cfg, None).map_err(|e| match e {
+            WalError::Build(e) => e,
+            other => unreachable!("no WAL attached, only build errors possible: {other}"),
+        })
+    }
+
+    /// [`Self::start`] with a durable write path: every shard journals
+    /// its updates into `<wal_dir>/shard-{id}.wal` (checkpointing on
+    /// compaction swaps), rebalance cutovers append to the layout log,
+    /// and a worker group-fsyncs its window's appends before answering
+    /// any query in that window — an acknowledged answer implies the
+    /// writes it reflects are durable. Recover the whole server after a
+    /// crash with [`Self::recover`].
+    pub fn start_with_wal(
+        records: Vec<Record>,
+        delta: f64,
+        config: PolyFitConfig,
+        cfg: ShardConfig,
+        wal_dir: &Path,
+        policy: SyncPolicy,
+    ) -> Result<ShardedServer, WalError> {
+        Self::boot(records, delta, config, cfg, Some((wal_dir.to_path_buf(), policy)))
+    }
+
+    fn boot(
+        mut records: Vec<Record>,
+        delta: f64,
+        config: PolyFitConfig,
+        cfg: ShardConfig,
+        wal: Option<(PathBuf, SyncPolicy)>,
+    ) -> Result<ShardedServer, WalError> {
         let cfg = cfg.validated();
         sort_records(&mut records);
         let records = dedup_sum(records);
         if records.is_empty() {
-            return Err(PolyFitError::EmptyDataset);
+            return Err(WalError::Build(PolyFitError::EmptyDataset));
         }
         let n = records.len();
         let shards = cfg.shards.min(n);
@@ -988,9 +1067,13 @@ impl ShardedServer {
                 config,
                 cfg.buffer_limit,
                 &cfg.build,
-            )?;
+            )
+            .map_err(WalError::Build)?;
             index.set_step_budget(0);
             let id = i as u64;
+            if let Some((dir, policy)) = &wal {
+                index.attach_wal(dir, &shard_wal_name(id), *policy, 0)?;
+            }
             if cfg.record_history {
                 history.initial.push((id, chunk));
             }
@@ -1013,6 +1096,15 @@ impl ShardedServer {
             rts.push(rt);
             indexes.push(index);
         }
+        let wal = match wal {
+            Some((dir, policy)) => {
+                let layout =
+                    LayoutCheckpoint { ids: (0..shards as u64).collect(), bounds: bounds.clone() };
+                let log = LayoutLog::create(&dir, &layout)?;
+                Some(WalShared { dir, policy, layout: Mutex::new(log) })
+            }
+            None => None,
+        };
         let shared = Arc::new(ServerShared {
             layout: Published::new(&domain, Layout { version: 1, bounds, shards: rts.clone() }),
             domain: Arc::clone(&domain),
@@ -1028,6 +1120,7 @@ impl ShardedServer {
             cfg,
             delta,
             config,
+            wal,
         });
         {
             let mut threads = shared.threads.lock().expect("thread registry poisoned");
@@ -1037,6 +1130,93 @@ impl ShardedServer {
         }
         let reader = domain.reader();
         Ok(ShardedServer { shared, reader })
+    }
+
+    /// Crash recovery: rebuild the exact pre-crash server from
+    /// `wal_dir`. The layout log replays the split/merge lineage to the
+    /// routing table that was live at the crash; each surviving shard
+    /// then recovers independently from its own checkpoint + log tail
+    /// ([`DynamicPolyFitSum::recover`]) and re-attaches its journal at
+    /// the recovered cursor. Orphaned log segments of retired shards
+    /// (their cutover record made the layout log before the crash) are
+    /// removed. Returns the running server plus per-shard recovery
+    /// reports in layout order.
+    pub fn recover(
+        wal_dir: &Path,
+        cfg: ShardConfig,
+        policy: SyncPolicy,
+    ) -> Result<(ShardedServer, Vec<(u64, RecoveryReport)>), WalError> {
+        let cfg = cfg.validated();
+        let (layout_ckpt, _rebalances, _truncated) = LayoutLog::recover(wal_dir)?;
+        let domain = Domain::new();
+        let mut rts = Vec::with_capacity(layout_ckpt.ids.len());
+        let mut parts = Vec::with_capacity(layout_ckpt.ids.len());
+        let mut reports = Vec::with_capacity(layout_ckpt.ids.len());
+        let mut delta = 0.0;
+        let mut config = PolyFitConfig::default();
+        for (i, &id) in layout_ckpt.ids.iter().enumerate() {
+            let name = shard_wal_name(id);
+            let (mut index, report) = DynamicPolyFitSum::recover(wal_dir, &name)?;
+            index.set_step_budget(0);
+            index.attach_wal(wal_dir, &name, policy, report.head_seq)?;
+            if i == 0 {
+                delta = index.delta();
+                config = index.config();
+            }
+            let rt = Arc::new(ShardRt {
+                id,
+                queue: ShardQueue::new(),
+                snap: Published::new(
+                    &domain,
+                    ShardSnap {
+                        view: index.snapshot(),
+                        id,
+                        updates_applied: report.head_seq,
+                        rebuilds: index.rebuilds() as u64,
+                        epoch: 1,
+                        len: index.base_len() + index.buffered(),
+                    },
+                ),
+                served: AtomicU64::new(0),
+            });
+            rts.push(Arc::clone(&rt));
+            parts.push((rt, index, report.head_seq));
+            reports.push((id, report));
+        }
+        // The recovered shards are durable again (attach_wal collapsed
+        // each checkpoint + tail); fold the replayed rebalances into a
+        // fresh layout checkpoint and drop retired shards' stale files.
+        let log = LayoutLog::create(wal_dir, &layout_ckpt)?;
+        remove_orphan_segments(wal_dir, &layout_ckpt.ids);
+        let next_id = layout_ckpt.ids.iter().copied().max().map_or(0, |m| m + 1);
+        let shared = Arc::new(ServerShared {
+            layout: Published::new(
+                &domain,
+                Layout { version: 1, bounds: layout_ckpt.bounds.clone(), shards: rts },
+            ),
+            domain: Arc::clone(&domain),
+            open: AtomicBool::new(true),
+            rebalance: AtomicBool::new(false),
+            next_id: AtomicU64::new(next_id),
+            splits: AtomicU64::new(0),
+            merges: AtomicU64::new(0),
+            spanning: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            threads: Mutex::new(Vec::new()),
+            history: Mutex::new(ShardedHistory::default()),
+            cfg,
+            delta,
+            config,
+            wal: Some(WalShared { dir: wal_dir.to_path_buf(), policy, layout: Mutex::new(log) }),
+        });
+        {
+            let mut threads = shared.threads.lock().expect("thread registry poisoned");
+            for (rt, index, head) in parts {
+                threads.push(spawn_worker(&shared, rt, index, head, 1));
+            }
+        }
+        let reader = domain.reader();
+        Ok((ShardedServer { shared, reader }, reports))
     }
 
     /// A new client endpoint (one epoch reader slot per handle).
@@ -1135,7 +1315,17 @@ fn spawn_worker(
     let shared = Arc::clone(shared);
     let reader = shared.domain.reader();
     thread::spawn(move || {
-        Worker { shared, reader, rt, index, updates_applied, epoch, dirty: false }.run();
+        Worker {
+            shared,
+            reader,
+            rt,
+            index,
+            updates_applied,
+            epoch,
+            dirty: false,
+            wal_dirty: false,
+        }
+        .run();
     })
 }
 
@@ -1160,6 +1350,11 @@ struct Worker {
     epoch: u64,
     /// Control-visible state changed since the last publication.
     dirty: bool,
+    /// Journal appends not yet fenced to disk. The group-commit fsync
+    /// runs at ack points only — before a batch's queries are answered,
+    /// before a merge handoff is absorbed, at an idle boundary, and at
+    /// shutdown — so write-only windows coalesce their fences.
+    wal_dirty: bool,
 }
 
 impl Worker {
@@ -1181,8 +1376,10 @@ impl Worker {
                 return;
             }
         }
-        // Closed and drained: publish the final state so stats and the
-        // wait-free read path stay coherent after shutdown.
+        // Closed and drained: push any buffered journal appends to disk
+        // and publish the final state so stats and the wait-free read
+        // path stay coherent after shutdown.
+        self.index.wal_sync().expect("wal sync at shutdown failed (fail-stop)");
         self.maybe_publish();
     }
 
@@ -1228,8 +1425,17 @@ impl Worker {
             }
             thread::park_timeout(IDLE_POLL);
             self.rt.queue.parked.store(false, SeqCst);
-            // Idle housekeeping: drain any reclaimable snapshots.
+            // Idle housekeeping: drain any reclaimable snapshots, and
+            // fence deferred journal appends — but only when the queue
+            // is still empty after a full park (an empty queue right
+            // after a drain usually just means the submitters haven't
+            // been scheduled yet; fencing there would pay one fsync per
+            // drain cycle). An idle shard never sits on unsynced
+            // journal bytes longer than one park interval.
             self.rt.snap.try_reclaim();
+            if queue.len.load(SeqCst) == 0 {
+                self.wal_fence();
+            }
             spins = 0;
         }
     }
@@ -1278,6 +1484,7 @@ impl Worker {
                     }
                     self.updates_applied += 1;
                     self.dirty = true;
+                    self.wal_dirty = true;
                     if self.shared.cfg.record_history {
                         logged.push(u);
                     }
@@ -1289,6 +1496,18 @@ impl Worker {
         if !logged.is_empty() {
             let mut hist = self.shared.history.lock().expect("history poisoned");
             hist.logs.entry(self.rt.id).or_default().updates.extend(logged);
+        }
+        // Group commit: one write + fsync covers every deferred append,
+        // before any query in this window is answered — an acknowledged
+        // answer implies the writes it reflects are durable. Write-only
+        // windows defer the fence (nothing is being acked), so a burst
+        // of them shares the next window's fsync; a merge handoff also
+        // fences, so the journal covers the pre-merge state before the
+        // layout changes. Fail-stop on a dead log device: the panic
+        // poisons the in-flight requests rather than acking non-durable
+        // state.
+        if !queries.is_empty() || handoff.is_some() {
+            self.wal_fence();
         }
         self.maybe_publish();
         if !queries.is_empty() {
@@ -1423,12 +1642,15 @@ impl Worker {
     fn do_split(&mut self) -> Flow {
         self.drain_queue_fully();
         self.finish_pending_compaction();
+        // Fence before the cutover: the crash-ordering argument below
+        // assumes the parent's journal covers everything it drained.
+        self.wal_fence();
         self.maybe_publish();
         let Some(key) = self.index.split_key() else {
             self.shared.rebalance.store(false, SeqCst);
             return Flow::Continue;
         };
-        let (li, ri) = match self.index.split_at(key) {
+        let (mut li, mut ri) = match self.index.split_at(key) {
             Ok(pair) => pair,
             Err(_) => {
                 self.shared.rebalance.store(false, SeqCst);
@@ -1444,6 +1666,25 @@ impl Worker {
                 left: lid,
                 right: rid,
             });
+        }
+        if let Some(w) = &self.shared.wal {
+            // Durable cutover, in commit order: both children checkpoint
+            // first (attach writes `shard-{child}.ckpt` + a fresh log),
+            // THEN the split record lands in the layout log. A crash
+            // before the record recovers the intact parent (the children
+            // files are orphans); a crash after it recovers the children.
+            // Only then do the parent's segments become garbage.
+            li.attach_wal(&w.dir, &shard_wal_name(lid), w.policy, 0)
+                .expect("wal attach for split child failed (fail-stop)");
+            ri.attach_wal(&w.dir, &shard_wal_name(rid), w.policy, 0)
+                .expect("wal attach for split child failed (fail-stop)");
+            w.layout
+                .lock()
+                .expect("layout log poisoned")
+                .append_sync(&WalRecord::SplitAt { parent: self.rt.id, key, left: lid, right: rid })
+                .expect("layout split record failed (fail-stop)");
+            let _ = self.index.detach_wal();
+            Journal::remove_files(&w.dir, &shard_wal_name(self.rt.id));
         }
         let child_rt = |id: u64, index: &DynamicPolyFitSum| {
             Arc::new(ShardRt {
@@ -1538,6 +1779,9 @@ impl Worker {
         };
         self.drain_queue_fully();
         self.finish_pending_compaction();
+        // Fence before the handoff: `absorb` relies on both inputs'
+        // journals covering their drained queues.
+        self.wal_fence();
         self.maybe_publish();
         self.rt.queue.close();
         let handoff = Box::new(MergeHandoff {
@@ -1564,6 +1808,15 @@ impl Worker {
         }
     }
 
+    /// Push any deferred journal appends to disk. Cheap when clean; a
+    /// no-op without an attached journal.
+    fn wal_fence(&mut self) {
+        if self.wal_dirty {
+            self.index.wal_sync().expect("wal sync failed (fail-stop)");
+            self.wal_dirty = false;
+        }
+    }
+
     /// Answer/apply whatever raced into the closed queue before exit.
     fn drain_closed_leftovers(&mut self) {
         let mut batch = Vec::new();
@@ -1571,6 +1824,7 @@ impl Worker {
             batch.push(r);
         }
         self.process_batch(batch);
+        self.wal_fence();
     }
 
     /// Execute a merge handed off by the neighbour: build the merged
@@ -1582,7 +1836,7 @@ impl Worker {
         self.maybe_publish();
         let (left_id, right_id) =
             if h.from_right { (self.rt.id, h.id) } else { (h.id, self.rt.id) };
-        let merged = if h.from_right {
+        let mut merged = if h.from_right {
             self.index.merge_with(&h.index)
         } else {
             h.index.merge_with(&self.index)
@@ -1596,6 +1850,24 @@ impl Worker {
                 right: right_id,
                 merged: mid,
             });
+        }
+        if let Some(w) = &self.shared.wal {
+            // Durable cutover, mirroring `do_split`: the merged shard's
+            // checkpoint lands before the merge record, so recovery on
+            // either side of the record sees a complete set of segments
+            // (both inputs' journals were synced when their queues
+            // drained). The inputs' segments become garbage afterwards.
+            merged
+                .attach_wal(&w.dir, &shard_wal_name(mid), w.policy, 0)
+                .expect("wal attach for merged shard failed (fail-stop)");
+            w.layout
+                .lock()
+                .expect("layout log poisoned")
+                .append_sync(&WalRecord::Merge { left: left_id, right: right_id, merged: mid })
+                .expect("layout merge record failed (fail-stop)");
+            let _ = self.index.detach_wal();
+            Journal::remove_files(&w.dir, &shard_wal_name(left_id));
+            Journal::remove_files(&w.dir, &shard_wal_name(right_id));
         }
         let new_rt = Arc::new(ShardRt {
             id: mid,
@@ -2156,5 +2428,151 @@ mod tests {
                 .expect("shutdown deadlocked against an in-flight merge");
             joiner.join().unwrap();
         }
+    }
+
+    fn wal_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("polyfit-shard-wal-tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn probe_values(handle: &ShardHandle, probes: &[(f64, f64)]) -> Vec<Option<u64>> {
+        probes
+            .iter()
+            .map(|&(lo, hi)| handle.query_served(lo, hi).value().map(f64::to_bits))
+            .collect()
+    }
+
+    /// The at-crash ground truth: after `shutdown()` each worker's final
+    /// publish froze exactly the state its journal covers, and
+    /// `snapshot_query` (which never touches the closed queues) composes
+    /// answers from those frozen views with the served fold order.
+    fn snapshot_values(handle: &ShardHandle, probes: &[(f64, f64)]) -> Vec<Option<u64>> {
+        probes
+            .iter()
+            .map(|&(lo, hi)| handle.snapshot_query(lo, hi).value().map(f64::to_bits))
+            .collect()
+    }
+
+    #[test]
+    fn sharded_wal_shutdown_then_recover_is_bitwise() {
+        let dir = wal_dir("shutdown-recover");
+        // recording_config's small buffer + budget force compaction
+        // checkpoints into the window under test.
+        let server = ShardedServer::start_with_wal(
+            records(900),
+            8.0,
+            capped(),
+            recording_config(3),
+            &dir,
+            SyncPolicy::Batch,
+        )
+        .unwrap();
+        let handle = server.handle();
+        for i in 0..80 {
+            handle.insert(1.1 + (i % 60) as f64 * 5.5, 2.0).unwrap();
+        }
+        let probes: Vec<(f64, f64)> =
+            (0..30).map(|i| (i as f64 * 11.0 - 3.0, i as f64 * 11.0 + 250.0)).collect();
+        server.shutdown();
+        // Expected answers come from the post-shutdown frozen views —
+        // idle compaction may swap (and so re-segment) any time up to
+        // the crash point, and recovery reproduces the at-crash state.
+        let expected = snapshot_values(&handle, &probes);
+        // Recover with idle compaction disabled: a recovered worker
+        // would otherwise immediately resume compacting its over-limit
+        // buffer (correct behaviour, new segmentation) and the probes
+        // below could no longer observe the at-crash state.
+        let frozen = ShardConfig { compaction_budget: 0, ..recording_config(3) };
+        let (recovered, reports) = ShardedServer::recover(&dir, frozen, SyncPolicy::Batch).unwrap();
+        assert_eq!(reports.len(), 3, "one report per shard: {reports:?}");
+        assert_eq!(probe_values(&recovered.handle(), &probes), expected);
+        recovered.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_wal_recovery_replays_rebalance_lineage() {
+        let dir = wal_dir("rebalance-lineage");
+        let cfg = ShardConfig { split_threshold: 700, max_shards: 6, ..recording_config(1) };
+        let server = ShardedServer::start_with_wal(
+            records(1300),
+            8.0,
+            capped(),
+            cfg,
+            &dir,
+            SyncPolicy::Batch,
+        )
+        .unwrap();
+        let handle = server.handle();
+        for i in 0..400 {
+            handle.insert(660.0 + i as f64 * 0.125, 1.5).unwrap();
+        }
+        let probes: Vec<(f64, f64)> =
+            (0..40).map(|i| (i as f64 * 18.0 - 4.0, i as f64 * 18.0 + 420.0)).collect();
+        // Quiesce the layout (query_served drains each shard's queue past
+        // the writes) before reading the pre-crash routing table.
+        let _ = probe_values(&handle, &probes);
+        let pre = server.stats();
+        assert!(pre.splits >= 1, "split threshold must have fired: {pre:?}");
+        server.shutdown();
+        let expected = snapshot_values(&handle, &probes);
+        // Freeze rebalancing and compaction in the recovered fleet so
+        // the probes observe the at-crash state, not its continuation.
+        let frozen = ShardConfig { compaction_budget: 0, split_threshold: 0, ..cfg };
+        let (recovered, reports) = ShardedServer::recover(&dir, frozen, SyncPolicy::Batch).unwrap();
+        let post = recovered.stats();
+        // The layout log replays the lineage to the exact pre-crash
+        // routing table: same ids, same bounds, bitwise.
+        let pre_ids: Vec<u64> = pre.shards.iter().map(|s| s.shard).collect();
+        let post_ids: Vec<u64> = post.shards.iter().map(|s| s.shard).collect();
+        assert_eq!(post_ids, pre_ids);
+        let pre_bounds: Vec<u64> = pre.bounds.iter().map(|b| b.to_bits()).collect();
+        let post_bounds: Vec<u64> = post.bounds.iter().map(|b| b.to_bits()).collect();
+        assert_eq!(post_bounds, pre_bounds);
+        assert_eq!(reports.len(), post.shards.len());
+        assert_eq!(probe_values(&recovered.handle(), &probes), expected);
+        // A split after recovery must mint fresh ids, not collide with
+        // the replayed lineage.
+        assert!(post_ids.iter().all(|&id| id < recovered.shared.next_id.load(SeqCst)));
+        recovered.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_wal_recovers_acked_writes_without_shutdown() {
+        let dir = wal_dir("crash-no-shutdown");
+        // EveryUpdate: an applied update is on disk before its window's
+        // answers go out, so recovery from the live directory — no
+        // shutdown, no final syncs — must still reproduce every state a
+        // served answer reflected.
+        let server = ShardedServer::start_with_wal(
+            records(700),
+            8.0,
+            capped(),
+            ShardConfig { shards: 2, ..ShardConfig::default() },
+            &dir,
+            SyncPolicy::EveryUpdate,
+        )
+        .unwrap();
+        let handle = server.handle();
+        for i in 0..48 {
+            handle.insert(2.7 + i as f64 * 6.0, 1.0).unwrap();
+        }
+        let probes: Vec<(f64, f64)> =
+            (0..20).map(|i| (i as f64 * 16.0 - 2.0, i as f64 * 16.0 + 180.0)).collect();
+        // query_served quiesces each shard past its queued writes; the
+        // acks imply the journal covers them.
+        let expected = probe_values(&handle, &probes);
+        let (recovered, _) = ShardedServer::recover(
+            &dir,
+            ShardConfig { shards: 2, ..ShardConfig::default() },
+            SyncPolicy::EveryUpdate,
+        )
+        .unwrap();
+        assert_eq!(probe_values(&recovered.handle(), &probes), expected);
+        recovered.shutdown();
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

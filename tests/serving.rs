@@ -13,6 +13,8 @@
 //! swapped rebuild's state is a deterministic function of its staged
 //! content (stepped == blocking).
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
@@ -21,6 +23,7 @@ use proptest::prelude::*;
 
 use polyfit_suite::exact::dataset::Record;
 use polyfit_suite::polyfit::prelude::*;
+use polyfit_suite::polyfit::wal as pwal;
 use polyfit_suite::polyfit::{DynamicServeConfig, PolyFitSum, ServeConfig};
 
 /// One step of the client workload.
@@ -369,4 +372,198 @@ proptest! {
         prop_assert_eq!(final_stats.layout_version, stats.layout_version,
             "no rebalance may run after shutdown began");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Durability: kill-and-recover, torn tails, ±0.0 across the recovery boundary
+// ---------------------------------------------------------------------------
+
+/// Fresh per-case WAL directory (proptest reruns cases; stale files from
+/// an earlier shrink iteration must never leak into the next one).
+fn fresh_wal_dir(tag: &str) -> PathBuf {
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join("polyfit-serving-wal-tests").join(format!("{tag}-{n}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Bitwise query-equality probe grid: proper, degenerate, and
+/// domain-spanning ranges over the workload's key window.
+fn assert_bitwise_equal(rec: &DynamicPolyFitSum, live: &DynamicPolyFitSum) -> Result<(), String> {
+    for s in 0..40 {
+        let lo = -170.0 + s as f64 * 8.5;
+        for span in [0.0, 5.5, 63.0, 400.0] {
+            let (r, l) = (rec.query(lo, lo + span), live.query(lo, lo + span));
+            if r.to_bits() != l.to_bits() {
+                return Err(format!("({lo}, {}]: recovered {r} vs live {l}", lo + span));
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Kill-and-recover at an arbitrary crash point — including while a
+    /// shadow compaction is staged or mid-rebuild. Every update is
+    /// journaled durably before it folds in ([`SyncPolicy::EveryUpdate`]),
+    /// so the crash loses nothing acked: the recovered index must answer
+    /// bitwise-identically to the never-crashed instance, with the same
+    /// compaction lineage (swaps either checkpointed before the crash or
+    /// still staged — and a staged rebuild is bitwise-transparent).
+    #[test]
+    fn recovery_is_bitwise_equal_at_any_crash_point(
+        ops in proptest::collection::vec(
+            (0u8..2, -150.0f64..150.0, 0.25f64..6.0), 8..64),
+        crash_pct in 0usize..=100,
+        stride in 4usize..12,
+        partial_tail in 0u8..2,
+    ) {
+        let dir = fresh_wal_dir("crash");
+        let crash = ops.len() * crash_pct / 100;
+        let mut live =
+            DynamicPolyFitSum::new(base_records(300), 8.0, capped_config(), 10).unwrap();
+        live.set_step_budget(0);
+        live.attach_wal(&dir, "t", SyncPolicy::EveryUpdate, 0).unwrap();
+        for (i, &(ins, k, m)) in ops[..crash].iter().enumerate() {
+            if ins == 1 {
+                live.insert(k, m);
+            } else {
+                live.delete(k, m);
+            }
+            // Periodic full swaps: each one checkpoints + truncates the
+            // log, so recovery exercises checkpoint-plus-tail replay.
+            if i % stride == stride - 1 && live.begin_compaction() {
+                live.compact_now();
+            }
+        }
+        if partial_tail == 1 && live.begin_compaction() {
+            // Crash mid-compaction: a few bounded steps, then die. If the
+            // rebuild happened to finish, its swap checkpointed (covered
+            // below either way).
+            live.step_compaction(3);
+        }
+        // "Kill" = recover from disk while the live instance still runs:
+        // the never-crashed state is the oracle.
+        let (rec, report) = DynamicPolyFitSum::recover(&dir, "t").unwrap();
+        prop_assert_eq!(report.head_seq, crash as u64, "journal covers every acked update");
+        prop_assert_eq!(report.truncated_bytes, 0, "clean log has no torn tail");
+        prop_assert_eq!(rec.rebuilds(), live.rebuilds(), "compaction lineage");
+        prop_assert_eq!(rec.base_len(), live.base_len(), "compacted base");
+        if live.compaction().is_none() {
+            // (A staged-but-unswapped rebuild holds its entries in
+            // `pending`, which the buffer count doesn't see.)
+            prop_assert_eq!(rec.buffered(), live.buffered(), "exact delta buffer");
+        }
+        if let Err(msg) = assert_bitwise_equal(&rec, &live) {
+            prop_assert!(false, "crash at {}/{}: {}", crash, ops.len(), msg);
+        }
+    }
+
+    /// Torn tails: chop (or corrupt) bytes at the end of the log, as a
+    /// crash mid-write would. Recovery must land on the last checksummed
+    /// prefix — bitwise-equal to replaying exactly the surviving updates —
+    /// and physically truncate the torn bytes so a second recovery is
+    /// clean and identical.
+    #[test]
+    fn torn_tail_recovers_to_last_checksummed_prefix(
+        n_ops in 6usize..40,
+        cut in 1usize..200,
+        flip in 0u8..2,
+    ) {
+        let dir = fresh_wal_dir("torn");
+        let mut live =
+            DynamicPolyFitSum::new(base_records(200), 8.0, capped_config(), 1_000_000).unwrap();
+        live.set_step_budget(0);
+        live.attach_wal(&dir, "t", SyncPolicy::Batch, 0).unwrap();
+        let ops: Vec<(f64, f64)> =
+            (0..n_ops).map(|i| (i as f64 * 1.7 - 30.0, 1.0 + (i % 4) as f64)).collect();
+        for &(k, m) in &ops {
+            live.insert(k, m);
+        }
+        live.detach_wal().unwrap(); // final group commit, close the handle
+        let log = pwal::log_path(&dir, "t");
+        let bytes = std::fs::read(&log).unwrap();
+        // Damage lands relative to the end of the *valid prefix* — the
+        // file extends past it with preallocated zeros, which are not
+        // where a torn write can land. Keep the 12-byte header; damage
+        // may wipe every frame.
+        let valid = pwal::scan_wal(&log).unwrap().valid_len as usize;
+        let cut = cut.min(valid - 12);
+        if flip == 1 {
+            // Corrupt in place: the checksum must cut the scan at the
+            // damaged frame even though the file length looks fine.
+            let mut damaged = bytes.clone();
+            damaged[valid - cut] ^= 0x5a;
+            std::fs::write(&log, damaged).unwrap();
+        } else {
+            std::fs::write(&log, &bytes[..valid - cut]).unwrap();
+        }
+        let (rec, report) = DynamicPolyFitSum::recover(&dir, "t").unwrap();
+        prop_assert!(report.head_seq < n_ops as u64, "damage must cost at least one record");
+        // The recovered state is exactly the surviving prefix.
+        let mut oracle =
+            DynamicPolyFitSum::new(base_records(200), 8.0, capped_config(), 1_000_000).unwrap();
+        oracle.set_step_budget(0);
+        for &(k, m) in ops.iter().take(report.head_seq as usize) {
+            oracle.insert(k, m);
+        }
+        prop_assert_eq!(rec.buffered(), oracle.buffered());
+        if let Err(msg) = assert_bitwise_equal(&rec, &oracle) {
+            prop_assert!(false, "prefix of {} ops: {}", report.head_seq, msg);
+        }
+        // Truncate-at-corruption is physical: recovering again finds a
+        // clean log with the same head.
+        let (rec2, report2) = DynamicPolyFitSum::recover(&dir, "t").unwrap();
+        prop_assert_eq!(report2.truncated_bytes, 0, "first recovery cut the torn tail");
+        prop_assert_eq!(report2.head_seq, report.head_seq);
+        prop_assert_eq!(rec2.buffered(), rec.buffered());
+        if let Err(msg) = assert_bitwise_equal(&rec2, &rec) {
+            prop_assert!(false, "second recovery diverged: {}", msg);
+        }
+    }
+}
+
+/// `-0.0` and `+0.0` are one key; the journal normalizes before writing
+/// (and the decoder re-normalizes defensively), so a mixed ±0.0 stream
+/// folds bitwise-identically on both sides of a recovery boundary — even
+/// when a compaction checkpoint lands mid-stream.
+#[test]
+fn mixed_zero_streams_recover_bitwise() {
+    let dir = fresh_wal_dir("zeros");
+    let records: Vec<Record> = (-6..6).map(|i| Record::new(i as f64, 1.0)).collect();
+    let mut live =
+        DynamicPolyFitSum::new(records.clone(), 2.0, PolyFitConfig::default(), 4).unwrap();
+    live.set_step_budget(0);
+    live.attach_wal(&dir, "t", SyncPolicy::EveryUpdate, 0).unwrap();
+    live.insert(-0.0, 5.0);
+    live.insert(0.0, 2.5);
+    live.delete(-0.0, 1.0);
+    live.insert(1.5, -0.0); // negative-zero *measure* is journaled as-is
+                            // Compaction boundary mid-stream: the ±0.0 entries so far fold into
+                            // the checkpointed base; the rest replay from the log tail.
+    assert!(live.begin_compaction());
+    live.compact_now();
+    live.delete(0.0, 5.0);
+    live.insert(-0.0, 3.25);
+    live.delete(-1.0, 0.5);
+    let (rec, report) = DynamicPolyFitSum::recover(&dir, "t").unwrap();
+    assert_eq!(report.head_seq, 7);
+    assert_eq!(rec.rebuilds(), live.rebuilds());
+    assert_eq!(rec.buffered(), live.buffered());
+    // Bounds at ±0.0 and ranges covering the zero key answer bitwise
+    // alike, with either sign of zero as an endpoint.
+    for (lo, hi) in
+        [(-0.0, 2.0), (0.0, 2.0), (-2.0, -0.0), (-2.0, 0.0), (-6.0, 6.0), (-0.5, 0.5), (0.0, 0.0)]
+    {
+        assert_eq!(
+            rec.query(lo, hi).to_bits(),
+            live.query(lo, hi).to_bits(),
+            "({lo}, {hi}] diverged after recovery"
+        );
+    }
+    // The strongest form: the serialized states are byte-identical.
+    assert_eq!(rec.to_bytes(), live.to_bytes(), "recovered PFD2 bytes differ");
 }
