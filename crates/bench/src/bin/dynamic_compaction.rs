@@ -20,6 +20,16 @@ use polyfit_bench::{arg_usize, results_dir, to_records};
 use polyfit_data::{generate_tweet, query_intervals_from_keys};
 
 fn main() {
+    // Guard rail: a `failpoints` build measures injection probes on the
+    // compaction path, not the compaction itself — refuse to write
+    // results that would be compared against default-build baselines.
+    if polyfit::failpoint::enabled() {
+        eprintln!(
+            "dynamic_compaction: built with the `failpoints` feature — \
+             rerun with a default build. No results written."
+        );
+        return;
+    }
     let n = arg_usize("records", 200_000);
     let n_updates = arg_usize("updates", 4_096);
     let delta = arg_usize("delta", 50) as f64;

@@ -334,6 +334,18 @@ fn run_wal_window(
 }
 
 fn main() {
+    // Guard rail: the failpoint registry checks a global on every site
+    // crossing, so a `failpoints` build measures the harness, not the
+    // serving layer. Refuse to write numbers that would be compared
+    // against default-build baselines.
+    if polyfit::failpoint::enabled() {
+        eprintln!(
+            "serve_throughput: built with the `failpoints` feature — \
+             timings would include injection probes; rerun with a default build. \
+             No results written."
+        );
+        return;
+    }
     let n = arg_usize("records", 200_000);
     let n_requests = arg_usize("requests", 8_192);
     let clients = arg_usize("clients", 4).max(1);

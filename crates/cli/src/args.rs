@@ -22,6 +22,9 @@ usage:
                                    index file must be a dynamic PFD2 index)
                 [--wal <dir>]     (journal updates durably: checkpoint + fsync-batched
                                    log(s) under <dir>; needs a dynamic PFD2 index)
+                [--failpoint site=spec] (repeatable; arm a named failpoint — e.g.
+                                   wal.fsync.err=once:error — to replay a fault
+                                   schedule; needs a `failpoints`-feature build)
   polyfit-cli recover --wal <dir> [--output <index.pf>]
   polyfit-cli info  --index <index.pf> [--wal <dir>]
 
@@ -94,6 +97,10 @@ pub enum Command {
         /// (checkpoint + fsync-batched log) so `recover` can rebuild
         /// the exact served state after a crash. Requires PFD2.
         wal: Option<String>,
+        /// `site=spec` failpoint arms (repeatable), applied before the
+        /// server starts — the CLI face of schedule replay. Rejected at
+        /// run time unless the binary was built with `failpoints`.
+        failpoints: Vec<String>,
     },
     /// Rebuild the exact pre-crash state from a WAL directory.
     Recover {
@@ -223,6 +230,21 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 batch_cap,
                 shards: parse_usize("--shards", 0)?,
                 wal: flag_value(argv, "--wal").map(String::from),
+                failpoints: {
+                    let mut arms = Vec::new();
+                    for w in argv.windows(2) {
+                        if w[0] == "--failpoint" {
+                            let arm = w[1].as_str();
+                            if !arm.contains('=') {
+                                return Err(ParseError(format!(
+                                    "--failpoint expects site=spec, got '{arm}'"
+                                )));
+                            }
+                            arms.push(arm.to_string());
+                        }
+                    }
+                    arms
+                },
             })
         }
         "recover" => Ok(Command::Recover {
@@ -376,6 +398,7 @@ mod tests {
                 batch_cap: 512,
                 shards: 0,
                 wal: None,
+                failpoints: vec![],
             }
         );
         assert_eq!(
@@ -393,6 +416,7 @@ mod tests {
                 batch_cap: 64,
                 shards: 2,
                 wal: Some("wal-dir".into()),
+                failpoints: vec![],
             }
         );
         assert!(parse(&argv("serve --index i.pf")).is_err(), "--requests is required");
@@ -400,6 +424,29 @@ mod tests {
         assert!(parse(&argv("serve --index i.pf --requests r.csv --batch-cap 0")).is_err());
         assert!(parse(&argv("serve --index i.pf --requests r.csv --window-us x")).is_err());
         assert!(parse(&argv("serve --index i.pf --requests r.csv --shards x")).is_err());
+    }
+
+    #[test]
+    fn serve_parses_repeated_failpoints() {
+        let cmd = parse(&argv(
+            "serve --index i.pf --requests r.csv --failpoint wal.fsync.err=once:error \
+             --failpoint serve.fence.skip=3:trigger",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve { failpoints, .. } => {
+                assert_eq!(
+                    failpoints,
+                    vec![
+                        "wal.fsync.err=once:error".to_string(),
+                        "serve.fence.skip=3:trigger".to_string(),
+                    ]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // An arm without `=` is a usage error, not a silent no-op.
+        assert!(parse(&argv("serve --index i.pf --requests r.csv --failpoint nonsense")).is_err());
     }
 
     #[test]

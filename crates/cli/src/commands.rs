@@ -405,7 +405,25 @@ pub fn run(cmd: Command) -> Result<(), String> {
             print!("{out}");
             Ok(())
         }
-        Command::Serve { index, requests, clients, workers, window_us, batch_cap, shards, wal } => {
+        Command::Serve {
+            index,
+            requests,
+            clients,
+            workers,
+            window_us,
+            batch_cap,
+            shards,
+            wal,
+            failpoints,
+        } => {
+            // Arm the requested fault schedule before any server thread
+            // starts. Without the `failpoints` feature `configure_str`
+            // rejects every arm, so a default build refuses the flag
+            // loudly instead of silently serving fault-free.
+            for arm in &failpoints {
+                polyfit::failpoint::configure_str(arm)
+                    .map_err(|e| format!("--failpoint {arm}: {e}"))?;
+            }
             let bytes = fs::read(&index).map_err(|e| format!("cannot read {index}: {e}"))?;
             let text = fs::read_to_string(&requests)
                 .map_err(|e| format!("cannot read {requests}: {e}"))?;
@@ -673,15 +691,29 @@ fn wal_status(dir_str: &str) -> Result<(), String> {
         // A trailing all-zero region is the log's untouched preallocation
         // (`scan.zero_tail`), not crash damage — only report real garbage.
         let torn = if scan.truncated() { scan.file_len.saturating_sub(scan.valid_len) } else { 0 };
-        println!(
-            "  {name}: checkpoint seq {} ({} rebuilds); log head {} — {} update(s) to \
-             replay{}",
-            ckpt.updates_applied,
-            ckpt.rebuilds,
-            scan.head_seq,
-            scan.head_seq.saturating_sub(ckpt.updates_applied),
-            torn_note(torn),
-        );
+        if scan.head_seq <= ckpt.updates_applied {
+            // Checkpoint-only: every surviving log frame is already
+            // folded into the checkpoint — recovery replays nothing.
+            // Saying so beats printing a zero cursor the reader has to
+            // interpret.
+            println!(
+                "  {name}: checkpoint seq {} ({} rebuilds); checkpoint-only log — nothing \
+                 to replay{}",
+                ckpt.updates_applied,
+                ckpt.rebuilds,
+                torn_note(torn),
+            );
+        } else {
+            println!(
+                "  {name}: checkpoint seq {} ({} rebuilds); log head {} — {} update(s) to \
+                 replay{}",
+                ckpt.updates_applied,
+                ckpt.rebuilds,
+                scan.head_seq,
+                scan.head_seq - ckpt.updates_applied,
+                torn_note(torn),
+            );
+        }
     }
     Ok(())
 }

@@ -519,6 +519,18 @@ impl DynamicPolyFitSum {
             return false;
         }
         self.stage_compaction();
+        // Failpoint: abort right after staging. The staged buffer is put
+        // back and the generation bump undone, so an aborted staging is
+        // observationally identical to never having staged — queries and
+        // the eventual (re-)compaction stay bitwise-equal to the oracle.
+        if crate::failpoint::triggered("dynamic.stage.abort") {
+            if let Some(p) = self.pending.take() {
+                debug_assert!(self.buffer.is_empty() && p.overlay.is_empty());
+                self.buffer = p.staged;
+                self.generation -= 1;
+            }
+            return false;
+        }
         self.pending.is_some()
     }
 
@@ -529,6 +541,15 @@ impl DynamicPolyFitSum {
     /// the plan completes. Returns `true` when no rebuild remains pending
     /// after the call.
     pub fn step_compaction(&mut self, budget: usize) -> bool {
+        // Failpoint: skip the step outright (the swap is delayed across
+        // however many update bursts the trigger spec covers) or starve
+        // it down to one work unit per call. Neither changes any answer:
+        // queries overlay the buffer until the swap lands.
+        let budget =
+            if crate::failpoint::triggered("dynamic.step.starve") { budget.min(1) } else { budget };
+        if crate::failpoint::triggered("dynamic.step.skip") {
+            return self.pending.is_none();
+        }
         let Some(mut p) = self.pending.take() else {
             return true;
         };
@@ -824,6 +845,11 @@ impl DynamicPolyFitSum {
 
     /// Install the completed shadow index atomically.
     fn finish_swap(&mut self, p: PendingRebuild) {
+        // Failpoint: die at the instant the shadow index would be
+        // installed — the worst-case crash point for the durable path,
+        // since the WAL checkpoint for this swap has not been cut yet.
+        // Recovery must replay the pre-swap journal bitwise.
+        crate::failpoint::hit("dynamic.swap.panic");
         let report = CompactionReport {
             generation: p.generation,
             reused_segments: p.reused,
@@ -1335,7 +1361,16 @@ impl DynamicPolyFitSum {
     /// [`Self::attach_wal`] with [`RecoveryReport::head_seq`] to resume
     /// durable serving (which collapses checkpoint + tail into a fresh
     /// checkpoint).
+    ///
+    /// # Errors
+    /// A missing directory — or one with no checkpoint for `name` — is a
+    /// usage error, not a torn crash state: it returns
+    /// [`WalError::NoJournal`] naming the path instead of a raw
+    /// `NotFound` I/O error.
     pub fn recover(dir: &Path, name: &str) -> Result<(Self, RecoveryReport), WalError> {
+        if !checkpoint_path(dir, name).exists() {
+            return Err(WalError::NoJournal(dir.to_path_buf()));
+        }
         let ckpt = read_checkpoint(&checkpoint_path(dir, name))?;
         let mut idx = Self::from_bytes(&ckpt.index).map_err(WalError::Decode)?;
         let path = log_path(dir, name);

@@ -52,6 +52,7 @@ pub mod drivers;
 pub mod dynamic;
 pub mod epoch;
 pub mod error;
+pub mod failpoint;
 pub mod function;
 pub mod index_max;
 pub mod index_sum;

@@ -576,7 +576,10 @@ impl DynamicServer {
         });
         let worker = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || dynamic_loop(index, &shared, config))
+            std::thread::spawn(move || {
+                let _failstop = LoopFailStop { shared: Arc::clone(&shared) };
+                dynamic_loop(index, &shared, config)
+            })
         };
         DynamicServer { shared, worker: Some(worker) }
     }
@@ -618,6 +621,33 @@ impl DynamicServer {
     }
 }
 
+/// Fail-stop guard for the dynamic loop thread. The loop can die
+/// between releasing the queue lock and answering a batch (a panic in
+/// the drain, a dead journal device); without intervention the queue
+/// would stay `open` with nothing draining it — parked clients hang
+/// forever and new submissions vanish. On a panicking unwind this
+/// closes the queue (later submissions fail loudly by the shutdown
+/// contract) and clears it (each dropped [`PendingQuery`] poison-
+/// completes its slot, waking the client). Answers are poisoned or
+/// refused — never silently wrong, never hung.
+struct LoopFailStop {
+    shared: Arc<DynShared>,
+}
+
+impl Drop for LoopFailStop {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        let mut q = self.shared.q.lock().unwrap_or_else(|e| e.into_inner());
+        q.open = false;
+        q.queries.clear();
+        q.updates.clear();
+        drop(q);
+        self.shared.cv.notify_all();
+    }
+}
+
 /// The dynamic serving loop body. Runs until the queue closes and
 /// drains; returns the index so [`DynamicServer::shutdown`] can hand it
 /// back.
@@ -641,6 +671,10 @@ fn dynamic_loop(
     // windows coalesce into one fsync instead of paying one each.
     let mut wal_dirty = false;
     loop {
+        // Failpoint: stall the loop while submitters keep enqueueing —
+        // the queue (an unbounded Vec) absorbs the backlog, and the next
+        // drain must still answer everything bitwise.
+        crate::failpoint::hit("serve.loop.stall");
         // Phase 1: wait for traffic. While idle with compaction work
         // outstanding, keep spending bounded budgets between waits.
         let (batch, writes) = {
@@ -714,7 +748,14 @@ fn dynamic_loop(
                     }
                 }
             }
-            let take = q.queries.len().min(max_batch);
+            // Failpoint: ignore `max_batch` for this drain and take the
+            // whole queue in one oversized batch. Answers must not
+            // depend on batch geometry.
+            let take = if crate::failpoint::triggered("serve.batch.oversize") {
+                q.queries.len()
+            } else {
+                q.queries.len().min(max_batch)
+            };
             let batch: Vec<PendingQuery> = q.queries.drain(..take).collect();
             let writes: Vec<Update> = q.updates.drain(..).collect();
             (batch, writes)
@@ -723,6 +764,11 @@ fn dynamic_loop(
         // finiteness at enqueue, so this cannot fail; updates land as
         // plain buffer writes (manual mode ⇒ no fitting here).
         if !writes.is_empty() {
+            // Failpoint: die with a drained-but-unapplied batch in hand.
+            // The updates are journaled only after `apply_updates`, so a
+            // panic here models losing an in-flight window: tickets
+            // poison, and recovery replays the synced prefix bitwise.
+            crate::failpoint::hit("serve.drain.panic");
             let applied =
                 index.apply_updates(writes).expect("handle pre-validates update finiteness");
             updates_applied += applied as u64;
@@ -737,8 +783,14 @@ fn dynamic_loop(
         // the panic poisons in-flight tickets instead of acknowledging
         // non-durable writes.
         if wal_dirty && !batch.is_empty() {
-            index.wal_sync().expect("wal group commit failed (fail-stop)");
-            wal_dirty = false;
+            // Failpoint: skip this ack-point fence once. `wal_dirty`
+            // stays set, so the very next boundary (idle fence, next
+            // batch, or shutdown) forces the sync — the fence can be
+            // delayed by injection but never elided.
+            if !crate::failpoint::triggered("serve.fence.skip") {
+                index.wal_sync().expect("wal group commit failed (fail-stop)");
+                wal_dirty = false;
+            }
         }
         // Phase 4: one engine-batched query_batch call answers the batch.
         answer_batch(&index, batch, updates_applied, index.rebuilds() as u64, &shared.counters);

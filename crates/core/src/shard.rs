@@ -466,6 +466,13 @@ impl ShardQueue {
     /// shard rebalanced away or the server shut down) — the caller
     /// re-routes against a fresh layout.
     fn push(&self, req: Req) -> Result<(), Req> {
+        // Failpoint: reject the push as if the queue had closed under
+        // the caller — the re-route path must hand the request back
+        // losslessly and retry against a fresh layout. An every-k spec
+        // models a transient storm that eventually drains.
+        if crate::failpoint::triggered("shard.queue.push_fail") {
+            return Err(req);
+        }
         {
             let mut q = self.q.lock().expect("shard queue poisoned");
             if self.closed.load(SeqCst) {
@@ -1147,6 +1154,12 @@ impl ShardedServer {
         policy: SyncPolicy,
     ) -> Result<(ShardedServer, Vec<(u64, RecoveryReport)>), WalError> {
         let cfg = cfg.validated();
+        if !LayoutLog::exists(wal_dir) {
+            // A missing directory — or one with no layout checkpoint —
+            // is a usage error, not a torn crash state: name the path
+            // instead of surfacing a raw `NotFound`.
+            return Err(WalError::NoJournal(wal_dir.to_path_buf()));
+        }
         let (layout_ckpt, _rebalances, _truncated) = LayoutLog::recover(wal_dir)?;
         let domain = Domain::new();
         let mut rts = Vec::with_capacity(layout_ckpt.ids.len());
@@ -1315,6 +1328,14 @@ fn spawn_worker(
     let shared = Arc::clone(shared);
     let reader = shared.domain.reader();
     thread::spawn(move || {
+        // Armed for the unwind path only: a worker that dies mid-batch
+        // (injected panic, fail-stop `expect` on a dead log device) must
+        // not leave its queue silently undrained — clients parked on
+        // those requests would hang forever, and new submits would
+        // re-route into the still-advertised dead shard. The guard
+        // fail-stops the whole server: poisoned answers, never wrong
+        // ones, never a hang.
+        let guard = WorkerFailStop { shared: Arc::clone(&shared), queue: Arc::clone(&rt.queue) };
         Worker {
             shared,
             reader,
@@ -1326,7 +1347,56 @@ fn spawn_worker(
             wal_dirty: false,
         }
         .run();
+        drop(guard); // normal exit: `panicking()` is false, Drop is a no-op
     })
+}
+
+/// Worker-death fail-stop: on an unwinding worker thread, flip the
+/// server closed (submits resolve poisoned instead of re-routing into
+/// the dead shard forever), close the dead shard's queue, and drain it —
+/// dropping each recovered request runs the `SubQuery` poison sweep, so
+/// every parked client wakes with a poisoned (not missing, not wrong)
+/// answer. Inert on normal exits.
+struct WorkerFailStop {
+    shared: Arc<ServerShared>,
+    queue: Arc<ShardQueue>,
+}
+
+impl Drop for WorkerFailStop {
+    fn drop(&mut self) {
+        if !thread::panicking() {
+            return;
+        }
+        self.shared.open.store(false, SeqCst);
+        self.queue.close();
+        while let Some(req) = self.queue.pop() {
+            drop(req);
+        }
+        // A rebalance in flight dies with this worker; release the flag
+        // so surviving workers are not wedged behind it at shutdown.
+        self.shared.rebalance.store(false, SeqCst);
+    }
+}
+
+/// Forward a recovered straggler update to `queue`, retrying while the
+/// rejection is transient (an injected push failure) rather than a real
+/// close. A genuinely closed target only happens under shutdown or
+/// worker-death fail-stop, where dropping the unacked update is
+/// equivalent to a crash before its append.
+fn forward_update(queue: &ShardQueue, u: Update) {
+    let mut req = Req::Update(u);
+    loop {
+        match queue.push(req) {
+            Ok(()) => return,
+            Err(back) => {
+                if queue.closed.load(SeqCst) {
+                    return;
+                }
+                req = back;
+                thread::yield_now();
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1472,6 +1542,10 @@ impl Worker {
         if batch.is_empty() {
             return;
         }
+        // Failpoint: worker death with a drained batch in hand. The
+        // unwind drop-poisons every request in `batch`, and the
+        // `WorkerFailStop` guard fail-stops the server.
+        crate::failpoint::hit("shard.worker.panic");
         let mut queries: Vec<SubQuery> = Vec::new();
         let mut handoff: Option<Box<MergeHandoff>> = None;
         let mut logged: Vec<Update> = Vec::new();
@@ -1715,9 +1789,18 @@ impl Worker {
             bounds.insert(pos, key);
             let version = cur.version + 1;
             drop(pin);
+            // Failpoint: the durable cutover record is on disk but the
+            // new layout is not yet visible — a delay here stretches the
+            // window where queries still route to the parent; a panic
+            // here must recover to the children (the record won).
+            crate::failpoint::hit("shard.split.pre_publish");
             self.shared.layout.publish(Layout { version, bounds, shards });
         }
         self.rt.queue.close();
+        // Failpoint: the parent's queue just closed but its stragglers
+        // are not yet forwarded — racing submits bounce off the closed
+        // queue and must re-route to the children losslessly.
+        crate::failpoint::hit("shard.split.post_close");
         // Stragglers that raced the close: updates forward to the owning
         // child (its worker logs them on application); queries answer
         // from the parent's final state — every update routed to the
@@ -1729,7 +1812,7 @@ impl Worker {
             match req {
                 Req::Update(u) => {
                     let side = if u.key() <= key { &lrt } else { &rrt };
-                    let _ = side.queue.push(Req::Update(u));
+                    forward_update(&side.queue, u);
                 }
                 Req::Query(sq) => {
                     let v = DynamicPolyFitSum::query(&self.index, sq.lo, sq.hi);
@@ -1794,16 +1877,32 @@ impl Worker {
             rebuilds: self.index.rebuilds() as u64,
             epoch: self.epoch,
         });
-        match neighbour.queue.push(Req::Merge(handoff)) {
-            Ok(()) => Flow::Exit,
-            Err(_) => {
-                // The neighbour's queue closed under us — only shutdown
-                // does that while we hold the rebalance flag. Drain our
-                // own stragglers (the drop sweep poisons any query we
-                // cannot answer sensibly) and exit.
-                self.shared.rebalance.store(false, SeqCst);
-                self.drain_closed_leftovers();
-                Flow::Exit
+        // Failpoint: the retiring shard is frozen, fenced, and closed,
+        // but the handoff has not reached the neighbour — a panic here
+        // loses only in-memory state the journal already covers; a delay
+        // races queries against the closed queue.
+        crate::failpoint::hit("shard.merge.handoff");
+        let mut req = Req::Merge(handoff);
+        loop {
+            match neighbour.queue.push(req) {
+                Ok(()) => return Flow::Exit,
+                Err(back) => {
+                    if !neighbour.queue.closed.load(SeqCst) {
+                        // Injected transient push failure: the neighbour
+                        // is alive, so retry until the handoff lands.
+                        req = back;
+                        thread::yield_now();
+                        continue;
+                    }
+                    // The neighbour's queue genuinely closed under us —
+                    // only shutdown (or worker-death fail-stop) does
+                    // that while we hold the rebalance flag. Drain our
+                    // own stragglers (the drop sweep poisons any query
+                    // we cannot answer sensibly) and exit.
+                    self.shared.rebalance.store(false, SeqCst);
+                    self.drain_closed_leftovers();
+                    return Flow::Exit;
+                }
             }
         }
     }
@@ -1911,7 +2010,7 @@ impl Worker {
         while let Some(req) = old_rt.queue.pop() {
             match req {
                 Req::Update(u) => {
-                    let _ = new_rt.queue.push(Req::Update(u));
+                    forward_update(&new_rt.queue, u);
                 }
                 Req::Query(sq) => {
                     let v = DynamicPolyFitSum::query(&self.index, sq.lo, sq.hi);
@@ -1931,7 +2030,7 @@ impl Worker {
         while let Some(req) = h.queue.pop() {
             match req {
                 Req::Update(u) => {
-                    let _ = new_rt.queue.push(Req::Update(u));
+                    forward_update(&new_rt.queue, u);
                 }
                 Req::Query(sq) => {
                     let v = h.snap.query(sq.lo, sq.hi);

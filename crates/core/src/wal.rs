@@ -57,9 +57,10 @@ use std::path::{Path, PathBuf};
 use crate::error::PolyFitError;
 use crate::serialize::{decode_wal_record, DecodeError, Reader, WalRecord, Writer};
 
-/// Log-file magic: "PFW1", followed by the base cursor (u64) — the
+/// Log-file magic: "PFW2", followed by the base cursor (u64) — the
 /// number of updates already folded into the checkpoint this log extends.
-const MAGIC_WAL: &[u8; 4] = b"PFW1";
+/// (v2: frame checksums are position-keyed, see [`fnv1a_pos`].)
+const MAGIC_WAL: &[u8; 4] = b"PFW2";
 /// Checkpoint-container magic: "PFC1" — checksummed wrapper around a
 /// serialized index plus its replay cursor.
 const MAGIC_CKPT: &[u8; 4] = b"PFC1";
@@ -94,6 +95,28 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Position-keyed frame checksum: FNV-1a over the payload, continued
+/// through the frame's absolute byte offset in the file. A frame is only
+/// valid *at the offset it was written for*, which turns two storage
+/// faults plain content checksums cannot see into ordinary torn-tail
+/// truncations at scan time:
+///
+/// * a **duplicated** write (the same buffered batch landing twice)
+///   re-places byte-identical frames at later offsets, where their
+///   checksums no longer verify — replay can never double-apply;
+/// * a **misdirected** write (a batch landing at a stale offset) parks
+///   frames checksummed for one position at another, so the scan cuts at
+///   the damage instead of replaying records out of order.
+#[inline]
+fn fnv1a_pos(bytes: &[u8], offset: u64) -> u64 {
+    let mut h = fnv1a(bytes);
+    for b in offset.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Errors from the durable write path.
 #[derive(Debug)]
 pub enum WalError {
@@ -105,6 +128,12 @@ pub enum WalError {
     Build(PolyFitError),
     /// A required file is missing (path reported).
     Missing(PathBuf),
+    /// A recovery was pointed at a directory that holds no journal at
+    /// all — missing, or present but empty. Distinguished from
+    /// [`WalError::Missing`] (one file of an otherwise-real journal gone)
+    /// and from raw I/O failure so callers can say "nothing to recover
+    /// here" instead of surfacing an `io::Error`.
+    NoJournal(PathBuf),
 }
 
 impl std::fmt::Display for WalError {
@@ -114,6 +143,9 @@ impl std::fmt::Display for WalError {
             WalError::Decode(e) => write!(f, "wal decode error: {e}"),
             WalError::Build(e) => write!(f, "wal replay build error: {e}"),
             WalError::Missing(p) => write!(f, "wal file missing: {}", p.display()),
+            WalError::NoJournal(p) => {
+                write!(f, "no WAL journal in {} (directory missing or empty)", p.display())
+            }
         }
     }
 }
@@ -192,8 +224,158 @@ fn fsync_dir(dir: &Path) -> io::Result<()> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The VirtualFile seam
+// ---------------------------------------------------------------------------
+
+/// The I/O surface the journal needs from its log file — the seam the
+/// fault-injection harness plugs into. Production code uses [`RealFile`]
+/// (an inlined pass-through over [`File`]); with the `failpoints` feature
+/// the journal is built over [`FaultFile`] instead, which consults the
+/// failpoint registry on every operation and can inject write/fsync
+/// errors, short (torn) writes, and misdirected or duplicated segment
+/// writes. The concrete type is chosen at compile time ([`LogFile`]), so
+/// the default build carries no indirection at all.
+pub trait VirtualFile {
+    /// Write the whole buffer at the current cursor.
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Flush file data durably (fdatasync).
+    fn sync_data(&mut self) -> io::Result<()>;
+    /// Move the cursor to an absolute offset.
+    fn seek_to(&mut self, pos: u64) -> io::Result<()>;
+}
+
+/// The production [`VirtualFile`]: a plain pass-through over [`File`].
+#[derive(Debug)]
+pub struct RealFile(File);
+
+impl RealFile {
+    /// Wrap an open file.
+    pub fn new(f: File) -> RealFile {
+        RealFile(f)
+    }
+}
+
+impl VirtualFile for RealFile {
+    #[inline]
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.0.write_all(buf)
+    }
+
+    #[inline]
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+
+    #[inline]
+    fn seek_to(&mut self, pos: u64) -> io::Result<()> {
+        self.0.seek(SeekFrom::Start(pos)).map(|_| ())
+    }
+}
+
+/// The fault-injecting [`VirtualFile`]: wraps a real file, tracks the
+/// cursor, and consults the `wal.*` failpoint sites before every
+/// operation. All faults are *storage-realistic*: an injected error
+/// leaves prior bytes intact, a short write persists a prefix that tears
+/// inside a checksummed frame, a misdirected write lands the buffer at a
+/// stale offset, and a duplicated write lands it twice — the scanner's
+/// position-keyed checksums are what recovery then has to answer with.
+#[cfg(feature = "failpoints")]
+#[derive(Debug)]
+pub struct FaultFile {
+    inner: File,
+    /// Shadow of the kernel file cursor, so misdirection can compute a
+    /// plausible stale offset.
+    cursor: u64,
+}
+
+#[cfg(feature = "failpoints")]
+impl FaultFile {
+    /// Wrap an open file whose kernel cursor sits at `cursor`.
+    pub fn new(f: File, cursor: u64) -> FaultFile {
+        FaultFile { inner: f, cursor }
+    }
+}
+
+#[cfg(feature = "failpoints")]
+impl VirtualFile for FaultFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        use crate::failpoint;
+        if let Some(e) = failpoint::io_error("wal.write.err") {
+            // Clean injected failure: nothing reaches the file.
+            return Err(e);
+        }
+        if failpoint::triggered("wal.write.short") && buf.len() > 1 {
+            // Crash mid-write: a prefix lands (cut inside a frame for any
+            // multi-frame batch), then the "device" fails.
+            let cut = buf.len() / 2;
+            self.inner.write_all(&buf[..cut])?;
+            self.cursor += cut as u64;
+            return Err(failpoint::injected_io("wal.write.short"));
+        }
+        if failpoint::triggered("wal.write.misdirect") {
+            // The batch lands at a stale offset (firmware/driver bug);
+            // the caller is *not* told. Keep the header intact so the
+            // damage is frame-level, which recovery must truncate at.
+            let stale = self.cursor.saturating_sub(buf.len() as u64 + 7).max(12);
+            self.inner.seek(SeekFrom::Start(stale))?;
+            self.inner.write_all(buf)?;
+            self.cursor = stale + buf.len() as u64;
+            return Ok(());
+        }
+        if failpoint::triggered("wal.write.duplicate") {
+            // A retried-but-already-applied write: the buffer lands twice,
+            // back to back. Position-keyed checksums invalidate copy two.
+            self.inner.write_all(buf)?;
+            self.inner.write_all(buf)?;
+            self.cursor += 2 * buf.len() as u64;
+            return Ok(());
+        }
+        self.inner.write_all(buf)?;
+        self.cursor += buf.len() as u64;
+        Ok(())
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        if let Some(e) = crate::failpoint::io_error("wal.fsync.err") {
+            // fsyncgate: the fence "fails" and nothing was made durable.
+            // The journal must fail-stop — it can never retry its way
+            // back to a truthful ack.
+            return Err(e);
+        }
+        self.inner.sync_data()
+    }
+
+    fn seek_to(&mut self, pos: u64) -> io::Result<()> {
+        self.inner.seek(SeekFrom::Start(pos))?;
+        self.cursor = pos;
+        Ok(())
+    }
+}
+
+/// The journal's log-file type, chosen at compile time: the fault seam
+/// with `failpoints`, the zero-overhead pass-through without.
+#[cfg(feature = "failpoints")]
+pub type LogFile = FaultFile;
+/// The journal's log-file type, chosen at compile time: the fault seam
+/// with `failpoints`, the zero-overhead pass-through without.
+#[cfg(not(feature = "failpoints"))]
+pub type LogFile = RealFile;
+
+#[cfg(feature = "failpoints")]
+fn log_file(f: File, cursor: u64) -> LogFile {
+    FaultFile::new(f, cursor)
+}
+
+#[cfg(not(feature = "failpoints"))]
+fn log_file(f: File, _cursor: u64) -> LogFile {
+    RealFile::new(f)
+}
+
 /// Frame one encoded record onto the end of `buf`:
-/// `[len u32][fnv1a u64][payload]`. Insert/Delete — the per-update hot
+/// `[len u32][fnv1a_pos u64][payload]`, where `file_off` is the absolute
+/// file offset this frame will occupy (see [`fnv1a_pos`] — the checksum
+/// binds content *and* position). Insert/Delete — the per-update hot
 /// path — assemble their fixed 29-byte frame on the stack and land with
 /// one `extend_from_slice`; everything else (rebalance/checkpoint
 /// records, a handful per journal lifetime) goes through the generic
@@ -201,7 +383,7 @@ fn fsync_dir(dir: &Path) -> io::Result<()> {
 /// allocation, which is what keeps the group-commit append path within
 /// a few percent of the journal-off write path.
 #[inline]
-fn frame_into(buf: &mut Vec<u8>, rec: &WalRecord) {
+fn frame_into(buf: &mut Vec<u8>, rec: &WalRecord, file_off: u64) {
     if let WalRecord::Insert { key, measure } | WalRecord::Delete { key, measure } = *rec {
         let tag = if matches!(rec, WalRecord::Insert { .. }) {
             crate::serialize::WAL_TAG_INSERT
@@ -213,7 +395,7 @@ fn frame_into(buf: &mut Vec<u8>, rec: &WalRecord) {
         f[13..21].copy_from_slice(&key.to_le_bytes());
         f[21..29].copy_from_slice(&measure.to_le_bytes());
         f[0..4].copy_from_slice(&17u32.to_le_bytes());
-        let cksum = fnv1a(&f[12..29]);
+        let cksum = fnv1a_pos(&f[12..29], file_off);
         f[4..12].copy_from_slice(&cksum.to_le_bytes());
         buf.extend_from_slice(&f);
         return;
@@ -224,16 +406,17 @@ fn frame_into(buf: &mut Vec<u8>, rec: &WalRecord) {
     crate::serialize::encode_wal_record_into(&mut w, rec);
     *buf = w.0;
     let payload_len = buf.len() - start - 12;
-    let cksum = fnv1a(&buf[start + 12..]);
+    let cksum = fnv1a_pos(&buf[start + 12..], file_off);
     buf[start..start + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
     buf[start + 4..start + 12].copy_from_slice(&cksum.to_le_bytes());
 }
 
-/// Frame one encoded record as an owned buffer (cold paths: fresh-log
-/// headers, layout records, tests).
-fn frame(rec: &WalRecord) -> Vec<u8> {
+/// Frame one encoded record as an owned buffer, checksummed for absolute
+/// file offset `file_off` (cold paths: fresh-log headers, layout
+/// records, tests).
+fn frame(rec: &WalRecord, file_off: u64) -> Vec<u8> {
     let mut out = Vec::with_capacity(45);
-    frame_into(&mut out, rec);
+    frame_into(&mut out, rec, file_off);
     out
 }
 
@@ -241,11 +424,16 @@ fn frame(rec: &WalRecord) -> Vec<u8> {
 /// whose header carries `base_seq`, self-described by a leading
 /// [`WalRecord::Checkpoint`] record. Returns the open handle, positioned
 /// at the end, ready for appends.
-fn write_fresh_log(path: &Path, base_seq: u64, rebuilds: u64) -> io::Result<(File, u64)> {
+fn write_fresh_log(path: &Path, base_seq: u64, rebuilds: u64) -> io::Result<(LogFile, u64)> {
     let mut w = Writer(Vec::with_capacity(64));
     w.0.extend_from_slice(MAGIC_WAL);
     w.u64(base_seq);
-    w.0.extend_from_slice(&frame(&WalRecord::Checkpoint { updates_applied: base_seq, rebuilds }));
+    // The self-describing header record sits right after the 12-byte
+    // magic+cursor header.
+    w.0.extend_from_slice(&frame(
+        &WalRecord::Checkpoint { updates_applied: base_seq, rebuilds },
+        12,
+    ));
     let file_name = path.file_name().expect("log path has a file name");
     let mut tmp_name = std::ffi::OsString::from(".");
     tmp_name.push(file_name);
@@ -259,8 +447,9 @@ fn write_fresh_log(path: &Path, base_seq: u64, rebuilds: u64) -> io::Result<(Fil
         fsync_dir(dir)?;
     }
     // The tmp handle survives the rename (same inode) — keep appending
-    // through it.
-    Ok((f, w.0.len() as u64))
+    // through it (wrapped in the VirtualFile seam from here on).
+    let len = w.0.len() as u64;
+    Ok((log_file(f, len), len))
 }
 
 /// The parsed contents of one log file, up to the first torn frame.
@@ -329,8 +518,11 @@ pub fn scan_wal(path: &Path) -> Result<WalScan, WalError> {
         }
         let cksum = u64::from_le_bytes(rest[4..12].try_into().expect("8 bytes"));
         let payload = &rest[12..12 + len as usize];
-        if fnv1a(payload) != cksum {
-            break; // checksum mismatch: torn tail
+        if fnv1a_pos(payload, pos as u64) != cksum {
+            // Checksum mismatch: a torn tail, or a frame that is not
+            // valid *at this offset* — which is how duplicated and
+            // misdirected segment writes surface (see [`fnv1a_pos`]).
+            break;
         }
         let Ok(rec) = decode_wal_record(payload) else {
             break; // DecodeError::Corrupt: treat as torn
@@ -421,12 +613,17 @@ pub fn checkpoint_path(dir: &Path, name: &str) -> PathBuf {
 /// write path that cannot persist must not keep acknowledging), while
 /// the explicit [`Journal::sync`] returns the error to the caller (the
 /// serving loop turns it into a worker panic, which poisons in-flight
-/// tickets instead of hanging clients).
+/// tickets instead of hanging clients). And fail-stop is *sticky*: after
+/// any sync-path failure the journal refuses every further operation —
+/// per fsyncgate, a failed fsync leaves the page cache in an unknowable
+/// state, so retrying the fence could silently ack data that never
+/// reached the disk. The first error is returned typed; every later call
+/// fails with [`Journal::failed`]'s reason.
 pub struct Journal {
     dir: PathBuf,
     name: String,
     policy: SyncPolicy,
-    file: File,
+    file: LogFile,
     /// Encoded frames not yet written to the file (group commit).
     buf: Vec<u8>,
     /// Update cursor: updates journaled so far, absolute.
@@ -440,6 +637,9 @@ pub struct Journal {
     /// End of the zero-filled region; data writes below this line never
     /// grow the file, keeping group-commit fences metadata-free.
     prealloc_end: u64,
+    /// `Some(reason)` once any sync-path I/O failed: the journal is
+    /// fail-stopped and every subsequent operation refuses (fsyncgate).
+    dead: Option<String>,
 }
 
 impl std::fmt::Debug for Journal {
@@ -479,6 +679,7 @@ impl Journal {
             synced: true,
             pos: header_len,
             prealloc_end: header_len,
+            dead: None,
         };
         j.prealloc_initial()?;
         Ok(j)
@@ -503,9 +704,9 @@ impl Journal {
             return Ok(());
         }
         let new_end = end.div_ceil(PREALLOC_CHUNK) * PREALLOC_CHUNK;
-        self.file.seek(SeekFrom::Start(self.prealloc_end))?;
+        self.file.seek_to(self.prealloc_end)?;
         self.file.write_all(&vec![0u8; (new_end - self.prealloc_end) as usize])?;
-        self.file.seek(SeekFrom::Start(self.pos))?;
+        self.file.seek_to(self.pos)?;
         self.prealloc_end = new_end;
         Ok(())
     }
@@ -536,13 +737,18 @@ impl Journal {
     /// [`Journal::sync`].
     ///
     /// # Panics
-    /// Panics on I/O failure (fail-stop; see the type docs).
+    /// Panics on I/O failure, and on any append after the journal has
+    /// fail-stopped (see the type docs).
     #[inline]
     pub fn append(&mut self, rec: &WalRecord) {
+        if let Some(reason) = &self.dead {
+            panic!("wal append on a fail-stopped journal: {reason}");
+        }
         if matches!(rec, WalRecord::Insert { .. } | WalRecord::Delete { .. }) {
             self.seq += 1;
         }
-        frame_into(&mut self.buf, rec);
+        let off = self.pos + self.buf.len() as u64;
+        frame_into(&mut self.buf, rec, off);
         self.synced = false;
         if self.policy == SyncPolicy::EveryUpdate {
             self.sync().expect("wal append failed (fail-stop)");
@@ -577,6 +783,9 @@ impl Journal {
             }
             return;
         }
+        if let Some(reason) = &self.dead {
+            panic!("wal append on a fail-stopped journal: {reason}");
+        }
         self.buf.reserve(29 * updates.len());
         for u in updates {
             let (tag, key, measure) = match *u {
@@ -592,7 +801,7 @@ impl Journal {
             f[13..21].copy_from_slice(&key.to_le_bytes());
             f[21..29].copy_from_slice(&measure.to_le_bytes());
             f[0..4].copy_from_slice(&17u32.to_le_bytes());
-            let cksum = fnv1a(&f[12..29]);
+            let cksum = fnv1a_pos(&f[12..29], self.pos + self.buf.len() as u64);
             f[4..12].copy_from_slice(&cksum.to_le_bytes());
             self.buf.extend_from_slice(&f);
         }
@@ -602,10 +811,27 @@ impl Journal {
 
     /// Group commit: write every buffered frame and fsync. No-op when
     /// the log already covers everything (cheap to call per batch).
+    ///
+    /// The first failure anywhere on this path fail-stops the journal
+    /// permanently (see the type docs): the error comes back typed, and
+    /// every subsequent call — sync, append, checkpoint — refuses with
+    /// the recorded reason rather than silently retrying a fence whose
+    /// outcome is unknowable.
     pub fn sync(&mut self) -> io::Result<()> {
+        if let Some(reason) = &self.dead {
+            return Err(io::Error::other(format!("journal is fail-stopped: {reason}")));
+        }
         if self.synced {
             return Ok(());
         }
+        let result = self.sync_inner();
+        if let Err(e) = &result {
+            self.dead = Some(e.to_string());
+        }
+        result
+    }
+
+    fn sync_inner(&mut self) -> io::Result<()> {
         if !self.buf.is_empty() {
             self.ensure_room(self.buf.len() as u64)?;
             self.file.write_all(&self.buf)?;
@@ -616,6 +842,12 @@ impl Journal {
         SYNC_FENCES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.synced = true;
         Ok(())
+    }
+
+    /// `Some(reason)` once the journal has fail-stopped after a
+    /// sync-path I/O failure; `None` while healthy.
+    pub fn failed(&self) -> Option<&str> {
+        self.dead.as_deref()
     }
 
     /// The compaction-swap checkpoint protocol (see the module docs for
@@ -633,7 +865,8 @@ impl Journal {
         rebuilds: u64,
     ) -> Result<(), WalError> {
         if let Some(staged_at) = staged_at {
-            frame_into(&mut self.buf, &WalRecord::CompactionSwap { staged_at });
+            let off = self.pos + self.buf.len() as u64;
+            frame_into(&mut self.buf, &WalRecord::CompactionSwap { staged_at }, off);
             self.synced = false;
         }
         self.sync()?;
@@ -778,7 +1011,9 @@ fn decode_layout(bytes: &[u8]) -> Result<LayoutCheckpoint, WalError> {
 /// already serialized server-wide, so every append syncs immediately.
 pub struct LayoutLog {
     dir: PathBuf,
-    file: File,
+    file: LogFile,
+    /// Byte offset of the next append (position-keyed checksums).
+    pos: u64,
 }
 
 impl std::fmt::Debug for LayoutLog {
@@ -792,13 +1027,15 @@ impl LayoutLog {
     pub fn create(dir: &Path, layout: &LayoutCheckpoint) -> Result<LayoutLog, WalError> {
         fs::create_dir_all(dir)?;
         atomic_write(&checkpoint_path(dir, LAYOUT_NAME), &encode_layout(layout))?;
-        let (file, _) = write_fresh_log(&log_path(dir, LAYOUT_NAME), 0, 0)?;
-        Ok(LayoutLog { dir: dir.to_path_buf(), file })
+        let (file, header_len) = write_fresh_log(&log_path(dir, LAYOUT_NAME), 0, 0)?;
+        Ok(LayoutLog { dir: dir.to_path_buf(), file, pos: header_len })
     }
 
     /// Append one rebalance record, durably (write + fsync).
     pub fn append_sync(&mut self, rec: &WalRecord) -> io::Result<()> {
-        self.file.write_all(&frame(rec))?;
+        let framed = frame(rec, self.pos);
+        self.file.write_all(&framed)?;
+        self.pos += framed.len() as u64;
         self.file.sync_data()
     }
 
@@ -922,7 +1159,7 @@ mod tests {
         // Cut mid-frame at every byte of the last record and re-scan:
         // the valid prefix must always be the first 9 records.
         let full = fs::read(&path).unwrap();
-        let frame_len = frame(&WalRecord::Insert { key: 0.0, measure: 1.0 }).len() as u64;
+        let frame_len = frame(&WalRecord::Insert { key: 0.0, measure: 1.0 }, 0).len() as u64;
         let cut_zone = (clean.valid_len - frame_len + 1)..clean.valid_len;
         for cut in cut_zone.step_by(5) {
             fs::write(&path, &full[..cut as usize]).unwrap();
@@ -944,6 +1181,42 @@ mod tests {
         fs::write(&path, &corrupt).unwrap();
         let scan = scan_wal(&path).unwrap();
         assert_eq!(scan.head_seq, 9);
+        assert!(scan.truncated());
+    }
+
+    #[test]
+    fn position_keyed_checksums_reject_duplicated_and_misdirected_frames() {
+        let dir = tmp_dir("pos-key");
+        let path = log_path(&dir, "t");
+        let mut j = Journal::create(&dir, "t", SyncPolicy::Batch, b"IDX", 0, 0).unwrap();
+        for i in 0..6 {
+            j.append(&WalRecord::Insert { key: i as f64, measure: 1.0 });
+        }
+        j.sync().unwrap();
+        let clean = scan_wal(&path).unwrap();
+        assert_eq!(clean.head_seq, 6);
+        let bytes = fs::read(&path).unwrap();
+        let valid = clean.valid_len as usize;
+        let f0 = valid - 6 * 29; // offset of the first insert frame
+                                 // Duplicated segment write: the last batch (two byte-identical,
+                                 // individually well-checksummed frames) lands a second time at
+                                 // the end. Content checksums would replay them — double-applying
+                                 // two updates; position-keyed checksums cut the scan instead.
+        let mut dup = bytes[..valid].to_vec();
+        dup.extend_from_slice(&bytes[valid - 2 * 29..valid]);
+        fs::write(&path, &dup).unwrap();
+        let scan = scan_wal(&path).unwrap();
+        assert_eq!(scan.head_seq, 6, "duplicated frames must not replay");
+        assert_eq!(scan.valid_len, valid as u64);
+        assert!(scan.truncated());
+        // Misdirected write: the last frame lands at the second insert's
+        // offset, overwriting it with a *valid-looking* frame. The scan
+        // must stop at the damage, not replay records out of order.
+        let mut mis = bytes[..valid].to_vec();
+        mis.copy_within(valid - 29..valid, f0 + 29);
+        fs::write(&path, &mis).unwrap();
+        let scan = scan_wal(&path).unwrap();
+        assert_eq!(scan.head_seq, 1, "scan must cut at the misdirected frame");
         assert!(scan.truncated());
     }
 

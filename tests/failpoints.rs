@@ -1,0 +1,868 @@
+//! Failpoint-driven fault-injection harness: schedule-exploration tests.
+//!
+//! Only compiled with `--features failpoints`. Every test follows the
+//! same discipline as `tests/serving.rs`: run a workload under an
+//! injected fault schedule, then hold the observed answers (and any
+//! recovered state) **bitwise-equal** to a quiesced oracle replay — or
+//! to a typed fail-stop error. Faults may change *when* things happen
+//! (a delayed swap, an oversized batch, a re-routed push); they must
+//! never change *what* an acknowledged answer is.
+//!
+//! The failpoint registry is process-global, so every test serializes
+//! on [`serial`]. Schedules derive deterministically from a seed
+//! ([`Schedule::random`]): a failing case replays from the seed alone,
+//! and the printed `site=spec;…` form feeds straight into
+//! `polyfit-cli serve --failpoint`.
+
+#![cfg(feature = "failpoints")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex, MutexGuard};
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use polyfit_suite::exact::dataset::Record;
+use polyfit_suite::polyfit::failpoint::{self, Schedule};
+use polyfit_suite::polyfit::prelude::*;
+use polyfit_suite::polyfit::wal as pwal;
+use polyfit_suite::polyfit::{DynamicServeConfig, ShardConfig};
+
+/// One registry, many tests: take this before touching failpoints. A
+/// panicking test (several tests *expect* panics) must not wedge the
+/// rest, so poisoning is ignored.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Disarm every site on scope exit — including unwinds — so one test's
+/// schedule can never leak into the next.
+struct Disarm;
+impl Drop for Disarm {
+    fn drop(&mut self) {
+        failpoint::reset();
+    }
+}
+
+fn base_records(n: usize) -> Vec<Record> {
+    (0..n).map(|i| Record::new(i as f64 * 0.5 - 100.0, 1.0 + (i % 3) as f64)).collect()
+}
+
+fn capped_config() -> PolyFitConfig {
+    PolyFitConfig { max_segment_len: Some(96), ..PolyFitConfig::default() }
+}
+
+fn fresh_wal_dir(tag: &str) -> PathBuf {
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join("polyfit-failpoint-tests").join(format!("{tag}-{n}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Deterministic update stream: seed-free, so the *schedule* is the
+/// only random input of a case.
+fn update_stream(n: usize) -> Vec<(bool, f64, f64)> {
+    (0..n)
+        .map(|i| {
+            let k = (i as f64 * 37.0) % 280.0 - 140.0;
+            let m = 0.5 + (i % 7) as f64;
+            (i % 5 != 3, k, m)
+        })
+        .collect()
+}
+
+/// Bitwise probe grid over the workload's key window.
+fn assert_bitwise_equal(a: &DynamicPolyFitSum, b: &DynamicPolyFitSum) -> Result<(), String> {
+    for s in 0..40 {
+        let lo = -170.0 + s as f64 * 8.5;
+        for span in [0.0, 5.5, 63.0, 400.0] {
+            let (x, y) = (a.query(lo, lo + span), b.query(lo, lo + span));
+            if x.to_bits() != y.to_bits() {
+                return Err(format!("({lo}, {}]: {x} vs {y}", lo + span));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Quiesced oracle: replay `upto` updates, staging at the logged points
+/// and blocking-compacting the first `swaps` of them (a staged-but-
+/// unswapped rebuild is bitwise-transparent — the PR 3 contract).
+fn replay_oracle(
+    n_base: usize,
+    delta: f64,
+    limit: usize,
+    updates: &[Update],
+    stage_log: &[u64],
+    upto: u64,
+    swaps: u64,
+) -> DynamicPolyFitSum {
+    let mut o =
+        DynamicPolyFitSum::new(base_records(n_base), delta, capped_config(), limit).unwrap();
+    o.set_step_budget(0);
+    let mut si = 0usize;
+    for (i, &u) in updates.iter().take(upto as usize).enumerate() {
+        match u {
+            Update::Insert { key, measure } => o.insert(key, measure),
+            Update::Delete { key, measure } => o.delete(key, measure),
+        }
+        while si < stage_log.len() && stage_log[si] <= (i + 1) as u64 {
+            if (si as u64) < swaps {
+                assert!(o.begin_compaction(), "logged stage {si} must have work");
+                o.compact_now();
+            }
+            si += 1;
+        }
+    }
+    o
+}
+
+// ---------------------------------------------------------------------------
+// Spec/schedule plumbing through the public surface
+// ---------------------------------------------------------------------------
+
+#[test]
+fn schedules_roundtrip_through_display_and_parse() {
+    let _g = serial();
+    for seed in 0..64u64 {
+        let s = Schedule::random(
+            seed,
+            &[
+                ("dynamic.step.skip", &["trigger"]),
+                ("serve.fence.skip", &["trigger"]),
+                ("wal.fsync.err", &["error"]),
+                ("shard.worker.panic", &["panic", "delay(2)"]),
+            ],
+        );
+        let text = s.to_string();
+        let back = Schedule::parse(&text).unwrap();
+        assert_eq!(s, back, "seed {seed}: '{text}' did not roundtrip");
+        assert!(!s.0.is_empty() && s.0.len() <= 3);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic layer: compaction aborted / delayed / starved, swap panics
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Non-fatal dynamic-layer schedules: staging aborts, skipped and
+    /// starved rebuild steps, and a delayed swap may postpone compaction
+    /// arbitrarily — but the index must stay bitwise-equal to the
+    /// quiesced oracle replay of what *actually* happened (the stage
+    /// log + swap count are the provenance).
+    #[test]
+    fn dynamic_schedules_stay_bitwise_equal(seed in 0u64..u64::MAX) {
+        let _g = serial();
+        let _d = Disarm;
+        let schedule = Schedule::random(seed, &[
+            ("dynamic.stage.abort", &["trigger"]),
+            ("dynamic.step.skip", &["trigger"]),
+            ("dynamic.step.starve", &["trigger"]),
+            ("dynamic.swap.panic", &["delay(1)"]),
+        ]);
+        schedule.install().unwrap();
+
+        let mut live =
+            DynamicPolyFitSum::new(base_records(300), 8.0, capped_config(), 10).unwrap();
+        live.set_step_budget(0);
+        let stream = update_stream(40);
+        let mut updates = Vec::new();
+        let mut stage_log: Vec<u64> = Vec::new();
+        for (i, &(ins, k, m)) in stream.iter().enumerate() {
+            if ins {
+                live.insert(k, m);
+                updates.push(Update::Insert { key: k, measure: m });
+            } else {
+                live.delete(k, m);
+                updates.push(Update::Delete { key: k, measure: m });
+            }
+            if i % 6 == 5 {
+                if live.begin_compaction() {
+                    stage_log.push((i + 1) as u64);
+                }
+                live.step_compaction(24);
+            }
+        }
+        // Coverage proof first (reset clears the counters): every armed
+        // site was actually evaluated during the live run. The swap site
+        // is exempt — a schedule that aborts or starves compaction
+        // legitimately never reaches a swap (the dedicated swap-panic
+        // test covers it deterministically).
+        for (site, _) in &schedule.0 {
+            prop_assert!(
+                site == "dynamic.swap.panic" || failpoint::hits(site) > 0,
+                "site {} never hit", site
+            );
+        }
+        // The oracle replays quiesced — injection must not reach it.
+        failpoint::reset();
+        let swaps = live.rebuilds() as u64;
+        let oracle = replay_oracle(
+            300, 8.0, 10, &updates, &stage_log, updates.len() as u64, swaps,
+        );
+        prop_assert_eq!(live.rebuilds(), oracle.rebuilds(), "schedule {}", schedule);
+        if let Err(msg) = assert_bitwise_equal(&live, &oracle) {
+            prop_assert!(false, "schedule '{}': {}", schedule, msg);
+        }
+    }
+}
+
+/// A panic at the swap instant — after the rebuild completed, before
+/// the in-memory install and its WAL checkpoint. Recovery must land on
+/// the pre-swap journal, bitwise-equal to a never-crashed control that
+/// simply never compacted there.
+#[test]
+fn swap_panic_recovers_bitwise_to_preswap_journal() {
+    let _g = serial();
+    let _d = Disarm;
+    let dir = fresh_wal_dir("swap-panic");
+    let mut live = DynamicPolyFitSum::new(base_records(300), 8.0, capped_config(), 10).unwrap();
+    live.set_step_budget(0);
+    live.attach_wal(&dir, "t", SyncPolicy::EveryUpdate, 0).unwrap();
+    let stream = update_stream(30);
+    let mut applied = Vec::new();
+    let mut completed_swaps: Vec<u64> = Vec::new();
+    for (i, &(ins, k, m)) in stream.iter().enumerate() {
+        if ins {
+            live.insert(k, m);
+            applied.push(Update::Insert { key: k, measure: m });
+        } else {
+            live.delete(k, m);
+            applied.push(Update::Delete { key: k, measure: m });
+        }
+        if i == 11 && live.begin_compaction() {
+            live.compact_now(); // a completed, checkpointed swap first
+            completed_swaps.push(applied.len() as u64);
+        }
+        if i == 23 {
+            failpoint::configure("dynamic.swap.panic", "once:panic").unwrap();
+            if live.begin_compaction() {
+                let died = catch_unwind(AssertUnwindSafe(|| live.compact_now()));
+                assert!(died.is_err(), "armed swap must panic");
+            }
+        }
+    }
+    assert_eq!(failpoint::fired("dynamic.swap.panic"), 1);
+    failpoint::reset();
+    let (rec, report) = DynamicPolyFitSum::recover(&dir, "t").unwrap();
+    assert_eq!(report.head_seq, applied.len() as u64, "every acked update survives");
+    // Control: the same stream with only the *completed* swap — the
+    // panicked one never checkpointed, so recovery must not see it.
+    let oracle = replay_oracle(
+        300,
+        8.0,
+        10,
+        &applied,
+        &completed_swaps,
+        applied.len() as u64,
+        completed_swaps.len() as u64,
+    );
+    assert_eq!(rec.rebuilds(), oracle.rebuilds());
+    assert_bitwise_equal(&rec, &oracle).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Serve loop: stalls, oversized batches, skipped fences, drain panics
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Non-fatal serve-loop schedules over a live `DynamicServer` with a
+    /// WAL attached: stalled sweeps (queue backlog), batches that ignore
+    /// `max_batch`, and ack fences skipped-then-forced. Every served
+    /// answer must replay bitwise at its provenance, the handed-back
+    /// index must equal the full replay, and recovery from the WAL must
+    /// equal the handed-back index — the skipped fence was forced at
+    /// shutdown, never elided.
+    #[test]
+    fn serve_schedules_stay_bitwise_equal(seed in 0u64..u64::MAX) {
+        let _g = serial();
+        let _d = Disarm;
+        let schedule = Schedule::random(seed, &[
+            ("serve.loop.stall", &["delay(2)"]),
+            ("serve.batch.oversize", &["trigger"]),
+            ("serve.fence.skip", &["trigger"]),
+            ("serve.drain.panic", &["delay(1)"]),
+        ]);
+        schedule.install().unwrap();
+
+        let dir = fresh_wal_dir("serve-sched");
+        let mut index =
+            DynamicPolyFitSum::new(base_records(300), 8.0, capped_config(), 10).unwrap();
+        index.set_step_budget(0);
+        index.attach_wal(&dir, "t", SyncPolicy::Batch, 0).unwrap();
+        let server = polyfit_suite::polyfit::DynamicServer::start(
+            index,
+            DynamicServeConfig {
+                deadline: Duration::from_micros(30),
+                max_batch: 4,
+                compaction_budget: 48,
+            },
+        );
+        let (tx, rx) = mpsc::channel::<(f64, f64)>();
+        let qh = server.handle();
+        let client = std::thread::spawn(move || {
+            let mut seen = Vec::new();
+            for (lo, hi) in rx {
+                seen.push((lo, hi, qh.query_served(lo, hi)));
+            }
+            seen
+        });
+        let writer = server.handle();
+        let mut updates = Vec::new();
+        for (i, &(ins, k, m)) in update_stream(36).iter().enumerate() {
+            if ins {
+                writer.insert(k, m).unwrap();
+                updates.push(Update::Insert { key: k, measure: m });
+            } else {
+                writer.delete(k, m).unwrap();
+                updates.push(Update::Delete { key: k, measure: m });
+            }
+            if i % 4 == 0 {
+                let lo = -150.0 + (i as f64 * 11.0) % 280.0;
+                tx.send((lo, lo + 60.0)).unwrap();
+            }
+        }
+        drop(tx);
+        let observed = client.join().expect("client thread panicked");
+        let stage_log = server.stage_log();
+        let (final_index, _stats) = server.shutdown();
+
+        for (i, &(lo, hi, served)) in observed.iter().enumerate() {
+            prop_assert!(!served.poisoned, "schedule '{}': query {} poisoned", schedule, i);
+            let oracle = replay_oracle(
+                300, 8.0, 10, &updates, &stage_log,
+                served.updates_applied, served.rebuilds,
+            );
+            let expect = AggregateIndex::query(&oracle, lo, hi);
+            prop_assert_eq!(
+                served.answer.map(|a| a.value.to_bits()),
+                expect.map(|a| a.value.to_bits()),
+                "schedule '{}': query {} ({}, {}] at ({}, {})",
+                schedule, i, lo, hi, served.updates_applied, served.rebuilds
+            );
+        }
+        let oracle = replay_oracle(
+            300, 8.0, 10, &updates, &stage_log,
+            updates.len() as u64, final_index.rebuilds() as u64,
+        );
+        if let Err(msg) = assert_bitwise_equal(&final_index, &oracle) {
+            prop_assert!(false, "schedule '{}': final state: {}", schedule, msg);
+        }
+        // Durability: the WAL fence can be delayed, never lost. Disarm
+        // before recovering so injection cannot touch the replay.
+        failpoint::reset();
+        let (rec, report) = DynamicPolyFitSum::recover(&dir, "t").unwrap();
+        prop_assert_eq!(report.head_seq, updates.len() as u64,
+            "schedule '{}': shutdown must force the skipped fence", schedule);
+        if let Err(msg) = assert_bitwise_equal(&rec, &final_index) {
+            prop_assert!(false, "schedule '{}': recovery: {}", schedule, msg);
+        }
+    }
+}
+
+/// A panic while draining updates — the worst crash point of the serve
+/// loop: a window was accepted but never applied or journaled. Tickets
+/// poison (never acknowledge), and recovery replays exactly the synced
+/// prefix, bitwise.
+#[test]
+fn drain_panic_poisons_tickets_and_recovers_synced_prefix() {
+    let _g = serial();
+    let _d = Disarm;
+    let dir = fresh_wal_dir("drain-panic");
+    let mut index = DynamicPolyFitSum::new(base_records(300), 8.0, capped_config(), 1_000).unwrap();
+    index.set_step_budget(0);
+    index.attach_wal(&dir, "t", SyncPolicy::EveryUpdate, 0).unwrap();
+    failpoint::configure("serve.drain.panic", "3:panic").unwrap();
+    let server = polyfit_suite::polyfit::DynamicServer::start(
+        index,
+        DynamicServeConfig {
+            deadline: Duration::from_micros(30),
+            max_batch: 4,
+            compaction_budget: 0,
+        },
+    );
+    let writer = server.handle();
+    let stream = update_stream(24);
+    for &(ins, k, m) in &stream {
+        // Once the loop dies, the fail-stop guard closes the queue and
+        // later submissions panic by the shutdown contract — loud
+        // refusal, not a silent enqueue into a dead server.
+        let pushed = catch_unwind(AssertUnwindSafe(|| {
+            if ins {
+                writer.insert(k, m).unwrap();
+            } else {
+                writer.delete(k, m).unwrap();
+            }
+        }));
+        if pushed.is_err() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // A query against the dead loop resolves poisoned or is refused
+    // loudly — it must never hang and never answer wrong.
+    // An Err here means the queue was already fail-stopped: refused
+    // loudly, which satisfies the same contract.
+    if let Ok(served) = catch_unwind(AssertUnwindSafe(|| writer.query_served(-50.0, 50.0))) {
+        assert!(served.poisoned || served.answer.is_some());
+    }
+    let shutdown = catch_unwind(AssertUnwindSafe(move || server.shutdown()));
+    assert!(shutdown.is_err(), "shutdown re-raises the loop panic");
+    assert!(failpoint::fired("serve.drain.panic") >= 1, "the armed drain panic fired");
+    failpoint::reset();
+    // Recovery: whatever prefix the journal synced, replayed bitwise.
+    let (rec, report) = DynamicPolyFitSum::recover(&dir, "t").unwrap();
+    let n = report.head_seq as usize;
+    assert!(n <= stream.len());
+    let mut oracle =
+        DynamicPolyFitSum::new(base_records(300), 8.0, capped_config(), 1_000).unwrap();
+    oracle.set_step_budget(0);
+    for &(ins, k, m) in &stream[..n] {
+        if ins {
+            oracle.insert(k, m);
+        } else {
+            oracle.delete(k, m);
+        }
+    }
+    assert_eq!(rec.buffered(), oracle.buffered());
+    assert_bitwise_equal(&rec, &oracle).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Shard layer: rebalance races, push-failure storms, worker death
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Non-fatal shard schedules: delays stretched across every step of
+    /// the split/merge protocol (cutover-to-publish window, post-close
+    /// straggler window, merge handoff) and a stalled `process_batch`.
+    /// Splits race live traffic the whole time; every answer must still
+    /// match the [`ShardedOracle`] bitwise.
+    #[test]
+    fn shard_schedules_stay_bitwise_equal(seed in 0u64..u64::MAX) {
+        let _g = serial();
+        let _d = Disarm;
+        let schedule = Schedule::random(seed, &[
+            ("shard.split.pre_publish", &["delay(2)"]),
+            ("shard.split.post_close", &["delay(2)"]),
+            ("shard.merge.handoff", &["delay(2)"]),
+            ("shard.worker.panic", &["delay(1)"]),
+        ]);
+        schedule.install().unwrap();
+
+        let cfg = ShardConfig {
+            shards: 1,
+            deadline: Duration::from_micros(30),
+            max_batch: 8,
+            compaction_budget: 48,
+            buffer_limit: 12,
+            split_threshold: 340,
+            max_shards: 6,
+            record_history: true,
+            ..ShardConfig::default()
+        };
+        let server =
+            ShardedServer::start(base_records(600), 8.0, capped_config(), cfg).unwrap();
+        let writer = server.handle();
+        let mut observed = Vec::new();
+        for (i, &(ins, k, m)) in update_stream(48).iter().enumerate() {
+            if ins {
+                writer.insert(k, m).unwrap();
+            } else {
+                writer.delete(k, m).unwrap();
+            }
+            if i % 4 == 0 {
+                let lo = -150.0 + (i as f64 * 13.0) % 280.0;
+                observed.push((lo, lo + 80.0, writer.query_served(lo, lo + 80.0)));
+            }
+        }
+        // Domain-spanning probes force scatter-gather across whatever
+        // layout the races produced.
+        for &(lo, hi) in &[(-250.0, 300.0), (-40.0, 40.0), (f64::NEG_INFINITY, 0.0)] {
+            observed.push((lo, hi, writer.query_served(lo, hi)));
+        }
+        let oracle = server.oracle();
+        for (i, (lo, hi, served)) in observed.iter().enumerate() {
+            prop_assert!(!served.poisoned,
+                "schedule '{}': query {} ({}, {}] poisoned", schedule, i, lo, hi);
+            prop_assert!(
+                oracle.matches(served),
+                "schedule '{}': query {} ({}, {}]: {:?} vs {:?}",
+                schedule, i, lo, hi, served.answer, oracle.expected(served)
+            );
+        }
+        server.shutdown();
+    }
+}
+
+/// A bounded push-failure storm: every k-th enqueue is rejected as if
+/// the queue had closed. Submitters and straggler-forwarding must hand
+/// the request back losslessly and retry — no lost update, no dropped
+/// query, answers bitwise vs the oracle.
+#[test]
+fn push_failure_storm_loses_nothing() {
+    let _g = serial();
+    let _d = Disarm;
+    failpoint::configure("shard.queue.push_fail", "*3:trigger").unwrap();
+    let cfg = ShardConfig {
+        shards: 2,
+        deadline: Duration::from_micros(30),
+        max_batch: 8,
+        compaction_budget: 48,
+        buffer_limit: 12,
+        split_threshold: 340,
+        max_shards: 6,
+        record_history: true,
+        ..ShardConfig::default()
+    };
+    let server = ShardedServer::start(base_records(600), 8.0, capped_config(), cfg).unwrap();
+    let writer = server.handle();
+    let mut observed = Vec::new();
+    for (i, &(ins, k, m)) in update_stream(60).iter().enumerate() {
+        if ins {
+            writer.insert(k, m).unwrap();
+        } else {
+            writer.delete(k, m).unwrap();
+        }
+        if i % 5 == 0 {
+            let lo = -150.0 + (i as f64 * 17.0) % 280.0;
+            observed.push((lo, lo + 70.0, writer.query_served(lo, lo + 70.0)));
+        }
+    }
+    assert!(failpoint::fired("shard.queue.push_fail") > 0, "the storm actually fired");
+    let oracle = server.oracle();
+    for (i, (lo, hi, served)) in observed.iter().enumerate() {
+        assert!(!served.poisoned, "query {i} ({lo}, {hi}] poisoned");
+        assert!(
+            oracle.matches(served),
+            "query {i} ({lo}, {hi}]: {:?} vs {:?}",
+            served.answer,
+            oracle.expected(served)
+        );
+    }
+    server.shutdown();
+}
+
+/// Worker death mid-batch: the server must fail-stop — parked clients
+/// wake with *poisoned* answers (never wrong ones, never a hang), and
+/// shutdown still completes. Answers served before the death must still
+/// match the oracle.
+#[test]
+fn worker_panic_fail_stops_poisoned_not_wrong() {
+    let _g = serial();
+    let _d = Disarm;
+    failpoint::configure("shard.worker.panic", "4:panic").unwrap();
+    let cfg = ShardConfig {
+        shards: 2,
+        deadline: Duration::from_micros(30),
+        max_batch: 8,
+        compaction_budget: 0,
+        record_history: true,
+        ..ShardConfig::default()
+    };
+    let server = ShardedServer::start(base_records(600), 8.0, capped_config(), cfg).unwrap();
+    let writer = server.handle();
+    let mut observed = Vec::new();
+    for (i, &(ins, k, m)) in update_stream(48).iter().enumerate() {
+        // After the fail-stop flips the server closed, `update` panics
+        // by contract ("server has shut down") — tolerate and stop.
+        let pushed = catch_unwind(AssertUnwindSafe(|| {
+            if ins {
+                writer.insert(k, m).unwrap();
+            } else {
+                writer.delete(k, m).unwrap();
+            }
+        }));
+        if pushed.is_err() {
+            break;
+        }
+        if i % 3 == 0 {
+            let lo = -150.0 + (i as f64 * 19.0) % 280.0;
+            observed.push((lo, lo + 60.0, writer.query_served(lo, lo + 60.0)));
+        }
+    }
+    assert_eq!(failpoint::fired("shard.worker.panic"), 1, "the armed panic fired");
+    // Late queries resolve (poisoned), they do not hang.
+    observed.push((-250.0, 300.0, writer.query_served(-250.0, 300.0)));
+    let oracle = server.oracle();
+    let mut poisoned = 0usize;
+    for (i, (lo, hi, served)) in observed.iter().enumerate() {
+        if served.poisoned {
+            assert!(served.answer.is_none(), "poisoned answers carry no value");
+            poisoned += 1;
+            continue;
+        }
+        assert!(
+            oracle.matches(served),
+            "query {i} ({lo}, {hi}]: {:?} vs {:?}",
+            served.answer,
+            oracle.expected(served)
+        );
+    }
+    assert!(poisoned >= 1, "the in-flight window must poison, not vanish");
+    server.shutdown(); // joins the dead worker tolerantly — must return
+}
+
+// ---------------------------------------------------------------------------
+// WAL: injected write/fsync faults are fail-stop; recovery stays bitwise
+// ---------------------------------------------------------------------------
+
+/// fsyncgate: the first failed fsync permanently fail-stops the
+/// journal. No retry, no silent success — later syncs keep failing,
+/// later appends panic, and the error chain names the injection site.
+#[test]
+fn injected_fsync_error_is_sticky_fail_stop() {
+    let _g = serial();
+    let _d = Disarm;
+    let dir = fresh_wal_dir("fsyncgate");
+    let mut live = DynamicPolyFitSum::new(base_records(200), 8.0, capped_config(), 1_000).unwrap();
+    live.set_step_budget(0);
+    live.attach_wal(&dir, "t", SyncPolicy::Batch, 0).unwrap();
+    live.insert(1.0, 2.0);
+    live.wal_sync().unwrap(); // clean sync first: the fault is not ambient
+    live.insert(2.0, 3.0);
+    failpoint::configure("wal.fsync.err", "once:error").unwrap();
+    let err = live.wal_sync().expect_err("armed fsync must fail");
+    let io = match err {
+        WalError::Io(e) => e,
+        other => panic!("expected a typed I/O error, got {other}"),
+    };
+    assert!(failpoint::is_injected(&io), "error chain must name the injection: {io}");
+    // Sticky: the failpoint fired once, but the journal stays dead.
+    let err2 = live.wal_sync().expect_err("a fail-stopped journal must not retry");
+    assert!(err2.to_string().contains("fail-stopped"), "got: {err2}");
+    let append = catch_unwind(AssertUnwindSafe(|| live.insert(3.0, 4.0)));
+    assert!(append.is_err(), "appends after fail-stop must panic, not buffer silently");
+    failpoint::reset();
+    // Recovery: the cleanly synced insert MUST survive. The insert whose
+    // fence failed was written but never fsync-acknowledged — it may
+    // survive (the write reached the file before the failed barrier) or
+    // not; both are honest crash states. What fail-stop rules out is
+    // acknowledging it: nothing after the failed fence was ever acked.
+    let (rec, report) = DynamicPolyFitSum::recover(&dir, "t").unwrap();
+    assert!(
+        (1..=2).contains(&report.head_seq),
+        "synced prefix lost or unappended data invented: {report:?}"
+    );
+    assert_eq!(rec.buffered() as u64, report.head_seq);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Storage-fault schedule exploration over the whole WAL fault
+    /// model: write errors, fsync errors, short (in-frame torn) writes,
+    /// misdirected writes, and duplicated segment writes. Every
+    /// schedule must end in one of exactly two outcomes per update —
+    /// acknowledged (survives recovery bitwise) or fail-stopped (panic
+    /// with a typed cause, lost like a crash) — and recovery must be
+    /// bitwise-equal to replaying the surviving prefix. Position-keyed
+    /// checksums turn duplicated/misdirected frames into ordinary
+    /// torn-tail cuts instead of silent double-applies.
+    #[test]
+    fn wal_fault_schedules_recover_bitwise_prefix(seed in 0u64..u64::MAX) {
+        let _g = serial();
+        let _d = Disarm;
+        let schedule = Schedule::random(seed, &[
+            ("wal.write.err", &["error"]),
+            ("wal.fsync.err", &["error"]),
+            ("wal.write.short", &["error"]),
+            ("wal.write.misdirect", &["trigger"]),
+            ("wal.write.duplicate", &["trigger"]),
+        ]);
+        let dir = fresh_wal_dir("wal-sched");
+        let mut live =
+            DynamicPolyFitSum::new(base_records(200), 8.0, capped_config(), 1_000).unwrap();
+        live.set_step_budget(0);
+        live.attach_wal(&dir, "t", SyncPolicy::EveryUpdate, 0).unwrap();
+        schedule.install().unwrap();
+        let stream = update_stream(24);
+        let mut attempted = 0usize;
+        for &(ins, k, m) in &stream {
+            attempted += 1;
+            let ok = catch_unwind(AssertUnwindSafe(|| {
+                if ins { live.insert(k, m) } else { live.delete(k, m) }
+            }));
+            if ok.is_err() {
+                break; // fail-stop: typed panic, workload over
+            }
+        }
+        failpoint::reset();
+        let (rec, report) = DynamicPolyFitSum::recover(&dir, "t").unwrap();
+        let n = report.head_seq as usize;
+        // Recovery yields a *prefix of the append order*, nothing
+        // invented. Within that: silent faults (misdirect/duplicate) may
+        // cost acked updates — that is what the fault means — and a
+        // failed fence may leave its un-acked write behind (the bytes
+        // reached the file before the barrier failed). Both directions
+        // are honest crash states; a non-prefix is not.
+        prop_assert!(
+            n <= attempted,
+            "schedule '{}': {} recovered > {} appended", schedule, n, attempted
+        );
+        let mut oracle =
+            DynamicPolyFitSum::new(base_records(200), 8.0, capped_config(), 1_000).unwrap();
+        oracle.set_step_budget(0);
+        for &(ins, k, m) in &stream[..n] {
+            if ins { oracle.insert(k, m) } else { oracle.delete(k, m) }
+        }
+        prop_assert_eq!(rec.buffered(), oracle.buffered(), "schedule '{}'", schedule);
+        if let Err(msg) = assert_bitwise_equal(&rec, &oracle) {
+            prop_assert!(false, "schedule '{}': {}", schedule, msg);
+        }
+        // A second recovery is clean and identical (truncate-at-
+        // corruption is physical).
+        let (rec2, report2) = DynamicPolyFitSum::recover(&dir, "t").unwrap();
+        prop_assert_eq!(report2.truncated_bytes, 0);
+        prop_assert_eq!(report2.head_seq, report.head_seq);
+        if let Err(msg) = assert_bitwise_equal(&rec2, &rec) {
+            prop_assert!(false, "schedule '{}': second recovery: {}", schedule, msg);
+        }
+    }
+}
+
+/// Deterministic sweep for the CI grep-gate: enumerate a fixed seed
+/// range, count the schedules that armed *and fired* an injected fsync
+/// error, and print the tally. CI greps for a non-zero count, so the
+/// fsyncgate path can never silently fall out of the explored set.
+#[test]
+fn fsync_error_schedules_are_explored() {
+    let _g = serial();
+    let _d = Disarm;
+    let mut fsync_error_schedules = 0usize;
+    for seed in 0..24u64 {
+        let schedule = Schedule::random(
+            seed,
+            &[
+                ("wal.write.err", &["error"]),
+                ("wal.fsync.err", &["error"]),
+                ("wal.write.short", &["error"]),
+                ("wal.write.misdirect", &["trigger"]),
+                ("wal.write.duplicate", &["trigger"]),
+            ],
+        );
+        let dir = fresh_wal_dir("fsync-gate");
+        let mut live =
+            DynamicPolyFitSum::new(base_records(200), 8.0, capped_config(), 1_000).unwrap();
+        live.set_step_budget(0);
+        live.attach_wal(&dir, "t", SyncPolicy::EveryUpdate, 0).unwrap();
+        schedule.install().unwrap();
+        for &(ins, k, m) in &update_stream(16) {
+            let ok = catch_unwind(AssertUnwindSafe(|| {
+                if ins {
+                    live.insert(k, m)
+                } else {
+                    live.delete(k, m)
+                }
+            }));
+            if ok.is_err() {
+                break;
+            }
+        }
+        if schedule.arms_site("wal.fsync.err") && failpoint::fired("wal.fsync.err") > 0 {
+            fsync_error_schedules += 1;
+        }
+        failpoint::reset();
+        // Every schedule still recovers to *something* valid.
+        let (_rec, report) = DynamicPolyFitSum::recover(&dir, "t").unwrap();
+        assert!(report.head_seq <= 16);
+    }
+    println!("injected-fsync-error schedules run: {fsync_error_schedules}");
+    assert!(fsync_error_schedules >= 1, "the sweep must exercise the fsyncgate path");
+}
+
+/// The serve loop on top of an injected fsync error: group commit at an
+/// ack point hits the dead device, the loop fail-stops (panic, poisoned
+/// tickets), and recovery yields the synced prefix — never an
+/// acknowledged-but-lost update.
+#[test]
+fn serve_loop_fail_stops_on_injected_fsync_error() {
+    let _g = serial();
+    let _d = Disarm;
+    let dir = fresh_wal_dir("serve-fsync");
+    let mut index = DynamicPolyFitSum::new(base_records(300), 8.0, capped_config(), 1_000).unwrap();
+    index.set_step_budget(0);
+    index.attach_wal(&dir, "t", SyncPolicy::Batch, 0).unwrap();
+    failpoint::configure("wal.fsync.err", "2:error").unwrap();
+    let server = polyfit_suite::polyfit::DynamicServer::start(
+        index,
+        DynamicServeConfig {
+            deadline: Duration::from_micros(30),
+            max_batch: 4,
+            compaction_budget: 0,
+        },
+    );
+    let writer = server.handle();
+    let stream = update_stream(30);
+    let mut submitted = 0usize;
+    for &(ins, k, m) in &stream {
+        let step = catch_unwind(AssertUnwindSafe(|| {
+            if ins {
+                writer.insert(k, m).unwrap();
+            } else {
+                writer.delete(k, m).unwrap();
+            }
+            // A query forces an ack-point fence for this window.
+            writer.query_served(-50.0, 50.0)
+        }));
+        match step {
+            Ok(served) if !served.poisoned => submitted += 1,
+            _ => break, // fail-stopped: poisoned ticket or loud refusal
+        }
+    }
+    let shutdown = catch_unwind(AssertUnwindSafe(move || server.shutdown()));
+    assert!(shutdown.is_err(), "the loop must re-raise the fail-stop panic");
+    assert!(failpoint::fired("wal.fsync.err") >= 1);
+    assert!(submitted < stream.len(), "the dead fence must stop the stream");
+    failpoint::reset();
+    // Every acknowledged window was fenced before its ticket resolved,
+    // so all of them must survive; the window whose fence failed may or
+    // may not (written, never acked). Nothing beyond it exists.
+    let (_rec, report) = DynamicPolyFitSum::recover(&dir, "t").unwrap();
+    assert!(
+        (report.head_seq as usize) >= submitted && (report.head_seq as usize) <= stream.len(),
+        "acked windows lost or unappended data invented: {} vs {} acked",
+        report.head_seq,
+        submitted
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: typed NoJournal errors on empty/missing WAL directories
+// ---------------------------------------------------------------------------
+
+#[test]
+fn recover_on_missing_or_empty_dir_is_a_typed_error() {
+    let _g = serial();
+    let missing = fresh_wal_dir("nojournal-missing");
+    match DynamicPolyFitSum::recover(&missing, "t") {
+        Err(WalError::NoJournal(p)) => assert_eq!(p, missing),
+        other => panic!("expected NoJournal, got {other:?}"),
+    }
+    let empty = fresh_wal_dir("nojournal-empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    match DynamicPolyFitSum::recover(&empty, "t") {
+        Err(WalError::NoJournal(p)) => assert_eq!(p, empty),
+        other => panic!("expected NoJournal, got {other:?}"),
+    }
+    match ShardedServer::recover(&empty, ShardConfig::default(), SyncPolicy::Batch) {
+        Err(WalError::NoJournal(p)) => assert_eq!(p, empty),
+        Ok(_) => panic!("expected NoJournal, got a server"),
+        Err(other) => panic!("expected NoJournal, got {other}"),
+    }
+    // The message names the path — that is the whole point.
+    let msg = WalError::NoJournal(empty.clone()).to_string();
+    assert!(msg.contains(empty.to_str().unwrap()), "got: {msg}");
+    let _ = pwal::scan_wal; // keep the wal import tied to this suite
+}

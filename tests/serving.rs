@@ -567,3 +567,233 @@ fn mixed_zero_streams_recover_bitwise() {
     // The strongest form: the serialized states are byte-identical.
     assert_eq!(rec.to_bytes(), live.to_bytes(), "recovered PFD2 bytes differ");
 }
+
+// ---------------------------------------------------------------------------
+// Streaming aggregates: sliding windows and the AVG/MIN drivers
+// ---------------------------------------------------------------------------
+
+/// A sliding-window SUM stream through the dynamic serve loop: each step
+/// inserts at the leading edge, deletes the trailing edge once the
+/// window is full, and periodically queries exactly the live window.
+/// Every answer must replay bitwise at its provenance — the window
+/// bookkeeping (delete-on-slide) rides the same update queue as any
+/// other write, so a lagging drain or mid-window compaction must never
+/// smear adjacent windows together.
+#[test]
+fn sliding_window_sum_stream_matches_quiesced_replay() {
+    let key_of = |t: usize| t as f64 * 0.5 - 90.0;
+    let measure_of = |t: usize| 1.0 + (t % 5) as f64 * 0.25;
+    const WINDOW: usize = 40;
+    let index = DynamicPolyFitSum::new(base_records(600), 8.0, capped_config(), 10).unwrap();
+    let server = polyfit_suite::polyfit::DynamicServer::start(
+        index,
+        DynamicServeConfig {
+            deadline: Duration::from_micros(30),
+            max_batch: 8,
+            compaction_budget: 48,
+        },
+    );
+    let writer = server.handle();
+    let mut updates: Vec<Update> = Vec::new();
+    let mut observed = Vec::new();
+    for t in 0..130usize {
+        let (k, m) = (key_of(t), measure_of(t));
+        writer.insert(k, m).unwrap();
+        updates.push(Update::Insert { key: k, measure: m });
+        if t >= WINDOW {
+            let (ok, om) = (key_of(t - WINDOW), measure_of(t - WINDOW));
+            writer.delete(ok, om).unwrap();
+            updates.push(Update::Delete { key: ok, measure: om });
+        }
+        if t % 5 == 4 {
+            // The half-open window (key(t-WINDOW), key(t)] — exactly the
+            // live entries, trailing edge excluded.
+            let lo = if t >= WINDOW { key_of(t - WINDOW) } else { f64::NEG_INFINITY };
+            observed.push((lo, key_of(t), writer.query_served(lo, key_of(t))));
+        }
+    }
+    let stage_log = server.stage_log();
+    let (final_index, _stats) = server.shutdown();
+    for (i, &(lo, hi, served)) in observed.iter().enumerate() {
+        assert!(!served.poisoned, "window {i} poisoned");
+        let oracle =
+            replay_oracle(8.0, 10, &updates, &stage_log, served.updates_applied, served.rebuilds);
+        let expect = AggregateIndex::query(&oracle, lo, hi);
+        assert_eq!(
+            served.answer.map(|a| a.value.to_bits()),
+            expect.map(|a| a.value.to_bits()),
+            "window {i} ({lo}, {hi}] at provenance ({}, {})",
+            served.updates_applied,
+            served.rebuilds
+        );
+    }
+    let oracle = replay_oracle(
+        8.0,
+        10,
+        &updates,
+        &stage_log,
+        updates.len() as u64,
+        final_index.rebuilds() as u64,
+    );
+    assert_eq!(final_index.buffered(), oracle.buffered());
+    assert_bitwise_equal(&final_index, &oracle).unwrap();
+}
+
+/// The AVG and MIN drivers behind the static serve loop: any
+/// [`AggregateIndex`] serves through the same batching machinery, and
+/// the answers must be bitwise-identical to direct queries — including
+/// AVG's certified error bound and MIN over degenerate/reversed bounds.
+#[test]
+fn avg_and_min_drivers_serve_bitwise() {
+    let drivers: Vec<SharedIndex> = vec![
+        Arc::new(GuaranteedAvg::with_abs_guarantees(base_records(500), 4.0, 4.0, capped_config())),
+        Arc::new(GuaranteedMin::with_abs_guarantee(base_records(500), 4.0, capped_config())),
+    ];
+    for index in drivers {
+        let server = polyfit_suite::polyfit::Server::start(
+            Arc::clone(&index),
+            ServeConfig { workers: 2, deadline: Duration::from_micros(40), max_batch: 8 },
+        );
+        let handle = server.handle();
+        for s in 0..60usize {
+            let (lo, hi) = endpoints_of(s * 17, s * 23 + 5);
+            let served = handle.query_served(lo, hi);
+            let direct = index.query(lo, hi);
+            assert_eq!(
+                served.answer.map(|a| a.value.to_bits()),
+                direct.map(|a| a.value.to_bits()),
+                "{}/{:?} ({lo}, {hi}]",
+                index.name(),
+                index.kind()
+            );
+        }
+        server.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial key distributions through sharded serving
+// ---------------------------------------------------------------------------
+
+/// Every record and every update on ONE key: the split heuristic has no
+/// legal boundary (a shard cannot be cut inside a key), so the server
+/// must decline to split — not spin, not carve an empty shard — while
+/// measure-folding keeps every degenerate, covering, and missing-key
+/// query bitwise against the oracle.
+#[test]
+fn all_duplicate_keys_serve_and_decline_to_split() {
+    let records: Vec<Record> = (0..600).map(|i| Record::new(7.0, 1.0 + (i % 4) as f64)).collect();
+    let cfg = ShardConfig {
+        shards: 1,
+        deadline: Duration::from_micros(30),
+        max_batch: 8,
+        compaction_budget: 48,
+        buffer_limit: 12,
+        split_threshold: 340, // far exceeded — but there is nothing to cut
+        max_shards: 6,
+        record_history: true,
+        ..ShardConfig::default()
+    };
+    let server = ShardedServer::start(records, 8.0, capped_config(), cfg).unwrap();
+    let writer = server.handle();
+    let mut observed = Vec::new();
+    for i in 0..60usize {
+        if i % 4 == 3 {
+            writer.delete(7.0, 0.5).unwrap();
+        } else {
+            writer.insert(7.0, 1.0 + (i % 3) as f64).unwrap();
+        }
+        if i % 6 == 0 {
+            for &(lo, hi) in
+                &[(7.0, 7.0), (6.0, 8.0), (f64::NEG_INFINITY, f64::INFINITY), (8.0, 9.0)]
+            {
+                observed.push((lo, hi, writer.query_served(lo, hi)));
+            }
+        }
+    }
+    let stats = server.stats();
+    assert_eq!(stats.shards.len(), 1, "a single key must never split");
+    let oracle = server.oracle();
+    for (i, (lo, hi, served)) in observed.iter().enumerate() {
+        assert!(!served.poisoned, "query {i} ({lo}, {hi}] poisoned");
+        assert!(
+            oracle.matches(served),
+            "query {i} ({lo}, {hi}]: {:?} vs {:?}",
+            served.answer,
+            oracle.expected(served)
+        );
+    }
+    server.shutdown();
+}
+
+/// Keys tiled one ULP apart: shard boundaries, split points, and query
+/// clipping all land *between* adjacent representable doubles. Splits
+/// fire under live traffic, and answers — degenerate single-ULP probes,
+/// windows spanning a boundary, and full-domain scans — must stay
+/// bitwise against the per-shard replay oracle.
+#[test]
+fn one_ulp_key_tiling_shards_and_serves_bitwise() {
+    let mut keys = Vec::with_capacity(600);
+    let mut k = 1.0f64;
+    for _ in 0..600 {
+        keys.push(k);
+        k = k.next_up();
+    }
+    let records: Vec<Record> = keys.iter().map(|&k| Record::new(k, 2.0)).collect();
+    let cfg = ShardConfig {
+        shards: 1,
+        deadline: Duration::from_micros(30),
+        max_batch: 8,
+        compaction_budget: 48,
+        buffer_limit: 12,
+        split_threshold: 340, // 600 records: splits must fire
+        max_shards: 6,
+        record_history: true,
+        ..ShardConfig::default()
+    };
+    let server = ShardedServer::start(records, 8.0, capped_config(), cfg).unwrap();
+    let writer = server.handle();
+    let mut observed = Vec::new();
+    for i in 0..80usize {
+        let key = keys[(i * 37) % keys.len()];
+        if i % 5 == 2 {
+            writer.delete(key, 0.25).unwrap();
+        } else {
+            writer.insert(key, 1.5).unwrap();
+        }
+        if i % 4 == 0 {
+            let a = keys[(i * 13) % keys.len()];
+            let b = keys[(i * 29) % keys.len()];
+            observed.push((a, a, writer.query_served(a, a))); // one-ULP degenerate
+            let (lo, hi) = (a.min(b), a.max(b));
+            observed.push((lo, hi, writer.query_served(lo, hi)));
+        }
+    }
+    // Boundary-straddling probes against the settled layout: one ULP to
+    // either side of every shard bound.
+    let stats = server.stats();
+    for &b in &stats.bounds {
+        observed.push((
+            b.next_down(),
+            b.next_up(),
+            writer.query_served(b.next_down(), b.next_up()),
+        ));
+    }
+    observed.push((
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        writer.query_served(f64::NEG_INFINITY, f64::INFINITY),
+    ));
+    assert!(stats.shards.len() > 1, "the tiling must have split under load");
+    let oracle = server.oracle();
+    for (i, (lo, hi, served)) in observed.iter().enumerate() {
+        assert!(!served.poisoned, "query {i} ({lo}, {hi}] poisoned");
+        assert!(
+            oracle.matches(served),
+            "query {i} ({lo}, {hi}]: {:?} vs {:?}",
+            served.answer,
+            oracle.expected(served)
+        );
+    }
+    server.shutdown();
+}
