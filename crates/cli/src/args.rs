@@ -5,13 +5,17 @@ use std::fmt;
 /// Usage text shown on parse errors.
 pub const USAGE: &str = "\
 usage:
-  polyfit-cli build --input <data.csv> --output <index.pf> --aggregate <sum|count|max|min>
+  polyfit-cli build --input <data.csv> --output <index.pf>
+                --aggregate <sum|count|max|min|count2d>
                 --eps-abs <float> [--degree <1..8>] [--backend <exchange|chebyshev|simplex>]
                 [--threads <N>]   (0 or omitted = all available cores)
                 [--stats]         (sum/count: embed per-segment statistics)
                 [--dynamic]       (sum/count: write a dynamic PFD2 index that retains
                                    its records — required for --shards / --wal serving)
-  polyfit-cli query --index <index.pf> (--lo <float> --hi <float> | --batch-file <ranges.csv>)
+                [--grid <N>]      (count2d: CF lattice resolution, default 1024;
+                                   input rows are `u,v[,w]`)
+  polyfit-cli query --index <index.pf> (--lo <float> --hi <float>
+                | --rect <u_lo> <u_hi> <v_lo> <v_hi> | --batch-file <ranges.csv>)
   polyfit-cli serve --index <index.pf> --requests <ranges.csv>
                 [--clients <N>]   (request-submitting client threads, default 4)
                 [--workers <N>]   (serving workers, 0 or omitted = all cores)
@@ -28,7 +32,9 @@ usage:
   polyfit-cli recover --wal <dir> [--output <index.pf>]
   polyfit-cli info  --index <index.pf> [--wal <dir>]
 
-batch file: one `lo,hi` pair per line; answers print one per line in order.
+batch file: one `lo,hi` pair per line (2-D PFQ1 indexes: one
+`u_lo,u_hi,v_lo,v_hi` rectangle per line); answers print one per line in
+order.
 serve: replays the request file through the concurrent serving loop
 (deadline-batched query_batch execution) and reports per-request answers
 plus throughput; answers are verified bitwise against direct queries
@@ -46,6 +52,8 @@ pub enum Aggregate {
     Count,
     Max,
     Min,
+    /// Two-key rectangle COUNT (quadtree of bivariate patches, PFQ1).
+    Count2d,
 }
 
 /// A parsed command.
@@ -66,11 +74,19 @@ pub enum Command {
         /// Write a dynamic (PFD2) index that retains its record set —
         /// the file kind sharded and WAL-journaled serving require.
         dynamic: bool,
+        /// 2-D CF lattice resolution (count2d only).
+        grid: usize,
     },
     Query {
         index: String,
         lo: f64,
         hi: f64,
+    },
+    /// Answer one rectangle COUNT against a 2-D (PFQ1) index.
+    QueryRect {
+        index: String,
+        /// `(u_lo, u_hi, v_lo, v_hi)`.
+        rect: (f64, f64, f64, f64),
     },
     /// Answer every `lo,hi` range of a batch file through `query_batch`.
     QueryBatch {
@@ -148,9 +164,10 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 "count" => Aggregate::Count,
                 "max" => Aggregate::Max,
                 "min" => Aggregate::Min,
+                "count2d" => Aggregate::Count2d,
                 other => {
                     return Err(ParseError(format!(
-                        "unknown aggregate '{other}' (expected sum|count|max|min)"
+                        "unknown aggregate '{other}' (expected sum|count|max|min|count2d)"
                     )))
                 }
             };
@@ -176,6 +193,18 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                     .map_err(|_| ParseError(format!("--threads expects an integer, got '{s}'")))?,
                 None => 0, // auto: all available cores
             };
+            let grid = match flag_value(argv, "--grid") {
+                Some(s) => {
+                    let g: usize = s
+                        .parse()
+                        .map_err(|_| ParseError(format!("--grid expects an integer, got '{s}'")))?;
+                    if !(2..=8192).contains(&g) {
+                        return Err(ParseError("--grid must be between 2 and 8192".into()));
+                    }
+                    g
+                }
+                None => 1024,
+            };
             Ok(Command::Build {
                 input: required(argv, "--input")?.to_string(),
                 output: required(argv, "--output")?.to_string(),
@@ -186,17 +215,37 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 threads,
                 stats: argv.iter().any(|a| a == "--stats"),
                 dynamic: argv.iter().any(|a| a == "--dynamic"),
+                grid,
             })
         }
         "query" => {
             let index = required(argv, "--index")?.to_string();
+            let has_scalar =
+                flag_value(argv, "--lo").is_some() || flag_value(argv, "--hi").is_some();
+            let has_rect = argv.iter().any(|a| a == "--rect");
             if let Some(batch_file) = flag_value(argv, "--batch-file") {
-                if flag_value(argv, "--lo").is_some() || flag_value(argv, "--hi").is_some() {
+                if has_scalar || has_rect {
                     return Err(ParseError(
-                        "--batch-file conflicts with --lo/--hi (pick one query mode)".into(),
+                        "--batch-file conflicts with --lo/--hi/--rect (pick one query mode)".into(),
                     ));
                 }
                 return Ok(Command::QueryBatch { index, batch_file: batch_file.to_string() });
+            }
+            if has_rect {
+                if has_scalar {
+                    return Err(ParseError(
+                        "--rect conflicts with --lo/--hi (pick one query mode)".into(),
+                    ));
+                }
+                let at = argv.iter().position(|a| a == "--rect").expect("checked above");
+                let vals = argv.get(at + 1..at + 5).ok_or_else(|| {
+                    ParseError("--rect expects four numbers: u_lo u_hi v_lo v_hi".into())
+                })?;
+                let mut r = [0.0f64; 4];
+                for (slot, s) in r.iter_mut().zip(vals) {
+                    *slot = parse_f64(s, "--rect")?;
+                }
+                return Ok(Command::QueryRect { index, rect: (r[0], r[1], r[2], r[3]) });
             }
             Ok(Command::Query {
                 index,
@@ -285,6 +334,7 @@ mod tests {
                 threads: 0,
                 stats: false,
                 dynamic: false,
+                grid: 1024,
             }
         );
     }
@@ -380,9 +430,40 @@ mod tests {
             parse(&argv("query --index i.pf --batch-file ranges.csv")).unwrap(),
             Command::QueryBatch { index: "i.pf".into(), batch_file: "ranges.csv".into() }
         );
-        // Mixing the two query modes is rejected, not silently resolved.
+        // Mixing query modes is rejected, not silently resolved.
         assert!(parse(&argv("query --index i.pf --lo 1 --hi 2 --batch-file r.csv")).is_err());
         assert!(parse(&argv("query --index i.pf --batch-file r.csv --hi 2")).is_err());
+        assert!(parse(&argv("query --index i.pf --batch-file r.csv --rect 0 1 0 1")).is_err());
+    }
+
+    #[test]
+    fn parses_count2d_build_and_rect_query() {
+        let cmd = parse(&argv(
+            "build --input p.csv --output q.pfq --aggregate count2d --eps-abs 400 --grid 512",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Build { aggregate, grid, .. } => {
+                assert_eq!(aggregate, Aggregate::Count2d);
+                assert_eq!(grid, 512);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(
+            parse(&argv(
+                "build --input p.csv --output q.pfq --aggregate count2d --eps-abs 1 --grid 1"
+            ))
+            .is_err(),
+            "grid below 2 is rejected"
+        );
+        assert_eq!(
+            parse(&argv("query --index q.pfq --rect 0.5 10 -3 4")).unwrap(),
+            Command::QueryRect { index: "q.pfq".into(), rect: (0.5, 10.0, -3.0, 4.0) }
+        );
+        // Short or non-numeric rects are usage errors.
+        assert!(parse(&argv("query --index q.pfq --rect 1 2 3")).is_err());
+        assert!(parse(&argv("query --index q.pfq --rect 1 2 3 x")).is_err());
+        assert!(parse(&argv("query --index q.pfq --rect 1 2 3 4 --lo 1 --hi 2")).is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@ use std::time::{Duration, Instant};
 use polyfit::prelude::*;
 use polyfit::wal::{checkpoint_path, log_path, read_checkpoint, scan_wal};
 use polyfit::{atomic_write, Extremum, LayoutLog, PolyFitMax, PolyFitSum};
+use polyfit::{AggregateIndex2d, QuadPolyFit};
 
 /// Parse a batch-query file: one `lo,hi` range per line; `#` comments,
 /// blank lines, and trailing newlines (including CRLF) are skipped.
@@ -55,8 +56,41 @@ fn kind_of(bytes: &[u8]) -> Option<&'static str> {
         Some(b"PFS2") => Some("sum"),
         Some(b"PFM2") => Some("max"),
         Some(b"PFD2") => Some("dynamic"),
+        Some(b"PFQ1") => Some("quad"),
         _ => None,
     }
+}
+
+/// Parse a 2-D batch-query file: one `u_lo,u_hi,v_lo,v_hi` rectangle per
+/// line, with the same comment/blank/line-number conventions as
+/// [`parse_ranges`].
+fn parse_rects(text: &str) -> Result<Vec<(f64, f64, f64, f64)>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let mut parse = |_| -> Result<f64, String> {
+            parts.next().and_then(|v| v.trim().parse().ok()).ok_or_else(|| {
+                format!("line {}: expected 'u_lo,u_hi,v_lo,v_hi', got '{line}'", lineno + 1)
+            })
+        };
+        let rect = (parse(0)?, parse(1)?, parse(2)?, parse(3)?);
+        if parts.next().is_some() {
+            return Err(format!(
+                "line {}: expected exactly four fields 'u_lo,u_hi,v_lo,v_hi', got '{line}'",
+                lineno + 1
+            ));
+        }
+        out.push(rect);
+    }
+    if out.is_empty() {
+        let what = if text.trim().is_empty() { "file is empty" } else { "only comments/blanks" };
+        return Err(format!("batch file contains no rectangles ({what})"));
+    }
+    Ok(out)
 }
 
 /// Decode an index file into a trait object: the one place the on-disk
@@ -70,6 +104,9 @@ fn load_index(bytes: &[u8]) -> Result<Box<dyn AggregateIndex + Send + Sync>, Str
         Some("dynamic") => {
             Ok(Box::new(DynamicPolyFitSum::from_bytes(bytes).map_err(|e| e.to_string())?))
         }
+        Some("quad") => Err("a 2-D (PFQ1) index — query it with \
+             `query --rect u_lo u_hi v_lo v_hi` or a 4-field batch file"
+            .into()),
         _ => Err("not a PolyFit index file".into()),
     }
 }
@@ -308,11 +345,45 @@ pub fn run(cmd: Command) -> Result<(), String> {
             degree,
             backend,
             threads,
+            grid,
             stats,
             dynamic,
         } => {
             let text =
                 fs::read_to_string(&input).map_err(|e| format!("cannot read {input}: {e}"))?;
+            if aggregate == Aggregate::Count2d {
+                if dynamic {
+                    return Err("--dynamic applies to sum/count indexes only".into());
+                }
+                if stats {
+                    eprintln!("note: --stats applies to sum/count indexes only; ignored");
+                }
+                let points = csv::parse_points2d(&text)?;
+                let config = Quad2dConfig {
+                    degree,
+                    grid_resolution: grid,
+                    backend: if backend == "simplex" {
+                        Fit2dBackend::Simplex
+                    } else {
+                        Fit2dBackend::LeastSquares
+                    },
+                    ..Default::default()
+                };
+                // Lemma 6: δ = ε_abs / 4 — a rectangle is 4 corner
+                // evaluations, each off by at most δ.
+                let opts = BuildOptions::with_threads(threads);
+                let idx = QuadPolyFit::build_with(&points, eps_abs / 4.0, config, &opts)
+                    .map_err(|e| e.to_string())?;
+                let bytes = idx.to_bytes();
+                atomic_write(Path::new(&output), &bytes)
+                    .map_err(|e| format!("cannot write {output}: {e}"))?;
+                println!(
+                    "built count2d index: {} patches, {} bytes -> {output}",
+                    idx.num_leaves(),
+                    bytes.len()
+                );
+                return Ok(());
+            }
             let mut records = csv::parse_records(&text)?;
             if aggregate == Aggregate::Count {
                 for r in &mut records {
@@ -371,6 +442,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
                         .map_err(|e| e.to_string())?;
                     (idx.to_bytes(), format!("{} segments", idx.num_segments()), "min")
                 }
+                Aggregate::Count2d => unreachable!("count2d builds return above"),
             };
             // Crash-atomic: temp file + fsync + rename + parent-dir
             // fsync, so a crash mid-write never leaves a torn index.
@@ -388,11 +460,42 @@ pub fn run(cmd: Command) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::QueryRect { index, rect } => {
+            let bytes = fs::read(&index).map_err(|e| format!("cannot read {index}: {e}"))?;
+            if kind_of(&bytes) != Some("quad") {
+                return Err(format!(
+                    "{index}: --rect queries need a 2-D (PFQ1) index — build one with \
+                     `build --aggregate count2d`"
+                ));
+            }
+            let idx = QuadPolyFit::from_bytes(&bytes).map_err(|e| e.to_string())?;
+            let (u_lo, u_hi, v_lo, v_hi) = rect;
+            match AggregateIndex2d::query_rect(&idx, u_lo, u_hi, v_lo, v_hi) {
+                Some(ans) => println!("{}", ans.value),
+                None => println!("NaN  # non-finite rectangle bounds"),
+            }
+            Ok(())
+        }
         Command::QueryBatch { index, batch_file } => {
             let bytes = fs::read(&index).map_err(|e| format!("cannot read {index}: {e}"))?;
-            let idx = load_index(&bytes).map_err(|e| format!("{index} is {e}"))?;
             let text = fs::read_to_string(&batch_file)
                 .map_err(|e| format!("cannot read {batch_file}: {e}"))?;
+            // 2-D indexes take 4-field rectangle rows through the batched
+            // sort-and-share sweep; everything else takes `lo,hi` ranges.
+            if kind_of(&bytes) == Some("quad") {
+                let idx = QuadPolyFit::from_bytes(&bytes).map_err(|e| e.to_string())?;
+                let rects = parse_rects(&text)?;
+                let mut out = String::with_capacity(rects.len() * 16);
+                for ans in AggregateIndex2d::query_batch_rect(&idx, &rects) {
+                    match ans {
+                        Some(a) => out.push_str(&format!("{}\n", a.value)),
+                        None => out.push_str("NaN\n"),
+                    }
+                }
+                print!("{out}");
+                return Ok(());
+            }
+            let idx = load_index(&bytes).map_err(|e| format!("{index} is {e}"))?;
             let ranges = parse_ranges(&text)?;
             // One sort-and-share pass over the whole file.
             let mut out = String::with_capacity(ranges.len() * 16);
@@ -640,6 +743,26 @@ pub fn run(cmd: Command) -> Result<(), String> {
                     );
                     Ok(())
                 }
+                Some("quad") => {
+                    let idx = QuadPolyFit::from_bytes(&bytes).map_err(|e| e.to_string())?;
+                    println!("kind:      2-D COUNT (quadtree patches, 4-corner rectangles)");
+                    println!("patches:   {}", idx.num_leaves());
+                    println!("delta:     {} (rectangle answers within 4δ)", idx.delta());
+                    println!("max error: {} worst certified leaf residual", idx.max_leaf_error());
+                    if idx.uncertified_leaves() > 0 {
+                        println!(
+                            "warning:   {} leaves hit the depth/lattice floor above δ",
+                            idx.uncertified_leaves()
+                        );
+                    }
+                    let (u_lo, u_hi, v_lo, v_hi) = idx.bbox();
+                    println!("grid:      {g}x{g} lattice", g = idx.grid_resolution());
+                    println!("domain:    [{u_lo}, {u_hi}] x [{v_lo}, {v_hi}]");
+                    println!("total:     {}", idx.total());
+                    println!("arena:     {} bytes compiled", idx.directory().arena_bytes());
+                    println!("file size: {} bytes", bytes.len());
+                    Ok(())
+                }
                 _ => Err(format!("{index} is not a PolyFit index file")),
             };
             report?;
@@ -822,6 +945,7 @@ mod tests {
             degree: 2,
             backend: "exchange".into(),
             threads: 0,
+            grid: 1024,
             stats: false,
             dynamic: false,
         })
@@ -1082,5 +1206,108 @@ mod tests {
         let wal = wal_dir("missing");
         let err = run(parse(&argv(&format!("recover --wal {wal}"))).unwrap()).unwrap_err();
         assert!(err.contains("cannot recover"), "{err}");
+    }
+
+    /// Builds a small 2-D (PFQ1) index file from hashed `u,v` rows.
+    fn built_quad_index(name: &str) -> String {
+        let data = tmp(&format!("{name}.csv"));
+        let idx = tmp(&format!("{name}.pfq"));
+        let rows: String = (0..2000)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let u = (h >> 40) as f64 / 167.0;
+                let v = ((h >> 16) & 0xFF_FFFF) as f64 / 167_772.0;
+                format!("{u},{v}\n")
+            })
+            .collect();
+        fs::write(&data, rows).unwrap();
+        run(parse(&argv(&format!(
+            "build --input {data} --output {idx} --aggregate count2d --eps-abs 100 \
+             --grid 64 --threads 2"
+        )))
+        .unwrap())
+        .unwrap();
+        idx
+    }
+
+    #[test]
+    fn end_to_end_count2d_roundtrip() {
+        let idx = built_quad_index("quad-e2e");
+        let bytes = fs::read(&idx).unwrap();
+        assert_eq!(kind_of(&bytes), Some("quad"), "count2d builds write PFQ1 files");
+        // Rect queries, batch rects, and info all flow through `run`.
+        run(parse(&argv(&format!("query --index {idx} --rect 10 90 10 90"))).unwrap()).unwrap();
+        run(parse(&argv(&format!("info --index {idx}"))).unwrap()).unwrap();
+        let rects = tmp("quad-e2e-rects.csv");
+        fs::write(&rects, "# u_lo,u_hi,v_lo,v_hi\n10,90,10,90\n50,40,0,100\n5,5,5,5\nnan,1,2,3\n")
+            .unwrap();
+        run(parse(&argv(&format!("query --index {idx} --batch-file {rects}"))).unwrap()).unwrap();
+        // The batch path agrees bitwise with per-rect trait queries.
+        let loaded = QuadPolyFit::from_bytes(&bytes).unwrap();
+        let parsed = super::parse_rects(&fs::read_to_string(&rects).unwrap()).unwrap();
+        let batch = AggregateIndex2d::query_batch_rect(&loaded, &parsed);
+        for (i, &(ul, uh, vl, vh)) in parsed.iter().enumerate() {
+            assert_eq!(
+                batch[i].map(|a| a.value.to_bits()),
+                AggregateIndex2d::query_rect(&loaded, ul, uh, vl, vh).map(|a| a.value.to_bits()),
+            );
+        }
+        // The approximation is within the advertised 4δ of exact: the
+        // whole-domain rectangle must account for every point.
+        let (u_lo, u_hi, v_lo, v_hi) = loaded.bbox();
+        let whole = AggregateIndex2d::query_rect(&loaded, u_lo, u_hi, v_lo, v_hi).unwrap();
+        assert!((whole.value - 2000.0).abs() <= 4.0 * loaded.delta() + 1e-9, "{}", whole.value);
+    }
+
+    #[test]
+    fn quad_files_rejected_by_scalar_paths_with_hint() {
+        let idx = built_quad_index("quad-reject");
+        // Scalar query / serve refuse with a pointer to --rect.
+        let err =
+            run(parse(&argv(&format!("query --index {idx} --lo 0 --hi 1"))).unwrap()).unwrap_err();
+        assert!(err.contains("--rect"), "{err}");
+        let reqs = tmp("quad-reject-reqs.csv");
+        fs::write(&reqs, "1,2\n").unwrap();
+        let err = run(parse(&argv(&format!("serve --index {idx} --requests {reqs}"))).unwrap())
+            .unwrap_err();
+        assert!(err.contains("PFQ1"), "{err}");
+        // And the other direction: --rect against a 1-D file.
+        let sum_idx = built_index("quad-reject-sum");
+        let err = run(parse(&argv(&format!("query --index {sum_idx} --rect 0 1 0 1"))).unwrap())
+            .unwrap_err();
+        assert!(err.contains("count2d"), "{err}");
+    }
+
+    #[test]
+    fn count2d_rejects_dynamic_and_1d_input() {
+        let data = tmp("quad-bad.csv");
+        fs::write(&data, "1,2\n3,4\n").unwrap();
+        let idx = tmp("quad-bad.pfq");
+        let err = run(parse(&argv(&format!(
+            "build --input {data} --output {idx} --aggregate count2d --eps-abs 10 --dynamic"
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.contains("--dynamic"), "{err}");
+    }
+
+    #[test]
+    fn rect_batch_file_errors_carry_line_numbers() {
+        let idx = built_quad_index("quad-batch-edges");
+        let run_batch = |name: &str, content: &str| -> Result<(), String> {
+            let f = tmp(name);
+            fs::write(&f, content).unwrap();
+            run(Command::QueryBatch { index: idx.clone(), batch_file: f })
+        };
+        let err = run_batch("quad-edge-empty.csv", "").unwrap_err();
+        assert!(err.contains("no rectangles") && err.contains("empty"), "{err}");
+        let err = run_batch("quad-edge-short.csv", "1,2,3,4\n1,2,3\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = run_batch("quad-edge-extra.csv", "\n1,2,3,4,5\n").unwrap_err();
+        assert!(err.contains("line 2") && err.contains("four fields"), "{err}");
+        let err = run_batch("quad-edge-nonnum.csv", "1,x,3,4\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        // Comments, blanks, and CRLF endings are fine.
+        run_batch("quad-edge-ok.csv", "# c\r\n1,2,3,4\r\n\r\n5,6,7,8\r\n").unwrap();
     }
 }

@@ -1,6 +1,7 @@
-//! Minimal CSV reader for `(key[, measure])` record files.
+//! Minimal CSV reader for `(key[, measure])` record files and
+//! `(u, v[, w])` two-key point files.
 
-use polyfit_exact::dataset::Record;
+use polyfit_exact::dataset::{Point2d, Record};
 
 /// Read records from CSV text: `key,measure` per line; bare `key` lines
 /// get measure 1 (COUNT data). `#`-prefixed lines and one non-numeric
@@ -37,6 +38,44 @@ pub fn parse_records(text: &str) -> Result<Vec<Record>, String> {
     Ok(out)
 }
 
+/// Read 2-D points from CSV text: `u,v` per line with an optional third
+/// `w` measure column (defaulting to 1 — COUNT data). `#`-prefixed lines
+/// and one non-numeric header line are skipped, like [`parse_records`].
+pub fn parse_points2d(text: &str) -> Result<Vec<Point2d>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, ',');
+        let u_s = parts.next().expect("splitn yields at least one").trim();
+        let u: f64 = match u_s.parse() {
+            Ok(u) => u,
+            Err(_) if lineno == 0 => continue, // header row
+            Err(_) => return Err(format!("line {}: invalid u '{u_s}'", lineno + 1)),
+        };
+        let v_s = parts.next().map(str::trim).unwrap_or("");
+        let v: f64 = v_s
+            .parse()
+            .map_err(|_| format!("line {}: expected 'u,v[,w]', got '{line}'", lineno + 1))?;
+        let w: f64 = match parts.next().map(str::trim) {
+            None | Some("") => 1.0,
+            Some(w_s) => {
+                w_s.parse().map_err(|_| format!("line {}: invalid w '{w_s}'", lineno + 1))?
+            }
+        };
+        if !u.is_finite() || !v.is_finite() || !w.is_finite() {
+            return Err(format!("line {}: non-finite value", lineno + 1));
+        }
+        out.push(Point2d::new(u, v, w));
+    }
+    if out.is_empty() {
+        return Err("no points found in input".into());
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,5 +105,25 @@ mod tests {
         assert!(parse_records("1,bar\n").is_err());
         assert!(parse_records("").is_err());
         assert!(parse_records("nan,1\n1,1\n").is_err());
+    }
+
+    #[test]
+    fn parses_two_key_points() {
+        let ps = parse_points2d("1.5,10\n2.5,20,3\n").unwrap();
+        assert_eq!(ps, vec![Point2d::new(1.5, 10.0, 1.0), Point2d::new(2.5, 20.0, 3.0)]);
+        // Header and comments are skipped.
+        let ps = parse_points2d("u,v,w\n# c\n1,2\n").unwrap();
+        assert_eq!(ps.len(), 1);
+    }
+
+    #[test]
+    fn two_key_garbage_rejected_with_line_numbers() {
+        assert!(parse_points2d("").is_err());
+        let err = parse_points2d("1,2\n3\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = parse_points2d("1,2\n3,x\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = parse_points2d("1,2,inf\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
     }
 }

@@ -32,10 +32,11 @@ use crate::segmentation::{
     dp_segmentation, fit_range, greedy_segmentation, greedy_segmentation_range, ErrorMetric,
     SegmentSpec,
 };
+use crate::workqueue::{oversubscribed_bounds, run_indexed_queue};
 
 /// Below this many points per would-be chunk, extra threads stop paying
 /// for themselves (fit calls are microseconds; thread spawn is not).
-const MIN_POINTS_PER_CHUNK: usize = 4096;
+pub(crate) const MIN_POINTS_PER_CHUNK: usize = 4096;
 
 /// Which segmentation algorithm the pipeline runs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -85,44 +86,6 @@ impl BuildOptions {
     }
 }
 
-/// Run `n_items` independent jobs on up to `threads` workers pulling
-/// indices from a shared queue (oversubscription-friendly: stragglers
-/// don't idle the other workers). Results are returned in index order,
-/// so output is deterministic whenever each job's result depends only on
-/// its index.
-pub(crate) fn run_indexed_queue<T: Send>(
-    n_items: usize,
-    threads: usize,
-    job: impl Fn(usize) -> T + Sync,
-) -> Vec<T> {
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<T>> = (0..n_items).map(|_| None).collect();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads.clamp(1, n_items))
-            .map(|_| {
-                let (next, job) = (&next, &job);
-                s.spawn(move || {
-                    let mut done = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= n_items {
-                            break;
-                        }
-                        done.push((i, job(i)));
-                    }
-                    done
-                })
-            })
-            .collect();
-        for h in handles {
-            for (i, v) in h.join().expect("build worker panicked") {
-                slots[i] = Some(v);
-            }
-        }
-    });
-    slots.into_iter().map(|v| v.expect("every job ran")).collect()
-}
-
 /// Segment `f` under the bounded δ-error constraint, fanning the greedy
 /// fitting work across `opts.threads` workers and stitching chunk seams.
 ///
@@ -159,11 +122,9 @@ pub fn segment_function(
     // Contiguous chunks over the point indices, oversubscribed ~4× the
     // worker count so stragglers (chunks whose data fits poorly and needs
     // many probe fits) don't leave the other workers idle; workers pull
-    // chunk indices from a shared queue.
-    let n_chunks = (threads * 4).clamp(threads, max_chunks);
-    let bounds: Vec<(usize, usize)> =
-        (0..n_chunks).map(|i| (n * i / n_chunks, n * (i + 1) / n_chunks)).collect();
-    let chunks = run_indexed_queue(n_chunks, threads, |i| {
+    // chunk indices from the shared queue ([`crate::workqueue`]).
+    let bounds = oversubscribed_bounds(n, threads, MIN_POINTS_PER_CHUNK);
+    let chunks = run_indexed_queue(bounds.len(), threads, |i| {
         let (lo, hi) = bounds[i];
         greedy_segmentation_range(f, cfg, delta, metric, lo, hi)
     });

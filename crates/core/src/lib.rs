@@ -64,7 +64,9 @@ pub mod shard;
 pub mod stats;
 pub mod traits;
 pub mod twod;
+pub mod twod_directory;
 pub mod wal;
+pub mod workqueue;
 
 pub use build::{segment_function, BuildOptions, SegmentationMethod};
 pub use config::PolyFitConfig;
@@ -95,15 +97,17 @@ pub use shard::{
 };
 pub use stats::{IndexStats, SegmentStats, SegmentStatsSummary};
 pub use traits::{
-    classify_bounds, classify_rect_bounds, guarded_batch, AggregateIndex, AggregateIndex2d,
-    AggregateKind, CertifiedRelSum, Guarantee, QueryBounds, RangeAggregate, RelDispatch,
-    RelDispatch2d, SharedIndex,
+    classify_bounds, classify_rect_bounds, guarded_batch, guarded_batch_rect, AggregateIndex,
+    AggregateIndex2d, AggregateKind, CertifiedRelSum, Guarantee, QueryBounds, RangeAggregate,
+    RelDispatch, RelDispatch2d, SharedIndex,
 };
-pub use twod::{Guaranteed2dCount, QuadPolyFit};
+pub use twod::{GridCF, Guaranteed2dCount, Quad2dConfig, QuadPolyFit};
+pub use twod_directory::TwodDirectory;
 pub use wal::{
     atomic_write, Journal, LayoutCheckpoint, LayoutLog, RecoveryReport, SyncPolicy, WalError,
     WalScan,
 };
+pub use workqueue::{oversubscribed_bounds, run_indexed_queue};
 
 /// Convenient re-exports for downstream users.
 pub mod prelude {
@@ -130,8 +134,9 @@ pub mod prelude {
         classify_bounds, AggregateIndex, AggregateIndex2d, AggregateKind, CertifiedRelSum,
         Guarantee, QueryBounds, RangeAggregate, RelDispatch, RelDispatch2d, SharedIndex,
     };
-    pub use crate::twod::{Guaranteed2dCount, QuadPolyFit};
+    pub use crate::twod::{Guaranteed2dCount, Quad2dConfig, QuadPolyFit};
+    pub use crate::twod_directory::TwodDirectory;
     pub use crate::wal::{Journal, RecoveryReport, SyncPolicy, WalError};
     pub use polyfit_exact::dataset::{Point2d, Record};
-    pub use polyfit_lp::FitBackend;
+    pub use polyfit_lp::{Fit2dBackend, FitBackend};
 }

@@ -6,12 +6,13 @@
 //! `Segment::logical_size_bytes` plus explicit per-segment metadata, with
 //! no dependencies and no unsafe code.
 
-use polyfit_poly::{Polynomial, ShiftedPolynomial};
+use polyfit_poly::{monomial_count, BivariatePoly, Polynomial, ShiftedPolynomial};
 
 use crate::index_max::{Extremum, PolyFitMax};
 use crate::index_sum::PolyFitSum;
 use crate::segment::Segment;
 use crate::stats::SegmentStats;
+use crate::twod::{Lattice, Node, QuadPolyFit};
 
 // "PFS2": v2 of the CF layout — adds a flags word and an optional
 // per-segment statistics block (point spans, residual certificates,
@@ -20,6 +21,10 @@ const MAGIC_SUM: &[u8; 4] = b"PFS2";
 // "PFM2": v2 of the staircase layout — v1 (never shipped; the seed tree
 // could not compile) lacked the orientation field.
 const MAGIC_MAX: &[u8; 4] = b"PFM2";
+// "PFQ1": the 2-D quadtree layout. Split planes are *not* stored — they
+// always bisect the lattice index range, so the decoder recomputes each
+// `mid` from the shared lattice geometry, bit for bit.
+const MAGIC_QUAD: &[u8; 4] = b"PFQ1";
 
 /// Header flag: the segment-statistics block follows the segments.
 const FLAG_SEGMENT_STATS: u32 = 1;
@@ -281,6 +286,169 @@ impl PolyFitMax {
 }
 
 // ---------------------------------------------------------------------------
+// Two-key quadtree index ("PFQ1")
+// ---------------------------------------------------------------------------
+
+const QUAD_TAG_LEAF: u8 = 0;
+const QUAD_TAG_SPLIT_BOTH: u8 = 1;
+const QUAD_TAG_SPLIT_U: u8 = 2;
+const QUAD_TAG_SPLIT_V: u8 = 3;
+
+/// Serialized resolutions are capped well below the compiled directory's
+/// structural limit so a corrupt header cannot request a huge cell table.
+const QUAD_MAX_RES: u32 = 8192;
+
+fn write_quad_node(w: &mut Writer, node: &Node) {
+    match node {
+        Node::Leaf { poly, error } => {
+            w.u8(QUAD_TAG_LEAF);
+            w.f64(*error);
+            w.u8(poly.degree() as u8);
+            let (cu, su, cv, sv) = poly.normalizers();
+            w.f64(cu);
+            w.f64(su);
+            w.f64(cv);
+            w.f64(sv);
+            for &c in poly.coeffs() {
+                w.f64(c);
+            }
+        }
+        Node::Internal { mid_u, mid_v, children } => {
+            w.u8(match (!mid_u.is_nan(), !mid_v.is_nan()) {
+                (true, true) => QUAD_TAG_SPLIT_BOTH,
+                (true, false) => QUAD_TAG_SPLIT_U,
+                (false, true) => QUAD_TAG_SPLIT_V,
+                (false, false) => unreachable!("internal node with no split axis"),
+            });
+            for c in children {
+                write_quad_node(w, c);
+            }
+        }
+    }
+}
+
+/// Decode one node covering lattice range `[i0, i1] × [j0, j1]`. Split
+/// planes are recomputed from `lat` (never trusted from the wire), span
+/// and degree-uniformity invariants are enforced here so the compiled
+/// directory's structural assertions can never fire on decoded trees.
+fn read_quad_node(
+    r: &mut Reader<'_>,
+    lat: &Lattice,
+    i0: usize,
+    i1: usize,
+    j0: usize,
+    j1: usize,
+    degree_seen: &mut Option<u8>,
+) -> Result<Node, DecodeError> {
+    let tag = r.u8()?;
+    if tag == QUAD_TAG_LEAF {
+        let error = r.finite("leaf error")?;
+        let degree = r.u8()?;
+        if !(1..=8).contains(&degree) {
+            return Err(DecodeError::Corrupt("patch degree"));
+        }
+        if *degree_seen.get_or_insert(degree) != degree {
+            return Err(DecodeError::Corrupt("mixed patch degrees"));
+        }
+        let cu = r.finite("normalizer cu")?;
+        let su = r.finite("normalizer su")?;
+        let cv = r.finite("normalizer cv")?;
+        let sv = r.finite("normalizer sv")?;
+        if su == 0.0 || sv == 0.0 {
+            return Err(DecodeError::Corrupt("normalizer scale"));
+        }
+        let ncoef = monomial_count(degree as usize);
+        let mut coeffs = Vec::with_capacity(ncoef);
+        for _ in 0..ncoef {
+            coeffs.push(r.finite("patch coefficient")?);
+        }
+        return Ok(Node::Leaf {
+            poly: BivariatePoly::new(degree as usize, coeffs, cu, su, cv, sv),
+            error,
+        });
+    }
+    let (split_u, split_v) = match tag {
+        QUAD_TAG_SPLIT_BOTH => (true, true),
+        QUAD_TAG_SPLIT_U => (true, false),
+        QUAD_TAG_SPLIT_V => (false, true),
+        _ => return Err(DecodeError::Corrupt("node tag")),
+    };
+    if (split_u && i1 - i0 < 2) || (split_v && j1 - j0 < 2) {
+        return Err(DecodeError::Corrupt("split span"));
+    }
+    let im = (i0 + i1) / 2;
+    let jm = (j0 + j1) / 2;
+    // Child order mirrors the builder exactly (see `collect_leaf_patches`).
+    let ranges: Vec<(usize, usize, usize, usize)> = match (split_u, split_v) {
+        (true, true) => {
+            vec![(i0, im, j0, jm), (im, i1, j0, jm), (i0, im, jm, j1), (im, i1, jm, j1)]
+        }
+        (true, false) => vec![(i0, im, j0, j1), (im, i1, j0, j1)],
+        (false, true) => vec![(i0, i1, j0, jm), (i0, i1, jm, j1)],
+        (false, false) => unreachable!("matched above"),
+    };
+    let mut children = Vec::with_capacity(ranges.len());
+    for (a, b, c, d) in ranges {
+        children.push(read_quad_node(r, lat, a, b, c, d, degree_seen)?);
+    }
+    Ok(Node::Internal {
+        mid_u: if split_u { lat.line_u(im) } else { f64::NAN },
+        mid_v: if split_v { lat.line_v(jm) } else { f64::NAN },
+        children,
+    })
+}
+
+impl QuadPolyFit {
+    /// Serialize to a compact little-endian byte buffer ("PFQ1").
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer(Vec::with_capacity(64 + self.num_leaves() * 64));
+        w.0.extend_from_slice(MAGIC_QUAD);
+        w.f64(self.delta);
+        w.u32(self.lattice.res as u32);
+        w.f64(self.lattice.u0);
+        w.f64(self.lattice.v0);
+        w.f64(self.lattice.step_u);
+        w.f64(self.lattice.step_v);
+        w.f64(self.total);
+        write_quad_node(&mut w, &self.root);
+        w.0
+    }
+
+    /// Decode an index serialized with [`Self::to_bytes`]: rebuilds the
+    /// pointer quadtree, then recompiles the read-path arena — decoded
+    /// indexes answer bitwise identically to the originals.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        if r.take(4)? != MAGIC_QUAD {
+            return Err(DecodeError::BadMagic);
+        }
+        let delta = r.finite("delta")?;
+        if delta <= 0.0 {
+            return Err(DecodeError::Corrupt("delta"));
+        }
+        let res = r.u32()?;
+        if !(2..=QUAD_MAX_RES).contains(&res) {
+            return Err(DecodeError::Corrupt("resolution"));
+        }
+        let u0 = r.finite("domain u0")?;
+        let v0 = r.finite("domain v0")?;
+        let step_u = r.finite("step_u")?;
+        let step_v = r.finite("step_v")?;
+        if step_u <= 0.0 || step_v <= 0.0 {
+            return Err(DecodeError::Corrupt("lattice step"));
+        }
+        let total = r.finite("total")?;
+        let lat = Lattice { res: res as usize, u0, v0, step_u, step_v };
+        let mut degree_seen = None;
+        let root = read_quad_node(&mut r, &lat, 0, lat.res, 0, lat.res, &mut degree_seen)?;
+        if r.remaining() != 0 {
+            return Err(DecodeError::Corrupt("trailing bytes"));
+        }
+        Ok(QuadPolyFit::from_parts(root, delta, lat, total, std::time::Duration::ZERO))
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Write-ahead-log records
 // ---------------------------------------------------------------------------
 
@@ -531,6 +699,91 @@ mod tests {
             PolyFitSum::from_bytes(&bytes),
             Err(DecodeError::Corrupt("stats span order"))
         ));
+    }
+
+    fn quad_index() -> QuadPolyFit {
+        use polyfit_exact::dataset::Point2d;
+        let pts: Vec<Point2d> = (0..4000)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                let u = ((h >> 32) as f64 / u32::MAX as f64) * 100.0;
+                let v = ((h & 0xFFFF_FFFF) as f64 / u32::MAX as f64) * 80.0;
+                Point2d::new(u, v, 1.0)
+            })
+            .collect();
+        let cfg = crate::twod::Quad2dConfig { grid_resolution: 64, ..Default::default() };
+        QuadPolyFit::build(&pts, 20.0, cfg).unwrap()
+    }
+
+    #[test]
+    fn quad_roundtrip_is_bitwise() {
+        let idx = quad_index();
+        let bytes = idx.to_bytes();
+        let back = QuadPolyFit::from_bytes(&bytes).unwrap();
+        assert_eq!(back.num_leaves(), idx.num_leaves());
+        assert_eq!(back.delta(), idx.delta());
+        assert_eq!(back.max_leaf_error(), idx.max_leaf_error());
+        for k in 0..100 {
+            let a = (k % 11) as f64 * 9.5 - 2.0;
+            let b = a + 5.0 + (k % 7) as f64 * 11.0;
+            let c = (k % 5) as f64 * 14.0;
+            let d = c + 3.0 + (k % 9) as f64 * 8.0;
+            assert_eq!(
+                back.query(a, b, c, d).to_bits(),
+                idx.query(a, b, c, d).to_bits(),
+                "rect ({a},{b},{c},{d})"
+            );
+        }
+        // Re-encoding is byte-stable.
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn quad_wrong_magic_rejected() {
+        let bytes = quad_index().to_bytes();
+        assert!(matches!(PolyFitSum::from_bytes(&bytes), Err(DecodeError::BadMagic)));
+        let sum = PolyFitSum::build(records(100), 5.0, PolyFitConfig::default()).unwrap();
+        assert!(matches!(QuadPolyFit::from_bytes(&sum.to_bytes()), Err(DecodeError::BadMagic)));
+    }
+
+    #[test]
+    fn quad_truncation_rejected() {
+        let bytes = quad_index().to_bytes();
+        for cut in [0usize, 3, 11, 40, bytes.len() - 1] {
+            assert!(QuadPolyFit::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // Trailing garbage is rejected too.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(matches!(
+            QuadPolyFit::from_bytes(&padded),
+            Err(DecodeError::Corrupt("trailing bytes"))
+        ));
+    }
+
+    #[test]
+    fn quad_corruption_rejected() {
+        let bytes = quad_index().to_bytes();
+        // delta (right after the magic) poisoned with a NaN.
+        let mut bad = bytes.clone();
+        bad[4..12].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(matches!(QuadPolyFit::from_bytes(&bad), Err(DecodeError::Corrupt("delta"))));
+        // Resolution outside the supported band.
+        let mut bad = bytes.clone();
+        bad[12..16].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(QuadPolyFit::from_bytes(&bad), Err(DecodeError::Corrupt("resolution"))));
+        let mut bad = bytes.clone();
+        bad[12..16].copy_from_slice(&(QUAD_MAX_RES + 1).to_le_bytes());
+        assert!(matches!(QuadPolyFit::from_bytes(&bad), Err(DecodeError::Corrupt("resolution"))));
+        // Lattice step (header layout: magic 4, delta 8, res 4, u0/v0 16,
+        // then step_u at offset 32) must be positive.
+        let mut bad = bytes.clone();
+        bad[32..40].copy_from_slice(&(-1.0f64).to_le_bytes());
+        assert!(matches!(QuadPolyFit::from_bytes(&bad), Err(DecodeError::Corrupt("lattice step"))));
+        // First tree byte (after the 56-byte header): an unknown node tag.
+        let mut bad = bytes;
+        bad[56] = 9;
+        assert!(matches!(QuadPolyFit::from_bytes(&bad), Err(DecodeError::Corrupt("node tag"))));
     }
 
     #[test]

@@ -192,6 +192,34 @@ pub fn guarded_batch(
         .collect()
 }
 
+/// [`guarded_batch`] for rectangle batches: contract-degenerate rects are
+/// answered without touching the index (`None` for non-finite, `empty` for
+/// reversed/empty rectangles), proper rects pass to `run` in their
+/// original relative order, and the results are spliced back
+/// positionally. All-proper batches take a zero-copy fast path.
+pub fn guarded_batch_rect(
+    rects: &[(f64, f64, f64, f64)],
+    empty: Option<RangeAggregate>,
+    run: impl FnOnce(&[(f64, f64, f64, f64)]) -> Vec<Option<RangeAggregate>>,
+) -> Vec<Option<RangeAggregate>> {
+    let proper = |&(a, b, c, d): &(f64, f64, f64, f64)| {
+        classify_rect_bounds(a, b, c, d) == QueryBounds::Proper
+    };
+    if rects.iter().all(proper) {
+        return run(rects);
+    }
+    let kept: Vec<(f64, f64, f64, f64)> = rects.iter().copied().filter(proper).collect();
+    let mut inner = run(&kept).into_iter();
+    rects
+        .iter()
+        .map(|&(a, b, c, d)| match classify_rect_bounds(a, b, c, d) {
+            QueryBounds::NonFinite => None,
+            QueryBounds::Reversed => empty,
+            QueryBounds::Proper => inner.next().expect("one inner answer per proper rect"),
+        })
+        .collect()
+}
+
 /// A built range-aggregate index over single-key records.
 ///
 /// Object safe: harnesses and the CLI dispatch over `&dyn AggregateIndex`,
@@ -1092,6 +1120,16 @@ impl AggregateIndex2d for QuadPolyFit {
         }
     }
 
+    fn query_batch_rect(&self, rects: &[(f64, f64, f64, f64)]) -> Vec<Option<RangeAggregate>> {
+        let bound = 4.0 * self.delta();
+        guarded_batch_rect(rects, Some(RangeAggregate::absolute(0.0, bound)), |proper| {
+            QuadPolyFit::query_batch(self, proper)
+                .into_iter()
+                .map(|v| Some(RangeAggregate::absolute(v, bound)))
+                .collect()
+        })
+    }
+
     fn size_bytes(&self) -> usize {
         QuadPolyFit::size_bytes(self)
     }
@@ -1121,6 +1159,17 @@ impl AggregateIndex2d for Guaranteed2dCount {
                 4.0 * self.index().delta(),
             )),
         }
+    }
+
+    fn query_batch_rect(&self, rects: &[(f64, f64, f64, f64)]) -> Vec<Option<RangeAggregate>> {
+        let bound = 4.0 * self.index().delta();
+        guarded_batch_rect(rects, Some(RangeAggregate::absolute(0.0, bound)), |proper| {
+            self.index()
+                .query_batch(proper)
+                .into_iter()
+                .map(|v| Some(RangeAggregate::absolute(v, bound)))
+                .collect()
+        })
     }
 
     fn size_bytes(&self) -> usize {
@@ -1166,6 +1215,27 @@ impl AggregateIndex2d for RelDispatch2d {
                 Some(RangeAggregate::relative(ans.value, self.eps_rel, ans.used_fallback))
             }
         }
+    }
+
+    fn query_batch_rect(&self, rects: &[(f64, f64, f64, f64)]) -> Vec<Option<RangeAggregate>> {
+        // Raw approximations come from the shared-corner sweep; the
+        // Lemma 7 certificate-or-fallback decision then runs per rect
+        // through the same helper as the scalar path, so answers match
+        // `query_rect` bit for bit.
+        guarded_batch_rect(rects, Some(RangeAggregate::relative(0.0, self.eps_rel, true)), {
+            |proper| {
+                self.driver
+                    .index()
+                    .query_batch(proper)
+                    .into_iter()
+                    .zip(proper)
+                    .map(|(approx, &rect)| {
+                        let ans = self.driver.rel_answer(approx, rect, self.eps_rel);
+                        Some(RangeAggregate::relative(ans.value, self.eps_rel, ans.used_fallback))
+                    })
+                    .collect()
+            }
+        })
     }
 
     fn size_bytes(&self) -> usize {

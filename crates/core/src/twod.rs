@@ -24,14 +24,46 @@
 //! δ (the default 1024 gives ~0.1% strips on uniform-ish data). The same
 //! caveat applies to the original paper, which certifies at data points
 //! while queries are arbitrary rectangles.
+//!
+//! ## Parallel construction, bitwise-deterministic
+//!
+//! Both construction phases shard across threads without changing a single
+//! output bit relative to the serial path:
+//!
+//! * **Lattice accumulation** ([`GridCF::new_with`]) stages per-chunk
+//!   `(bucket, weight)` streams in point order, then lets each worker own
+//!   a contiguous *band of lattice rows* and scan the full stream,
+//!   accumulating only its rows. Every cell's additions happen in global
+//!   point order regardless of the band split, so the lattice is bitwise
+//!   identical for every thread count.
+//! * **Quadtree construction** wave-expands a frontier of cells — each
+//!   wave's fits run through the shared work queue
+//!   ([`crate::workqueue`]) — until the frontier oversubscribes the
+//!   workers, then fans the remaining *deep* cells out as whole-subtree
+//!   jobs. A skewed (OSM-style) distribution concentrates its splits in a
+//!   few quadrants; because the frontier grows adaptively where cells keep
+//!   splitting, those hot quadrants shatter into many independent jobs
+//!   instead of serialising one worker. Every cell's fit depends only on
+//!   the (deterministic) lattice and its range, and results are assembled
+//!   in index order, so the tree is identical to serial recursion for
+//!   every thread count.
+//!
+//! ## Read path
+//!
+//! Queries are served by a compiled patch arena with a flattened cell
+//! index ([`crate::twod_directory::TwodDirectory`]), held bitwise equal to
+//! the retained pointer quadtree ([`QuadPolyFit::cf_walk`] /
+//! [`QuadPolyFit::query_walk`] — the verification oracle).
 
 use polyfit_exact::dataset::Point2d;
 use polyfit_lp::{fit_minimax_2d, Fit2dBackend};
 use polyfit_poly::BivariatePoly;
 
-use crate::build::BuildOptions;
+use crate::build::{BuildOptions, MIN_POINTS_PER_CHUNK};
 use crate::error::PolyFitError;
 use crate::stats::IndexStats;
+use crate::twod_directory::{LeafPatch, TwodDirectory};
+use crate::workqueue::{oversubscribed_bounds, run_indexed_queue};
 
 /// Configuration for the 2-D index.
 #[derive(Clone, Copy, Debug)]
@@ -62,6 +94,34 @@ impl Default for Quad2dConfig {
     }
 }
 
+/// The lattice geometry: resolution plus the affine line placement. Line
+/// coordinates are always derived through [`Lattice::line_u`] /
+/// [`Lattice::line_v`] — one expression shared by the grid, the quadtree
+/// split planes, the compiled directory, and the serializer, so they all
+/// agree bit for bit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) struct Lattice {
+    pub(crate) res: usize,
+    pub(crate) u0: f64,
+    pub(crate) v0: f64,
+    pub(crate) step_u: f64,
+    pub(crate) step_v: f64,
+}
+
+impl Lattice {
+    /// Raw coordinate of lattice line `i` on the u-axis.
+    #[inline]
+    pub(crate) fn line_u(&self, i: usize) -> f64 {
+        self.u0 + self.step_u * i as f64
+    }
+
+    /// Raw coordinate of lattice line `j` on the v-axis.
+    #[inline]
+    pub(crate) fn line_v(&self, j: usize) -> f64 {
+        self.v0 + self.step_v * j as f64
+    }
+}
+
 /// Exact cumulative measure sums on a regular lattice.
 ///
 /// With unit measures this is the cumulative *count* surface of paper
@@ -70,22 +130,28 @@ impl Default for Quad2dConfig {
 /// of range aggregate queries", Section VI).
 #[derive(Clone, Debug)]
 pub struct GridCF {
-    res: usize,
-    u0: f64,
-    v0: f64,
-    step_u: f64,
-    step_v: f64,
+    lattice: Lattice,
     /// `(res+1)²` row-major: `prefix[i·(res+1)+j]` = Σ measures of points
     /// with `u ≤ line_u(i)` and `v ≤ line_v(j)`.
     prefix: Vec<f64>,
 }
 
 impl GridCF {
-    /// Materialise the lattice CF from points. `O(n + G²)`.
+    /// Materialise the lattice CF from points, single-threaded. `O(n + G²)`.
     ///
     /// # Panics
     /// Panics if `points` is empty or `res` < 2.
     pub fn new(points: &[Point2d], res: usize) -> Self {
+        Self::new_with(points, res, 1)
+    }
+
+    /// [`Self::new`] with the `O(n)` accumulation sharded across up to
+    /// `threads` workers. Bitwise identical to the serial path for every
+    /// thread count: bucketing is staged in point order (chunk boundaries
+    /// are a function of `n` and `threads` only), and each worker owns a
+    /// contiguous band of lattice rows, scanning the full staged stream so
+    /// every cell receives its additions in global point order.
+    pub fn new_with(points: &[Point2d], res: usize, threads: usize) -> Self {
         assert!(!points.is_empty(), "empty point set");
         assert!(res >= 2, "grid resolution must be ≥ 2");
         let mut u0 = f64::INFINITY;
@@ -103,57 +169,129 @@ impl GridCF {
         let step_v = ((v1 - v0) / res as f64).max(f64::MIN_POSITIVE);
         let w = res + 1;
         let mut counts = vec![0f64; w * w];
-        for p in points {
-            // Point contributes to prefix entries at lattice lines ≥ its
-            // coordinate: bucket it at the smallest such line index.
+        // Point contributes to prefix entries at lattice lines ≥ its
+        // coordinate: bucket it at the smallest such line index.
+        let bucket = |p: &Point2d| -> usize {
             let iu = (((p.u - u0) / step_u).ceil() as usize).min(res);
             let iv = (((p.v - v0) / step_v).ceil() as usize).min(res);
-            counts[iu * w + iv] += p.w;
-        }
-        // 2-D prefix sum in place.
-        for i in 0..w {
-            for j in 1..w {
-                counts[i * w + j] += counts[i * w + j - 1];
+            iu * w + iv
+        };
+        let threads = threads.max(1);
+        if threads == 1 || points.len() < 2 * MIN_POINTS_PER_CHUNK {
+            for p in points {
+                counts[bucket(p)] += p.w;
             }
+        } else {
+            // Phase 1 — parallel bucketing: pure per-point work through
+            // the shared queue; chunks concatenate back to point order.
+            let bounds = oversubscribed_bounds(points.len(), threads, MIN_POINTS_PER_CHUNK);
+            let staged: Vec<Vec<(u64, f64)>> = run_indexed_queue(bounds.len(), threads, |c| {
+                let (lo, hi) = bounds[c];
+                points[lo..hi].iter().map(|p| (bucket(p) as u64, p.w)).collect()
+            });
+            // Phase 2 — row-band scatter: each worker owns a contiguous
+            // band of lattice rows and scans the whole staged stream in
+            // point order, accumulating only its own rows. Per-cell
+            // addition order equals the serial loop's, so the result is
+            // bitwise identical for any thread count or band split.
+            let nb = threads.min(w);
+            std::thread::scope(|s| {
+                let mut rest: &mut [f64] = &mut counts;
+                let staged = &staged;
+                let mut handles = Vec::with_capacity(nb);
+                for b in 0..nb {
+                    let (r_lo, r_hi) = (w * b / nb, w * (b + 1) / nb);
+                    let (band, tail) = rest.split_at_mut((r_hi - r_lo) * w);
+                    rest = tail;
+                    handles.push(s.spawn(move || {
+                        let lo = (r_lo * w) as u64;
+                        let hi = (r_hi * w) as u64;
+                        for chunk in staged {
+                            for &(flat, pw) in chunk {
+                                if flat >= lo && flat < hi {
+                                    band[(flat - lo) as usize] += pw;
+                                }
+                            }
+                        }
+                    }));
+                }
+                for h in handles {
+                    h.join().expect("grid shard worker panicked");
+                }
+            });
+        }
+        // 2-D prefix sum in place. The row pass is independent per row, so
+        // it shards by row bands (same per-row operation order — bitwise
+        // identical); the column pass's dependence chain runs down the
+        // rows, so it stays serial (`O(G²)`, dwarfed by the `O(n)`
+        // accumulation at scale).
+        if threads == 1 {
+            for i in 0..w {
+                for j in 1..w {
+                    counts[i * w + j] += counts[i * w + j - 1];
+                }
+            }
+        } else {
+            let nb = threads.min(w);
+            std::thread::scope(|s| {
+                let mut rest: &mut [f64] = &mut counts;
+                for b in 0..nb {
+                    let (r_lo, r_hi) = (w * b / nb, w * (b + 1) / nb);
+                    let (band, tail) = rest.split_at_mut((r_hi - r_lo) * w);
+                    rest = tail;
+                    s.spawn(move || {
+                        for row in band.chunks_exact_mut(w) {
+                            for j in 1..w {
+                                row[j] += row[j - 1];
+                            }
+                        }
+                    });
+                }
+            });
         }
         for i in 1..w {
             for j in 0..w {
                 counts[i * w + j] += counts[(i - 1) * w + j];
             }
         }
-        GridCF { res, u0, v0, step_u, step_v, prefix: counts }
+        GridCF { lattice: Lattice { res, u0, v0, step_u, step_v }, prefix: counts }
     }
 
     /// Lattice resolution.
     pub fn resolution(&self) -> usize {
-        self.res
+        self.lattice.res
+    }
+
+    /// The lattice geometry (resolution + line placement).
+    pub(crate) fn lattice(&self) -> Lattice {
+        self.lattice
     }
 
     /// Raw coordinate of lattice line `i` on the u-axis.
     #[inline]
     pub fn line_u(&self, i: usize) -> f64 {
-        self.u0 + self.step_u * i as f64
+        self.lattice.line_u(i)
     }
 
     /// Raw coordinate of lattice line `j` on the v-axis.
     #[inline]
     pub fn line_v(&self, j: usize) -> f64 {
-        self.v0 + self.step_v * j as f64
+        self.lattice.line_v(j)
     }
 
     /// Exact CF at lattice intersection `(i, j)`.
     #[inline]
     pub fn cf_at(&self, i: usize, j: usize) -> f64 {
-        self.prefix[i * (self.res + 1) + j]
+        self.prefix[i * (self.lattice.res + 1) + j]
     }
 
     /// Total measure mass (point count for unit measures).
     pub fn total(&self) -> f64 {
-        self.cf_at(self.res, self.res)
+        self.cf_at(self.lattice.res, self.lattice.res)
     }
 }
 
-enum Node {
+pub(crate) enum Node {
     /// Split cell. `mid_u`/`mid_v` are `NAN` when that axis is not split.
     Internal { mid_u: f64, mid_v: f64, children: Vec<Node> },
     Leaf {
@@ -163,13 +301,16 @@ enum Node {
     },
 }
 
-/// The 2-D PolyFit index: quadtree of bivariate patches over `CF`.
+/// The 2-D PolyFit index: quadtree of bivariate patches over `CF`, served
+/// through a compiled patch arena.
 pub struct QuadPolyFit {
-    root: Node,
-    delta: f64,
+    pub(crate) root: Node,
+    pub(crate) delta: f64,
+    pub(crate) lattice: Lattice,
     /// Data bounding box (domain of the surface).
     bbox: (f64, f64, f64, f64),
-    total: f64,
+    pub(crate) total: f64,
+    compiled: TwodDirectory,
     leaves: usize,
     uncertified_leaves: usize,
     max_leaf_error: f64,
@@ -187,11 +328,11 @@ impl QuadPolyFit {
         Self::build_with(points, delta, config, &BuildOptions::auto())
     }
 
-    /// Build through the shared pipeline: the top-level quadrants are
-    /// fitted by up to `opts.threads` workers pulling from a task queue
-    /// (quadtree construction is embarrassingly parallel, and each cell's
-    /// fit is deterministic, so the index is identical for every thread
-    /// count).
+    /// Build through the shared pipeline: lattice accumulation is sharded
+    /// by rows and the quadtree is wave-expanded into deep-cell jobs
+    /// drained from the shared work queue (see the module docs). Every
+    /// cell's fit is deterministic and results are assembled in index
+    /// order, so the index is bitwise identical for every thread count.
     pub fn build_with(
         points: &[Point2d],
         delta: f64,
@@ -208,35 +349,35 @@ impl QuadPolyFit {
             return Err(PolyFitError::InvalidDegree { degree: config.degree });
         }
         let t0 = std::time::Instant::now();
-        let grid = GridCF::new(points, config.grid_resolution);
-        let builder = CellBuilder { grid: &grid, delta, cfg: &config };
-        let res = grid.resolution();
         let threads = opts.effective_threads();
-        let root = if res >= 2 {
-            let im = res / 2;
-            let jm = res / 2;
-            let ranges = [(0, im, 0, jm), (im, res, 0, jm), (0, im, jm, res), (im, res, jm, res)];
-            let children: Vec<Node> = if threads <= 1 {
-                ranges.iter().map(|&(a, b, c, d)| builder.build_cell(a, b, c, d, 1)).collect()
-            } else {
-                // Shared work queue over the four quadrants, drained by
-                // min(threads, 4) workers.
-                crate::build::run_indexed_queue(ranges.len(), threads, |i| {
-                    let (a, b, c, d) = ranges[i];
-                    builder.build_cell(a, b, c, d, 1)
-                })
-            };
-            Node::Internal { mid_u: grid.line_u(im), mid_v: grid.line_v(jm), children }
-        } else {
-            builder.build_cell(0, res, 0, res, 0)
+        let grid = GridCF::new_with(points, config.grid_resolution, threads);
+        let builder = CellBuilder { grid: &grid, delta, cfg: &config };
+        let root = build_tree(&builder, grid.resolution(), threads);
+        Ok(Self::from_parts(root, delta, grid.lattice(), grid.total(), t0.elapsed()))
+    }
+
+    /// Assemble an index from a built (or decoded) tree: recomputes the
+    /// summary statistics and compiles the read-path arena.
+    pub(crate) fn from_parts(
+        root: Node,
+        delta: f64,
+        lattice: Lattice,
+        total: f64,
+        build_time: std::time::Duration,
+    ) -> Self {
+        let res = lattice.res;
+        let bbox = (lattice.line_u(0), lattice.line_u(res), lattice.line_v(0), lattice.line_v(res));
+        let compiled = {
+            let patches = collect_leaf_patches(&root, res);
+            TwodDirectory::compile(lattice, total, &patches)
         };
-        let bbox = (grid.line_u(0), grid.line_u(res), grid.line_v(0), grid.line_v(res));
-        let total = grid.total();
         let mut idx = QuadPolyFit {
             root,
             delta,
+            lattice,
             bbox,
             total,
+            compiled,
             leaves: 0,
             uncertified_leaves: 0,
             max_leaf_error: 0.0,
@@ -244,12 +385,9 @@ impl QuadPolyFit {
         };
         let mut logical = 0usize;
         idx.scan(&mut logical);
-        idx.build_stats = IndexStats {
-            segments: idx.leaves,
-            logical_size_bytes: logical,
-            build_time: t0.elapsed(),
-        };
-        Ok(idx)
+        idx.build_stats =
+            IndexStats { segments: idx.leaves, logical_size_bytes: logical, build_time };
+        idx
     }
 
     fn scan(&mut self, logical: &mut usize) {
@@ -285,9 +423,16 @@ impl QuadPolyFit {
         self.max_leaf_error = w;
     }
 
-    /// Approximate `CF(u, v)`; exact 0 below the domain corner and clamped
-    /// to the bounding box elsewhere.
+    /// Approximate `CF(u, v)` through the compiled arena; exact 0 below
+    /// the domain corner and clamped to the bounding box elsewhere.
+    /// Bitwise equal to [`Self::cf_walk`].
     pub fn cf(&self, u: f64, v: f64) -> f64 {
+        self.compiled.cf(u, v)
+    }
+
+    /// `CF(u, v)` through the pointer quadtree — the verification oracle
+    /// the compiled path is held bitwise equal to.
+    pub fn cf_walk(&self, u: f64, v: f64) -> f64 {
         let (u0, u1, v0, v1) = self.bbox;
         if u < u0 || v < v0 {
             return 0.0;
@@ -317,13 +462,32 @@ impl QuadPolyFit {
     }
 
     /// Approximate rectangle COUNT over `(u_lo, u_hi] × (v_lo, v_hi]`
-    /// (inclusion–exclusion, Section VI). Within `4δ` of the exact count
-    /// at lattice-certified corners.
+    /// (inclusion–exclusion, Section VI), served by the compiled arena
+    /// with fused corner probes. Within `4δ` of the exact count at
+    /// lattice-certified corners; bitwise equal to [`Self::query_walk`].
     pub fn query(&self, u_lo: f64, u_hi: f64, v_lo: f64, v_hi: f64) -> f64 {
+        self.compiled.query_rect(u_lo, u_hi, v_lo, v_hi)
+    }
+
+    /// [`Self::query`] through the pointer-quadtree oracle.
+    pub fn query_walk(&self, u_lo: f64, u_hi: f64, v_lo: f64, v_hi: f64) -> f64 {
         if u_lo >= u_hi || v_lo >= v_hi {
             return 0.0;
         }
-        self.cf(u_hi, v_hi) - self.cf(u_lo, v_hi) - self.cf(u_hi, v_lo) + self.cf(u_lo, v_lo)
+        self.cf_walk(u_hi, v_hi) - self.cf_walk(u_lo, v_hi) - self.cf_walk(u_hi, v_lo)
+            + self.cf_walk(u_lo, v_lo)
+    }
+
+    /// Batched rectangle COUNT: element `i` equals `self.query(rects[i])`
+    /// bit for bit, executed by the compiled directory's sort-and-share
+    /// sweep (shared corner evaluations across overlapping rects).
+    pub fn query_batch(&self, rects: &[(f64, f64, f64, f64)]) -> Vec<f64> {
+        self.compiled.query_batch_rect(rects)
+    }
+
+    /// The compiled read-path directory.
+    pub fn directory(&self) -> &TwodDirectory {
+        &self.compiled
     }
 
     /// The per-corner error budget δ.
@@ -362,6 +526,16 @@ impl QuadPolyFit {
         self.bbox
     }
 
+    /// Total mass: `CF` at the top domain corner.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Lattice resolution (cells per axis) the index was built over.
+    pub fn grid_resolution(&self) -> usize {
+        self.lattice.res
+    }
+
     /// Exhaustively verify the index against a lattice CF: returns the
     /// worst `|CF̃ − CF|` over **every** lattice intersection. Large cells
     /// are fitted on a subsample (see [`Quad2dConfig::samples_per_axis`]),
@@ -381,6 +555,135 @@ impl QuadPolyFit {
     }
 }
 
+/// Collect every leaf with its lattice-cell range by replaying the split
+/// geometry (splits always bisect the index range, so ranges are implied
+/// by the tree shape — nothing is stored per node).
+fn collect_leaf_patches(root: &Node, res: usize) -> Vec<LeafPatch<'_>> {
+    fn walk<'a>(
+        n: &'a Node,
+        i0: usize,
+        i1: usize,
+        j0: usize,
+        j1: usize,
+        out: &mut Vec<LeafPatch<'a>>,
+    ) {
+        match n {
+            Node::Leaf { poly, .. } => out.push(LeafPatch { i0, i1, j0, j1, poly }),
+            Node::Internal { mid_u, mid_v, children } => {
+                let im = (i0 + i1) / 2;
+                let jm = (j0 + j1) / 2;
+                match (!mid_u.is_nan(), !mid_v.is_nan()) {
+                    (true, true) => {
+                        walk(&children[0], i0, im, j0, jm, out);
+                        walk(&children[1], im, i1, j0, jm, out);
+                        walk(&children[2], i0, im, jm, j1, out);
+                        walk(&children[3], im, i1, jm, j1, out);
+                    }
+                    (true, false) => {
+                        walk(&children[0], i0, im, j0, j1, out);
+                        walk(&children[1], im, i1, j0, j1, out);
+                    }
+                    (false, true) => {
+                        walk(&children[0], i0, i1, j0, jm, out);
+                        walk(&children[1], i0, i1, jm, j1, out);
+                    }
+                    (false, false) => unreachable!("internal node with no split axis"),
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(root, 0, res, 0, res, &mut out);
+    out
+}
+
+/// A quadtree cell pending construction.
+#[derive(Clone, Copy, Debug)]
+struct Cell {
+    i0: usize,
+    i1: usize,
+    j0: usize,
+    j1: usize,
+    depth: usize,
+}
+
+/// One construction step's outcome: the cell either certifies (or bottoms
+/// out) as a leaf, or splits into child cells.
+enum Expanded {
+    Leaf(Node),
+    Split { mid_u: f64, mid_v: f64, kids: Vec<Cell> },
+}
+
+/// Frontier cells per worker before switching from wave expansion to
+/// whole-subtree fan-out — the same oversubscription policy as the 1-D
+/// chunk queue: enough jobs that stragglers (deep cells over dense
+/// clusters) don't idle the other workers.
+const DEEP_CELL_OVERSUBSCRIPTION: usize = 4;
+
+/// Build the quadtree for `[0, res]²`.
+///
+/// Serial (`threads ≤ 1`): plain recursion. Parallel: wave-expand the
+/// frontier — each wave's fits drain from the shared work queue — until it
+/// oversubscribes the workers, then fan the surviving cells out as
+/// independent subtree jobs. Both paths make the identical fit decisions
+/// in the identical order per cell, so the tree is the same, bit for bit,
+/// for every thread count.
+fn build_tree(builder: &CellBuilder<'_>, res: usize, threads: usize) -> Node {
+    let root = Cell { i0: 0, i1: res, j0: 0, j1: res, depth: 0 };
+    if threads <= 1 {
+        return builder.build_cell(root);
+    }
+    /// Arena slot for deterministic reassembly in frontier order.
+    enum Slot {
+        Done(Node),
+        Split { mid_u: f64, mid_v: f64, children: Vec<usize> },
+    }
+    let target = threads * DEEP_CELL_OVERSUBSCRIPTION;
+    let mut slots: Vec<Option<Slot>> = vec![None];
+    let mut frontier: Vec<(usize, Cell)> = vec![(0, root)];
+    while !frontier.is_empty() && frontier.len() < target {
+        let expanded =
+            run_indexed_queue(frontier.len(), threads, |k| builder.expand_cell(frontier[k].1));
+        let mut next = Vec::new();
+        for (&(slot, _), e) in frontier.iter().zip(expanded) {
+            match e {
+                Expanded::Leaf(n) => slots[slot] = Some(Slot::Done(n)),
+                Expanded::Split { mid_u, mid_v, kids } => {
+                    let children = kids
+                        .into_iter()
+                        .map(|c| {
+                            slots.push(None);
+                            let id = slots.len() - 1;
+                            next.push((id, c));
+                            id
+                        })
+                        .collect();
+                    slots[slot] = Some(Slot::Split { mid_u, mid_v, children });
+                }
+            }
+        }
+        frontier = next;
+    }
+    if !frontier.is_empty() {
+        let nodes =
+            run_indexed_queue(frontier.len(), threads, |k| builder.build_cell(frontier[k].1));
+        for (&(slot, _), n) in frontier.iter().zip(nodes) {
+            slots[slot] = Some(Slot::Done(n));
+        }
+    }
+    fn resolve(slots: &mut [Option<Slot>], id: usize) -> Node {
+        match slots[id].take().expect("every slot filled") {
+            Slot::Done(n) => n,
+            Slot::Split { mid_u, mid_v, children } => Node::Internal {
+                mid_u,
+                mid_v,
+                children: children.into_iter().map(|c| resolve(slots, c)).collect(),
+            },
+        }
+    }
+    resolve(&mut slots, 0)
+}
+
 struct CellBuilder<'a> {
     grid: &'a GridCF,
     delta: f64,
@@ -388,45 +691,51 @@ struct CellBuilder<'a> {
 }
 
 impl CellBuilder<'_> {
-    /// Build the subtree for the lattice-line range `[i0, i1] × [j0, j1]`.
-    fn build_cell(&self, i0: usize, i1: usize, j0: usize, j1: usize, depth: usize) -> Node {
+    /// Build the whole subtree for one cell by recursive expansion.
+    fn build_cell(&self, cell: Cell) -> Node {
+        match self.expand_cell(cell) {
+            Expanded::Leaf(n) => n,
+            Expanded::Split { mid_u, mid_v, kids } => Node::Internal {
+                mid_u,
+                mid_v,
+                children: kids.into_iter().map(|c| self.build_cell(c)).collect(),
+            },
+        }
+    }
+
+    /// Make one cell's fit-or-split decision. Depends only on the lattice
+    /// and the cell, so it is safe to evaluate from any worker.
+    fn expand_cell(&self, cell: Cell) -> Expanded {
+        let Cell { i0, i1, j0, j1, depth } = cell;
         let (fit, error) = self.fit_cell(i0, i1, j0, j1);
         let splittable_u = i1 - i0 >= 2;
         let splittable_v = j1 - j0 >= 2;
         if error <= self.delta || depth >= self.cfg.max_depth || (!splittable_u && !splittable_v) {
-            return Node::Leaf { poly: fit, error };
+            return Expanded::Leaf(Node::Leaf { poly: fit, error });
         }
         let im = (i0 + i1) / 2;
         let jm = (j0 + j1) / 2;
+        let kid = |i0, i1, j0, j1| Cell { i0, i1, j0, j1, depth: depth + 1 };
         match (splittable_u, splittable_v) {
-            (true, true) => {
-                let children = vec![
-                    self.build_cell(i0, im, j0, jm, depth + 1),
-                    self.build_cell(im, i1, j0, jm, depth + 1),
-                    self.build_cell(i0, im, jm, j1, depth + 1),
-                    self.build_cell(im, i1, jm, j1, depth + 1),
-                ];
-                Node::Internal {
-                    mid_u: self.grid.line_u(im),
-                    mid_v: self.grid.line_v(jm),
-                    children,
-                }
-            }
-            (true, false) => Node::Internal {
+            (true, true) => Expanded::Split {
                 mid_u: self.grid.line_u(im),
-                mid_v: f64::NAN,
-                children: vec![
-                    self.build_cell(i0, im, j0, j1, depth + 1),
-                    self.build_cell(im, i1, j0, j1, depth + 1),
+                mid_v: self.grid.line_v(jm),
+                kids: vec![
+                    kid(i0, im, j0, jm),
+                    kid(im, i1, j0, jm),
+                    kid(i0, im, jm, j1),
+                    kid(im, i1, jm, j1),
                 ],
             },
-            (false, true) => Node::Internal {
+            (true, false) => Expanded::Split {
+                mid_u: self.grid.line_u(im),
+                mid_v: f64::NAN,
+                kids: vec![kid(i0, im, j0, j1), kid(im, i1, j0, j1)],
+            },
+            (false, true) => Expanded::Split {
                 mid_u: f64::NAN,
                 mid_v: self.grid.line_v(jm),
-                children: vec![
-                    self.build_cell(i0, i1, j0, jm, depth + 1),
-                    self.build_cell(i0, i1, jm, j1, depth + 1),
-                ],
+                kids: vec![kid(i0, i1, j0, jm), kid(i0, i1, jm, j1)],
             },
             (false, false) => unreachable!("guarded above"),
         }
@@ -435,8 +744,6 @@ impl CellBuilder<'_> {
     /// Fit one cell against its lattice samples; returns (poly, achieved
     /// max error over samples).
     fn fit_cell(&self, i0: usize, i1: usize, j0: usize, j1: usize) -> (BivariatePoly, f64) {
-        let span_u = i1 - i0;
-        let span_v = j1 - j0;
         let su = sample_indices(i0, i1, self.cfg.samples_per_axis);
         let sv = sample_indices(j0, j1, self.cfg.samples_per_axis);
         // For small cells the index lists cover every lattice line, making
@@ -458,7 +765,6 @@ impl CellBuilder<'_> {
             self.grid.line_v(j1),
         );
         let fit = fit_minimax_2d(&us, &vs, &ws, rect, self.cfg.degree, self.cfg.backend);
-        let _ = (span_u, span_v);
         (fit.poly, fit.error)
     }
 }
@@ -509,6 +815,29 @@ impl Guaranteed2dCount {
         self.index.query(u_lo, u_hi, v_lo, v_hi)
     }
 
+    /// Turn one approximate COUNT into the Lemma 7 answer: keep it when
+    /// the certificate `A ≥ 4δ(1 + 1/ε_rel)` holds, otherwise fall back
+    /// to the exact aggregate R-tree. Shared by the scalar and batched
+    /// relative paths so both make the identical decision.
+    pub(crate) fn rel_answer(
+        &self,
+        approx: f64,
+        rect: (f64, f64, f64, f64),
+        eps_rel: f64,
+    ) -> crate::drivers::RelAnswer {
+        let threshold = 4.0 * self.index.delta() * (1.0 + 1.0 / eps_rel);
+        if approx >= threshold {
+            crate::drivers::RelAnswer { value: approx, used_fallback: false }
+        } else {
+            let exact =
+                self.exact.as_ref().expect("relative-guarantee driver requires the exact fallback");
+            let r = polyfit_exact::artree::Rect::new(rect.0, rect.1, rect.2, rect.3);
+            // Closed-rectangle count; boundary-coincident points are
+            // measure-zero for continuous workloads.
+            crate::drivers::RelAnswer { value: exact.range_count(&r) as f64, used_fallback: true }
+        }
+    }
+
     /// Relative-guarantee rectangle COUNT: certificate
     /// `A ≥ 4δ(1 + 1/ε_rel)` (Lemma 7), exact fallback otherwise.
     pub fn query_rel(
@@ -521,20 +850,7 @@ impl Guaranteed2dCount {
     ) -> crate::drivers::RelAnswer {
         assert!(eps_rel > 0.0, "relative error must be positive");
         let a = self.index.query(u_lo, u_hi, v_lo, v_hi);
-        let threshold = 4.0 * self.index.delta() * (1.0 + 1.0 / eps_rel);
-        if a >= threshold {
-            crate::drivers::RelAnswer { value: a, used_fallback: false }
-        } else {
-            let exact =
-                self.exact.as_ref().expect("relative-guarantee driver requires the exact fallback");
-            let rect = polyfit_exact::artree::Rect::new(u_lo, u_hi, v_lo, v_hi);
-            // Closed-rectangle count; boundary-coincident points are
-            // measure-zero for continuous workloads.
-            crate::drivers::RelAnswer {
-                value: exact.range_count(&rect) as f64,
-                used_fallback: true,
-            }
-        }
+        self.rel_answer(a, (u_lo, u_hi, v_lo, v_hi), eps_rel)
     }
 
     /// The underlying quadtree index.
@@ -583,6 +899,92 @@ mod tests {
             assert_eq!(g.cf_at(i, j), brute, "lattice ({i}, {j})");
         }
         assert_eq!(g.total(), 2000.0);
+    }
+
+    #[test]
+    fn sharded_gridcf_bitwise_equal_for_every_thread_count() {
+        // Enough points to clear the sharding floor; weighted measures so
+        // floating-point addition order would show up immediately.
+        let pts: Vec<Point2d> = clustered_points(20_000)
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| Point2d::new(p.u, p.v, 1.0 + (i % 7) as f64 * 0.125))
+            .collect();
+        let serial = GridCF::new(&pts, 64);
+        for threads in [2usize, 3, 4, 8] {
+            let par = GridCF::new_with(&pts, 64, threads);
+            assert!(
+                serial.prefix.iter().zip(&par.prefix).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "threads {threads}: lattice must be bitwise identical"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_tree_build_bitwise_equal_to_serial() {
+        let pts = clustered_points(20_000);
+        let cfg = Quad2dConfig { grid_resolution: 64, ..Default::default() };
+        let serial =
+            QuadPolyFit::build_with(&pts, 15.0, cfg, &BuildOptions::with_threads(1)).unwrap();
+        let reference = serial.to_bytes();
+        for threads in [2usize, 4] {
+            let par =
+                QuadPolyFit::build_with(&pts, 15.0, cfg, &BuildOptions::with_threads(threads))
+                    .unwrap();
+            assert_eq!(par.num_leaves(), serial.num_leaves(), "threads {threads}");
+            assert_eq!(par.to_bytes(), reference, "threads {threads}: tree must be bitwise equal");
+        }
+    }
+
+    #[test]
+    fn compiled_read_path_matches_walk_oracle() {
+        let pts = clustered_points(5000);
+        let idx = QuadPolyFit::build(&pts, 25.0, test_config()).unwrap();
+        let (u0, u1, v0, v1) = idx.bbox();
+        let span_u = u1 - u0;
+        let span_v = v1 - v0;
+        for k in 0..400 {
+            let h = (k as u64).wrapping_mul(0x2545F4914F6CDD1D);
+            let fu = (h >> 40) as f64 / (1u64 << 24) as f64;
+            let fv = ((h >> 16) & 0xFF_FFFF) as f64 / (1u64 << 24) as f64;
+            let u = u0 + (fu * 1.4 - 0.2) * span_u;
+            let v = v0 + (fv * 1.4 - 0.2) * span_v;
+            assert_eq!(
+                idx.cf(u, v).to_bits(),
+                idx.cf_walk(u, v).to_bits(),
+                "cf({u}, {v}) diverged from the oracle"
+            );
+        }
+        // Boundary coordinates: exactly on lattice lines.
+        for i in [0usize, 1, 64, 127, 128] {
+            let u = idx.lattice.line_u(i);
+            let v = idx.lattice.line_v(i);
+            assert_eq!(idx.cf(u, v).to_bits(), idx.cf_walk(u, v).to_bits(), "line {i}");
+        }
+    }
+
+    #[test]
+    fn batched_rects_match_scalar_queries_bitwise() {
+        let pts = clustered_points(5000);
+        let idx = QuadPolyFit::build(&pts, 25.0, test_config()).unwrap();
+        // Overlapping rects sharing corners, plus degenerates and NaN.
+        let mut rects: Vec<(f64, f64, f64, f64)> = Vec::new();
+        for k in 0..60 {
+            let a = -30.0 + (k % 7) as f64 * 12.0;
+            let b = a + 10.0 + (k % 5) as f64 * 25.0;
+            let c = -40.0 + (k % 4) as f64 * 18.0;
+            let d = c + 8.0 + (k % 6) as f64 * 20.0;
+            rects.push((a, b, c, d));
+        }
+        rects.push((10.0, 10.0, 0.0, 5.0)); // degenerate u
+        rects.push((20.0, 10.0, 0.0, 5.0)); // reversed u
+        rects.push((f64::NAN, 10.0, 0.0, 5.0)); // NaN flows like scalar
+        rects.push((-1e9, 1e9, -1e9, 1e9)); // beyond the domain
+        let batch = idx.query_batch(&rects);
+        for (r, got) in rects.iter().zip(&batch) {
+            let want = idx.query(r.0, r.1, r.2, r.3);
+            assert_eq!(got.to_bits(), want.to_bits(), "rect {r:?}: batch {got} vs scalar {want}");
+        }
     }
 
     #[test]

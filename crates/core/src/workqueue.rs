@@ -1,0 +1,122 @@
+//! The shared oversubscribed work queue behind every parallel build.
+//!
+//! Both construction fan-outs in the workspace — the 1-D chunked
+//! segmentation in [`crate::build`] and the 2-D deep-cell quadtree build in
+//! [`crate::twod`] — have the same shape: a list of independent,
+//! deterministic jobs whose costs vary wildly (a chunk whose data fits
+//! poorly needs many probe fits; a quadtree cell over a dense cluster
+//! splits far deeper than its siblings). A static partition of jobs onto
+//! threads would serialise on the straggler, so instead workers *pull* job
+//! indices from a shared atomic counter: whoever finishes early steals the
+//! next pending job. Combined with oversubscription (more jobs than
+//! workers, see [`oversubscribed_bounds`]) this keeps every core busy until
+//! the queue drains.
+//!
+//! Determinism: results are returned in **index order**, so as long as each
+//! job's output depends only on its index (never on scheduling), the
+//! assembled result is identical for every thread count — the property all
+//! the bitwise build-equality tests lean on.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run `n_items` independent jobs on up to `threads` workers pulling
+/// indices from a shared queue (oversubscription-friendly: stragglers
+/// don't idle the other workers). Results are returned in index order,
+/// so output is deterministic whenever each job's result depends only on
+/// its index.
+///
+/// # Panics
+/// Propagates a panic from any job after all workers have stopped.
+pub fn run_indexed_queue<T: Send>(
+    n_items: usize,
+    threads: usize,
+    job: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    if n_items == 0 {
+        return Vec::new();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n_items).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads.clamp(1, n_items))
+            .map(|_| {
+                let (next, job) = (&next, &job);
+                s.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_items {
+                            break;
+                        }
+                        done.push((i, job(i)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("build worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots.into_iter().map(|v| v.expect("every job ran")).collect()
+}
+
+/// Contiguous chunk bounds `[lo, hi)` over `n` items, oversubscribed ~4×
+/// the worker count so stragglers don't leave the other workers idle, but
+/// never chunking below `min_per_chunk` items (tiny chunks pay more in
+/// seams and scheduling than they recover in balance).
+///
+/// The chunk boundaries are a pure function of `(n, threads,
+/// min_per_chunk)` — callers that need thread-count-independent chunking
+/// (for bitwise determinism) should pass a fixed `threads` value.
+pub fn oversubscribed_bounds(
+    n: usize,
+    threads: usize,
+    min_per_chunk: usize,
+) -> Vec<(usize, usize)> {
+    let max_chunks = (n / min_per_chunk.max(1)).max(1);
+    let threads = threads.clamp(1, max_chunks);
+    let n_chunks = (threads * 4).clamp(threads, max_chunks);
+    (0..n_chunks).map(|i| (n * i / n_chunks, n * (i + 1) / n_chunks)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_index_order_for_every_thread_count() {
+        for threads in [1usize, 2, 4, 9] {
+            let out = run_indexed_queue(23, threads, |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>(), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_items_is_empty() {
+        assert!(run_indexed_queue(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn bounds_tile_and_respect_floor() {
+        let b = oversubscribed_bounds(20_000, 4, 4096);
+        assert_eq!(b.first().unwrap().0, 0);
+        assert_eq!(b.last().unwrap().1, 20_000);
+        for w in b.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "chunks must tile");
+        }
+        // 20k / 4096 = 4 max chunks — the floor caps the 4×4 request.
+        assert_eq!(b.len(), 4);
+        // Small inputs collapse to one chunk.
+        assert_eq!(oversubscribed_bounds(100, 8, 4096), vec![(0, 100)]);
+    }
+
+    #[test]
+    fn bounds_are_thread_count_independent_when_pinned() {
+        let a = oversubscribed_bounds(100_000, 4, 4096);
+        let b = oversubscribed_bounds(100_000, 4, 4096);
+        assert_eq!(a, b);
+    }
+}

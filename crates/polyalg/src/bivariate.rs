@@ -78,6 +78,14 @@ impl BivariatePoly {
         self.coeffs.len()
     }
 
+    /// The affine normalizer parameters `(cu, su, cv, sv)` mapping raw
+    /// coordinates into the fitted square: `s = (u − cu)/su`,
+    /// `t = (v − cv)/sv`. Exposed so compiled evaluation arenas and
+    /// serializers can reproduce [`Self::eval`] exactly.
+    pub fn normalizers(&self) -> (f64, f64, f64, f64) {
+        (self.cu, self.su, self.cv, self.sv)
+    }
+
     /// Map raw coordinates into the normalized square.
     #[inline]
     pub fn to_normalized(&self, u: f64, v: f64) -> (f64, f64) {

@@ -23,7 +23,7 @@ pub mod extrema;
 pub mod polynomial;
 pub mod roots;
 
-pub use bivariate::BivariatePoly;
+pub use bivariate::{monomial_count, monomials, BivariatePoly};
 pub use extrema::{
     max_on_interval, max_on_interval_shifted, min_on_interval, min_on_interval_shifted,
     IntervalExtremum,
